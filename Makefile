@@ -1,0 +1,29 @@
+PY ?= python
+
+.PHONY: install test bench bench-quick figures examples clean-cache lint-tests
+
+install:
+	pip install -e . --no-build-isolation || \
+	  echo "$(PWD)/src" > "$$($(PY) -c 'import site; print(site.getsitepackages()[0])')/repro-dev.pth"
+
+test:
+	$(PY) -m pytest tests/ -q
+
+bench:
+	$(PY) -m pytest benchmarks/ --benchmark-only -q -s
+
+bench-quick:
+	REPRO_SAMPLES=4 $(PY) -m pytest benchmarks/ --benchmark-only -q -s
+
+figures:
+	$(PY) -m repro figures
+
+examples:
+	$(PY) examples/quickstart.py
+	$(PY) examples/minipar_tour.py
+	$(PY) examples/custom_problem.py
+	$(PY) examples/scaling_study.py
+	$(PY) examples/evaluate_models.py
+
+clean-cache:
+	rm -rf .repro_cache results

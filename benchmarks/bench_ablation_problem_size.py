@@ -1,0 +1,64 @@
+"""Ablation D3+ — the paper's proposed problem-size metric extension
+(§6.2, closing paragraph): parameterise performance by problem size to
+study the *computational complexity* of generated code.
+
+We fit cost ~ a * n^b for the optimal baselines and for characteristic
+generated-code shapes, and check the complexity gaps the harness should
+expose: the naive O(n^2) scan that parallel prompts commonly elicit shows
+an exponent gap of ~1 against the O(n) baseline, and the radix-2 FFT
+baseline beats direct DFT samples by ~1 as well."""
+
+from repro.analysis.problem_size import (
+    baseline_size_scaling,
+    complexity_gap,
+)
+from repro.analysis.tables import render_table
+from repro.bench import all_problems
+from repro.models.solutions import variants_for
+
+from conftest import publish
+
+SIZES = (128, 256, 512, 1024)
+
+
+def _problem(name):
+    return next(p for p in all_problems() if p.name == name)
+
+
+def test_ablation_problem_size(benchmark):
+    rows = []
+
+    def build():
+        rows.clear()
+        # baselines: expected exponents
+        for name, lo, hi in [("relu", 0.85, 1.15),
+                             ("sort_ascending", 1.0, 1.4),
+                             ("gemm", 1.3, 2.1),
+                             ("dft", 1.0, 1.5)]:
+            scaling = baseline_size_scaling(_problem(name), SIZES)
+            rows.append((f"baseline:{name}", f"{scaling.exponent:.2f}",
+                         f"[{lo}, {hi}]"))
+            assert lo <= scaling.exponent <= hi, (name, scaling.exponent)
+
+        # generated-code complexity gaps vs. baseline
+        scan = _problem("prefix_sum")
+        naive = next(v for v in variants_for(scan, "openmp")
+                     if "naive" in v.name)
+        gap = complexity_gap(naive.source, scan, SIZES)
+        rows.append(("omp naive scan vs baseline",
+                     f"gap {gap['gap']:+.2f}", "~ +1"))
+        assert 0.6 <= gap["gap"] <= 1.4
+
+        dft = _problem("dft")
+        direct = variants_for(dft, "serial")[0]
+        gap = complexity_gap(direct.source, dft, SIZES)
+        rows.append(("direct DFT vs radix-2 baseline",
+                     f"gap {gap['gap']:+.2f}", "~ +1"))
+        assert 0.5 <= gap["gap"] <= 1.5
+        return rows
+
+    benchmark(build)
+    publish("ablation_problem_size", render_table(
+        ["program", "fitted exponent / gap", "expected"], rows,
+        title="Ablation — problem-size complexity fits (cost ~ a * n^b)",
+    ))

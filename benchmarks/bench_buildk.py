@@ -1,0 +1,44 @@
+"""build@k — reported alongside pass@k in the paper's §7.3.
+
+build@k is the probability that at least one of k samples *compiles and
+links* (regardless of correctness).  Shapes to hold: build@1 dominates
+pass@1 for every model (compiling is necessary, not sufficient), and the
+build/pass gap is wider on parallel prompts than serial ones — parallel
+APIs give models more ways to write plausible-but-wrong code that still
+compiles."""
+
+from repro.analysis.aggregate import build_at_k_for, pass_at_k_for
+from repro.analysis.tables import per_model_table
+
+from conftest import publish
+
+
+def test_buildk(benchmark, k1_runs):
+    def build():
+        data = {}
+        for name, run in k1_runs.items():
+            serial = run.by_exec_model("serial")
+            parallel = run.parallel_prompts()
+            data[name] = {
+                "serial build@1": build_at_k_for(serial, 1),
+                "serial pass@1": pass_at_k_for(serial, 1),
+                "parallel build@1": build_at_k_for(parallel, 1),
+                "parallel pass@1": pass_at_k_for(parallel, 1),
+            }
+        return data
+
+    data = benchmark(build)
+    text = per_model_table(
+        "build@1 vs pass@1 (%) — §7.3",
+        ["serial build@1", "serial pass@1",
+         "parallel build@1", "parallel pass@1"],
+        data,
+    )
+    publish("buildk", text)
+
+    for name, row in data.items():
+        assert row["serial build@1"] >= row["serial pass@1"], name
+        assert row["parallel build@1"] >= row["parallel pass@1"], name
+        gap_serial = row["serial build@1"] - row["serial pass@1"]
+        gap_parallel = row["parallel build@1"] - row["parallel pass@1"]
+        assert gap_parallel >= gap_serial - 0.05, name

@@ -1,0 +1,52 @@
+"""Figure 3 — pass@1 per problem type.
+
+Paper shapes to hold: transform (near-)best, sparse linear algebra worst,
+bottom five = {sparse_la, scan, fft, geometry, sort}, smaller open models
+rank graph higher than the top models do.
+
+Statistical note: each (model, ptype) cell is 35 prompts whose outcomes
+are near-deterministic at temperature 0.2, so single-model tail *order*
+carries ±1-2 positions of frozen sampling noise — in the paper exactly as
+here (GPT-4 already displaces sort for graph).  The strong assertions are
+therefore made on the across-model mean profile, where the noise averages
+out, with weaker per-model constraints on top."""
+
+import numpy as np
+
+from repro.analysis import fig3_pass_by_ptype
+
+from conftest import publish
+
+PAPER_BOTTOM_FIVE = {"sparse_la", "scan", "fft", "geometry", "sort"}
+
+
+def test_fig3_problem_types(benchmark, k1_runs):
+    data, text = benchmark(fig3_pass_by_ptype, k1_runs)
+    publish("fig3_problem_types", text)
+
+    ptypes = list(next(iter(data.values())))
+    mean_profile = {
+        pt: float(np.mean([row[pt] for row in data.values()]))
+        for pt in ptypes
+    }
+    mean_ranked = sorted(mean_profile, key=mean_profile.get, reverse=True)
+
+    # --- across-model profile: the paper's core claims ---
+    assert "transform" in mean_ranked[:2], mean_ranked
+    assert set(mean_ranked[-5:]) == PAPER_BOTTOM_FIVE, mean_ranked
+    assert "sparse_la" in mean_ranked[-3:], mean_ranked
+    # easy tier leads: transform/search/reduce occupy the top three
+    assert set(mean_ranked[:3]) <= {"transform", "search", "reduce"}, mean_ranked
+
+    # --- weak per-model constraints (noise-tolerant) ---
+    for name, row in data.items():
+        ranked = sorted(row, key=row.get, reverse=True)
+        assert "transform" in ranked[:5], (name, ranked)
+        assert "sparse_la" not in ranked[:4], (name, ranked)
+
+    # small-model quirk: graph ranks higher for CodeLlama-7B than GPT-4
+    def rank_of(name, ptype):
+        ranked = sorted(data[name], key=data[name].get, reverse=True)
+        return ranked.index(ptype)
+
+    assert rank_of("CodeLlama-7B", "graph") < rank_of("GPT-4", "graph")

@@ -1,0 +1,31 @@
+"""Figure 4 — pass@k on the parallel prompts for k in {1, 5, 10, 20}
+(open models, temperature 0.8, as in §7.1: the chat models are excluded
+from the high-sample configuration).
+
+Paper shapes to hold: pass@k rises with k for every model, begins to
+plateau by k=20, keeps the same model ordering at every k, and Phind-V2
+leads the open models throughout (reaching ~46% at k=20)."""
+
+from repro.analysis import fig4_pass_curve
+
+from conftest import publish
+
+KS = (1, 5, 10, 20)
+
+
+def test_fig4_pass_at_k(benchmark, passk_runs):
+    data, text = benchmark(fig4_pass_curve, passk_runs, KS)
+    publish("fig4_passk", text)
+
+    for name, series in data.items():
+        vals = [series[k] for k in KS]
+        assert all(b >= a for a, b in zip(vals, vals[1:])), name
+        # plateau: the k=10 -> 20 gain is smaller than the 1 -> 5 gain
+        assert (series[20] - series[10]) <= (series[5] - series[1]) + 1e-9, name
+
+    # Phind-V2 leads the open models at every k
+    for k in KS:
+        leader = max(data, key=lambda m: data[m][k])
+        assert leader == "Phind-CodeLlama-V2", (k, leader)
+    # and its k=20 score lands in the paper's neighbourhood (~46%)
+    assert 0.30 <= data["Phind-CodeLlama-V2"][20] <= 0.62

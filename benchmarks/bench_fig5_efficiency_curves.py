@@ -1,0 +1,49 @@
+"""Figure 5 — efficiency_n@1 across processor counts for MPI (ranks),
+OpenMP and Kokkos (threads); search prompts excluded (footnote 1).
+
+Paper shapes to hold: OpenMP efficiency starts high and decays with
+thread count; Kokkos curves are flatter across n than OpenMP's; Phind-V2
+is the most efficient model on MPI prompts; GPT-4 is in the top tier for
+OpenMP and Kokkos."""
+
+from repro.analysis import fig5_efficiency_curves
+
+from conftest import publish
+
+MPI_NS = (1, 4, 16, 64, 256, 512)
+THREAD_NS = (1, 2, 4, 8, 16, 32)
+
+
+def test_fig5_efficiency_curves(benchmark, timed_runs):
+    data, text = benchmark(fig5_efficiency_curves, timed_runs,
+                           MPI_NS, THREAD_NS)
+    publish("fig5_efficiency_curves", text)
+
+    omp, kokkos, mpi = data["openmp"], data["kokkos"], data["mpi"]
+
+    for name in omp:
+        if omp[name][1] <= 0:
+            continue  # model solved too few OpenMP prompts to compare
+        # efficiency decays from 1-2 threads to 32
+        assert omp[name][32] < omp[name][2] + 1e-9, name
+
+    # Kokkos flatter than OpenMP: relative drop from 8 to 32 threads is
+    # smaller for Kokkos, averaged over models that solved both
+    drops_omp, drops_kk = [], []
+    for name in omp:
+        if omp[name][8] > 0 and kokkos[name][8] > 0:
+            drops_omp.append(omp[name][32] / omp[name][8])
+            drops_kk.append(kokkos[name][32] / kokkos[name][8])
+    assert drops_kk and sum(drops_kk) / len(drops_kk) >= \
+        sum(drops_omp) / len(drops_omp) - 0.05
+
+    # Phind-V2 tops MPI efficiency at scale
+    at512 = {name: series[512] for name, series in mpi.items()}
+    top_mpi = sorted(at512, key=at512.get, reverse=True)[:2]
+    assert "Phind-CodeLlama-V2" in top_mpi, at512
+
+    # GPT-4 in the top tier for the shared-memory models at 32 threads
+    for series in (omp, kokkos):
+        at32 = {name: s[32] for name, s in series.items()}
+        top3 = sorted(at32, key=at32.get, reverse=True)[:3]
+        assert "GPT-4" in top3, at32

@@ -1,0 +1,27 @@
+"""Figure 6 — speedup_n@1 for the parallel prompts at the paper's
+headline processor counts (32 threads OpenMP/Kokkos, 512 ranks MPI,
+4x64 hybrid, kernel threads for CUDA/HIP); search excluded.
+
+Paper shapes to hold: GPT-4 posts the highest overall parallel speedup
+(the paper's 20.28x headline) even though GPT-3.5 has the higher pass@1;
+the CodeLlama family trails the field."""
+
+from repro.analysis import fig6_speedups
+
+from conftest import publish
+
+
+def test_fig6_speedups(benchmark, timed_runs):
+    data, text = benchmark(fig6_speedups, timed_runs)
+    publish("fig6_speedup", text)
+
+    overall = {name: row["all-parallel"] for name, row in data.items()}
+    # GPT-4 is the speedup leader despite not leading pass@1
+    assert max(overall, key=overall.get) == "GPT-4", overall
+    # and the headline number is a genuine parallel speedup, of the same
+    # order as the paper's 20x (shape, not absolute agreement)
+    assert 4.0 <= overall["GPT-4"] <= 80.0, overall
+
+    # CodeLlama base models trail the closed models
+    for name in ("CodeLlama-7B", "CodeLlama-34B"):
+        assert overall[name] < overall["GPT-4"], overall

@@ -1,0 +1,32 @@
+"""Figure 7 — efficiency_n@1 for serial and parallel prompts at the
+headline processor counts.
+
+Paper shapes to hold: no model uses parallel resources efficiently — the
+best overall parallel efficiency is low (paper: 0.13 for GPT-4, worst
+0.06 for CodeLlama-34B); GPT-4 leads, CodeLlama-34B is at the bottom of
+the field; serial efficiency (speedup/1) is far higher than parallel."""
+
+from repro.analysis import fig7_efficiency
+
+from conftest import publish
+
+
+def test_fig7_efficiency(benchmark, timed_runs):
+    data, text = benchmark(fig7_efficiency, timed_runs)
+    publish("fig7_efficiency", text)
+
+    overall = {name: row["all-parallel"] for name, row in data.items()}
+    # everyone is inefficient in absolute terms
+    for name, eff in overall.items():
+        assert eff < 0.45, (name, eff)
+    # GPT-4 leads, CodeLlama-34B trails (within a small tolerance band)
+    assert overall["GPT-4"] >= max(overall.values()) - 0.02, overall
+    assert overall["CodeLlama-34B"] <= min(
+        v for k, v in overall.items() if k != "CodeLlama-34B"
+    ) + 0.05, overall
+
+    # serial prompts: correct code is ~baseline speed, so efficiency ~1
+    for name, row in data.items():
+        if row["serial"] > 0:
+            assert row["serial"] <= 1.25, (name, row["serial"])
+            assert row["serial"] > 3 * row["all-parallel"], name

@@ -1,0 +1,43 @@
+"""Microbenchmarks of the harness itself: per-sample cost of the
+compile → check → run → validate pipeline under each execution model.
+
+These are genuine wall-clock benchmarks (pytest-benchmark's bread and
+butter) and what bounds the cost of a full 420-prompt evaluation pass.
+"""
+
+import pytest
+
+from repro.bench import all_problems, render_prompt
+from repro.harness import Runner
+from repro.models.solutions import variants_for
+
+_RUNNER = Runner(correctness_trials=2)
+_PROBLEM = next(p for p in all_problems() if p.name == "sum_of_elements")
+
+
+@pytest.mark.parametrize(
+    "model", ["serial", "openmp", "kokkos", "mpi", "mpi+omp", "cuda"]
+)
+def test_sample_evaluation_throughput(benchmark, model):
+    prompt = render_prompt(_PROBLEM, model)
+    source = variants_for(_PROBLEM, model)[0].source
+    result = benchmark(_RUNNER.evaluate_sample, source, prompt)
+    assert result.status == "correct"
+
+
+def test_compile_throughput(benchmark):
+    from repro.harness import compile_sample
+
+    source = variants_for(_PROBLEM, "openmp")[0].source
+    program, reason = benchmark(compile_sample, source, "openmp")
+    assert program is not None, reason
+
+
+def test_timing_sweep_throughput(benchmark):
+    prompt = render_prompt(_PROBLEM, "openmp")
+    source = variants_for(_PROBLEM, "openmp")[0].source
+    program, _ = __import__("repro.harness", fromlist=["compile_sample"]) \
+        .compile_sample(source, "openmp")
+
+    result = benchmark(_RUNNER.measure, program, prompt)
+    assert set(result) == set(_RUNNER.thread_counts)

@@ -1,0 +1,16 @@
+"""Table 1 — the PCGBench inventory: 12 problem types x 5 problems x 7
+execution models = 420 prompts.  Benchmarks full benchmark construction
+(prompt rendering included)."""
+
+from repro.analysis import table1
+from repro.bench import PCGBench
+
+from conftest import publish
+
+
+def test_table1_inventory(benchmark):
+    built = benchmark(PCGBench)
+    assert len(built) == 420
+    text = table1(built)
+    publish("table1_inventory", text)
+    assert "TOTAL" in text

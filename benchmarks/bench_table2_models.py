@@ -1,0 +1,32 @@
+"""Table 2 — the evaluated models with their published HumanEval/MBPP
+scores, plus this reproduction's serial pass@1 as the comparable column."""
+
+from repro.analysis import render_table
+from repro.analysis.aggregate import pass_at_k_for
+from repro.models import MODEL_CARDS, MODEL_ORDER
+
+from conftest import publish
+
+
+def test_table2_models(benchmark, k1_runs):
+    def build():
+        rows = []
+        for name in MODEL_ORDER:
+            card = MODEL_CARDS[name]
+            serial = pass_at_k_for(k1_runs[name].by_exec_model("serial"), 1)
+            rows.append((
+                name, card["params"] or "-",
+                "yes" if card["open_weights"] else "no",
+                card["humaneval"] if card["humaneval"] is not None else "-",
+                card["mbpp"] if card["mbpp"] is not None else "-",
+                f"{100 * serial:.1f}",
+            ))
+        return render_table(
+            ["model", "params", "weights", "HumanEval", "MBPP",
+             "PCGBench serial pass@1 (%)"],
+            rows, title="Table 2 — evaluated models", floatfmt="{:.2f}",
+        )
+
+    text = benchmark(build)
+    publish("table2_models", text)
+    assert "GPT-4" in text

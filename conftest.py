@@ -1,0 +1,9 @@
+"""Repo-level pytest bootstrap: make src/ importable without an install
+(useful on offline machines where editable installs cannot build)."""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

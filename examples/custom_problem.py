@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Extend PCGBench with a custom problem and test your own solutions.
+
+PCGBench's 60 problems are ordinary :class:`~repro.bench.Problem` values;
+nothing stops a user from defining new ones — here, a softmax-style
+normalisation — and running handwritten candidate solutions through the
+identical harness pipeline (usage check, race detection, timing).
+
+Run:  python examples/custom_problem.py
+"""
+
+import numpy as np
+
+from repro.bench import ParamSpec, Problem, render_prompt
+from repro.harness import Runner
+
+
+# -- define the problem -----------------------------------------------------
+
+def _generate(rng, n):
+    return {"x": np.round(rng.uniform(-2.0, 2.0, n), 3),
+            "out": np.zeros(n)}
+
+
+def _reference(inputs):
+    e = np.exp(inputs["x"])
+    return {"out": e / e.sum()}
+
+
+softmax = Problem(
+    name="softmax_normalize",
+    ptype="transform",   # piggyback on an existing type for reporting
+    description=(
+        "Compute the softmax of x into out: out[i] = exp(x[i]) divided by "
+        "the sum of exp(x[j]) over all j."
+    ),
+    params=(
+        ParamSpec("x", "array<float>", "in"),
+        ParamSpec("out", "array<float>", "out"),
+    ),
+    ret=None,
+    generate=_generate,
+    reference=_reference,
+    examples=(("x = [0, 0]", "out becomes [0.5, 0.5]"),),
+    tol=1e-5,
+)
+
+prompt = render_prompt(softmax, "openmp")
+print(prompt.text)
+
+# -- candidate solutions -------------------------------------------------------
+
+GOOD = """
+kernel softmax_normalize(x: array<float>, out: array<float>) {
+    let total = 0.0;
+    pragma omp parallel for reduction(+: total)
+    for (i in 0..len(x)) {
+        total += exp(x[i]);
+    }
+    pragma omp parallel for
+    for (i in 0..len(x)) {
+        out[i] = exp(x[i]) / total;
+    }
+}
+"""
+
+# classic bug: the accumulation race (no reduction clause)
+RACY = GOOD.replace(" reduction(+: total)", "")
+
+# classic bug: serial code for a parallel prompt
+SEQUENTIAL = """
+kernel softmax_normalize(x: array<float>, out: array<float>) {
+    let total = 0.0;
+    for (i in 0..len(x)) {
+        total += exp(x[i]);
+    }
+    for (i in 0..len(x)) {
+        out[i] = exp(x[i]) / total;
+    }
+}
+"""
+
+runner = Runner()
+for label, source in [("good", GOOD), ("racy", RACY),
+                      ("sequential", SEQUENTIAL)]:
+    result = runner.evaluate_sample(source, prompt, with_timing=True)
+    line = f"{label:10s} -> {result.status}"
+    if result.detail:
+        line += f"  ({result.detail[:70]})"
+    print(line)
+    if result.times:
+        t1, t32 = result.times[1], result.times[32]
+        print(f"{'':13s}1 thread {t1*1e3:.3f} ms, 32 threads {t32*1e3:.3f} ms "
+              f"(speedup {t1/t32:.1f}x)")

@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Evaluate several (simulated) LLMs on a slice of PCGBench and print the
+paper's Figure 1/2/3-style tables for that slice.
+
+A full-paper run is just `problem_types=None, models=None` with more
+samples (see benchmarks/); this example keeps the slice small so it
+finishes in a few seconds.
+
+Run:  python examples/evaluate_models.py
+"""
+
+from repro import PCGBench, Runner, evaluate_model, load_model
+from repro.analysis import (
+    fig1_pass_by_exec_model,
+    fig2_overall,
+    fig3_pass_by_ptype,
+    status_breakdown,
+)
+
+MODELS = ["CodeLlama-13B", "Phind-CodeLlama-V2", "GPT-3.5"]
+
+bench = PCGBench(
+    problem_types=["transform", "reduce", "histogram", "sparse_la"],
+    models=["serial", "openmp", "mpi", "cuda"],
+)
+runner = Runner()
+
+runs = {}
+for name in MODELS:
+    print(f"evaluating {name} on {len(bench)} prompts ...")
+    runs[name] = evaluate_model(
+        load_model(name), bench, num_samples=6, temperature=0.2,
+        runner=runner, seed=7,
+    )
+
+for builder in (fig1_pass_by_exec_model, fig2_overall, fig3_pass_by_ptype):
+    _, text = builder(runs)
+    print("\n" + text)
+
+print("\nHarness status breakdown (all samples, GPT-3.5):")
+for status, count in sorted(status_breakdown(runs["GPT-3.5"]).items()):
+    print(f"  {status:14s} {count}")

@@ -1,0 +1,170 @@
+#!/usr/bin/env python3
+"""A tour of MiniPar, the language PCGBench samples are written in —
+and of the failure modes the harness detects in it.
+
+Every snippet below is compiled and (where possible) executed for real;
+this file doubles as living documentation of the language surface.
+
+Run:  python examples/minipar_tour.py
+"""
+
+from repro.lang import CompileError, compile_source
+from repro.runtime import (
+    DEFAULT_MACHINE,
+    Array,
+    ExecCtx,
+    KokkosRuntime,
+    OpenMPRuntime,
+    SerialRuntime,
+    compile_program,
+    launch,
+    run_mpi,
+)
+
+
+def run_serial(src, kernel, args):
+    prog = compile_program(compile_source(src))
+    ctx = ExecCtx(DEFAULT_MACHINE, SerialRuntime())
+    return prog.run_kernel(kernel, ctx, args)
+
+
+def show(title):
+    print(f"\n=== {title} " + "=" * max(0, 56 - len(title)))
+
+
+# ---------------------------------------------------------------------------
+show("basics: types, control flow, builtins")
+src = """
+kernel collatz_steps(n: int) -> int {
+    let steps = 0;
+    while (n > 1) {
+        if (n % 2 == 0) {
+            n = n / 2;
+        } else {
+            n = 3 * n + 1;
+        }
+        steps += 1;
+    }
+    return steps;
+}
+"""
+print("collatz_steps(27) =", run_serial(src, "collatz_steps", [27]))
+
+# ---------------------------------------------------------------------------
+show("arrays, helpers, recursion")
+src = """
+kernel fib(n: int) -> int {
+    if (n < 2) {
+        return n;
+    }
+    return fib(n - 1) + fib(n - 2);
+}
+
+kernel fill_fib(out: array<int>) {
+    for (i in 0..len(out)) {
+        out[i] = fib(i);
+    }
+}
+"""
+out = Array.zeros(10, "int")
+run_serial(src, "fill_fib", [out])
+print("fib table:", out.data)
+
+# ---------------------------------------------------------------------------
+show("the type checker is a real compiler front end")
+for bad, why in [
+    ("kernel f() -> int { return 1.5; }", "float returned from int kernel"),
+    ("kernel f() { let x = 1; let x = 2; }", "shadowing"),
+    ("kernel f(x: array<float>) { x += x; }", "compound ops on arrays"),
+    ("kernel f() -> int { if (true) { return 1; } }", "missing return path"),
+    ("kernel f() { pragma omp parallel for\n for (i in 0..4) { break; } }",
+     "break out of a parallel loop"),
+]:
+    try:
+        compile_source(bad)
+        print(f"  UNEXPECTEDLY OK: {why}")
+    except CompileError as e:
+        print(f"  rejected ({why}): {e}")
+
+# ---------------------------------------------------------------------------
+show("OpenMP: one profiled run prices every thread count")
+src = """
+kernel l2_norm_sq(x: array<float>) -> float {
+    let total = 0.0;
+    pragma omp parallel for reduction(+: total)
+    for (i in 0..len(x)) {
+        total += x[i] * x[i];
+    }
+    return total;
+}
+"""
+prog = compile_program(compile_source(src))
+x = Array.from_list([0.5] * 4096, "float")
+ctx = ExecCtx(DEFAULT_MACHINE, OpenMPRuntime(), work_scale=512)
+print("norm^2 =", prog.run_kernel("l2_norm_sq", ctx, [x]))
+for t in (1, 4, 16, 32):
+    print(f"  {t:2d} threads: {ctx.sim_seconds(t)*1e3:7.3f} ms")
+
+# ---------------------------------------------------------------------------
+show("Kokkos patterns")
+src = """
+kernel normalize(x: array<float>) {
+    let total = parallel_reduce(len(x), "sum", (i) => x[i]);
+    parallel_for(len(x), (i) => {
+        x[i] = x[i] / total;
+    });
+}
+"""
+prog = compile_program(compile_source(src))
+x = Array.from_list([1.0, 3.0, 4.0], "float")
+ctx = ExecCtx(DEFAULT_MACHINE, KokkosRuntime())
+prog.run_kernel("normalize", ctx, [x])
+print("normalized:", x.data)
+
+# ---------------------------------------------------------------------------
+show("MPI: ranks, collectives, and detected deadlocks")
+src = """
+kernel ring_max(x: array<float>) -> float {
+    let r = mpi_rank();
+    mpi_send(x[r], (r + 1) % mpi_size(), 0);
+    let from_left = mpi_recv_float((r + mpi_size() - 1) % mpi_size(), 0);
+    return mpi_allreduce_float(max(x[r], from_left), "max");
+}
+"""
+prog = compile_program(compile_source(src))
+res = run_mpi(prog, "ring_max", [Array.from_list([3., 9., 1., 5.], "float")],
+              nranks=4, machine=DEFAULT_MACHINE)
+print("ring_max over 4 ranks ->", res.ret)
+
+deadlock = compile_program(compile_source("""
+kernel stuck(x: array<float>) -> float {
+    return mpi_recv_float((mpi_rank() + 1) % mpi_size(), 0);
+}
+"""))
+res = run_mpi(deadlock, "stuck", [Array.zeros(1, "float")], 4, DEFAULT_MACHINE)
+print("everyone-receives program ->", type(res.error).__name__)
+
+# ---------------------------------------------------------------------------
+show("CUDA: SIMT kernels, atomics, race detection")
+src = """
+kernel count_positive(x: array<float>, result: array<int>) {
+    let i = block_idx() * block_dim() + thread_idx();
+    if (i < len(x)) {
+        if (x[i] > 0.0) {
+            atomic_add(result, 0, 1);
+        }
+    }
+}
+"""
+prog = compile_program(compile_source(src))
+x = Array.from_list([1.0, -2.0, 3.0, 4.0, -5.0], "float")
+result = Array.zeros(1, "int")
+res = launch(prog, "count_positive", [x, result], 5, DEFAULT_MACHINE)
+print("positives =", result.data[0])
+
+racy = compile_program(compile_source(
+    src.replace("atomic_add(result, 0, 1);", "result[0] += 1;")
+))
+res = launch(racy, "count_positive",
+             [x, Array.zeros(1, "int")], 5, DEFAULT_MACHINE)
+print("same kernel without the atomic ->", type(res.error).__name__)

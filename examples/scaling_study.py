@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Scaling study: how one kernel's simulated performance scales across
+the paper's processor grids — and how common pathologies (critical
+sections, contended atomics, root-only MPI) destroy it.
+
+This exercises the cost models directly, the way §8 RQ3 compares
+generated-code variants: same correct answer, very different scaling.
+
+Run:  python examples/scaling_study.py
+"""
+
+from repro.analysis import render_table
+from repro.bench import all_problems, render_prompt
+from repro.harness import Runner, compile_sample
+from repro.models.solutions import variants_for
+
+problem = next(p for p in all_problems() if p.name == "hist_mod_k")
+runner = Runner(mpi_rank_counts=(1, 4, 16, 64, 256, 512))
+t_star = runner.baseline_time(problem)
+print(f"problem: {problem.name}   baseline T* = {t_star*1e3:.3f} ms\n")
+
+# -- OpenMP: atomic vs critical ----------------------------------------------
+
+rows = []
+for variant in variants_for(problem, "openmp"):
+    program, err = compile_sample(variant.source, "openmp")
+    assert program is not None, err
+    times = runner.measure(program, render_prompt(problem, "openmp"))
+    rows.append([variant.name] + [
+        f"{t_star / times[n]:.2f}x" for n in sorted(times)
+    ])
+print(render_table(
+    ["OpenMP variant"] + [str(n) for n in runner.thread_counts],
+    rows, title="OpenMP histogram: speedup over baseline by thread count",
+))
+
+# -- MPI: block distribution vs root-only ----------------------------------------
+
+rows = []
+for variant in variants_for(problem, "mpi"):
+    program, err = compile_sample(variant.source, "mpi")
+    assert program is not None, err
+    times = runner.measure(program, render_prompt(problem, "mpi"))
+    rows.append([variant.name] + [
+        f"{t_star / times[n]:.2f}x" if n in times else "-"
+        for n in runner.mpi_rank_counts
+    ])
+print("\n" + render_table(
+    ["MPI variant"] + [str(n) for n in runner.mpi_rank_counts],
+    rows, title="MPI histogram: speedup over baseline by rank count",
+))
+
+# -- GPU: atomics vs one-thread-does-everything --------------------------------------
+
+rows = []
+for variant in variants_for(problem, "cuda"):
+    program, err = compile_sample(variant.source, "cuda")
+    assert program is not None, err
+    times = runner.measure(program, render_prompt(problem, "cuda"))
+    ((n, t),) = times.items()
+    rows.append([variant.name, f"{n}", f"{t*1e3:.3f} ms",
+                 f"{t_star / t:.2f}x"])
+print("\n" + render_table(
+    ["CUDA variant", "kernel threads", "time", "speedup"],
+    rows, title="CUDA histogram: kernel-thread scaling",
+))

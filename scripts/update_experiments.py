@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Refresh the measured-numbers appendix of EXPERIMENTS.md from results/.
+
+Run after ``pytest benchmarks/ --benchmark-only`` so the recorded numbers
+always match the committed results files.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+RESULTS = ROOT / "results"
+EXPERIMENTS = ROOT / "EXPERIMENTS.md"
+
+MARKER = "## Appendix — recorded outputs"
+
+
+def main() -> int:
+    if not RESULTS.is_dir():
+        print("no results/ directory; run the benchmarks first")
+        return 1
+    blocks = []
+    for path in sorted(RESULTS.glob("*.txt")):
+        blocks.append(f"### `{path.name}`\n\n```\n{path.read_text().rstrip()}\n```\n")
+    appendix = (
+        f"{MARKER}\n\n"
+        "Verbatim copies of the most recent benchmark outputs (regenerate "
+        "with `pytest benchmarks/ --benchmark-only` and re-run "
+        "`python scripts/update_experiments.py`).\n\n"
+        + "\n".join(blocks)
+    )
+    text = EXPERIMENTS.read_text()
+    if MARKER in text:
+        text = text[: text.index(MARKER)].rstrip() + "\n\n" + appendix
+    else:
+        text = text.rstrip() + "\n\n---\n\n" + appendix
+    EXPERIMENTS.write_text(text)
+    print(f"embedded {len(blocks)} result files into EXPERIMENTS.md")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

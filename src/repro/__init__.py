@@ -1,0 +1,56 @@
+"""repro — a full reproduction of "Can Large Language Models Write
+Parallel Code?" (Nichols et al., HPDC 2024).
+
+The package provides:
+
+* :mod:`repro.lang`     — MiniPar, the small parallel language generated
+  samples are written in (lexer/parser/type checker);
+* :mod:`repro.runtime`  — simulated execution substrates for all seven
+  PCGBench execution models (serial, OpenMP, Kokkos, MPI, MPI+OpenMP,
+  CUDA, HIP) with cost models, race detection and deadlock detection;
+* :mod:`repro.bench`    — PCGBench itself: 60 problems x 7 models = 420
+  prompts, with reference checkers and optimal sequential baselines;
+* :mod:`repro.models`   — calibrated simulated LLMs for the paper's seven
+  models, built on per-task solution banks and real bug injection;
+* :mod:`repro.harness`  — the compile/check/run/time pipeline and the
+  end-to-end evaluator;
+* :mod:`repro.metrics`  — pass@k, build@k, speedup_n@k, efficiency_n@k;
+* :mod:`repro.analysis` — aggregation and regeneration of every table and
+  figure in the paper's evaluation.
+
+Quickstart::
+
+    from repro import PCGBench, Runner, load_model, evaluate_model
+    from repro.analysis import pass_by_exec_model
+
+    bench = PCGBench(problem_types=["transform"], models=["serial", "openmp"])
+    run = evaluate_model(load_model("GPT-3.5"), bench, num_samples=8)
+    print(pass_by_exec_model(run))
+"""
+
+from .bench import EXECUTION_MODELS, PROBLEM_TYPES, PCGBench, full_benchmark
+from .harness import EvalCache, EvalRun, Runner, evaluate_model
+from .lang import compile_source
+from .models import MODEL_ORDER, SimulatedLLM, all_models, load_model
+from .runtime import DEFAULT_MACHINE, Machine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PCGBench",
+    "full_benchmark",
+    "EXECUTION_MODELS",
+    "PROBLEM_TYPES",
+    "Runner",
+    "evaluate_model",
+    "EvalRun",
+    "EvalCache",
+    "compile_source",
+    "SimulatedLLM",
+    "load_model",
+    "all_models",
+    "MODEL_ORDER",
+    "Machine",
+    "DEFAULT_MACHINE",
+    "__version__",
+]

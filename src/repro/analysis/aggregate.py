@@ -1,0 +1,167 @@
+"""Aggregations from EvalRun records to the paper's reported quantities."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..bench.spec import EXECUTION_MODELS, PROBLEM_TYPES
+from ..harness.evaluate import EvalRun, PromptRecord
+from ..metrics import (
+    benchmark_build_at_k,
+    benchmark_efficiency_at_k,
+    benchmark_pass_at_k,
+    benchmark_speedup_at_k,
+)
+
+#: the paper excludes search from the performance metrics (footnote 1)
+PERF_EXCLUDED_PTYPES = frozenset({"search"})
+
+#: the n used per execution model in Figures 6 and 7 (§8 RQ3): 32 threads
+#: for OpenMP/Kokkos, 512 ranks for MPI, 4 ranks x 64 threads for hybrid;
+#: for CUDA/HIP n is each prompt's kernel thread count (None = per-prompt).
+HEADLINE_N: Dict[str, Optional[int]] = {
+    "serial": 1, "openmp": 32, "kokkos": 32, "mpi": 512, "mpi+omp": 256,
+    "cuda": None, "hip": None,
+}
+
+
+def pass_at_k_for(records: Iterable[PromptRecord], k: int) -> float:
+    return benchmark_pass_at_k([r.statuses() for r in records], k)
+
+
+def build_at_k_for(records: Iterable[PromptRecord], k: int) -> float:
+    return benchmark_build_at_k([r.statuses() for r in records], k)
+
+
+def present_exec_models(run: EvalRun) -> List[str]:
+    seen = {r.exec_model for r in run.prompts.values()}
+    return [m for m in EXECUTION_MODELS if m in seen]
+
+
+def present_ptypes(run: EvalRun) -> List[str]:
+    seen = {r.ptype for r in run.prompts.values()}
+    return [p for p in PROBLEM_TYPES if p in seen]
+
+
+def pass_by_exec_model(run: EvalRun, k: int = 1) -> Dict[str, float]:
+    """pass@k per execution model (Figure 1's bars for one LLM)."""
+    return {
+        m: pass_at_k_for(run.by_exec_model(m), k)
+        for m in present_exec_models(run)
+    }
+
+
+def pass_serial_vs_parallel(run: EvalRun, k: int = 1) -> Dict[str, float]:
+    """The serial / parallel split (Figure 2)."""
+    return {
+        "serial": pass_at_k_for(run.by_exec_model("serial"), k),
+        "parallel": pass_at_k_for(run.parallel_prompts(), k),
+    }
+
+
+def pass_by_ptype(run: EvalRun, k: int = 1) -> Dict[str, float]:
+    """pass@k per problem type (Figure 3's bars for one LLM)."""
+    return {pt: pass_at_k_for(run.by_ptype(pt), k)
+            for pt in present_ptypes(run)}
+
+
+def pass_curve(run: EvalRun, ks: Sequence[int]) -> Dict[int, float]:
+    """pass@k over the parallel prompts at several k (Figure 4)."""
+    statuses = [r.statuses() for r in run.parallel_prompts()]
+    return {k: benchmark_pass_at_k(statuses, k) for k in ks}
+
+
+# -- performance ------------------------------------------------------------------
+
+
+def _perf_records(run: EvalRun, exec_model: str) -> List[PromptRecord]:
+    return [
+        r for r in run.by_exec_model(exec_model)
+        if r.ptype not in PERF_EXCLUDED_PTYPES and r.baseline
+    ]
+
+
+def perf_entries(records: Iterable[PromptRecord],
+                 n: Optional[int]) -> List[Dict]:
+    """Per-prompt {baseline, times, n} rows for the speedup metrics.
+
+    ``n=None`` (CUDA/HIP) takes each prompt's own measured processor
+    count — the kernel thread count, which varies across prompts.
+    """
+    entries: List[Dict] = []
+    for r in records:
+        if n is not None:
+            entries.append({
+                "baseline": r.baseline,
+                "times": r.times_at(n),
+                "n": n,
+            })
+            continue
+        ns = r.measured_ns()
+        prompt_n = max(ns) if ns else 1
+        entries.append({
+            "baseline": r.baseline,
+            "times": r.times_at(prompt_n),
+            "n": prompt_n,
+        })
+    return entries
+
+
+def speedup_by_exec_model(run: EvalRun, k: int = 1) -> Dict[str, float]:
+    """speedup_n@k at the headline n per execution model (Figure 6)."""
+    out: Dict[str, float] = {}
+    for m in EXECUTION_MODELS:
+        if m == "serial":
+            continue
+        entries = perf_entries(_perf_records(run, m), HEADLINE_N[m])
+        out[m] = benchmark_speedup_at_k(entries, k) if entries else 0.0
+    return out
+
+
+def efficiency_by_exec_model(run: EvalRun, k: int = 1) -> Dict[str, float]:
+    """efficiency_n@k at the headline n per execution model (Figure 7)."""
+    out: Dict[str, float] = {}
+    for m in EXECUTION_MODELS:
+        entries = perf_entries(_perf_records(run, m), HEADLINE_N[m])
+        out[m] = benchmark_efficiency_at_k(entries, k) if entries else 0.0
+    return out
+
+
+def overall_parallel_speedup(run: EvalRun, k: int = 1) -> float:
+    """speedup_n@k pooled over all six parallel models (the "GPT-4 achieves
+    20.28x" style headline number)."""
+    entries: List[Dict] = []
+    for m in EXECUTION_MODELS:
+        if m == "serial":
+            continue
+        entries.extend(perf_entries(_perf_records(run, m), HEADLINE_N[m]))
+    return benchmark_speedup_at_k(entries, k) if entries else 0.0
+
+
+def overall_parallel_efficiency(run: EvalRun, k: int = 1) -> float:
+    entries: List[Dict] = []
+    for m in EXECUTION_MODELS:
+        if m == "serial":
+            continue
+        entries.extend(perf_entries(_perf_records(run, m), HEADLINE_N[m]))
+    return benchmark_efficiency_at_k(entries, k) if entries else 0.0
+
+
+def efficiency_curve(run: EvalRun, exec_model: str,
+                     ns: Sequence[int], k: int = 1) -> Dict[int, float]:
+    """efficiency_n@k across processor counts (Figure 5's curves)."""
+    records = _perf_records(run, exec_model)
+    out: Dict[int, float] = {}
+    for n in ns:
+        entries = perf_entries(records, n)
+        out[n] = benchmark_efficiency_at_k(entries, k) if entries else 0.0
+    return out
+
+
+def status_breakdown(run: EvalRun) -> Dict[str, int]:
+    """Counts of every harness status across all samples (diagnostics)."""
+    counts: Dict[str, int] = {}
+    for r in run.prompts.values():
+        for s in r.samples:
+            counts[s.status] = counts.get(s.status, 0) + 1
+    return counts

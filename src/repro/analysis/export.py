@@ -1,0 +1,83 @@
+"""Exports and run-to-run comparisons for evaluation results.
+
+Downstream users of a benchmark harness need flat files and diffs more
+than plots: ``to_csv`` flattens an :class:`EvalRun` to one row per sample
+(status, timings at every measured n), and :func:`compare_runs` reports
+pass@1 deltas between two runs per execution model and problem type —
+the tool for "did my prompt change / model update help?" questions.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Dict, List, Optional, Tuple
+
+from ..bench.spec import EXECUTION_MODELS, PROBLEM_TYPES
+from ..harness.evaluate import EvalRun
+from .aggregate import pass_at_k_for
+
+
+def to_csv(run: EvalRun) -> str:
+    """One row per generated sample, flat enough for pandas/spreadsheets."""
+    all_ns: List[int] = sorted({
+        n for rec in run.prompts.values() for s in rec.samples for n in s.times
+    })
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(
+        ["llm", "prompt", "ptype", "exec_model", "sample", "status",
+         "intended", "baseline_s"] + [f"t_n{n}_s" for n in all_ns]
+    )
+    for uid in sorted(run.prompts):
+        rec = run.prompts[uid]
+        for i, s in enumerate(rec.samples):
+            writer.writerow(
+                [run.llm, uid, rec.ptype, rec.exec_model, i, s.status,
+                 s.intended, rec.baseline if rec.baseline else ""]
+                + [s.times.get(n, "") for n in all_ns]
+            )
+    return buf.getvalue()
+
+
+def summary_rows(run: EvalRun) -> List[Dict[str, object]]:
+    """Per-(exec model, ptype) pass@1 cells — the full Figure 1 x Figure 3
+    cross table for one model."""
+    rows: List[Dict[str, object]] = []
+    for m in EXECUTION_MODELS:
+        for pt in PROBLEM_TYPES:
+            records = [r for r in run.by_exec_model(m) if r.ptype == pt]
+            if not records:
+                continue
+            rows.append({
+                "exec_model": m,
+                "ptype": pt,
+                "prompts": len(records),
+                "pass@1": pass_at_k_for(records, 1),
+            })
+    return rows
+
+
+def compare_runs(a: EvalRun, b: EvalRun,
+                 min_delta: float = 0.0) -> List[Tuple[str, float, float, float]]:
+    """Per-execution-model pass@1 deltas between two runs.
+
+    Returns (dimension, a_value, b_value, delta) rows for every execution
+    model and problem type present in both runs, filtered to |delta| >=
+    ``min_delta`` and sorted by |delta| descending.
+    """
+    out: List[Tuple[str, float, float, float]] = []
+
+    def add(dim: str, ra, rb) -> None:
+        if not ra or not rb:
+            return
+        va, vb = pass_at_k_for(ra, 1), pass_at_k_for(rb, 1)
+        if abs(vb - va) >= min_delta:
+            out.append((dim, va, vb, vb - va))
+
+    for m in EXECUTION_MODELS:
+        add(f"exec:{m}", a.by_exec_model(m), b.by_exec_model(m))
+    for pt in PROBLEM_TYPES:
+        add(f"ptype:{pt}", a.by_ptype(pt), b.by_ptype(pt))
+    out.sort(key=lambda row: abs(row[3]), reverse=True)
+    return out

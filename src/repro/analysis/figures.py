@@ -1,0 +1,118 @@
+"""Builders that regenerate each of the paper's figures as data + text.
+
+Each ``figN_*`` function consumes per-model :class:`EvalRun` results (see
+:mod:`repro.harness.evaluate`) and returns the series the corresponding
+paper figure plots, alongside a rendered text table.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from ..bench.spec import EXECUTION_MODELS, PROBLEM_TYPES
+from ..harness.evaluate import EvalRun
+from .aggregate import (
+    efficiency_by_exec_model,
+    efficiency_curve,
+    overall_parallel_efficiency,
+    overall_parallel_speedup,
+    pass_by_exec_model,
+    pass_by_ptype,
+    pass_curve,
+    pass_serial_vs_parallel,
+    speedup_by_exec_model,
+)
+from .tables import curve_table, per_model_table
+
+Runs = Dict[str, EvalRun]
+
+
+def fig1_pass_by_exec_model(runs: Runs) -> Tuple[Dict, str]:
+    """Figure 1: pass@1 for each execution model, per LLM."""
+    data = {name: pass_by_exec_model(run, k=1) for name, run in runs.items()}
+    cols = [m for m in EXECUTION_MODELS
+            if any(m in row for row in data.values())]
+    text = per_model_table(
+        "Figure 1 — pass@1 (%) per execution model", cols, data,
+    )
+    return data, text
+
+
+def fig2_overall(runs: Runs) -> Tuple[Dict, str]:
+    """Figure 2: serial vs parallel pass@1 per LLM."""
+    data = {name: pass_serial_vs_parallel(run, k=1)
+            for name, run in runs.items()}
+    text = per_model_table(
+        "Figure 2 — pass@1 (%) over PCGBench",
+        ["serial", "parallel"], data,
+    )
+    return data, text
+
+
+def fig3_pass_by_ptype(runs: Runs) -> Tuple[Dict, str]:
+    """Figure 3: pass@1 per problem type, per LLM."""
+    data = {name: pass_by_ptype(run, k=1) for name, run in runs.items()}
+    cols = [p for p in PROBLEM_TYPES
+            if any(p in row for row in data.values())]
+    text = per_model_table(
+        "Figure 3 — pass@1 (%) per problem type", cols, data,
+    )
+    return data, text
+
+
+def fig4_pass_curve(runs: Runs,
+                    ks: Sequence[int] = (1, 5, 10, 20)) -> Tuple[Dict, str]:
+    """Figure 4: pass@k on the parallel prompts for k in {1, 5, 10, 20}."""
+    data = {name: pass_curve(run, ks) for name, run in runs.items()}
+    text = curve_table("Figure 4 — pass@k on parallel prompts", "model/k", data)
+    return data, text
+
+
+def fig5_efficiency_curves(
+    runs: Runs,
+    mpi_ns: Sequence[int] = (1, 4, 16, 64, 256, 512),
+    thread_ns: Sequence[int] = (1, 2, 4, 8, 16, 32),
+) -> Tuple[Dict, str]:
+    """Figure 5: efficiency_n@1 across n for MPI, OpenMP and Kokkos."""
+    data: Dict[str, Dict[str, Dict[int, float]]] = {}
+    blocks = []
+    for exec_model, ns in (("mpi", mpi_ns), ("openmp", thread_ns),
+                           ("kokkos", thread_ns)):
+        series = {
+            name: efficiency_curve(run, exec_model, ns, k=1)
+            for name, run in runs.items()
+        }
+        data[exec_model] = series
+        blocks.append(curve_table(
+            f"Figure 5 — efficiency_n@1, {exec_model} (n across columns)",
+            "model/n", series,
+        ))
+    return data, "\n\n".join(blocks)
+
+
+def fig6_speedups(runs: Runs) -> Tuple[Dict, str]:
+    """Figure 6: speedup_n@1 per parallel execution model (n = 32 threads
+    for OpenMP/Kokkos, 512 ranks for MPI, 4x64 for hybrid, kernel threads
+    for CUDA/HIP), plus the pooled parallel headline number."""
+    data = {}
+    for name, run in runs.items():
+        row = speedup_by_exec_model(run, k=1)
+        row["all-parallel"] = overall_parallel_speedup(run, k=1)
+        data[name] = row
+    cols = [m for m in EXECUTION_MODELS if m != "serial"] + ["all-parallel"]
+    text = per_model_table("Figure 6 — speedup_n@1", cols, data,
+                           percent=False)
+    return data, text
+
+
+def fig7_efficiency(runs: Runs) -> Tuple[Dict, str]:
+    """Figure 7: efficiency_n@1 for serial and parallel prompts."""
+    data = {}
+    for name, run in runs.items():
+        row = efficiency_by_exec_model(run, k=1)
+        row["all-parallel"] = overall_parallel_efficiency(run, k=1)
+        data[name] = row
+    cols = list(EXECUTION_MODELS) + ["all-parallel"]
+    text = per_model_table("Figure 7 — efficiency_n@1", cols, data,
+                           percent=False)
+    return data, text

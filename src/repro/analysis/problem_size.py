@@ -1,0 +1,115 @@
+"""Problem-size scaling analysis — the paper's proposed metric extension.
+
+Section 6.2 closes with: *"both performance metrics could be modified to
+be parameterized by problem size instead of number of processors in order
+to study the computational complexity of the generated code."*  This
+module implements that extension: run a program (and the optimal
+baseline) at a ladder of problem sizes, fit a power law cost ~ a * n^b to
+each, and compare exponents — a generated O(n^2) scan against an O(n)
+baseline shows up as an exponent gap of ~1 even when both are "correct".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..bench.baselines import baseline_source
+from ..bench.spec import Problem
+from ..lang import compile_source
+from ..lang.errors import MiniParError
+from ..runtime import DEFAULT_MACHINE, ExecCtx, Machine, SerialRuntime
+from ..runtime.compile import CompiledProgram, compile_program
+
+
+@dataclass
+class SizeScaling:
+    """A fitted cost-vs-size power law for one program."""
+
+    sizes: List[int]
+    costs: List[float]          # op units (serial work) per size
+    coefficient: float          # a in cost ~ a * n^b
+    exponent: float             # b
+
+    def predicted(self, n: int) -> float:
+        return self.coefficient * n ** self.exponent
+
+
+def _fit_power_law(sizes: Sequence[int], costs: Sequence[float]) -> Tuple[float, float]:
+    xs = np.log(np.asarray(sizes, dtype=float))
+    ys = np.log(np.asarray(costs, dtype=float))
+    b, log_a = np.polyfit(xs, ys, 1)
+    return math.exp(log_a), float(b)
+
+
+def measure_size_scaling(
+    program: CompiledProgram,
+    problem: Problem,
+    sizes: Sequence[int],
+    machine: Machine = DEFAULT_MACHINE,
+    seed: int = 101,
+    fuel: int = 60_000_000,
+) -> Optional[SizeScaling]:
+    """Serial-work cost of ``program`` at each size; None on any failure."""
+    measured_sizes: List[int] = []
+    costs: List[float] = []
+    for size in sizes:
+        rng = np.random.default_rng(seed)
+        inputs = problem.generate(rng, size)
+        args = problem.to_minipar_args(inputs)
+        ctx = ExecCtx(machine, SerialRuntime(), fuel=fuel)
+        try:
+            program.run_kernel(problem.entry, ctx, args)
+        except MiniParError:
+            return None
+        # use the *actual* generated primary size (generators derive their
+        # own dimensions from the nominal size)
+        primary = next(
+            (v.shape[0] * (v.shape[1] if v.ndim == 2 else 1)
+             for v in inputs.values() if isinstance(v, np.ndarray)),
+            size,
+        )
+        measured_sizes.append(int(primary))
+        costs.append(ctx.cost)
+    a, b = _fit_power_law(measured_sizes, costs)
+    return SizeScaling(sizes=measured_sizes, costs=costs,
+                       coefficient=a, exponent=b)
+
+
+def baseline_size_scaling(problem: Problem,
+                          sizes: Sequence[int],
+                          machine: Machine = DEFAULT_MACHINE,
+                          seed: int = 101) -> SizeScaling:
+    program = compile_program(compile_source(baseline_source(problem.name)))
+    scaling = measure_size_scaling(program, problem, sizes, machine, seed)
+    assert scaling is not None, f"baseline failed for {problem.name}"
+    return scaling
+
+
+def complexity_gap(
+    sample_source: str,
+    problem: Problem,
+    sizes: Sequence[int],
+    machine: Machine = DEFAULT_MACHINE,
+) -> Optional[Dict[str, float]]:
+    """Compare a generated sample's fitted exponent with the baseline's.
+
+    Returns {"sample_exponent", "baseline_exponent", "gap"} or None when
+    the sample fails to build or run at some size.
+    """
+    try:
+        program = compile_program(compile_source(sample_source))
+    except MiniParError:
+        return None
+    sample = measure_size_scaling(program, problem, sizes, machine)
+    if sample is None:
+        return None
+    base = baseline_size_scaling(problem, sizes, machine)
+    return {
+        "sample_exponent": sample.exponent,
+        "baseline_exponent": base.exponent,
+        "gap": sample.exponent - base.exponent,
+    }

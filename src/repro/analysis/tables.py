@@ -1,0 +1,108 @@
+"""Plain-text rendering of the paper's tables and figure series."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..bench.registry import PCGBench
+from ..bench.spec import PROBLEM_TYPE_DESCRIPTIONS, PROBLEM_TYPES
+from ..models.profiles import MODEL_CARDS, MODEL_ORDER
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence],
+                 title: str = "", floatfmt: str = "{:.3f}") -> str:
+    """A minimal fixed-width table renderer (no external deps)."""
+    body: List[List[str]] = []
+    for row in rows:
+        body.append([
+            floatfmt.format(c) if isinstance(c, float) else str(c)
+            for c in row
+        ])
+    widths = [
+        max(len(str(headers[j])), *(len(r[j]) for r in body)) if body
+        else len(str(headers[j]))
+        for j in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in body:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def table1(bench: Optional[PCGBench] = None) -> str:
+    """Table 1: the problem-type inventory of PCGBench."""
+    bench = bench or PCGBench()
+    inventory = bench.inventory()
+    models = len(bench.models)
+    rows = []
+    for pt in PROBLEM_TYPES:
+        rows.append((pt, inventory.get(pt, 0), models,
+                     inventory.get(pt, 0) * models,
+                     PROBLEM_TYPE_DESCRIPTIONS[pt]))
+    total = sum(inventory.values())
+    rows.append(("TOTAL", total, models, total * models, ""))
+    return render_table(
+        ["problem type", "problems", "models", "prompts", "description"],
+        rows,
+        title=f"Table 1 — PCGBench inventory ({total * models} prompts)",
+    )
+
+
+def table2() -> str:
+    """Table 2: the models compared in the evaluation."""
+    rows = []
+    for name in MODEL_ORDER:
+        card = MODEL_CARDS[name]
+        rows.append((
+            name,
+            card["params"] or "-",
+            "yes" if card["open_weights"] else "no",
+            card["license"] or "-",
+            card["humaneval"] if card["humaneval"] is not None else "-",
+            card["mbpp"] if card["mbpp"] is not None else "-",
+        ))
+    return render_table(
+        ["model", "params", "weights", "license", "HumanEval", "MBPP"],
+        rows,
+        title="Table 2 — evaluated models",
+        floatfmt="{:.2f}",
+    )
+
+
+def per_model_table(title: str, columns: Sequence[str],
+                    data: Dict[str, Dict[str, float]],
+                    percent: bool = True) -> str:
+    """Render {llm: {column: value}} with models as rows."""
+    rows = []
+    for name in MODEL_ORDER:
+        if name not in data:
+            continue
+        vals = data[name]
+        row: List = [name]
+        for c in columns:
+            v = vals.get(c)
+            if v is None:
+                row.append("-")
+            elif percent:
+                row.append(f"{100 * v:.1f}")
+            else:
+                row.append(f"{v:.3g}")
+        rows.append(row)
+    return render_table(["model"] + list(columns), rows, title=title,
+                        floatfmt="{:.3g}")
+
+
+def curve_table(title: str, xlabel: str,
+                data: Dict[str, Dict[int, float]]) -> str:
+    """Render {series: {x: y}} with x values as columns."""
+    xs = sorted({x for series in data.values() for x in series})
+    rows = []
+    for name, series in data.items():
+        rows.append([name] + [
+            f"{series[x]:.3f}" if x in series else "-" for x in xs
+        ])
+    return render_table([xlabel] + [str(x) for x in xs], rows, title=title)

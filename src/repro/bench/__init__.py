@@ -1,0 +1,32 @@
+"""PCGBench: 60 problems x 7 execution models = 420 prompts (paper §4)."""
+
+from .baselines import BASELINES, baseline_source
+from .problems import all_problems, problems_by_type
+from .prompts import MODEL_INSTRUCTIONS, prompts_for, render_prompt
+from .registry import PCGBench, full_benchmark
+from .spec import (
+    EXECUTION_MODELS,
+    PROBLEM_TYPE_DESCRIPTIONS,
+    PROBLEM_TYPES,
+    ParamSpec,
+    Problem,
+    Prompt,
+)
+
+__all__ = [
+    "PCGBench",
+    "full_benchmark",
+    "Problem",
+    "Prompt",
+    "ParamSpec",
+    "EXECUTION_MODELS",
+    "PROBLEM_TYPES",
+    "PROBLEM_TYPE_DESCRIPTIONS",
+    "all_problems",
+    "problems_by_type",
+    "render_prompt",
+    "prompts_for",
+    "MODEL_INSTRUCTIONS",
+    "baseline_source",
+    "BASELINES",
+]

@@ -1,0 +1,937 @@
+"""Handwritten optimal sequential baselines for every PCGBench problem.
+
+The paper's harness (§7.2) pairs each prompt with a handwritten, optimal
+sequential implementation used both to validate outputs and as the
+reference time ``T*`` in speedup_n@k / efficiency_n@k.  These are MiniPar
+programs run under the serial runtime.
+
+Notably, the Fourier baselines are iterative radix-2 FFTs (O(n log n))
+while generated solutions are typically direct O(n^2) transforms — that
+asymmetry is deliberate and mirrors why the paper observes poor fft
+speedups.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+_PI = "3.141592653589793"
+
+BASELINES: Dict[str, str] = {}
+
+
+def _baseline(name: str, source: str) -> None:
+    assert name not in BASELINES, name
+    BASELINES[name] = source
+
+
+def baseline_source(problem_name: str) -> str:
+    """The optimal serial MiniPar implementation for ``problem_name``."""
+    return BASELINES[problem_name]
+
+
+# -- transform ----------------------------------------------------------------
+
+_baseline("relu", """
+kernel relu(x: array<float>) {
+    for (i in 0..len(x)) {
+        x[i] = max(x[i], 0.0);
+    }
+}
+""")
+
+_baseline("celsius_to_fahrenheit", """
+kernel celsius_to_fahrenheit(c: array<float>, f: array<float>) {
+    for (i in 0..len(c)) {
+        f[i] = c[i] * 9.0 / 5.0 + 32.0;
+    }
+}
+""")
+
+_baseline("clamp_range", """
+kernel clamp_range(x: array<float>, lo: float, hi: float) {
+    for (i in 0..len(x)) {
+        x[i] = min(max(x[i], lo), hi);
+    }
+}
+""")
+
+_baseline("cube_elements", """
+kernel cube_elements(x: array<float>) {
+    for (i in 0..len(x)) {
+        x[i] = x[i] * x[i] * x[i];
+    }
+}
+""")
+
+_baseline("halve_shifted", """
+kernel halve_shifted(x: array<float>) {
+    for (i in 0..len(x)) {
+        x[i] = (x[i] + 1.0) / 2.0;
+    }
+}
+""")
+
+# -- reduce --------------------------------------------------------------------
+
+_baseline("sum_of_elements", """
+kernel sum_of_elements(x: array<float>) -> float {
+    let total = 0.0;
+    for (i in 0..len(x)) {
+        total += x[i];
+    }
+    return total;
+}
+""")
+
+_baseline("smallest_element", """
+kernel smallest_element(x: array<float>) -> float {
+    let m = x[0];
+    for (i in 1..len(x)) {
+        m = min(m, x[i]);
+    }
+    return m;
+}
+""")
+
+_baseline("sum_of_squares", """
+kernel sum_of_squares(x: array<float>) -> float {
+    let total = 0.0;
+    for (i in 0..len(x)) {
+        total += x[i] * x[i];
+    }
+    return total;
+}
+""")
+
+_baseline("count_above_threshold", """
+kernel count_above_threshold(x: array<float>, t: float) -> int {
+    let count = 0;
+    for (i in 0..len(x)) {
+        if (x[i] > t) {
+            count += 1;
+        }
+    }
+    return count;
+}
+""")
+
+_baseline("max_adjacent_diff", """
+kernel max_adjacent_diff(x: array<float>) -> float {
+    let best = abs(x[1] - x[0]);
+    for (i in 1..len(x) - 1) {
+        best = max(best, abs(x[i + 1] - x[i]));
+    }
+    return best;
+}
+""")
+
+# -- scan -------------------------------------------------------------------------
+
+_baseline("prefix_sum", """
+kernel prefix_sum(x: array<float>, out: array<float>) {
+    let acc = 0.0;
+    for (i in 0..len(x)) {
+        acc += x[i];
+        out[i] = acc;
+    }
+}
+""")
+
+_baseline("reverse_prefix_sum", """
+kernel reverse_prefix_sum(x: array<float>, out: array<float>) {
+    let acc = 0.0;
+    let n = len(x);
+    for (k in 0..n) {
+        let i = n - 1 - k;
+        acc += x[i];
+        out[i] = acc;
+    }
+}
+""")
+
+_baseline("partial_minimums", """
+kernel partial_minimums(x: array<float>) {
+    let m = x[0];
+    for (i in 1..len(x)) {
+        m = min(m, x[i]);
+        x[i] = m;
+    }
+}
+""")
+
+_baseline("exclusive_prefix_sum", """
+kernel exclusive_prefix_sum(x: array<float>, out: array<float>) {
+    let acc = 0.0;
+    for (i in 0..len(x)) {
+        out[i] = acc;
+        acc += x[i];
+    }
+}
+""")
+
+_baseline("running_maximums", """
+kernel running_maximums(x: array<float>, out: array<float>) {
+    let m = x[0];
+    for (i in 0..len(x)) {
+        m = max(m, x[i]);
+        out[i] = m;
+    }
+}
+""")
+
+# -- sort --------------------------------------------------------------------------
+
+_baseline("sort_ascending", """
+kernel sort_ascending(x: array<float>) {
+    sort(x);
+}
+""")
+
+_baseline("sort_descending", """
+kernel sort_descending(x: array<float>) {
+    sort(x);
+    let n = len(x);
+    for (i in 0..n / 2) {
+        swap(x, i, n - 1 - i);
+    }
+}
+""")
+
+_baseline("sort_by_magnitude", """
+kernel sort_by_magnitude(x: array<float>) {
+    let n = len(x);
+    let mags = alloc_float(n);
+    for (i in 0..n) {
+        mags[i] = abs(x[i]);
+    }
+    let sorted_mags = copy(mags);
+    sort(sorted_mags);
+    let tmp = alloc_float(n);
+    for (i in 0..n) {
+        let lo = 0;
+        let hi = n;
+        while (lo < hi) {
+            let mid = (lo + hi) / 2;
+            if (sorted_mags[mid] < mags[i]) {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        tmp[lo] = x[i];
+    }
+    for (i in 0..n) {
+        x[i] = tmp[i];
+    }
+}
+""")
+
+_baseline("sort_subrange", """
+kernel sort_subrange(x: array<float>, lo: int, hi: int) {
+    let m = hi - lo;
+    let tmp = alloc_float(m);
+    for (i in 0..m) {
+        tmp[i] = x[lo + i];
+    }
+    sort(tmp);
+    for (i in 0..m) {
+        x[lo + i] = tmp[i];
+    }
+}
+""")
+
+_baseline("rank_of_elements", """
+kernel rank_of_elements(x: array<float>, r: array<int>) {
+    let n = len(x);
+    let sorted_x = copy(x);
+    sort(sorted_x);
+    for (i in 0..n) {
+        let lo = 0;
+        let hi = n;
+        while (lo < hi) {
+            let mid = (lo + hi) / 2;
+            if (sorted_x[mid] < x[i]) {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        r[i] = lo;
+    }
+}
+""")
+
+# -- search --------------------------------------------------------------------------
+
+_baseline("index_of_first", """
+kernel index_of_first(x: array<float>, v: float) -> int {
+    for (i in 0..len(x)) {
+        if (x[i] == v) {
+            return i;
+        }
+    }
+    return -1;
+}
+""")
+
+_baseline("contains_value", """
+kernel contains_value(x: array<float>, v: float) -> int {
+    for (i in 0..len(x)) {
+        if (x[i] == v) {
+            return 1;
+        }
+    }
+    return 0;
+}
+""")
+
+_baseline("index_of_minimum", """
+kernel index_of_minimum(x: array<float>) -> int {
+    let best = 0;
+    for (i in 1..len(x)) {
+        if (x[i] < x[best]) {
+            best = i;
+        }
+    }
+    return best;
+}
+""")
+
+_baseline("binary_search_sorted", """
+kernel binary_search_sorted(x: array<float>, v: float) -> int {
+    let lo = 0;
+    let hi = len(x);
+    while (lo < hi) {
+        let mid = (lo + hi) / 2;
+        if (x[mid] == v) {
+            return mid;
+        }
+        if (x[mid] < v) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    return -1;
+}
+""")
+
+_baseline("first_unsorted_position", """
+kernel first_unsorted_position(x: array<float>) -> int {
+    for (i in 0..len(x) - 1) {
+        if (x[i] > x[i + 1]) {
+            return i;
+        }
+    }
+    return -1;
+}
+""")
+
+# -- histogram ------------------------------------------------------------------------
+
+_baseline("hist_unit_interval", """
+kernel hist_unit_interval(x: array<float>, h: array<int>) {
+    for (i in 0..len(x)) {
+        h[int(x[i] * 10.0)] += 1;
+    }
+}
+""")
+
+_baseline("hist_mod_k", """
+kernel hist_mod_k(x: array<int>, k: int, h: array<int>) {
+    for (i in 0..len(x)) {
+        h[x[i] % k] += 1;
+    }
+}
+""")
+
+_baseline("hist_deciles", """
+kernel hist_deciles(x: array<float>, lo: float, hi: float, h: array<int>) {
+    let width = hi - lo;
+    for (i in 0..len(x)) {
+        let b = int((x[i] - lo) / width * 10.0);
+        h[min(max(b, 0), 9)] += 1;
+    }
+}
+""")
+
+_baseline("hist_custom_edges", """
+kernel hist_custom_edges(x: array<float>, edges: array<float>, h: array<int>) {
+    let m = len(edges) - 1;
+    for (i in 0..len(x)) {
+        let lo = 0;
+        let hi = m;
+        while (lo + 1 < hi) {
+            let mid = (lo + hi) / 2;
+            if (edges[mid] <= x[i]) {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        h[lo] += 1;
+    }
+}
+""")
+
+_baseline("hist_alphabet", """
+kernel hist_alphabet(x: array<int>, h: array<int>) {
+    for (i in 0..len(x)) {
+        h[x[i]] += 1;
+    }
+}
+""")
+
+# -- stencil ---------------------------------------------------------------------------
+
+_baseline("jacobi_1d", """
+kernel jacobi_1d(x: array<float>, y: array<float>) {
+    let n = len(x);
+    y[0] = x[0];
+    y[n - 1] = x[n - 1];
+    for (i in 1..n - 1) {
+        y[i] = (x[i - 1] + x[i] + x[i + 1]) / 3.0;
+    }
+}
+""")
+
+_baseline("jacobi_2d", """
+kernel jacobi_2d(grid: array2d<float>, out: array2d<float>) {
+    let r = rows(grid);
+    let c = cols(grid);
+    for (i in 0..r) {
+        for (j in 0..c) {
+            if (i == 0 || i == r - 1 || j == 0 || j == c - 1) {
+                out[i, j] = grid[i, j];
+            } else {
+                out[i, j] = (grid[i - 1, j] + grid[i + 1, j] + grid[i, j - 1]
+                    + grid[i, j + 1] + grid[i, j]) / 5.0;
+            }
+        }
+    }
+}
+""")
+
+_baseline("heat_step_1d", """
+kernel heat_step_1d(u: array<float>, alpha: float, unew: array<float>) {
+    let n = len(u);
+    unew[0] = u[0];
+    unew[n - 1] = u[n - 1];
+    for (i in 1..n - 1) {
+        unew[i] = u[i] + alpha * (u[i - 1] - 2.0 * u[i] + u[i + 1]);
+    }
+}
+""")
+
+_baseline("game_of_life_step", """
+kernel game_of_life_step(board: array2d<int>, out: array2d<int>) {
+    let r = rows(board);
+    let c = cols(board);
+    for (i in 0..r) {
+        for (j in 0..c) {
+            let alive = 0;
+            for (di in 0..3) {
+                for (dj in 0..3) {
+                    let ni = i + di - 1;
+                    let nj = j + dj - 1;
+                    if ((di != 1 || dj != 1) && ni >= 0 && ni < r && nj >= 0 && nj < c) {
+                        alive += board[ni, nj];
+                    }
+                }
+            }
+            if (alive == 3 || (board[i, j] == 1 && alive == 2)) {
+                out[i, j] = 1;
+            } else {
+                out[i, j] = 0;
+            }
+        }
+    }
+}
+""")
+
+_baseline("max_pool_3x3", """
+kernel max_pool_3x3(grid: array2d<float>, out: array2d<float>) {
+    let r = rows(grid);
+    let c = cols(grid);
+    for (i in 0..r) {
+        for (j in 0..c) {
+            let best = grid[i, j];
+            for (di in 0..3) {
+                for (dj in 0..3) {
+                    let ni = i + di - 1;
+                    let nj = j + dj - 1;
+                    if (ni >= 0 && ni < r && nj >= 0 && nj < c) {
+                        best = max(best, grid[ni, nj]);
+                    }
+                }
+            }
+            out[i, j] = best;
+        }
+    }
+}
+""")
+
+# -- dense_la -------------------------------------------------------------------------------
+
+_baseline("axpy", """
+kernel axpy(a: float, x: array<float>, y: array<float>) {
+    for (i in 0..len(x)) {
+        y[i] = a * x[i] + y[i];
+    }
+}
+""")
+
+_baseline("dot_product", """
+kernel dot_product(x: array<float>, y: array<float>) -> float {
+    let total = 0.0;
+    for (i in 0..len(x)) {
+        total += x[i] * y[i];
+    }
+    return total;
+}
+""")
+
+_baseline("gemv", """
+kernel gemv(A: array2d<float>, x: array<float>, y: array<float>) {
+    let r = rows(A);
+    let c = cols(A);
+    for (i in 0..r) {
+        let acc = 0.0;
+        for (j in 0..c) {
+            acc += A[i, j] * x[j];
+        }
+        y[i] = acc;
+    }
+}
+""")
+
+_baseline("gemm", """
+kernel gemm(A: array2d<float>, B: array2d<float>, C: array2d<float>) {
+    let n = rows(A);
+    let m = cols(B);
+    let k = cols(A);
+    for (i in 0..n) {
+        for (kk in 0..k) {
+            let a = A[i, kk];
+            for (j in 0..m) {
+                C[i, j] += a * B[kk, j];
+            }
+        }
+    }
+}
+""")
+
+_baseline("outer_product", """
+kernel outer_product(x: array<float>, y: array<float>, A: array2d<float>) {
+    for (i in 0..len(x)) {
+        for (j in 0..len(y)) {
+            A[i, j] = x[i] * y[j];
+        }
+    }
+}
+""")
+
+# -- sparse_la --------------------------------------------------------------------------------
+
+_baseline("spmv_csr", """
+kernel spmv_csr(rowptr: array<int>, colidx: array<int>, vals: array<float>,
+                x: array<float>, y: array<float>) {
+    let n = len(rowptr) - 1;
+    for (i in 0..n) {
+        let acc = 0.0;
+        for (k in rowptr[i]..rowptr[i + 1]) {
+            acc += vals[k] * x[colidx[k]];
+        }
+        y[i] = acc;
+    }
+}
+""")
+
+_baseline("sparse_dot", """
+kernel sparse_dot(idx_a: array<int>, val_a: array<float>,
+                  idx_b: array<int>, val_b: array<float>) -> float {
+    let total = 0.0;
+    let i = 0;
+    let j = 0;
+    let na = len(idx_a);
+    let nb = len(idx_b);
+    while (i < na && j < nb) {
+        if (idx_a[i] == idx_b[j]) {
+            total += val_a[i] * val_b[j];
+            i += 1;
+            j += 1;
+        } else {
+            if (idx_a[i] < idx_b[j]) {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+    }
+    return total;
+}
+""")
+
+_baseline("sparse_axpy", """
+kernel sparse_axpy(a: float, idx: array<int>, val: array<float>,
+                   y: array<float>) {
+    for (k in 0..len(idx)) {
+        y[idx[k]] += a * val[k];
+    }
+}
+""")
+
+_baseline("csr_row_sums", """
+kernel csr_row_sums(rowptr: array<int>, vals: array<float>,
+                    out: array<float>) {
+    let n = len(rowptr) - 1;
+    for (i in 0..n) {
+        let acc = 0.0;
+        for (k in rowptr[i]..rowptr[i + 1]) {
+            acc += vals[k];
+        }
+        out[i] = acc;
+    }
+}
+""")
+
+_baseline("spmv_transpose", """
+kernel spmv_transpose(rowptr: array<int>, colidx: array<int>,
+                      vals: array<float>, x: array<float>, y: array<float>) {
+    let n = len(rowptr) - 1;
+    for (i in 0..n) {
+        for (k in rowptr[i]..rowptr[i + 1]) {
+            y[colidx[k]] += vals[k] * x[i];
+        }
+    }
+}
+""")
+
+# -- graph ------------------------------------------------------------------------------------
+
+_baseline("count_components", """
+kernel count_components(rowptr: array<int>, colidx: array<int>) -> int {
+    let n = len(rowptr) - 1;
+    let seen = alloc_int(n);
+    let stack = alloc_int(n);
+    let count = 0;
+    for (s in 0..n) {
+        if (seen[s] == 0) {
+            count += 1;
+            seen[s] = 1;
+            stack[0] = s;
+            let top = 1;
+            while (top > 0) {
+                top -= 1;
+                let v = stack[top];
+                for (k in rowptr[v]..rowptr[v + 1]) {
+                    let u = colidx[k];
+                    if (seen[u] == 0) {
+                        seen[u] = 1;
+                        stack[top] = u;
+                        top += 1;
+                    }
+                }
+            }
+        }
+    }
+    return count;
+}
+""")
+
+_baseline("bfs_distances", """
+kernel bfs_distances(rowptr: array<int>, colidx: array<int>, src: int,
+                     dist: array<int>) {
+    let n = len(rowptr) - 1;
+    fill(dist, -1);
+    let queue = alloc_int(n);
+    dist[src] = 0;
+    queue[0] = src;
+    let head = 0;
+    let tail = 1;
+    while (head < tail) {
+        let v = queue[head];
+        head += 1;
+        for (k in rowptr[v]..rowptr[v + 1]) {
+            let u = colidx[k];
+            if (dist[u] < 0) {
+                dist[u] = dist[v] + 1;
+                queue[tail] = u;
+                tail += 1;
+            }
+        }
+    }
+}
+""")
+
+_baseline("max_degree", """
+kernel max_degree(rowptr: array<int>, colidx: array<int>) -> int {
+    let n = len(rowptr) - 1;
+    let best = 0;
+    for (v in 0..n) {
+        best = max(best, rowptr[v + 1] - rowptr[v]);
+    }
+    return best;
+}
+""")
+
+_baseline("count_triangles", """
+kernel has_edge(rowptr: array<int>, colidx: array<int>, u: int, w: int) -> int {
+    let lo = rowptr[u];
+    let hi = rowptr[u + 1];
+    while (lo < hi) {
+        let mid = (lo + hi) / 2;
+        if (colidx[mid] == w) {
+            return 1;
+        }
+        if (colidx[mid] < w) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    return 0;
+}
+
+kernel count_triangles(rowptr: array<int>, colidx: array<int>) -> int {
+    let n = len(rowptr) - 1;
+    let count = 0;
+    for (v in 0..n) {
+        for (a in rowptr[v]..rowptr[v + 1]) {
+            let u = colidx[a];
+            if (u > v) {
+                for (b in rowptr[v]..rowptr[v + 1]) {
+                    let w = colidx[b];
+                    if (w > u && has_edge(rowptr, colidx, u, w) == 1) {
+                        count += 1;
+                    }
+                }
+            }
+        }
+    }
+    return count;
+}
+""")
+
+_baseline("is_bipartite", """
+kernel is_bipartite(rowptr: array<int>, colidx: array<int>) -> int {
+    let n = len(rowptr) - 1;
+    let colour = alloc_int(n);
+    fill(colour, -1);
+    let queue = alloc_int(n);
+    for (s in 0..n) {
+        if (colour[s] < 0) {
+            colour[s] = 0;
+            queue[0] = s;
+            let head = 0;
+            let tail = 1;
+            while (head < tail) {
+                let v = queue[head];
+                head += 1;
+                for (k in rowptr[v]..rowptr[v + 1]) {
+                    let u = colidx[k];
+                    if (colour[u] < 0) {
+                        colour[u] = 1 - colour[v];
+                        queue[tail] = u;
+                        tail += 1;
+                    } else {
+                        if (colour[u] == colour[v]) {
+                            return 0;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return 1;
+}
+""")
+
+# -- geometry ------------------------------------------------------------------------------------
+
+_baseline("closest_pair_distance", """
+kernel closest_pair_distance(x: array<float>, y: array<float>) -> float {
+    let n = len(x);
+    let best = (x[1] - x[0]) * (x[1] - x[0]) + (y[1] - y[0]) * (y[1] - y[0]);
+    for (i in 0..n) {
+        for (j in i + 1..n) {
+            let dx = x[j] - x[i];
+            let dy = y[j] - y[i];
+            best = min(best, dx * dx + dy * dy);
+        }
+    }
+    return sqrt(best);
+}
+""")
+
+_baseline("polygon_area", """
+kernel polygon_area(x: array<float>, y: array<float>) -> float {
+    let n = len(x);
+    let acc = 0.0;
+    for (i in 0..n) {
+        let j = (i + 1) % n;
+        acc += x[i] * y[j] - x[j] * y[i];
+    }
+    return abs(acc) / 2.0;
+}
+""")
+
+_baseline("count_points_in_circle", """
+kernel count_points_in_circle(x: array<float>, y: array<float>, cx: float,
+                              cy: float, r: float) -> int {
+    let count = 0;
+    for (i in 0..len(x)) {
+        let dx = x[i] - cx;
+        let dy = y[i] - cy;
+        if (dx * dx + dy * dy <= r * r) {
+            count += 1;
+        }
+    }
+    return count;
+}
+""")
+
+_baseline("bounding_box", """
+kernel bounding_box(x: array<float>, y: array<float>, out: array<float>) {
+    let minx = x[0];
+    let maxx = x[0];
+    let miny = y[0];
+    let maxy = y[0];
+    for (i in 1..len(x)) {
+        minx = min(minx, x[i]);
+        maxx = max(maxx, x[i]);
+        miny = min(miny, y[i]);
+        maxy = max(maxy, y[i]);
+    }
+    out[0] = minx;
+    out[1] = maxx;
+    out[2] = miny;
+    out[3] = maxy;
+}
+""")
+
+_baseline("farthest_pair_distance", """
+kernel farthest_pair_distance(x: array<float>, y: array<float>) -> float {
+    let n = len(x);
+    let best = 0.0;
+    for (i in 0..n) {
+        for (j in i + 1..n) {
+            let dx = x[j] - x[i];
+            let dy = y[j] - y[i];
+            best = max(best, dx * dx + dy * dy);
+        }
+    }
+    return sqrt(best);
+}
+""")
+
+# -- fft ---------------------------------------------------------------------------------------------
+
+_FFT_CORE = """
+kernel fft_in_place(re: array<float>, im: array<float>, sign: float) {
+    let n = len(re);
+    let j = 0;
+    for (i in 1..n) {
+        let bit = n / 2;
+        while (bit >= 1 && j >= bit) {
+            j -= bit;
+            bit /= 2;
+        }
+        j += bit;
+        if (i < j) {
+            swap(re, i, j);
+            swap(im, i, j);
+        }
+    }
+    let length = 2;
+    while (length <= n) {
+        let ang = sign * 2.0 * {PI} / float(length);
+        let half = length / 2;
+        let start = 0;
+        while (start < n) {
+            for (k in 0..half) {
+                let wr = cos(ang * float(k));
+                let wi = sin(ang * float(k));
+                let ur = re[start + k];
+                let ui = im[start + k];
+                let tr = re[start + k + half];
+                let ti = im[start + k + half];
+                let vr = tr * wr - ti * wi;
+                let vi = tr * wi + ti * wr;
+                re[start + k] = ur + vr;
+                im[start + k] = ui + vi;
+                re[start + k + half] = ur - vr;
+                im[start + k + half] = ui - vi;
+            }
+            start += length;
+        }
+        length *= 2;
+    }
+}
+""".replace("{PI}", _PI)
+
+_baseline("dft", _FFT_CORE + """
+kernel dft(re: array<float>, im: array<float>, out_re: array<float>,
+           out_im: array<float>) {
+    for (i in 0..len(re)) {
+        out_re[i] = re[i];
+        out_im[i] = im[i];
+    }
+    fft_in_place(out_re, out_im, -1.0);
+}
+""")
+
+_baseline("inverse_dft", _FFT_CORE + """
+kernel inverse_dft(re: array<float>, im: array<float>, out_re: array<float>,
+                   out_im: array<float>) {
+    let n = len(re);
+    for (i in 0..n) {
+        out_re[i] = re[i];
+        out_im[i] = im[i];
+    }
+    fft_in_place(out_re, out_im, 1.0);
+    for (i in 0..n) {
+        out_re[i] /= float(n);
+        out_im[i] /= float(n);
+    }
+}
+""")
+
+_baseline("power_spectrum", _FFT_CORE + """
+kernel power_spectrum(re: array<float>, im: array<float>,
+                      power: array<float>) {
+    let n = len(re);
+    let tr = copy(re);
+    let ti = copy(im);
+    fft_in_place(tr, ti, -1.0);
+    for (i in 0..n) {
+        power[i] = tr[i] * tr[i] + ti[i] * ti[i];
+    }
+}
+""")
+
+_baseline("dft_real_signal", _FFT_CORE + """
+kernel dft_real_signal(x: array<float>, out_re: array<float>,
+                       out_im: array<float>) {
+    let n = len(x);
+    for (i in 0..n) {
+        out_re[i] = x[i];
+        out_im[i] = 0.0;
+    }
+    fft_in_place(out_re, out_im, -1.0);
+}
+""")
+
+_baseline("cosine_transform", """
+kernel cosine_transform(x: array<float>, out: array<float>) {
+    let n = len(x);
+    for (k in 0..n) {
+        let acc = 0.0;
+        for (i in 0..n) {
+            acc += x[i] * cos({PI} * float(k) * (float(i) + 0.5) / float(n));
+        }
+        out[k] = acc;
+    }
+}
+""".replace("{PI}", _PI))

@@ -1,0 +1,56 @@
+"""The 60 PCGBench problems, five per problem type (Table 1)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..spec import PROBLEM_TYPES, Problem
+from . import (
+    dense_la,
+    fft,
+    geometry,
+    graph,
+    histogram,
+    reduce_,
+    scan,
+    search,
+    sort,
+    sparse_la,
+    stencil,
+    transform,
+)
+
+_MODULES = {
+    "sort": sort,
+    "scan": scan,
+    "dense_la": dense_la,
+    "sparse_la": sparse_la,
+    "search": search,
+    "reduce": reduce_,
+    "histogram": histogram,
+    "stencil": stencil,
+    "graph": graph,
+    "geometry": geometry,
+    "fft": fft,
+    "transform": transform,
+}
+
+
+def problems_by_type() -> Dict[str, List[Problem]]:
+    """All problems, keyed by problem type, in Table 1 order."""
+    out: Dict[str, List[Problem]] = {}
+    for ptype in PROBLEM_TYPES:
+        probs = list(_MODULES[ptype].PROBLEMS)
+        assert len(probs) == 5, f"{ptype} must define exactly 5 problems"
+        for p in probs:
+            assert p.ptype == ptype, (p.name, p.ptype, ptype)
+        out[ptype] = probs
+    return out
+
+
+def all_problems() -> List[Problem]:
+    """The 60 problems in deterministic order."""
+    out: List[Problem] = []
+    for ptype in PROBLEM_TYPES:
+        out.extend(problems_by_type()[ptype])
+    return out

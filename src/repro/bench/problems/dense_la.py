@@ -1,0 +1,152 @@
+"""Dense linear algebra problems (Table 1): BLAS levels 1-3."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..spec import ParamSpec, Problem
+from .common import floats, side_for
+
+
+def _gen_axpy(rng, n):
+    return {"a": 2.5, "x": floats(rng, n, -3, 3), "y": floats(rng, n, -3, 3)}
+
+
+def _gen_dot(rng, n):
+    return {"x": floats(rng, n, -3, 3), "y": floats(rng, n, -3, 3)}
+
+
+def _gen_gemv(rng, n):
+    m = side_for(n)
+    return {
+        "A": np.round(rng.uniform(-2, 2, (m, m)), 3),
+        "x": floats(rng, m, -2, 2),
+        "y": np.zeros(m),
+    }
+
+
+def _gen_gemm(rng, n):
+    m = max(4, int(round(n ** (1.0 / 3.0) * 2)))
+    return {
+        "A": np.round(rng.uniform(-2, 2, (m, m)), 3),
+        "B": np.round(rng.uniform(-2, 2, (m, m)), 3),
+        "C": np.zeros((m, m)),
+    }
+
+
+def _gen_outer(rng, n):
+    m = side_for(n)
+    return {
+        "x": floats(rng, m, -2, 2),
+        "y": floats(rng, m, -2, 2),
+        "A": np.zeros((m, m)),
+    }
+
+
+PROBLEMS = [
+    Problem(
+        name="axpy",
+        ptype="dense_la",
+        description=(
+            "Compute the BLAS-1 axpy update in place: y[i] = a * x[i] + y[i]."
+        ),
+        params=(
+            ParamSpec("a", "float", "in"),
+            ParamSpec("x", "array<float>", "in"),
+            ParamSpec("y", "array<float>", "inout"),
+        ),
+        ret=None,
+        generate=_gen_axpy,
+        reference=lambda inp: {"y": inp["a"] * inp["x"] + inp["y"]},
+        examples=(
+            ("a = 2, x = [1, 2], y = [10, 10]", "y becomes [12, 14]"),
+        ),
+    ),
+    Problem(
+        name="dot_product",
+        ptype="dense_la",
+        description="Return the dot product of x and y (BLAS-1 dot).",
+        params=(
+            ParamSpec("x", "array<float>", "in"),
+            ParamSpec("y", "array<float>", "in"),
+        ),
+        ret="float",
+        generate=_gen_dot,
+        reference=lambda inp: {"return": float(np.dot(inp["x"], inp["y"]))},
+        examples=(
+            ("x = [1, 2, 3], y = [4, 5, 6]", "returns 32"),
+        ),
+        tol=1e-5,
+    ),
+    Problem(
+        name="gemv",
+        ptype="dense_la",
+        description=(
+            "Compute the BLAS-2 matrix-vector product y = A * x, where A is "
+            "square and y is already allocated."
+        ),
+        params=(
+            ParamSpec("A", "array2d<float>", "in"),
+            ParamSpec("x", "array<float>", "in"),
+            ParamSpec("y", "array<float>", "out"),
+        ),
+        ret=None,
+        generate=_gen_gemv,
+        reference=lambda inp: {"y": np.asarray(inp["A"]) @ np.asarray(inp["x"])},
+        examples=(
+            ("A = [[1, 2], [3, 4]], x = [1, 1]", "y becomes [3, 7]"),
+        ),
+        correctness_size=196,
+        timing_size=4096,     # 64x64 matrix
+        work_scale=256.0,
+        tol=1e-5,
+    ),
+    Problem(
+        name="gemm",
+        ptype="dense_la",
+        description=(
+            "Compute the BLAS-3 matrix-matrix product C = A * B for square "
+            "matrices; C is already allocated and zeroed."
+        ),
+        params=(
+            ParamSpec("A", "array2d<float>", "in"),
+            ParamSpec("B", "array2d<float>", "in"),
+            ParamSpec("C", "array2d<float>", "out"),
+        ),
+        ret=None,
+        generate=_gen_gemm,
+        reference=lambda inp: {"C": np.asarray(inp["A"]) @ np.asarray(inp["B"])},
+        examples=(
+            ("A = [[1, 0], [0, 2]], B = [[3, 4], [5, 6]]",
+             "C becomes [[3, 4], [10, 12]]"),
+        ),
+        correctness_size=256,   # 12x12 or so after cube root scaling
+        timing_size=8192,       # ~40x40
+        work_scale=64.0,
+        tol=1e-5,
+        gpu_threads=lambda inp: inp["C"].size,
+    ),
+    Problem(
+        name="outer_product",
+        ptype="dense_la",
+        description=(
+            "Compute the BLAS-2 outer product A = x * y^T: "
+            "A[i, j] = x[i] * y[j].  A is already allocated."
+        ),
+        params=(
+            ParamSpec("x", "array<float>", "in"),
+            ParamSpec("y", "array<float>", "in"),
+            ParamSpec("A", "array2d<float>", "out"),
+        ),
+        ret=None,
+        generate=_gen_outer,
+        reference=lambda inp: {"A": np.outer(inp["x"], inp["y"])},
+        examples=(
+            ("x = [1, 2], y = [3, 4]", "A becomes [[3, 4], [6, 8]]"),
+        ),
+        correctness_size=196,
+        timing_size=4096,
+        work_scale=256.0,
+        gpu_threads=lambda inp: inp["A"].size,
+    ),
+]

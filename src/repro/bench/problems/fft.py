@@ -1,0 +1,225 @@
+"""Fourier transform problems (Table 1).
+
+Kernels compute direct O(n^2) transforms (per-output parallelisable); the
+handwritten *sequential baseline* for the standard transforms is an
+iterative radix-2 FFT, so — as in the paper — generated transform code
+tends to show poor speedup against the optimal baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..spec import ParamSpec, Problem
+from .common import floats
+
+
+def _pow2(n: int) -> int:
+    p = 1
+    while p * 2 <= n:
+        p *= 2
+    return max(16, p)
+
+
+def _gen_complex(rng, n):
+    m = _pow2(max(16, n // 4))
+    return {
+        "re": floats(rng, m, -2, 2),
+        "im": floats(rng, m, -2, 2),
+        "out_re": np.zeros(m),
+        "out_im": np.zeros(m),
+    }
+
+
+def _gen_real(rng, n):
+    m = _pow2(max(16, n // 4))
+    return {
+        "x": floats(rng, m, -2, 2),
+        "out_re": np.zeros(m),
+        "out_im": np.zeros(m),
+    }
+
+
+def _gen_power(rng, n):
+    m = _pow2(max(16, n // 4))
+    return {
+        "re": floats(rng, m, -2, 2),
+        "im": floats(rng, m, -2, 2),
+        "power": np.zeros(m),
+    }
+
+
+def _gen_cosine(rng, n):
+    m = _pow2(max(16, n // 4))
+    return {"x": floats(rng, m, -2, 2), "out": np.zeros(m)}
+
+
+def _dft_ref(inp):
+    z = np.asarray(inp["re"]) + 1j * np.asarray(inp["im"])
+    f = np.fft.fft(z)
+    return {"out_re": f.real, "out_im": f.imag}
+
+
+def _idft_ref(inp):
+    z = np.asarray(inp["re"]) + 1j * np.asarray(inp["im"])
+    f = np.fft.ifft(z)
+    return {"out_re": f.real, "out_im": f.imag}
+
+
+def _power_ref(inp):
+    z = np.asarray(inp["re"]) + 1j * np.asarray(inp["im"])
+    f = np.fft.fft(z)
+    return {"power": np.abs(f) ** 2}
+
+
+def _real_ref(inp):
+    f = np.fft.fft(np.asarray(inp["x"]))
+    return {"out_re": f.real, "out_im": f.imag}
+
+
+def _cosine_ref(inp):
+    x = np.asarray(inp["x"])
+    n = len(x)
+    k = np.arange(n)[:, None]
+    i = np.arange(n)[None, :]
+    m = np.cos(np.pi * k * (i + 0.5) / n)
+    return {"out": m @ x}
+
+
+_DFT_DOC = (
+    "The DFT is defined by X[k] = sum over i of "
+    "(re[i] + j*im[i]) * exp(-2*pi*j*k*i/n)."
+)
+
+PROBLEMS = [
+    Problem(
+        name="dft",
+        ptype="fft",
+        description=(
+            "Compute the discrete Fourier transform of the complex signal "
+            f"given by re and im, writing the result into out_re and out_im. "
+            f"{_DFT_DOC}  n is a power of two."
+        ),
+        params=(
+            ParamSpec("re", "array<float>", "in"),
+            ParamSpec("im", "array<float>", "in"),
+            ParamSpec("out_re", "array<float>", "out"),
+            ParamSpec("out_im", "array<float>", "out"),
+        ),
+        ret=None,
+        generate=_gen_complex,
+        reference=_dft_ref,
+        examples=(
+            ("re = [1, 0, 0, 0], im = [0, 0, 0, 0]",
+             "out_re becomes [1, 1, 1, 1], out_im becomes [0, 0, 0, 0]"),
+        ),
+        correctness_size=128,
+        timing_size=1024,      # n = 256 -> 65k inner ops
+        work_scale=64.0,
+        tol=5e-4,
+        gpu_threads=lambda inp: len(inp["re"]),
+    ),
+    Problem(
+        name="inverse_dft",
+        ptype="fft",
+        description=(
+            "Compute the inverse discrete Fourier transform of the complex "
+            "signal given by re and im into out_re and out_im: "
+            "x[i] = (1/n) * sum over k of (re[k] + j*im[k]) * "
+            "exp(+2*pi*j*k*i/n).  n is a power of two."
+        ),
+        params=(
+            ParamSpec("re", "array<float>", "in"),
+            ParamSpec("im", "array<float>", "in"),
+            ParamSpec("out_re", "array<float>", "out"),
+            ParamSpec("out_im", "array<float>", "out"),
+        ),
+        ret=None,
+        generate=_gen_complex,
+        reference=_idft_ref,
+        examples=(
+            ("re = [1, 1, 1, 1], im = [0, 0, 0, 0]",
+             "out_re becomes [1, 0, 0, 0], out_im becomes [0, 0, 0, 0]"),
+        ),
+        correctness_size=128,
+        timing_size=1024,
+        work_scale=64.0,
+        tol=5e-4,
+        gpu_threads=lambda inp: len(inp["re"]),
+    ),
+    Problem(
+        name="power_spectrum",
+        ptype="fft",
+        description=(
+            "Compute the power spectrum of the complex signal given by re "
+            "and im: power[k] = |X[k]|^2 where X is the DFT of the signal. "
+            f"{_DFT_DOC}  n is a power of two."
+        ),
+        params=(
+            ParamSpec("re", "array<float>", "in"),
+            ParamSpec("im", "array<float>", "in"),
+            ParamSpec("power", "array<float>", "out"),
+        ),
+        ret=None,
+        generate=_gen_power,
+        reference=_power_ref,
+        examples=(
+            ("re = [1, 0, 0, 0], im = [0, 0, 0, 0]",
+             "power becomes [1, 1, 1, 1]"),
+        ),
+        correctness_size=128,
+        timing_size=1024,
+        work_scale=64.0,
+        tol=5e-4,
+        gpu_threads=lambda inp: len(inp["re"]),
+    ),
+    Problem(
+        name="dft_real_signal",
+        ptype="fft",
+        description=(
+            "Compute the discrete Fourier transform of the real signal x "
+            "(imaginary part zero), writing the result into out_re and "
+            "out_im.  X[k] = sum over i of x[i] * exp(-2*pi*j*k*i/n).  "
+            "n is a power of two."
+        ),
+        params=(
+            ParamSpec("x", "array<float>", "in"),
+            ParamSpec("out_re", "array<float>", "out"),
+            ParamSpec("out_im", "array<float>", "out"),
+        ),
+        ret=None,
+        generate=_gen_real,
+        reference=_real_ref,
+        examples=(
+            ("x = [1, 1, 1, 1]", "out_re becomes [4, 0, 0, 0], out_im stays 0"),
+        ),
+        correctness_size=128,
+        timing_size=1024,
+        work_scale=64.0,
+        tol=5e-4,
+        gpu_threads=lambda inp: len(inp["x"]),
+    ),
+    Problem(
+        name="cosine_transform",
+        ptype="fft",
+        description=(
+            "Compute the DCT-II style cosine transform of x into out: "
+            "out[k] = sum over i of x[i] * cos(pi * k * (i + 0.5) / n)."
+        ),
+        params=(
+            ParamSpec("x", "array<float>", "in"),
+            ParamSpec("out", "array<float>", "out"),
+        ),
+        ret=None,
+        generate=_gen_cosine,
+        reference=_cosine_ref,
+        examples=(
+            ("x = [1, 1]", "out becomes [2, 0]"),
+        ),
+        correctness_size=128,
+        timing_size=1024,
+        work_scale=64.0,
+        tol=5e-4,
+        gpu_threads=lambda inp: len(inp["x"]),
+    ),
+]

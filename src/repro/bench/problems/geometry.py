@@ -1,0 +1,183 @@
+"""Geometry problems (Table 1): properties of 2-D point sets."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..spec import ParamSpec, Problem
+from .common import floats
+
+
+def _gen_points(rng, n):
+    m = max(16, n // 8)
+    return {"x": floats(rng, m, -10, 10), "y": floats(rng, m, -10, 10)}
+
+
+def _closest_pair_ref(inp):
+    x, y = np.asarray(inp["x"]), np.asarray(inp["y"])
+    dx = x[:, None] - x[None, :]
+    dy = y[:, None] - y[None, :]
+    d2 = dx * dx + dy * dy
+    np.fill_diagonal(d2, np.inf)
+    return {"return": float(np.sqrt(d2.min()))}
+
+
+def _farthest_pair_ref(inp):
+    x, y = np.asarray(inp["x"]), np.asarray(inp["y"])
+    dx = x[:, None] - x[None, :]
+    dy = y[:, None] - y[None, :]
+    d2 = dx * dx + dy * dy
+    return {"return": float(np.sqrt(d2.max()))}
+
+
+def _gen_polygon(rng, n):
+    m = max(8, n // 8)
+    # convex-ish polygon: sorted angles around the origin with jittered radii
+    angles = np.sort(rng.uniform(0.0, 2 * np.pi, m))
+    radii = np.round(rng.uniform(2.0, 8.0, m), 3)
+    return {
+        "x": np.round(radii * np.cos(angles), 3),
+        "y": np.round(radii * np.sin(angles), 3),
+    }
+
+
+def _polygon_area_ref(inp):
+    x, y = np.asarray(inp["x"]), np.asarray(inp["y"])
+    area = 0.5 * abs(np.dot(x, np.roll(y, -1)) - np.dot(y, np.roll(x, -1)))
+    return {"return": float(area)}
+
+
+def _gen_circle(rng, n):
+    p = _gen_points(rng, n)
+    return {**p, "cx": 1.0, "cy": -1.0, "r": 6.0}
+
+
+def _in_circle_ref(inp):
+    x, y = np.asarray(inp["x"]), np.asarray(inp["y"])
+    d2 = (x - inp["cx"]) ** 2 + (y - inp["cy"]) ** 2
+    return {"return": int(np.sum(d2 <= inp["r"] ** 2))}
+
+
+def _bbox_ref(inp):
+    x, y = np.asarray(inp["x"]), np.asarray(inp["y"])
+    return {"out": np.array([x.min(), x.max(), y.min(), y.max()])}
+
+
+def _gen_bbox(rng, n):
+    p = _gen_points(rng, n)
+    # sentinel-initialized so accumulation-style kernels (GPU atomics) work
+    return {**p, "out": np.array([1e30, -1e30, 1e30, -1e30])}
+
+
+PROBLEMS = [
+    Problem(
+        name="closest_pair_distance",
+        ptype="geometry",
+        description=(
+            "Points are given by coordinate arrays x and y.  Return the "
+            "smallest Euclidean distance between any two distinct points."
+        ),
+        params=(
+            ParamSpec("x", "array<float>", "in"),
+            ParamSpec("y", "array<float>", "in"),
+        ),
+        ret="float",
+        generate=_gen_points,
+        reference=_closest_pair_ref,
+        examples=(
+            ("x = [0, 3, 0], y = [0, 0, 1]", "returns 1"),
+        ),
+        correctness_size=256,
+        timing_size=2048,     # 256 points -> 65k pairs
+        work_scale=128.0,
+        tol=1e-5,
+        gpu_threads=lambda inp: len(inp["x"]),
+        gpu_result_init=1e30,
+    ),
+    Problem(
+        name="polygon_area",
+        ptype="geometry",
+        description=(
+            "The vertices of a simple polygon are given in order by x and y. "
+            "Return its area (the absolute value of the shoelace formula)."
+        ),
+        params=(
+            ParamSpec("x", "array<float>", "in"),
+            ParamSpec("y", "array<float>", "in"),
+        ),
+        ret="float",
+        generate=_gen_polygon,
+        reference=_polygon_area_ref,
+        examples=(
+            ("unit square: x = [0, 1, 1, 0], y = [0, 0, 1, 1]", "returns 1"),
+        ),
+        tol=1e-5,
+        gpu_threads=lambda inp: len(inp["x"]),
+    ),
+    Problem(
+        name="count_points_in_circle",
+        ptype="geometry",
+        description=(
+            "Points are given by x and y.  Return the number of points whose "
+            "Euclidean distance from (cx, cy) is at most r."
+        ),
+        params=(
+            ParamSpec("x", "array<float>", "in"),
+            ParamSpec("y", "array<float>", "in"),
+            ParamSpec("cx", "float", "in"),
+            ParamSpec("cy", "float", "in"),
+            ParamSpec("r", "float", "in"),
+        ),
+        ret="int",
+        generate=_gen_circle,
+        reference=_in_circle_ref,
+        examples=(
+            ("x = [0, 5], y = [0, 5], cx = 0, cy = 0, r = 2", "returns 1"),
+        ),
+        gpu_threads=lambda inp: len(inp["x"]),
+    ),
+    Problem(
+        name="bounding_box",
+        ptype="geometry",
+        description=(
+            "Points are given by x and y.  Write the axis-aligned bounding "
+            "box into out (length 4) as [min x, max x, min y, max y].  out "
+            "is pre-initialized to [1e30, -1e30, 1e30, -1e30]."
+        ),
+        params=(
+            ParamSpec("x", "array<float>", "in"),
+            ParamSpec("y", "array<float>", "in"),
+            ParamSpec("out", "array<float>", "out"),
+        ),
+        ret=None,
+        generate=_gen_bbox,
+        reference=_bbox_ref,
+        examples=(
+            ("x = [1, -2], y = [0, 4]", "out becomes [-2, 1, 0, 4]"),
+        ),
+        gpu_threads=lambda inp: len(inp["x"]),
+    ),
+    Problem(
+        name="farthest_pair_distance",
+        ptype="geometry",
+        description=(
+            "Points are given by x and y.  Return the largest Euclidean "
+            "distance between any two points (the diameter of the set)."
+        ),
+        params=(
+            ParamSpec("x", "array<float>", "in"),
+            ParamSpec("y", "array<float>", "in"),
+        ),
+        ret="float",
+        generate=_gen_points,
+        reference=_farthest_pair_ref,
+        examples=(
+            ("x = [0, 3, 0], y = [0, 0, 1]", "returns 3.162 (between (3,0) and (0,1))"),
+        ),
+        correctness_size=256,
+        timing_size=2048,
+        work_scale=128.0,
+        tol=1e-5,
+        gpu_threads=lambda inp: len(inp["x"]),
+    ),
+]

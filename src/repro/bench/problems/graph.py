@@ -1,0 +1,254 @@
+"""Graph problems (Table 1), over undirected CSR adjacency structures."""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from ..spec import ParamSpec, Problem
+from .common import csr_graph
+
+
+def _neighbours(rowptr, colidx, v):
+    return colidx[rowptr[v]:rowptr[v + 1]]
+
+
+def _components_ref(inp):
+    rowptr, colidx = inp["rowptr"], inp["colidx"]
+    n = len(rowptr) - 1
+    seen = np.zeros(n, dtype=bool)
+    count = 0
+    for s in range(n):
+        if seen[s]:
+            continue
+        count += 1
+        stack = [s]
+        seen[s] = True
+        while stack:
+            v = stack.pop()
+            for u in _neighbours(rowptr, colidx, v):
+                if not seen[u]:
+                    seen[u] = True
+                    stack.append(int(u))
+    return {"return": count}
+
+
+def _bfs_ref(inp):
+    rowptr, colidx, src = inp["rowptr"], inp["colidx"], inp["src"]
+    n = len(rowptr) - 1
+    dist = np.full(n, -1, dtype=np.int64)
+    dist[src] = 0
+    q = deque([src])
+    while q:
+        v = q.popleft()
+        for u in _neighbours(rowptr, colidx, v):
+            if dist[u] < 0:
+                dist[u] = dist[v] + 1
+                q.append(int(u))
+    return {"dist": dist}
+
+
+def _max_degree_ref(inp):
+    rowptr = np.asarray(inp["rowptr"])
+    return {"return": int(np.max(np.diff(rowptr)))}
+
+
+def _triangles_ref(inp):
+    rowptr, colidx = inp["rowptr"], inp["colidx"]
+    n = len(rowptr) - 1
+    adj = [set(_neighbours(rowptr, colidx, v).tolist()) for v in range(n)]
+    count = 0
+    for v in range(n):
+        for u in adj[v]:
+            if u <= v:
+                continue
+            for w in adj[v]:
+                if w > u and w in adj[u]:
+                    count += 1
+    return {"return": count}
+
+
+def _bipartite_ref(inp):
+    rowptr, colidx = inp["rowptr"], inp["colidx"]
+    n = len(rowptr) - 1
+    colour = np.full(n, -1, dtype=np.int64)
+    for s in range(n):
+        if colour[s] >= 0:
+            continue
+        colour[s] = 0
+        q = deque([s])
+        while q:
+            v = q.popleft()
+            for u in _neighbours(rowptr, colidx, v):
+                if colour[u] < 0:
+                    colour[u] = 1 - colour[v]
+                    q.append(int(u))
+                elif colour[u] == colour[v]:
+                    return {"return": 0}
+    return {"return": 1}
+
+
+def _gen_graph(rng, n, **kw):
+    verts = max(16, n // 4)
+    rowptr, colidx = csr_graph(rng, verts, **kw)
+    return verts, rowptr, colidx
+
+
+def _gen_components(rng, n):
+    k = int(rng.integers(1, 5))
+    verts, rowptr, colidx = _gen_graph(rng, n, n_components=k)
+    return {"rowptr": rowptr, "colidx": colidx}
+
+
+def _gen_bfs(rng, n):
+    verts, rowptr, colidx = _gen_graph(rng, n, n_components=2)
+    return {
+        "rowptr": rowptr, "colidx": colidx,
+        "src": int(rng.integers(0, verts)),
+        "dist": np.zeros(verts, dtype=np.int64),
+    }
+
+
+def _gen_plain(rng, n):
+    _, rowptr, colidx = _gen_graph(rng, n)
+    return {"rowptr": rowptr, "colidx": colidx}
+
+
+def _gen_maybe_bipartite(rng, n):
+    verts = max(16, n // 4)
+    if rng.uniform() < 0.5:
+        # random graphs of this density are essentially never bipartite;
+        # construct one explicitly half the time
+        half = verts // 2
+        adj = [set() for _ in range(verts)]
+        edges = verts * 3
+        for _ in range(edges):
+            u = int(rng.integers(0, half))
+            v = int(rng.integers(half, verts))
+            adj[u].add(v)
+            adj[v].add(u)
+        rowptr = [0]
+        colidx: list = []
+        for v in range(verts):
+            colidx.extend(sorted(adj[v]))
+            rowptr.append(len(colidx))
+        return {
+            "rowptr": np.asarray(rowptr, dtype=np.int64),
+            "colidx": np.asarray(colidx, dtype=np.int64),
+        }
+    _, rowptr, colidx = _gen_graph(rng, n)
+    return {"rowptr": rowptr, "colidx": colidx}
+
+
+_CSR_DOC = (
+    "The undirected graph has n vertices in CSR form: the neighbours of "
+    "vertex v are colidx[rowptr[v] .. rowptr[v+1]) and rowptr has length "
+    "n+1.  Edges appear in both endpoints' lists."
+)
+
+PROBLEMS = [
+    Problem(
+        name="count_components",
+        ptype="graph",
+        description=(
+            f"{_CSR_DOC}  Return the number of connected components."
+        ),
+        params=(
+            ParamSpec("rowptr", "array<int>", "in"),
+            ParamSpec("colidx", "array<int>", "in"),
+        ),
+        ret="int",
+        generate=_gen_components,
+        reference=_components_ref,
+        examples=(
+            ("two disjoint edges: rowptr = [0, 1, 2, 3, 4], colidx = [1, 0, 3, 2]",
+             "returns 2"),
+        ),
+        gpu_threads=lambda inp: len(inp["rowptr"]) - 1,
+    ),
+    Problem(
+        name="bfs_distances",
+        ptype="graph",
+        description=(
+            f"{_CSR_DOC}  Compute the breadth-first distance (number of "
+            "edges) from vertex src to every vertex into dist; unreachable "
+            "vertices get -1.  dist is already allocated."
+        ),
+        params=(
+            ParamSpec("rowptr", "array<int>", "in"),
+            ParamSpec("colidx", "array<int>", "in"),
+            ParamSpec("src", "int", "in"),
+            ParamSpec("dist", "array<int>", "out"),
+        ),
+        ret=None,
+        generate=_gen_bfs,
+        reference=_bfs_ref,
+        examples=(
+            ("path 0-1-2, src = 0", "dist becomes [0, 1, 2]"),
+        ),
+        gpu_threads=lambda inp: len(inp["rowptr"]) - 1,
+    ),
+    Problem(
+        name="max_degree",
+        ptype="graph",
+        description=(
+            f"{_CSR_DOC}  Return the maximum vertex degree."
+        ),
+        params=(
+            ParamSpec("rowptr", "array<int>", "in"),
+            ParamSpec("colidx", "array<int>", "in"),
+        ),
+        ret="int",
+        generate=_gen_plain,
+        reference=_max_degree_ref,
+        examples=(
+            ("star with centre 0 and leaves 1..3", "returns 3"),
+        ),
+        gpu_threads=lambda inp: len(inp["rowptr"]) - 1,
+    ),
+    Problem(
+        name="count_triangles",
+        ptype="graph",
+        description=(
+            f"{_CSR_DOC}  Return the number of triangles (unordered vertex "
+            "triples with all three edges present).  Each triangle is "
+            "counted once."
+        ),
+        params=(
+            ParamSpec("rowptr", "array<int>", "in"),
+            ParamSpec("colidx", "array<int>", "in"),
+        ),
+        ret="int",
+        generate=_gen_plain,
+        reference=_triangles_ref,
+        examples=(
+            ("a single triangle on vertices 0, 1, 2", "returns 1"),
+        ),
+        correctness_size=192,
+        timing_size=1024,
+        work_scale=128.0,
+        gpu_threads=lambda inp: len(inp["rowptr"]) - 1,
+    ),
+    Problem(
+        name="is_bipartite",
+        ptype="graph",
+        description=(
+            f"{_CSR_DOC}  Return 1 if the graph is bipartite (2-colourable), "
+            "otherwise 0."
+        ),
+        params=(
+            ParamSpec("rowptr", "array<int>", "in"),
+            ParamSpec("colidx", "array<int>", "in"),
+        ),
+        ret="int",
+        generate=_gen_maybe_bipartite,
+        reference=_bipartite_ref,
+        examples=(
+            ("square 0-1-2-3-0", "returns 1"),
+            ("triangle 0-1-2-0", "returns 0"),
+        ),
+        gpu_threads=lambda inp: len(inp["rowptr"]) - 1,
+        gpu_result_init=1,
+    ),
+]

@@ -1,0 +1,168 @@
+"""Histogram problems (Table 1): binning values by a property."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..spec import ParamSpec, Problem
+from .common import ints
+
+
+def _gen_unit(rng, n):
+    return {
+        "x": np.round(rng.uniform(0.0, 1.0, n), 4).clip(0.0, 0.9999),
+        "h": np.zeros(10, dtype=np.int64),
+    }
+
+
+def _unit_ref(inp):
+    bins = np.floor(np.asarray(inp["x"]) * 10).astype(np.int64)
+    return {"h": np.bincount(bins, minlength=10)}
+
+
+def _gen_mod(rng, n):
+    return {
+        "x": ints(rng, n, 0, 1000),
+        "k": 8,
+        "h": np.zeros(8, dtype=np.int64),
+    }
+
+
+def _mod_ref(inp):
+    return {"h": np.bincount(np.asarray(inp["x"]) % inp["k"],
+                             minlength=inp["k"])}
+
+
+def _gen_deciles(rng, n):
+    x = np.round(rng.uniform(-5.0, 5.0, n), 3)
+    return {"x": x, "lo": -5.0, "hi": 5.0, "h": np.zeros(10, dtype=np.int64)}
+
+
+def _deciles_ref(inp):
+    x = np.asarray(inp["x"])
+    t = (x - inp["lo"]) / (inp["hi"] - inp["lo"])
+    bins = np.clip(np.floor(t * 10).astype(np.int64), 0, 9)
+    return {"h": np.bincount(bins, minlength=10)}
+
+
+def _gen_edges(rng, n):
+    edges = np.array([0.0, 1.0, 2.5, 4.0, 7.0, 10.0])
+    x = np.round(rng.uniform(0.0, 9.999, n), 3)
+    return {"x": x, "edges": edges, "h": np.zeros(len(edges) - 1, dtype=np.int64)}
+
+
+def _edges_ref(inp):
+    edges = np.asarray(inp["edges"])
+    bins = np.searchsorted(edges, np.asarray(inp["x"]), side="right") - 1
+    bins = np.clip(bins, 0, len(edges) - 2)
+    return {"h": np.bincount(bins, minlength=len(edges) - 1)}
+
+
+def _gen_letters(rng, n):
+    return {"x": ints(rng, n, 0, 26), "h": np.zeros(26, dtype=np.int64)}
+
+
+PROBLEMS = [
+    Problem(
+        name="hist_unit_interval",
+        ptype="histogram",
+        description=(
+            "Every element of x lies in [0, 1).  Count the elements falling "
+            "in each of ten equal-width bins: element v belongs to bin "
+            "floor(v * 10).  Write the counts into h (length 10, already "
+            "zeroed)."
+        ),
+        params=(
+            ParamSpec("x", "array<float>", "in"),
+            ParamSpec("h", "array<int>", "out"),
+        ),
+        ret=None,
+        generate=_gen_unit,
+        reference=_unit_ref,
+        examples=(
+            ("x = [0.05, 0.15, 0.17, 0.95]", "h becomes [1, 2, 0, 0, 0, 0, 0, 0, 0, 1]"),
+        ),
+    ),
+    Problem(
+        name="hist_mod_k",
+        ptype="histogram",
+        description=(
+            "x holds non-negative integers.  Count how many elements fall "
+            "in each residue class modulo k, writing the counts into h "
+            "(length k, already zeroed): element v belongs to bin v % k."
+        ),
+        params=(
+            ParamSpec("x", "array<int>", "in"),
+            ParamSpec("k", "int", "in"),
+            ParamSpec("h", "array<int>", "out"),
+        ),
+        ret=None,
+        generate=_gen_mod,
+        reference=_mod_ref,
+        examples=(
+            ("x = [0, 3, 4, 8], k = 4", "h becomes [3, 0, 0, 1]"),
+        ),
+    ),
+    Problem(
+        name="hist_deciles",
+        ptype="histogram",
+        description=(
+            "Every element of x lies in [lo, hi].  Split [lo, hi] into ten "
+            "equal-width bins and count the elements in each, writing counts "
+            "into h (length 10, already zeroed).  Values equal to hi belong "
+            "to the last bin."
+        ),
+        params=(
+            ParamSpec("x", "array<float>", "in"),
+            ParamSpec("lo", "float", "in"),
+            ParamSpec("hi", "float", "in"),
+            ParamSpec("h", "array<int>", "out"),
+        ),
+        ret=None,
+        generate=_gen_deciles,
+        reference=_deciles_ref,
+        examples=(
+            ("x = [0, 9.5], lo = 0, hi = 10", "h becomes [1, 0, 0, 0, 0, 0, 0, 0, 0, 1]"),
+        ),
+    ),
+    Problem(
+        name="hist_custom_edges",
+        ptype="histogram",
+        description=(
+            "edges is a sorted array of m+1 bin boundaries.  Every element "
+            "of x lies in [edges[0], edges[m]).  Count the elements in each "
+            "of the m bins [edges[j], edges[j+1]) into h (length m, already "
+            "zeroed)."
+        ),
+        params=(
+            ParamSpec("x", "array<float>", "in"),
+            ParamSpec("edges", "array<float>", "in"),
+            ParamSpec("h", "array<int>", "out"),
+        ),
+        ret=None,
+        generate=_gen_edges,
+        reference=_edges_ref,
+        examples=(
+            ("x = [0.5, 3.0, 3.5], edges = [0, 1, 2.5, 4]",
+             "h becomes [1, 0, 2]"),
+        ),
+    ),
+    Problem(
+        name="hist_alphabet",
+        ptype="histogram",
+        description=(
+            "x holds letter codes in 0..25.  Count the occurrences of each "
+            "code into h (length 26, already zeroed)."
+        ),
+        params=(
+            ParamSpec("x", "array<int>", "in"),
+            ParamSpec("h", "array<int>", "out"),
+        ),
+        ret=None,
+        generate=_gen_letters,
+        reference=lambda inp: {"h": np.bincount(inp["x"], minlength=26)},
+        examples=(
+            ("x = [0, 2, 2]", "h becomes [1, 0, 2, 0, ..., 0]"),
+        ),
+    ),
+]

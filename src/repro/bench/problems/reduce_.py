@@ -1,0 +1,92 @@
+"""Reduce problems: fold an array down to a scalar (Table 1).
+
+Named ``reduce_`` to avoid shadowing :func:`functools.reduce` habits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..spec import ParamSpec, Problem
+from .common import floats
+
+PROBLEMS = [
+    Problem(
+        name="sum_of_elements",
+        ptype="reduce",
+        description="Return the sum of all elements of x.",
+        params=(ParamSpec("x", "array<float>", "in"),),
+        ret="float",
+        generate=lambda rng, n: {"x": floats(rng, n)},
+        reference=lambda inp: {"return": float(np.sum(inp["x"]))},
+        examples=(
+            ("x = [1, 2, 3, 4]", "returns 10"),
+            ("x = [-1, 1]", "returns 0"),
+        ),
+    ),
+    Problem(
+        name="smallest_element",
+        ptype="reduce",
+        description="Return the minimum value contained in x.",
+        params=(ParamSpec("x", "array<float>", "in"),),
+        ret="float",
+        generate=lambda rng, n: {"x": floats(rng, n)},
+        reference=lambda inp: {"return": float(np.min(inp["x"]))},
+        examples=(
+            ("x = [3, -1, 7]", "returns -1"),
+        ),
+        gpu_result_init=1e30,
+    ),
+    Problem(
+        name="sum_of_squares",
+        ptype="reduce",
+        description=(
+            "Return the sum of the squares of the elements of x "
+            "(the squared L2 norm)."
+        ),
+        params=(ParamSpec("x", "array<float>", "in"),),
+        ret="float",
+        generate=lambda rng, n: {"x": floats(rng, n, -3.0, 3.0)},
+        reference=lambda inp: {"return": float(np.sum(inp["x"] ** 2))},
+        examples=(
+            ("x = [1, 2, 2]", "returns 9"),
+        ),
+    ),
+    Problem(
+        name="count_above_threshold",
+        ptype="reduce",
+        description=(
+            "Return how many elements of x are strictly greater than the "
+            "threshold t."
+        ),
+        params=(
+            ParamSpec("x", "array<float>", "in"),
+            ParamSpec("t", "float", "in"),
+        ),
+        ret="int",
+        generate=lambda rng, n: {"x": floats(rng, n), "t": 1.5},
+        reference=lambda inp: {"return": int(np.sum(inp["x"] > inp["t"]))},
+        examples=(
+            ("x = [0, 2, 5, 1], t = 1.5", "returns 2"),
+        ),
+    ),
+    Problem(
+        name="max_adjacent_diff",
+        ptype="reduce",
+        description=(
+            "Return the maximum absolute difference between adjacent "
+            "elements of x, i.e. max over i of |x[i+1] - x[i]|.  x has at "
+            "least two elements."
+        ),
+        params=(ParamSpec("x", "array<float>", "in"),),
+        ret="float",
+        generate=lambda rng, n: {"x": floats(rng, n)},
+        reference=lambda inp: {
+            "return": float(np.max(np.abs(np.diff(inp["x"]))))
+        },
+        examples=(
+            ("x = [1, 4, 2, 2]", "returns 3"),
+        ),
+        gpu_result_init=-1e30,
+    ),
+]

@@ -1,0 +1,106 @@
+"""Scan problems: prefix operations over arrays (Table 1).
+
+Includes the paper's running example (partial minimums, Listing 1) and
+*variant* scans (reverse prefix sum) chosen, as in the paper, so the task
+is not verbatim in any training set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..spec import ParamSpec, Problem
+from .common import floats
+
+PROBLEMS = [
+    Problem(
+        name="prefix_sum",
+        ptype="scan",
+        description=(
+            "Compute the inclusive prefix sum of x into out: "
+            "out[i] = x[0] + x[1] + ... + x[i]."
+        ),
+        params=(
+            ParamSpec("x", "array<float>", "in"),
+            ParamSpec("out", "array<float>", "out"),
+        ),
+        ret=None,
+        generate=lambda rng, n: {"x": floats(rng, n, -5, 5), "out": np.zeros(n)},
+        reference=lambda inp: {"out": np.cumsum(inp["x"])},
+        examples=(
+            ("x = [1, 2, 3, 4]", "out becomes [1, 3, 6, 10]"),
+        ),
+    ),
+    Problem(
+        name="reverse_prefix_sum",
+        ptype="scan",
+        description=(
+            "Compute the reverse prefix sum of x into out: "
+            "out[i] = x[i] + x[i+1] + ... + x[n-1]."
+        ),
+        params=(
+            ParamSpec("x", "array<float>", "in"),
+            ParamSpec("out", "array<float>", "out"),
+        ),
+        ret=None,
+        generate=lambda rng, n: {"x": floats(rng, n, -5, 5), "out": np.zeros(n)},
+        reference=lambda inp: {"out": np.cumsum(inp["x"][::-1])[::-1].copy()},
+        examples=(
+            ("x = [1, 2, 3, 4]", "out becomes [10, 9, 7, 4]"),
+        ),
+    ),
+    Problem(
+        name="partial_minimums",
+        ptype="scan",
+        description=(
+            "Replace the i-th element of the array x with the minimum "
+            "value from indices 0 through i."
+        ),
+        params=(ParamSpec("x", "array<float>", "inout"),),
+        ret=None,
+        generate=lambda rng, n: {"x": floats(rng, n)},
+        reference=lambda inp: {"x": np.minimum.accumulate(inp["x"])},
+        examples=(
+            ("x = [8, 6, -1, 7, 3, 4, 4]", "x becomes [8, 6, -1, -1, -1, -1, -1]"),
+            ("x = [5, 4, 6, 4, 3, 6, 1, 1]", "x becomes [5, 4, 4, 4, 3, 3, 1, 1]"),
+        ),
+    ),
+    Problem(
+        name="exclusive_prefix_sum",
+        ptype="scan",
+        description=(
+            "Compute the exclusive prefix sum of x into out: out[0] = 0 and "
+            "out[i] = x[0] + ... + x[i-1] for i > 0."
+        ),
+        params=(
+            ParamSpec("x", "array<float>", "in"),
+            ParamSpec("out", "array<float>", "out"),
+        ),
+        ret=None,
+        generate=lambda rng, n: {"x": floats(rng, n, -5, 5), "out": np.zeros(n)},
+        reference=lambda inp: {
+            "out": np.concatenate([[0.0], np.cumsum(inp["x"])[:-1]])
+        },
+        examples=(
+            ("x = [1, 2, 3, 4]", "out becomes [0, 1, 3, 6]"),
+        ),
+    ),
+    Problem(
+        name="running_maximums",
+        ptype="scan",
+        description=(
+            "Compute the running maximum of x into out: "
+            "out[i] = max(x[0], ..., x[i])."
+        ),
+        params=(
+            ParamSpec("x", "array<float>", "in"),
+            ParamSpec("out", "array<float>", "out"),
+        ),
+        ret=None,
+        generate=lambda rng, n: {"x": floats(rng, n), "out": np.zeros(n)},
+        reference=lambda inp: {"out": np.maximum.accumulate(inp["x"])},
+        examples=(
+            ("x = [2, 1, 5, 3]", "out becomes [2, 2, 5, 5]"),
+        ),
+    ),
+]

@@ -1,0 +1,176 @@
+"""Search problems (Table 1).
+
+The paper excludes this type from the performance metrics because early
+exits give super-linear parallel speedups; the harness honours that (see
+metrics docs), but correctness is still scored.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..spec import ParamSpec, Problem
+from .common import floats, ints
+
+
+def _gen_with_target(rng, n):
+    x = ints(rng, n, 0, max(4, n // 2)).astype(np.float64)
+    # target present ~2/3 of the time
+    if rng.uniform() < 2 / 3:
+        v = float(x[rng.integers(0, n)])
+    else:
+        v = float(max(4, n // 2) + 5)
+    return x, v
+
+
+def _first_index_ref(inp):
+    x, v = np.asarray(inp["x"]), inp["v"]
+    hits = np.flatnonzero(x == v)
+    return {"return": int(hits[0]) if len(hits) else -1}
+
+
+def _gen_first_index(rng, n):
+    x, v = _gen_with_target(rng, n)
+    return {"x": x, "v": v}
+
+
+def _gen_sorted(rng, n):
+    x = np.sort(floats(rng, n))
+    x = np.unique(x)
+    while len(x) < n:  # pad keeping sortedness and uniqueness
+        x = np.unique(np.concatenate([x, x[-1:] + np.arange(1, n - len(x) + 1)]))
+    if rng.uniform() < 2 / 3:
+        v = float(x[rng.integers(0, n)])
+    else:
+        v = float(x[-1] + 1.0)
+    return {"x": x[:n], "v": v}
+
+
+def _gen_almost_sorted(rng, n):
+    x = np.sort(floats(rng, n))
+    x = np.unique(x)
+    while len(x) < n:
+        x = np.unique(np.concatenate([x, x[-1:] + np.arange(1, n - len(x) + 1)]))
+    x = x[:n].copy()
+    if rng.uniform() < 2 / 3 and n > 2:
+        k = int(rng.integers(0, n - 1))
+        x[k], x[k + 1] = x[k + 1], x[k]
+    return {"x": x}
+
+
+def _len_init(inp):
+    return len(inp["x"])
+
+
+def _gpu_expected_index(ref_fn):
+    """Not-found is encoded as len(x) in the GPU result buffer."""
+    def expected(inp):
+        r = ref_fn(inp)["return"]
+        return len(inp["x"]) if r == -1 else r
+    return expected
+
+
+def _first_unsorted_ref(inp):
+    x = np.asarray(inp["x"])
+    bad = np.flatnonzero(x[:-1] > x[1:])
+    return {"return": int(bad[0]) if len(bad) else -1}
+
+
+PROBLEMS = [
+    Problem(
+        name="index_of_first",
+        ptype="search",
+        description=(
+            "Return the index of the first element of x equal to v, or -1 "
+            "if v does not occur in x."
+        ),
+        params=(
+            ParamSpec("x", "array<float>", "in"),
+            ParamSpec("v", "float", "in"),
+        ),
+        ret="int",
+        generate=_gen_first_index,
+        reference=_first_index_ref,
+        examples=(
+            ("x = [4, 7, 4], v = 4", "returns 0"),
+            ("x = [4, 7, 4], v = 5", "returns -1"),
+        ),
+        gpu_result_init=_len_init,
+        gpu_expected=_gpu_expected_index(_first_index_ref),
+    ),
+    Problem(
+        name="contains_value",
+        ptype="search",
+        description=(
+            "Return 1 if any element of x equals v, otherwise return 0."
+        ),
+        params=(
+            ParamSpec("x", "array<float>", "in"),
+            ParamSpec("v", "float", "in"),
+        ),
+        ret="int",
+        generate=_gen_first_index,
+        reference=lambda inp: {
+            "return": int(bool(np.any(np.asarray(inp["x"]) == inp["v"])))
+        },
+        examples=(
+            ("x = [1, 2, 3], v = 2", "returns 1"),
+            ("x = [1, 2, 3], v = 9", "returns 0"),
+        ),
+    ),
+    Problem(
+        name="index_of_minimum",
+        ptype="search",
+        description=(
+            "Return the index of the first occurrence of the minimum "
+            "element of x."
+        ),
+        params=(ParamSpec("x", "array<float>", "in"),),
+        ret="int",
+        generate=lambda rng, n: {"x": floats(rng, n)},
+        reference=lambda inp: {"return": int(np.argmin(inp["x"]))},
+        examples=(
+            ("x = [5, -2, 8, -2]", "returns 1"),
+        ),
+    ),
+    Problem(
+        name="binary_search_sorted",
+        ptype="search",
+        description=(
+            "x is sorted ascending with distinct elements.  Return the index "
+            "of v in x, or -1 if v is not present."
+        ),
+        params=(
+            ParamSpec("x", "array<float>", "in"),
+            ParamSpec("v", "float", "in"),
+        ),
+        ret="int",
+        generate=_gen_sorted,
+        reference=_first_index_ref,
+        examples=(
+            ("x = [1, 3, 5, 7], v = 5", "returns 2"),
+            ("x = [1, 3, 5, 7], v = 4", "returns -1"),
+        ),
+        gpu_result_init=_len_init,
+        gpu_expected=_gpu_expected_index(_first_index_ref),
+    ),
+    Problem(
+        name="first_unsorted_position",
+        ptype="search",
+        description=(
+            "Return the smallest index i with x[i] > x[i+1], i.e. the first "
+            "place where x stops being sorted ascending; return -1 if x is "
+            "fully sorted."
+        ),
+        params=(ParamSpec("x", "array<float>", "in"),),
+        ret="int",
+        generate=_gen_almost_sorted,
+        reference=_first_unsorted_ref,
+        examples=(
+            ("x = [1, 2, 5, 4, 6]", "returns 2"),
+            ("x = [1, 2, 3]", "returns -1"),
+        ),
+        gpu_result_init=_len_init,
+        gpu_expected=_gpu_expected_index(_first_unsorted_ref),
+    ),
+]

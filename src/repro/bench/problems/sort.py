@@ -1,0 +1,125 @@
+"""Sort problems (Table 1): in-place and out-of-place orderings."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..spec import ParamSpec, Problem
+from .common import floats
+
+
+def _rank_reference(inp):
+    x = np.asarray(inp["x"])
+    order = np.argsort(x, kind="stable")
+    ranks = np.empty(len(x), dtype=np.int64)
+    ranks[order] = np.arange(len(x))
+    return {"r": ranks}
+
+
+def _distinct_floats(rng, n):
+    # distinct values make rank well-defined
+    base = rng.permutation(n).astype(np.float64)
+    return np.round(base + rng.uniform(0.0, 0.4, n), 3)
+
+
+PROBLEMS = [
+    Problem(
+        name="sort_ascending",
+        ptype="sort",
+        description="Sort the array x in place into ascending order.",
+        params=(ParamSpec("x", "array<float>", "inout"),),
+        ret=None,
+        generate=lambda rng, n: {"x": floats(rng, n)},
+        reference=lambda inp: {"x": np.sort(inp["x"])},
+        examples=(
+            ("x = [3, 1, 2]", "x becomes [1, 2, 3]"),
+        ),
+        work_scale=256.0,
+    ),
+    Problem(
+        name="sort_descending",
+        ptype="sort",
+        description="Sort the array x in place into descending order.",
+        params=(ParamSpec("x", "array<float>", "inout"),),
+        ret=None,
+        generate=lambda rng, n: {"x": floats(rng, n)},
+        reference=lambda inp: {"x": np.sort(inp["x"])[::-1].copy()},
+        examples=(
+            ("x = [3, 1, 2]", "x becomes [3, 2, 1]"),
+        ),
+        work_scale=256.0,
+    ),
+    Problem(
+        name="sort_by_magnitude",
+        ptype="sort",
+        description=(
+            "Sort the array x in place by absolute value, smallest "
+            "magnitude first.  No two elements share a magnitude."
+        ),
+        params=(ParamSpec("x", "array<float>", "inout"),),
+        ret=None,
+        generate=lambda rng, n: {
+            "x": _distinct_floats(rng, n) * rng.choice([-1.0, 1.0], n)
+        },
+        reference=lambda inp: {
+            "x": np.asarray(inp["x"])[np.argsort(np.abs(inp["x"]))]
+        },
+        examples=(
+            ("x = [-3, 1, 2]", "x becomes [1, 2, -3]"),
+        ),
+        work_scale=256.0,
+    ),
+    Problem(
+        name="sort_subrange",
+        ptype="sort",
+        description=(
+            "Sort the sub-array x[lo..hi) in place into ascending order, "
+            "leaving the rest of x untouched.  0 <= lo <= hi <= len(x)."
+        ),
+        params=(
+            ParamSpec("x", "array<float>", "inout"),
+            ParamSpec("lo", "int", "in"),
+            ParamSpec("hi", "int", "in"),
+        ),
+        ret=None,
+        generate=lambda rng, n: {
+            "x": floats(rng, n),
+            "lo": n // 4,
+            "hi": n - n // 4,
+        },
+        reference=lambda inp: {
+            "x": np.concatenate([
+                inp["x"][: inp["lo"]],
+                np.sort(inp["x"][inp["lo"]:inp["hi"]]),
+                inp["x"][inp["hi"]:],
+            ])
+        },
+        examples=(
+            ("x = [9, 5, 3, 4, 0], lo = 1, hi = 4", "x becomes [9, 3, 4, 5, 0]"),
+        ),
+        work_scale=256.0,
+    ),
+    Problem(
+        name="rank_of_elements",
+        ptype="sort",
+        description=(
+            "For each element of x write its rank into r: r[i] is the number "
+            "of elements of x strictly smaller than x[i].  All elements of x "
+            "are distinct."
+        ),
+        params=(
+            ParamSpec("x", "array<float>", "in"),
+            ParamSpec("r", "array<int>", "out"),
+        ),
+        ret=None,
+        generate=lambda rng, n: {
+            "x": _distinct_floats(rng, n),
+            "r": np.zeros(n, dtype=np.int64),
+        },
+        reference=_rank_reference,
+        examples=(
+            ("x = [10.5, 2.5, 7.5]", "r becomes [2, 0, 1]"),
+        ),
+        work_scale=256.0,
+    ),
+]

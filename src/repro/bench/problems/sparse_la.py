@@ -1,0 +1,229 @@
+"""Sparse linear algebra problems (Table 1), CSR/COO formats.
+
+The paper finds this the hardest problem type for every LLM (Fig. 3):
+indirection, irregular row lengths, and scatter updates all resist naive
+parallelisation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..spec import ParamSpec, Problem
+from .common import csr_matrix, floats
+
+
+def _gen_spmv(rng, n):
+    rows = max(8, n // 8)
+    rowptr, colidx, vals = csr_matrix(rng, rows)
+    return {
+        "rowptr": rowptr, "colidx": colidx, "vals": vals,
+        "x": floats(rng, rows, -2, 2), "y": np.zeros(rows),
+    }
+
+
+def _spmv_ref(inp):
+    rowptr, colidx, vals = inp["rowptr"], inp["colidx"], inp["vals"]
+    x = np.asarray(inp["x"])
+    n = len(rowptr) - 1
+    y = np.zeros(n)
+    for i in range(n):
+        s, e = rowptr[i], rowptr[i + 1]
+        y[i] = np.dot(vals[s:e], x[colidx[s:e]])
+    return {"y": y}
+
+
+def _spmv_t_ref(inp):
+    rowptr, colidx, vals = inp["rowptr"], inp["colidx"], inp["vals"]
+    x = np.asarray(inp["x"])
+    n = len(rowptr) - 1
+    y = np.zeros(n)
+    for i in range(n):
+        s, e = rowptr[i], rowptr[i + 1]
+        np.add.at(y, colidx[s:e], vals[s:e] * x[i])
+    return {"y": y}
+
+
+def _gen_sparse_vectors(rng, n):
+    m = max(8, n // 4)
+    universe = max(16, n)
+    idx_a = np.sort(rng.choice(universe, size=m, replace=False)).astype(np.int64)
+    idx_b = np.sort(rng.choice(universe, size=m, replace=False)).astype(np.int64)
+    # guarantee some overlap
+    k = max(1, m // 4)
+    idx_b[:k] = idx_a[:k]
+    idx_b = np.sort(np.unique(idx_b))
+    while len(idx_b) < m:
+        cand = int(rng.integers(0, universe))
+        if cand not in idx_b:
+            idx_b = np.sort(np.append(idx_b, cand))
+    return {
+        "idx_a": idx_a, "val_a": floats(rng, m, -2, 2),
+        "idx_b": idx_b[:m], "val_b": floats(rng, m, -2, 2),
+    }
+
+
+def _sparse_dot_ref(inp):
+    da = dict(zip(inp["idx_a"].tolist(), np.asarray(inp["val_a"]).tolist()))
+    total = 0.0
+    for i, v in zip(inp["idx_b"].tolist(), np.asarray(inp["val_b"]).tolist()):
+        total += da.get(i, 0.0) * v
+    return {"return": total}
+
+
+def _gen_sparse_axpy(rng, n):
+    dense = max(16, n)
+    m = max(8, n // 4)
+    idx = np.sort(rng.choice(dense, size=m, replace=False)).astype(np.int64)
+    return {
+        "a": 1.5,
+        "idx": idx,
+        "val": floats(rng, m, -2, 2),
+        "y": floats(rng, dense, -2, 2),
+    }
+
+
+def _sparse_axpy_ref(inp):
+    y = np.asarray(inp["y"]).copy()
+    np.add.at(y, inp["idx"], inp["a"] * np.asarray(inp["val"]))
+    return {"y": y}
+
+
+def _gen_row_sums(rng, n):
+    rows = max(8, n // 8)
+    rowptr, colidx, vals = csr_matrix(rng, rows)
+    return {"rowptr": rowptr, "vals": vals, "out": np.zeros(rows)}
+
+
+def _row_sums_ref(inp):
+    rowptr, vals = inp["rowptr"], np.asarray(inp["vals"])
+    n = len(rowptr) - 1
+    out = np.array([vals[rowptr[i]:rowptr[i + 1]].sum() for i in range(n)])
+    return {"out": out}
+
+
+PROBLEMS = [
+    Problem(
+        name="spmv_csr",
+        ptype="sparse_la",
+        description=(
+            "Compute the sparse matrix-vector product y = A * x for a "
+            "square CSR matrix A given by rowptr (length n+1), colidx and "
+            "vals (length nnz).  Row i's entries are vals[rowptr[i] .. "
+            "rowptr[i+1]) in columns colidx[rowptr[i] .. rowptr[i+1]).  "
+            "y has length n and is already zeroed."
+        ),
+        params=(
+            ParamSpec("rowptr", "array<int>", "in"),
+            ParamSpec("colidx", "array<int>", "in"),
+            ParamSpec("vals", "array<float>", "in"),
+            ParamSpec("x", "array<float>", "in"),
+            ParamSpec("y", "array<float>", "out"),
+        ),
+        ret=None,
+        generate=_gen_spmv,
+        reference=_spmv_ref,
+        examples=(
+            ("rowptr = [0, 1, 3], colidx = [1, 0, 1], vals = [2, 1, 3], "
+             "x = [5, 7]", "y becomes [14, 26]"),
+        ),
+        tol=1e-5,
+        gpu_threads=lambda inp: len(inp["rowptr"]) - 1,
+    ),
+    Problem(
+        name="sparse_dot",
+        ptype="sparse_la",
+        description=(
+            "Two sparse vectors are given as sorted index arrays with "
+            "matching value arrays: (idx_a, val_a) and (idx_b, val_b).  "
+            "Return their dot product: the sum of val_a[i] * val_b[j] over "
+            "all pairs with idx_a[i] == idx_b[j]."
+        ),
+        params=(
+            ParamSpec("idx_a", "array<int>", "in"),
+            ParamSpec("val_a", "array<float>", "in"),
+            ParamSpec("idx_b", "array<int>", "in"),
+            ParamSpec("val_b", "array<float>", "in"),
+        ),
+        ret="float",
+        generate=_gen_sparse_vectors,
+        reference=_sparse_dot_ref,
+        examples=(
+            ("idx_a = [0, 3], val_a = [2, 4], idx_b = [3, 5], val_b = [10, 1]",
+             "returns 40"),
+        ),
+        tol=1e-5,
+        gpu_threads=lambda inp: len(inp["idx_a"]),
+    ),
+    Problem(
+        name="sparse_axpy",
+        ptype="sparse_la",
+        description=(
+            "A sparse vector is given by sorted distinct indices idx and "
+            "values val.  Update the dense vector y in place: "
+            "y[idx[k]] += a * val[k] for every k."
+        ),
+        params=(
+            ParamSpec("a", "float", "in"),
+            ParamSpec("idx", "array<int>", "in"),
+            ParamSpec("val", "array<float>", "in"),
+            ParamSpec("y", "array<float>", "inout"),
+        ),
+        ret=None,
+        generate=_gen_sparse_axpy,
+        reference=_sparse_axpy_ref,
+        examples=(
+            ("a = 2, idx = [1, 3], val = [5, 1], y = [0, 0, 0, 0]",
+             "y becomes [0, 10, 0, 2]"),
+        ),
+        gpu_threads=lambda inp: len(inp["idx"]),
+    ),
+    Problem(
+        name="csr_row_sums",
+        ptype="sparse_la",
+        description=(
+            "For a CSR matrix given by rowptr (length n+1) and vals, write "
+            "the sum of each row's values into out (length n, zeroed): "
+            "out[i] = sum of vals[rowptr[i] .. rowptr[i+1])."
+        ),
+        params=(
+            ParamSpec("rowptr", "array<int>", "in"),
+            ParamSpec("vals", "array<float>", "in"),
+            ParamSpec("out", "array<float>", "out"),
+        ),
+        ret=None,
+        generate=_gen_row_sums,
+        reference=_row_sums_ref,
+        examples=(
+            ("rowptr = [0, 2, 3], vals = [1, 2, 5]", "out becomes [3, 5]"),
+        ),
+        tol=1e-5,
+        gpu_threads=lambda inp: len(inp["rowptr"]) - 1,
+    ),
+    Problem(
+        name="spmv_transpose",
+        ptype="sparse_la",
+        description=(
+            "Compute y = A^T * x for a square CSR matrix A given by rowptr, "
+            "colidx and vals: for every row i and entry k in "
+            "rowptr[i]..rowptr[i+1], accumulate y[colidx[k]] += vals[k] * x[i].  "
+            "y has length n and is already zeroed."
+        ),
+        params=(
+            ParamSpec("rowptr", "array<int>", "in"),
+            ParamSpec("colidx", "array<int>", "in"),
+            ParamSpec("vals", "array<float>", "in"),
+            ParamSpec("x", "array<float>", "in"),
+            ParamSpec("y", "array<float>", "out"),
+        ),
+        ret=None,
+        generate=_gen_spmv,
+        reference=_spmv_t_ref,
+        examples=(
+            ("rowptr = [0, 1, 3], colidx = [1, 0, 1], vals = [2, 1, 3], "
+             "x = [5, 7]", "y becomes [7, 31]"),
+        ),
+        tol=1e-5,
+        gpu_threads=lambda inp: len(inp["rowptr"]) - 1,
+    ),
+]

@@ -1,0 +1,180 @@
+"""Stencil problems (Table 1): one iteration of 1-D and 2-D stencils."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..spec import ParamSpec, Problem
+from .common import floats, grid, side_for
+
+
+def _jacobi1d_ref(inp):
+    x = np.asarray(inp["x"])
+    y = x.copy()
+    y[1:-1] = (x[:-2] + x[1:-1] + x[2:]) / 3.0
+    return {"y": y}
+
+
+def _jacobi2d_ref(inp):
+    g = np.asarray(inp["grid"])
+    out = g.copy()
+    out[1:-1, 1:-1] = (
+        g[:-2, 1:-1] + g[2:, 1:-1] + g[1:-1, :-2] + g[1:-1, 2:] + g[1:-1, 1:-1]
+    ) / 5.0
+    return {"out": out}
+
+
+def _heat_ref(inp):
+    u = np.asarray(inp["u"])
+    a = inp["alpha"]
+    out = u.copy()
+    out[1:-1] = u[1:-1] + a * (u[:-2] - 2.0 * u[1:-1] + u[2:])
+    return {"unew": out}
+
+
+def _life_ref(inp):
+    b = np.asarray(inp["board"])
+    padded = np.pad(b, 1)
+    neigh = sum(
+        padded[1 + di:1 + di + b.shape[0], 1 + dj:1 + dj + b.shape[1]]
+        for di in (-1, 0, 1) for dj in (-1, 0, 1) if (di, dj) != (0, 0)
+    )
+    out = ((neigh == 3) | ((b == 1) & (neigh == 2))).astype(np.int64)
+    return {"out": out}
+
+
+def _pool_ref(inp):
+    g = np.asarray(inp["grid"])
+    r, c = g.shape
+    out = np.empty_like(g)
+    for i in range(r):
+        for j in range(c):
+            out[i, j] = g[max(0, i - 1):min(r, i + 2),
+                          max(0, j - 1):min(c, j + 2)].max()
+    return {"out": out}
+
+
+def _gen_2d(key_in, key_out, dtype=np.float64):
+    def gen(rng, n):
+        g = grid(rng, n)
+        return {key_in: g, key_out: np.zeros_like(g)}
+    return gen
+
+
+PROBLEMS = [
+    Problem(
+        name="jacobi_1d",
+        ptype="stencil",
+        description=(
+            "Perform one Jacobi iteration: for each interior index i, "
+            "y[i] = (x[i-1] + x[i] + x[i+1]) / 3.  The endpoints are copied: "
+            "y[0] = x[0] and y[n-1] = x[n-1]."
+        ),
+        params=(
+            ParamSpec("x", "array<float>", "in"),
+            ParamSpec("y", "array<float>", "out"),
+        ),
+        ret=None,
+        generate=lambda rng, n: {"x": floats(rng, n), "y": np.zeros(n)},
+        reference=_jacobi1d_ref,
+        examples=(
+            ("x = [3, 0, 3, 9]", "y becomes [3, 2, 4, 9]"),
+        ),
+    ),
+    Problem(
+        name="jacobi_2d",
+        ptype="stencil",
+        description=(
+            "Perform one 2-D Jacobi iteration on grid: for each interior "
+            "cell, out[i, j] is the average of the cell and its four "
+            "neighbours (up, down, left, right).  Boundary cells are copied "
+            "unchanged."
+        ),
+        params=(
+            ParamSpec("grid", "array2d<float>", "in"),
+            ParamSpec("out", "array2d<float>", "out"),
+        ),
+        ret=None,
+        generate=_gen_2d("grid", "out"),
+        reference=_jacobi2d_ref,
+        examples=(
+            ("grid = [[0,0,0],[0,5,0],[0,0,0]]",
+             "out becomes [[0,0,0],[0,1,0],[0,0,0]]"),
+        ),
+        correctness_size=196,   # 14x14
+        timing_size=2304,       # 48x48
+        work_scale=512.0,
+    ),
+    Problem(
+        name="heat_step_1d",
+        ptype="stencil",
+        description=(
+            "Perform one explicit heat-equation step: for each interior i, "
+            "unew[i] = u[i] + alpha * (u[i-1] - 2*u[i] + u[i+1]).  The "
+            "endpoints are copied unchanged."
+        ),
+        params=(
+            ParamSpec("u", "array<float>", "in"),
+            ParamSpec("alpha", "float", "in"),
+            ParamSpec("unew", "array<float>", "out"),
+        ),
+        ret=None,
+        generate=lambda rng, n: {
+            "u": floats(rng, n), "alpha": 0.25, "unew": np.zeros(n),
+        },
+        reference=_heat_ref,
+        examples=(
+            ("u = [0, 4, 0], alpha = 0.25", "unew becomes [0, 2, 0]"),
+        ),
+    ),
+    Problem(
+        name="game_of_life_step",
+        ptype="stencil",
+        description=(
+            "Compute one step of Conway's Game of Life.  board holds 0 "
+            "(dead) or 1 (alive); cells outside the board are dead.  A live "
+            "cell survives with 2 or 3 live neighbours; a dead cell becomes "
+            "alive with exactly 3.  Write the next generation into out."
+        ),
+        params=(
+            ParamSpec("board", "array2d<int>", "in"),
+            ParamSpec("out", "array2d<int>", "out"),
+        ),
+        ret=None,
+        generate=lambda rng, n: {
+            "board": (rng.uniform(size=(side_for(n), side_for(n))) < 0.35
+                      ).astype(np.int64),
+            "out": np.zeros((side_for(n), side_for(n)), dtype=np.int64),
+        },
+        reference=_life_ref,
+        examples=(
+            ("board = [[0,1,0],[0,1,0],[0,1,0]] (a blinker)",
+             "out becomes [[0,0,0],[1,1,1],[0,0,0]]"),
+        ),
+        correctness_size=196,
+        timing_size=2304,
+        work_scale=512.0,
+    ),
+    Problem(
+        name="max_pool_3x3",
+        ptype="stencil",
+        description=(
+            "For every cell of grid write into out the maximum over its 3x3 "
+            "neighbourhood, clamped at the edges (cells outside the grid are "
+            "ignored)."
+        ),
+        params=(
+            ParamSpec("grid", "array2d<float>", "in"),
+            ParamSpec("out", "array2d<float>", "out"),
+        ),
+        ret=None,
+        generate=_gen_2d("grid", "out"),
+        reference=_pool_ref,
+        examples=(
+            ("grid = [[1,2],[3,4]]", "out becomes [[4,4],[4,4]]"),
+        ),
+        correctness_size=196,
+        timing_size=2304,
+        work_scale=512.0,
+    ),
+]

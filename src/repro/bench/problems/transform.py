@@ -1,0 +1,101 @@
+"""Transform problems: map a constant function over an array (Table 1).
+
+The simplest problem type — fully data parallel — which is why the paper
+finds every LLM does best here (Fig. 3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..spec import ParamSpec, Problem
+from .common import floats
+
+PROBLEMS = [
+    Problem(
+        name="relu",
+        ptype="transform",
+        description=(
+            "Replace every element of the array x with max(x[i], 0), i.e. "
+            "apply the rectified linear unit in place."
+        ),
+        params=(ParamSpec("x", "array<float>", "inout"),),
+        ret=None,
+        generate=lambda rng, n: {"x": floats(rng, n)},
+        reference=lambda inp: {"x": np.maximum(inp["x"], 0.0)},
+        examples=(
+            ("x = [-1.5, 2, 0, -3]", "x becomes [0, 2, 0, 0]"),
+            ("x = [4, -4]", "x becomes [4, 0]"),
+        ),
+    ),
+    Problem(
+        name="celsius_to_fahrenheit",
+        ptype="transform",
+        description=(
+            "Convert every temperature in c from Celsius to Fahrenheit and "
+            "store it in f: f[i] = c[i] * 9 / 5 + 32."
+        ),
+        params=(
+            ParamSpec("c", "array<float>", "in"),
+            ParamSpec("f", "array<float>", "out"),
+        ),
+        ret=None,
+        generate=lambda rng, n: {
+            "c": floats(rng, n, -40.0, 40.0),
+            "f": np.zeros(n),
+        },
+        reference=lambda inp: {"f": inp["c"] * 9.0 / 5.0 + 32.0},
+        examples=(
+            ("c = [0, 100, -40]", "f becomes [32, 212, -40]"),
+        ),
+    ),
+    Problem(
+        name="clamp_range",
+        ptype="transform",
+        description=(
+            "Clamp every element of x into the closed interval [lo, hi] "
+            "in place: values below lo become lo, values above hi become hi."
+        ),
+        params=(
+            ParamSpec("x", "array<float>", "inout"),
+            ParamSpec("lo", "float", "in"),
+            ParamSpec("hi", "float", "in"),
+        ),
+        ret=None,
+        generate=lambda rng, n: {
+            "x": floats(rng, n),
+            "lo": -2.5,
+            "hi": 2.5,
+        },
+        reference=lambda inp: {"x": np.clip(inp["x"], inp["lo"], inp["hi"])},
+        examples=(
+            ("x = [-5, 0, 7], lo = -1, hi = 3", "x becomes [-1, 0, 3]"),
+        ),
+    ),
+    Problem(
+        name="cube_elements",
+        ptype="transform",
+        description="Replace every element of x with its cube in place.",
+        params=(ParamSpec("x", "array<float>", "inout"),),
+        ret=None,
+        generate=lambda rng, n: {"x": floats(rng, n, -4.0, 4.0)},
+        reference=lambda inp: {"x": inp["x"] ** 3},
+        examples=(
+            ("x = [1, -2, 3]", "x becomes [1, -8, 27]"),
+        ),
+    ),
+    Problem(
+        name="halve_shifted",
+        ptype="transform",
+        description=(
+            "Replace every element of x with (x[i] + 1) / 2 in place."
+        ),
+        params=(ParamSpec("x", "array<float>", "inout"),),
+        ret=None,
+        generate=lambda rng, n: {"x": floats(rng, n)},
+        reference=lambda inp: {"x": (inp["x"] + 1.0) / 2.0},
+        examples=(
+            ("x = [1, 3, -1]", "x becomes [1, 2, 0]"),
+        ),
+    ),
+]

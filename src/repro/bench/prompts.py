@@ -1,0 +1,82 @@
+"""Prompt rendering: one text prompt per (problem, execution model).
+
+Follows the paper's prompt design (§4): a block comment holding the
+natural-language description, the execution-model instruction, and example
+inputs/outputs, followed by the opening of the kernel the LLM must
+complete.  (In the paper the includes are prepended; MiniPar needs no
+includes, the instruction sentence plays that disambiguation role.)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from .spec import EXECUTION_MODELS, Problem, Prompt
+
+#: The per-model instruction sentence appended to each description.
+MODEL_INSTRUCTIONS: Dict[str, str] = {
+    "serial": "",
+    "openmp": "Use OpenMP to compute in parallel.",
+    "kokkos": (
+        "Use Kokkos parallel patterns (parallel_for, parallel_reduce, "
+        "parallel_scan) to compute in parallel. Assume Kokkos has already "
+        "been initialized."
+    ),
+    "mpi": (
+        "Use MPI to compute in parallel. Assume MPI has already been "
+        "initialized. Every rank has a copy of the inputs; the result must "
+        "be correct on rank 0."
+    ),
+    "mpi+omp": (
+        "Use MPI and OpenMP to compute in parallel. Assume MPI has already "
+        "been initialized. Every rank has a copy of the inputs; the result "
+        "must be correct on rank 0."
+    ),
+    "cuda": (
+        "Use CUDA to compute in parallel. The kernel is launched with at "
+        "least one thread per element."
+    ),
+    "hip": (
+        "Use HIP to compute in parallel. The kernel is launched with at "
+        "least one thread per element."
+    ),
+}
+
+
+def render_prompt(problem: Problem, model: str) -> Prompt:
+    """Render the prompt text for one (problem, execution model) task."""
+    if model not in EXECUTION_MODELS:
+        raise ValueError(f"unknown execution model {model!r}")
+    lines: List[str] = ["/*"]
+    lines.append(f"   {problem.description}")
+    instruction = MODEL_INSTRUCTIONS[model]
+    if instruction:
+        lines.append(f"   {instruction}")
+    if problem.examples:
+        lines.append("   Examples:")
+        for given, result in problem.examples:
+            lines.append(f"   input: {given}")
+            lines.append(f"   output: {result}")
+    if model in ("cuda", "hip") and problem.ret is not None:
+        lines.append(
+            "   The kernel cannot return a value: write the result into "
+            "result[0] instead."
+        )
+        init = problem.gpu_result_init
+        if not callable(init):
+            lines.append(f"   result[0] is initialized to {init}.")
+        else:
+            lines.append(
+                "   result[0] is initialized as described; leave it "
+                "unchanged when there is nothing to report."
+            )
+    lines.append("*/")
+    lines.append(problem.signature(model))
+    return Prompt(problem=problem, model=model, text="\n".join(lines))
+
+
+def prompts_for(problems: Iterable[Problem],
+                models: Iterable[str] = EXECUTION_MODELS) -> List[Prompt]:
+    """The cross product of problems and execution models, in order."""
+    models = tuple(models)
+    return [render_prompt(p, m) for p in problems for m in models]

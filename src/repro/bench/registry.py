@@ -1,0 +1,68 @@
+"""The PCGBench registry: 60 problems x 7 execution models = 420 prompts."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .problems import all_problems, problems_by_type
+from .prompts import prompts_for
+from .spec import EXECUTION_MODELS, PROBLEM_TYPES, Problem, Prompt
+
+
+class PCGBench:
+    """The full benchmark, with filtered views for partial runs."""
+
+    def __init__(
+        self,
+        problem_types: Optional[Sequence[str]] = None,
+        models: Optional[Sequence[str]] = None,
+    ):
+        ptypes = tuple(problem_types) if problem_types else PROBLEM_TYPES
+        for pt in ptypes:
+            if pt not in PROBLEM_TYPES:
+                raise ValueError(f"unknown problem type {pt!r}")
+        self.models = tuple(models) if models else EXECUTION_MODELS
+        for m in self.models:
+            if m not in EXECUTION_MODELS:
+                raise ValueError(f"unknown execution model {m!r}")
+        by_type = problems_by_type()
+        self.problems: List[Problem] = [
+            p for pt in ptypes for p in by_type[pt]
+        ]
+        self.prompts: List[Prompt] = prompts_for(self.problems, self.models)
+
+    def __len__(self) -> int:
+        return len(self.prompts)
+
+    def by_model(self, model: str) -> List[Prompt]:
+        return [p for p in self.prompts if p.model == model]
+
+    def by_type(self, ptype: str) -> List[Prompt]:
+        return [p for p in self.prompts if p.problem.ptype == ptype]
+
+    def problem(self, name: str) -> Problem:
+        for p in self.problems:
+            if p.name == name:
+                return p
+        raise KeyError(name)
+
+    def prompt(self, uid: str) -> Prompt:
+        for p in self.prompts:
+            if p.uid == uid:
+                return p
+        raise KeyError(uid)
+
+    def inventory(self) -> Dict[str, int]:
+        """Counts per problem type (the data behind Table 1)."""
+        out: Dict[str, int] = {}
+        for p in self.problems:
+            out[p.ptype] = out.get(p.ptype, 0) + 1
+        return out
+
+
+def full_benchmark() -> PCGBench:
+    """The complete 420-prompt PCGBench."""
+    return PCGBench()
+
+
+__all__ = ["PCGBench", "full_benchmark", "all_problems"]

@@ -1,0 +1,201 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``list``
+    Show the benchmark inventory (Table 1) and the model zoo (Table 2).
+``prompt <uid>``
+    Print one prompt, e.g. ``prompt scan/partial_minimums/kokkos``.
+``run <uid> [--model NAME] [--samples N] [--temperature T] [--timing]``
+    Generate samples for one prompt with a simulated LLM and push them
+    through the harness; print each verdict.
+``eval [--models A,B] [--ptypes x,y] [--exec a,b] [--samples N] [--timing]``
+    Evaluate models over a benchmark slice and print the Figure 1/2/3
+    tables (plus 6/7 with ``--timing``).
+``figures [--samples N]``
+    Regenerate all paper figures from (or into) the on-disk cache —
+    the scripted equivalent of ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import (
+    fig1_pass_by_exec_model,
+    fig2_overall,
+    fig3_pass_by_ptype,
+    fig4_pass_curve,
+    fig5_efficiency_curves,
+    fig6_speedups,
+    fig7_efficiency,
+    status_breakdown,
+    table1,
+    table2,
+)
+from .bench import PCGBench
+from .harness import EvalCache, Runner, evaluate_model
+from .models import MODEL_ORDER, load_model, profile
+
+
+def _split(value: Optional[str]) -> Optional[List[str]]:
+    return [v.strip() for v in value.split(",")] if value else None
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    print(table1())
+    print()
+    print(table2())
+    return 0
+
+
+def cmd_prompt(args: argparse.Namespace) -> int:
+    bench = PCGBench()
+    try:
+        prompt = bench.prompt(args.uid)
+    except KeyError:
+        print(f"unknown prompt {args.uid!r}; uids look like "
+              "'scan/prefix_sum/openmp'", file=sys.stderr)
+        return 2
+    print(prompt.text)
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    bench = PCGBench()
+    prompt = bench.prompt(args.uid)
+    llm = load_model(args.model)
+    runner = Runner()
+    samples = llm.generate(prompt, args.samples, args.temperature, args.seed)
+    correct = 0
+    for i, sample in enumerate(samples):
+        res = runner.evaluate_sample(sample.source, prompt,
+                                     with_timing=args.timing)
+        correct += res.status == "correct"
+        line = f"[{i}] {res.status}"
+        if res.detail:
+            line += f"  ({res.detail[:80]})"
+        print(line)
+        if args.verbose:
+            print(sample.source)
+        if res.times:
+            t_star = runner.baseline_time(prompt.problem)
+            for n, t in sorted(res.times.items()):
+                print(f"      n={n}: {t*1e3:.3f} ms "
+                      f"(speedup {t_star/t:.2f}x)")
+    print(f"pass@1 estimate: {correct}/{len(samples)}")
+    return 0
+
+
+def cmd_eval(args: argparse.Namespace) -> int:
+    bench = PCGBench(problem_types=_split(args.ptypes),
+                     models=_split(args.exec))
+    model_names = _split(args.models) or list(MODEL_ORDER)
+    runner = Runner()
+    runs = {}
+    for name in model_names:
+        print(f"evaluating {name} on {len(bench)} prompts ...",
+              file=sys.stderr)
+        runs[name] = evaluate_model(
+            load_model(name), bench, num_samples=args.samples,
+            temperature=args.temperature, with_timing=args.timing,
+            runner=runner, seed=args.seed,
+        )
+    for builder in (fig1_pass_by_exec_model, fig2_overall,
+                    fig3_pass_by_ptype):
+        _, text = builder(runs)
+        print("\n" + text)
+    if args.timing:
+        for builder in (fig6_speedups, fig7_efficiency):
+            _, text = builder(runs)
+            print("\n" + text)
+    if args.verbose:
+        for name, run in runs.items():
+            print(f"\n{name} status breakdown: {status_breakdown(run)}")
+    return 0
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    bench = PCGBench()
+    cache = EvalCache()
+    runner = Runner()
+
+    def runs_for(samples, temperature, timing, seed, names):
+        return {
+            n: cache.get_or_run(load_model(n), bench, num_samples=samples,
+                                temperature=temperature, with_timing=timing,
+                                seed=seed, runner=runner)
+            for n in names
+        }
+
+    print(table1())
+    print("\n" + table2())
+    k1 = runs_for(args.samples, 0.2, False, 11, MODEL_ORDER)
+    for builder in (fig1_pass_by_exec_model, fig2_overall,
+                    fig3_pass_by_ptype):
+        _, text = builder(k1)
+        print("\n" + text)
+    open_models = [m for m in MODEL_ORDER if not profile(m).chat_only]
+    hot = runs_for(max(args.samples, 25), 0.8, False, 13, open_models)
+    _, text = fig4_pass_curve(hot)
+    print("\n" + text)
+    timed = runs_for(min(args.samples, 5), 0.2, True, 17, MODEL_ORDER)
+    for builder in (fig5_efficiency_curves, fig6_speedups, fig7_efficiency):
+        _, text = builder(timed)
+        print("\n" + text)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=("Reproduction of 'Can Large Language Models Write "
+                     "Parallel Code?' (HPDC 2024)"),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="show Table 1 and Table 2").set_defaults(
+        fn=cmd_list)
+
+    p = sub.add_parser("prompt", help="print one PCGBench prompt")
+    p.add_argument("uid", help="e.g. scan/prefix_sum/openmp")
+    p.set_defaults(fn=cmd_prompt)
+
+    p = sub.add_parser("run", help="sample one prompt and run the harness")
+    p.add_argument("uid")
+    p.add_argument("--model", default="GPT-3.5", choices=list(MODEL_ORDER))
+    p.add_argument("--samples", type=int, default=5)
+    p.add_argument("--temperature", type=float, default=0.2)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--timing", action="store_true")
+    p.add_argument("--verbose", "-v", action="store_true")
+    p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("eval", help="evaluate models over a benchmark slice")
+    p.add_argument("--models", help="comma-separated model names")
+    p.add_argument("--ptypes", help="comma-separated problem types")
+    p.add_argument("--exec", help="comma-separated execution models")
+    p.add_argument("--samples", type=int, default=6)
+    p.add_argument("--temperature", type=float, default=0.2)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--timing", action="store_true")
+    p.add_argument("--verbose", "-v", action="store_true")
+    p.set_defaults(fn=cmd_eval)
+
+    p = sub.add_parser("figures", help="regenerate all paper figures")
+    p.add_argument("--samples", type=int, default=8)
+    p.set_defaults(fn=cmd_figures)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

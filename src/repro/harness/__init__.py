@@ -1,0 +1,26 @@
+"""The PCGBench test harness: compile, link/usage checks, drivers,
+timing, and the end-to-end evaluation pipeline (paper §7)."""
+
+from .evaluate import (
+    EvalCache,
+    EvalRun,
+    PromptRecord,
+    SampleRecord,
+    evaluate_model,
+)
+from .runner import RunResult, Runner, compile_sample
+from .usagecheck import LINKABLE, link_error, uses_parallel_model
+
+__all__ = [
+    "Runner",
+    "RunResult",
+    "compile_sample",
+    "link_error",
+    "uses_parallel_model",
+    "LINKABLE",
+    "evaluate_model",
+    "EvalRun",
+    "EvalCache",
+    "PromptRecord",
+    "SampleRecord",
+]

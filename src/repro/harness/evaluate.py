@@ -1,0 +1,178 @@
+"""The end-to-end evaluation pipeline (paper §7): generate N samples per
+prompt from a (simulated) LLM, push every sample through the harness, and
+record statuses and simulated times in a JSON-serialisable results store.
+
+Full-benchmark runs are cached on disk keyed by their configuration, so
+the per-figure benchmarks share one generation+evaluation pass the way the
+paper's figures all read one set of measurement logs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..bench.registry import PCGBench
+from ..bench.spec import Prompt
+from ..models.llm import SimulatedLLM
+from .runner import Runner
+
+#: environment knob: scale down sample counts for quick runs
+ENV_SAMPLES = "REPRO_SAMPLES"
+
+
+@dataclass
+class SampleRecord:
+    status: str
+    intended: str = ""
+    detail: str = ""
+    #: simulated seconds keyed by processor count (timing runs only)
+    times: Dict[int, float] = field(default_factory=dict)
+
+
+@dataclass
+class PromptRecord:
+    uid: str
+    ptype: str
+    exec_model: str
+    samples: List[SampleRecord] = field(default_factory=list)
+    baseline: Optional[float] = None
+
+    def statuses(self) -> List[str]:
+        return [s.status for s in self.samples]
+
+    def times_at(self, n: int) -> List[Optional[float]]:
+        return [s.times.get(n) for s in self.samples]
+
+    def measured_ns(self) -> List[int]:
+        ns = set()
+        for s in self.samples:
+            ns.update(s.times)
+        return sorted(ns)
+
+
+@dataclass
+class EvalRun:
+    """All results for one (LLM, configuration) pair."""
+
+    llm: str
+    temperature: float
+    num_samples: int
+    with_timing: bool
+    seed: int
+    prompts: Dict[str, PromptRecord] = field(default_factory=dict)
+
+    # -- persistence --------------------------------------------------------
+
+    def to_json(self) -> str:
+        payload = asdict(self)
+        return json.dumps(payload)
+
+    @classmethod
+    def from_json(cls, text: str) -> "EvalRun":
+        raw = json.loads(text)
+        prompts = {}
+        for uid, pr in raw.pop("prompts").items():
+            samples = [
+                SampleRecord(
+                    status=s["status"], intended=s.get("intended", ""),
+                    detail=s.get("detail", ""),
+                    times={int(k): v for k, v in s.get("times", {}).items()},
+                )
+                for s in pr.pop("samples")
+            ]
+            prompts[uid] = PromptRecord(samples=samples, **pr)
+        return cls(prompts=prompts, **raw)
+
+    # -- views ----------------------------------------------------------------
+
+    def by_exec_model(self, exec_model: str) -> List[PromptRecord]:
+        return [p for p in self.prompts.values() if p.exec_model == exec_model]
+
+    def by_ptype(self, ptype: str) -> List[PromptRecord]:
+        return [p for p in self.prompts.values() if p.ptype == ptype]
+
+    def parallel_prompts(self) -> List[PromptRecord]:
+        return [p for p in self.prompts.values() if p.exec_model != "serial"]
+
+
+def effective_samples(requested: int) -> int:
+    """Apply the REPRO_SAMPLES env cap (for fast benchmark runs)."""
+    cap = os.environ.get(ENV_SAMPLES)
+    if cap:
+        return max(2, min(requested, int(cap)))
+    return requested
+
+
+def evaluate_model(
+    llm: SimulatedLLM,
+    bench: PCGBench,
+    num_samples: int = 8,
+    temperature: float = 0.2,
+    with_timing: bool = False,
+    runner: Optional[Runner] = None,
+    seed: int = 1,
+    progress: Optional[Callable[[str], None]] = None,
+) -> EvalRun:
+    """Run the full §7 pipeline for one model over ``bench``."""
+    runner = runner or Runner()
+    num_samples = effective_samples(num_samples)
+    run = EvalRun(llm=llm.name, temperature=temperature,
+                  num_samples=num_samples, with_timing=with_timing, seed=seed)
+    for prompt in bench.prompts:
+        record = PromptRecord(uid=prompt.uid, ptype=prompt.problem.ptype,
+                              exec_model=prompt.model)
+        if with_timing:
+            record.baseline = runner.baseline_time(prompt.problem)
+        for sample in llm.generate(prompt, num_samples, temperature, seed):
+            res = runner.evaluate_sample(sample.source, prompt,
+                                         with_timing=with_timing)
+            record.samples.append(SampleRecord(
+                status=res.status, intended=sample.intended,
+                detail=res.detail[:160], times=dict(res.times),
+            ))
+        run.prompts[prompt.uid] = record
+        if progress is not None:
+            progress(prompt.uid)
+    return run
+
+
+class EvalCache:
+    """Disk cache of EvalRuns keyed by configuration."""
+
+    def __init__(self, cache_dir: Optional[str] = None):
+        root = cache_dir or os.environ.get("REPRO_CACHE", ".repro_cache")
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, llm_name: str, num_samples: int, temperature: float,
+              with_timing: bool, seed: int, tag: str = "full") -> Path:
+        fname = (
+            f"{llm_name}_{tag}_s{num_samples}_t{temperature:g}"
+            f"_{'timed' if with_timing else 'plain'}_r{seed}.json"
+        )
+        return self.root / fname.replace("/", "-")
+
+    def get_or_run(
+        self,
+        llm: SimulatedLLM,
+        bench: PCGBench,
+        num_samples: int,
+        temperature: float,
+        with_timing: bool = False,
+        seed: int = 1,
+        tag: str = "full",
+        runner: Optional[Runner] = None,
+    ) -> EvalRun:
+        num_samples = effective_samples(num_samples)
+        path = self._path(llm.name, num_samples, temperature, with_timing,
+                          seed, tag)
+        if path.exists():
+            return EvalRun.from_json(path.read_text())
+        run = evaluate_model(llm, bench, num_samples, temperature,
+                             with_timing, runner, seed)
+        path.write_text(run.to_json())
+        return run

@@ -1,0 +1,281 @@
+"""The PCGBench test harness runner (paper §7.2).
+
+For one generated sample this module implements the full pipeline the
+paper describes: compile, link-check, usage-check, run against the test
+driver, validate against the numpy reference, and time against the
+handwritten sequential baseline at each processor count.
+
+Statuses mirror the paper's bookkeeping:
+
+* ``build_error``   — lexing/parsing/type errors or link failures;
+* ``not_parallel``  — built, but failed the parallel-model usage check;
+* ``runtime_error`` — trap / race / deadlock / MPI misuse;
+* ``timeout``       — exceeded the fuel budget or simulated 3-minute cap;
+* ``wrong_answer``  — ran but the outputs disagree with the reference;
+* ``correct``       — everything above passed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..bench.spec import Problem, Prompt
+from ..lang import CompileError, compile_source
+from ..lang.errors import (
+    DataRaceError,
+    DeadlockError,
+    FuelExhausted,
+    MiniParError,
+    MPIUsageError,
+    RuntimeFailure,
+    SimTimeLimitExceeded,
+    TrapError,
+)
+from ..runtime import (
+    Array,
+    CompiledProgram,
+    ExecCtx,
+    KokkosRuntime,
+    Machine,
+    OpenMPRuntime,
+    SerialRuntime,
+    compile_program,
+    launch,
+    run_mpi,
+)
+from ..runtime.machine import CPU_THREAD_COUNTS, DEFAULT_MACHINE
+from .usagecheck import link_error, uses_parallel_model
+
+#: canonical processor counts used for correctness runs per model
+CORRECTNESS_PROCS = {"mpi": 4, "mpi+omp": (2, 4)}
+
+#: fuel budgets (interpreter op units) per run kind
+CORRECTNESS_FUEL = 3_000_000
+TIMING_FUEL = 40_000_000
+
+#: process-wide memo of sequential-baseline times (deterministic)
+_BASELINE_CACHE: Dict[tuple, float] = {}
+
+
+@dataclass
+class RunResult:
+    """Outcome of evaluating one sample of generated code."""
+
+    status: str                       # see module docstring
+    detail: str = ""
+    #: simulated seconds per processor count (timing runs only)
+    times: Dict[int, float] = field(default_factory=dict)
+    baseline_time: Optional[float] = None
+
+
+def compile_sample(source: str, model: str):
+    """Compile + link a generated sample.  Returns (program, None) or
+    (None, reason)."""
+    try:
+        checked = compile_source(source)
+    except CompileError as exc:
+        return None, f"compile error: {exc}"
+    err = link_error(checked, model)
+    if err is not None:
+        return None, f"link error: {err}"
+    try:
+        program = compile_program(checked)
+    except MiniParError as exc:  # pragma: no cover - defensive
+        return None, f"codegen error: {exc}"
+    return program, None
+
+
+def _classify(exc: BaseException) -> str:
+    if isinstance(exc, FuelExhausted) or isinstance(exc, SimTimeLimitExceeded):
+        return "timeout"
+    if isinstance(exc, (DataRaceError, DeadlockError, MPIUsageError,
+                        TrapError, RuntimeFailure)):
+        return "runtime_error"
+    if isinstance(exc, MiniParError):
+        return "runtime_error"
+    raise exc
+
+
+class Runner:
+    """Compiles, checks, runs and times generated samples."""
+
+    def __init__(self, machine: Machine = DEFAULT_MACHINE,
+                 thread_counts: Sequence[int] = CPU_THREAD_COUNTS,
+                 mpi_rank_counts: Sequence[int] = (1, 4, 16, 64, 256, 512),
+                 hybrid_config: Sequence[int] = (4, 64),
+                 correctness_trials: int = 2,
+                 seed: int = 20240603):
+        self.machine = machine
+        self.thread_counts = tuple(thread_counts)
+        self.mpi_rank_counts = tuple(mpi_rank_counts)
+        self.hybrid_config = tuple(hybrid_config)
+        self.correctness_trials = correctness_trials
+        self.seed = seed
+
+    # -- single executions -------------------------------------------------------
+
+    def _run_shared(self, program: CompiledProgram, problem: Problem,
+                    inputs: Dict, model: str, fuel: int, work_scale: float):
+        """serial / openmp / kokkos execution; returns (args, ret, ctx)."""
+        if model == "serial":
+            rt = SerialRuntime()
+        elif model == "openmp":
+            rt = OpenMPRuntime(self.thread_counts)
+        else:
+            rt = KokkosRuntime(self.thread_counts)
+        ctx = ExecCtx(self.machine, rt, fuel=fuel, work_scale=work_scale)
+        args = problem.to_minipar_args(inputs)
+        ret = program.run_kernel(problem.entry, ctx, args)
+        return args, ret, ctx
+
+    def _gpu_args(self, problem: Problem, inputs: Dict, model: str):
+        args = problem.to_minipar_args(inputs)
+        if problem.ret is not None:
+            elem = "int" if problem.ret == "int" else "float"
+            seed_val = problem.gpu_result_seed(inputs)
+            result = Array([int(seed_val) if elem == "int" else float(seed_val)],
+                           elem, (1,))
+            args = list(args) + [result]
+        return args
+
+    # -- correctness --------------------------------------------------------------
+
+    def check_correct(self, program: CompiledProgram, source: str,
+                      prompt: Prompt) -> RunResult:
+        """Run the correctness driver: usage check + reference trials."""
+        problem, model = prompt.problem, prompt.model
+        if not uses_parallel_model(source, model):
+            return RunResult("not_parallel",
+                             f"generated code does not use {model}")
+        rng = np.random.default_rng(self.seed)
+        for trial in range(self.correctness_trials):
+            inputs = problem.generate(rng, problem.correctness_size)
+            try:
+                ok = self._correct_once(program, problem, model, inputs)
+            except BaseException as exc:  # noqa: BLE001
+                return RunResult(_classify(exc), f"{type(exc).__name__}: {exc}")
+            if not ok:
+                return RunResult("wrong_answer", f"trial {trial} mismatch")
+        return RunResult("correct")
+
+    def _correct_once(self, program, problem: Problem, model: str,
+                      inputs: Dict) -> bool:
+        if model in ("serial", "openmp", "kokkos"):
+            args, ret, _ = self._run_shared(
+                program, problem, inputs, model,
+                fuel=CORRECTNESS_FUEL, work_scale=1.0,
+            )
+            return problem.check(inputs, args, ret)
+        if model in ("mpi", "mpi+omp"):
+            if model == "mpi":
+                nranks, tpr = CORRECTNESS_PROCS["mpi"], 0
+            else:
+                nranks, tpr = CORRECTNESS_PROCS["mpi+omp"]
+            res = run_mpi(program, problem.entry,
+                          problem.to_minipar_args(inputs), nranks,
+                          self.machine, fuel=CORRECTNESS_FUEL,
+                          threads_per_rank=tpr)
+            if res.error is not None:
+                raise res.error
+            return problem.check(inputs, res.args, res.ret)
+        # cuda / hip
+        args = self._gpu_args(problem, inputs, model)
+        res = launch(program, problem.entry, args,
+                     problem.default_gpu_threads(inputs), self.machine,
+                     dialect=model, fuel=CORRECTNESS_FUEL)
+        if res.error is not None:
+            raise res.error
+        return problem.gpu_check(inputs, args)
+
+    # -- timing ----------------------------------------------------------------------
+
+    def baseline_time(self, problem: Problem) -> float:
+        """Simulated time of the handwritten sequential baseline at the
+        timing size (T* in the metrics).  Deterministic, so cached
+        process-wide per (problem, seed)."""
+        key = (problem.name, self.seed, id(self.machine))
+        cached = _BASELINE_CACHE.get(key)
+        if cached is not None:
+            return cached
+        from ..bench.baselines import baseline_source
+
+        program = compile_program(compile_source(baseline_source(problem.name)))
+        rng = np.random.default_rng(self.seed + 1)
+        inputs = problem.generate(rng, problem.timing_size)
+        args = problem.to_minipar_args(inputs)
+        ctx = ExecCtx(self.machine, SerialRuntime(), fuel=TIMING_FUEL,
+                      work_scale=problem.work_scale)
+        program.run_kernel(problem.entry, ctx, args)
+        _BASELINE_CACHE[key] = ctx.sim_seconds()
+        return _BASELINE_CACHE[key]
+
+    def measure(self, program: CompiledProgram, prompt: Prompt) -> Dict[int, float]:
+        """Simulated time per processor count at the timing size.
+
+        Configurations where the sample fails (e.g. a scatter that needs
+        divisibility at some rank count) are simply absent from the dict,
+        as a crashed run would be absent from the paper's measurements.
+        """
+        problem, model = prompt.problem, prompt.model
+        rng = np.random.default_rng(self.seed + 1)
+        inputs = problem.generate(rng, problem.timing_size)
+        scale = problem.work_scale
+        times: Dict[int, float] = {}
+        if model == "serial":
+            try:
+                _, _, ctx = self._run_shared(program, problem, inputs, model,
+                                             TIMING_FUEL, scale)
+                times[1] = ctx.sim_seconds()
+            except MiniParError:
+                pass
+            return times
+        if model in ("openmp", "kokkos"):
+            try:
+                _, _, ctx = self._run_shared(program, problem, inputs, model,
+                                             TIMING_FUEL, scale)
+            except MiniParError:
+                return times
+            for t in self.thread_counts:
+                times[t] = ctx.sim_seconds(t)
+            return times
+        if model == "mpi":
+            for p in self.mpi_rank_counts:
+                res = run_mpi(program, problem.entry,
+                              problem.to_minipar_args(inputs), p, self.machine,
+                              work_scale=scale, fuel=TIMING_FUEL)
+                if res.error is None:
+                    times[p] = res.sim_seconds
+            return times
+        if model == "mpi+omp":
+            ranks, tpr = self.hybrid_config
+            res = run_mpi(program, problem.entry,
+                          problem.to_minipar_args(inputs), ranks, self.machine,
+                          work_scale=scale, fuel=TIMING_FUEL,
+                          threads_per_rank=tpr)
+            if res.error is None:
+                times[ranks * tpr] = res.sim_seconds
+            return times
+        # cuda / hip
+        args = self._gpu_args(problem, inputs, model)
+        res = launch(program, problem.entry, args,
+                     problem.default_gpu_threads(inputs), self.machine,
+                     dialect=model, work_scale=scale, fuel=TIMING_FUEL)
+        if res.error is None:
+            times[res.total_threads] = res.sim_seconds
+        return times
+
+    # -- the full per-sample pipeline ----------------------------------------------------
+
+    def evaluate_sample(self, source: str, prompt: Prompt,
+                        with_timing: bool = False) -> RunResult:
+        program, reason = compile_sample(source, prompt.model)
+        if program is None:
+            return RunResult("build_error", reason or "build failed")
+        result = self.check_correct(program, source, prompt)
+        if result.status != "correct" or not with_timing:
+            return result
+        result.times = self.measure(program, prompt)
+        return result

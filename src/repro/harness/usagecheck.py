@@ -1,0 +1,75 @@
+"""Link compatibility and parallel-model usage checks (paper §7.2).
+
+Two distinct checks, both mirroring the paper's harness:
+
+* **link check** — a program that calls into a runtime that is not linked
+  under the current execution model (e.g. Kokkos patterns in a serial
+  build) fails to build.  OpenMP pragmas compile everywhere (they are
+  ignored without ``-fopenmp``), exactly as with GCC.
+
+* **usage check** — "a code is marked incorrect if it does not use its
+  respective parallel programming model".  Implemented, as in the paper,
+  with string matching against the source text.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional, Set
+
+from ..lang.typecheck import CheckedProgram
+
+#: builtin categories linkable under each execution model
+LINKABLE = {
+    "serial": {"core", "atomic"},
+    "openmp": {"core", "atomic"},
+    "kokkos": {"core", "atomic", "kokkos"},
+    "mpi": {"core", "atomic", "mpi"},
+    "mpi+omp": {"core", "atomic", "mpi"},
+    "cuda": {"core", "atomic", "gpu"},
+    "hip": {"core", "atomic", "gpu"},
+}
+
+_USAGE_PATTERNS = {
+    "openmp": [re.compile(r"pragma\s+omp")],
+    "kokkos": [re.compile(r"\bparallel_(for|reduce|scan_inclusive|scan_exclusive)\s*\(")],
+    "mpi": [re.compile(r"\bmpi_\w+\s*\(")],
+    "cuda": [re.compile(r"\b(thread_idx|block_idx|block_dim|grid_dim|sync_threads)\s*\(")],
+    "hip": [re.compile(r"\b(thread_idx|block_idx|block_dim|grid_dim|sync_threads)\s*\(")],
+}
+
+
+def link_error(checked: CheckedProgram, model: str) -> Optional[str]:
+    """None if the program links under ``model``, else a message."""
+    allowed: Set[str] = LINKABLE[model]
+    bad = checked.builtin_categories - allowed
+    if bad:
+        names = sorted(
+            n for n in checked.builtins_used
+            if _category_of(n) in bad
+        )
+        return (
+            f"undefined reference under the {model!r} execution model: "
+            + ", ".join(names)
+        )
+    return None
+
+
+def _category_of(name: str) -> str:
+    from ..lang import builtins as bi
+
+    sig = bi.get(name)
+    return sig.category if sig else "core"
+
+
+def uses_parallel_model(source: str, model: str) -> bool:
+    """The paper's string-matching check: did the generated code actually
+    use the prompt's parallel programming model?"""
+    if model == "serial":
+        return True
+    if model == "mpi+omp":
+        return (
+            any(p.search(source) for p in _USAGE_PATTERNS["mpi"])
+            and any(p.search(source) for p in _USAGE_PATTERNS["openmp"])
+        )
+    return any(p.search(source) for p in _USAGE_PATTERNS[model])

@@ -1,0 +1,254 @@
+"""Abstract syntax tree for MiniPar.
+
+Nodes are small slotted dataclasses.  Every node carries a source position
+(line, col) so the type checker and runtime can report precise locations,
+and so AST-level bug injection can be mapped back to source text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from .types import Type
+
+
+@dataclass(slots=True)
+class Node:
+    line: int = field(default=0, kw_only=True)
+    col: int = field(default=0, kw_only=True)
+
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class Expr(Node):
+    pass
+
+
+@dataclass(slots=True)
+class IntLit(Expr):
+    value: int = 0
+
+
+@dataclass(slots=True)
+class FloatLit(Expr):
+    value: float = 0.0
+
+
+@dataclass(slots=True)
+class BoolLit(Expr):
+    value: bool = False
+
+
+@dataclass(slots=True)
+class StrLit(Expr):
+    """String literal; only valid as an operator name argument to builtins
+    such as ``parallel_reduce(n, "sum", ...)``."""
+
+    value: str = ""
+
+
+@dataclass(slots=True)
+class Name(Expr):
+    ident: str = ""
+
+
+@dataclass(slots=True)
+class Unary(Expr):
+    op: str = ""
+    operand: Expr = None  # type: ignore[assignment]
+
+
+@dataclass(slots=True)
+class Binary(Expr):
+    op: str = ""
+    left: Expr = None  # type: ignore[assignment]
+    right: Expr = None  # type: ignore[assignment]
+
+
+@dataclass(slots=True)
+class Index(Expr):
+    """1-D ``a[i]`` or 2-D ``m[i, j]`` array access."""
+
+    base: Expr = None  # type: ignore[assignment]
+    indices: Tuple[Expr, ...] = ()
+
+
+@dataclass(slots=True)
+class Call(Expr):
+    """Call of a user kernel or a builtin (``func`` is a bare name)."""
+
+    func: str = ""
+    args: Tuple[Expr, ...] = ()
+
+
+@dataclass(slots=True)
+class Lambda(Expr):
+    """``(i) => expr`` or ``(i) => { stmts }``; only valid as a builtin
+    argument (Kokkos-style patterns)."""
+
+    params: Tuple[str, ...] = ()
+    body_expr: Optional[Expr] = None
+    body_block: Optional["Block"] = None
+
+
+# --------------------------------------------------------------------------
+# Statements
+# --------------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class Stmt(Node):
+    pass
+
+
+@dataclass(slots=True)
+class Block(Stmt):
+    stmts: Tuple[Stmt, ...] = ()
+
+
+@dataclass(slots=True)
+class Let(Stmt):
+    name: str = ""
+    declared: Optional[Type] = None
+    init: Expr = None  # type: ignore[assignment]
+
+
+@dataclass(slots=True)
+class Assign(Stmt):
+    """``target op= value`` where target is a Name or Index and op is one of
+    ``=``, ``+=``, ``-=``, ``*=``, ``/=``."""
+
+    target: Expr = None  # type: ignore[assignment]
+    op: str = "="
+    value: Expr = None  # type: ignore[assignment]
+
+
+@dataclass(slots=True)
+class If(Stmt):
+    cond: Expr = None  # type: ignore[assignment]
+    then: Block = None  # type: ignore[assignment]
+    orelse: Optional[Stmt] = None  # Block or nested If
+
+
+@dataclass(slots=True)
+class For(Stmt):
+    """``for (i in lo..hi step s) { ... }``; iterates the half-open range."""
+
+    var: str = ""
+    lo: Expr = None  # type: ignore[assignment]
+    hi: Expr = None  # type: ignore[assignment]
+    step: Optional[Expr] = None
+    body: Block = None  # type: ignore[assignment]
+
+
+@dataclass(slots=True)
+class While(Stmt):
+    cond: Expr = None  # type: ignore[assignment]
+    body: Block = None  # type: ignore[assignment]
+
+
+@dataclass(slots=True)
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass(slots=True)
+class Break(Stmt):
+    pass
+
+
+@dataclass(slots=True)
+class Continue(Stmt):
+    pass
+
+
+@dataclass(slots=True)
+class ExprStmt(Stmt):
+    expr: Expr = None  # type: ignore[assignment]
+
+
+@dataclass(slots=True)
+class OmpClause(Node):
+    """A single OpenMP clause: ``reduction(op: var)`` or ``schedule(kind)``."""
+
+    kind: str = ""            # "reduction" | "schedule" | "num_threads"
+    op: str = ""              # reduction operator: + * min max
+    var: str = ""             # reduction variable
+    schedule: str = ""        # "static" | "dynamic" | "guided"
+    value: Optional[Expr] = None  # num_threads expression
+
+
+@dataclass(slots=True)
+class OmpParallelFor(Stmt):
+    """``pragma omp parallel for [clauses]`` applied to a for loop."""
+
+    clauses: Tuple[OmpClause, ...] = ()
+    loop: For = None  # type: ignore[assignment]
+
+
+@dataclass(slots=True)
+class OmpCritical(Stmt):
+    """``pragma omp critical`` applied to a block — serialized execution."""
+
+    body: Block = None  # type: ignore[assignment]
+
+
+@dataclass(slots=True)
+class OmpAtomic(Stmt):
+    """``pragma omp atomic`` applied to a single update assignment."""
+
+    update: Assign = None  # type: ignore[assignment]
+
+
+# --------------------------------------------------------------------------
+# Top level
+# --------------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class Param(Node):
+    name: str = ""
+    type: Type = None  # type: ignore[assignment]
+
+
+@dataclass(slots=True)
+class Kernel(Node):
+    """A top-level function.  The entry kernel is named by the prompt."""
+
+    name: str = ""
+    params: Tuple[Param, ...] = ()
+    ret: Optional[Type] = None
+    body: Block = None  # type: ignore[assignment]
+
+
+@dataclass(slots=True)
+class Program(Node):
+    kernels: Tuple[Kernel, ...] = ()
+
+    def kernel(self, name: str) -> Kernel:
+        """Look up a kernel by name; raises KeyError if absent."""
+        for k in self.kernels:
+            if k.name == name:
+                return k
+        raise KeyError(name)
+
+
+def walk(node: Node):
+    """Yield ``node`` and all AST descendants in preorder."""
+    stack = [node]
+    while stack:
+        n = stack.pop()
+        yield n
+        for slot in n.__dataclass_fields__:
+            v = getattr(n, slot)
+            if isinstance(v, Node):
+                stack.append(v)
+            elif isinstance(v, tuple):
+                for item in v:
+                    if isinstance(item, Node):
+                        stack.append(item)

@@ -1,0 +1,500 @@
+"""Recursive-descent parser for MiniPar.
+
+Grammar (informal):
+
+    program     := kernel*
+    kernel      := "kernel" NAME "(" params? ")" ("->" type)? block
+    param       := NAME ":" type
+    type        := "int" | "float" | "bool"
+                 | "array" "<" scalar ">" | "array2d" "<" scalar ">"
+    block       := "{" stmt* "}"
+    stmt        := let | assign | if | for | while | return | break
+                 | continue | pragma | block | exprStmt
+    let         := "let" NAME (":" type)? "=" expr ";"
+    assign      := target ("="|"+="|"-="|"*="|"/=") expr ";"
+    if          := "if" "(" expr ")" block ("else" (if | block))?
+    for         := "for" "(" NAME "in" expr ".." expr ("step" expr)? ")" block
+    while       := "while" "(" expr ")" block
+    pragma      := "pragma" "omp" ompSpec
+    ompSpec     := "parallel" "for" clause* for
+                 | "critical" block
+                 | "atomic" assign
+    clause      := "reduction" "(" redop ":" NAME ")"
+                 | "schedule" "(" NAME ")"
+                 | "num_threads" "(" expr ")"
+
+Expressions use conventional C precedence.  Lambdas ``(i) => expr`` /
+``(i) => { ... }`` are only accepted in call-argument position (they are
+the Kokkos-style functor arguments).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from . import ast
+from .errors import ParseError
+from .lexer import lex
+from .tokens import TokKind, Token
+from .types import Type, type_from_name
+
+_SCALAR_NAMES = ("int", "float", "bool")
+_REDUCTION_OPS = ("+", "*", "min", "max")
+
+
+class Parser:
+    def __init__(self, tokens: List[Token]):
+        self.toks = tokens
+        self.i = 0
+
+    # -- token helpers ----------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        j = min(self.i + offset, len(self.toks) - 1)
+        return self.toks[j]
+
+    def _at(self, kind: TokKind, text: Optional[str] = None) -> bool:
+        t = self._peek()
+        return t.kind is kind and (text is None or t.text == text)
+
+    def _advance(self) -> Token:
+        t = self.toks[self.i]
+        if t.kind is not TokKind.EOF:
+            self.i += 1
+        return t
+
+    def _expect(self, kind: TokKind, what: str = "") -> Token:
+        t = self._peek()
+        if t.kind is not kind:
+            expected = what or kind.name.lower()
+            raise ParseError(f"expected {expected}, found {t.text!r}", t.line, t.col)
+        return self._advance()
+
+    def _expect_name(self, text: Optional[str] = None) -> Token:
+        t = self._expect(TokKind.NAME, text or "identifier")
+        if text is not None and t.text != text:
+            raise ParseError(f"expected {text!r}, found {t.text!r}", t.line, t.col)
+        return t
+
+    # -- top level ---------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        kernels = []
+        while not self._at(TokKind.EOF):
+            kernels.append(self.parse_kernel())
+        if not kernels:
+            t = self._peek()
+            raise ParseError("empty program: expected at least one kernel", t.line, t.col)
+        return ast.Program(kernels=tuple(kernels))
+
+    def parse_kernel(self) -> ast.Kernel:
+        kw = self._expect_name("kernel")
+        name = self._expect(TokKind.NAME, "kernel name")
+        self._expect(TokKind.LPAREN)
+        params: List[ast.Param] = []
+        if not self._at(TokKind.RPAREN):
+            while True:
+                pn = self._expect(TokKind.NAME, "parameter name")
+                self._expect(TokKind.COLON)
+                pt = self.parse_type()
+                params.append(ast.Param(name=pn.text, type=pt, line=pn.line, col=pn.col))
+                if self._at(TokKind.COMMA):
+                    self._advance()
+                else:
+                    break
+        self._expect(TokKind.RPAREN)
+        ret: Optional[Type] = None
+        if self._at(TokKind.ARROW):
+            self._advance()
+            ret = self.parse_type()
+        body = self.parse_block()
+        return ast.Kernel(
+            name=name.text, params=tuple(params), ret=ret, body=body,
+            line=kw.line, col=kw.col,
+        )
+
+    def parse_type(self) -> Type:
+        t = self._expect(TokKind.NAME, "type name")
+        if t.text in _SCALAR_NAMES:
+            ty = type_from_name(t.text)
+            assert ty is not None
+            return ty
+        if t.text in ("array", "array2d"):
+            self._expect(TokKind.LT, "'<'")
+            elem = self._expect(TokKind.NAME, "scalar element type")
+            if elem.text not in _SCALAR_NAMES:
+                raise ParseError(
+                    f"array element must be a scalar type, found {elem.text!r}",
+                    elem.line, elem.col,
+                )
+            self._expect(TokKind.GT, "'>'")
+            ty = type_from_name(f"{t.text}<{elem.text}>")
+            if ty is None:
+                raise ParseError(f"unsupported type {t.text}<{elem.text}>", t.line, t.col)
+            return ty
+        raise ParseError(f"unknown type {t.text!r}", t.line, t.col)
+
+    # -- statements ----------------------------------------------------------
+
+    def parse_block(self) -> ast.Block:
+        lb = self._expect(TokKind.LBRACE, "'{'")
+        stmts: List[ast.Stmt] = []
+        while not self._at(TokKind.RBRACE):
+            if self._at(TokKind.EOF):
+                raise ParseError("unterminated block: expected '}'", lb.line, lb.col)
+            stmts.append(self.parse_stmt())
+        self._advance()
+        return ast.Block(stmts=tuple(stmts), line=lb.line, col=lb.col)
+
+    def parse_stmt(self) -> ast.Stmt:
+        t = self._peek()
+        if t.kind is TokKind.LBRACE:
+            return self.parse_block()
+        if t.kind is not TokKind.NAME:
+            raise ParseError(f"expected statement, found {t.text!r}", t.line, t.col)
+        kw = t.text
+        if kw == "let":
+            return self._parse_let()
+        if kw == "if":
+            return self._parse_if()
+        if kw == "for":
+            return self._parse_for()
+        if kw == "while":
+            return self._parse_while()
+        if kw == "return":
+            self._advance()
+            if self._at(TokKind.SEMI):
+                self._advance()
+                return ast.Return(value=None, line=t.line, col=t.col)
+            v = self.parse_expr()
+            self._expect(TokKind.SEMI, "';'")
+            return ast.Return(value=v, line=t.line, col=t.col)
+        if kw == "break":
+            self._advance()
+            self._expect(TokKind.SEMI, "';'")
+            return ast.Break(line=t.line, col=t.col)
+        if kw == "continue":
+            self._advance()
+            self._expect(TokKind.SEMI, "';'")
+            return ast.Continue(line=t.line, col=t.col)
+        if kw == "pragma":
+            return self._parse_pragma()
+        # assignment or expression statement
+        return self._parse_assign_or_expr()
+
+    def _parse_let(self) -> ast.Let:
+        t = self._advance()  # let
+        name = self._expect(TokKind.NAME, "variable name")
+        declared: Optional[Type] = None
+        if self._at(TokKind.COLON):
+            self._advance()
+            declared = self.parse_type()
+        self._expect(TokKind.ASSIGN, "'='")
+        init = self.parse_expr()
+        self._expect(TokKind.SEMI, "';'")
+        return ast.Let(name=name.text, declared=declared, init=init, line=t.line, col=t.col)
+
+    def _parse_if(self) -> ast.If:
+        t = self._advance()  # if
+        self._expect(TokKind.LPAREN, "'('")
+        cond = self.parse_expr()
+        self._expect(TokKind.RPAREN, "')'")
+        then = self.parse_block()
+        orelse: Optional[ast.Stmt] = None
+        if self._at(TokKind.NAME, "else"):
+            self._advance()
+            if self._at(TokKind.NAME, "if"):
+                orelse = self._parse_if()
+            else:
+                orelse = self.parse_block()
+        return ast.If(cond=cond, then=then, orelse=orelse, line=t.line, col=t.col)
+
+    def _parse_for_header(self) -> Tuple[Token, str, ast.Expr, ast.Expr, Optional[ast.Expr]]:
+        t = self._advance()  # for
+        self._expect(TokKind.LPAREN, "'('")
+        var = self._expect(TokKind.NAME, "loop variable")
+        self._expect_name("in")
+        lo = self.parse_expr()
+        self._expect(TokKind.DOTDOT, "'..'")
+        hi = self.parse_expr()
+        step: Optional[ast.Expr] = None
+        if self._at(TokKind.NAME, "step"):
+            self._advance()
+            step = self.parse_expr()
+        self._expect(TokKind.RPAREN, "')'")
+        return t, var.text, lo, hi, step
+
+    def _parse_for(self) -> ast.For:
+        t, var, lo, hi, step = self._parse_for_header()
+        body = self.parse_block()
+        return ast.For(var=var, lo=lo, hi=hi, step=step, body=body, line=t.line, col=t.col)
+
+    def _parse_pragma(self) -> ast.Stmt:
+        t = self._advance()  # pragma
+        self._expect_name("omp")
+        spec = self._expect(TokKind.NAME, "omp directive")
+        if spec.text == "parallel":
+            self._expect_name("for")
+            clauses: List[ast.OmpClause] = []
+            while self._at(TokKind.NAME) and self._peek().text in (
+                "reduction", "schedule", "num_threads",
+            ):
+                clauses.append(self._parse_omp_clause())
+            if not self._at(TokKind.NAME, "for"):
+                p = self._peek()
+                raise ParseError(
+                    "'pragma omp parallel for' must be followed by a for loop",
+                    p.line, p.col,
+                )
+            loop = self._parse_for()
+            return ast.OmpParallelFor(clauses=tuple(clauses), loop=loop, line=t.line, col=t.col)
+        if spec.text == "critical":
+            body = self.parse_block()
+            return ast.OmpCritical(body=body, line=t.line, col=t.col)
+        if spec.text == "atomic":
+            stmt = self._parse_assign_or_expr()
+            if not isinstance(stmt, ast.Assign):
+                raise ParseError(
+                    "'pragma omp atomic' must be followed by an update assignment",
+                    t.line, t.col,
+                )
+            return ast.OmpAtomic(update=stmt, line=t.line, col=t.col)
+        raise ParseError(f"unknown omp directive {spec.text!r}", spec.line, spec.col)
+
+    def _parse_omp_clause(self) -> ast.OmpClause:
+        name = self._advance()
+        self._expect(TokKind.LPAREN, "'('")
+        if name.text == "reduction":
+            opt = self._peek()
+            if opt.kind is TokKind.PLUS:
+                op = "+"
+                self._advance()
+            elif opt.kind is TokKind.STAR:
+                op = "*"
+                self._advance()
+            elif opt.kind is TokKind.NAME and opt.text in ("min", "max"):
+                op = opt.text
+                self._advance()
+            else:
+                raise ParseError(
+                    f"invalid reduction operator {opt.text!r} "
+                    f"(expected one of {_REDUCTION_OPS})",
+                    opt.line, opt.col,
+                )
+            self._expect(TokKind.COLON, "':'")
+            var = self._expect(TokKind.NAME, "reduction variable")
+            self._expect(TokKind.RPAREN, "')'")
+            return ast.OmpClause(kind="reduction", op=op, var=var.text,
+                                 line=name.line, col=name.col)
+        if name.text == "schedule":
+            kind = self._expect(TokKind.NAME, "schedule kind")
+            if kind.text not in ("static", "dynamic", "guided"):
+                raise ParseError(f"unknown schedule {kind.text!r}", kind.line, kind.col)
+            self._expect(TokKind.RPAREN, "')'")
+            return ast.OmpClause(kind="schedule", schedule=kind.text,
+                                 line=name.line, col=name.col)
+        # num_threads
+        value = self.parse_expr()
+        self._expect(TokKind.RPAREN, "')'")
+        return ast.OmpClause(kind="num_threads", value=value, line=name.line, col=name.col)
+
+    def _parse_while(self) -> ast.While:
+        t = self._advance()  # while
+        self._expect(TokKind.LPAREN, "'('")
+        cond = self.parse_expr()
+        self._expect(TokKind.RPAREN, "')'")
+        body = self.parse_block()
+        return ast.While(cond=cond, body=body, line=t.line, col=t.col)
+
+    def _parse_assign_or_expr(self) -> ast.Stmt:
+        t = self._peek()
+        expr = self.parse_expr()
+        k = self._peek().kind
+        ops = {
+            TokKind.ASSIGN: "=",
+            TokKind.PLUSEQ: "+=",
+            TokKind.MINUSEQ: "-=",
+            TokKind.STAREQ: "*=",
+            TokKind.SLASHEQ: "/=",
+        }
+        if k in ops:
+            if not isinstance(expr, (ast.Name, ast.Index)):
+                p = self._peek()
+                raise ParseError("invalid assignment target", p.line, p.col)
+            self._advance()
+            value = self.parse_expr()
+            self._expect(TokKind.SEMI, "';'")
+            return ast.Assign(target=expr, op=ops[k], value=value, line=t.line, col=t.col)
+        self._expect(TokKind.SEMI, "';'")
+        return ast.ExprStmt(expr=expr, line=t.line, col=t.col)
+
+    # -- expressions --------------------------------------------------------
+
+    def parse_expr(self) -> ast.Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> ast.Expr:
+        left = self._parse_and()
+        while self._at(TokKind.OROR):
+            t = self._advance()
+            right = self._parse_and()
+            left = ast.Binary(op="||", left=left, right=right, line=t.line, col=t.col)
+        return left
+
+    def _parse_and(self) -> ast.Expr:
+        left = self._parse_cmp()
+        while self._at(TokKind.ANDAND):
+            t = self._advance()
+            right = self._parse_cmp()
+            left = ast.Binary(op="&&", left=left, right=right, line=t.line, col=t.col)
+        return left
+
+    _CMP = {
+        TokKind.LT: "<", TokKind.LE: "<=", TokKind.GT: ">",
+        TokKind.GE: ">=", TokKind.EQEQ: "==", TokKind.NEQ: "!=",
+    }
+
+    def _parse_cmp(self) -> ast.Expr:
+        left = self._parse_add()
+        k = self._peek().kind
+        if k in self._CMP:
+            t = self._advance()
+            right = self._parse_add()
+            return ast.Binary(op=self._CMP[k], left=left, right=right, line=t.line, col=t.col)
+        return left
+
+    def _parse_add(self) -> ast.Expr:
+        left = self._parse_mul()
+        while self._peek().kind in (TokKind.PLUS, TokKind.MINUS):
+            t = self._advance()
+            right = self._parse_mul()
+            left = ast.Binary(op=t.text, left=left, right=right, line=t.line, col=t.col)
+        return left
+
+    def _parse_mul(self) -> ast.Expr:
+        left = self._parse_unary()
+        while self._peek().kind in (TokKind.STAR, TokKind.SLASH, TokKind.PERCENT):
+            t = self._advance()
+            right = self._parse_unary()
+            left = ast.Binary(op=t.text, left=left, right=right, line=t.line, col=t.col)
+        return left
+
+    def _parse_unary(self) -> ast.Expr:
+        t = self._peek()
+        if t.kind is TokKind.MINUS:
+            self._advance()
+            return ast.Unary(op="-", operand=self._parse_unary(), line=t.line, col=t.col)
+        if t.kind is TokKind.NOT:
+            self._advance()
+            return ast.Unary(op="!", operand=self._parse_unary(), line=t.line, col=t.col)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while True:
+            if self._at(TokKind.LBRACKET):
+                t = self._advance()
+                indices = [self.parse_expr()]
+                if self._at(TokKind.COMMA):
+                    self._advance()
+                    indices.append(self.parse_expr())
+                self._expect(TokKind.RBRACKET, "']'")
+                expr = ast.Index(base=expr, indices=tuple(indices), line=t.line, col=t.col)
+            else:
+                return expr
+
+    def _is_lambda_ahead(self) -> bool:
+        """At a '(' — does a lambda ``(a, b) =>`` start here?"""
+        if not self._at(TokKind.LPAREN):
+            return False
+        j = self.i + 1
+        if self.toks[j].kind is TokKind.RPAREN:
+            return self.toks[j + 1].kind is TokKind.FATARROW
+        while True:
+            if self.toks[j].kind is not TokKind.NAME:
+                return False
+            j += 1
+            if self.toks[j].kind is TokKind.COMMA:
+                j += 1
+                continue
+            if self.toks[j].kind is TokKind.RPAREN:
+                return self.toks[j + 1].kind is TokKind.FATARROW
+            return False
+
+    def _parse_lambda(self) -> ast.Lambda:
+        t = self._expect(TokKind.LPAREN)
+        params: List[str] = []
+        while not self._at(TokKind.RPAREN):
+            params.append(self._expect(TokKind.NAME, "lambda parameter").text)
+            if self._at(TokKind.COMMA):
+                self._advance()
+        self._advance()  # )
+        self._expect(TokKind.FATARROW, "'=>'")
+        if self._at(TokKind.LBRACE):
+            body = self.parse_block()
+            return ast.Lambda(params=tuple(params), body_block=body, line=t.line, col=t.col)
+        body_expr = self.parse_expr()
+        return ast.Lambda(params=tuple(params), body_expr=body_expr, line=t.line, col=t.col)
+
+    def _parse_primary(self) -> ast.Expr:
+        t = self._peek()
+        if t.kind is TokKind.INT:
+            self._advance()
+            return ast.IntLit(value=int(t.text), line=t.line, col=t.col)
+        if t.kind is TokKind.FLOAT:
+            self._advance()
+            return ast.FloatLit(value=float(t.text), line=t.line, col=t.col)
+        if t.kind is TokKind.STRING:
+            self._advance()
+            return ast.StrLit(value=t.text, line=t.line, col=t.col)
+        if t.kind is TokKind.LPAREN:
+            if self._is_lambda_ahead():
+                return self._parse_lambda()
+            self._advance()
+            inner = self.parse_expr()
+            self._expect(TokKind.RPAREN, "')'")
+            return inner
+        if t.kind is TokKind.NAME:
+            if t.text == "true":
+                self._advance()
+                return ast.BoolLit(value=True, line=t.line, col=t.col)
+            if t.text == "false":
+                self._advance()
+                return ast.BoolLit(value=False, line=t.line, col=t.col)
+            if t.text in ("let", "if", "for", "while", "return", "kernel", "pragma"):
+                raise ParseError(f"unexpected keyword {t.text!r} in expression", t.line, t.col)
+            self._advance()
+            if self._at(TokKind.LPAREN):
+                self._advance()
+                args: List[ast.Expr] = []
+                while not self._at(TokKind.RPAREN):
+                    if self._is_lambda_ahead():
+                        args.append(self._parse_lambda())
+                    else:
+                        args.append(self.parse_expr())
+                    if self._at(TokKind.COMMA):
+                        self._advance()
+                        if self._at(TokKind.RPAREN):
+                            p = self._peek()
+                            raise ParseError(
+                                "trailing comma in argument list",
+                                p.line, p.col,
+                            )
+                    elif not self._at(TokKind.RPAREN):
+                        p = self._peek()
+                        raise ParseError(
+                            f"expected ',' or ')' in argument list, found {p.text!r}",
+                            p.line, p.col,
+                        )
+                self._advance()  # )
+                return ast.Call(func=t.text, args=tuple(args), line=t.line, col=t.col)
+            return ast.Name(ident=t.text, line=t.line, col=t.col)
+        raise ParseError(f"expected expression, found {t.text!r}", t.line, t.col)
+
+
+def parse(source: str) -> ast.Program:
+    """Parse MiniPar source text into a :class:`~repro.lang.ast.Program`."""
+    toks = lex(source)
+    parser = Parser(toks)
+    prog = parser.parse_program()
+    return prog

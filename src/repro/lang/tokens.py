@@ -1,0 +1,127 @@
+"""Token definitions for the MiniPar lexer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+
+class TokKind(Enum):
+    """The kinds of tokens produced by the lexer."""
+
+    # literals / identifiers
+    INT = auto()
+    FLOAT = auto()
+    STRING = auto()
+    NAME = auto()
+
+    # punctuation
+    LPAREN = auto()
+    RPAREN = auto()
+    LBRACE = auto()
+    RBRACE = auto()
+    LBRACKET = auto()
+    RBRACKET = auto()
+    COMMA = auto()
+    SEMI = auto()
+    COLON = auto()
+    DOTDOT = auto()
+    ARROW = auto()       # ->
+    FATARROW = auto()    # =>
+
+    # operators
+    PLUS = auto()
+    MINUS = auto()
+    STAR = auto()
+    SLASH = auto()
+    PERCENT = auto()
+    LT = auto()
+    LE = auto()
+    GT = auto()
+    GE = auto()
+    EQEQ = auto()
+    NEQ = auto()
+    ANDAND = auto()
+    OROR = auto()
+    NOT = auto()
+    ASSIGN = auto()
+    PLUSEQ = auto()
+    MINUSEQ = auto()
+    STAREQ = auto()
+    SLASHEQ = auto()
+
+    EOF = auto()
+
+
+#: Reserved words.  ``pragma``/``omp`` and clause names are *not* reserved:
+#: they are contextual keywords recognised by the parser, matching how real
+#: compilers treat ``#pragma omp`` text.
+KEYWORDS = frozenset(
+    {
+        "kernel",
+        "let",
+        "if",
+        "else",
+        "for",
+        "while",
+        "in",
+        "step",
+        "return",
+        "break",
+        "continue",
+        "true",
+        "false",
+        "pragma",
+    }
+)
+
+#: Two-character operator spellings, checked before single characters.
+TWO_CHAR = {
+    "..": TokKind.DOTDOT,
+    "->": TokKind.ARROW,
+    "=>": TokKind.FATARROW,
+    "<=": TokKind.LE,
+    ">=": TokKind.GE,
+    "==": TokKind.EQEQ,
+    "!=": TokKind.NEQ,
+    "&&": TokKind.ANDAND,
+    "||": TokKind.OROR,
+    "+=": TokKind.PLUSEQ,
+    "-=": TokKind.MINUSEQ,
+    "*=": TokKind.STAREQ,
+    "/=": TokKind.SLASHEQ,
+}
+
+ONE_CHAR = {
+    "(": TokKind.LPAREN,
+    ")": TokKind.RPAREN,
+    "{": TokKind.LBRACE,
+    "}": TokKind.RBRACE,
+    "[": TokKind.LBRACKET,
+    "]": TokKind.RBRACKET,
+    ",": TokKind.COMMA,
+    ";": TokKind.SEMI,
+    ":": TokKind.COLON,
+    "+": TokKind.PLUS,
+    "-": TokKind.MINUS,
+    "*": TokKind.STAR,
+    "/": TokKind.SLASH,
+    "%": TokKind.PERCENT,
+    "<": TokKind.LT,
+    ">": TokKind.GT,
+    "=": TokKind.ASSIGN,
+    "!": TokKind.NOT,
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexed token with its source position (1-based)."""
+
+    kind: TokKind
+    text: str
+    line: int
+    col: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind.name}, {self.text!r}, {self.line}:{self.col})"

@@ -1,0 +1,516 @@
+"""Static type checker for MiniPar — the back half of "compilation".
+
+A generated sample that parses but misuses types (wrong argument types,
+string where a number is needed, assigning a float to an int variable,
+missing return, unknown names...) fails here and is recorded by the harness
+as a build failure, exactly as GCC would reject ill-typed C++.
+
+The checker produces a :class:`CheckedProgram` carrying the expression type
+map (used by the closure compiler to pick int vs float semantics) and the
+set of builtin categories the program touches (used by the parallel-model
+usage check).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from . import ast
+from . import builtins as bi
+from . import types as T
+from .errors import TypeError_
+
+
+@dataclass
+class KernelSig:
+    name: str
+    params: Tuple[Tuple[str, T.Type], ...]
+    ret: Optional[T.Type]
+
+
+@dataclass
+class CheckedProgram:
+    """A type-checked program ready for the closure compiler."""
+
+    program: ast.Program
+    signatures: Dict[str, KernelSig]
+    expr_types: Dict[int, T.Type]
+    builtin_categories: Set[str] = field(default_factory=set)
+    builtins_used: Set[str] = field(default_factory=set)
+    uses_omp_pragmas: bool = False
+
+    def type_of(self, node: ast.Expr) -> T.Type:
+        return self.expr_types[id(node)]
+
+
+class _Scope:
+    """Lexical scope chain.
+
+    Shadowing a *visible* name is forbidden (so the runtime can use a flat
+    per-call environment), but disjoint scopes may reuse a name — two
+    sequential loops can both use ``i``.
+    """
+
+    def __init__(self) -> None:
+        self.stack: List[Dict[str, T.Type]] = [{}]
+
+    def push(self) -> None:
+        self.stack.append({})
+
+    def pop(self) -> None:
+        self.stack.pop()
+
+    def declare(self, name: str, ty: T.Type, node: ast.Node) -> None:
+        if self.lookup(name) is not None:
+            raise TypeError_(
+                f"redeclaration of {name!r} (MiniPar forbids shadowing a "
+                "visible name)",
+                node.line, node.col,
+            )
+        self.stack[-1][name] = ty
+
+    def lookup(self, name: str) -> Optional[T.Type]:
+        for frame in reversed(self.stack):
+            if name in frame:
+                return frame[name]
+        return None
+
+
+class Checker:
+    def __init__(self, program: ast.Program):
+        self.program = program
+        self.expr_types: Dict[int, T.Type] = {}
+        self.signatures: Dict[str, KernelSig] = {}
+        self.builtin_categories: Set[str] = set()
+        self.builtins_used: Set[str] = set()
+        self.uses_omp_pragmas = False
+
+    # -- entry --------------------------------------------------------------
+
+    def check(self) -> CheckedProgram:
+        for k in self.program.kernels:
+            if k.name in self.signatures:
+                raise TypeError_(f"duplicate kernel {k.name!r}", k.line, k.col)
+            if bi.get(k.name) is not None:
+                raise TypeError_(
+                    f"kernel {k.name!r} collides with a builtin", k.line, k.col
+                )
+            seen: Set[str] = set()
+            for p in k.params:
+                if p.name in seen:
+                    raise TypeError_(
+                        f"duplicate parameter {p.name!r} in kernel {k.name!r}",
+                        p.line, p.col,
+                    )
+                seen.add(p.name)
+            self.signatures[k.name] = KernelSig(
+                name=k.name,
+                params=tuple((p.name, p.type) for p in k.params),
+                ret=k.ret,
+            )
+        for k in self.program.kernels:
+            self._check_kernel(k)
+        return CheckedProgram(
+            program=self.program,
+            signatures=self.signatures,
+            expr_types=self.expr_types,
+            builtin_categories=self.builtin_categories,
+            builtins_used=self.builtins_used,
+            uses_omp_pragmas=self.uses_omp_pragmas,
+        )
+
+    def _check_kernel(self, k: ast.Kernel) -> None:
+        scope = _Scope()
+        for p in k.params:
+            scope.declare(p.name, p.type, p)
+        self._check_block(k.body, scope, k.ret, in_loop=False, in_parallel=False)
+        if k.ret is not None and not self._guarantees_return(k.body):
+            raise TypeError_(
+                f"kernel {k.name!r} declares return type {k.ret} but control "
+                "may reach the end of the body without returning",
+                k.line, k.col,
+            )
+
+    # -- return-path analysis -------------------------------------------------
+
+    def _guarantees_return(self, stmt: ast.Stmt) -> bool:
+        if isinstance(stmt, ast.Return):
+            return True
+        if isinstance(stmt, ast.Block):
+            return any(self._guarantees_return(s) for s in stmt.stmts)
+        if isinstance(stmt, ast.If):
+            return (
+                stmt.orelse is not None
+                and self._guarantees_return(stmt.then)
+                and self._guarantees_return(stmt.orelse)
+            )
+        return False
+
+    # -- statements -------------------------------------------------------------
+
+    def _check_block(
+        self, block: ast.Block, scope: _Scope, ret: Optional[T.Type],
+        in_loop, in_parallel: bool = False,
+    ) -> None:
+        scope.push()
+        for s in block.stmts:
+            self._check_stmt(s, scope, ret, in_loop, in_parallel)
+        scope.pop()
+
+    def _check_stmt(
+        self, s: ast.Stmt, scope: _Scope, ret: Optional[T.Type],
+        in_loop, in_parallel: bool = False,
+    ) -> None:
+        if isinstance(s, ast.Block):
+            self._check_block(s, scope, ret, in_loop, in_parallel)
+        elif isinstance(s, ast.Let):
+            init_t = self._check_expr(s.init, scope)
+            if s.declared is not None:
+                if not self._assignable(s.declared, init_t):
+                    raise TypeError_(
+                        f"cannot initialize {s.name!r}: {s.declared} from {init_t}",
+                        s.line, s.col,
+                    )
+                var_t = s.declared
+            else:
+                if init_t is T.UNIT or init_t is T.STR:
+                    raise TypeError_(
+                        f"cannot infer a value type for {s.name!r} from {init_t}",
+                        s.line, s.col,
+                    )
+                var_t = init_t
+            scope.declare(s.name, var_t, s)
+        elif isinstance(s, ast.Assign):
+            self._check_assign(s, scope)
+        elif isinstance(s, ast.If):
+            cond_t = self._check_expr(s.cond, scope)
+            if cond_t is not T.BOOL:
+                raise TypeError_(f"if condition must be bool, found {cond_t}",
+                                 s.line, s.col)
+            self._check_block(s.then, scope, ret, in_loop, in_parallel)
+            if s.orelse is not None:
+                self._check_stmt(s.orelse, scope, ret, in_loop, in_parallel)
+        elif isinstance(s, ast.For):
+            self._check_for(s, scope, ret, in_parallel=in_parallel)
+        elif isinstance(s, ast.While):
+            cond_t = self._check_expr(s.cond, scope)
+            if cond_t is not T.BOOL:
+                raise TypeError_(f"while condition must be bool, found {cond_t}",
+                                 s.line, s.col)
+            self._check_block(s.body, scope, ret, in_loop=True,
+                              in_parallel=in_parallel)
+        elif isinstance(s, ast.Return):
+            if in_parallel:
+                raise TypeError_(
+                    "'return' may not leave an OpenMP parallel for", s.line, s.col
+                )
+            if ret is None:
+                if s.value is not None:
+                    raise TypeError_("return with a value in a unit kernel",
+                                     s.line, s.col)
+            else:
+                if s.value is None:
+                    raise TypeError_(f"return must provide a {ret} value",
+                                     s.line, s.col)
+                vt = self._check_expr(s.value, scope)
+                if not self._assignable(ret, vt):
+                    raise TypeError_(f"cannot return {vt} from a kernel returning {ret}",
+                                     s.line, s.col)
+        elif isinstance(s, ast.Break):
+            if not in_loop:
+                raise TypeError_("'break' outside of a loop", s.line, s.col)
+            if in_loop == "parallel":
+                raise TypeError_(
+                    "'break' may not leave an OpenMP parallel for", s.line, s.col
+                )
+        elif isinstance(s, ast.Continue):
+            if not in_loop:
+                raise TypeError_("'continue' outside of a loop", s.line, s.col)
+        elif isinstance(s, ast.ExprStmt):
+            self._check_expr(s.expr, scope)
+        elif isinstance(s, ast.OmpParallelFor):
+            self.uses_omp_pragmas = True
+            for c in s.clauses:
+                if c.kind == "reduction":
+                    vt = scope.lookup(c.var)
+                    if vt is None:
+                        raise TypeError_(
+                            f"reduction variable {c.var!r} is not declared",
+                            c.line, c.col,
+                        )
+                    if not T.is_numeric(vt):
+                        raise TypeError_(
+                            f"reduction variable {c.var!r} must be numeric, is {vt}",
+                            c.line, c.col,
+                        )
+                elif c.kind == "num_threads" and c.value is not None:
+                    vt = self._check_expr(c.value, scope)
+                    if vt is not T.INT:
+                        raise TypeError_("num_threads must be an int", c.line, c.col)
+            self._check_for(s.loop, scope, ret, parallel=True, in_parallel=True)
+        elif isinstance(s, ast.OmpCritical):
+            self.uses_omp_pragmas = True
+            self._check_block(s.body, scope, ret, in_loop, in_parallel)
+        elif isinstance(s, ast.OmpAtomic):
+            self.uses_omp_pragmas = True
+            if s.update.op == "=":
+                raise TypeError_(
+                    "'pragma omp atomic' requires an update (+=, -=, *=, /=)",
+                    s.line, s.col,
+                )
+            self._check_assign(s.update, scope)
+        else:  # pragma: no cover - defensive
+            raise TypeError_(f"unknown statement {type(s).__name__}", s.line, s.col)
+
+    def _check_for(self, s: ast.For, scope: _Scope, ret: Optional[T.Type],
+                   parallel: bool = False, in_parallel: bool = False) -> None:
+        lo_t = self._check_expr(s.lo, scope)
+        hi_t = self._check_expr(s.hi, scope)
+        if lo_t is not T.INT or hi_t is not T.INT:
+            raise TypeError_("for-range bounds must be int", s.line, s.col)
+        if s.step is not None:
+            st = self._check_expr(s.step, scope)
+            if st is not T.INT:
+                raise TypeError_("for-range step must be int", s.line, s.col)
+        scope.push()
+        scope.declare(s.var, T.INT, s)
+        self._check_block(s.body, scope, ret,
+                          in_loop="parallel" if parallel else True,
+                          in_parallel=in_parallel or parallel)
+        scope.pop()
+
+    def _check_assign(self, s: ast.Assign, scope: _Scope) -> None:
+        value_t = self._check_expr(s.value, scope)
+        if isinstance(s.target, ast.Name):
+            target_t = scope.lookup(s.target.ident)
+            if target_t is None:
+                raise TypeError_(f"assignment to undeclared variable {s.target.ident!r}",
+                                 s.line, s.col)
+            self.expr_types[id(s.target)] = target_t
+            if isinstance(target_t, T.ArrayType):
+                if s.op != "=":
+                    raise TypeError_("compound assignment not allowed on arrays",
+                                     s.line, s.col)
+                if value_t is not target_t:
+                    raise TypeError_(f"cannot assign {value_t} to {target_t} variable",
+                                     s.line, s.col)
+                return
+        elif isinstance(s.target, ast.Index):
+            target_t = self._check_expr(s.target, scope)
+        else:  # pragma: no cover - parser prevents this
+            raise TypeError_("invalid assignment target", s.line, s.col)
+        if s.op == "=":
+            if not self._assignable(target_t, value_t):
+                raise TypeError_(f"cannot assign {value_t} to {target_t}",
+                                 s.line, s.col)
+        else:
+            if not (T.is_numeric(target_t) and T.is_numeric(value_t)):
+                raise TypeError_(
+                    f"compound assignment requires numeric operands "
+                    f"({target_t} {s.op} {value_t})",
+                    s.line, s.col,
+                )
+            if target_t is T.INT and value_t is T.FLOAT:
+                raise TypeError_("cannot accumulate a float into an int without int()",
+                                 s.line, s.col)
+
+    @staticmethod
+    def _assignable(target: T.Type, value: T.Type) -> bool:
+        if target is value:
+            return True
+        return target is T.FLOAT and value is T.INT
+
+    # -- expressions ------------------------------------------------------------
+
+    def _check_expr(self, e: ast.Expr, scope: _Scope) -> T.Type:
+        t = self._infer(e, scope)
+        self.expr_types[id(e)] = t
+        return t
+
+    def _infer(self, e: ast.Expr, scope: _Scope) -> T.Type:
+        if isinstance(e, ast.IntLit):
+            return T.INT
+        if isinstance(e, ast.FloatLit):
+            return T.FLOAT
+        if isinstance(e, ast.BoolLit):
+            return T.BOOL
+        if isinstance(e, ast.StrLit):
+            return T.STR
+        if isinstance(e, ast.Name):
+            t = scope.lookup(e.ident)
+            if t is None:
+                raise TypeError_(f"use of undeclared name {e.ident!r}", e.line, e.col)
+            return t
+        if isinstance(e, ast.Unary):
+            ot = self._check_expr(e.operand, scope)
+            if e.op == "-":
+                if not T.is_numeric(ot):
+                    raise TypeError_(f"unary '-' requires a number, found {ot}",
+                                     e.line, e.col)
+                return ot
+            if ot is not T.BOOL:
+                raise TypeError_(f"'!' requires bool, found {ot}", e.line, e.col)
+            return T.BOOL
+        if isinstance(e, ast.Binary):
+            return self._infer_binary(e, scope)
+        if isinstance(e, ast.Index):
+            base_t = self._check_expr(e.base, scope)
+            if not isinstance(base_t, T.ArrayType):
+                raise TypeError_(f"cannot index into {base_t}", e.line, e.col)
+            if len(e.indices) != base_t.ndim:
+                raise TypeError_(
+                    f"{base_t} requires {base_t.ndim} indices, got {len(e.indices)}",
+                    e.line, e.col,
+                )
+            for ix in e.indices:
+                it = self._check_expr(ix, scope)
+                if it is not T.INT:
+                    raise TypeError_(f"array index must be int, found {it}",
+                                     e.line, e.col)
+            return base_t.elem
+        if isinstance(e, ast.Call):
+            return self._infer_call(e, scope)
+        if isinstance(e, ast.Lambda):
+            raise TypeError_(
+                "lambda is only allowed as an argument to a parallel pattern",
+                e.line, e.col,
+            )
+        raise TypeError_(f"unknown expression {type(e).__name__}",
+                         e.line, e.col)  # pragma: no cover
+
+    def _infer_binary(self, e: ast.Binary, scope: _Scope) -> T.Type:
+        lt = self._check_expr(e.left, scope)
+        rt = self._check_expr(e.right, scope)
+        op = e.op
+        if op in ("&&", "||"):
+            if lt is not T.BOOL or rt is not T.BOOL:
+                raise TypeError_(f"{op!r} requires bool operands ({lt}, {rt})",
+                                 e.line, e.col)
+            return T.BOOL
+        if op in ("==", "!="):
+            if lt is T.BOOL and rt is T.BOOL:
+                return T.BOOL
+            if T.is_numeric(lt) and T.is_numeric(rt):
+                return T.BOOL
+            raise TypeError_(f"cannot compare {lt} with {rt}", e.line, e.col)
+        if op in ("<", "<=", ">", ">="):
+            if not (T.is_numeric(lt) and T.is_numeric(rt)):
+                raise TypeError_(f"{op!r} requires numeric operands ({lt}, {rt})",
+                                 e.line, e.col)
+            return T.BOOL
+        if op == "%":
+            if lt is T.INT and rt is T.INT:
+                return T.INT
+            raise TypeError_("'%' requires int operands", e.line, e.col)
+        result = T.unify_numeric(lt, rt)
+        if result is None:
+            raise TypeError_(f"{op!r} requires numeric operands ({lt}, {rt})",
+                             e.line, e.col)
+        return result
+
+    def _infer_call(self, e: ast.Call, scope: _Scope) -> T.Type:
+        sig = bi.get(e.func)
+        if sig is not None:
+            return self._infer_builtin_call(e, sig, scope)
+        ksig = self.signatures.get(e.func)
+        if ksig is None:
+            raise TypeError_(f"call to unknown function {e.func!r}", e.line, e.col)
+        if len(e.args) != len(ksig.params):
+            raise TypeError_(
+                f"{e.func!r} expects {len(ksig.params)} arguments, got {len(e.args)}",
+                e.line, e.col,
+            )
+        for arg, (pname, pt) in zip(e.args, ksig.params):
+            at = self._check_expr(arg, scope)
+            if not self._assignable(pt, at):
+                raise TypeError_(
+                    f"argument {pname!r} of {e.func!r} expects {pt}, got {at}",
+                    arg.line, arg.col,
+                )
+        return ksig.ret if ksig.ret is not None else T.UNIT
+
+    def _infer_builtin_call(self, e: ast.Call, sig: bi.BuiltinSig,
+                            scope: _Scope) -> T.Type:
+        if len(e.args) not in sig.arity:
+            raise TypeError_(
+                f"builtin {sig.name!r} expects {' or '.join(map(str, sig.arity))} "
+                f"arguments, got {len(e.args)}",
+                e.line, e.col,
+            )
+        arg_types: List[T.Type] = []
+        for idx, arg in enumerate(e.args):
+            wants_lambda = (
+                idx < len(sig.lambda_params) and sig.lambda_params[idx] is not None
+            )
+            if isinstance(arg, ast.Lambda):
+                if not wants_lambda:
+                    raise TypeError_(
+                        f"builtin {sig.name!r} does not accept a lambda at "
+                        f"argument {idx + 1}",
+                        arg.line, arg.col,
+                    )
+                lam_t = self._check_lambda(arg, sig.lambda_params[idx], scope)
+                self.expr_types[id(arg)] = lam_t
+                arg_types.append(lam_t)
+                continue
+            if wants_lambda:
+                raise TypeError_(
+                    f"builtin {sig.name!r} expects a lambda at argument {idx + 1}",
+                    arg.line, arg.col,
+                )
+            at = self._check_expr(arg, scope)
+            if idx in sig.str_args:
+                if at is not T.STR:
+                    raise TypeError_(
+                        f"builtin {sig.name!r} expects an operator name "
+                        f"(one of {bi.REDUCE_OPS}) at argument {idx + 1}",
+                        arg.line, arg.col,
+                    )
+                assert isinstance(arg, ast.StrLit)
+                if arg.value not in bi.REDUCE_OPS:
+                    raise TypeError_(
+                        f"unknown reduction operator {arg.value!r} "
+                        f"(expected one of {bi.REDUCE_OPS})",
+                        arg.line, arg.col,
+                    )
+            elif at is T.STR:
+                raise TypeError_(
+                    f"builtin {sig.name!r} does not take a string at "
+                    f"argument {idx + 1}",
+                    arg.line, arg.col,
+                )
+            arg_types.append(at)
+        result = sig.resolve(arg_types)
+        if result is None:
+            shown = ", ".join(str(t) for t in arg_types)
+            raise TypeError_(f"invalid arguments to {sig.name!r}: ({shown})",
+                             e.line, e.col)
+        self.builtin_categories.add(sig.category)
+        self.builtins_used.add(sig.name)
+        return result
+
+    def _check_lambda(self, lam: ast.Lambda, param_types: Tuple[T.Type, ...],
+                      scope: _Scope) -> T.FuncType:
+        if len(lam.params) != len(param_types):
+            raise TypeError_(
+                f"lambda expects {len(param_types)} parameter(s), "
+                f"declared {len(lam.params)}",
+                lam.line, lam.col,
+            )
+        scope.push()
+        for pname, pt in zip(lam.params, param_types):
+            scope.declare(pname, pt, lam)
+        if lam.body_expr is not None:
+            result = self._check_expr(lam.body_expr, scope)
+        else:
+            assert lam.body_block is not None
+            self._check_block(lam.body_block, scope, ret=None, in_loop=False)
+            result = T.UNIT
+        scope.pop()
+        return T.FuncType(params=param_types, result=result)
+
+
+def typecheck(program: ast.Program) -> CheckedProgram:
+    """Type-check ``program``; raise :class:`TypeError_` on any violation."""
+    return Checker(program).check()

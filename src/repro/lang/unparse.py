@@ -1,0 +1,183 @@
+"""Unparser: render a MiniPar AST back to source text.
+
+Used by the bug injectors — semantic mutations are applied to the AST and
+the result is unparsed so that every sample handed to the harness is plain
+source text, round-trippable through the parser.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from . import ast
+
+_INDENT = "    "
+
+
+class _Printer:
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+        self.depth = 0
+
+    def emit(self, text: str) -> None:
+        self.lines.append(_INDENT * self.depth + text)
+
+    # -- expressions -------------------------------------------------------
+
+    def expr(self, e: ast.Expr) -> str:
+        if isinstance(e, ast.IntLit):
+            return str(e.value)
+        if isinstance(e, ast.FloatLit):
+            text = repr(float(e.value))
+            # Guarantee the literal re-lexes as a float.
+            if "." not in text and "e" not in text and "E" not in text:
+                text += ".0"
+            return text
+        if isinstance(e, ast.BoolLit):
+            return "true" if e.value else "false"
+        if isinstance(e, ast.StrLit):
+            return f'"{e.value}"'
+        if isinstance(e, ast.Name):
+            return e.ident
+        if isinstance(e, ast.Unary):
+            return f"{e.op}{self._atom(e.operand)}"
+        if isinstance(e, ast.Binary):
+            return f"{self._atom(e.left)} {e.op} {self._atom(e.right)}"
+        if isinstance(e, ast.Index):
+            idx = ", ".join(self.expr(i) for i in e.indices)
+            return f"{self._atom(e.base)}[{idx}]"
+        if isinstance(e, ast.Call):
+            args = ", ".join(self.expr(a) for a in e.args)
+            return f"{e.func}({args})"
+        if isinstance(e, ast.Lambda):
+            params = ", ".join(e.params)
+            if e.body_expr is not None:
+                return f"({params}) => {self.expr(e.body_expr)}"
+            assert e.body_block is not None
+            inner = _Printer()
+            inner.depth = self.depth
+            inner.block(e.body_block)
+            body = "\n".join(inner.lines)
+            return f"({params}) => {body.lstrip()}"
+        raise AssertionError(f"unknown expression {type(e).__name__}")
+
+    def _atom(self, e: ast.Expr) -> str:
+        """Render with parentheses when needed to preserve structure."""
+        text = self.expr(e)
+        if isinstance(e, (ast.Binary, ast.Unary)):
+            return f"({text})"
+        return text
+
+    # -- statements --------------------------------------------------------
+
+    def block(self, b: ast.Block) -> None:
+        self.emit("{")
+        self.depth += 1
+        for s in b.stmts:
+            self.stmt(s)
+        self.depth -= 1
+        self.emit("}")
+
+    def _inline_block(self, prefix: str, b: ast.Block) -> None:
+        """Emit ``prefix {`` ... ``}`` with the brace on the prefix line."""
+        self.emit(prefix + " {")
+        self.depth += 1
+        for s in b.stmts:
+            self.stmt(s)
+        self.depth -= 1
+        self.emit("}")
+
+    def stmt(self, s: ast.Stmt) -> None:
+        if isinstance(s, ast.Block):
+            self.block(s)
+        elif isinstance(s, ast.Let):
+            ann = f": {s.declared}" if s.declared is not None else ""
+            self.emit(f"let {s.name}{ann} = {self.expr(s.init)};")
+        elif isinstance(s, ast.Assign):
+            self.emit(f"{self.expr(s.target)} {s.op} {self.expr(s.value)};")
+        elif isinstance(s, ast.If):
+            self._inline_block(f"if ({self.expr(s.cond)})", s.then)
+            node = s.orelse
+            while node is not None:
+                # splice "else if" chains onto the closing brace line
+                if isinstance(node, ast.If):
+                    self.lines[-1] += f" else if ({self.expr(node.cond)}) {{"
+                    self.depth += 1
+                    for inner in node.then.stmts:
+                        self.stmt(inner)
+                    self.depth -= 1
+                    self.emit("}")
+                    node = node.orelse
+                else:
+                    assert isinstance(node, ast.Block)
+                    self.lines[-1] += " else {"
+                    self.depth += 1
+                    for inner in node.stmts:
+                        self.stmt(inner)
+                    self.depth -= 1
+                    self.emit("}")
+                    node = None
+        elif isinstance(s, ast.For):
+            self._inline_block(self._for_header(s), s.body)
+        elif isinstance(s, ast.While):
+            self._inline_block(f"while ({self.expr(s.cond)})", s.body)
+        elif isinstance(s, ast.Return):
+            if s.value is None:
+                self.emit("return;")
+            else:
+                self.emit(f"return {self.expr(s.value)};")
+        elif isinstance(s, ast.Break):
+            self.emit("break;")
+        elif isinstance(s, ast.Continue):
+            self.emit("continue;")
+        elif isinstance(s, ast.ExprStmt):
+            self.emit(f"{self.expr(s.expr)};")
+        elif isinstance(s, ast.OmpParallelFor):
+            clauses = "".join(" " + self._clause(c) for c in s.clauses)
+            self.emit(f"pragma omp parallel for{clauses}")
+            self._inline_block(self._for_header(s.loop), s.loop.body)
+        elif isinstance(s, ast.OmpCritical):
+            self.emit("pragma omp critical")
+            self.block(s.body)
+        elif isinstance(s, ast.OmpAtomic):
+            self.emit("pragma omp atomic")
+            self.stmt(s.update)
+        else:  # pragma: no cover - defensive
+            raise AssertionError(f"unknown statement {type(s).__name__}")
+
+    def _for_header(self, s: ast.For) -> str:
+        step = f" step {self.expr(s.step)}" if s.step is not None else ""
+        return f"for ({s.var} in {self.expr(s.lo)}..{self.expr(s.hi)}{step})"
+
+    @staticmethod
+    def _clause(c: ast.OmpClause) -> str:
+        if c.kind == "reduction":
+            return f"reduction({c.op}: {c.var})"
+        if c.kind == "schedule":
+            return f"schedule({c.schedule})"
+        p = _Printer()
+        return f"num_threads({p.expr(c.value)})" if c.value is not None else "num_threads(1)"
+
+    # -- top level ----------------------------------------------------------
+
+    def kernel(self, k: ast.Kernel) -> None:
+        params = ", ".join(f"{p.name}: {p.type}" for p in k.params)
+        ret = f" -> {k.ret}" if k.ret is not None else ""
+        self._inline_block(f"kernel {k.name}({params}){ret}", k.body)
+
+    def program(self, p: ast.Program) -> str:
+        for i, k in enumerate(p.kernels):
+            if i:
+                self.lines.append("")
+            self.kernel(k)
+        return "\n".join(self.lines) + "\n"
+
+
+def unparse(program: ast.Program) -> str:
+    """Render ``program`` as MiniPar source text."""
+    return _Printer().program(program)
+
+
+def unparse_expr(e: ast.Expr) -> str:
+    """Render a single expression (used in diagnostics and mutation logs)."""
+    return _Printer().expr(e)

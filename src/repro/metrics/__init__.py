@@ -1,0 +1,42 @@
+"""Evaluation metrics: pass@k / build@k (Eq. 4) and the paper's novel
+speedup_n@k / efficiency_n@k (Eq. 5-7)."""
+
+from .estimators import (
+    brute_force_expected_max,
+    brute_force_pass_at_k,
+    expected_max_of_k,
+    mean,
+    pass_at_k,
+)
+from .passk import (
+    BUILT_STATUSES,
+    benchmark_build_at_k,
+    benchmark_pass_at_k,
+    pass_at_k_curve,
+    prompt_build_at_k,
+    prompt_pass_at_k,
+)
+from .speedup import (
+    benchmark_efficiency_at_k,
+    benchmark_speedup_at_k,
+    prompt_speedup_at_k,
+    sample_speedup,
+)
+
+__all__ = [
+    "pass_at_k",
+    "expected_max_of_k",
+    "brute_force_pass_at_k",
+    "brute_force_expected_max",
+    "mean",
+    "prompt_pass_at_k",
+    "prompt_build_at_k",
+    "benchmark_pass_at_k",
+    "benchmark_build_at_k",
+    "pass_at_k_curve",
+    "BUILT_STATUSES",
+    "sample_speedup",
+    "prompt_speedup_at_k",
+    "benchmark_speedup_at_k",
+    "benchmark_efficiency_at_k",
+]

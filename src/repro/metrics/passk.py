@@ -1,0 +1,40 @@
+"""pass@k and build@k over sets of evaluated prompts (Eq. 4)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from .estimators import mean, pass_at_k
+
+#: statuses that count as "the sample built" (build@k numerator)
+BUILT_STATUSES = frozenset(
+    {"correct", "wrong_answer", "runtime_error", "timeout", "not_parallel"}
+)
+
+
+def prompt_pass_at_k(statuses: Sequence[str], k: int) -> float:
+    """pass@k for one prompt from its per-sample harness statuses."""
+    return pass_at_k(len(statuses), sum(s == "correct" for s in statuses), k)
+
+
+def prompt_build_at_k(statuses: Sequence[str], k: int) -> float:
+    """build@k: probability at least one of k samples compiles and links."""
+    return pass_at_k(len(statuses),
+                     sum(s in BUILT_STATUSES for s in statuses), k)
+
+
+def benchmark_pass_at_k(per_prompt_statuses: Iterable[Sequence[str]],
+                        k: int) -> float:
+    """Average pass@k over prompts (the |P| average in Eq. 4)."""
+    return mean(prompt_pass_at_k(s, k) for s in per_prompt_statuses)
+
+
+def benchmark_build_at_k(per_prompt_statuses: Iterable[Sequence[str]],
+                         k: int) -> float:
+    return mean(prompt_build_at_k(s, k) for s in per_prompt_statuses)
+
+
+def pass_at_k_curve(per_prompt_statuses: List[Sequence[str]],
+                    ks: Sequence[int]) -> Dict[int, float]:
+    """pass@k at several k values (Fig. 4's series)."""
+    return {k: benchmark_pass_at_k(per_prompt_statuses, k) for k in ks}

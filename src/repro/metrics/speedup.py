@@ -1,0 +1,61 @@
+"""speedup_n@k and efficiency_n@k (paper §6.2, Eq. 5-7).
+
+Per prompt, each generated sample contributes a speedup over the
+handwritten sequential baseline, ``T*_p / T_{p,j,n}``; samples that failed
+(did not build, were wrong, raced, deadlocked, timed out, or simply were
+not measured at processor count n) contribute 0 — an incorrect program's
+"speedup" is worthless, and 0 keeps the estimator's expected-best-of-k
+semantics meaningful.  The benchmark metric is the |P|-average of the
+per-prompt expected best-of-k speedup.
+
+Search prompts are excluded by the caller (footnote 1 of the paper:
+super-linear early-exit speedups swamp the other problem types).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .estimators import expected_max_of_k, mean
+
+
+def sample_speedup(baseline_time: float, sample_time: Optional[float]) -> float:
+    """T*/T for one sample at one processor count; 0 for failures."""
+    if sample_time is None or sample_time <= 0.0:
+        return 0.0
+    return baseline_time / sample_time
+
+
+def prompt_speedup_at_k(baseline_time: float,
+                        sample_times: Sequence[Optional[float]],
+                        k: int) -> float:
+    """Expected best-of-k speedup for one prompt (Eq. 5)."""
+    speedups = [sample_speedup(baseline_time, t) for t in sample_times]
+    return expected_max_of_k(speedups, k)
+
+
+def benchmark_speedup_at_k(
+    per_prompt: Iterable[Dict],
+    k: int,
+) -> float:
+    """speedup_n@k over a benchmark (Eq. 6).
+
+    Each entry carries ``baseline`` (T*) and ``times`` (per-sample
+    simulated time at the chosen n, None for failures).
+    """
+    return mean(
+        prompt_speedup_at_k(e["baseline"], e["times"], k) for e in per_prompt
+    )
+
+
+def benchmark_efficiency_at_k(per_prompt: Iterable[Dict], k: int) -> float:
+    """efficiency_n@k (Eq. 7): per-prompt best-of-k speedup divided by that
+    prompt's processor count n (n varies across prompts for CUDA/HIP,
+    where it is the kernel thread count — footnote in §8)."""
+    vals: List[float] = []
+    for e in per_prompt:
+        n = e["n"]
+        if n <= 0:
+            continue
+        vals.append(prompt_speedup_at_k(e["baseline"], e["times"], k) / n)
+    return mean(vals)

@@ -1,0 +1,22 @@
+"""Simulated LLMs, their capability profiles, solution banks and bug
+injectors (the stand-in for the paper's A100/OpenAI-API inference —
+see DESIGN.md §2 for why the substitution preserves the harness)."""
+
+from .llm import Sample, SimulatedLLM, all_models, load_model
+from .profiles import MODEL_CARDS, MODEL_ORDER, PROFILES, ModelProfile, profile
+from .solutions import Variant, bank, variants_for
+
+__all__ = [
+    "SimulatedLLM",
+    "Sample",
+    "load_model",
+    "all_models",
+    "ModelProfile",
+    "profile",
+    "PROFILES",
+    "MODEL_CARDS",
+    "MODEL_ORDER",
+    "Variant",
+    "bank",
+    "variants_for",
+]

@@ -1,0 +1,167 @@
+"""Capability profiles for the seven LLMs the paper evaluates (Table 2).
+
+Each profile factorises the probability that one generated sample is
+correct as::
+
+    p(correct | model, exec model, problem type)
+        = serial_skill * exec_mult[exec] * ptype_mult[ptype]   (clamped)
+
+The numbers are calibrated so the *shapes* of the paper's results hold
+(DESIGN.md §4): GPT-3.5 best at parallel prompts (~40% pass@1), GPT-4 just
+behind (bigger models repeat one confident answer — captured by
+``confidence``), Phind-V2 the best open model (~32%), the rest 10-19%;
+execution models order serial > OpenMP > Kokkos ≈ CUDA/HIP > MPI; problem
+types order transform best, sparse worst; open models slightly prefer HIP
+and closed models CUDA.
+
+``perf_bias`` governs how often a model picks the *fast* variant of a
+correct solution (exponent on variant quality), reproducing the paper's
+finding that correctness leaders are not necessarily performance leaders
+(GPT-4 tops speedup_n@1 despite GPT-3.5 topping pass@1; Phind-V2 is the
+most MPI-efficient).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+#: Model-card metadata (Table 2).  HumanEval/MBPP pass@1 are the numbers
+#: the paper cites; "—" entries in the paper are None here.
+MODEL_CARDS = {
+    "CodeLlama-7B": dict(params="7B", open_weights=True, license="llama2",
+                         humaneval=29.98, mbpp=41.4),
+    "CodeLlama-13B": dict(params="13B", open_weights=True, license="llama2",
+                          humaneval=35.07, mbpp=47.0),
+    "StarCoderBase": dict(params="15.5B", open_weights=True,
+                          license="BigCode OpenRAIL-M",
+                          humaneval=30.35, mbpp=49.0),
+    "CodeLlama-34B": dict(params="34B", open_weights=True, license="llama2",
+                          humaneval=45.11, mbpp=55.0),
+    "Phind-CodeLlama-V2": dict(params="34B", open_weights=True,
+                               license="llama2", humaneval=71.95, mbpp=None),
+    "GPT-3.5": dict(params=None, open_weights=False, license=None,
+                    humaneval=61.50, mbpp=52.2),
+    "GPT-4": dict(params=None, open_weights=False, license=None,
+                  humaneval=84.10, mbpp=None),
+}
+
+MODEL_ORDER = tuple(MODEL_CARDS)
+
+
+@dataclass(frozen=True)
+class ModelProfile:
+    name: str
+    serial_skill: float
+    exec_mult: Dict[str, float]
+    ptype_mult: Dict[str, float]
+    #: concentration of the output distribution: big models repeat one
+    #: answer (paper §8.1: CodeLlama-34B / GPT-4 emit the same output for
+    #: most of the 20 samples)
+    confidence: float
+    #: exponent on variant quality when picking among correct solutions
+    perf_bias: float
+    #: per-execution-model overrides of perf_bias — how the paper's Fig. 5
+    #: quirk arises (Phind-V2 tunes MPI hard but emits sloppy OpenMP)
+    perf_bias_overrides: Dict[str, float] = field(default_factory=dict)
+    #: closed models are chat/instruction tuned (excluded from the
+    #: 200-sample temperature-0.8 runs, §7.1)
+    chat_only: bool = False
+
+    def variant_bias(self, exec_model: str) -> float:
+        return self.perf_bias_overrides.get(exec_model, self.perf_bias)
+
+    def p_correct(self, exec_model: str, ptype: str) -> float:
+        p = (
+            self.serial_skill
+            * self.exec_mult[exec_model]
+            * self.ptype_mult[ptype]
+        )
+        return min(0.98, max(0.005, p))
+
+
+_PTYPE_LARGE = {
+    # larger models: structured/dense problems strong, sparse weakest
+    "transform": 1.40, "reduce": 1.25, "search": 1.22, "histogram": 1.15,
+    "stencil": 1.12, "dense_la": 1.10, "graph": 0.85, "sort": 0.68,
+    "scan": 0.62, "geometry": 0.62, "fft": 0.58, "sparse_la": 0.45,
+}
+
+_PTYPE_SMALL = {
+    # smaller models: same broad order but graph in their top tier
+    # (paper §8.1) and a steeper drop on the hard tail
+    "transform": 1.50, "reduce": 1.32, "search": 1.28, "graph": 1.12,
+    "histogram": 1.08, "stencil": 1.02, "dense_la": 1.00, "sort": 0.52,
+    "scan": 0.48, "geometry": 0.50, "fft": 0.44, "sparse_la": 0.34,
+}
+
+
+def _exec(serial=1.0, openmp=0.0, kokkos=0.0, mpi=0.0, hybrid=0.0,
+          cuda=0.0, hip=0.0) -> Dict[str, float]:
+    return {
+        "serial": serial, "openmp": openmp, "kokkos": kokkos,
+        "mpi": mpi, "mpi+omp": hybrid, "cuda": cuda, "hip": hip,
+    }
+
+
+PROFILES: Dict[str, ModelProfile] = {
+    "CodeLlama-7B": ModelProfile(
+        name="CodeLlama-7B", serial_skill=0.33,
+        exec_mult=_exec(openmp=0.50, kokkos=0.17, mpi=0.21, hybrid=0.17,
+                        cuda=0.32, hip=0.35),
+        ptype_mult=_PTYPE_SMALL, confidence=1.1, perf_bias=0.8,
+    ),
+    "CodeLlama-13B": ModelProfile(
+        name="CodeLlama-13B", serial_skill=0.45,
+        exec_mult=_exec(openmp=0.62, kokkos=0.26, mpi=0.25, hybrid=0.21,
+                        cuda=0.42, hip=0.45),
+        ptype_mult=_PTYPE_SMALL, confidence=1.2, perf_bias=0.9,
+    ),
+    "StarCoderBase": ModelProfile(
+        name="StarCoderBase", serial_skill=0.49,
+        exec_mult=_exec(openmp=0.58, kokkos=0.24, mpi=0.21, hybrid=0.19,
+                        cuda=0.37, hip=0.41),
+        ptype_mult=_PTYPE_SMALL, confidence=1.2, perf_bias=0.9,
+    ),
+    "CodeLlama-34B": ModelProfile(
+        name="CodeLlama-34B", serial_skill=0.53,
+        exec_mult=_exec(openmp=0.47, kokkos=0.27, mpi=0.16, hybrid=0.14,
+                        cuda=0.31, hip=0.34),
+        ptype_mult=_PTYPE_SMALL, confidence=2.4, perf_bias=0.7,
+    ),
+    "Phind-CodeLlama-V2": ModelProfile(
+        name="Phind-CodeLlama-V2", serial_skill=0.64,
+        exec_mult=_exec(openmp=0.76, kokkos=0.57, mpi=0.35, hybrid=0.31,
+                        cuda=0.54, hip=0.56),
+        ptype_mult=_PTYPE_LARGE, confidence=1.6,
+        perf_bias=1.2,
+        # Fig. 5: most efficient on MPI prompts, least efficient on
+        # OpenMP, near-least on Kokkos
+        perf_bias_overrides={"mpi": 4.0, "mpi+omp": 3.0,
+                             "openmp": 0.35, "kokkos": 0.5},
+    ),
+    "GPT-3.5": ModelProfile(
+        name="GPT-3.5", serial_skill=0.80,
+        exec_mult=_exec(openmp=0.71, kokkos=0.58, mpi=0.36, hybrid=0.33,
+                        cuda=0.53, hip=0.50),
+        ptype_mult=_PTYPE_LARGE, confidence=1.4, perf_bias=1.4,
+        chat_only=True,
+    ),
+    "GPT-4": ModelProfile(
+        name="GPT-4", serial_skill=0.87,
+        exec_mult=_exec(openmp=0.61, kokkos=0.50, mpi=0.30, hybrid=0.28,
+                        cuda=0.45, hip=0.43),
+        ptype_mult=_PTYPE_LARGE, confidence=2.6,
+        perf_bias=2.6,  # best speedup/efficiency despite lower pass@1
+        perf_bias_overrides={"mpi": 2.2},
+        chat_only=True,
+    ),
+}
+
+
+def profile(name: str) -> ModelProfile:
+    return PROFILES[name]
+
+
+def all_profiles() -> Tuple[ModelProfile, ...]:
+    return tuple(PROFILES[m] for m in MODEL_ORDER)

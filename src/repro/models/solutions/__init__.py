@@ -1,0 +1,32 @@
+"""The solution bank: correct MiniPar solutions for every PCGBench task.
+
+``bank()`` lazily builds and caches the full table of
+(problem, execution model) -> [Variant...].  Every variant is a complete
+MiniPar program implementing the prompt; variants differ in performance
+tier (``quality``), mirroring the spread of code shapes real LLMs emit.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, List, Tuple
+
+from ...bench.problems import all_problems
+from ...bench.spec import EXECUTION_MODELS, Problem
+from .builders import Variant, build_variants
+
+__all__ = ["Variant", "bank", "variants_for", "build_variants"]
+
+
+@lru_cache(maxsize=1)
+def bank() -> Dict[Tuple[str, str], List[Variant]]:
+    """The full bank: one entry per (problem name, execution model)."""
+    table: Dict[Tuple[str, str], List[Variant]] = {}
+    for problem in all_problems():
+        for model in EXECUTION_MODELS:
+            table[(problem.name, model)] = build_variants(problem, model)
+    return table
+
+
+def variants_for(problem: Problem, model: str) -> List[Variant]:
+    return bank()[(problem.name, model)]

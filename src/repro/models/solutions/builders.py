@@ -1,0 +1,776 @@
+"""Expand problem fragments into MiniPar sources per execution model.
+
+For every (problem, execution model) pair this produces a small set of
+*correct* solution variants at different performance tiers — the shapes
+LLMs actually emit: a clean static parallel loop, a dynamic-schedule
+version, an everything-in-a-critical-section version, a root-does-all MPI
+program, a one-thread-does-all GPU kernel, and so on.  The simulated LLMs
+sample from these (and then a bug injector decides whether the sample
+survives intact).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ...bench.spec import Problem
+from .fragments import Custom, Map1D, Map2D, Reduce1D, Scan1D, Scatter1D
+
+QUALITY_GOOD = 1.0
+QUALITY_OK = 0.55
+QUALITY_POOR = 0.18
+
+
+@dataclass(frozen=True)
+class Variant:
+    """One correct solution at some performance tier."""
+
+    name: str
+    source: str
+    quality: float
+
+
+def _indent(code: str, by: int = 1) -> str:
+    pad = "    " * by
+    return "\n".join(pad + line if line.strip() else line
+                     for line in code.strip("\n").split("\n"))
+
+
+def _sig(problem: Problem, model: str) -> str:
+    return problem.signature(model)
+
+
+def _kernel(problem: Problem, model: str, body: str, helpers: str = "") -> str:
+    head = helpers.strip() + "\n\n" if helpers.strip() else ""
+    return f"{head}{_sig(problem, model)}\n{_indent(body)}\n}}\n"
+
+
+def _alloc_for(param_type: str) -> Tuple[str, bool]:
+    """(alloc builtin, is2d) matching a MiniPar array type string."""
+    if param_type == "array<float>":
+        return "alloc_float", False
+    if param_type == "array<int>":
+        return "alloc_int", False
+    if param_type == "array2d<float>":
+        return "alloc2d_float", True
+    return "alloc2d_int", True
+
+
+_WRITE_1D = re.compile(r"(\w+)\[i\] = ")
+_WRITE_2D = re.compile(r"(\w+)\[i, j\] = ")
+
+
+def _written_arrays(body: str, two_d: bool) -> List[str]:
+    pat = _WRITE_2D if two_d else _WRITE_1D
+    seen: List[str] = []
+    for m in pat.finditer(body):
+        if m.group(1) not in seen:
+            seen.append(m.group(1))
+    assert seen, f"fragment body writes nothing recognisable: {body!r}"
+    return seen
+
+
+def _redirect_writes(body: str, two_d: bool, rename: Dict[str, str]) -> str:
+    """Rewrite write targets (only) to the rank-local shadow arrays."""
+    pat = _WRITE_2D if two_d else _WRITE_1D
+
+    def sub(m: re.Match) -> str:
+        name = m.group(1)
+        idx = "[i, j] = " if two_d else "[i] = "
+        return rename.get(name, name) + idx
+
+    return pat.sub(sub, body)
+
+
+def _param_type(problem: Problem, name: str) -> str:
+    for p in problem.params:
+        if p.name == name:
+            return p.type
+    raise KeyError(name)
+
+
+_MPI_RANGE = """\
+let rank = mpi_rank();
+let size = mpi_size();
+let total = {n};
+let chunk = (total + size - 1) / size;
+let lo_r = rank * chunk;
+let hi_r = min(lo_r + chunk, total);"""
+
+
+def _combine_stmt(op: str, acc: str, expr: str) -> str:
+    if op == "sum":
+        return f"{acc} += {expr};"
+    return f"{acc} = {op}({acc}, {expr});"
+
+
+def _omp_reduction_op(op: str) -> str:
+    return {"sum": "+", "min": "min", "max": "max"}[op]
+
+
+# ===========================================================================
+# Map1D
+# ===========================================================================
+
+
+def _map1d_serial_body(f: Map1D) -> str:
+    setup = f.setup + "\n" if f.setup else ""
+    return f"{setup}for (i in 0..{f.n}) {{\n{_indent(f.body)}\n}}"
+
+
+def _map1d(problem: Problem, f: Map1D, model: str) -> List[Variant]:
+    if model == "serial":
+        return [Variant("serial-loop",
+                        _kernel(problem, model, _map1d_serial_body(f)),
+                        QUALITY_GOOD)]
+    if model == "openmp":
+        setup = f.setup + "\n" if f.setup else ""
+        static = (f"{setup}pragma omp parallel for\n"
+                  f"for (i in 0..{f.n}) {{\n{_indent(f.body)}\n}}")
+        dynamic = (f"{setup}pragma omp parallel for schedule(dynamic)\n"
+                   f"for (i in 0..{f.n}) {{\n{_indent(f.body)}\n}}")
+        return [
+            Variant("omp-static", _kernel(problem, model, static), QUALITY_GOOD),
+            Variant("omp-dynamic", _kernel(problem, model, dynamic), 0.8),
+        ]
+    if model == "kokkos":
+        setup = f.setup + "\n" if f.setup else ""
+        body = (f"{setup}parallel_for({f.n}, (i) => {{\n{_indent(f.body)}\n}});")
+        return [Variant("kokkos-for", _kernel(problem, model, body), QUALITY_GOOD)]
+    if model in ("mpi", "mpi+omp"):
+        if model == "mpi":
+            inner = _map1d_serial_body(f)
+        else:
+            setup = f.setup + "\n" if f.setup else ""
+            inner = (f"{setup}pragma omp parallel for\n"
+                     f"for (i in 0..{f.n}) {{\n{_indent(f.body)}\n}}")
+        return _map_mpi(problem, f.body, f.n, model, two_d=False,
+                        setup=f.setup, root_inner=inner)
+    # cuda / hip
+    guard = (
+        "let i = block_idx() * block_dim() + thread_idx();\n"
+        f"if (i < {f.n}) {{\n{_indent(f.body)}\n}}"
+    )
+    t0 = _gpu_thread0(_map1d_serial_body(f))
+    return [
+        Variant("gpu-thread-per-elem", _kernel(problem, model, guard),
+                QUALITY_GOOD),
+        Variant("gpu-thread0-serial", _kernel(problem, model, t0),
+                QUALITY_POOR * 0.3),
+    ]
+
+
+def _gpu_thread0(serial_body: str, result_write: Optional[str] = None) -> str:
+    inner = serial_body
+    if result_write is not None:
+        inner += f"\n{result_write}"
+    return ("if (block_idx() == 0 && thread_idx() == 0) {\n"
+            f"{_indent(inner)}\n}}")
+
+
+def _map_mpi(problem: Problem, body: str, n: str, model: str, two_d: bool,
+             setup: str = "", rows: str = "", cols: str = "",
+             root_inner: str = "") -> List[Variant]:
+    """The replicate-compute-allreduce MPI pattern (robust at any P):
+    each rank computes its row range into zeroed shadow arrays, the
+    shadows are sum-all-reduced, then copied into the real outputs."""
+    writes = _written_arrays(body, two_d)
+    shadows = {w: f"{w}_part" for w in writes}
+    local_body = _redirect_writes(body, two_d, shadows)
+    omp = model == "mpi+omp"
+    pragma = "pragma omp parallel for\n" if omp else ""
+
+    lines = [_MPI_RANGE.format(n=rows if two_d else n)]
+    if setup:
+        lines.append(setup)
+    for w, s in shadows.items():
+        alloc, is2d = _alloc_for(_param_type(problem, w))
+        if is2d:
+            lines.append(f"let {s} = {alloc}(rows({w}), cols({w}));")
+        else:
+            lines.append(f"let {s} = {alloc}(len({w}));")
+    if two_d:
+        lines.append(
+            f"{pragma}for (i in lo_r..hi_r) {{\n"
+            f"    for (j in 0..{cols}) {{\n{_indent(local_body, 2)}\n    }}\n}}"
+        )
+    else:
+        lines.append(
+            f"{pragma}for (i in lo_r..hi_r) {{\n{_indent(local_body)}\n}}"
+        )
+    for w, s in shadows.items():
+        lines.append(f'mpi_allreduce_array({s}, "sum");')
+    if two_d:
+        copy = "\n".join(
+            f"{pragma}for (i in 0..{rows}) {{\n"
+            f"    for (j in 0..{cols}) {{\n"
+            f"        {w}[i, j] = {shadows[w]}[i, j];\n    }}\n}}"
+            for w in writes
+        )
+    else:
+        copy = "\n".join(
+            f"{pragma}for (i in 0..{n}) {{\n"
+            f"    {w}[i] = {shadows[w]}[i];\n}}"
+            for w in writes
+        )
+    lines.append(copy)
+    good = "\n".join(lines)
+
+    if not root_inner:
+        if two_d:
+            root_inner = (f"{setup}\n" if setup else "") + (
+                f"for (i in 0..{rows}) {{\n"
+                f"    for (j in 0..{cols}) {{\n{_indent(body, 2)}\n    }}\n}}"
+            )
+        else:
+            root_inner = (f"{setup}\n" if setup else "") + (
+                f"for (i in 0..{n}) {{\n{_indent(body)}\n}}"
+            )
+
+    return [
+        Variant("mpi-block-allreduce", _kernel(problem, model, good),
+                QUALITY_GOOD),
+        root_only_local(problem, model, root_inner),
+    ]
+
+
+def root_only_local(problem: Problem, model: str, inner_body: str,
+                    helpers: str = "",
+                    quality: float = QUALITY_POOR) -> Variant:
+    """Rank 0 does everything (running ``inner_body`` — serial for plain
+    MPI, OpenMP-annotated for the hybrid model so the usage check passes);
+    peers idle at a barrier.  Correct, because outputs are only checked on
+    rank 0, and a shape weak models genuinely emit."""
+    params = ", ".join(f"{p.name}: {p.type}" for p in problem.params)
+    args = ", ".join(p.name for p in problem.params)
+    ret = f" -> {problem.ret}" if problem.ret else ""
+    local = (
+        (helpers.strip() + "\n\n" if helpers.strip() else "")
+        + f"kernel {problem.name}_local({params}){ret} {{\n"
+        + _indent(inner_body)
+        + "\n}"
+    )
+    if problem.ret is not None:
+        ident = "0" if problem.ret == "int" else "0.0"
+        body = (
+            "if (mpi_rank() == 0) {\n"
+            f"    let res = {problem.name}_local({args});\n"
+            "    mpi_barrier();\n"
+            "    return res;\n"
+            "}\n"
+            "mpi_barrier();\n"
+            f"return {ident};"
+        )
+    else:
+        body = (
+            "if (mpi_rank() == 0) {\n"
+            f"    {problem.name}_local({args});\n"
+            "}\n"
+            "mpi_barrier();"
+        )
+    return Variant("mpi-root-only", _kernel(problem, model, body, local),
+                   quality)
+
+
+# ===========================================================================
+# Map2D
+# ===========================================================================
+
+
+def _map2d_serial_body(f: Map2D) -> str:
+    return (f"for (i in 0..{f.rows}) {{\n"
+            f"    for (j in 0..{f.cols}) {{\n{_indent(f.body, 2)}\n    }}\n}}")
+
+
+def _map2d(problem: Problem, f: Map2D, model: str) -> List[Variant]:
+    if model == "serial":
+        return [Variant("serial-loop",
+                        _kernel(problem, model, _map2d_serial_body(f)),
+                        QUALITY_GOOD)]
+    if model == "openmp":
+        body = (f"pragma omp parallel for\n"
+                f"for (i in 0..{f.rows}) {{\n"
+                f"    for (j in 0..{f.cols}) {{\n{_indent(f.body, 2)}\n    }}\n}}")
+        dyn = body.replace("parallel for\n", "parallel for schedule(dynamic)\n")
+        return [
+            Variant("omp-static", _kernel(problem, model, body), QUALITY_GOOD),
+            Variant("omp-dynamic", _kernel(problem, model, dyn), 0.8),
+        ]
+    if model == "kokkos":
+        body = (f"parallel_for({f.rows}, (i) => {{\n"
+                f"    for (j in 0..{f.cols}) {{\n{_indent(f.body, 2)}\n    }}\n}});")
+        return [Variant("kokkos-for", _kernel(problem, model, body),
+                        QUALITY_GOOD)]
+    if model in ("mpi", "mpi+omp"):
+        root_inner = ""
+        if model == "mpi+omp":
+            root_inner = (
+                f"pragma omp parallel for\n"
+                f"for (i in 0..{f.rows}) {{\n"
+                f"    for (j in 0..{f.cols}) {{\n{_indent(f.body, 2)}\n    }}\n}}"
+            )
+        return _map_mpi(problem, f.body, "", model, two_d=True,
+                        rows=f.rows, cols=f.cols, root_inner=root_inner)
+    flat = (
+        "let gid = block_idx() * block_dim() + thread_idx();\n"
+        f"let r_total = {f.rows};\n"
+        f"let c_total = {f.cols};\n"
+        "if (gid < r_total * c_total) {\n"
+        "    let i = gid / c_total;\n"
+        "    let j = gid % c_total;\n"
+        f"{_indent(f.body)}\n"
+        "}"
+    )
+    t0 = _gpu_thread0(_map2d_serial_body(f))
+    return [
+        Variant("gpu-thread-per-cell", _kernel(problem, model, flat),
+                QUALITY_GOOD),
+        Variant("gpu-thread0-serial", _kernel(problem, model, t0),
+                QUALITY_POOR * 0.3),
+    ]
+
+
+# ===========================================================================
+# Reduce1D
+# ===========================================================================
+
+
+def _reduce_contrib(problem: Problem, f: Reduce1D) -> str:
+    if f.expr:
+        return f.expr
+    args = ", ".join(p.name for p in problem.params)
+    return f"{problem.name}_contrib({args}, i)"
+
+
+def _reduce_serial_body(problem: Problem, f: Reduce1D,
+                        with_return: bool = True) -> str:
+    contrib = _reduce_contrib(problem, f)
+    setup = f.setup + "\n" if f.setup else ""
+    body = (
+        f"{setup}let acc = {f.identity};\n"
+        f"for (i in 0..{f.n}) {{\n"
+        f"    {_combine_stmt(f.op, 'acc', contrib)}\n"
+        f"}}"
+    )
+    if with_return:
+        body += f"\nreturn {f.post.format('acc')};"
+    return body
+
+
+def _reduce(problem: Problem, f: Reduce1D, model: str) -> List[Variant]:
+    contrib = _reduce_contrib(problem, f)
+    helpers = f.helper
+    setup = f.setup + "\n" if f.setup else ""
+    post = f.post
+
+    if model == "serial":
+        return [Variant(
+            "serial-fold",
+            _kernel(problem, model, _reduce_serial_body(problem, f), helpers),
+            QUALITY_GOOD,
+        )]
+
+    if model == "openmp":
+        red = (
+            f"{setup}let acc = {f.identity};\n"
+            f"pragma omp parallel for reduction({_omp_reduction_op(f.op)}: acc)\n"
+            f"for (i in 0..{f.n}) {{\n"
+            f"    {_combine_stmt(f.op, 'acc', contrib)}\n"
+            f"}}\n"
+            f"return {post.format('acc')};"
+        )
+        out = [Variant("omp-reduction", _kernel(problem, model, red, helpers),
+                       QUALITY_GOOD)]
+        crit = (
+            f"{setup}let acc = {f.identity};\n"
+            f"pragma omp parallel for\n"
+            f"for (i in 0..{f.n}) {{\n"
+            f"    pragma omp critical\n"
+            f"    {{\n"
+            f"        {_combine_stmt(f.op, 'acc', contrib)}\n"
+            f"    }}\n"
+            f"}}\n"
+            f"return {post.format('acc')};"
+        )
+        out.append(Variant("omp-critical", _kernel(problem, model, crit, helpers),
+                           QUALITY_POOR))
+        if f.op == "sum":
+            atomic = (
+                f"{setup}let acc = {f.identity};\n"
+                f"pragma omp parallel for\n"
+                f"for (i in 0..{f.n}) {{\n"
+                f"    pragma omp atomic\n"
+                f"    acc += {contrib};\n"
+                f"}}\n"
+                f"return {post.format('acc')};"
+            )
+            out.append(Variant("omp-atomic", _kernel(problem, model, atomic, helpers),
+                               0.35))
+        return out
+
+    if model == "kokkos":
+        body = (
+            f"{setup}let acc = parallel_reduce({f.n}, \"{f.op}\", "
+            f"(i) => {contrib});\n"
+            f"return {post.format('acc')};"
+        )
+        return [Variant("kokkos-reduce", _kernel(problem, model, body, helpers),
+                        QUALITY_GOOD)]
+
+    if model in ("mpi", "mpi+omp"):
+        allreduce = "mpi_allreduce_int" if f.elem == "int" else "mpi_allreduce_float"
+        pragma = (
+            f"pragma omp parallel for reduction({_omp_reduction_op(f.op)}: local)\n"
+            if model == "mpi+omp" else ""
+        )
+        good = (
+            f"{_MPI_RANGE.format(n=f.n)}\n"
+            f"{setup}let local = {f.identity};\n"
+            f"{pragma}for (i in lo_r..hi_r) {{\n"
+            f"    {_combine_stmt(f.op, 'local', contrib)}\n"
+            f"}}\n"
+            f"let acc = {allreduce}(local, \"{f.op}\");\n"
+            f"return {post.format('acc')};"
+        )
+        if model == "mpi":
+            inner = _reduce_serial_body(problem, f)
+        else:
+            inner = (
+                f"{setup}let acc = {f.identity};\n"
+                f"pragma omp parallel for reduction({_omp_reduction_op(f.op)}: acc)\n"
+                f"for (i in 0..{f.n}) {{\n"
+                f"    {_combine_stmt(f.op, 'acc', contrib)}\n"
+                f"}}\n"
+                f"return {post.format('acc')};"
+            )
+        return [
+            Variant("mpi-block-allreduce", _kernel(problem, model, good, helpers),
+                    QUALITY_GOOD),
+            root_only_local(problem, model, inner, helpers),
+        ]
+
+    # cuda / hip — accumulate into result[0] with atomics; no post transform
+    atomic = {"sum": "atomic_add", "min": "atomic_min", "max": "atomic_max"}[f.op]
+    guard = (
+        "let i = block_idx() * block_dim() + thread_idx();\n"
+        f"if (i < {f.n}) {{\n"
+        f"    {atomic}(result, 0, {contrib});\n"
+        f"}}"
+    )
+    serial = (
+        f"{setup}let acc = {f.identity};\n"
+        f"for (i in 0..{f.n}) {{\n"
+        f"    {_combine_stmt(f.op, 'acc', contrib)}\n"
+        f"}}"
+    )
+    # thread0 writes the raw accumulation (the buffer convention has no post)
+    t0 = _gpu_thread0(serial, result_write="result[0] = acc;")
+    return [
+        Variant("gpu-atomic", _kernel(problem, model, guard, helpers),
+                QUALITY_GOOD),
+        Variant("gpu-thread0-serial", _kernel(problem, model, t0, helpers),
+                QUALITY_POOR * 0.3),
+    ]
+
+
+# ===========================================================================
+# Scatter1D
+# ===========================================================================
+
+
+def _scatter_update(f: Scatter1D, style: str) -> str:
+    """The update statement in one of several synchronisation styles."""
+    plain = f"{f.target}[{f.bin}] += {f.delta};"
+    if style == "plain":
+        return plain
+    if style == "omp-atomic":
+        return f"pragma omp atomic\n{plain}"
+    if style == "omp-critical":
+        return f"pragma omp critical\n{{\n    {plain}\n}}"
+    if style == "atomic-builtin":
+        return f"atomic_add({f.target}, {f.bin}, {f.delta});"
+    raise AssertionError(style)
+
+
+def _scatter_body(f: Scatter1D, style: str, target_override: str = "") -> str:
+    tgt = f
+    if target_override:
+        tgt = Scatter1D(n=f.n, pre=f.pre, target=target_override, bin=f.bin,
+                        delta=f.delta, update=f.update, inner=f.inner)
+    update = _scatter_update(tgt, style)
+    if f.inner:
+        return tgt.inner.replace("{UPDATE}", _indent(update).lstrip())
+    pre = tgt.pre + "\n" if tgt.pre else ""
+    return f"{pre}{update}"
+
+
+def _scatter(problem: Problem, f: Scatter1D, model: str) -> List[Variant]:
+    serial_body = (
+        f"for (i in 0..{f.n}) {{\n{_indent(_scatter_body(f, 'plain'))}\n}}"
+    )
+    if model == "serial":
+        return [Variant("serial-loop", _kernel(problem, model, serial_body),
+                        QUALITY_GOOD)]
+    if model == "openmp":
+        atomic = (f"pragma omp parallel for\n"
+                  f"for (i in 0..{f.n}) {{\n"
+                  f"{_indent(_scatter_body(f, 'omp-atomic'))}\n}}")
+        crit = (f"pragma omp parallel for\n"
+                f"for (i in 0..{f.n}) {{\n"
+                f"{_indent(_scatter_body(f, 'omp-critical'))}\n}}")
+        return [
+            Variant("omp-atomic", _kernel(problem, model, atomic), QUALITY_GOOD),
+            Variant("omp-critical", _kernel(problem, model, crit), QUALITY_POOR),
+        ]
+    if model == "kokkos":
+        body = (f"parallel_for({f.n}, (i) => {{\n"
+                f"{_indent(_scatter_body(f, 'atomic-builtin'))}\n}});")
+        return [Variant("kokkos-atomic", _kernel(problem, model, body),
+                        QUALITY_GOOD)]
+    if model in ("mpi", "mpi+omp"):
+        alloc, _ = _alloc_for(_param_type(problem, f.target))
+        shadow = f"{f.target}_part"
+        style = "omp-atomic" if model == "mpi+omp" else "plain"
+        pragma = "pragma omp parallel for\n" if model == "mpi+omp" else ""
+        local = _scatter_body(f, style, target_override=shadow)
+        good = (
+            f"{_MPI_RANGE.format(n=f.n)}\n"
+            f"let {shadow} = {alloc}(len({f.target}));\n"
+            f"{pragma}for (i in lo_r..hi_r) {{\n{_indent(local)}\n}}\n"
+            f"mpi_allreduce_array({shadow}, \"sum\");\n"
+            f"for (b in 0..len({f.target})) {{\n"
+            f"    {f.target}[b] += {shadow}[b];\n}}"
+        )
+        if model == "mpi":
+            inner = serial_body
+        else:
+            inner = (f"pragma omp parallel for\n"
+                     f"for (i in 0..{f.n}) {{\n"
+                     f"{_indent(_scatter_body(f, 'omp-atomic'))}\n}}")
+        return [
+            Variant("mpi-local-hist", _kernel(problem, model, good),
+                    QUALITY_GOOD),
+            root_only_local(problem, model, inner),
+        ]
+    guard = (
+        "let i = block_idx() * block_dim() + thread_idx();\n"
+        f"if (i < {f.n}) {{\n"
+        f"{_indent(_scatter_body(f, 'atomic-builtin'))}\n}}"
+    )
+    t0 = _gpu_thread0(serial_body)
+    return [
+        Variant("gpu-atomic", _kernel(problem, model, guard), QUALITY_GOOD),
+        Variant("gpu-thread0-serial", _kernel(problem, model, t0),
+                QUALITY_POOR * 0.3),
+    ]
+
+
+# ===========================================================================
+# Scan1D
+# ===========================================================================
+
+
+def _scan_serial_body(f: Scan1D) -> str:
+    comb = f.combine
+    n = f"len({f.src})"
+    if not f.reverse:
+        loop_idx = "i"
+    else:
+        loop_idx = f"({n} - 1 - i)"
+    lines = [f"let acc = {f.identity};"]
+    lines.append(f"for (i in 0..{n}) {{")
+    lines.append(f"    let at = {loop_idx};")
+    if f.inclusive:
+        lines.append(f"    acc = {comb.format(a='acc', b=f.src + '[at]')};")
+        lines.append(f"    {f.out}[at] = acc;")
+    else:
+        lines.append(f"    {f.out}[at] = acc;")
+        lines.append(f"    acc = {comb.format(a='acc', b=f.src + '[at]')};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _scan_naive_inner(f: Scan1D, src: str) -> str:
+    """Per-output O(n) recomputation (so O(n^2) total) — a shape LLMs emit
+    for parallel scans constantly; correct, embarrassingly parallel, slow."""
+    n = f"len({f.src})"
+    if f.reverse:
+        rng = f"i..{n}"
+    elif f.inclusive:
+        rng = "0..i + 1"
+    else:
+        rng = "0..i"
+    return (
+        f"let acc = {f.identity};\n"
+        f"for (k in {rng}) {{\n"
+        f"    acc = {f.combine.format(a='acc', b=src + '[k]')};\n"
+        f"}}\n"
+        f"{f.out}[i] = acc;"
+    )
+
+
+def _scan(problem: Problem, f: Scan1D, model: str) -> List[Variant]:
+    n = f"len({f.src})"
+    in_place = f.src == f.out
+    serial_body = _scan_serial_body(f)
+    if model == "serial":
+        return [Variant("serial-scan", _kernel(problem, model, serial_body),
+                        QUALITY_GOOD)]
+
+    if model == "openmp":
+        # two-pass blocked scan
+        elem_t = "alloc_float"
+        comb = f.combine
+        fwd = not f.reverse
+        idx = "(b * bs + t)" if fwd else f"({n} - 1 - (b * bs + t))"
+        blocked = f"""\
+let n_0 = {n};
+let nb = 32;
+let bs = (n_0 + nb - 1) / nb;
+let bsum = {elem_t}(nb);
+pragma omp parallel for
+for (b in 0..nb) {{
+    let acc = {f.identity};
+    for (t in 0..min(bs, n_0 - b * bs)) {{
+        acc = {comb.format(a='acc', b=f.src + '[' + idx + ']')};
+    }}
+    bsum[b] = acc;
+}}
+let off = {elem_t}(nb);
+let run = {f.identity};
+for (b in 0..nb) {{
+    off[b] = run;
+    run = {comb.format(a='run', b='bsum[b]')};
+}}
+pragma omp parallel for
+for (b in 0..nb) {{
+    let acc = off[b];
+    for (t in 0..min(bs, n_0 - b * bs)) {{
+        let at = {idx};
+        {"acc = " + comb.format(a='acc', b=f.src + '[at]') + ";" if f.inclusive else ""}
+        {f.out}[at] = acc;
+        {"" if f.inclusive else "acc = " + comb.format(a='acc', b=f.src + '[at]') + ";"}
+    }}
+}}"""
+        variants = []
+        if not in_place:
+            variants.append(Variant("omp-blocked-scan",
+                                    _kernel(problem, model, blocked),
+                                    QUALITY_GOOD))
+        snapshot = f"let orig = copy({f.src});\n"
+        naive = (
+            f"{snapshot if in_place else ''}"
+            f"pragma omp parallel for\n"
+            f"for (i in 0..{n}) {{\n"
+            f"{_indent(_scan_naive_inner(f, 'orig' if in_place else f.src))}\n}}"
+        )
+        variants.append(Variant("omp-naive-quadratic",
+                                _kernel(problem, model, naive), 0.25))
+        return variants
+
+    if model == "kokkos":
+        kind = "parallel_scan_inclusive" if f.inclusive else "parallel_scan_exclusive"
+        if not f.reverse:
+            body = f'{kind}({n}, "{f.op}", (k) => {f.src}[k], {f.out});'
+        else:
+            body = (
+                f"let tmp = alloc_float({n});\n"
+                f'{kind}({n}, "{f.op}", (k) => {f.src}[{n} - 1 - k], tmp);\n'
+                f"parallel_for({n}, (k) => {{\n"
+                f"    {f.out}[{n} - 1 - k] = tmp[k];\n}});"
+            )
+        variants = [Variant("kokkos-scan", _kernel(problem, model, body),
+                            QUALITY_GOOD)]
+        snapshot = f"let orig = copy({f.src});\n" if in_place else ""
+        naive = (
+            f"{snapshot}parallel_for({n}, (i) => {{\n"
+            f"{_indent(_scan_naive_inner(f, 'orig' if in_place else f.src))}\n}});"
+        )
+        variants.append(Variant("kokkos-naive-quadratic",
+                                _kernel(problem, model, naive), 0.25))
+        return variants
+
+    if model in ("mpi", "mpi+omp"):
+        comb = f.combine
+        pragma = (
+            f"pragma omp parallel for reduction({_omp_reduction_op(f.op)}: agg)\n"
+            if model == "mpi+omp" else ""
+        )
+        fwd = not f.reverse
+        at_agg = "i" if fwd else f"({n} - 1 - i)"
+        # ranks process segments of the (possibly reversed) traversal in
+        # rank order, so the offset always folds the aggregates of ranks
+        # before this one
+        off_range = "0..rank"
+        good = f"""\
+{_MPI_RANGE.format(n=n)}
+let agg = {f.identity};
+{pragma}for (i in lo_r..hi_r) {{
+    agg = {comb.format(a='agg', b=f.src + '[' + at_agg + ']')};
+}}
+let mine = alloc_float(1);
+mine[0] = agg;
+let aggs = mpi_allgather_array(mine);
+let offset = {f.identity};
+for (rr in {off_range}) {{
+    offset = {comb.format(a='offset', b='aggs[rr]')};
+}}
+let part = alloc_float({n});
+let acc = offset;
+for (i in lo_r..hi_r) {{
+    let at = {at_agg};
+    {"acc = " + comb.format(a='acc', b=f.src + '[at]') + ";" if f.inclusive else ""}
+    part[at] = acc;
+    {"" if f.inclusive else "acc = " + comb.format(a='acc', b=f.src + '[at]') + ";"}
+}}
+mpi_allreduce_array(part, "sum");
+for (i in 0..{n}) {{
+    {f.out}[i] = part[i];
+}}"""
+        out = [Variant("mpi-block-scan", _kernel(problem, model, good),
+                       QUALITY_GOOD)]
+        if model == "mpi":
+            out.append(root_only_local(problem, model, serial_body))
+        return out
+
+    # cuda / hip
+    variants = []
+    if not in_place:
+        naive = (
+            "let i = block_idx() * block_dim() + thread_idx();\n"
+            f"if (i < {n}) {{\n"
+            f"{_indent(_scan_naive_inner(f, f.src))}\n}}"
+        )
+        variants.append(Variant("gpu-naive-quadratic",
+                                _kernel(problem, model, naive), 0.5))
+    t0 = _gpu_thread0(serial_body)
+    variants.append(Variant("gpu-thread0-serial", _kernel(problem, model, t0),
+                            QUALITY_POOR * 0.3))
+    return variants
+
+
+# ===========================================================================
+# dispatch
+# ===========================================================================
+
+
+def build_variants(problem: Problem, model: str) -> List[Variant]:
+    """All correct solution variants for one (problem, execution model)."""
+    from .fragments import fragment_for
+    from . import custom
+
+    frag = fragment_for(problem.name)
+    if isinstance(frag, Map1D):
+        return _map1d(problem, frag, model)
+    if isinstance(frag, Map2D):
+        return _map2d(problem, frag, model)
+    if isinstance(frag, Reduce1D):
+        return _reduce(problem, frag, model)
+    if isinstance(frag, Scatter1D):
+        return _scatter(problem, frag, model)
+    if isinstance(frag, Scan1D):
+        return _scan(problem, frag, model)
+    assert isinstance(frag, Custom)
+    return custom.variants(problem, model)

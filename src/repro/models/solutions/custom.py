@@ -1,0 +1,787 @@
+"""Handwritten solution variants for problems whose parallel structure
+does not fit a generic fragment shape: the sort family, argmin, the graph
+traversals, and the four-way bounding-box reduction.
+
+Each entry mirrors code shapes observed from real LLMs: chunked
+sort-and-merge for OpenMP sorts, pull-based level-synchronous BFS,
+min-label propagation for components, root-does-everything MPI programs
+(with OpenMP inside rank 0 for the hybrid model), and
+one-thread-does-everything GPU kernels.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ...bench.baselines import baseline_source
+from ...bench.spec import Problem
+from .builders import (
+    QUALITY_GOOD,
+    QUALITY_OK,
+    QUALITY_POOR,
+    Variant,
+    _gpu_thread0,
+    _indent,
+    _kernel,
+    root_only_local,
+)
+
+
+def _baseline_body(problem_name: str) -> Tuple[str, str]:
+    """(helper kernels, entry body) extracted from the baseline source."""
+    src = baseline_source(problem_name).strip()
+    marker = f"kernel {problem_name}("
+    at = src.index(marker)
+    helpers = src[:at].strip()
+    entry = src[at:]
+    open_brace = entry.index("{")
+    body = entry[open_brace + 1:].rstrip()
+    assert body.endswith("}")
+    body = body[:-1].rstrip("\n")
+    lines = [ln[4:] if ln.startswith("    ") else ln for ln in body.split("\n")]
+    return helpers, "\n".join(lines).strip("\n")
+
+
+def _serial_variant(problem: Problem, model: str) -> Variant:
+    helpers, body = _baseline_body(problem.name)
+    return Variant("serial-reference", _kernel(problem, model, body, helpers),
+                   QUALITY_GOOD)
+
+
+def _root_only_baseline(problem: Problem, model: str,
+                        quality: float = QUALITY_POOR) -> Variant:
+    """Root-only MPI variant running the serial baseline on rank 0 (plain
+    MPI only; hybrid callers must supply an OpenMP-annotated body)."""
+    helpers, body = _baseline_body(problem.name)
+    return root_only_local(problem, model, body, helpers, quality)
+
+
+def _gpu_thread0_variant(problem: Problem, model: str,
+                         quality: float = 0.05) -> Variant:
+    helpers, body = _baseline_body(problem.name)
+    if problem.ret is not None:
+        args = ", ".join(p.name for p in problem.params)
+        params = ", ".join(f"{p.name}: {p.type}" for p in problem.params)
+        helper = (
+            f"{helpers}\n\n" if helpers else ""
+        ) + (
+            f"kernel {problem.name}_seq({params}) -> {problem.ret} {{\n"
+            f"{_indent(body)}\n}}"
+        )
+        wrapped = _gpu_thread0(f"result[0] = {problem.name}_seq({args});")
+        return Variant("gpu-thread0-serial",
+                       _kernel(problem, model, wrapped, helper), quality)
+    wrapped = _gpu_thread0(body)
+    return Variant("gpu-thread0-serial",
+                   _kernel(problem, model, wrapped, helpers), quality)
+
+
+# ===========================================================================
+# sort family
+# ===========================================================================
+
+_MERGE_HELPERS = """\
+kernel msort_chunk(data: array<float>, clo: int, chi: int) {
+    let m = chi - clo;
+    if (m > 1) {
+        let tmp = alloc_float(m);
+        for (q in 0..m) {
+            tmp[q] = data[clo + q];
+        }
+        sort(tmp);
+        for (q in 0..m) {
+            data[clo + q] = tmp[q];
+        }
+    }
+}
+
+kernel merge_range(data: array<float>, buf: array<float>, mlo: int, mmid: int, mhi: int) {
+    let i = mlo;
+    let j = mmid;
+    let k = mlo;
+    while (i < mmid && j < mhi) {
+        if (data[i] <= data[j]) {
+            buf[k] = data[i];
+            i += 1;
+        } else {
+            buf[k] = data[j];
+            j += 1;
+        }
+        k += 1;
+    }
+    while (i < mmid) {
+        buf[k] = data[i];
+        i += 1;
+        k += 1;
+    }
+    while (j < mhi) {
+        buf[k] = data[j];
+        j += 1;
+        k += 1;
+    }
+    for (t in mlo..mhi) {
+        data[t] = buf[t];
+    }
+}"""
+
+
+def _chunked_sort_omp(arr: str, n: str) -> str:
+    return f"""\
+let n_0 = {n};
+let nc = 16;
+let cs = (n_0 + nc - 1) / nc;
+pragma omp parallel for
+for (c in 0..nc) {{
+    msort_chunk({arr}, min(c * cs, n_0), min((c + 1) * cs, n_0));
+}}
+let buf = alloc_float(n_0);
+let width = cs;
+while (width < n_0) {{
+    let pairs = (n_0 + 2 * width - 1) / (2 * width);
+    pragma omp parallel for
+    for (c in 0..pairs) {{
+        let mlo = c * 2 * width;
+        merge_range({arr}, buf, mlo, min(mlo + width, n_0), min(mlo + 2 * width, n_0));
+    }}
+    width *= 2;
+}}"""
+
+
+def _chunked_sort_kokkos(arr: str, n: str) -> str:
+    return f"""\
+let n_0 = {n};
+let nc = 16;
+let cs = (n_0 + nc - 1) / nc;
+parallel_for(nc, (c) => {{
+    msort_chunk({arr}, min(c * cs, n_0), min((c + 1) * cs, n_0));
+}});
+let buf = alloc_float(n_0);
+let width = cs;
+while (width < n_0) {{
+    let pairs = (n_0 + 2 * width - 1) / (2 * width);
+    parallel_for(pairs, (c) => {{
+        let mlo = c * 2 * width;
+        merge_range({arr}, buf, mlo, min(mlo + width, n_0), min(mlo + 2 * width, n_0));
+    }});
+    width *= 2;
+}}"""
+
+
+def _sort_ascending(problem: Problem, model: str) -> List[Variant]:
+    if model == "serial":
+        return [_serial_variant(problem, model)]
+    if model == "openmp":
+        lazy = ("pragma omp parallel for\n"
+                "for (c in 0..1) {\n    sort(x);\n}")
+        return [
+            Variant("omp-chunked-mergesort",
+                    _kernel(problem, model, _chunked_sort_omp("x", "len(x)"),
+                            _MERGE_HELPERS), QUALITY_OK),
+            Variant("omp-sort-in-parallel-region",
+                    _kernel(problem, model, lazy), QUALITY_POOR),
+        ]
+    if model == "kokkos":
+        return [Variant("kokkos-chunked-mergesort",
+                        _kernel(problem, model,
+                                _chunked_sort_kokkos("x", "len(x)"),
+                                _MERGE_HELPERS), QUALITY_OK)]
+    if model in ("mpi", "mpi+omp"):
+        pragma = "    pragma omp parallel for\n" if model == "mpi+omp" else ""
+        scatter = f"""\
+let chunk = mpi_scatter_array(x, 0);
+sort(chunk);
+let gathered = mpi_gather_array(chunk, 0);
+if (mpi_rank() == 0) {{
+{pragma}    for (i in 0..len(x)) {{
+        x[i] = gathered[i];
+    }}
+    sort(x);
+}}"""
+        out = [Variant("mpi-scatter-local-sort",
+                       _kernel(problem, model, scatter), QUALITY_OK)]
+        if model == "mpi":
+            out.append(_root_only_baseline(problem, model))
+        return out
+    return [_gpu_thread0_variant(problem, model)]
+
+
+def _sort_descending(problem: Problem, model: str) -> List[Variant]:
+    if model == "serial":
+        return [_serial_variant(problem, model)]
+    neg_omp = ("pragma omp parallel for\n"
+               "for (i in 0..len(x)) {\n    x[i] = 0.0 - x[i];\n}")
+    omp_body = f"{neg_omp}\n{_chunked_sort_omp('x', 'len(x)')}\n{neg_omp}"
+    if model == "openmp":
+        return [Variant("omp-negate-mergesort",
+                        _kernel(problem, model, omp_body, _MERGE_HELPERS),
+                        QUALITY_OK)]
+    if model == "kokkos":
+        neg = ("parallel_for(len(x), (i) => {\n"
+               "    x[i] = 0.0 - x[i];\n});")
+        body = f"{neg}\n{_chunked_sort_kokkos('x', 'len(x)')}\n{neg}"
+        return [Variant("kokkos-negate-mergesort",
+                        _kernel(problem, model, body, _MERGE_HELPERS),
+                        QUALITY_OK)]
+    if model == "mpi":
+        return [_root_only_baseline(problem, model)]
+    if model == "mpi+omp":
+        return [root_only_local(problem, model, omp_body, _MERGE_HELPERS)]
+    return [_gpu_thread0_variant(problem, model)]
+
+
+_PLACE_BY_MAG = """\
+let plo = 0;
+let phi = n_0;
+while (plo < phi) {
+    let mid = (plo + phi) / 2;
+    if (sorted_mags[mid] < mags[i]) {
+        plo = mid + 1;
+    } else {
+        phi = mid;
+    }
+}
+tmp[plo] = x[i];"""
+
+
+def _mag_body(p1: str, p2: str, p3: str) -> str:
+    return f"""\
+let n_0 = len(x);
+let mags = alloc_float(n_0);
+{p1}
+let sorted_mags = copy(mags);
+sort(sorted_mags);
+let tmp = alloc_float(n_0);
+{p2}
+{p3}"""
+
+
+def _sort_by_magnitude(problem: Problem, model: str) -> List[Variant]:
+    if model == "serial":
+        return [_serial_variant(problem, model)]
+    omp_body = _mag_body(
+        "pragma omp parallel for\n"
+        "for (i in 0..n_0) {\n    mags[i] = abs(x[i]);\n}",
+        "pragma omp parallel for\n"
+        f"for (i in 0..n_0) {{\n{_indent(_PLACE_BY_MAG)}\n}}",
+        "pragma omp parallel for\n"
+        "for (i in 0..n_0) {\n    x[i] = tmp[i];\n}",
+    )
+    if model == "openmp":
+        return [Variant("omp-rank-placement", _kernel(problem, model, omp_body),
+                        QUALITY_OK)]
+    if model == "kokkos":
+        body = _mag_body(
+            "parallel_for(n_0, (i) => {\n    mags[i] = abs(x[i]);\n});",
+            f"parallel_for(n_0, (i) => {{\n{_indent(_PLACE_BY_MAG)}\n}});",
+            "parallel_for(n_0, (i) => {\n    x[i] = tmp[i];\n});",
+        )
+        return [Variant("kokkos-rank-placement", _kernel(problem, model, body),
+                        QUALITY_OK)]
+    if model == "mpi":
+        return [_root_only_baseline(problem, model)]
+    if model == "mpi+omp":
+        return [root_only_local(problem, model, omp_body)]
+    return [_gpu_thread0_variant(problem, model)]
+
+
+def _sort_subrange(problem: Problem, model: str) -> List[Variant]:
+    if model == "serial":
+        return [_serial_variant(problem, model)]
+    omp_body = (
+        "let m = hi - lo;\n"
+        "let tmp = alloc_float(m);\n"
+        "pragma omp parallel for\n"
+        "for (i in 0..m) {\n    tmp[i] = x[lo + i];\n}\n"
+        "sort(tmp);\n"
+        "pragma omp parallel for\n"
+        "for (i in 0..m) {\n    x[lo + i] = tmp[i];\n}"
+    )
+    if model == "openmp":
+        return [Variant("omp-parallel-copy-serial-sort",
+                        _kernel(problem, model, omp_body), QUALITY_POOR * 2)]
+    if model == "kokkos":
+        body = (
+            "let m = hi - lo;\n"
+            "let tmp = alloc_float(m);\n"
+            "parallel_for(m, (i) => {\n    tmp[i] = x[lo + i];\n});\n"
+            "sort(tmp);\n"
+            "parallel_for(m, (i) => {\n    x[lo + i] = tmp[i];\n});"
+        )
+        return [Variant("kokkos-parallel-copy-serial-sort",
+                        _kernel(problem, model, body), QUALITY_POOR * 2)]
+    if model == "mpi":
+        return [_root_only_baseline(problem, model)]
+    if model == "mpi+omp":
+        return [root_only_local(problem, model, omp_body)]
+    return [_gpu_thread0_variant(problem, model)]
+
+
+_PLACE_RANK = """\
+let plo = 0;
+let phi = len(x);
+while (plo < phi) {
+    let mid = (plo + phi) / 2;
+    if (sorted_x[mid] < x[i]) {
+        plo = mid + 1;
+    } else {
+        phi = mid;
+    }
+}
+{STORE}"""
+
+
+def _rank_of_elements(problem: Problem, model: str) -> List[Variant]:
+    if model == "serial":
+        return [_serial_variant(problem, model)]
+    place_r = _PLACE_RANK.replace("{STORE}", "r[i] = plo;")
+    place_part = _PLACE_RANK.replace("{STORE}", "part[i] = plo;")
+    if model == "openmp":
+        body = (
+            "let sorted_x = copy(x);\n"
+            "sort(sorted_x);\n"
+            "pragma omp parallel for\n"
+            f"for (i in 0..len(x)) {{\n{_indent(place_r)}\n}}"
+        )
+        return [Variant("omp-binary-search-ranks",
+                        _kernel(problem, model, body), QUALITY_GOOD)]
+    if model == "kokkos":
+        body = (
+            "let sorted_x = copy(x);\n"
+            "sort(sorted_x);\n"
+            f"parallel_for(len(x), (i) => {{\n{_indent(place_r)}\n}});"
+        )
+        return [Variant("kokkos-binary-search-ranks",
+                        _kernel(problem, model, body), QUALITY_GOOD)]
+    if model in ("mpi", "mpi+omp"):
+        pragma = "pragma omp parallel for\n" if model == "mpi+omp" else ""
+        body = f"""\
+let rank = mpi_rank();
+let size = mpi_size();
+let total = len(x);
+let chunk = (total + size - 1) / size;
+let lo = rank * chunk;
+let hi = min(lo + chunk, total);
+let sorted_x = copy(x);
+sort(sorted_x);
+let part = alloc_int(total);
+{pragma}for (i in lo..hi) {{
+{_indent(place_part)}
+}}
+mpi_allreduce_array(part, "sum");
+for (i in 0..total) {{
+    r[i] = part[i];
+}}"""
+        out = [Variant("mpi-block-ranks", _kernel(problem, model, body),
+                       QUALITY_OK)]
+        if model == "mpi":
+            out.append(_root_only_baseline(problem, model))
+        return out
+    body = """\
+let i = block_idx() * block_dim() + thread_idx();
+if (i < len(x)) {
+    let smaller = 0;
+    for (j in 0..len(x)) {
+        if (x[j] < x[i]) {
+            smaller += 1;
+        }
+    }
+    r[i] = smaller;
+}"""
+    return [
+        Variant("gpu-count-smaller", _kernel(problem, model, body), QUALITY_OK),
+        _gpu_thread0_variant(problem, model),
+    ]
+
+
+# ===========================================================================
+# index_of_minimum — two-phase reduction
+# ===========================================================================
+
+_ARGMIN_OMP = """\
+let m = 1e30;
+pragma omp parallel for reduction(min: m)
+for (i in 0..len(x)) {
+    m = min(m, x[i]);
+}
+let idx = len(x);
+pragma omp parallel for reduction(min: idx)
+for (i in 0..len(x)) {
+    idx = min(idx, select(x[i] == m, i, len(x)));
+}
+return idx;"""
+
+
+def _index_of_minimum(problem: Problem, model: str) -> List[Variant]:
+    if model == "serial":
+        return [_serial_variant(problem, model)]
+    if model == "openmp":
+        return [Variant("omp-two-phase", _kernel(problem, model, _ARGMIN_OMP),
+                        QUALITY_GOOD)]
+    if model == "kokkos":
+        body = """\
+let m = parallel_reduce(len(x), "min", (i) => x[i]);
+let idx = parallel_reduce(len(x), "min", (i) => select(x[i] == m, i, len(x)));
+return idx;"""
+        return [Variant("kokkos-two-phase", _kernel(problem, model, body),
+                        QUALITY_GOOD)]
+    if model in ("mpi", "mpi+omp"):
+        pragma1 = ("pragma omp parallel for reduction(min: local_m)\n"
+                   if model == "mpi+omp" else "")
+        pragma2 = ("pragma omp parallel for reduction(min: local_idx)\n"
+                   if model == "mpi+omp" else "")
+        body = f"""\
+let rank = mpi_rank();
+let size = mpi_size();
+let total = len(x);
+let chunk = (total + size - 1) / size;
+let lo = rank * chunk;
+let hi = min(lo + chunk, total);
+let local_m = 1e30;
+{pragma1}for (i in lo..hi) {{
+    local_m = min(local_m, x[i]);
+}}
+let m = mpi_allreduce_float(local_m, "min");
+let local_idx = total;
+{pragma2}for (i in lo..hi) {{
+    local_idx = min(local_idx, select(x[i] == m, i, total));
+}}
+return mpi_allreduce_int(local_idx, "min");"""
+        out = [Variant("mpi-two-phase", _kernel(problem, model, body),
+                       QUALITY_GOOD)]
+        if model == "mpi":
+            out.append(_root_only_baseline(problem, model))
+        return out
+    return [_gpu_thread0_variant(problem, model, quality=0.08)]
+
+
+# ===========================================================================
+# graph traversals
+# ===========================================================================
+
+_CC_STEP = """\
+kernel cc_step(rowptr: array<int>, colidx: array<int>, label: array<int>, nlabel: array<int>, v: int) -> int {
+    let best = label[v];
+    for (k in rowptr[v]..rowptr[v + 1]) {
+        best = min(best, label[colidx[k]]);
+    }
+    nlabel[v] = best;
+    return select(best != label[v], 1, 0);
+}"""
+
+_CC_OMP = """\
+let n = len(rowptr) - 1;
+let label = alloc_int(n);
+let nlabel = alloc_int(n);
+pragma omp parallel for
+for (v in 0..n) {
+    label[v] = v;
+}
+let changed = 1;
+while (changed == 1) {
+    changed = 0;
+    pragma omp parallel for reduction(max: changed)
+    for (v in 0..n) {
+        changed = max(changed, cc_step(rowptr, colidx, label, nlabel, v));
+    }
+    pragma omp parallel for
+    for (v in 0..n) {
+        label[v] = nlabel[v];
+    }
+}
+let count = 0;
+pragma omp parallel for reduction(+: count)
+for (v in 0..n) {
+    count += select(label[v] == v, 1, 0);
+}
+return count;"""
+
+
+def _count_components(problem: Problem, model: str) -> List[Variant]:
+    if model == "serial":
+        return [_serial_variant(problem, model)]
+    if model == "openmp":
+        return [Variant("omp-label-propagation",
+                        _kernel(problem, model, _CC_OMP, _CC_STEP),
+                        QUALITY_OK)]
+    if model == "kokkos":
+        body = """\
+let n = len(rowptr) - 1;
+let label = alloc_int(n);
+let nlabel = alloc_int(n);
+parallel_for(n, (v) => {
+    label[v] = v;
+});
+let changed = 1;
+while (changed == 1) {
+    changed = parallel_reduce(n, "max", (v) => cc_step(rowptr, colidx, label, nlabel, v));
+    parallel_for(n, (v) => {
+        label[v] = nlabel[v];
+    });
+}
+return parallel_reduce(n, "sum", (v) => select(label[v] == v, 1, 0));"""
+        return [Variant("kokkos-label-propagation",
+                        _kernel(problem, model, body, _CC_STEP), QUALITY_OK)]
+    if model == "mpi":
+        return [_root_only_baseline(problem, model)]
+    if model == "mpi+omp":
+        return [root_only_local(problem, model, _CC_OMP, _CC_STEP)]
+    return [_gpu_thread0_variant(problem, model, quality=0.08)]
+
+
+_BFS_OMP = """\
+let n = len(rowptr) - 1;
+pragma omp parallel for
+for (v in 0..n) {
+    dist[v] = 0 - 1;
+}
+dist[src] = 0;
+let ndist = alloc_int(n);
+let level = 0;
+let changed = 1;
+while (changed == 1) {
+    changed = 0;
+    pragma omp parallel for
+    for (v in 0..n) {
+        ndist[v] = dist[v];
+    }
+    pragma omp parallel for reduction(max: changed)
+    for (v in 0..n) {
+        if (dist[v] < 0) {
+            let found = 0;
+            for (k in rowptr[v]..rowptr[v + 1]) {
+                if (dist[colidx[k]] == level) {
+                    found = 1;
+                }
+            }
+            if (found == 1) {
+                ndist[v] = level + 1;
+                changed = 1;
+            }
+        }
+    }
+    pragma omp parallel for
+    for (v in 0..n) {
+        dist[v] = ndist[v];
+    }
+    level += 1;
+}"""
+
+
+def _bfs_distances(problem: Problem, model: str) -> List[Variant]:
+    if model == "serial":
+        return [_serial_variant(problem, model)]
+    if model == "openmp":
+        return [Variant("omp-pull-bfs", _kernel(problem, model, _BFS_OMP),
+                        QUALITY_OK)]
+    if model == "kokkos":
+        helper = """\
+kernel bfs_probe(rowptr: array<int>, colidx: array<int>, dist: array<int>, ndist: array<int>, level: int, v: int) -> int {
+    if (dist[v] >= 0) {
+        return 0;
+    }
+    let found = 0;
+    for (k in rowptr[v]..rowptr[v + 1]) {
+        if (dist[colidx[k]] == level) {
+            found = 1;
+        }
+    }
+    if (found == 1) {
+        ndist[v] = level + 1;
+        return 1;
+    }
+    return 0;
+}"""
+        body = """\
+let n = len(rowptr) - 1;
+parallel_for(n, (v) => {
+    dist[v] = 0 - 1;
+});
+dist[src] = 0;
+let ndist = alloc_int(n);
+let level = 0;
+let changed = 1;
+while (changed == 1) {
+    parallel_for(n, (v) => {
+        ndist[v] = dist[v];
+    });
+    changed = parallel_reduce(n, "max", (v) => bfs_probe(rowptr, colidx, dist, ndist, level, v));
+    parallel_for(n, (v) => {
+        dist[v] = ndist[v];
+    });
+    level += 1;
+}"""
+        return [Variant("kokkos-pull-bfs", _kernel(problem, model, body, helper),
+                        QUALITY_OK)]
+    if model == "mpi":
+        return [_root_only_baseline(problem, model)]
+    if model == "mpi+omp":
+        return [root_only_local(problem, model, _BFS_OMP)]
+    return [_gpu_thread0_variant(problem, model, quality=0.08)]
+
+
+_COLOUR_SERIAL = """\
+let n = len(rowptr) - 1;
+let colour = alloc_int(n);
+fill(colour, 0 - 1);
+let queue = alloc_int(n);
+for (s in 0..n) {
+    if (colour[s] < 0) {
+        colour[s] = 0;
+        queue[0] = s;
+        let head = 0;
+        let tail = 1;
+        while (head < tail) {
+            let v = queue[head];
+            head += 1;
+            for (k in rowptr[v]..rowptr[v + 1]) {
+                let u = colidx[k];
+                if (colour[u] < 0) {
+                    colour[u] = 1 - colour[v];
+                    queue[tail] = u;
+                    tail += 1;
+                }
+            }
+        }
+    }
+}"""
+
+_VALIDATE_OMP = """\
+let ok = 1;
+pragma omp parallel for reduction(min: ok)
+for (v in 0..n) {
+    for (k in rowptr[v]..rowptr[v + 1]) {
+        if (colour[colidx[k]] == colour[v]) {
+            ok = 0;
+        }
+    }
+}
+return ok;"""
+
+
+def _is_bipartite(problem: Problem, model: str) -> List[Variant]:
+    if model == "serial":
+        return [_serial_variant(problem, model)]
+    omp_body = _COLOUR_SERIAL + "\n" + _VALIDATE_OMP
+    if model == "openmp":
+        return [Variant("omp-colour-validate", _kernel(problem, model, omp_body),
+                        QUALITY_POOR * 2)]
+    if model == "kokkos":
+        helper = """\
+kernel edge_ok(rowptr: array<int>, colidx: array<int>, colour: array<int>, v: int) -> int {
+    for (k in rowptr[v]..rowptr[v + 1]) {
+        if (colour[colidx[k]] == colour[v]) {
+            return 0;
+        }
+    }
+    return 1;
+}"""
+        body = _COLOUR_SERIAL + """
+return parallel_reduce(n, "min", (v) => edge_ok(rowptr, colidx, colour, v));"""
+        return [Variant("kokkos-colour-validate",
+                        _kernel(problem, model, body, helper),
+                        QUALITY_POOR * 2)]
+    if model == "mpi":
+        return [_root_only_baseline(problem, model)]
+    if model == "mpi+omp":
+        return [root_only_local(problem, model, omp_body)]
+    return [_gpu_thread0_variant(problem, model, quality=0.08)]
+
+
+# ===========================================================================
+# bounding box — four simultaneous reductions
+# ===========================================================================
+
+
+def _bounding_box(problem: Problem, model: str) -> List[Variant]:
+    if model == "serial":
+        return [_serial_variant(problem, model)]
+    if model == "openmp":
+        body = """\
+let minx = x[0];
+let maxx = x[0];
+let miny = y[0];
+let maxy = y[0];
+pragma omp parallel for reduction(min: minx) reduction(max: maxx) reduction(min: miny) reduction(max: maxy)
+for (i in 0..len(x)) {
+    minx = min(minx, x[i]);
+    maxx = max(maxx, x[i]);
+    miny = min(miny, y[i]);
+    maxy = max(maxy, y[i]);
+}
+out[0] = minx;
+out[1] = maxx;
+out[2] = miny;
+out[3] = maxy;"""
+        return [Variant("omp-four-reductions", _kernel(problem, model, body),
+                        QUALITY_GOOD)]
+    if model == "kokkos":
+        body = """\
+out[0] = parallel_reduce(len(x), "min", (i) => x[i]);
+out[1] = parallel_reduce(len(x), "max", (i) => x[i]);
+out[2] = parallel_reduce(len(y), "min", (i) => y[i]);
+out[3] = parallel_reduce(len(y), "max", (i) => y[i]);"""
+        return [Variant("kokkos-four-reductions",
+                        _kernel(problem, model, body), QUALITY_GOOD)]
+    if model in ("mpi", "mpi+omp"):
+        pragma = (
+            "pragma omp parallel for reduction(min: lminx) "
+            "reduction(max: lmaxx) reduction(min: lminy) reduction(max: lmaxy)\n"
+            if model == "mpi+omp" else ""
+        )
+        body = f"""\
+let rank = mpi_rank();
+let size = mpi_size();
+let total = len(x);
+let chunk = (total + size - 1) / size;
+let lo = rank * chunk;
+let hi = min(lo + chunk, total);
+let lminx = 1e30;
+let lmaxx = 0.0 - 1e30;
+let lminy = 1e30;
+let lmaxy = 0.0 - 1e30;
+{pragma}for (i in lo..hi) {{
+    lminx = min(lminx, x[i]);
+    lmaxx = max(lmaxx, x[i]);
+    lminy = min(lminy, y[i]);
+    lmaxy = max(lmaxy, y[i]);
+}}
+out[0] = mpi_allreduce_float(lminx, "min");
+out[1] = mpi_allreduce_float(lmaxx, "max");
+out[2] = mpi_allreduce_float(lminy, "min");
+out[3] = mpi_allreduce_float(lmaxy, "max");"""
+        out = [Variant("mpi-four-allreduce", _kernel(problem, model, body),
+                       QUALITY_GOOD)]
+        if model == "mpi":
+            out.append(_root_only_baseline(problem, model))
+        return out
+    body = """\
+let i = block_idx() * block_dim() + thread_idx();
+if (i < len(x)) {
+    atomic_min(out, 0, x[i]);
+    atomic_max(out, 1, x[i]);
+    atomic_min(out, 2, y[i]);
+    atomic_max(out, 3, y[i]);
+}"""
+    return [
+        Variant("gpu-atomic-bbox", _kernel(problem, model, body), QUALITY_GOOD),
+        _gpu_thread0_variant(problem, model),
+    ]
+
+
+_CUSTOM_BUILDERS = {
+    "sort_ascending": _sort_ascending,
+    "sort_descending": _sort_descending,
+    "sort_by_magnitude": _sort_by_magnitude,
+    "sort_subrange": _sort_subrange,
+    "rank_of_elements": _rank_of_elements,
+    "index_of_minimum": _index_of_minimum,
+    "count_components": _count_components,
+    "bfs_distances": _bfs_distances,
+    "is_bipartite": _is_bipartite,
+    "bounding_box": _bounding_box,
+}
+
+
+def variants(problem: Problem, model: str) -> List[Variant]:
+    """Handwritten variants for a custom-shaped problem."""
+    return _CUSTOM_BUILDERS[problem.name](problem, model)

@@ -1,0 +1,503 @@
+"""Structural fragments describing how each PCGBench problem parallelises.
+
+Each problem is classified into one of a few *shapes*; the builders in
+:mod:`builders` expand a shape into concrete MiniPar source for every
+execution model (with several performance variants).  Problems whose
+parallel structure is too irregular for a shape get handwritten sources in
+:mod:`custom`.
+
+Conventions inside fragment code strings:
+
+* the parallel index variable is ``i`` (and ``j`` for the inner 2-D index);
+* fragments may reference the problem's parameters by name;
+* ``setup`` statements run once before the parallel region (e.g. taking a
+  snapshot copy so an in-place scan does not race).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass(frozen=True)
+class Map1D:
+    """Independent per-index work over ``[0, n)`` writing disjoint cells."""
+
+    n: str
+    body: str
+    setup: str = ""
+
+
+@dataclass(frozen=True)
+class Map2D:
+    """Independent per-cell work over a rows x cols space."""
+
+    rows: str
+    cols: str
+    body: str                # uses i (row) and j (col)
+
+
+@dataclass(frozen=True)
+class Reduce1D:
+    """A fold of per-index contributions: scalar-returning problems."""
+
+    n: str
+    expr: str = ""           # simple contribution expression in i
+    helper: str = ""         # or: extra kernel(s); contribution kernel must
+    #                          be named "<problem>_contrib(params..., i: int)"
+    op: str = "sum"          # sum | min | max
+    identity: str = "0.0"    # MiniPar literal/expr for the fold identity
+    post: str = "{0}"        # final transform of the accumulated value
+    elem: str = "float"      # contribution kind: float | int
+    setup: str = ""
+
+
+@dataclass(frozen=True)
+class Scatter1D:
+    """Per-index atomic update into a shared target array (histograms,
+    scatter-axpy, transposed spmv)."""
+
+    n: str
+    pre: str                 # statements computing `bin` and `delta` from i
+    target: str              # parameter name of the updated array
+    bin: str = "bin"         # index expression (a local from `pre`)
+    delta: str = "delta"     # value expression (a local from `pre`)
+    update: str = "add"      # add | min | max
+    inner: str = ""          # optional inner loop form: pre may emit several
+    #                          updates itself when inner is non-empty
+
+
+@dataclass(frozen=True)
+class Scan1D:
+    """A prefix operation out[i] = fold(op, x[0..i])."""
+
+    op: str                  # sum | min | max
+    combine: str             # e.g. "{a} + {b}" or "min({a}, {b})"
+    identity: str
+    src: str = "x"           # input array parameter
+    out: str = "out"         # output array parameter ("x" for in-place)
+    inclusive: bool = True
+    reverse: bool = False
+
+
+@dataclass(frozen=True)
+class Custom:
+    """Handwritten sources; see custom.py."""
+
+    key: str = ""
+
+
+Shape = object
+
+#: problem name -> shape
+FRAGMENTS: Dict[str, Shape] = {}
+
+
+def _frag(name: str, shape: Shape) -> None:
+    assert name not in FRAGMENTS, name
+    FRAGMENTS[name] = shape
+
+
+# -- transform ---------------------------------------------------------------
+
+_frag("relu", Map1D(n="len(x)", body="x[i] = max(x[i], 0.0);"))
+_frag("celsius_to_fahrenheit",
+      Map1D(n="len(c)", body="f[i] = c[i] * 9.0 / 5.0 + 32.0;"))
+_frag("clamp_range", Map1D(n="len(x)", body="x[i] = min(max(x[i], lo), hi);"))
+_frag("cube_elements", Map1D(n="len(x)", body="x[i] = x[i] * x[i] * x[i];"))
+_frag("halve_shifted", Map1D(n="len(x)", body="x[i] = (x[i] + 1.0) / 2.0;"))
+
+# -- reduce --------------------------------------------------------------------
+
+_frag("sum_of_elements", Reduce1D(n="len(x)", expr="x[i]"))
+_frag("smallest_element",
+      Reduce1D(n="len(x)", expr="x[i]", op="min", identity="1e30"))
+_frag("sum_of_squares", Reduce1D(n="len(x)", expr="x[i] * x[i]"))
+_frag("count_above_threshold",
+      Reduce1D(n="len(x)", expr="select(x[i] > t, 1, 0)", elem="int",
+               identity="0"))
+_frag("max_adjacent_diff",
+      Reduce1D(n="len(x) - 1", expr="abs(x[i + 1] - x[i])", op="max",
+               identity="-1e30"))
+
+# -- scan ---------------------------------------------------------------------------
+
+_frag("prefix_sum",
+      Scan1D(op="sum", combine="{a} + {b}", identity="0.0"))
+_frag("reverse_prefix_sum",
+      Scan1D(op="sum", combine="{a} + {b}", identity="0.0", reverse=True))
+_frag("partial_minimums",
+      Scan1D(op="min", combine="min({a}, {b})", identity="1e30",
+             src="x", out="x"))
+_frag("exclusive_prefix_sum",
+      Scan1D(op="sum", combine="{a} + {b}", identity="0.0", inclusive=False))
+_frag("running_maximums",
+      Scan1D(op="max", combine="max({a}, {b})", identity="-1e30"))
+
+# -- sort (custom: chunked merges, key transforms) ------------------------------------
+
+_frag("sort_ascending", Custom())
+_frag("sort_descending", Custom())
+_frag("sort_by_magnitude", Custom())
+_frag("sort_subrange", Custom())
+_frag("rank_of_elements", Custom())
+
+# -- search ------------------------------------------------------------------------------
+
+_frag("index_of_first",
+      Reduce1D(n="len(x)", expr="select(x[i] == v, i, len(x))", op="min",
+               identity="len(x)", elem="int",
+               post="select({0} == len(x), 0 - 1, {0})"))
+_frag("contains_value",
+      Reduce1D(n="len(x)", expr="select(x[i] == v, 1, 0)", op="max",
+               identity="0", elem="int"))
+_frag("index_of_minimum", Custom())   # two-phase reduce (min, then argmin)
+_frag("binary_search_sorted",
+      Reduce1D(n="len(x)", expr="select(x[i] == v, i, len(x))", op="min",
+               identity="len(x)", elem="int",
+               post="select({0} == len(x), 0 - 1, {0})"))
+_frag("first_unsorted_position",
+      Reduce1D(n="len(x) - 1", expr="select(x[i] > x[i + 1], i, len(x))",
+               op="min", identity="len(x)", elem="int",
+               post="select({0} == len(x), 0 - 1, {0})"))
+
+# -- histogram -------------------------------------------------------------------------------
+
+_frag("hist_unit_interval",
+      Scatter1D(n="len(x)",
+                pre="let bin = int(x[i] * 10.0);\nlet delta = 1;",
+                target="h"))
+_frag("hist_mod_k",
+      Scatter1D(n="len(x)",
+                pre="let bin = x[i] % k;\nlet delta = 1;",
+                target="h"))
+_frag("hist_deciles",
+      Scatter1D(n="len(x)",
+                pre=("let bin = min(max(int((x[i] - lo) / (hi - lo) * 10.0), "
+                     "0), 9);\nlet delta = 1;"),
+                target="h"))
+_frag("hist_custom_edges",
+      Scatter1D(n="len(x)",
+                pre=("let elo = 0;\n"
+                     "let ehi = len(edges) - 1;\n"
+                     "while (elo + 1 < ehi) {\n"
+                     "    let mid = (elo + ehi) / 2;\n"
+                     "    if (edges[mid] <= x[i]) { elo = mid; } "
+                     "else { ehi = mid; }\n"
+                     "}\n"
+                     "let bin = elo;\nlet delta = 1;"),
+                target="h"))
+_frag("hist_alphabet",
+      Scatter1D(n="len(x)",
+                pre="let bin = x[i];\nlet delta = 1;",
+                target="h"))
+
+# -- stencil -----------------------------------------------------------------------------------
+
+_frag("jacobi_1d", Map1D(
+    n="len(x)",
+    body=("if (i == 0 || i == len(x) - 1) { y[i] = x[i]; } else { "
+          "y[i] = (x[i - 1] + x[i] + x[i + 1]) / 3.0; }"),
+))
+_frag("jacobi_2d", Map2D(
+    rows="rows(grid)", cols="cols(grid)",
+    body=("if (i == 0 || i == rows(grid) - 1 || j == 0 || j == cols(grid) - 1) "
+          "{ out[i, j] = grid[i, j]; } else { "
+          "out[i, j] = (grid[i - 1, j] + grid[i + 1, j] + grid[i, j - 1] "
+          "+ grid[i, j + 1] + grid[i, j]) / 5.0; }"),
+))
+_frag("heat_step_1d", Map1D(
+    n="len(u)",
+    body=("if (i == 0 || i == len(u) - 1) { unew[i] = u[i]; } else { "
+          "unew[i] = u[i] + alpha * (u[i - 1] - 2.0 * u[i] + u[i + 1]); }"),
+))
+_frag("game_of_life_step", Map2D(
+    rows="rows(board)", cols="cols(board)",
+    body=(
+        "let alive = 0;\n"
+        "for (di in 0..3) {\n"
+        "    for (dj in 0..3) {\n"
+        "        let ni = i + di - 1;\n"
+        "        let nj = j + dj - 1;\n"
+        "        if ((di != 1 || dj != 1) && ni >= 0 && ni < rows(board) "
+        "&& nj >= 0 && nj < cols(board)) { alive += board[ni, nj]; }\n"
+        "    }\n"
+        "}\n"
+        "if (alive == 3 || (board[i, j] == 1 && alive == 2)) "
+        "{ out[i, j] = 1; } else { out[i, j] = 0; }"
+    ),
+))
+_frag("max_pool_3x3", Map2D(
+    rows="rows(grid)", cols="cols(grid)",
+    body=(
+        "let best = grid[i, j];\n"
+        "for (di in 0..3) {\n"
+        "    for (dj in 0..3) {\n"
+        "        let ni = i + di - 1;\n"
+        "        let nj = j + dj - 1;\n"
+        "        if (ni >= 0 && ni < rows(grid) && nj >= 0 && nj < cols(grid)) "
+        "{ best = max(best, grid[ni, nj]); }\n"
+        "    }\n"
+        "}\n"
+        "out[i, j] = best;"
+    ),
+))
+
+# -- dense_la -----------------------------------------------------------------------------------
+
+_frag("axpy", Map1D(n="len(x)", body="y[i] = a * x[i] + y[i];"))
+_frag("dot_product", Reduce1D(n="len(x)", expr="x[i] * y[i]"))
+_frag("gemv", Map1D(
+    n="rows(A)",
+    body=("let acc = 0.0;\n"
+          "for (j in 0..cols(A)) { acc += A[i, j] * x[j]; }\n"
+          "y[i] = acc;"),
+))
+_frag("gemm", Map2D(
+    rows="rows(A)", cols="cols(B)",
+    body=("let acc = 0.0;\n"
+          "for (k in 0..cols(A)) { acc += A[i, k] * B[k, j]; }\n"
+          "C[i, j] = acc;"),
+))
+_frag("outer_product", Map2D(
+    rows="len(x)", cols="len(y)", body="A[i, j] = x[i] * y[j];",
+))
+
+# -- sparse_la -----------------------------------------------------------------------------------
+
+_frag("spmv_csr", Map1D(
+    n="len(rowptr) - 1",
+    body=("let acc = 0.0;\n"
+          "for (k in rowptr[i]..rowptr[i + 1]) "
+          "{ acc += vals[k] * x[colidx[k]]; }\n"
+          "y[i] = acc;"),
+))
+_frag("sparse_dot", Reduce1D(
+    n="len(idx_a)",
+    helper=(
+        "kernel sparse_dot_contrib(idx_a: array<int>, val_a: array<float>, "
+        "idx_b: array<int>, val_b: array<float>, i: int) -> float {\n"
+        "    let target = idx_a[i];\n"
+        "    let lo = 0;\n"
+        "    let hi = len(idx_b);\n"
+        "    while (lo < hi) {\n"
+        "        let mid = (lo + hi) / 2;\n"
+        "        if (idx_b[mid] == target) { return val_a[i] * val_b[mid]; }\n"
+        "        if (idx_b[mid] < target) { lo = mid + 1; } else { hi = mid; }\n"
+        "    }\n"
+        "    return 0.0;\n"
+        "}"
+    ),
+))
+_frag("sparse_axpy", Scatter1D(
+    n="len(idx)",
+    pre="let bin = idx[i];\nlet delta = a * val[i];",
+    target="y",
+))
+_frag("csr_row_sums", Map1D(
+    n="len(rowptr) - 1",
+    body=("let acc = 0.0;\n"
+          "for (k in rowptr[i]..rowptr[i + 1]) { acc += vals[k]; }\n"
+          "out[i] = acc;"),
+))
+_frag("spmv_transpose", Scatter1D(
+    n="len(rowptr) - 1",
+    pre="",
+    target="y",
+    inner=("for (k in rowptr[i]..rowptr[i + 1]) {\n"
+           "    let bin = colidx[k];\n"
+           "    let delta = vals[k] * x[i];\n"
+           "    {UPDATE}\n"
+           "}"),
+))
+
+# -- graph ----------------------------------------------------------------------------------------
+
+_frag("count_components", Custom())
+_frag("bfs_distances", Custom())
+_frag("max_degree", Reduce1D(
+    n="len(rowptr) - 1", expr="rowptr[i + 1] - rowptr[i]", op="max",
+    identity="0", elem="int",
+))
+_frag("count_triangles", Reduce1D(
+    n="len(rowptr) - 1",
+    elem="int",
+    identity="0",
+    helper=(
+        "kernel tri_has_edge(rowptr: array<int>, colidx: array<int>, "
+        "u: int, w: int) -> int {\n"
+        "    let lo = rowptr[u];\n"
+        "    let hi = rowptr[u + 1];\n"
+        "    while (lo < hi) {\n"
+        "        let mid = (lo + hi) / 2;\n"
+        "        if (colidx[mid] == w) { return 1; }\n"
+        "        if (colidx[mid] < w) { lo = mid + 1; } else { hi = mid; }\n"
+        "    }\n"
+        "    return 0;\n"
+        "}\n"
+        "\n"
+        "kernel count_triangles_contrib(rowptr: array<int>, "
+        "colidx: array<int>, i: int) -> int {\n"
+        "    let count = 0;\n"
+        "    for (a in rowptr[i]..rowptr[i + 1]) {\n"
+        "        let u = colidx[a];\n"
+        "        if (u > i) {\n"
+        "            for (b in rowptr[i]..rowptr[i + 1]) {\n"
+        "                let w = colidx[b];\n"
+        "                if (w > u && tri_has_edge(rowptr, colidx, u, w) == 1) "
+        "{ count += 1; }\n"
+        "            }\n"
+        "        }\n"
+        "    }\n"
+        "    return count;\n"
+        "}"
+    ),
+))
+_frag("is_bipartite", Custom())
+
+# -- geometry --------------------------------------------------------------------------------------
+
+_frag("closest_pair_distance", Reduce1D(
+    n="len(x)",
+    op="min",
+    identity="1e30",
+    helper=(
+        "kernel closest_pair_distance_contrib(x: array<float>, "
+        "y: array<float>, i: int) -> float {\n"
+        "    let best = 1e30;\n"
+        "    for (j in i + 1..len(x)) {\n"
+        "        let dx = x[j] - x[i];\n"
+        "        let dy = y[j] - y[i];\n"
+        "        best = min(best, sqrt(dx * dx + dy * dy));\n"
+        "    }\n"
+        "    return best;\n"
+        "}"
+    ),
+))
+_frag("polygon_area", Reduce1D(
+    n="len(x)",
+    helper=(
+        "kernel polygon_area_contrib(x: array<float>, y: array<float>, "
+        "i: int) -> float {\n"
+        "    let j = (i + 1) % len(x);\n"
+        "    return (x[i] * y[j] - x[j] * y[i]) / 2.0;\n"
+        "}"
+    ),
+    post="abs({0})",
+))
+_frag("count_points_in_circle", Reduce1D(
+    n="len(x)",
+    expr=("select((x[i] - cx) * (x[i] - cx) + (y[i] - cy) * (y[i] - cy) "
+          "<= r * r, 1, 0)"),
+    elem="int",
+    identity="0",
+))
+_frag("bounding_box", Custom())   # four reductions into one output array
+_frag("farthest_pair_distance", Reduce1D(
+    n="len(x)",
+    op="max",
+    identity="0.0",
+    helper=(
+        "kernel farthest_pair_distance_contrib(x: array<float>, "
+        "y: array<float>, i: int) -> float {\n"
+        "    let best = 0.0;\n"
+        "    for (j in i + 1..len(x)) {\n"
+        "        let dx = x[j] - x[i];\n"
+        "        let dy = y[j] - y[i];\n"
+        "        best = max(best, sqrt(dx * dx + dy * dy));\n"
+        "    }\n"
+        "    return best;\n"
+        "}"
+    ),
+))
+
+# -- fft ---------------------------------------------------------------------------------------------
+
+_PI = "3.141592653589793"
+
+_frag("dft", Map1D(
+    n="len(re)",
+    body=(
+        "let acc_r = 0.0;\n"
+        "let acc_i = 0.0;\n"
+        "let n_1 = len(re);\n"
+        f"let base = 0.0 - 2.0 * {_PI} * float(i) / float(n_1);\n"
+        "for (t in 0..n_1) {\n"
+        "    let ang = base * float(t);\n"
+        "    let wr = cos(ang);\n"
+        "    let wi = sin(ang);\n"
+        "    acc_r += re[t] * wr - im[t] * wi;\n"
+        "    acc_i += re[t] * wi + im[t] * wr;\n"
+        "}\n"
+        "out_re[i] = acc_r;\n"
+        "out_im[i] = acc_i;"
+    ),
+))
+_frag("inverse_dft", Map1D(
+    n="len(re)",
+    body=(
+        "let acc_r = 0.0;\n"
+        "let acc_i = 0.0;\n"
+        "let n_1 = len(re);\n"
+        f"let base = 2.0 * {_PI} * float(i) / float(n_1);\n"
+        "for (t in 0..n_1) {\n"
+        "    let ang = base * float(t);\n"
+        "    let wr = cos(ang);\n"
+        "    let wi = sin(ang);\n"
+        "    acc_r += re[t] * wr - im[t] * wi;\n"
+        "    acc_i += re[t] * wi + im[t] * wr;\n"
+        "}\n"
+        "out_re[i] = acc_r / float(n_1);\n"
+        "out_im[i] = acc_i / float(n_1);"
+    ),
+))
+_frag("power_spectrum", Map1D(
+    n="len(re)",
+    body=(
+        "let acc_r = 0.0;\n"
+        "let acc_i = 0.0;\n"
+        "let n_1 = len(re);\n"
+        f"let base = 0.0 - 2.0 * {_PI} * float(i) / float(n_1);\n"
+        "for (t in 0..n_1) {\n"
+        "    let ang = base * float(t);\n"
+        "    let wr = cos(ang);\n"
+        "    let wi = sin(ang);\n"
+        "    acc_r += re[t] * wr - im[t] * wi;\n"
+        "    acc_i += re[t] * wi + im[t] * wr;\n"
+        "}\n"
+        "power[i] = acc_r * acc_r + acc_i * acc_i;"
+    ),
+))
+_frag("dft_real_signal", Map1D(
+    n="len(x)",
+    body=(
+        "let acc_r = 0.0;\n"
+        "let acc_i = 0.0;\n"
+        "let n_1 = len(x);\n"
+        f"let base = 0.0 - 2.0 * {_PI} * float(i) / float(n_1);\n"
+        "for (t in 0..n_1) {\n"
+        "    let ang = base * float(t);\n"
+        "    acc_r += x[t] * cos(ang);\n"
+        "    acc_i += x[t] * sin(ang);\n"
+        "}\n"
+        "out_re[i] = acc_r;\n"
+        "out_im[i] = acc_i;"
+    ),
+))
+_frag("cosine_transform", Map1D(
+    n="len(x)",
+    body=(
+        "let acc = 0.0;\n"
+        "let n_1 = len(x);\n"
+        "for (t in 0..n_1) {\n"
+        f"    acc += x[t] * cos({_PI} * float(i) * (float(t) + 0.5) "
+        "/ float(n_1));\n"
+        "}\n"
+        "out[i] = acc;"
+    ),
+))
+
+
+def fragment_for(problem_name: str) -> Shape:
+    return FRAGMENTS[problem_name]

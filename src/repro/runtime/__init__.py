@@ -1,0 +1,76 @@
+"""Simulated parallel execution substrate for MiniPar programs.
+
+Seven execution models, matching PCGBench (paper §4):
+
+==============  =============================================================
+Model           Runtime
+==============  =============================================================
+serial          :class:`~repro.runtime.runtimes.SerialRuntime`
+openmp          :class:`~repro.runtime.runtimes.OpenMPRuntime`
+kokkos          :class:`~repro.runtime.runtimes.KokkosRuntime`
+mpi             :func:`~repro.runtime.mpi.run_mpi`
+mpi+omp         :func:`~repro.runtime.mpi.run_mpi` with ``threads_per_rank``
+cuda / hip      :func:`~repro.runtime.gpu.launch`
+==============  =============================================================
+"""
+
+from .compile import CompiledProgram, compile_program
+from .context import ExecCtx
+from .gpu import GPURunResult, GPURuntime, launch
+from .machine import (
+    A100,
+    CPU_THREAD_COUNTS,
+    DEFAULT_MACHINE,
+    HYBRID_CONFIGS,
+    MI50,
+    MPI_RANK_COUNTS,
+    CPUSpec,
+    GPUSpec,
+    InterconnectSpec,
+    Machine,
+)
+from .mpi import MPIRunResult, run_mpi
+from .runtimes import (
+    BaseRuntime,
+    KokkosRuntime,
+    OpenMPRuntime,
+    SerialRuntime,
+    dynamic_chunk_time,
+    fold,
+    reduce_identity,
+    static_chunk_time,
+)
+from .tracer import Tracer
+from .values import Array, nbytes
+
+__all__ = [
+    "Array",
+    "nbytes",
+    "compile_program",
+    "CompiledProgram",
+    "ExecCtx",
+    "Machine",
+    "CPUSpec",
+    "GPUSpec",
+    "InterconnectSpec",
+    "DEFAULT_MACHINE",
+    "A100",
+    "MI50",
+    "CPU_THREAD_COUNTS",
+    "MPI_RANK_COUNTS",
+    "HYBRID_CONFIGS",
+    "BaseRuntime",
+    "SerialRuntime",
+    "OpenMPRuntime",
+    "KokkosRuntime",
+    "GPURuntime",
+    "Tracer",
+    "run_mpi",
+    "MPIRunResult",
+    "launch",
+    "GPURunResult",
+    "fold",
+    "reduce_identity",
+    "static_chunk_time",
+    "dynamic_chunk_time",
+]

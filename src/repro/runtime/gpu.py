@@ -1,0 +1,160 @@
+"""SIMT GPU runtime for the CUDA and HIP execution models.
+
+The driver launches the prompt's kernel over a 1-D grid: the kernel body
+runs once per thread with ``thread_idx()``/``block_idx()``/``block_dim()``/
+``grid_dim()`` giving the SIMT identity (the CUDA and HIP dialects share
+these intrinsics — the models themselves are near-identical, which is why
+the paper observes near-identical pass@1 for the two).
+
+Execution model: threads run to completion one at a time while per-thread
+cost is recorded.  ``sync_threads()`` is priced but is not a scheduling
+point — the solution banks therefore avoid cross-thread shared-memory
+phase protocols (block-tree reductions use global atomics instead, the
+style LLMs overwhelmingly emit anyway); a kernel that *does* depend on
+another thread's write is flagged by the cross-thread race detector, which
+is exactly how such a kernel would misbehave on real hardware.
+
+Time model:  per-warp cost = max over member threads (divergence);
+busy time = total warp cost / concurrent warps, floored by the critical
+path; plus kernel-launch overhead and an atomic-contention term.  Work
+scaling multiplies the warp population, not per-thread cost (a bigger
+problem launches more threads).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..lang.errors import GPUFault
+from .compile import CompiledProgram
+from .context import ExecCtx
+from .machine import GPUSpec, Machine
+from .runtimes import BaseRuntime
+from .tracer import Tracer
+
+
+class GPURuntime(BaseRuntime):
+    """Runtime for device code; instantiated per launch."""
+
+    def __init__(self, spec: GPUSpec, dialect: str = "cuda"):
+        self.spec = spec
+        self.model = dialect
+
+    def gpu_sync_threads(self, ctx: ExecCtx) -> None:
+        ctx.cost += self.spec.sync_cost
+
+
+@dataclass
+class GPURunResult:
+    """Outcome of one kernel launch."""
+
+    ret: object
+    args: Sequence[object]
+    sim_seconds: float
+    total_threads: int           # simulated kernel threads (after work scaling)
+    error: Optional[BaseException] = None
+
+
+def launch(
+    program: CompiledProgram,
+    kernel: str,
+    args: Sequence[object],
+    total_threads: int,
+    machine: Machine,
+    spec: Optional[GPUSpec] = None,
+    dialect: str = "cuda",
+    block_size: int = 256,
+    work_scale: float = 1.0,
+    fuel: Optional[int] = None,
+) -> GPURunResult:
+    """Launch ``kernel`` over ``ceil(total_threads / block_size)`` blocks.
+
+    Arguments are shared device memory: every thread sees the same arrays
+    (exactly as on hardware), so output arrays are mutated in place.
+    """
+    if spec is None:
+        spec = machine.cuda if dialect == "cuda" else machine.hip
+    if total_threads <= 0:
+        return GPURunResult(
+            ret=None, args=args, sim_seconds=0.0, total_threads=0,
+            error=GPUFault(f"invalid launch: {total_threads} threads"),
+        )
+    grid_dim = (total_threads + block_size - 1) // block_size
+    n_threads = grid_dim * block_size
+
+    rt = GPURuntime(spec, dialect)
+    ctx = ExecCtx(machine, rt, fuel=fuel, work_scale=work_scale)
+    ctx.gpu_block_dim = block_size
+    ctx.gpu_grid_dim = grid_dim
+    tracer = Tracer(n_threads)
+    ctx.trace = tracer
+
+    costs = np.zeros(n_threads)
+    ret = None
+    try:
+        for tid in range(n_threads):
+            tracer.begin_iteration(tid)
+            ctx.gpu_block = tid // block_size
+            ctx.gpu_thread = tid % block_size
+            c0 = ctx.cost
+            r = program.run_kernel(kernel, ctx, args)
+            if tid == 0:
+                ret = r
+            costs[tid] = ctx.cost - c0
+        tracer.check(f"{dialect} kernel {kernel!r}")
+    except BaseException as exc:  # noqa: BLE001 - harness records any failure
+        return GPURunResult(ret=None, args=args, sim_seconds=0.0,
+                            total_threads=n_threads, error=exc)
+
+    sim = _launch_time(costs, tracer, spec, work_scale)
+    return GPURunResult(
+        ret=ret, args=args, sim_seconds=sim,
+        total_threads=int(n_threads * work_scale),
+    )
+
+
+def _launch_time(costs: np.ndarray, tracer: Tracer, spec: GPUSpec,
+                 scale: float) -> float:
+    """Price one kernel launch from the per-thread cost profile.
+
+    Two regimes compete:
+
+    * throughput — total warp work spread over the resident warps at the
+      full-occupancy per-op rate (work scaling multiplies the warp
+      population: a bigger problem launches more threads);
+    * critical path — the single slowest thread, at the much slower
+      one-thread rate.  The portion of the slowest thread's cost above
+      the median is data-dependent work (e.g. a kernel where thread 0
+      does the whole problem serially) and therefore grows with the work
+      scale; the uniform part does not.
+    """
+    n = len(costs)
+    warp = spec.warp_size
+    pad = (-n) % warp
+    if pad:
+        costs = np.concatenate([costs, np.zeros(pad)])
+    warp_costs = costs.reshape(-1, warp).max(axis=1)
+    total_warp_units = float(warp_costs.sum()) * scale
+    throughput = total_warp_units / spec.concurrent_warps * spec.thread_cycle
+
+    median = float(np.median(costs)) if n else 0.0
+    worst = float(costs.max()) if n else 0.0
+    critical_units = median + (worst - median) * scale
+    critical = critical_units * spec.serial_cycle
+
+    busy = max(throughput, critical)
+
+    total_atomics, distinct = tracer.contention_stats()
+    if total_atomics:
+        if distinct >= 0.5 * total_atomics:
+            distinct_scaled = distinct * scale
+        else:
+            distinct_scaled = float(distinct)
+        # conflicting atomics serialize at the memory system, not per-SM
+        conflicts = max(0.0, total_atomics * scale - distinct_scaled)
+        busy += spec.atomic_conflict * conflicts * spec.thread_cycle
+
+    return spec.kernel_launch + busy

@@ -1,0 +1,156 @@
+"""Machine models: the simulated hardware that PCGBench runs are timed on.
+
+The paper timed CPU runs on a 64-core AMD EPYC 7763, MPI runs across
+multiple such nodes (1 rank per core, up to 512 ranks), CUDA on an NVIDIA
+A100-80GB and HIP on an AMD MI50.  We model each as a set of cost constants
+consumed by the runtimes:
+
+* compute is counted in abstract *op units* by the compiled program
+  (1 unit ~ one scalar operation); ``cycle`` converts units to seconds;
+* shared-memory parallel constructs pay fork/join or pattern-dispatch
+  overheads (OpenMP's grows linearly with thread count — fork/join —
+  while Kokkos' persistent pool pays only a logarithmic term, which is
+  what makes Figure 5's OpenMP-decays / Kokkos-flat contrast emerge);
+* MPI messages follow the classic alpha-beta (latency/bandwidth) model
+  with log-based collective trees;
+* GPUs follow a warp/SM throughput model with kernel-launch overhead and
+  an atomic-contention term.
+
+The constants are synthetic (see DESIGN.md §6): the goal is that relative
+behaviour — speedup shapes, efficiency decay, crossovers — matches the
+paper, not absolute milliseconds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class CPUSpec:
+    """Cost constants for a multicore CPU node."""
+
+    name: str = "epyc7763-sim"
+    cores: int = 64
+    cycle: float = 1.0e-9          # seconds per op unit
+    omp_fork_base: float = 900.0   # op units per parallel region
+    omp_fork_per_thread: float = 220.0
+    omp_barrier_log: float = 120.0
+    omp_dispatch_dynamic: float = 9.0   # per-chunk dispatch cost (dynamic)
+    critical_lock: float = 150.0        # lock acquire/release per entry
+    atomic_op: float = 24.0             # one atomic RMW
+    atomic_conflict: float = 30.0       # extra serialization per conflicting op
+    kokkos_dispatch_base: float = 1500.0
+    kokkos_barrier_log: float = 140.0
+    kokkos_per_element: float = 0.6     # functor dispatch overhead per index
+    mem_frac: float = 0.5               # fraction of loop work that is memory traffic
+    mem_sat: float = 11.0               # threads at which memory bandwidth saturates
+
+    def omp_region_overhead(self, threads: int) -> float:
+        """Fork/join cost of one OpenMP parallel region, in op units."""
+        if threads <= 1:
+            return 0.0
+        return (
+            self.omp_fork_base
+            + self.omp_fork_per_thread * threads
+            + self.omp_barrier_log * math.log2(threads)
+        )
+
+    def kokkos_pattern_overhead(self, threads: int) -> float:
+        """Dispatch cost of one Kokkos pattern (persistent thread pool)."""
+        if threads <= 1:
+            return self.kokkos_dispatch_base * 0.25
+        return self.kokkos_dispatch_base + self.kokkos_barrier_log * math.log2(threads)
+
+
+@dataclass(frozen=True)
+class InterconnectSpec:
+    """Alpha-beta model for the cluster network (plus intra-node discount)."""
+
+    alpha: float = 1.6e-6          # per-message latency, seconds
+    beta: float = 8.0e-11          # per-byte cost, seconds (~12.5 GB/s)
+    intra_node_factor: float = 0.35
+    cores_per_node: int = 64
+
+    def point_to_point(self, nbytes: int, src: int, dst: int) -> float:
+        t = self.alpha + self.beta * nbytes
+        if src // self.cores_per_node == dst // self.cores_per_node:
+            t *= self.intra_node_factor
+        return t
+
+    def collective(self, kind: str, nbytes: int, nranks: int) -> float:
+        """Completion time of a collective once all ranks have arrived."""
+        if nranks <= 1:
+            return 0.0
+        lg = math.log2(nranks)
+        base = self.alpha + self.beta * nbytes
+        if kind in ("bcast", "reduce", "scan", "barrier"):
+            return lg * base
+        if kind in ("allreduce",):
+            return 2.0 * lg * base
+        if kind in ("scatter", "gather"):
+            # pipelined tree moving ~nbytes total payload
+            return lg * self.alpha + self.beta * nbytes
+        if kind in ("allgather",):
+            return lg * self.alpha + 2.0 * self.beta * nbytes
+        raise ValueError(f"unknown collective {kind!r}")
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Cost constants for a SIMT accelerator."""
+
+    name: str = "a100-sim"
+    warp_size: int = 32
+    concurrent_warps: int = 432     # SMs x warps resident at full throughput
+    thread_cycle: float = 2.2e-10   # seconds per op unit at full occupancy
+    serial_cycle: float = 5.0e-9    # seconds per op unit on ONE thread
+    #                                 (a lone GPU thread is ~5x slower than
+    #                                 a CPU core at 1e-9 s/unit)
+    kernel_launch: float = 7.0e-6   # seconds
+    atomic_op: float = 8.0          # op units per atomic
+    atomic_conflict: float = 48.0   # serialization per conflicting atomic
+    sync_cost: float = 12.0         # block barrier, op units
+
+
+#: The MI50 used for HIP runs: fewer SMs, slower clock, slightly cheaper
+#: launch (no independent measurements claimed — shape-only, see DESIGN.md).
+MI50 = GPUSpec(
+    name="mi50-sim",
+    warp_size=64,
+    concurrent_warps=160,
+    thread_cycle=4.0e-10,
+    serial_cycle=8.0e-9,
+    kernel_launch=9.0e-6,
+    atomic_op=10.0,
+    atomic_conflict=64.0,
+    sync_cost=14.0,
+)
+
+A100 = GPUSpec()
+
+
+@dataclass(frozen=True)
+class Machine:
+    """The full simulated testbed from the paper's §7.2."""
+
+    cpu: CPUSpec = field(default_factory=CPUSpec)
+    net: InterconnectSpec = field(default_factory=InterconnectSpec)
+    cuda: GPUSpec = A100
+    hip: GPUSpec = MI50
+    time_limit: float = 180.0        # harness kill-timer: 3 simulated minutes
+    fuel: int = 60_000_000           # interpreter steps before declaring a hang
+
+    def with_overrides(self, **kwargs) -> "Machine":
+        return replace(self, **kwargs)
+
+
+DEFAULT_MACHINE = Machine()
+
+#: Thread counts used for OpenMP/Kokkos scaling runs (paper §7.2).
+CPU_THREAD_COUNTS = (1, 2, 4, 8, 16, 32)
+#: Rank counts used for MPI scaling runs (paper §7.2: 1..512).
+MPI_RANK_COUNTS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512)
+#: (ranks, threads) grid for MPI+OpenMP (paper: 1-4 nodes x 1..64 threads).
+HYBRID_CONFIGS = tuple((r, t) for r in (1, 2, 3, 4) for t in (1, 2, 4, 8, 16, 32, 64))

@@ -1,0 +1,513 @@
+"""MPI runtime: executes a MiniPar program on N simulated ranks.
+
+Each rank runs the compiled kernel on its own OS thread with a private
+:class:`ExecCtx` (its local clock, in scaled op units).  Ranks interact
+only through :class:`CommWorld`:
+
+* point-to-point: buffered sends append to per-(src, dst, tag) FIFO
+  queues stamped with an arrival time from the alpha-beta network model;
+  receives block until a matching message exists, then advance the local
+  clock to ``max(now, arrival)``;
+* collectives: call-sequence-matched rendezvous — every rank's k-th
+  collective must agree on (kind, root, op) or the run aborts with
+  :class:`MPIUsageError` (the moral equivalent of MPI's undefined
+  behaviour on mismatched collectives, surfaced deterministically);
+* deadlock: all live ranks blocked with nothing deliverable ⇒
+  :class:`DeadlockError` on every rank.  A rank that *finishes* while
+  others still wait for it also triggers detection.
+
+Message values are copied on send (MPI has no shared memory), and all
+message matching is (src, tag)-deterministic, so results do not depend on
+thread scheduling.  Simulated time = max over ranks of the final clock.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..lang.errors import DeadlockError, MiniParError, MPIUsageError, RuntimeFailure
+from .compile import CompiledProgram, PForInfo
+from .context import ExecCtx
+from .machine import Machine
+from .runtimes import BaseRuntime, OpenMPRuntime, fold, run_loop_serial
+from .values import Array, deep_copy_value, nbytes
+
+_SCALAR_COLLECTIVE_BYTES = 8
+
+
+class _Abort(MiniParError):
+    """Internal: another rank failed; unwind quietly."""
+
+
+@dataclass
+class _Collective:
+    signature: Tuple
+    values: Dict[int, object] = field(default_factory=dict)
+    arrivals: Dict[int, float] = field(default_factory=dict)
+    done: bool = False
+    completion: float = 0.0
+    results: Dict[int, object] = field(default_factory=dict)
+
+
+class CommWorld:
+    """Shared state connecting the rank threads of one MPI job."""
+
+    def __init__(self, nranks: int, machine: Machine, work_scale: float):
+        self.nranks = nranks
+        self.machine = machine
+        self.scale = work_scale
+        self.cond = threading.Condition()
+        self.queues: Dict[Tuple[int, int, int], deque] = defaultdict(deque)
+        self.blocked = 0
+        self.alive = nranks
+        self.failure: Optional[BaseException] = None
+        self.collectives: Dict[int, _Collective] = {}
+        self.waiters: Dict[int, object] = {}
+        self._next_waiter = 0
+
+    # All methods below must be called with self.cond held. ------------------
+
+    def _units(self, seconds: float) -> float:
+        return seconds / self.machine.cpu.cycle
+
+    def abort(self, exc: BaseException) -> None:
+        if self.failure is None:
+            self.failure = exc
+        self.cond.notify_all()
+
+    def check_abort(self) -> None:
+        if self.failure is not None:
+            raise _Abort()
+
+    def _all_stuck(self) -> bool:
+        """True when no registered waiter's predicate is satisfiable.
+
+        A blocked rank whose predicate just became true still counts in
+        ``blocked`` until it wakes, so deadlock is only declared after
+        re-evaluating every waiter's condition under the lock.
+        """
+        return all(not p() for p in self.waiters.values())
+
+    def wait_for(self, predicate) -> None:
+        """Block until predicate() or the world aborts; detects deadlock."""
+        self.blocked += 1
+        wid = self._next_waiter
+        self._next_waiter += 1
+        self.waiters[wid] = predicate
+        try:
+            while not predicate():
+                self.check_abort()
+                if self.blocked >= self.alive and self._all_stuck():
+                    self.abort(DeadlockError(
+                        f"deadlock: all {self.alive} live rank(s) blocked with "
+                        "no deliverable messages"
+                    ))
+                    raise _Abort()
+                self.cond.wait(timeout=10.0)
+            self.check_abort()
+        finally:
+            del self.waiters[wid]
+            self.blocked -= 1
+
+    def finish_rank(self) -> None:
+        self.alive -= 1
+        if 0 < self.alive <= self.blocked and self._all_stuck():
+            self.abort(DeadlockError(
+                "deadlock: remaining rank(s) blocked after peers finished"
+            ))
+        self.cond.notify_all()
+
+
+class MPIRankRuntime(BaseRuntime):
+    """The runtime a single rank's ExecCtx dispatches through."""
+
+    model = "mpi"
+
+    def __init__(self, rank: int, world: CommWorld):
+        self.rank = rank
+        self.world = world
+        self.coll_seq = 0
+
+    # -- clock helpers ---------------------------------------------------------
+
+    @staticmethod
+    def _clock(ctx: ExecCtx) -> float:
+        return ctx.cost * ctx.work_scale + ctx.extra_units
+
+    @staticmethod
+    def _advance_to(ctx: ExecCtx, target: float) -> None:
+        now = ctx.cost * ctx.work_scale + ctx.extra_units
+        if target > now:
+            ctx.extra_units += target - now
+
+    def _validate_rank(self, r, what: str) -> int:
+        if not isinstance(r, int) or not 0 <= r < self.world.nranks:
+            raise MPIUsageError(
+                f"invalid {what} {r!r} for communicator of size {self.world.nranks}"
+            )
+        return r
+
+    # -- point to point -----------------------------------------------------------
+
+    def mpi_rank(self, ctx: ExecCtx) -> int:
+        return self.rank
+
+    def mpi_size(self, ctx: ExecCtx) -> int:
+        return self.world.nranks
+
+    def mpi_send(self, ctx: ExecCtx, value, dest, tag) -> None:
+        w = self.world
+        dest = self._validate_rank(dest, "destination rank")
+        size = nbytes(value) * ctx.work_scale
+        travel = w._units(w.machine.net.point_to_point(int(size), self.rank, dest))
+        with w.cond:
+            w.check_abort()
+            now = self._clock(ctx)
+            # sender pays an injection overhead; message lands after travel
+            ctx.extra_units += 0.3 * travel
+            w.queues[(self.rank, dest, tag)].append(
+                (deep_copy_value(value), now + travel)
+            )
+            w.cond.notify_all()
+
+    def _recv(self, ctx: ExecCtx, src, tag):
+        w = self.world
+        src = self._validate_rank(src, "source rank")
+        key = (src, self.rank, tag)
+        with w.cond:
+            q = w.queues[key]
+            w.wait_for(lambda: len(q) > 0)
+            value, arrival = q.popleft()
+        self._advance_to(ctx, arrival)
+        ctx.extra_units += w._units(w.machine.net.alpha) * 0.3
+        return value
+
+    def mpi_recv_float(self, ctx: ExecCtx, src, tag) -> float:
+        v = self._recv(ctx, src, tag)
+        if isinstance(v, Array) or isinstance(v, bool) or not isinstance(v, (int, float)):
+            raise MPIUsageError("mpi_recv_float: message is not a scalar number")
+        return float(v)
+
+    def mpi_recv_int(self, ctx: ExecCtx, src, tag) -> int:
+        v = self._recv(ctx, src, tag)
+        if not isinstance(v, int) or isinstance(v, bool):
+            raise MPIUsageError("mpi_recv_int: message is not an int")
+        return v
+
+    def mpi_recv_array_float(self, ctx: ExecCtx, src, tag) -> Array:
+        v = self._recv(ctx, src, tag)
+        if not isinstance(v, Array) or v.elem != "float":
+            raise MPIUsageError("mpi_recv_array_float: message is not a float array")
+        return v
+
+    def mpi_recv_array_int(self, ctx: ExecCtx, src, tag) -> Array:
+        v = self._recv(ctx, src, tag)
+        if not isinstance(v, Array) or v.elem != "int":
+            raise MPIUsageError("mpi_recv_array_int: message is not an int array")
+        return v
+
+    # -- collectives -----------------------------------------------------------------
+
+    def _collective(self, ctx: ExecCtx, kind: str, signature: Tuple, value,
+                    payload_bytes: float):
+        """Rendezvous with every other rank's matching collective call."""
+        w = self.world
+        seq = self.coll_seq
+        self.coll_seq += 1
+        with w.cond:
+            w.check_abort()
+            c = w.collectives.get(seq)
+            if c is None:
+                c = w.collectives[seq] = _Collective(signature=signature)
+            elif c.signature != signature:
+                w.abort(MPIUsageError(
+                    f"mismatched collectives at call #{seq}: rank {self.rank} "
+                    f"called {signature}, another rank called {c.signature}"
+                ))
+                raise _Abort()
+            c.values[self.rank] = value
+            c.arrivals[self.rank] = self._clock(ctx)
+            if len(c.values) == w.nranks:
+                comm = w._units(w.machine.net.collective(
+                    kind, int(payload_bytes * ctx.work_scale), w.nranks
+                ))
+                c.completion = max(c.arrivals.values()) + comm
+                c.results = self._combine(kind, signature, c.values)
+                c.done = True
+                w.cond.notify_all()
+            else:
+                w.wait_for(lambda: c.done)
+            result = c.results.get(self.rank)
+        self._advance_to(ctx, c.completion)
+        return result
+
+    def _combine(self, kind: str, signature: Tuple, values: Dict[int, object]):
+        """Compute every rank's result for a completed collective."""
+        n = self.world.nranks
+        ordered = [values[r] for r in range(n)]
+        tag = signature[0]
+        if tag == "barrier":
+            return {r: None for r in range(n)}
+        if tag in ("bcast", "bcast_array", "scatter"):
+            root = signature[1]
+            v = ordered[root]
+            return {r: (v if r == root else deep_copy_value(v)) for r in range(n)}
+        if tag == "reduce":
+            _, root, op = signature
+            total = fold(op, ordered)
+            zero = 0 if isinstance(total, int) else 0.0
+            return {r: (total if r == root else zero) for r in range(n)}
+        if tag == "allreduce":
+            op = signature[1]
+            total = fold(op, ordered)
+            return {r: total for r in range(n)}
+        if tag == "scan":
+            op = signature[1]
+            out: Dict[int, object] = {}
+            acc = None
+            for r in range(n):
+                acc = ordered[r] if acc is None else fold(op, [acc, ordered[r]])
+                out[r] = acc
+            return out
+        if tag in ("reduce_array", "allreduce_array"):
+            op = signature[2] if tag == "reduce_array" else signature[1]
+            arrays: List[Array] = ordered  # type: ignore[assignment]
+            self._check_same_length(arrays, tag)
+            length = len(arrays[0].data)
+            proto = arrays[0]
+            out_arr = Array([0] * length, proto.elem, proto.shape)
+            is_int = out_arr.elem == "int"
+            for j in range(length):
+                out_arr.data[j] = fold(op, [a.data[j] for a in arrays],
+                                       as_int=is_int)
+            if tag == "reduce_array":
+                root = signature[1]
+                return {r: (out_arr if r == root else None) for r in range(n)}
+            return {r: (out_arr if r == 0 else out_arr.copy()) for r in range(n)}
+        if tag in ("gather", "allgather"):
+            chunks: List[Array] = ordered  # type: ignore[assignment]
+            self._check_same_length(chunks, tag)
+            data: List = []
+            for a in chunks:
+                data.extend(a.data)
+            full = Array(data, chunks[0].elem, (len(data),))
+            if tag == "gather":
+                root = signature[1]
+                return {r: (full if r == root else None) for r in range(n)}
+            return {r: full for r in range(n)}
+        raise AssertionError(tag)  # pragma: no cover
+
+    # -- public collective API ---------------------------------------------------
+
+    def mpi_barrier(self, ctx: ExecCtx) -> None:
+        self._collective(ctx, "barrier", ("barrier",), None, 0)
+
+    def mpi_bcast_scalar(self, ctx: ExecCtx, value, root):
+        root = self._validate_rank(root, "root rank")
+        return self._collective(ctx, "bcast", ("bcast", root), value,
+                                _SCALAR_COLLECTIVE_BYTES)
+
+    def mpi_bcast_array(self, ctx: ExecCtx, arr: Array, root) -> None:
+        root = self._validate_rank(root, "root rank")
+        result = self._collective(ctx, "bcast", ("bcast_array", root), arr,
+                                  nbytes(arr))
+        assert isinstance(result, Array)
+        if len(result.data) != len(arr.data):
+            raise MPIUsageError(
+                f"mpi_bcast_array: rank {self.rank} buffer has "
+                f"{len(arr.data)} elements, root sent {len(result.data)}"
+            )
+        if self.rank != root:
+            arr.data[:] = result.data
+        ctx.cost += 0.5 * len(arr.data)
+
+    def mpi_reduce_scalar(self, ctx: ExecCtx, value, op, root):
+        root = self._validate_rank(root, "root rank")
+        return self._collective(ctx, "reduce", ("reduce", root, op), value,
+                                _SCALAR_COLLECTIVE_BYTES)
+
+    def mpi_allreduce_scalar(self, ctx: ExecCtx, value, op):
+        return self._collective(ctx, "allreduce", ("allreduce", op), value,
+                                _SCALAR_COLLECTIVE_BYTES)
+
+    def mpi_scan_scalar(self, ctx: ExecCtx, value, op):
+        return self._collective(ctx, "scan", ("scan", op), value,
+                                _SCALAR_COLLECTIVE_BYTES)
+
+    def _check_same_length(self, arrays: List[Array], what: str) -> int:
+        lengths = {len(a.data) for a in arrays}
+        if len(lengths) != 1:
+            raise MPIUsageError(
+                f"{what}: ranks passed arrays of different lengths "
+                f"{sorted(lengths)}"
+            )
+        return lengths.pop()
+
+    def mpi_reduce_array(self, ctx: ExecCtx, arr: Array, op, root) -> None:
+        root = self._validate_rank(root, "root rank")
+        result = self._collective(
+            ctx, "reduce", ("reduce_array", root, op, len(arr.data)),
+            arr.copy(), nbytes(arr),
+        )
+        if self.rank == root:
+            assert isinstance(result, Array)
+            arr.data[:] = result.data
+        ctx.cost += 1.0 * len(arr.data)
+
+    def mpi_allreduce_array(self, ctx: ExecCtx, arr: Array, op) -> None:
+        result = self._collective(
+            ctx, "allreduce", ("allreduce_array", op, len(arr.data)),
+            arr.copy(), nbytes(arr),
+        )
+        assert isinstance(result, Array)
+        arr.data[:] = result.data
+        ctx.cost += 1.0 * len(arr.data)
+
+    def mpi_scatter_array(self, ctx: ExecCtx, arr: Array, root) -> Array:
+        root = self._validate_rank(root, "root rank")
+        n = self.world.nranks
+        result = self._collective(
+            ctx, "scatter", ("scatter", root, len(arr.data)), arr,
+            nbytes(arr) / max(1, n),
+        )
+        assert isinstance(result, Array)
+        if len(result.data) % n != 0:
+            raise MPIUsageError(
+                f"mpi_scatter_array: {len(result.data)} elements do not divide "
+                f"evenly across {n} ranks (use padding or a gather-based scheme)"
+            )
+        k = len(result.data) // n
+        chunk = Array(result.data[self.rank * k:(self.rank + 1) * k],
+                      result.elem, (k,))
+        ctx.cost += 0.5 * k
+        return chunk
+
+    def mpi_gather_array(self, ctx: ExecCtx, local: Array, root) -> Array:
+        root = self._validate_rank(root, "root rank")
+        result = self._collective(
+            ctx, "gather", ("gather", root, len(local.data)), local.copy(),
+            nbytes(local) * self.world.nranks,
+        )
+        if self.rank != root:
+            return Array([], local.elem, (0,))
+        assert isinstance(result, Array)
+        ctx.cost += 0.5 * len(result.data)
+        return result
+
+    def mpi_allgather_array(self, ctx: ExecCtx, local: Array) -> Array:
+        result = self._collective(
+            ctx, "allgather", ("allgather", len(local.data)), local.copy(),
+            nbytes(local) * self.world.nranks,
+        )
+        assert isinstance(result, Array)
+        ctx.cost += 0.5 * len(result.data)
+        return result.copy()
+
+
+class HybridRankRuntime(MPIRankRuntime, OpenMPRuntime):
+    """MPI+OpenMP: an MPI rank whose OpenMP pragmas run at a fixed thread
+    count (the hybrid sweeps fix (ranks, threads) per run)."""
+
+    model = "mpi+omp"
+
+    def __init__(self, rank: int, world: CommWorld, threads: int):
+        MPIRankRuntime.__init__(self, rank, world)
+        self.threads = threads
+        self.thread_counts = (threads,)
+
+    def omp_parallel_for(self, env: dict, ctx: ExecCtx, pf: PForInfo) -> None:
+        OpenMPRuntime.omp_parallel_for(self, env, ctx, pf)
+        # fold the fixed-thread-count adjustment into the rank clock
+        adj = ctx.parallel_adjust.pop(self.threads, 0.0)
+        ctx.extra_units += adj
+
+    def omp_critical(self, env: dict, ctx: ExecCtx, body) -> None:
+        OpenMPRuntime.omp_critical(self, env, ctx, body)
+
+    def omp_atomic(self, env: dict, ctx: ExecCtx, update, scalar_key) -> None:
+        OpenMPRuntime.omp_atomic(self, env, ctx, update, scalar_key)
+
+
+@dataclass
+class MPIRunResult:
+    """Outcome of one MPI job."""
+
+    ret: object                      # rank 0's kernel return value
+    args: Sequence[object]           # rank 0's (mutated) arguments
+    sim_seconds: float               # max over ranks of the final clock
+    error: Optional[BaseException] = None
+
+
+def run_mpi(
+    program: CompiledProgram,
+    kernel: str,
+    args: Sequence[object],
+    nranks: int,
+    machine: Machine,
+    work_scale: float = 1.0,
+    fuel: Optional[int] = None,
+    threads_per_rank: int = 0,
+) -> MPIRunResult:
+    """Run ``kernel`` on ``nranks`` simulated ranks with replicated inputs.
+
+    ``threads_per_rank > 0`` selects the hybrid MPI+OpenMP runtime.
+    Inputs are deep-copied per rank (PCGBench MPI prompts state the data
+    is replicated on every rank); rank 0's copies are returned for
+    correctness checking.
+    """
+    world = CommWorld(nranks, machine, work_scale)
+    rank_args: List[List[object]] = [
+        [deep_copy_value(a) for a in args] for _ in range(nranks)
+    ]
+    ctxs: List[ExecCtx] = []
+    for r in range(nranks):
+        if threads_per_rank > 0:
+            rt: MPIRankRuntime = HybridRankRuntime(r, world, threads_per_rank)
+        else:
+            rt = MPIRankRuntime(r, world)
+        ctxs.append(ExecCtx(machine, rt, fuel=fuel, work_scale=work_scale))
+
+    returns: List[object] = [None] * nranks
+    errors: List[Optional[BaseException]] = [None] * nranks
+
+    def rank_main(r: int) -> None:
+        try:
+            returns[r] = program.run_kernel(kernel, ctxs[r], rank_args[r])
+        except _Abort:
+            errors[r] = None
+        except BaseException as exc:  # noqa: BLE001 - report any failure
+            errors[r] = exc
+            with world.cond:
+                world.abort(exc)
+        finally:
+            with world.cond:
+                world.finish_rank()
+
+    if nranks == 1:
+        rank_main(0)
+    else:
+        threads = [
+            threading.Thread(target=rank_main, args=(r,), daemon=True)
+            for r in range(nranks)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=600.0)
+            if t.is_alive():  # pragma: no cover - watchdog
+                with world.cond:
+                    world.abort(RuntimeFailure("MPI job wedged (host watchdog)"))
+
+    failure = world.failure
+    if failure is None:
+        failure = next((e for e in errors if e is not None), None)
+    if failure is not None:
+        return MPIRunResult(ret=None, args=rank_args[0], sim_seconds=0.0,
+                            error=failure)
+    sim = max(
+        (c.cost * c.work_scale + c.extra_units) * machine.cpu.cycle for c in ctxs
+    )
+    return MPIRunResult(ret=returns[0], args=rank_args[0], sim_seconds=sim)

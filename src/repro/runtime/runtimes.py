@@ -1,0 +1,474 @@
+"""Execution runtimes for the shared-memory execution models.
+
+Design: parallel loops are executed *once*, sequentially, while
+
+1. attributing cost to each iteration (a per-iteration op-unit profile),
+2. tracing memory accesses in sampled windows for race detection, and
+3. separating critical-section cost (which serializes) from parallel cost.
+
+From the per-iteration profile we can price the loop at *every* candidate
+thread count in one pass (max-chunk sums for static schedules, greedy
+bounds for dynamic), which is what makes full scaling sweeps affordable —
+the same trick as profile-driven performance models like LogP simulators.
+
+The difference between the OpenMP and Kokkos time models (fork/join that
+grows with thread count vs. a persistent pool with log-cost dispatch) is
+what reproduces the paper's Figure 5 contrast.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..lang.errors import DataRaceError, RuntimeFailure, TrapError
+from .compile import LamClosure, PForInfo
+from .context import ExecCtx
+from .machine import CPU_THREAD_COUNTS
+from .tracer import CRITICAL, Tracer
+
+_REDUCE_FN = {
+    "sum": lambda a, b: a + b,
+    "prod": lambda a, b: a * b,
+    "min": lambda a, b: a if a < b else b,
+    "max": lambda a, b: a if a > b else b,
+}
+
+_INT_SENTINEL = 2 ** 62
+
+
+def reduce_identity(op: str, as_int: bool):
+    """The identity element of a reduction, in the right numeric kind."""
+    if op == "sum":
+        return 0 if as_int else 0.0
+    if op == "prod":
+        return 1 if as_int else 1.0
+    if op == "min":
+        return _INT_SENTINEL if as_int else math.inf
+    return -_INT_SENTINEL if as_int else -math.inf
+
+
+def fold(op: str, values, as_int: bool = False):
+    """Left fold of ``values`` under ``op``; preserves the element kind by
+    starting from the first element when present."""
+    fn = _REDUCE_FN[op]
+    it = iter(values)
+    try:
+        acc = next(it)
+    except StopIteration:
+        return reduce_identity(op, as_int)
+    for v in it:
+        acc = fn(acc, v)
+    return acc
+
+
+def static_chunk_time(costs: np.ndarray, threads: int) -> float:
+    """Parallel time of a statically scheduled loop: the max contiguous
+    chunk sum under OpenMP's default static schedule (ceil(n/T)-sized
+    chunks assigned in order; trailing threads may get none)."""
+    n = len(costs)
+    if n == 0:
+        return 0.0
+    if threads <= 1 or n <= 1:
+        return float(costs.sum())
+    chunk = -(-n // threads)  # ceil
+    bounds = np.minimum(np.arange(threads + 1, dtype=np.int64) * chunk, n)
+    cums = np.concatenate(([0.0], np.cumsum(costs)))
+    chunk_sums = cums[bounds[1:]] - cums[bounds[:-1]]
+    return float(chunk_sums.max())
+
+
+def dynamic_chunk_time(costs: np.ndarray, threads: int, dispatch: float,
+                       guided: bool = False) -> float:
+    """Lower-bound model of a dynamically scheduled loop: perfect balance
+    (total/T) plus per-chunk dispatch overhead, floored by the single
+    largest iteration."""
+    n = len(costs)
+    if n == 0:
+        return 0.0
+    total = float(costs.sum())
+    if threads <= 1:
+        return total
+    chunks = max(1.0, math.log2(n + 1) * threads) if guided else float(n)
+    balanced = total / threads + dispatch * chunks / threads
+    return max(balanced, float(costs.max()))
+
+
+class BaseRuntime:
+    """Serial runtime; also the base class for all others.
+
+    Under the serial execution model OpenMP pragmas are *ignored* (the
+    paper compiles serial prompts without ``-fopenmp``) and Kokkos/MPI/GPU
+    builtins are unavailable (they would be link errors — the harness'
+    link check rejects such programs before execution; hitting one here
+    means the check was bypassed, so fail loudly).
+    """
+
+    model = "serial"
+    supports_threads: Tuple[int, ...] = (1,)
+
+    # -- OpenMP constructs (ignored: no -fopenmp) ---------------------------
+
+    def omp_parallel_for(self, env: dict, ctx: ExecCtx, pf: PForInfo) -> None:
+        run_loop_serial(env, ctx, pf)
+
+    def omp_critical(self, env: dict, ctx: ExecCtx, body) -> None:
+        sig = body(env, ctx)
+        if sig is not None:
+            raise RuntimeFailure("illegal control flow escaping a critical section")
+
+    def omp_atomic(self, env: dict, ctx: ExecCtx, update, scalar_key) -> None:
+        update(env, ctx)
+
+    # -- unavailable models --------------------------------------------------
+
+    def _not_linked(self, what: str):
+        raise RuntimeFailure(
+            f"{what} is not available under the {self.model!r} execution model "
+            "(link error should have been caught by the harness)"
+        )
+
+    def kokkos_for(self, env, ctx, n, lam, where):
+        self._not_linked("Kokkos")
+
+    def kokkos_reduce(self, env, ctx, n, op, lam, where):
+        self._not_linked("Kokkos")
+
+    def kokkos_scan(self, env, ctx, n, op, lam, out, inclusive, where):
+        self._not_linked("Kokkos")
+
+    def gpu_sync_threads(self, ctx):
+        self._not_linked("GPU intrinsics")
+
+    def __getattr__(self, name: str):
+        if name.startswith("mpi_"):
+            self._not_linked("MPI")
+        raise AttributeError(name)
+
+
+SerialRuntime = BaseRuntime
+
+
+def run_loop_serial(env: dict, ctx: ExecCtx, pf: PForInfo) -> None:
+    """Execute a parallel-for's loop sequentially (pragma ignored)."""
+    lo = pf.lo(env, ctx)
+    hi = pf.hi(env, ctx)
+    step = pf.step(env, ctx) if pf.step is not None else 1
+    if step <= 0:
+        raise TrapError(f"for-loop step must be positive, got {step}")
+    body = pf.body
+    var = pf.var
+    i = lo
+    fuel = ctx.fuel
+    while i < hi:
+        ctx.cost += pf.iter_weight
+        if ctx.cost > fuel:
+            ctx.check_fuel()
+        env[var] = i
+        body(env, ctx)
+        i += step
+
+
+def _profiled_loop(
+    env: dict,
+    ctx: ExecCtx,
+    indices: Sequence[int],
+    run_iter: Callable[[int], None],
+    where: str,
+    iter_weight: float,
+) -> Tuple[np.ndarray, np.ndarray, Tracer]:
+    """Execute ``run_iter`` for each index, returning per-iteration cost,
+    per-iteration critical-section cost, and the access tracer."""
+    n = len(indices)
+    tracer = Tracer(n)
+    prev_trace = ctx.trace
+    ctx.trace = tracer
+    costs: List[float] = []
+    crits: List[float] = []
+    fuel = ctx.fuel
+    try:
+        for k, i in enumerate(indices):
+            tracer.begin_iteration(k)
+            c0 = ctx.cost
+            ctx.crit_units = 0.0
+            ctx.cost += iter_weight
+            run_iter(i)
+            if ctx.cost > fuel:
+                ctx.check_fuel()
+            costs.append(ctx.cost - c0)
+            crits.append(ctx.crit_units)
+    finally:
+        ctx.trace = prev_trace
+    tracer.check(where)
+    return np.asarray(costs), np.asarray(crits), tracer
+
+
+def _atomic_extra(tracer: Tracer, threads: int, conflict_cost: float,
+                  scale: float = 1.0) -> float:
+    """Serialization penalty for contended atomics at ``threads`` threads.
+
+    With work scaling the op count grows by ``scale``; the target set only
+    grows with it when the observed targets were mostly unique (a scatter),
+    not when they were a fixed small set (histogram bins, accumulators).
+    """
+    total, distinct = tracer.contention_stats()
+    if total == 0 or threads <= 1:
+        return 0.0
+    if distinct >= 0.5 * total:
+        distinct_scaled = distinct * scale
+    else:
+        distinct_scaled = float(distinct)
+    conflicts = max(0.0, total * scale - distinct_scaled)
+    return conflict_cost * conflicts * (1.0 - 1.0 / threads)
+
+
+class OpenMPRuntime(BaseRuntime):
+    """Shared-memory runtime honouring OpenMP pragmas.
+
+    One execution produces simulated times for every thread count in
+    ``thread_counts`` via ``ctx.parallel_adjust`` (see ExecCtx).
+    """
+
+    model = "openmp"
+
+    def __init__(self, thread_counts: Sequence[int] = CPU_THREAD_COUNTS):
+        self.thread_counts = tuple(thread_counts)
+
+    @property
+    def supports_threads(self) -> Tuple[int, ...]:
+        return self.thread_counts
+
+    def omp_parallel_for(self, env: dict, ctx: ExecCtx, pf: PForInfo) -> None:
+        if ctx.in_parallel:
+            # nested parallelism disabled (the OpenMP default)
+            run_loop_serial(env, ctx, pf)
+            return
+        if pf.outer_writes:
+            raise DataRaceError(
+                f"data race in {pf.where}: unsynchronized write(s) to shared "
+                f"variable(s) {', '.join(pf.outer_writes)} "
+                "(shared by default; no reduction/atomic/critical)",
+                pf.where,
+            )
+        lo = pf.lo(env, ctx)
+        hi = pf.hi(env, ctx)
+        step = pf.step(env, ctx) if pf.step is not None else 1
+        if step <= 0:
+            raise TrapError(f"for-loop step must be positive, got {step}")
+        indices = range(lo, hi, step)
+        body = pf.body
+        var = pf.var
+
+        def run_iter(i: int) -> None:
+            env[var] = i
+            body(env, ctx)
+
+        ctx.in_parallel = True
+        start = ctx.cost
+        try:
+            costs, crits, tracer = _profiled_loop(
+                env, ctx, indices, run_iter, pf.where, pf.iter_weight
+            )
+        finally:
+            ctx.in_parallel = False
+        work = ctx.cost - start
+
+        cap = None
+        if pf.num_threads is not None:
+            cap = max(1, int(pf.num_threads(env, ctx)))
+
+        crit_total = float(crits.sum())
+        n_crit = int(np.count_nonzero(crits))
+        par_costs = costs - crits
+        scale = ctx.work_scale
+        for t in self.thread_counts:
+            eff_t = min(t, cap) if cap is not None else t
+            region = self._region_time(
+                ctx, par_costs, crit_total, n_crit, tracer, eff_t,
+                pf.schedule, len(pf.reductions),
+            )
+            prev = ctx.parallel_adjust.get(t, 0.0)
+            ctx.parallel_adjust[t] = prev + region - work * scale
+
+    def _region_time(
+        self,
+        ctx: ExecCtx,
+        par_costs: np.ndarray,
+        crit_total: float,
+        n_crit: int,
+        tracer: Tracer,
+        threads: int,
+        schedule: str,
+        n_reductions: int,
+    ) -> float:
+        cpu = ctx.machine.cpu
+        scale = ctx.work_scale
+        total = float(par_costs.sum()) * scale
+        if threads <= 1:
+            return total + crit_total * scale
+        if schedule == "static":
+            body = static_chunk_time(par_costs, threads) * scale
+        else:
+            body = dynamic_chunk_time(
+                par_costs, threads, cpu.omp_dispatch_dynamic / scale,
+                guided=schedule == "guided",
+            ) * scale
+        # memory-bandwidth saturation floor
+        body = max(body, total * cpu.mem_frac / min(threads, cpu.mem_sat))
+        time = body + (crit_total + cpu.critical_lock * n_crit) * scale
+        time += _atomic_extra(tracer, threads, cpu.atomic_conflict, scale)
+        time += cpu.omp_region_overhead(threads)
+        if n_reductions:
+            time += n_reductions * (threads + math.log2(threads)) * 2.0
+        return time
+
+    def omp_critical(self, env: dict, ctx: ExecCtx, body) -> None:
+        cpu = ctx.machine.cpu
+        prev_prot = ctx.protection
+        ctx.protection = CRITICAL
+        c0 = ctx.cost
+        try:
+            sig = body(env, ctx)
+        finally:
+            ctx.protection = prev_prot
+        if sig is not None:
+            raise RuntimeFailure("illegal control flow escaping a critical section")
+        ctx.cost += cpu.critical_lock
+        ctx.crit_units += (ctx.cost - c0)
+
+    def omp_atomic(self, env: dict, ctx: ExecCtx, update, scalar_key) -> None:
+        cpu = ctx.machine.cpu
+        prev_prot = ctx.protection
+        ctx.protection = 2  # CRITICAL-level protection exonerates the write
+        try:
+            update(env, ctx)
+        finally:
+            ctx.protection = prev_prot
+        ctx.cost += cpu.atomic_op
+        t = ctx.trace
+        if t is not None:
+            t.atomic_ops += 1
+            if scalar_key is not None:
+                t.atomic_targets.add(scalar_key)
+
+
+class KokkosRuntime(BaseRuntime):
+    """Runtime for Kokkos-style patterns (persistent thread pool model).
+
+    OpenMP pragmas are ignored (compiled without ``-fopenmp``), as in the
+    paper's Kokkos configuration which uses the C++ ``threads`` backend.
+    """
+
+    model = "kokkos"
+
+    def __init__(self, thread_counts: Sequence[int] = CPU_THREAD_COUNTS):
+        self.thread_counts = tuple(thread_counts)
+
+    @property
+    def supports_threads(self) -> Tuple[int, ...]:
+        return self.thread_counts
+
+    def _profile_pattern(self, env, ctx, n, lam: LamClosure, where,
+                         collect: Optional[List] = None):
+        if n < 0:
+            raise TrapError(f"pattern extent must be non-negative, got {n}")
+
+        def run_iter(i: int) -> None:
+            r = lam.call1(env, ctx, i)
+            if collect is not None:
+                collect.append(r)
+
+        ctx.in_parallel = True
+        start = ctx.cost
+        try:
+            costs, crits, tracer = _profiled_loop(
+                env, ctx, range(n), run_iter, where,
+                ctx.machine.cpu.kokkos_per_element + lam.weight * 0.0,
+            )
+        finally:
+            ctx.in_parallel = False
+        work = ctx.cost - start
+        return costs, crits, tracer, work
+
+    def _apply_adjust(self, ctx: ExecCtx, costs, crits, tracer, work,
+                      extra_serial: float = 0.0, barriers: int = 1) -> None:
+        cpu = ctx.machine.cpu
+        scale = ctx.work_scale
+        crit_total = float(crits.sum())
+        par_costs = costs - crits
+        total = float(par_costs.sum()) * scale
+        for t in self.thread_counts:
+            if t <= 1:
+                region = (work + extra_serial) * scale
+            else:
+                body = static_chunk_time(par_costs, t) * scale
+                body = max(body, total * cpu.mem_frac / min(t, cpu.mem_sat))
+                region = (
+                    body
+                    + (crit_total + extra_serial / t) * scale
+                    + _atomic_extra(tracer, t, cpu.atomic_conflict, scale)
+                    + barriers * cpu.kokkos_pattern_overhead(t)
+                )
+            prev = ctx.parallel_adjust.get(t, 0.0)
+            ctx.parallel_adjust[t] = prev + region - (work + extra_serial) * scale
+        ctx.cost += extra_serial
+
+    def kokkos_for(self, env: dict, ctx: ExecCtx, n: int, lam: LamClosure,
+                   where: str) -> None:
+        if ctx.in_parallel:
+            for i in range(n):
+                lam.call1(env, ctx, i)
+            return
+        costs, crits, tracer, work = self._profile_pattern(env, ctx, n, lam, where)
+        self._apply_adjust(ctx, costs, crits, tracer, work)
+
+    def kokkos_reduce(self, env: dict, ctx: ExecCtx, n: int, op: str,
+                      lam: LamClosure, where: str):
+        if ctx.in_parallel:
+            return fold(op, (lam.call1(env, ctx, i) for i in range(n)))
+        values: List = []
+        costs, crits, tracer, work = self._profile_pattern(
+            env, ctx, n, lam, where, collect=values
+        )
+        acc = fold(op, values)
+        # fold cost: one combine per element (serial), log(t) tree in parallel
+        self._apply_adjust(ctx, costs, crits, tracer, work,
+                           extra_serial=float(n))
+        return acc
+
+    def kokkos_scan(self, env: dict, ctx: ExecCtx, n: int, op: str,
+                    lam: LamClosure, out, inclusive: bool, where: str) -> None:
+        if op == "prod":
+            raise RuntimeFailure("parallel_scan does not support 'prod'")
+        if len(out.data) < n:
+            raise TrapError(
+                f"scan output of length {len(out.data)} shorter than extent {n}"
+            )
+        values: List = []
+        if ctx.in_parallel:
+            for i in range(n):
+                values.append(lam.call1(env, ctx, i))
+            work = 0.0
+            costs = crits = np.zeros(0)
+            tracer = None
+        else:
+            costs, crits, tracer, work = self._profile_pattern(
+                env, ctx, n, lam, where, collect=values
+            )
+        is_int = out.elem == "int"
+        acc = reduce_identity(op, is_int)
+        fn = _REDUCE_FN[op]
+        data = out.data
+        for i, v in enumerate(values):
+            if inclusive:
+                acc = fn(acc, v)
+                data[i] = int(acc) if is_int else acc
+            else:
+                data[i] = int(acc) if is_int else acc
+                acc = fn(acc, v)
+        if tracer is not None:
+            # two-pass scan: contributions + combine/writeback, 2 barriers
+            self._apply_adjust(ctx, costs, crits, tracer, work,
+                               extra_serial=2.0 * n, barriers=2)

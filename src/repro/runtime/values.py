@@ -1,0 +1,111 @@
+"""Runtime values for MiniPar programs.
+
+Scalars are plain Python ``int``/``float``/``bool`` (fastest for a tree
+interpreter).  Arrays are list-backed — element access on Python lists is
+considerably faster than boxing/unboxing numpy scalars in a per-element
+interpreter loop — with numpy conversion at the driver boundary, where the
+reference checks are vectorised (per the hpc-parallel guide: vectorise the
+bulk comparisons, keep scalar hot paths unboxed).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Sequence, Tuple, Union
+
+import numpy as np
+
+Scalar = Union[int, float, bool]
+
+_DTYPES = {"float": np.float64, "int": np.int64, "bool": np.bool_}
+_DEFAULTS = {"float": 0.0, "int": 0, "bool": False}
+
+
+_next_uid = itertools.count(1)
+
+
+class Array:
+    """A 1-D or 2-D MiniPar array.
+
+    2-D arrays are stored flat in row-major order, matching how the cost
+    model thinks about memory traffic.  ``uid`` is a process-unique id for
+    the race detector — unlike ``id()`` it is never reused, so a temp
+    array freed in one loop iteration cannot alias the next iteration's.
+    """
+
+    __slots__ = ("data", "elem", "shape", "uid")
+
+    def __init__(self, data: List[Scalar], elem: str, shape: Tuple[int, ...]):
+        self.data = data
+        self.elem = elem
+        self.shape = shape
+        self.uid = next(_next_uid)
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def zeros(cls, n: int, elem: str) -> "Array":
+        return cls([_DEFAULTS[elem]] * n, elem, (n,))
+
+    @classmethod
+    def zeros2d(cls, r: int, c: int, elem: str) -> "Array":
+        return cls([_DEFAULTS[elem]] * (r * c), elem, (r, c))
+
+    @classmethod
+    def from_numpy(cls, arr: np.ndarray, elem: str | None = None) -> "Array":
+        a = np.asarray(arr)
+        if elem is None:
+            if np.issubdtype(a.dtype, np.floating):
+                elem = "float"
+            elif np.issubdtype(a.dtype, np.integer):
+                elem = "int"
+            elif a.dtype == np.bool_:
+                elem = "bool"
+            else:
+                raise TypeError(f"unsupported dtype {a.dtype}")
+        if a.ndim == 1:
+            return cls(a.tolist(), elem, (a.shape[0],))
+        if a.ndim == 2:
+            return cls(a.reshape(-1).tolist(), elem, (a.shape[0], a.shape[1]))
+        raise ValueError(f"unsupported ndim {a.ndim}")
+
+    @classmethod
+    def from_list(cls, values: Sequence[Scalar], elem: str) -> "Array":
+        return cls(list(values), elem, (len(values),))
+
+    # -- views ---------------------------------------------------------------
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    def __len__(self) -> int:
+        return self.shape[0]
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+    def to_numpy(self) -> np.ndarray:
+        a = np.array(self.data, dtype=_DTYPES[self.elem])
+        return a.reshape(self.shape) if self.ndim == 2 else a
+
+    def copy(self) -> "Array":
+        return Array(list(self.data), self.elem, self.shape)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Array({self.elem}, shape={self.shape})"
+
+
+def nbytes(value: Union[Scalar, Array]) -> int:
+    """Approximate wire size of a value, for the communication cost model."""
+    if isinstance(value, Array):
+        return 8 * len(value.data)
+    return 8
+
+
+def deep_copy_value(value: Union[Scalar, Array]) -> Union[Scalar, Array]:
+    """Copy semantics for message passing: arrays are copied, scalars as-is."""
+    if isinstance(value, Array):
+        return value.copy()
+    return value

@@ -1,0 +1,161 @@
+"""Tests for aggregation and figure/table generation."""
+
+import pytest
+
+from repro.analysis import (
+    curve_table,
+    efficiency_curve,
+    fig1_pass_by_exec_model,
+    fig2_overall,
+    fig3_pass_by_ptype,
+    fig4_pass_curve,
+    fig6_speedups,
+    fig7_efficiency,
+    pass_by_exec_model,
+    pass_by_ptype,
+    pass_serial_vs_parallel,
+    render_table,
+    status_breakdown,
+    table1,
+    table2,
+)
+from repro.bench import PCGBench
+from repro.harness import Runner, evaluate_model
+from repro.harness.evaluate import EvalRun, PromptRecord, SampleRecord
+from repro.models import load_model
+
+
+def synthetic_run() -> EvalRun:
+    """A handcrafted run with known pass rates."""
+    run = EvalRun(llm="toy", temperature=0.2, num_samples=2,
+                  with_timing=True, seed=0)
+
+    def rec(uid, ptype, exec_model, statuses, baseline=None, times=None):
+        samples = []
+        for i, s in enumerate(statuses):
+            t = {} if not times else times[i]
+            samples.append(SampleRecord(status=s, times=t))
+        run.prompts[uid] = PromptRecord(
+            uid=uid, ptype=ptype, exec_model=exec_model,
+            samples=samples, baseline=baseline,
+        )
+
+    rec("a/serial", "reduce", "serial", ["correct", "correct"],
+        baseline=8.0, times=[{1: 8.0}, {1: 8.0}])
+    rec("b/openmp", "reduce", "openmp", ["correct", "wrong_answer"],
+        baseline=8.0, times=[{32: 1.0}, {}])
+    rec("c/openmp", "search", "openmp", ["correct", "correct"],
+        baseline=8.0, times=[{32: 0.001}, {32: 0.001}])
+    rec("d/mpi", "reduce", "mpi", ["build_error", "build_error"])
+    return run
+
+
+class TestAggregations:
+    def test_pass_by_exec_model(self):
+        run = synthetic_run()
+        stats = pass_by_exec_model(run, k=1)
+        assert stats["serial"] == 1.0
+        assert stats["openmp"] == pytest.approx(0.75)  # (0.5 + 1.0)/2
+        assert stats["mpi"] == 0.0
+
+    def test_serial_vs_parallel(self):
+        run = synthetic_run()
+        sp = pass_serial_vs_parallel(run, k=1)
+        assert sp["serial"] == 1.0
+        assert sp["parallel"] == pytest.approx((0.5 + 1.0 + 0.0) / 3)
+
+    def test_pass_by_ptype(self):
+        run = synthetic_run()
+        stats = pass_by_ptype(run, k=1)
+        assert stats["reduce"] == pytest.approx((1.0 + 0.5 + 0.0) / 3)
+        assert stats["search"] == 1.0
+
+    def test_search_excluded_from_performance(self):
+        from repro.analysis import speedup_by_exec_model
+
+        run = synthetic_run()
+        sp = speedup_by_exec_model(run, k=1)
+        # only prompt b (reduce/openmp) counts; mean of (8, 0) speedups = 4
+        assert sp["openmp"] == pytest.approx(4.0)
+
+    def test_efficiency_divides_by_n(self):
+        from repro.analysis import efficiency_by_exec_model
+
+        run = synthetic_run()
+        eff = efficiency_by_exec_model(run, k=1)
+        assert eff["openmp"] == pytest.approx(4.0 / 32)
+        assert eff["serial"] == pytest.approx(1.0)
+
+    def test_efficiency_curve_missing_n_is_zero(self):
+        run = synthetic_run()
+        curve = efficiency_curve(run, "openmp", [16, 32])
+        assert curve[16] == 0.0  # nothing measured at 16 threads
+        assert curve[32] > 0.0
+
+    def test_status_breakdown(self):
+        counts = status_breakdown(synthetic_run())
+        assert counts["correct"] == 5
+        assert counts["build_error"] == 2
+
+
+class TestRendering:
+    def test_render_table_alignment(self):
+        text = render_table(["a", "bb"], [[1, 2.5], [30, 4.0]])
+        lines = text.split("\n")
+        assert len(lines) == 4
+        assert "30" in lines[3]
+
+    def test_table1_counts(self):
+        text = table1()
+        assert "420" in text
+        assert "transform" in text
+
+    def test_table2_models(self):
+        text = table2()
+        assert "GPT-4" in text
+        assert "71.95" in text  # Phind's HumanEval score
+
+    def test_curve_table(self):
+        text = curve_table("t", "m", {"x": {1: 0.5, 2: 0.75}})
+        assert "0.500" in text and "0.750" in text
+
+
+class TestFigureBuilders:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        bench = PCGBench(problem_types=["transform", "reduce"],
+                         models=["serial", "openmp"])
+        return {
+            name: evaluate_model(load_model(name), bench, num_samples=3,
+                                 temperature=0.2, seed=21)
+            for name in ("GPT-3.5", "CodeLlama-7B")
+        }
+
+    def test_fig1(self, runs):
+        data, text = fig1_pass_by_exec_model(runs)
+        assert "GPT-3.5" in data and "openmp" in data["GPT-3.5"]
+        assert "Figure 1" in text
+
+    def test_fig2_gpt_beats_codellama(self, runs):
+        data, _ = fig2_overall(runs)
+        assert data["GPT-3.5"]["serial"] >= data["CodeLlama-7B"]["serial"]
+
+    def test_fig3(self, runs):
+        data, text = fig3_pass_by_ptype(runs)
+        assert "transform" in data["GPT-3.5"]
+        assert "Figure 3" in text
+
+    def test_fig4_monotone(self, runs):
+        data, _ = fig4_pass_curve(runs, ks=(1, 2, 3))
+        for series in data.values():
+            assert series[1] <= series[2] <= series[3]
+
+    def test_fig6_fig7_need_timing(self):
+        bench = PCGBench(problem_types=["transform"], models=["openmp"])
+        run = evaluate_model(load_model("GPT-4"), bench, num_samples=2,
+                             temperature=0.2, with_timing=True, seed=4)
+        data6, text6 = fig6_speedups({"GPT-4": run})
+        data7, text7 = fig7_efficiency({"GPT-4": run})
+        assert data6["GPT-4"]["openmp"] > 0
+        assert 0 < data7["GPT-4"]["openmp"] <= 1.5
+        assert "Figure 6" in text6 and "Figure 7" in text7

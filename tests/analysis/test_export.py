@@ -1,0 +1,80 @@
+"""Tests for CSV export and run comparison utilities."""
+
+import csv
+import io
+
+import pytest
+
+from repro.analysis.export import compare_runs, summary_rows, to_csv
+from repro.harness.evaluate import EvalRun, PromptRecord, SampleRecord
+
+
+def make_run(llm="toy", omp_statuses=("correct", "wrong_answer")):
+    run = EvalRun(llm=llm, temperature=0.2, num_samples=2,
+                  with_timing=True, seed=0)
+    run.prompts["reduce/sum/openmp"] = PromptRecord(
+        uid="reduce/sum/openmp", ptype="reduce", exec_model="openmp",
+        baseline=4.0,
+        samples=[
+            SampleRecord(status=omp_statuses[0], intended="correct",
+                         times={1: 4.0, 32: 0.5}),
+            SampleRecord(status=omp_statuses[1], intended="bug"),
+        ],
+    )
+    run.prompts["sort/asc/serial"] = PromptRecord(
+        uid="sort/asc/serial", ptype="sort", exec_model="serial",
+        samples=[SampleRecord(status="correct"), SampleRecord(status="correct")],
+    )
+    return run
+
+
+class TestCSV:
+    def test_one_row_per_sample(self):
+        text = to_csv(make_run())
+        rows = list(csv.reader(io.StringIO(text)))
+        assert len(rows) == 1 + 4  # header + 4 samples
+
+    def test_timing_columns_union_of_ns(self):
+        text = to_csv(make_run())
+        header = text.splitlines()[0].split(",")
+        assert "t_n1_s" in header and "t_n32_s" in header
+
+    def test_values_round_trip(self):
+        rows = list(csv.reader(io.StringIO(to_csv(make_run()))))
+        header = rows[0]
+        sample0 = dict(zip(header, rows[1]))
+        assert sample0["status"] == "correct"
+        assert float(sample0["t_n32_s"]) == 0.5
+        assert sample0["exec_model"] == "openmp"
+
+
+class TestSummaryRows:
+    def test_cells_present_only(self):
+        rows = summary_rows(make_run())
+        dims = {(r["exec_model"], r["ptype"]) for r in rows}
+        assert dims == {("openmp", "reduce"), ("serial", "sort")}
+
+    def test_pass_values(self):
+        rows = summary_rows(make_run())
+        by = {(r["exec_model"], r["ptype"]): r["pass@1"] for r in rows}
+        assert by[("openmp", "reduce")] == pytest.approx(0.5)
+        assert by[("serial", "sort")] == 1.0
+
+
+class TestCompareRuns:
+    def test_detects_regression(self):
+        a = make_run()
+        b = make_run(omp_statuses=("wrong_answer", "wrong_answer"))
+        deltas = compare_runs(a, b)
+        top = deltas[0]
+        assert top[0] in ("exec:openmp", "ptype:reduce")
+        assert top[3] == pytest.approx(-0.5)
+
+    def test_min_delta_filters(self):
+        a, b = make_run(), make_run()
+        assert compare_runs(a, b, min_delta=0.01) == []
+
+    def test_identical_runs_zero_delta(self):
+        a, b = make_run(), make_run()
+        for _, va, vb, d in compare_runs(a, b):
+            assert d == 0.0 and va == vb

@@ -1,0 +1,64 @@
+"""Rendering-level tests for the figure builders using synthetic runs
+(no evaluation cost; complements the integration-level tests)."""
+
+import pytest
+
+from repro.analysis import (
+    fig1_pass_by_exec_model,
+    fig5_efficiency_curves,
+    fig6_speedups,
+    fig7_efficiency,
+)
+from repro.harness.evaluate import EvalRun, PromptRecord, SampleRecord
+
+
+def timed_run(llm: str, eff32: float) -> EvalRun:
+    """A run with one OpenMP prompt whose best sample hits eff32 at 32
+    threads, plus one MPI prompt at several rank counts."""
+    run = EvalRun(llm=llm, temperature=0.2, num_samples=1,
+                  with_timing=True, seed=0)
+    base = 32.0
+    run.prompts["reduce/sum/openmp"] = PromptRecord(
+        uid="reduce/sum/openmp", ptype="reduce", exec_model="openmp",
+        baseline=base,
+        samples=[SampleRecord(
+            status="correct",
+            times={n: base / (eff32 * 32) * (32 / n) for n in (1, 2, 8, 32)},
+        )],
+    )
+    run.prompts["reduce/sum/mpi"] = PromptRecord(
+        uid="reduce/sum/mpi", ptype="reduce", exec_model="mpi",
+        baseline=base,
+        samples=[SampleRecord(
+            status="correct",
+            times={n: base / min(n, 64) for n in (1, 4, 64, 512)},
+        )],
+    )
+    return run
+
+
+class TestFigureRendering:
+    def test_fig5_series_shapes(self):
+        runs = {"A": timed_run("A", 0.9), "B": timed_run("B", 0.3)}
+        data, text = fig5_efficiency_curves(
+            runs, mpi_ns=(1, 4, 64, 512), thread_ns=(1, 2, 8, 32))
+        assert data["openmp"]["A"][32] == pytest.approx(0.9)
+        assert data["openmp"]["B"][32] == pytest.approx(0.3)
+        # mpi efficiency saturates: speedup capped at 64
+        assert data["mpi"]["A"][512] == pytest.approx(64 / 512)
+        assert "Figure 5" in text
+
+    def test_fig6_and_7_consistent(self):
+        runs = {"A": timed_run("A", 0.5)}
+        sp, _ = fig6_speedups(runs)
+        eff, _ = fig7_efficiency(runs)
+        assert sp["A"]["openmp"] == pytest.approx(0.5 * 32)
+        assert eff["A"]["openmp"] == pytest.approx(0.5)
+        # efficiency is exactly speedup / headline n
+        assert eff["A"]["mpi"] == pytest.approx(sp["A"]["mpi"] / 512)
+
+    def test_fig1_column_filtering(self):
+        run = timed_run("A", 0.5)
+        data, text = fig1_pass_by_exec_model({"A": run})
+        assert set(data["A"]) == {"openmp", "mpi"}
+        assert "kokkos" not in text.splitlines()[1]

@@ -1,0 +1,71 @@
+"""Unit tests for performance-entry assembly (incl. the per-prompt-n GPU
+path) and headline aggregation plumbing."""
+
+import pytest
+
+from repro.analysis.aggregate import (
+    HEADLINE_N,
+    overall_parallel_efficiency,
+    overall_parallel_speedup,
+    perf_entries,
+)
+from repro.harness.evaluate import EvalRun, PromptRecord, SampleRecord
+
+
+def record(uid, exec_model, baseline, times_per_sample, ptype="reduce"):
+    return PromptRecord(
+        uid=uid, ptype=ptype, exec_model=exec_model, baseline=baseline,
+        samples=[SampleRecord(status="correct", times=t)
+                 for t in times_per_sample],
+    )
+
+
+class TestPerfEntries:
+    def test_fixed_n(self):
+        rec = record("a", "openmp", 10.0, [{32: 2.0}, {32: 5.0}])
+        (entry,) = perf_entries([rec], 32)
+        assert entry["n"] == 32
+        assert entry["times"] == [2.0, 5.0]
+
+    def test_missing_n_becomes_none(self):
+        rec = record("a", "openmp", 10.0, [{16: 2.0}])
+        (entry,) = perf_entries([rec], 32)
+        assert entry["times"] == [None]
+
+    def test_per_prompt_n_for_gpu(self):
+        rec = record("a", "cuda", 10.0, [{2048: 1.0}, {2048: 4.0}])
+        (entry,) = perf_entries([rec], None)
+        assert entry["n"] == 2048
+        assert entry["times"] == [1.0, 4.0]
+
+    def test_gpu_prompt_with_no_measurements(self):
+        rec = record("a", "cuda", 10.0, [{}])
+        (entry,) = perf_entries([rec], None)
+        assert entry["n"] == 1
+        assert entry["times"] == [None]
+
+    def test_headline_n_table_covers_all_models(self):
+        assert set(HEADLINE_N) == {
+            "serial", "openmp", "kokkos", "mpi", "mpi+omp", "cuda", "hip"}
+
+
+class TestOverallHeadlines:
+    def _run(self):
+        run = EvalRun(llm="toy", temperature=0.2, num_samples=1,
+                      with_timing=True, seed=0)
+        run.prompts["a"] = record("a", "openmp", 32.0, [{32: 1.0}])
+        run.prompts["b"] = record("b", "cuda", 10.0, [{1000: 1.0}])
+        run.prompts["c"] = record("c", "openmp", 8.0, [{32: 1.0}],
+                                  ptype="search")  # excluded
+        return run
+
+    def test_pooled_speedup(self):
+        run = self._run()
+        # (32x + 10x) / 2 prompts; the search prompt is excluded
+        assert overall_parallel_speedup(run) == pytest.approx(21.0)
+
+    def test_pooled_efficiency(self):
+        run = self._run()
+        # (32/32 + 10/1000) / 2
+        assert overall_parallel_efficiency(run) == pytest.approx(
+            (1.0 + 0.01) / 2)

@@ -1,0 +1,93 @@
+"""Tests for the problem-size scaling extension (§6.2 last paragraph)."""
+
+import pytest
+
+from repro.analysis.problem_size import (
+    baseline_size_scaling,
+    complexity_gap,
+    measure_size_scaling,
+)
+from repro.bench import all_problems
+from repro.lang import compile_source
+from repro.runtime.compile import compile_program
+
+
+def problem(name):
+    return next(p for p in all_problems() if p.name == name)
+
+
+SIZES = (128, 256, 512, 1024)
+
+
+class TestFits:
+    def test_linear_kernel_fits_exponent_one(self):
+        p = problem("relu")
+        base = baseline_size_scaling(p, SIZES)
+        assert base.exponent == pytest.approx(1.0, abs=0.15)
+
+    def test_sort_baseline_slightly_superlinear(self):
+        p = problem("sort_ascending")
+        base = baseline_size_scaling(p, SIZES)
+        assert 1.0 < base.exponent < 1.4  # n log n
+
+    def test_quadratic_kernel_fits_exponent_two(self):
+        p = problem("prefix_sum")
+        src = """
+        kernel prefix_sum(x: array<float>, out: array<float>) {
+            for (i in 0..len(x)) {
+                let acc = 0.0;
+                for (k in 0..i + 1) {
+                    acc += x[k];
+                }
+                out[i] = acc;
+            }
+        }
+        """
+        scaling = measure_size_scaling(
+            compile_program(compile_source(src)), p, SIZES)
+        assert scaling.exponent == pytest.approx(2.0, abs=0.2)
+
+    def test_predicted_interpolates(self):
+        p = problem("relu")
+        base = baseline_size_scaling(p, SIZES)
+        mid = base.predicted(384)
+        assert base.costs[1] < mid < base.costs[2]
+
+
+class TestComplexityGap:
+    def test_naive_scan_shows_gap_of_one(self):
+        p = problem("prefix_sum")
+        naive = """
+        kernel prefix_sum(x: array<float>, out: array<float>) {
+            for (i in 0..len(x)) {
+                let acc = 0.0;
+                for (k in 0..i + 1) {
+                    acc += x[k];
+                }
+                out[i] = acc;
+            }
+        }
+        """
+        gap = complexity_gap(naive, p, SIZES)
+        assert gap is not None
+        assert gap["gap"] == pytest.approx(1.0, abs=0.25)
+
+    def test_optimal_sample_shows_no_gap(self):
+        from repro.bench import baseline_source
+
+        p = problem("prefix_sum")
+        gap = complexity_gap(baseline_source(p.name), p, SIZES)
+        assert gap["gap"] == pytest.approx(0.0, abs=0.1)
+
+    def test_broken_sample_returns_none(self):
+        p = problem("prefix_sum")
+        assert complexity_gap("kernel prefix_sum(", p, SIZES) is None
+
+    def test_trapping_sample_returns_none(self):
+        p = problem("prefix_sum")
+        src = """
+        kernel prefix_sum(x: array<float>, out: array<float>) {
+            out[len(out)] = 1.0;
+        }
+        """
+        assert complexity_gap(src, p, SIZES) is None

@@ -1,0 +1,206 @@
+"""Tests for the PCGBench registry, prompts, problems and baselines."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    EXECUTION_MODELS,
+    PROBLEM_TYPES,
+    PCGBench,
+    all_problems,
+    baseline_source,
+    full_benchmark,
+    problems_by_type,
+    render_prompt,
+)
+from repro.lang import compile_source
+from repro.runtime import DEFAULT_MACHINE, ExecCtx, SerialRuntime, compile_program
+
+
+class TestRegistry:
+    def test_420_prompts(self):
+        bench = full_benchmark()
+        assert len(bench) == 420  # 12 types x 5 problems x 7 models
+
+    def test_inventory(self):
+        bench = full_benchmark()
+        inv = bench.inventory()
+        assert set(inv) == set(PROBLEM_TYPES)
+        assert all(v == 5 for v in inv.values())
+
+    def test_five_problems_per_type(self):
+        by_type = problems_by_type()
+        assert set(by_type) == set(PROBLEM_TYPES)
+        for probs in by_type.values():
+            assert len(probs) == 5
+
+    def test_unique_problem_names(self):
+        names = [p.name for p in all_problems()]
+        assert len(names) == len(set(names)) == 60
+
+    def test_filtered_view(self):
+        bench = PCGBench(problem_types=["sort"], models=["serial", "mpi"])
+        assert len(bench) == 10
+        assert {p.model for p in bench.prompts} == {"serial", "mpi"}
+
+    def test_invalid_filters(self):
+        with pytest.raises(ValueError):
+            PCGBench(problem_types=["bogus"])
+        with pytest.raises(ValueError):
+            PCGBench(models=["fortran"])
+
+    def test_lookup(self):
+        bench = full_benchmark()
+        assert bench.problem("gemm").ptype == "dense_la"
+        assert bench.prompt("scan/prefix_sum/openmp").model == "openmp"
+        with pytest.raises(KeyError):
+            bench.problem("nope")
+
+    def test_by_model_and_type(self):
+        bench = full_benchmark()
+        assert len(bench.by_model("cuda")) == 60
+        assert len(bench.by_type("fft")) == 35
+
+
+class TestPrompts:
+    def test_prompt_mentions_model(self):
+        p = all_problems()[0]
+        assert "OpenMP" in render_prompt(p, "openmp").text
+        assert "MPI" in render_prompt(p, "mpi").text
+        assert "CUDA" in render_prompt(p, "cuda").text
+
+    def test_serial_prompt_has_no_instruction(self):
+        p = all_problems()[0]
+        text = render_prompt(p, "serial").text
+        for word in ("OpenMP", "MPI", "CUDA", "Kokkos", "HIP"):
+            assert word not in text
+
+    def test_prompt_ends_with_open_signature(self):
+        p = all_problems()[0]
+        text = render_prompt(p, "serial").text
+        assert text.rstrip().endswith("{")
+        assert f"kernel {p.name}(" in text
+
+    def test_gpu_prompt_adds_result_buffer_for_scalar_returns(self):
+        prob = next(p for p in all_problems() if p.name == "sum_of_elements")
+        cuda = render_prompt(prob, "cuda").text
+        serial = render_prompt(prob, "serial").text
+        assert "result: array<float>" in cuda
+        assert "result" not in serial
+        assert "-> float" not in cuda
+
+    def test_examples_present(self):
+        p = all_problems()[0]
+        assert "Examples:" in render_prompt(p, "serial").text
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError):
+            render_prompt(all_problems()[0], "openacc")
+
+
+class TestProblemSpecs:
+    @pytest.mark.parametrize("problem", all_problems(), ids=lambda p: p.name)
+    def test_generate_and_reference_agree(self, problem):
+        rng = np.random.default_rng(7)
+        inputs = problem.generate(rng, problem.correctness_size)
+        assert set(p.name for p in problem.params) == set(inputs)
+        expected = problem.reference(inputs)
+        for p in problem.checked_params():
+            assert p.name in expected
+        if problem.ret is not None:
+            assert "return" in expected
+
+    @pytest.mark.parametrize("problem", all_problems(), ids=lambda p: p.name)
+    def test_check_accepts_reference_outputs(self, problem):
+        """The checker must accept the reference's own outputs."""
+        from repro.runtime import Array
+
+        rng = np.random.default_rng(11)
+        inputs = problem.generate(rng, problem.correctness_size)
+        expected = problem.reference(inputs)
+        args = []
+        for p in problem.params:
+            if p.name in expected and p.role in ("out", "inout"):
+                args.append(Array.from_numpy(
+                    np.asarray(expected[p.name]),
+                    "int" if p.type.endswith("<int>") else "float",
+                ))
+            else:
+                v = inputs[p.name]
+                if isinstance(v, np.ndarray):
+                    args.append(Array.from_numpy(
+                        v, "int" if p.type.endswith("<int>") else "float"))
+                else:
+                    args.append(v)
+        ret = expected.get("return")
+        if problem.ret == "int" and ret is not None:
+            ret = int(ret)
+        elif problem.ret == "float" and ret is not None:
+            ret = float(ret)
+        assert problem.check(inputs, args, ret)
+
+    @pytest.mark.parametrize("problem", all_problems(), ids=lambda p: p.name)
+    def test_check_rejects_perturbed_outputs(self, problem):
+        from repro.runtime import Array
+
+        rng = np.random.default_rng(13)
+        inputs = problem.generate(rng, problem.correctness_size)
+        expected = problem.reference(inputs)
+        args = []
+        for p in problem.params:
+            src = expected[p.name] if (
+                p.name in expected and p.role in ("out", "inout")
+            ) else inputs[p.name]
+            if isinstance(src, np.ndarray):
+                arr = Array.from_numpy(
+                    np.asarray(src),
+                    "int" if p.type.endswith("<int>") else "float")
+                args.append(arr)
+            else:
+                args.append(src)
+        ret = expected.get("return")
+        if problem.ret is not None:
+            # break the return value
+            bad_ret = (int(ret) + 7) if problem.ret == "int" else float(ret) + 1e3
+            assert not problem.check(inputs, args, bad_ret)
+        else:
+            # break one checked array element
+            target = problem.checked_params()[0].name
+            idx = [p.name for p in problem.params].index(target)
+            args[idx].data[0] += 5
+            assert not problem.check(inputs, args, None)
+
+
+class TestBaselines:
+    def test_every_problem_has_a_baseline(self):
+        for p in all_problems():
+            assert baseline_source(p.name)
+
+    @pytest.mark.parametrize("problem", all_problems(), ids=lambda p: p.name)
+    def test_baseline_correct(self, problem):
+        program = compile_program(compile_source(baseline_source(problem.name)))
+        rng = np.random.default_rng(17)
+        inputs = problem.generate(rng, problem.correctness_size)
+        args = problem.to_minipar_args(inputs)
+        ctx = ExecCtx(DEFAULT_MACHINE, SerialRuntime())
+        ret = program.run_kernel(problem.entry, ctx, args)
+        assert problem.check(inputs, args, ret)
+
+    def test_fft_baseline_is_nloglogn_not_quadratic(self):
+        """The DFT baseline must be the fast transform (cost grows ~n log n,
+        not n^2) — that asymmetry drives the paper's fft speedup findings."""
+        problem = next(p for p in all_problems() if p.name == "dft")
+        program = compile_program(compile_source(baseline_source("dft")))
+        costs = {}
+        for size in (512, 2048):
+            rng = np.random.default_rng(1)
+            inputs = problem.generate(rng, size)
+            ctx = ExecCtx(DEFAULT_MACHINE, SerialRuntime())
+            program.run_kernel(problem.entry, ctx,
+                               problem.to_minipar_args(inputs))
+            costs[size] = ctx.cost
+        n1 = len(problem.generate(np.random.default_rng(1), 512)["re"])
+        n2 = len(problem.generate(np.random.default_rng(1), 2048)["re"])
+        ratio = costs[2048] / costs[512]
+        quadratic_ratio = (n2 / n1) ** 2
+        assert ratio < quadratic_ratio / 1.8

@@ -1,0 +1,106 @@
+"""Unit tests for the GPU result-buffer conventions on Problem."""
+
+import numpy as np
+import pytest
+
+from repro.bench import all_problems
+from repro.runtime import Array
+
+
+def problem(name):
+    return next(p for p in all_problems() if p.name == name)
+
+
+class TestGpuParams:
+    def test_scalar_return_gains_result_param(self):
+        p = problem("sum_of_elements")
+        names = [q.name for q in p.gpu_params()]
+        assert names[-1] == "result"
+        assert p.gpu_params()[-1].type == "array<float>"
+
+    def test_int_return_gets_int_buffer(self):
+        p = problem("count_above_threshold")
+        assert p.gpu_params()[-1].type == "array<int>"
+
+    def test_void_problems_unchanged(self):
+        p = problem("relu")
+        assert p.gpu_params() == p.params
+
+    def test_signature_model_dependent(self):
+        p = problem("sum_of_elements")
+        assert "-> float" in p.signature("serial")
+        assert "-> float" not in p.signature("cuda")
+        assert "result" in p.signature("hip")
+
+
+class TestGpuSeeds:
+    def test_default_zero(self):
+        p = problem("sum_of_elements")
+        assert p.gpu_result_seed({}) == 0
+
+    def test_min_reduction_seed(self):
+        p = problem("smallest_element")
+        assert p.gpu_result_seed({}) == 1e30
+
+    def test_search_seed_is_length(self):
+        p = problem("index_of_first")
+        inputs = {"x": np.zeros(17), "v": 1.0}
+        assert p.gpu_result_seed(inputs) == 17
+
+    def test_search_expected_maps_not_found(self):
+        p = problem("index_of_first")
+        rng = np.random.default_rng(0)
+        inputs = p.generate(rng, 64)
+        want_host = p.reference(inputs)["return"]
+        want_gpu = p.gpu_expected_result(inputs)
+        if want_host == -1:
+            assert want_gpu == len(inputs["x"])
+        else:
+            assert want_gpu == want_host
+
+
+class TestGpuCheck:
+    def test_accepts_reference_result(self):
+        p = problem("sum_of_elements")
+        rng = np.random.default_rng(1)
+        inputs = p.generate(rng, 64)
+        x = Array.from_numpy(inputs["x"])
+        result = Array.from_list([p.gpu_expected_result(inputs)], "float")
+        assert p.gpu_check(inputs, [x, result])
+
+    def test_rejects_wrong_result(self):
+        p = problem("sum_of_elements")
+        rng = np.random.default_rng(1)
+        inputs = p.generate(rng, 64)
+        x = Array.from_numpy(inputs["x"])
+        result = Array.from_list(
+            [float(p.gpu_expected_result(inputs)) + 123.0], "float")
+        assert not p.gpu_check(inputs, [x, result])
+
+    def test_rejects_missing_buffer(self):
+        p = problem("sum_of_elements")
+        rng = np.random.default_rng(1)
+        inputs = p.generate(rng, 64)
+        x = Array.from_numpy(inputs["x"])
+        assert not p.gpu_check(inputs, [x, 3.0])
+
+    def test_void_problem_checks_arrays(self):
+        p = problem("relu")
+        rng = np.random.default_rng(1)
+        inputs = p.generate(rng, 64)
+        good = Array.from_numpy(np.asarray(p.reference(inputs)["x"]))
+        assert p.gpu_check(inputs, [good])
+        bad = good.copy()
+        bad.data[0] -= 1.0
+        assert not p.gpu_check(inputs, [bad])
+
+    def test_int_result_checked_exactly(self):
+        p = problem("count_above_threshold")
+        rng = np.random.default_rng(1)
+        inputs = p.generate(rng, 64)
+        x = Array.from_numpy(inputs["x"])
+        want = int(p.gpu_expected_result(inputs))
+        ok = Array.from_list([want], "int")
+        assert p.gpu_check(inputs, [x, inputs["t"], ok])
+        off = Array.from_list([want + 1], "int")
+        assert not p.gpu_check(inputs, [x, inputs["t"], off])

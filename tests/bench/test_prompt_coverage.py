@@ -1,0 +1,64 @@
+"""Coverage sweep: all 420 prompts render, and every baseline runs under
+every compatible configuration (serial correctness already covered; here
+we pin prompt-side invariants the simulated LLMs depend on)."""
+
+import pytest
+
+from repro.bench import EXECUTION_MODELS, full_benchmark
+from repro.harness.usagecheck import uses_parallel_model
+
+BENCH = full_benchmark()
+
+
+def test_all_420_prompts_render_nonempty():
+    assert len(BENCH.prompts) == 420
+    for prompt in BENCH.prompts:
+        assert prompt.text.startswith("/*")
+        assert prompt.text.rstrip().endswith("{")
+        assert f"kernel {prompt.problem.name}(" in prompt.text
+
+
+def test_uids_unique_and_parseable():
+    uids = [p.uid for p in BENCH.prompts]
+    assert len(set(uids)) == 420
+    for uid in uids:
+        ptype, name, model = uid.split("/")
+        assert model in EXECUTION_MODELS
+
+
+def test_prompt_text_never_leaks_other_models():
+    """A serial prompt must not mention any parallel model; an OpenMP
+    prompt must not mention MPI; etc. — prompt-instruction hygiene."""
+    mentions = {
+        "openmp": "OpenMP", "kokkos": "Kokkos", "mpi": "MPI",
+        "cuda": "CUDA", "hip": "HIP",
+    }
+    for prompt in BENCH.prompts:
+        for model, word in mentions.items():
+            if prompt.model == "mpi+omp" and model in ("mpi", "openmp"):
+                continue
+            if prompt.model == model:
+                continue
+            # graph/geometry descriptions never use these words, so any
+            # occurrence is an instruction leak
+            assert word not in prompt.text, (prompt.uid, word)
+
+
+def test_gpu_prompts_gain_result_param_only_for_scalar_returns():
+    for prompt in BENCH.prompts:
+        has_result = "result:" in prompt.text
+        if prompt.model in ("cuda", "hip"):
+            assert has_result == (prompt.problem.ret is not None), prompt.uid
+        else:
+            assert not has_result, prompt.uid
+
+
+def test_usage_patterns_do_not_misfire_on_prompts():
+    """The usage check runs against generated code, which echoes the
+    prompt's signature; the signature itself must never satisfy a
+    parallel-usage pattern (else empty completions would 'use' the model)."""
+    for prompt in BENCH.prompts:
+        if prompt.model == "serial":
+            continue
+        signature_only = prompt.problem.signature(prompt.model) + "\n}"
+        assert not uses_parallel_model(signature_only, prompt.model), prompt.uid

@@ -1,0 +1,118 @@
+"""Tests for the link and parallel-model usage checks (paper §7.2)."""
+
+import pytest
+
+from repro.harness import link_error, uses_parallel_model
+from repro.lang import compile_source
+
+OMP_SRC = """
+kernel f(x: array<float>) {
+    pragma omp parallel for
+    for (i in 0..len(x)) { x[i] = 0.0; }
+}
+"""
+
+KOKKOS_SRC = """
+kernel f(x: array<float>) {
+    parallel_for(len(x), (i) => { x[i] = 0.0; });
+}
+"""
+
+MPI_SRC = """
+kernel f(x: array<float>) -> float {
+    return mpi_allreduce_float(1.0, "sum");
+}
+"""
+
+GPU_SRC = """
+kernel f(x: array<float>) {
+    let i = block_idx() * block_dim() + thread_idx();
+    if (i < len(x)) { x[i] = 0.0; }
+}
+"""
+
+SERIAL_SRC = """
+kernel f(x: array<float>) {
+    for (i in 0..len(x)) { x[i] = 0.0; }
+}
+"""
+
+HYBRID_SRC = """
+kernel f(x: array<float>) -> float {
+    let local = 0.0;
+    pragma omp parallel for reduction(+: local)
+    for (i in 0..len(x)) { local += x[i]; }
+    return mpi_allreduce_float(local, "sum");
+}
+"""
+
+
+class TestLinkCheck:
+    def test_serial_links_everywhere_basic(self):
+        cp = compile_source(SERIAL_SRC)
+        for model in ("serial", "openmp", "kokkos", "mpi", "cuda", "hip"):
+            assert link_error(cp, model) is None
+
+    def test_omp_pragmas_compile_without_fopenmp(self):
+        # pragmas are ignored when OpenMP is not linked — never a link error
+        cp = compile_source(OMP_SRC)
+        for model in ("serial", "kokkos", "mpi", "cuda"):
+            assert link_error(cp, model) is None
+
+    def test_kokkos_requires_kokkos(self):
+        cp = compile_source(KOKKOS_SRC)
+        assert link_error(cp, "kokkos") is None
+        assert link_error(cp, "serial") is not None
+        assert link_error(cp, "openmp") is not None
+        assert link_error(cp, "cuda") is not None
+
+    def test_mpi_requires_mpi(self):
+        cp = compile_source(MPI_SRC)
+        assert link_error(cp, "mpi") is None
+        assert link_error(cp, "mpi+omp") is None
+        assert link_error(cp, "serial") is not None
+
+    def test_gpu_requires_gpu(self):
+        cp = compile_source(GPU_SRC)
+        assert link_error(cp, "cuda") is None
+        assert link_error(cp, "hip") is None
+        assert link_error(cp, "openmp") is not None
+
+    def test_atomics_link_everywhere(self):
+        cp = compile_source(
+            "kernel f(h: array<int>) { atomic_add(h, 0, 1); }"
+        )
+        for model in ("serial", "openmp", "kokkos", "mpi", "cuda", "hip"):
+            assert link_error(cp, model) is None
+
+    def test_error_names_the_offender(self):
+        cp = compile_source(MPI_SRC)
+        msg = link_error(cp, "serial")
+        assert "mpi_allreduce_float" in msg
+
+
+class TestUsageCheck:
+    def test_serial_always_passes(self):
+        assert uses_parallel_model(SERIAL_SRC, "serial")
+
+    def test_openmp_detects_pragma(self):
+        assert uses_parallel_model(OMP_SRC, "openmp")
+        assert not uses_parallel_model(SERIAL_SRC, "openmp")
+
+    def test_kokkos_detects_patterns(self):
+        assert uses_parallel_model(KOKKOS_SRC, "kokkos")
+        assert not uses_parallel_model(SERIAL_SRC, "kokkos")
+
+    def test_mpi_detects_calls(self):
+        assert uses_parallel_model(MPI_SRC, "mpi")
+        assert not uses_parallel_model(OMP_SRC, "mpi")
+
+    def test_gpu_detects_intrinsics(self):
+        assert uses_parallel_model(GPU_SRC, "cuda")
+        assert uses_parallel_model(GPU_SRC, "hip")
+        assert not uses_parallel_model(SERIAL_SRC, "cuda")
+
+    def test_hybrid_requires_both(self):
+        assert uses_parallel_model(HYBRID_SRC, "mpi+omp")
+        assert not uses_parallel_model(MPI_SRC, "mpi+omp")
+        assert not uses_parallel_model(OMP_SRC, "mpi+omp")

@@ -1,0 +1,71 @@
+"""Property-style tests: the front end must reject mutated/truncated
+sources with CompileError — never crash, never mis-accept garbage silently.
+
+The bug injectors lean on this: a syntax mutation must surface as a
+recorded build failure, not an interpreter exception.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench import all_problems, baseline_source
+from repro.lang import CompileError, compile_source
+
+SOURCES = [baseline_source(p.name) for p in all_problems()[:20]]
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    which=st.integers(0, len(SOURCES) - 1),
+    cut=st.floats(0.05, 0.95),
+)
+def test_truncated_programs_fail_cleanly(which, cut):
+    src = SOURCES[which]
+    truncated = src[: int(len(src) * cut)]
+    try:
+        compile_source(truncated)
+    except CompileError:
+        pass  # the expected outcome for almost every cut point
+    # a lucky cut may still be a valid program; that is fine too
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    which=st.integers(0, len(SOURCES) - 1),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_random_character_edits_never_crash_the_frontend(which, seed):
+    rng = np.random.default_rng(seed)
+    src = list(SOURCES[which])
+    for _ in range(int(rng.integers(1, 4))):
+        pos = int(rng.integers(0, len(src)))
+        action = rng.integers(0, 3)
+        if action == 0:
+            src[pos] = chr(int(rng.integers(33, 126)))
+        elif action == 1:
+            del src[pos]
+        else:
+            src.insert(pos, chr(int(rng.integers(33, 126))))
+    mutated = "".join(src)
+    try:
+        compile_source(mutated)
+    except CompileError:
+        pass
+
+
+def test_compile_error_positions_are_reported():
+    with pytest.raises(CompileError) as ei:
+        compile_source("kernel f() {\n    let a = ;\n}")
+    assert ei.value.line == 2
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+               max_size=120))
+def test_arbitrary_ascii_never_crashes(text):
+    try:
+        compile_source(text)
+    except CompileError:
+        pass

@@ -1,0 +1,227 @@
+"""Differential testing: hypothesis-generated expressions must evaluate
+identically under the MiniPar closure compiler and a Python oracle that
+implements the documented semantics (C-style truncating integer division,
+int->float promotion, short-circuit logic)."""
+
+import math
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.lang import compile_source
+from repro.lang.errors import TrapError
+from repro.runtime import DEFAULT_MACHINE, ExecCtx, SerialRuntime, compile_program
+
+
+# -- a tiny expression AST with a Python oracle -------------------------------
+
+class E:
+    def render(self):
+        raise NotImplementedError
+
+    def value(self, env):
+        raise NotImplementedError
+
+    def is_int(self):
+        raise NotImplementedError
+
+
+class Lit(E):
+    def __init__(self, v):
+        self.v = v
+
+    def render(self):
+        if isinstance(self.v, int):
+            return f"({self.v})" if self.v < 0 else str(self.v)
+        return repr(float(self.v))
+
+    def value(self, env):
+        return self.v
+
+    def is_int(self):
+        return isinstance(self.v, int)
+
+
+class Var(E):
+    def __init__(self, name, as_int):
+        self.name = name
+        self.as_int = as_int
+
+    def render(self):
+        return self.name
+
+    def value(self, env):
+        return env[self.name]
+
+    def is_int(self):
+        return self.as_int
+
+
+def _idiv(a, b):
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+class Bin(E):
+    def __init__(self, op, left, right):
+        self.op, self.left, self.right = op, left, right
+
+    def render(self):
+        return f"({self.left.render()} {self.op} {self.right.render()})"
+
+    def is_int(self):
+        return self.left.is_int() and self.right.is_int()
+
+    def value(self, env):
+        a, b = self.left.value(env), self.right.value(env)
+        if self.op == "+":
+            return a + b
+        if self.op == "-":
+            return a - b
+        if self.op == "*":
+            return a * b
+        if self.op == "/":
+            if b == 0:
+                raise ZeroDivisionError
+            if self.is_int():
+                return _idiv(a, b)
+            return a / b
+        if self.op == "%":
+            if b == 0:
+                raise ZeroDivisionError
+            return a - _idiv(a, b) * b
+        raise AssertionError(self.op)
+
+
+class Call1(E):
+    FNS = {"abs": abs, "sqrt": math.sqrt}
+
+    def __init__(self, fn, arg):
+        self.fn, self.arg = fn, arg
+
+    def render(self):
+        return f"{self.fn}({self.arg.render()})"
+
+    def is_int(self):
+        return self.fn == "abs" and self.arg.is_int()
+
+    def value(self, env):
+        v = self.arg.value(env)
+        if self.fn == "sqrt" and v < 0:
+            raise ValueError
+        return self.FNS[self.fn](v)
+
+
+class Select(E):
+    def __init__(self, cmp_op, a, b, then, els):
+        self.cmp_op, self.a, self.b = cmp_op, a, b
+        self.then, self.els = then, els
+
+    def render(self):
+        return (f"select({self.a.render()} {self.cmp_op} {self.b.render()}, "
+                f"{self.then.render()}, {self.els.render()})")
+
+    def is_int(self):
+        return self.then.is_int() and self.els.is_int()
+
+    def value(self, env):
+        import operator
+
+        ops = {"<": operator.lt, "<=": operator.le, ">": operator.gt,
+               ">=": operator.ge, "==": operator.eq, "!=": operator.ne}
+        if ops[self.cmp_op](self.a.value(env), self.b.value(env)):
+            return self.then.value(env)
+        return self.els.value(env)
+
+
+# -- strategies -------------------------------------------------------------------
+
+_small_int = st.integers(-40, 40)
+_small_float = st.floats(-20.0, 20.0, allow_nan=False).map(
+    lambda v: round(v, 3))
+
+
+def exprs(max_depth=3):
+    base = st.one_of(
+        _small_int.map(Lit),
+        _small_float.map(Lit),
+        st.sampled_from([Var("iv", True), Var("fv", False)]),
+    )
+
+    def extend(children):
+        num = st.one_of(
+            st.builds(Bin, st.sampled_from("+-*/"), children, children),
+            st.builds(Call1, st.just("abs"), children),
+            st.builds(Select, st.sampled_from(["<", "<=", ">", "==", "!="]),
+                      children, children, children, children),
+        )
+        return num
+
+    return st.recursive(base, extend, max_leaves=12)
+
+
+@settings(max_examples=250, deadline=None)
+@given(expr=exprs(), iv=_small_int, fv=_small_float)
+def test_expression_semantics_match_oracle(expr, iv, fv):
+    env = {"iv": iv, "fv": fv}
+    try:
+        expected = expr.value(env)
+    except (ZeroDivisionError, ValueError, OverflowError):
+        expected = None
+    assume(expected is None or abs(expected) < 1e12)
+
+    ret_ty = "int" if expr.is_int() else "float"
+    src = (
+        f"kernel f(iv: int, fv: float) -> {ret_ty} {{\n"
+        f"    return {expr.render()};\n"
+        f"}}\n"
+    )
+    program = compile_program(compile_source(src))
+    ctx = ExecCtx(DEFAULT_MACHINE, SerialRuntime())
+    if expected is None:
+        with pytest.raises(TrapError):
+            program.run_kernel("f", ctx, [iv, fv])
+        return
+    got = program.run_kernel("f", ctx, [iv, fv])
+    if ret_ty == "int":
+        assert got == expected
+    else:
+        assert got == pytest.approx(float(expected), rel=1e-9, abs=1e-9)
+
+
+@settings(max_examples=100, deadline=None)
+@given(xs=st.lists(_small_float, min_size=1, max_size=30))
+def test_reduction_loop_matches_python_sum(xs):
+    src = """
+    kernel total(x: array<float>) -> float {
+        let acc = 0.0;
+        for (i in 0..len(x)) {
+            acc += x[i];
+        }
+        return acc;
+    }
+    """
+    from repro.runtime import Array
+
+    program = compile_program(compile_source(src))
+    ctx = ExecCtx(DEFAULT_MACHINE, SerialRuntime())
+    got = program.run_kernel("total", ctx,
+                             [Array.from_list([float(v) for v in xs], "float")])
+    expected = 0.0
+    for v in xs:
+        expected += float(v)
+    assert got == pytest.approx(expected, rel=1e-12, abs=1e-12)
+
+
+@settings(max_examples=100, deadline=None)
+@given(xs=st.lists(_small_float, min_size=1, max_size=30))
+def test_builtin_sort_matches_python_sorted(xs):
+    from repro.runtime import Array
+
+    src = "kernel s(x: array<float>) { sort(x); }"
+    program = compile_program(compile_source(src))
+    arr = Array.from_list([float(v) for v in xs], "float")
+    ctx = ExecCtx(DEFAULT_MACHINE, SerialRuntime())
+    program.run_kernel("s", ctx, [arr])
+    assert arr.data == sorted(float(v) for v in xs)

@@ -1,0 +1,118 @@
+"""Unit tests for the MiniPar lexer."""
+
+import pytest
+
+from repro.lang.errors import LexError
+from repro.lang.lexer import lex
+from repro.lang.tokens import TokKind
+
+
+def kinds(source):
+    return [t.kind for t in lex(source)]
+
+
+def texts(source):
+    return [t.text for t in lex(source)[:-1]]
+
+
+class TestBasicTokens:
+    def test_empty_source_yields_eof(self):
+        toks = lex("")
+        assert len(toks) == 1
+        assert toks[0].kind is TokKind.EOF
+
+    def test_integer_literal(self):
+        toks = lex("42")
+        assert toks[0].kind is TokKind.INT
+        assert toks[0].text == "42"
+
+    def test_float_literal(self):
+        toks = lex("3.25")
+        assert toks[0].kind is TokKind.FLOAT
+        assert toks[0].text == "3.25"
+
+    def test_float_with_exponent(self):
+        toks = lex("1e-3 2.5E+2")
+        assert toks[0].kind is TokKind.FLOAT
+        assert toks[1].kind is TokKind.FLOAT
+
+    def test_name(self):
+        toks = lex("foo_bar2")
+        assert toks[0].kind is TokKind.NAME
+        assert toks[0].text == "foo_bar2"
+
+    def test_string_literal(self):
+        toks = lex('"sum"')
+        assert toks[0].kind is TokKind.STRING
+        assert toks[0].text == "sum"
+
+    def test_range_vs_float_dot(self):
+        # "0..n" must lex as INT DOTDOT NAME, not a malformed float
+        toks = lex("0..n")
+        assert [t.kind for t in toks[:3]] == [TokKind.INT, TokKind.DOTDOT, TokKind.NAME]
+
+    def test_two_char_operators(self):
+        src = "<= >= == != && || += -= *= /= -> => .."
+        expected = [
+            TokKind.LE, TokKind.GE, TokKind.EQEQ, TokKind.NEQ,
+            TokKind.ANDAND, TokKind.OROR, TokKind.PLUSEQ, TokKind.MINUSEQ,
+            TokKind.STAREQ, TokKind.SLASHEQ, TokKind.ARROW, TokKind.FATARROW,
+            TokKind.DOTDOT, TokKind.EOF,
+        ]
+        assert kinds(src) == expected
+
+    def test_one_char_operators(self):
+        assert kinds("+ - * / % < > = !")[:-1] == [
+            TokKind.PLUS, TokKind.MINUS, TokKind.STAR, TokKind.SLASH,
+            TokKind.PERCENT, TokKind.LT, TokKind.GT, TokKind.ASSIGN, TokKind.NOT,
+        ]
+
+
+class TestTrivia:
+    def test_line_comment(self):
+        assert texts("x // the variable\ny") == ["x", "y"]
+
+    def test_block_comment(self):
+        assert texts("x /* several\nlines */ y") == ["x", "y"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            lex("x /* oops")
+
+    def test_whitespace_only(self):
+        assert kinds("  \t \n ") == [TokKind.EOF]
+
+
+class TestPositions:
+    def test_line_and_column_tracking(self):
+        toks = lex("a\n  b")
+        assert (toks[0].line, toks[0].col) == (1, 1)
+        assert (toks[1].line, toks[1].col) == (2, 3)
+
+    def test_error_position(self):
+        with pytest.raises(LexError) as ei:
+            lex("x\n  @")
+        assert ei.value.line == 2
+        assert ei.value.col == 3
+
+
+class TestLexErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            lex("a $ b")
+
+    def test_digit_required_after_decimal_point_mid_expr(self):
+        with pytest.raises(LexError):
+            lex("1.x")
+
+    def test_malformed_exponent(self):
+        with pytest.raises(LexError):
+            lex("1e+")
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            lex('"abc')
+
+    def test_string_with_newline(self):
+        with pytest.raises(LexError):
+            lex('"ab\ncd"')

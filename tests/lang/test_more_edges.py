@@ -1,0 +1,109 @@
+"""Additional language edge cases accumulated during development."""
+
+import pytest
+
+from repro.lang import compile_source, parse, unparse
+from repro.lang.errors import ParseError, TypeError_
+
+
+class TestParserEdges:
+    def test_num_threads_clause_round_trips(self):
+        src = ("kernel f(x: array<float>) { "
+               "pragma omp parallel for num_threads(8) "
+               "for (i in 0..len(x)) { x[i] = 0.0; } }")
+        out = unparse(parse(src))
+        assert "num_threads(8)" in out
+        assert unparse(parse(out)) == out
+
+    def test_deeply_nested_expressions(self):
+        depth = 40
+        src = ("kernel f() -> int { return "
+               + "(" * depth + "1" + ")" * depth + " + 1; }")
+        compile_source(src)
+
+    def test_deeply_nested_blocks(self):
+        body = "if (true) { " * 25 + "let a = 1;" + " }" * 25
+        compile_source(f"kernel f() {{ {body} }}")
+
+    def test_comment_only_kernel_body(self):
+        compile_source("kernel f() { /* nothing to do */ }")
+
+    def test_crlf_and_tabs_tolerated(self):
+        compile_source("kernel f() {\r\n\tlet a = 1;\r\n}")
+
+    def test_adjacent_unary_minus_and_range(self):
+        # '-1..n' style text: unary minus binds to the literal
+        prog = parse("kernel f(n: int) { for (i in 0..n) { let a = -1; } }")
+        assert prog.kernels[0].name == "f"
+
+    def test_call_trailing_comma_rejected(self):
+        with pytest.raises(ParseError):
+            parse("kernel f() { let a = max(1, ); }")
+
+    def test_empty_parens_expression_rejected(self):
+        with pytest.raises(ParseError):
+            parse("kernel f() { let a = (); }")
+
+
+class TestTypecheckEdges:
+    def test_return_inside_nested_loop_in_parallel_for_rejected(self):
+        with pytest.raises(TypeError_):
+            compile_source(
+                "kernel f(x: array<float>) -> int { "
+                "pragma omp parallel for "
+                "for (i in 0..len(x)) { "
+                "for (j in 0..4) { return 1; } } return 0; }"
+            )
+
+    def test_break_in_nested_serial_loop_inside_parallel_ok(self):
+        compile_source(
+            "kernel f(x: array<float>) { "
+            "pragma omp parallel for "
+            "for (i in 0..len(x)) { "
+            "for (j in 0..4) { break; } } }"
+        )
+
+    def test_continue_in_parallel_for_ok(self):
+        compile_source(
+            "kernel f(x: array<float>) { "
+            "pragma omp parallel for "
+            "for (i in 0..len(x)) { "
+            "if (x[i] < 0.0) { continue; } x[i] = 1.0; } }"
+        )
+
+    def test_lambda_cannot_shadow_visible_name(self):
+        with pytest.raises(TypeError_):
+            compile_source(
+                "kernel f(x: array<float>, i: int) { "
+                "parallel_for(len(x), (i) => { x[i] = 0.0; }); }"
+            )
+
+    def test_sequential_lambdas_reuse_param_name(self):
+        compile_source(
+            "kernel f(x: array<float>) { "
+            "parallel_for(len(x), (i) => { x[i] = 0.0; }); "
+            "parallel_for(len(x), (i) => { x[i] = 1.0; }); }"
+        )
+
+    def test_helper_call_before_definition(self):
+        compile_source(
+            "kernel f() -> int { return g(); } "
+            "kernel g() -> int { return 1; }"
+        )
+
+    def test_mutual_recursion_typechecks(self):
+        compile_source(
+            "kernel is_even(n: int) -> int { "
+            "if (n == 0) { return 1; } return is_odd(n - 1); } "
+            "kernel is_odd(n: int) -> int { "
+            "if (n == 0) { return 0; } return is_even(n - 1); }"
+        )
+
+    def test_string_literal_only_in_operator_slots(self):
+        with pytest.raises(TypeError_):
+            compile_source('kernel f() { let a = "sum"; }')
+
+    def test_bool_array_params_supported(self):
+        compile_source(
+            "kernel f(flags: array<bool>) -> bool { return flags[0]; }"
+        )

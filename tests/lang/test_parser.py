@@ -1,0 +1,269 @@
+"""Unit tests for the MiniPar parser."""
+
+import pytest
+
+from repro.lang import ast
+from repro.lang.errors import ParseError
+from repro.lang.parser import parse
+from repro.lang import types as T
+
+
+SAXPY = """
+kernel saxpy(a: float, x: array<float>, y: array<float>) {
+    for (i in 0..len(x)) {
+        y[i] = a * x[i] + y[i];
+    }
+}
+"""
+
+
+class TestKernels:
+    def test_simple_kernel(self):
+        prog = parse(SAXPY)
+        assert len(prog.kernels) == 1
+        k = prog.kernels[0]
+        assert k.name == "saxpy"
+        assert [p.name for p in k.params] == ["a", "x", "y"]
+        assert k.params[0].type is T.FLOAT
+        assert k.params[1].type is T.ARRAY_FLOAT
+        assert k.ret is None
+
+    def test_return_type(self):
+        prog = parse("kernel f(x: int) -> float { return float(x); }")
+        assert prog.kernels[0].ret is T.FLOAT
+
+    def test_multiple_kernels(self):
+        prog = parse("kernel a() { } kernel b() { }")
+        assert [k.name for k in prog.kernels] == ["a", "b"]
+        assert prog.kernel("b").name == "b"
+
+    def test_kernel_lookup_missing(self):
+        prog = parse("kernel a() { }")
+        with pytest.raises(KeyError):
+            prog.kernel("nope")
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(ParseError):
+            parse("   ")
+
+    def test_2d_array_param(self):
+        prog = parse("kernel f(m: array2d<float>) { }")
+        assert prog.kernels[0].params[0].type is T.ARRAY2D_FLOAT
+
+
+class TestStatements:
+    def _body(self, stmts_src):
+        prog = parse("kernel f(x: array<float>, n: int) { %s }" % stmts_src)
+        return prog.kernels[0].body.stmts
+
+    def test_let_with_annotation(self):
+        (s,) = self._body("let total: float = 0.0;")
+        assert isinstance(s, ast.Let)
+        assert s.declared is T.FLOAT
+
+    def test_let_inferred(self):
+        (s,) = self._body("let total = 0;")
+        assert s.declared is None
+
+    def test_compound_assignment(self):
+        (s,) = self._body("x[0] += 1.0;")
+        assert isinstance(s, ast.Assign)
+        assert s.op == "+="
+        assert isinstance(s.target, ast.Index)
+
+    def test_if_else_chain(self):
+        (s,) = self._body("if (n > 0) { } else if (n < 0) { } else { }")
+        assert isinstance(s, ast.If)
+        assert isinstance(s.orelse, ast.If)
+        assert isinstance(s.orelse.orelse, ast.Block)
+
+    def test_for_with_step(self):
+        (s,) = self._body("for (i in 0..n step 2) { }")
+        assert isinstance(s, ast.For)
+        assert s.step is not None
+
+    def test_while(self):
+        (s,) = self._body("while (n > 0) { break; }")
+        assert isinstance(s, ast.While)
+        assert isinstance(s.body.stmts[0], ast.Break)
+
+    def test_return_void(self):
+        (s,) = self._body("return;")
+        assert isinstance(s, ast.Return)
+        assert s.value is None
+
+    def test_bad_assignment_target(self):
+        with pytest.raises(ParseError):
+            self._body("1 + 2 = 3;")
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            self._body("let a = 1")
+
+    def test_unterminated_block(self):
+        with pytest.raises(ParseError):
+            parse("kernel f() { let a = 1;")
+
+
+class TestOmpPragmas:
+    def test_parallel_for(self):
+        prog = parse(
+            """
+            kernel f(x: array<float>) {
+                pragma omp parallel for
+                for (i in 0..len(x)) { x[i] = 0.0; }
+            }
+            """
+        )
+        (s,) = prog.kernels[0].body.stmts
+        assert isinstance(s, ast.OmpParallelFor)
+        assert s.clauses == ()
+
+    def test_parallel_for_with_reduction(self):
+        prog = parse(
+            """
+            kernel f(x: array<float>) -> float {
+                let total = 0.0;
+                pragma omp parallel for reduction(+: total)
+                for (i in 0..len(x)) { total += x[i]; }
+                return total;
+            }
+            """
+        )
+        s = prog.kernels[0].body.stmts[1]
+        assert isinstance(s, ast.OmpParallelFor)
+        (c,) = s.clauses
+        assert (c.kind, c.op, c.var) == ("reduction", "+", "total")
+
+    def test_reduction_min(self):
+        prog = parse(
+            """
+            kernel f(x: array<float>) {
+                let m = 0.0;
+                pragma omp parallel for reduction(min: m) schedule(dynamic)
+                for (i in 0..len(x)) { m = min(m, x[i]); }
+            }
+            """
+        )
+        s = prog.kernels[0].body.stmts[1]
+        assert [c.kind for c in s.clauses] == ["reduction", "schedule"]
+        assert s.clauses[0].op == "min"
+        assert s.clauses[1].schedule == "dynamic"
+
+    def test_critical(self):
+        prog = parse(
+            """
+            kernel f(x: array<float>) {
+                pragma omp parallel for
+                for (i in 0..len(x)) {
+                    pragma omp critical
+                    { x[0] += 1.0; }
+                }
+            }
+            """
+        )
+        loop = prog.kernels[0].body.stmts[0].loop
+        assert isinstance(loop.body.stmts[0], ast.OmpCritical)
+
+    def test_atomic(self):
+        prog = parse(
+            """
+            kernel f(x: array<float>) {
+                pragma omp atomic
+                x[0] += 1.0;
+            }
+            """
+        )
+        (s,) = prog.kernels[0].body.stmts
+        assert isinstance(s, ast.OmpAtomic)
+        assert s.update.op == "+="
+
+    def test_parallel_for_requires_loop(self):
+        with pytest.raises(ParseError):
+            parse("kernel f() { pragma omp parallel for let a = 1; }")
+
+    def test_unknown_directive(self):
+        with pytest.raises(ParseError):
+            parse("kernel f() { pragma omp sections { } }")
+
+    def test_bad_reduction_operator(self):
+        with pytest.raises(ParseError):
+            parse(
+                "kernel f() { let s = 0; pragma omp parallel for "
+                "reduction(-: s) for (i in 0..4) { } }"
+            )
+
+
+class TestExpressions:
+    def _expr(self, src):
+        prog = parse("kernel f(x: array<float>, n: int) { let v = %s; }" % src)
+        return prog.kernels[0].body.stmts[0].init
+
+    def test_precedence_mul_over_add(self):
+        e = self._expr("1 + 2 * 3")
+        assert isinstance(e, ast.Binary) and e.op == "+"
+        assert isinstance(e.right, ast.Binary) and e.right.op == "*"
+
+    def test_parentheses(self):
+        e = self._expr("(1 + 2) * 3")
+        assert e.op == "*"
+        assert e.left.op == "+"
+
+    def test_comparison_binds_looser_than_arithmetic(self):
+        e = self._expr("n + 1 < 2 * n")
+        assert e.op == "<"
+
+    def test_logical_operators(self):
+        e = self._expr("n > 0 && n < 10 || n == 42")
+        assert e.op == "||"
+        assert e.left.op == "&&"
+
+    def test_unary_chain(self):
+        e = self._expr("--n")
+        assert isinstance(e, ast.Unary) and isinstance(e.operand, ast.Unary)
+
+    def test_index_2d(self):
+        e = self._expr("x[n, n]") if False else None
+        prog = parse("kernel f(m: array2d<float>, i: int) { let v = m[i, i]; }")
+        init = prog.kernels[0].body.stmts[0].init
+        assert isinstance(init, ast.Index)
+        assert len(init.indices) == 2
+
+    def test_call_with_args(self):
+        e = self._expr("max(n, 3)")
+        assert isinstance(e, ast.Call)
+        assert e.func == "max"
+        assert len(e.args) == 2
+
+    def test_lambda_expr_argument(self):
+        prog = parse(
+            'kernel f(x: array<float>) { '
+            'let s = parallel_reduce(len(x), "sum", (i) => x[i]); }'
+        )
+        call = prog.kernels[0].body.stmts[0].init
+        lam = call.args[2]
+        assert isinstance(lam, ast.Lambda)
+        assert lam.params == ("i",)
+        assert lam.body_expr is not None
+
+    def test_lambda_block_argument(self):
+        prog = parse(
+            "kernel f(x: array<float>) { "
+            "parallel_for(len(x), (i) => { x[i] = 0.0; }); }"
+        )
+        call = prog.kernels[0].body.stmts[0].expr
+        lam = call.args[1]
+        assert lam.body_block is not None
+
+    def test_parenthesized_expr_not_lambda(self):
+        e = self._expr("(n) + 1")
+        assert isinstance(e, ast.Binary)
+
+    def test_keyword_in_expression_rejected(self):
+        with pytest.raises(ParseError):
+            self._expr("let")
+
+    def test_range_of_calls(self):
+        prog = parse("kernel f(x: array<float>) { for (i in 0..len(x)) { } }")
+        loop = prog.kernels[0].body.stmts[0]
+        assert isinstance(loop.hi, ast.Call)

@@ -1,0 +1,274 @@
+"""Unit tests for the MiniPar type checker."""
+
+import pytest
+
+from repro.lang import compile_source
+from repro.lang.errors import TypeError_
+from repro.lang import types as T
+
+
+def ok(src):
+    return compile_source(src)
+
+
+def bad(src):
+    with pytest.raises(TypeError_) as ei:
+        compile_source(src)
+    return ei.value
+
+
+class TestDeclarations:
+    def test_infer_let_type(self):
+        cp = ok("kernel f() { let a = 1; let b = 2.0; let c = true; }")
+        assert cp.signatures["f"].ret is None
+
+    def test_annotation_promotion_int_to_float(self):
+        ok("kernel f() { let a: float = 1; }")
+
+    def test_annotation_mismatch(self):
+        err = bad("kernel f() { let a: int = 1.5; }")
+        assert "initialize" in str(err)
+
+    def test_shadowing_forbidden(self):
+        bad("kernel f(x: int) { let x = 1; }")
+
+    def test_sequential_scopes_may_reuse_names(self):
+        ok("kernel f() { for (i in 0..3) { } for (i in 0..3) { } }")
+
+    def test_use_before_declaration(self):
+        bad("kernel f() { let a = b; }")
+
+    def test_block_scoping_limits_visibility(self):
+        bad("kernel f() { if (true) { let a = 1; } let b = a; }")
+
+    def test_duplicate_kernel(self):
+        bad("kernel f() { } kernel f() { }")
+
+    def test_kernel_shadowing_builtin(self):
+        bad("kernel len(x: array<float>) -> int { return 0; }")
+
+    def test_duplicate_param(self):
+        bad("kernel f(a: int, a: int) { }")
+
+
+class TestAssignment:
+    def test_float_var_accepts_int(self):
+        ok("kernel f() { let a = 1.0; a = 2; }")
+
+    def test_int_var_rejects_float(self):
+        bad("kernel f() { let a = 1; a = 2.0; }")
+
+    def test_compound_int_accumulate_float_rejected(self):
+        bad("kernel f() { let a = 1; a += 2.0; }")
+
+    def test_index_assignment(self):
+        ok("kernel f(x: array<float>) { x[0] = 1; }")
+
+    def test_index_assignment_wrong_type(self):
+        bad("kernel f(x: array<int>) { x[0] = 1.5; }")
+
+    def test_assign_to_undeclared(self):
+        bad("kernel f() { a = 1; }")
+
+    def test_array_rebinding_same_type(self):
+        ok("kernel f(x: array<float>) { let y = copy(x); y = x; }")
+
+    def test_array_compound_assignment_rejected(self):
+        bad("kernel f(x: array<float>) { x += x; }")
+
+    def test_non_int_index(self):
+        bad("kernel f(x: array<float>) { x[1.5] = 0.0; }")
+
+    def test_wrong_index_arity(self):
+        bad("kernel f(x: array<float>) { x[0, 0] = 0.0; }")
+        bad("kernel f(m: array2d<float>) { m[0] = 0.0; }")
+
+
+class TestControlFlow:
+    def test_condition_must_be_bool(self):
+        bad("kernel f() { if (1) { } }")
+        bad("kernel f() { while (1.0) { } }")
+
+    def test_range_bounds_must_be_int(self):
+        bad("kernel f() { for (i in 0..1.5) { } }")
+
+    def test_step_must_be_int(self):
+        bad("kernel f() { for (i in 0..4 step 0.5) { } }")
+
+    def test_break_outside_loop(self):
+        bad("kernel f() { break; }")
+
+    def test_continue_inside_loop_ok(self):
+        ok("kernel f() { for (i in 0..4) { continue; } }")
+
+    def test_missing_return(self):
+        err = bad("kernel f(n: int) -> int { if (n > 0) { return 1; } }")
+        assert "without returning" in str(err)
+
+    def test_return_on_both_branches(self):
+        ok("kernel f(n: int) -> int { if (n > 0) { return 1; } else { return 0; } }")
+
+    def test_return_value_from_unit_kernel(self):
+        bad("kernel f() { return 1; }")
+
+    def test_return_type_mismatch(self):
+        bad("kernel f() -> int { return 1.5; }")
+
+    def test_return_promotes_int_to_float(self):
+        ok("kernel f() -> float { return 1; }")
+
+
+class TestOperators:
+    def test_int_int_arithmetic_is_int(self):
+        cp = ok("kernel f() -> int { return 3 / 2; }")
+        assert cp.signatures["f"].ret is T.INT
+
+    def test_mixed_arithmetic_promotes(self):
+        ok("kernel f() -> float { return 3 / 2.0; }")
+
+    def test_mod_requires_ints(self):
+        bad("kernel f() { let a = 1.5 % 2; }")
+
+    def test_logical_requires_bool(self):
+        bad("kernel f() { let a = 1 && true; }")
+
+    def test_compare_bool_with_number(self):
+        bad("kernel f() { let a = true == 1; }")
+
+    def test_not_on_number(self):
+        bad("kernel f() { let a = !1; }")
+
+    def test_negate_bool(self):
+        bad("kernel f() { let a = -true; }")
+
+
+class TestCalls:
+    def test_user_kernel_call(self):
+        ok(
+            "kernel helper(a: int) -> int { return a + 1; } "
+            "kernel f() -> int { return helper(1); }"
+        )
+
+    def test_unknown_function(self):
+        bad("kernel f() { frobnicate(1); }")
+
+    def test_wrong_arg_count(self):
+        bad("kernel g(a: int) { } kernel f() { g(1, 2); }")
+
+    def test_wrong_arg_type(self):
+        bad("kernel g(a: array<float>) { } kernel f() { g(1); }")
+
+    def test_builtin_len(self):
+        ok("kernel f(x: array<float>) -> int { return len(x); }")
+
+    def test_len_on_2d_rejected(self):
+        bad("kernel f(m: array2d<float>) -> int { return len(m); }")
+
+    def test_rows_cols(self):
+        ok("kernel f(m: array2d<float>) -> int { return rows(m) + cols(m); }")
+
+    def test_sqrt_returns_float(self):
+        cp = ok("kernel f() -> float { return sqrt(4); }")
+        assert cp.signatures["f"].ret is T.FLOAT
+
+    def test_select(self):
+        ok("kernel f(n: int) -> int { return select(n > 0, 1, 0); }")
+        bad("kernel f(n: int) -> int { return select(n, 1, 0); }")
+
+    def test_alloc(self):
+        ok("kernel f() -> float { let a = alloc_float(4); return a[0]; }")
+
+    def test_sort_builtin(self):
+        ok("kernel f(x: array<float>) { sort(x); }")
+        bad("kernel f(m: array2d<float>) { sort(m); }")
+
+
+class TestLambdasAndPatterns:
+    def test_parallel_for(self):
+        cp = ok(
+            "kernel f(x: array<float>) { parallel_for(len(x), (i) => { x[i] = 0.0; }); }"
+        )
+        assert "kokkos" in cp.builtin_categories
+
+    def test_parallel_reduce_result_type(self):
+        cp = ok(
+            'kernel f(x: array<float>) -> float { '
+            'return parallel_reduce(len(x), "sum", (i) => x[i]); }'
+        )
+        assert cp.signatures["f"].ret is T.FLOAT
+
+    def test_bad_reduce_op_name(self):
+        bad(
+            'kernel f(x: array<float>) -> float { '
+            'return parallel_reduce(len(x), "plus", (i) => x[i]); }'
+        )
+
+    def test_lambda_wrong_param_count(self):
+        bad("kernel f(x: array<float>) { parallel_for(len(x), (i, j) => { }); }")
+
+    def test_lambda_outside_pattern(self):
+        bad("kernel f() { let g = (i) => 1; }")
+
+    def test_lambda_where_scalar_expected(self):
+        bad("kernel f(x: array<float>) { parallel_for((i) => 1, (i) => { }); }")
+
+    def test_scan_signature(self):
+        ok(
+            'kernel f(x: array<float>, out: array<float>) { '
+            'parallel_scan_inclusive(len(x), "sum", (i) => x[i], out); }'
+        )
+
+    def test_string_arg_in_wrong_place(self):
+        bad('kernel f() { let a = max("sum", 1); }')
+
+
+class TestMPIAndGPU:
+    def test_mpi_category_recorded(self):
+        cp = ok(
+            'kernel f(x: array<float>) -> float { '
+            'let local = 0.0; '
+            'let total = mpi_allreduce_float(local, "sum"); '
+            'return total; }'
+        )
+        assert "mpi" in cp.builtin_categories
+        assert "mpi_allreduce_float" in cp.builtins_used
+
+    def test_gpu_category_recorded(self):
+        cp = ok(
+            "kernel f(x: array<float>) { "
+            "let i = block_idx() * block_dim() + thread_idx(); "
+            "if (i < len(x)) { x[i] = 0.0; } }"
+        )
+        assert "gpu" in cp.builtin_categories
+
+    def test_atomic_add_types(self):
+        ok("kernel f(h: array<int>) { atomic_add(h, 0, 1); }")
+        bad("kernel f(h: array<int>) { atomic_add(h, 0, 1.5); }")
+
+    def test_mpi_reduce_requires_op_string(self):
+        bad("kernel f() { let t = mpi_allreduce_float(1.0, 2.0); }")
+
+    def test_omp_pragma_flag(self):
+        cp = ok(
+            "kernel f(x: array<float>) { "
+            "pragma omp parallel for "
+            "for (i in 0..len(x)) { x[i] = 0.0; } }"
+        )
+        assert cp.uses_omp_pragmas
+
+    def test_reduction_var_undeclared(self):
+        bad(
+            "kernel f(x: array<float>) { "
+            "pragma omp parallel for reduction(+: total) "
+            "for (i in 0..len(x)) { } }"
+        )
+
+    def test_reduction_var_not_numeric(self):
+        bad(
+            "kernel f(x: array<float>) { let flag = true; "
+            "pragma omp parallel for reduction(+: flag) "
+            "for (i in 0..len(x)) { } }"
+        )
+
+    def test_atomic_requires_update(self):
+        bad("kernel f(x: array<float>) { pragma omp atomic x[0] = 1.0; }")

@@ -1,0 +1,96 @@
+"""Round-trip tests for the unparser.
+
+The bug injectors rely on unparse/parse stability, so the strongest check
+is structural: for every program in the solution bank and every baseline,
+``parse(unparse(parse(src)))`` must reproduce the same AST (compared via
+a canonical re-unparse) and type-check identically.
+"""
+
+import pytest
+
+from repro.bench import all_problems, baseline_source
+from repro.lang import compile_source, parse, unparse
+from repro.models.solutions import variants_for
+
+ALL_SOURCES = []
+for _p in all_problems():
+    ALL_SOURCES.append((f"baseline/{_p.name}", baseline_source(_p.name)))
+for _p in all_problems()[::7]:  # a spread of problems x all exec models
+    for _m in ("serial", "openmp", "kokkos", "mpi", "mpi+omp", "cuda", "hip"):
+        for _v in variants_for(_p, _m):
+            ALL_SOURCES.append((f"{_p.name}/{_m}/{_v.name}", _v.source))
+
+
+@pytest.mark.parametrize("label,source", ALL_SOURCES,
+                         ids=[lab for lab, _ in ALL_SOURCES])
+def test_round_trip_is_fixed_point(label, source):
+    once = unparse(parse(source))
+    twice = unparse(parse(once))
+    assert once == twice
+
+
+@pytest.mark.parametrize("label,source", ALL_SOURCES[:40],
+                         ids=[lab for lab, _ in ALL_SOURCES[:40]])
+def test_round_trip_typechecks(label, source):
+    rendered = unparse(parse(source))
+    checked = compile_source(rendered)
+    original = compile_source(source)
+    assert checked.builtins_used == original.builtins_used
+    assert checked.uses_omp_pragmas == original.uses_omp_pragmas
+    assert set(checked.signatures) == set(original.signatures)
+
+
+class TestUnparseForms:
+    def round_trip(self, src):
+        once = unparse(parse(src))
+        assert unparse(parse(once)) == once
+        return once
+
+    def test_else_if_chain(self):
+        out = self.round_trip(
+            "kernel f(n: int) -> int { if (n > 0) { return 1; } "
+            "else if (n < 0) { return -1; } else { return 0; } }"
+        )
+        assert "else if" in out
+
+    def test_negative_int_literal(self):
+        out = self.round_trip("kernel f() -> int { return -1; }")
+        assert "-1" in out or "- 1" in out
+
+    def test_float_literal_stays_float(self):
+        out = self.round_trip("kernel f() -> float { return 2.0; }")
+        assert "2.0" in out
+
+    def test_pragma_clauses_preserved(self):
+        out = self.round_trip(
+            "kernel f(x: array<float>) { let s = 0.0; "
+            "pragma omp parallel for reduction(+: s) schedule(dynamic) "
+            "for (i in 0..len(x)) { s += x[i]; } }"
+        )
+        assert "reduction(+: s)" in out
+        assert "schedule(dynamic)" in out
+
+    def test_lambda_forms(self):
+        out = self.round_trip(
+            'kernel f(x: array<float>) -> float { '
+            'parallel_for(len(x), (i) => { x[i] = 0.0; }); '
+            'return parallel_reduce(len(x), "sum", (i) => x[i]); }'
+        )
+        assert "=>" in out
+
+    def test_step_loops(self):
+        out = self.round_trip(
+            "kernel f() { for (i in 0..10 step 2) { } }"
+        )
+        assert "step 2" in out
+
+    def test_parentheses_preserve_precedence(self):
+        src = "kernel f(a: int, b: int, c: int) -> int { return (a + b) * c; }"
+        out = unparse(parse(src))
+        from repro.lang import compile_source as cs
+        # semantic check: evaluate both
+        from repro.runtime import DEFAULT_MACHINE, ExecCtx, SerialRuntime, compile_program
+        for text in (src, out):
+            prog = compile_program(cs(text))
+            ctx = ExecCtx(DEFAULT_MACHINE, SerialRuntime())
+            assert prog.run_kernel("f", ctx, [2, 3, 4]) == 20

@@ -1,0 +1,137 @@
+"""Exactness and property tests for the Eq. 4-7 estimators."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    brute_force_expected_max,
+    brute_force_pass_at_k,
+    expected_max_of_k,
+    pass_at_k,
+)
+
+
+class TestPassAtKExact:
+    def test_all_correct(self):
+        assert pass_at_k(10, 10, 1) == 1.0
+
+    def test_none_correct(self):
+        assert pass_at_k(10, 0, 5) == 0.0
+
+    def test_k_equals_n(self):
+        # drawing everything: pass iff any correct
+        assert pass_at_k(5, 1, 5) == 1.0
+
+    def test_single_sample(self):
+        assert pass_at_k(1, 1, 1) == 1.0
+        assert pass_at_k(1, 0, 1) == 0.0
+
+    def test_known_value(self):
+        # N=4, c=2, k=2: 1 - C(2,2)/C(4,2) = 1 - 1/6
+        assert pass_at_k(4, 2, 2) == pytest.approx(1 - 1 / 6)
+
+    def test_monotone_in_k(self):
+        vals = [pass_at_k(20, 5, k) for k in range(1, 21)]
+        assert all(b >= a for a, b in zip(vals, vals[1:]))
+
+    def test_monotone_in_c(self):
+        vals = [pass_at_k(20, c, 5) for c in range(0, 21)]
+        assert all(b >= a for a, b in zip(vals, vals[1:]))
+
+    def test_k_larger_than_n_rejected(self):
+        with pytest.raises(ValueError):
+            pass_at_k(3, 1, 4)
+
+    def test_invalid_c_rejected(self):
+        with pytest.raises(ValueError):
+            pass_at_k(3, 4, 1)
+
+    def test_nonpositive_k_rejected(self):
+        with pytest.raises(ValueError):
+            pass_at_k(3, 1, 0)
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    outcomes=st.lists(st.booleans(), min_size=1, max_size=9),
+    data=st.data(),
+)
+def test_pass_at_k_matches_brute_force(outcomes, data):
+    k = data.draw(st.integers(1, len(outcomes)))
+    exact = pass_at_k(len(outcomes), sum(outcomes), k)
+    brute = brute_force_pass_at_k(outcomes, k)
+    assert exact == pytest.approx(brute)
+
+
+class TestExpectedMax:
+    def test_k_equals_n_is_max(self):
+        vals = [3.0, 1.0, 7.0, 2.0]
+        assert expected_max_of_k(vals, 4) == 7.0
+
+    def test_k1_is_mean(self):
+        vals = [1.0, 2.0, 3.0, 4.0]
+        assert expected_max_of_k(vals, 1) == pytest.approx(2.5)
+
+    def test_constant_values(self):
+        assert expected_max_of_k([5.0] * 6, 3) == pytest.approx(5.0)
+
+    def test_known_small_case(self):
+        # values {0, 1}, k=1 -> 0.5; the speedup-of-failures floor
+        assert expected_max_of_k([0.0, 1.0], 1) == pytest.approx(0.5)
+        assert expected_max_of_k([0.0, 1.0], 2) == pytest.approx(1.0)
+
+    def test_order_invariance(self):
+        a = expected_max_of_k([9.0, 1.0, 5.0, 3.0], 2)
+        b = expected_max_of_k([1.0, 3.0, 5.0, 9.0], 2)
+        assert a == pytest.approx(b)
+
+    def test_k_larger_than_n_rejected(self):
+        with pytest.raises(ValueError):
+            expected_max_of_k([1.0], 2)
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    values=st.lists(
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        min_size=1, max_size=8,
+    ),
+    data=st.data(),
+)
+def test_expected_max_matches_brute_force(values, data):
+    k = data.draw(st.integers(1, len(values)))
+    exact = expected_max_of_k(values, k)
+    brute = brute_force_expected_max(values, k)
+    assert exact == pytest.approx(brute, rel=1e-9, abs=1e-9)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    values=st.lists(
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        min_size=3, max_size=8,
+    ),
+)
+def test_expected_max_monotone_in_k(values):
+    prev = -math.inf
+    for k in range(1, len(values) + 1):
+        cur = expected_max_of_k(values, k)
+        assert cur >= prev - 1e-12
+        prev = cur
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    values=st.lists(
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        min_size=1, max_size=8,
+    ),
+    data=st.data(),
+)
+def test_expected_max_bounded_by_extremes(values, data):
+    k = data.draw(st.integers(1, len(values)))
+    v = expected_max_of_k(values, k)
+    assert min(values) - 1e-12 <= v <= max(values) + 1e-12

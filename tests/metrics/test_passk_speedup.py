@@ -1,0 +1,83 @@
+"""Tests for the benchmark-level pass@k / build@k / speedup / efficiency."""
+
+import pytest
+
+from repro.metrics import (
+    benchmark_build_at_k,
+    benchmark_efficiency_at_k,
+    benchmark_pass_at_k,
+    benchmark_speedup_at_k,
+    pass_at_k_curve,
+    prompt_build_at_k,
+    prompt_pass_at_k,
+    prompt_speedup_at_k,
+    sample_speedup,
+)
+
+
+class TestPromptLevel:
+    def test_prompt_pass(self):
+        assert prompt_pass_at_k(["correct", "wrong_answer"], 1) == 0.5
+
+    def test_build_counts_all_runnable_statuses(self):
+        statuses = ["correct", "wrong_answer", "runtime_error", "timeout",
+                    "not_parallel", "build_error"]
+        # 5 of 6 built
+        assert prompt_build_at_k(statuses, 1) == pytest.approx(5 / 6)
+
+    def test_build_geq_pass(self):
+        statuses = ["correct", "build_error", "wrong_answer", "correct"]
+        for k in (1, 2, 3):
+            assert (prompt_build_at_k(statuses, k)
+                    >= prompt_pass_at_k(statuses, k))
+
+
+class TestBenchmarkLevel:
+    def test_average_over_prompts(self):
+        per_prompt = [["correct"] * 4, ["wrong_answer"] * 4]
+        assert benchmark_pass_at_k(per_prompt, 1) == 0.5
+
+    def test_curve_monotone(self):
+        per_prompt = [
+            ["correct", "wrong_answer", "build_error", "correct"],
+            ["wrong_answer"] * 4,
+        ]
+        curve = pass_at_k_curve(per_prompt, [1, 2, 4])
+        assert curve[1] <= curve[2] <= curve[4]
+
+    def test_build_at_k(self):
+        per_prompt = [["build_error"] * 3, ["correct"] * 3]
+        assert benchmark_build_at_k(per_prompt, 1) == 0.5
+
+
+class TestSpeedup:
+    def test_sample_speedup_basic(self):
+        assert sample_speedup(10.0, 5.0) == 2.0
+
+    def test_failure_is_zero(self):
+        assert sample_speedup(10.0, None) == 0.0
+        assert sample_speedup(10.0, 0.0) == 0.0
+
+    def test_prompt_speedup_expected_best(self):
+        # two samples: one failed, one 4x; k=1 expects the mean
+        v = prompt_speedup_at_k(8.0, [None, 2.0], 1)
+        assert v == pytest.approx((0.0 + 4.0) / 2)
+        assert prompt_speedup_at_k(8.0, [None, 2.0], 2) == pytest.approx(4.0)
+
+    def test_benchmark_speedup(self):
+        entries = [
+            {"baseline": 10.0, "times": [5.0], "n": 2},
+            {"baseline": 10.0, "times": [1.0], "n": 2},
+        ]
+        assert benchmark_speedup_at_k(entries, 1) == pytest.approx(6.0)
+
+    def test_benchmark_efficiency_divides_by_n(self):
+        entries = [
+            {"baseline": 10.0, "times": [5.0], "n": 2},   # 2x on 2 -> 1.0
+            {"baseline": 10.0, "times": [5.0], "n": 8},   # 2x on 8 -> 0.25
+        ]
+        assert benchmark_efficiency_at_k(entries, 1) == pytest.approx(0.625)
+
+    def test_efficiency_skips_zero_n(self):
+        entries = [{"baseline": 1.0, "times": [1.0], "n": 0}]
+        assert benchmark_efficiency_at_k(entries, 1) == 0.0

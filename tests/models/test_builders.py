@@ -1,0 +1,129 @@
+"""Unit tests for the solution-bank builders (shapes -> sources)."""
+
+import pytest
+
+from repro.bench import all_problems
+from repro.models.solutions.builders import (
+    QUALITY_GOOD,
+    QUALITY_POOR,
+    build_variants,
+    root_only_local,
+)
+
+
+def problem(name):
+    return next(p for p in all_problems() if p.name == name)
+
+
+class TestMapShapes:
+    def test_openmp_map_has_static_and_dynamic(self):
+        names = {v.name for v in build_variants(problem("relu"), "openmp")}
+        assert {"omp-static", "omp-dynamic"} <= names
+
+    def test_mpi_map_shadows_and_reduces(self):
+        good = build_variants(problem("relu"), "mpi")[0]
+        assert "x_part" in good.source
+        assert 'mpi_allreduce_array(x_part, "sum")' in good.source
+
+    def test_mpi_map_multiple_outputs(self):
+        # dft writes out_re and out_im: both need shadows
+        good = build_variants(problem("dft"), "mpi")[0]
+        assert "out_re_part" in good.source
+        assert "out_im_part" in good.source
+
+    def test_hybrid_map_has_pragmas(self):
+        for v in build_variants(problem("relu"), "mpi+omp"):
+            assert "pragma omp" in v.source
+            assert "mpi_" in v.source
+
+    def test_gpu_map_guards_bounds(self):
+        good = build_variants(problem("relu"), "cuda")[0]
+        assert "if (i < len(x))" in good.source
+
+    def test_map2d_gpu_flattens(self):
+        good = build_variants(problem("gemm"), "cuda")[0]
+        assert "gid / c_total" in good.source
+        assert "gid % c_total" in good.source
+
+
+class TestReduceShapes:
+    def test_openmp_reduce_variants_ordered_by_quality(self):
+        vs = build_variants(problem("sum_of_elements"), "openmp")
+        by_name = {v.name: v.quality for v in vs}
+        assert by_name["omp-reduction"] == QUALITY_GOOD
+        assert by_name["omp-critical"] < by_name["omp-atomic"] \
+            < by_name["omp-reduction"]
+
+    def test_min_reduce_has_no_atomic_variant(self):
+        names = {v.name for v in build_variants(problem("smallest_element"),
+                                                "openmp")}
+        assert "omp-atomic" not in names  # pragma atomic can't do min
+
+    def test_gpu_reduce_uses_matching_atomic(self):
+        src = build_variants(problem("smallest_element"), "cuda")[0].source
+        assert "atomic_min(result, 0," in src
+        src = build_variants(problem("max_adjacent_diff"), "cuda")[0].source
+        assert "atomic_max(result, 0," in src
+
+    def test_helper_contrib_kernels_included(self):
+        src = build_variants(problem("closest_pair_distance"), "kokkos")[0].source
+        assert "kernel closest_pair_distance_contrib(" in src
+
+
+class TestScatterShapes:
+    def test_openmp_histogram_atomic_and_critical(self):
+        names = {v.name for v in build_variants(problem("hist_mod_k"),
+                                                "openmp")}
+        assert {"omp-atomic", "omp-critical"} <= names
+
+    def test_kokkos_histogram_uses_atomic_builtin(self):
+        src = build_variants(problem("hist_mod_k"), "kokkos")[0].source
+        assert "atomic_add(h," in src
+
+    def test_mpi_scatter_reduces_partials(self):
+        src = build_variants(problem("sparse_axpy"), "mpi")[0].source
+        assert "y_part" in src and "mpi_allreduce_array" in src
+
+    def test_spmv_transpose_inner_form(self):
+        src = build_variants(problem("spmv_transpose"), "cuda")[0].source
+        assert "atomic_add(y, colidx[k]" in src.replace("bin", "colidx[k]") \
+            or "atomic_add(y," in src
+
+
+class TestScanShapes:
+    def test_openmp_scan_has_blocked_and_naive(self):
+        names = {v.name for v in build_variants(problem("prefix_sum"),
+                                                "openmp")}
+        assert {"omp-blocked-scan", "omp-naive-quadratic"} <= names
+
+    def test_inplace_scan_has_no_blocked_variant(self):
+        names = {v.name for v in build_variants(problem("partial_minimums"),
+                                                "openmp")}
+        assert "omp-blocked-scan" not in names
+        assert "omp-naive-quadratic" in names
+
+    def test_kokkos_scan_uses_builtin(self):
+        src = build_variants(problem("prefix_sum"), "kokkos")[0].source
+        assert "parallel_scan_inclusive" in src
+
+    def test_exclusive_scan_uses_exclusive_builtin(self):
+        src = build_variants(problem("exclusive_prefix_sum"), "kokkos")[0].source
+        assert "parallel_scan_exclusive" in src
+
+    def test_inplace_gpu_scan_is_thread0_only(self):
+        vs = build_variants(problem("partial_minimums"), "cuda")
+        assert [v.name for v in vs] == ["gpu-thread0-serial"]
+
+
+class TestRootOnly:
+    def test_root_only_wraps_in_local_helper(self):
+        p = problem("sum_of_elements")
+        v = root_only_local(p, "mpi", "let acc = 0.0;\nreturn acc;")
+        assert "kernel sum_of_elements_local(" in v.source
+        assert "mpi_barrier();" in v.source
+        assert v.quality == QUALITY_POOR
+
+    def test_root_only_unit_kernel(self):
+        p = problem("relu")
+        v = root_only_local(p, "mpi", "for (i in 0..len(x)) { x[i] = 0.0; }")
+        assert "relu_local(x);" in v.source

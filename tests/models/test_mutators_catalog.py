@@ -1,0 +1,166 @@
+"""Per-mutator tests: each bug injector must (a) apply to at least one
+bank source for its execution model and (b) produce the failure mode it
+advertises when run through the harness."""
+
+import numpy as np
+import pytest
+
+from repro.bench import all_problems, render_prompt
+from repro.harness import Runner
+from repro.models.mutate import _MUTATORS
+from repro.models.solutions import variants_for
+
+RUNNER = Runner(correctness_trials=1)
+RNG = lambda: np.random.default_rng(7)  # noqa: E731
+
+
+def src_of(problem_name, model, variant_idx=0):
+    p = next(q for q in all_problems() if q.name == problem_name)
+    return p, variants_for(p, model)[variant_idx].source
+
+
+def evaluate(problem, model, source):
+    return RUNNER.evaluate_sample(source, render_prompt(problem, model))
+
+
+class TestBuildBreakers:
+    @pytest.mark.parametrize("name", [
+        "syntax_drop_semicolon", "syntax_drop_brace", "type_confusion",
+        "unknown_api",
+    ])
+    def test_build_breaking_mutations(self, name):
+        p, src = src_of("sum_of_elements", "serial")
+        mutated = _MUTATORS[name](src, RNG())
+        assert mutated is not None and mutated != src
+        res = evaluate(p, "serial", mutated)
+        assert res.status == "build_error", (name, res.detail)
+
+    def test_undeclared_name(self):
+        p, src = src_of("sum_of_elements", "serial")
+        mutated = _MUTATORS["undeclared_name"](src, RNG())
+        res = evaluate(p, "serial", mutated)
+        assert res.status == "build_error"
+
+
+class TestSyncBugs:
+    def test_drop_reduction_causes_race(self):
+        p, src = src_of("sum_of_elements", "openmp")  # omp-reduction variant
+        mutated = _MUTATORS["drop_reduction_clause"](src, RNG())
+        assert mutated is not None
+        res = evaluate(p, "openmp", mutated)
+        assert res.status == "runtime_error"
+        assert "race" in res.detail.lower()
+
+    def test_drop_atomic_pragma_causes_race(self):
+        p = next(q for q in all_problems() if q.name == "hist_mod_k")
+        src = next(v for v in variants_for(p, "openmp")
+                   if v.name == "omp-atomic").source
+        mutated = _MUTATORS["drop_atomic_pragma"](src, RNG())
+        res = evaluate(p, "openmp", mutated)
+        assert res.status == "runtime_error"
+
+    def test_atomic_to_plain_races_on_gpu(self):
+        p = next(q for q in all_problems() if q.name == "hist_mod_k")
+        src = next(v for v in variants_for(p, "cuda")
+                   if v.name == "gpu-atomic").source
+        mutated = _MUTATORS["atomic_to_plain"](src, RNG())
+        res = evaluate(p, "cuda", mutated)
+        assert res.status == "runtime_error"
+
+    def test_inplace_stencil_races(self):
+        p, src = src_of("jacobi_1d", "openmp")
+        mutated = _MUTATORS["inplace_stencil"](src, RNG())
+        assert mutated is not None
+        res = evaluate(p, "openmp", mutated)
+        assert res.status in ("runtime_error", "wrong_answer")
+
+
+class TestLogicBugs:
+    def test_off_by_one_wrong_answer(self):
+        p, src = src_of("sum_of_elements", "serial")
+        mutated = _MUTATORS["off_by_one_start"](src, RNG())
+        res = evaluate(p, "serial", mutated)
+        assert res.status == "wrong_answer"
+
+    def test_flip_operator_usually_wrong(self):
+        # axpy has +, * and comparison material for the operator flipper
+        p, src = src_of("axpy", "serial")
+        statuses = set()
+        rng = np.random.default_rng(3)
+        for _ in range(6):
+            mutated = _MUTATORS["flip_operator"](src, rng)
+            assert mutated is not None
+            statuses.add(evaluate(p, "serial", mutated).status)
+        assert statuses & {"wrong_answer", "build_error", "runtime_error"}
+
+    def test_drop_gpu_guard_traps(self):
+        # choose a problem whose array length is not a multiple of the
+        # block size so the unguarded tail actually goes out of bounds
+        p = next(q for q in all_problems() if q.name == "csr_row_sums")
+        src = next(v for v in variants_for(p, "cuda")
+                   if "thread-per" in v.name or "gpu-atomic" in v.name).source
+        mutated = _MUTATORS["drop_gpu_guard"](src, RNG())
+        assert mutated is not None
+        res = evaluate(p, "cuda", mutated)
+        assert res.status in ("runtime_error", "wrong_answer")
+
+    def test_wrong_identity(self):
+        # closest-pair distances are strictly positive, so a zero identity
+        # in the min fold is always wrong
+        p, src = src_of("closest_pair_distance", "openmp")
+        mutated = _MUTATORS["wrong_identity"](src, RNG())
+        assert mutated is not None
+        res = evaluate(p, "openmp", mutated)
+        assert res.status == "wrong_answer"
+
+
+class TestMPIBugs:
+    def test_rank_skew_wrong_answer(self):
+        p, src = src_of("sum_of_elements", "mpi")
+        mutated = _MUTATORS["mpi_rank_skew"](src, RNG())
+        assert mutated is not None
+        res = evaluate(p, "mpi", mutated)
+        assert res.status == "wrong_answer"
+
+    def test_wrong_root(self):
+        # a handwritten reduce-to-root solution: moving the root away from
+        # rank 0 leaves rank 0 with the identity -> wrong answer
+        p = next(q for q in all_problems() if q.name == "sum_of_elements")
+        src = """
+        kernel sum_of_elements(x: array<float>) -> float {
+            let rank = mpi_rank();
+            let size = mpi_size();
+            let chunk = (len(x) + size - 1) / size;
+            let local = 0.0;
+            for (i in rank * chunk..min((rank + 1) * chunk, len(x))) {
+                local += x[i];
+            }
+            return mpi_reduce_float(local, "sum", 0);
+        }
+        """
+        assert evaluate(p, "mpi", src).status == "correct"
+        mutated = _MUTATORS["mpi_wrong_root"](src, RNG())
+        assert mutated is not None and ", 1)" in mutated
+        res = evaluate(p, "mpi", mutated)
+        assert res.status == "wrong_answer"
+
+    def test_collective_skew_detected(self):
+        p, src = src_of("sum_of_elements", "mpi")
+        mutated = _MUTATORS["mpi_collective_skew"](src, RNG())
+        res = evaluate(p, "mpi", mutated)
+        assert res.status == "runtime_error"
+
+    def test_recv_deadlock_detected(self):
+        p, src = src_of("sum_of_elements", "mpi")
+        mutated = _MUTATORS["mpi_recv_deadlock"](src, RNG())
+        res = evaluate(p, "mpi", mutated)
+        assert res.status == "runtime_error"
+        assert "deadlock" in res.detail.lower()
+
+
+class TestPathological:
+    def test_runaway_loop_times_out(self):
+        p, src = src_of("sum_of_elements", "serial")
+        mutated = _MUTATORS["runaway_loop"](src, RNG())
+        res = evaluate(p, "serial", mutated)
+        assert res.status == "timeout"

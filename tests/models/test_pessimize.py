@@ -1,0 +1,93 @@
+"""Tests for the correct-but-slow pessimisation layer (paper §8 RQ3)."""
+
+import pytest
+
+from repro.bench import all_problems, render_prompt
+from repro.harness import Runner, compile_sample
+from repro.models import load_model, profile
+from repro.models.mutate import pessimize
+from repro.models.solutions import variants_for
+
+RUNNER = Runner(correctness_trials=1)
+
+
+def problem(name):
+    return next(p for p in all_problems() if p.name == name)
+
+
+class TestPessimize:
+    def test_still_correct(self):
+        p = problem("axpy")
+        src = pessimize(variants_for(p, "openmp")[0].source, p)
+        res = RUNNER.evaluate_sample(src, render_prompt(p, "openmp"))
+        assert res.status == "correct"
+
+    def test_slower_at_scale(self):
+        p = problem("axpy")
+        prompt = render_prompt(p, "openmp")
+        clean = variants_for(p, "openmp")[0].source
+        slow = pessimize(clean, p, repeats=2)
+        t_clean = RUNNER.evaluate_sample(clean, prompt, with_timing=True)
+        t_slow = RUNNER.evaluate_sample(slow, prompt, with_timing=True)
+        assert t_slow.times[32] > 3 * t_clean.times[32]
+
+    def test_2d_problems_supported(self):
+        p = problem("jacobi_2d")
+        src = pessimize(variants_for(p, "openmp")[0].source, p)
+        assert src is not None and "warmup_pass" in src
+        res = RUNNER.evaluate_sample(src, render_prompt(p, "openmp"))
+        assert res.status == "correct"
+
+    def test_int_array_problems_supported(self):
+        p = problem("hist_alphabet")
+        src = pessimize(variants_for(p, "openmp")[0].source, p)
+        res = RUNNER.evaluate_sample(src, render_prompt(p, "openmp"))
+        assert res.status == "correct"
+
+    def test_mpi_variant_survives(self):
+        p = problem("sum_of_elements")
+        src = pessimize(variants_for(p, "mpi")[0].source, p)
+        res = RUNNER.evaluate_sample(src, render_prompt(p, "mpi"))
+        assert res.status == "correct"
+
+    def test_all_problems_pessimizable(self):
+        for p in all_problems():
+            src = pessimize(variants_for(p, "serial")[0].source, p)
+            assert src is not None, p.name
+
+
+class TestSlopDistribution:
+    def test_discipline_ordering(self):
+        """Low variant-bias models pad more of their correct completions."""
+        counts = {}
+        for name in ("GPT-3.5", "GPT-4", "Phind-CodeLlama-V2"):
+            llm = load_model(name)
+            slop = total = 0
+            for p in all_problems()[:25]:
+                pool, _ = llm._pool(render_prompt(p, "openmp"))
+                for s in pool:
+                    if s.intended == "correct":
+                        total += 1
+                        slop += "warmup_pass" in s.source
+            counts[name] = slop / max(total, 1)
+        assert counts["GPT-4"] < counts["GPT-3.5"] < \
+            counts["Phind-CodeLlama-V2"]
+
+    def test_phind_disciplined_on_mpi(self):
+        llm = load_model("Phind-CodeLlama-V2")
+        slop = total = 0
+        for p in all_problems()[:25]:
+            pool, _ = llm._pool(render_prompt(p, "mpi"))
+            for s in pool:
+                if s.intended == "correct":
+                    total += 1
+                    slop += "warmup_pass" in s.source
+        assert total > 0
+        assert slop / total < 0.05  # mpi bias 4.0 -> essentially no slop
+
+    def test_gpu_pools_never_pessimized(self):
+        llm = load_model("CodeLlama-7B")  # lowest discipline
+        for p in all_problems()[:25]:
+            pool, _ = llm._pool(render_prompt(p, "cuda"))
+            for s in pool:
+                assert "warmup_pass" not in s.source

@@ -1,0 +1,68 @@
+"""Light calibration guards: the qualitative orderings the reproduction
+promises must hold for the *profiles* (full measured-figure assertions
+live in benchmarks/)."""
+
+from repro.models import MODEL_ORDER, profile
+
+
+def mean_parallel_p(name: str) -> float:
+    prof = profile(name)
+    ptypes = prof.ptype_mult
+    models = ("openmp", "kokkos", "mpi", "mpi+omp", "cuda", "hip")
+    vals = [prof.p_correct(m, pt) for m in models for pt in ptypes]
+    return sum(vals) / len(vals)
+
+
+def mean_serial_p(name: str) -> float:
+    prof = profile(name)
+    vals = [prof.p_correct("serial", pt) for pt in prof.ptype_mult]
+    return sum(vals) / len(vals)
+
+
+class TestOrderings:
+    def test_gpt35_leads_parallel(self):
+        best = max(MODEL_ORDER, key=mean_parallel_p)
+        assert best == "GPT-3.5"
+
+    def test_phind_best_open_model(self):
+        open_models = [m for m in MODEL_ORDER if not profile(m).chat_only]
+        assert max(open_models, key=mean_parallel_p) == "Phind-CodeLlama-V2"
+
+    def test_cl34b_below_cl13b_parallel(self):
+        assert mean_parallel_p("CodeLlama-34B") < mean_parallel_p("CodeLlama-13B")
+
+    def test_confidence_grows_with_size_family(self):
+        assert (profile("CodeLlama-34B").confidence
+                > profile("CodeLlama-13B").confidence)
+        assert profile("GPT-4").confidence > profile("GPT-3.5").confidence
+
+    def test_gpt4_has_highest_perf_bias(self):
+        assert max(MODEL_ORDER, key=lambda m: profile(m).perf_bias) == "GPT-4"
+
+    def test_openmp_is_easiest_parallel_model(self):
+        for name in MODEL_ORDER:
+            prof = profile(name)
+            for other in ("kokkos", "mpi", "mpi+omp", "cuda", "hip"):
+                assert prof.exec_mult["openmp"] >= prof.exec_mult[other], (
+                    name, other)
+
+    def test_mpi_family_is_hardest(self):
+        for name in MODEL_ORDER:
+            prof = profile(name)
+            assert prof.exec_mult["mpi+omp"] <= prof.exec_mult["openmp"]
+            assert prof.exec_mult["mpi"] <= prof.exec_mult["cuda"] + 0.05
+
+    def test_open_models_prefer_hip_closed_prefer_cuda(self):
+        for name in MODEL_ORDER:
+            prof = profile(name)
+            if prof.chat_only:
+                assert prof.exec_mult["cuda"] >= prof.exec_mult["hip"]
+            else:
+                assert prof.exec_mult["hip"] >= prof.exec_mult["cuda"]
+
+    def test_probabilities_clamped(self):
+        for name in MODEL_ORDER:
+            prof = profile(name)
+            for m in prof.exec_mult:
+                for pt in prof.ptype_mult:
+                    assert 0.0 < prof.p_correct(m, pt) <= 0.98

@@ -1,0 +1,55 @@
+"""Invariants linking a sample's *intended* kind to its harness verdict.
+
+These pin the contract between the simulated LLMs and the harness:
+candidates drawn from the solution bank must always pass, sequential
+fallbacks must always be caught by the usage check, and injected bugs
+must overwhelmingly fail — with correctness always decided by execution.
+"""
+
+import pytest
+
+from repro.bench import PCGBench
+from repro.harness import Runner
+from repro.models import load_model
+
+BENCH = PCGBench(problem_types=["reduce", "stencil", "histogram"],
+                 models=["serial", "openmp", "mpi", "cuda"])
+RUNNER = Runner(correctness_trials=1)
+
+
+@pytest.fixture(scope="module")
+def labelled_results():
+    llm = load_model("CodeLlama-13B")  # mid skill: all three kinds appear
+    rows = []
+    for prompt in BENCH.prompts:
+        for sample in llm.generate(prompt, 6, temperature=0.8, seed=19):
+            res = RUNNER.evaluate_sample(sample.source, prompt)
+            rows.append((prompt, sample.intended, res.status))
+    return rows
+
+
+def test_correct_candidates_always_pass(labelled_results):
+    bad = [(p.uid, s) for p, i, s in labelled_results
+           if i == "correct" and s != "correct"]
+    assert not bad, bad[:5]
+
+
+def test_fallbacks_always_not_parallel(labelled_results):
+    kinds = {s for p, i, s in labelled_results if i == "fallback"}
+    assert kinds <= {"not_parallel"}, kinds
+
+
+def test_bugs_mostly_fail(labelled_results):
+    bug_rows = [(p, s) for p, i, s in labelled_results if i == "bug"]
+    assert bug_rows, "expected some bug candidates at this skill level"
+    failed = sum(s != "correct" for _, s in bug_rows)
+    assert failed / len(bug_rows) > 0.8
+
+    # and the failures span multiple detection mechanisms
+    kinds = {s for _, s in bug_rows if s != "correct"}
+    assert len(kinds) >= 3, kinds
+
+
+def test_all_three_kinds_materialise(labelled_results):
+    kinds = {i for _, i, _ in labelled_results}
+    assert kinds == {"correct", "fallback", "bug"}

@@ -1,0 +1,55 @@
+"""Tests for the solution bank: every variant must be a fully correct
+solution under its execution model (the cornerstone invariant — the
+simulated LLMs assume the bank is a pool of correct programs)."""
+
+import pytest
+
+from repro.bench import EXECUTION_MODELS, all_problems, render_prompt
+from repro.harness import Runner
+from repro.models.solutions import bank, variants_for
+
+_PROBLEMS = all_problems()
+_RUNNER = Runner(correctness_trials=1)
+
+
+class TestBankShape:
+    def test_full_coverage(self):
+        table = bank()
+        assert len(table) == 60 * 7
+        for key, variants in table.items():
+            assert variants, f"no variants for {key}"
+
+    def test_variant_qualities_in_range(self):
+        for variants in bank().values():
+            for v in variants:
+                assert 0.0 < v.quality <= 1.0
+
+    def test_serial_entries_single_good_variant(self):
+        for p in _PROBLEMS:
+            vs = variants_for(p, "serial")
+            assert vs[0].quality == 1.0
+
+    def test_parallel_entries_use_their_model(self):
+        from repro.harness import uses_parallel_model
+
+        for (name, model), variants in bank().items():
+            for v in variants:
+                assert uses_parallel_model(v.source, model), (
+                    f"{name}/{model}/{v.name} fails the usage check"
+                )
+
+
+# One exhaustive correctness sweep per execution model keeps failures
+# attributable; the full cross-product is ~700 runs and stays fast.
+@pytest.mark.parametrize("model", EXECUTION_MODELS)
+def test_all_variants_correct(model):
+    failures = []
+    for problem in _PROBLEMS:
+        prompt = render_prompt(problem, model)
+        for v in variants_for(problem, model):
+            res = _RUNNER.evaluate_sample(v.source, prompt)
+            if res.status != "correct":
+                failures.append(
+                    f"{problem.name}/{v.name}: {res.status} ({res.detail[:80]})"
+                )
+    assert not failures, "\n".join(failures)

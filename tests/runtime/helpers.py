@@ -1,0 +1,48 @@
+"""Shared helpers for runtime tests."""
+
+from repro.lang import compile_source
+from repro.runtime import (
+    DEFAULT_MACHINE,
+    Array,
+    ExecCtx,
+    KokkosRuntime,
+    OpenMPRuntime,
+    SerialRuntime,
+    compile_program,
+)
+
+
+def compiled(src):
+    return compile_program(compile_source(src))
+
+
+def run_serial(src, kernel, args, fuel=None, work_scale=1.0):
+    cp = compiled(src)
+    ctx = ExecCtx(DEFAULT_MACHINE, SerialRuntime(), fuel=fuel, work_scale=work_scale)
+    ret = cp.run_kernel(kernel, ctx, args)
+    return ret, ctx
+
+
+def run_omp(src, kernel, args, fuel=None, work_scale=1.0, threads=(1, 2, 4, 8, 16, 32)):
+    cp = compiled(src)
+    ctx = ExecCtx(DEFAULT_MACHINE, OpenMPRuntime(threads), fuel=fuel,
+                  work_scale=work_scale)
+    ret = cp.run_kernel(kernel, ctx, args)
+    return ret, ctx
+
+
+def run_kokkos(src, kernel, args, fuel=None, work_scale=1.0,
+               threads=(1, 2, 4, 8, 16, 32)):
+    cp = compiled(src)
+    ctx = ExecCtx(DEFAULT_MACHINE, KokkosRuntime(threads), fuel=fuel,
+                  work_scale=work_scale)
+    ret = cp.run_kernel(kernel, ctx, args)
+    return ret, ctx
+
+
+def farr(values):
+    return Array.from_list([float(v) for v in values], "float")
+
+
+def iarr(values):
+    return Array.from_list([int(v) for v in values], "int")

@@ -1,0 +1,142 @@
+"""White-box tests for closure-compiler internals."""
+
+import pytest
+
+from repro.lang import parse
+from repro.lang.errors import TrapError
+from repro.runtime.compile import (
+    _collect_outer_writes,
+    _idiv,
+    _imod,
+)
+
+
+class TestCDivision:
+    @pytest.mark.parametrize("a,b,q", [
+        (7, 2, 3), (-7, 2, -3), (7, -2, -3), (-7, -2, 3),
+        (6, 3, 2), (0, 5, 0), (1, 1, 1),
+    ])
+    def test_idiv_truncates_toward_zero(self, a, b, q):
+        assert _idiv(a, b) == q
+
+    @pytest.mark.parametrize("a,b,r", [
+        (7, 2, 1), (-7, 2, -1), (7, -2, 1), (-7, -2, -1), (6, 3, 0),
+    ])
+    def test_imod_sign_of_dividend(self, a, b, r):
+        assert _imod(a, b) == r
+
+    def test_division_identity(self):
+        # a == idiv(a,b)*b + imod(a,b) for all combinations
+        for a in range(-20, 21):
+            for b in list(range(-5, 0)) + list(range(1, 6)):
+                assert _idiv(a, b) * b + _imod(a, b) == a
+
+    def test_zero_divisor_traps(self):
+        with pytest.raises(TrapError):
+            _idiv(1, 0)
+        with pytest.raises(TrapError):
+            _imod(1, 0)
+
+
+def _loop_of(src: str):
+    """Extract the first parallel-for loop of a kernel body."""
+    prog = parse(src)
+    for stmt in prog.kernels[0].body.stmts:
+        if type(stmt).__name__ == "OmpParallelFor":
+            return stmt.loop
+    raise AssertionError("no parallel for found")
+
+
+class TestOuterWriteAnalysis:
+    def test_shared_scalar_detected(self):
+        loop = _loop_of("""
+        kernel f(x: array<float>) {
+            let t = 0.0;
+            pragma omp parallel for
+            for (i in 0..len(x)) {
+                t = x[i];
+            }
+        }
+        """)
+        assert _collect_outer_writes(loop) == {"t"}
+
+    def test_loop_local_let_is_private(self):
+        loop = _loop_of("""
+        kernel f(x: array<float>) {
+            pragma omp parallel for
+            for (i in 0..len(x)) {
+                let t = x[i];
+                t = t * 2.0;
+                x[i] = t;
+            }
+        }
+        """)
+        assert _collect_outer_writes(loop) == set()
+
+    def test_nested_loop_var_private(self):
+        loop = _loop_of("""
+        kernel f(m: array2d<float>) {
+            pragma omp parallel for
+            for (i in 0..rows(m)) {
+                for (j in 0..cols(m)) {
+                    m[i, j] = 0.0;
+                }
+            }
+        }
+        """)
+        assert _collect_outer_writes(loop) == set()
+
+    def test_critical_protected_write_excluded(self):
+        loop = _loop_of("""
+        kernel f(x: array<float>) {
+            let total = 0.0;
+            pragma omp parallel for
+            for (i in 0..len(x)) {
+                pragma omp critical
+                {
+                    total += x[i];
+                }
+            }
+        }
+        """)
+        assert _collect_outer_writes(loop) == set()
+
+    def test_atomic_protected_write_excluded(self):
+        loop = _loop_of("""
+        kernel f(x: array<float>) {
+            let total = 0.0;
+            pragma omp parallel for
+            for (i in 0..len(x)) {
+                pragma omp atomic
+                total += x[i];
+            }
+        }
+        """)
+        assert _collect_outer_writes(loop) == set()
+
+    def test_lambda_params_private(self):
+        loop = _loop_of("""
+        kernel f(x: array<float>) {
+            pragma omp parallel for
+            for (i in 0..len(x)) {
+                parallel_for(4, (q) => {
+                    x[q] = 0.0;
+                });
+            }
+        }
+        """)
+        assert _collect_outer_writes(loop) == set()
+
+    def test_multiple_shared_writes(self):
+        loop = _loop_of("""
+        kernel f(x: array<float>) {
+            let a = 0.0;
+            let b = 0.0;
+            pragma omp parallel for
+            for (i in 0..len(x)) {
+                a = x[i];
+                b = a + 1.0;
+            }
+        }
+        """)
+        assert _collect_outer_writes(loop) == {"a", "b"}

@@ -1,0 +1,207 @@
+"""Edge-case coverage for runtime corners not hit by the main suites."""
+
+import pytest
+
+from repro.lang import compile_source
+from repro.lang.errors import MPIUsageError, RuntimeFailure, TrapError
+from repro.runtime import DEFAULT_MACHINE, Array, run_mpi
+
+from .helpers import compiled, farr, run_kokkos, run_omp, run_serial
+
+
+class TestOmpClauses:
+    def test_num_threads_caps_scaling(self):
+        src = """
+        kernel f(x: array<float>) -> float {
+            let s = 0.0;
+            pragma omp parallel for reduction(+: s) num_threads(4)
+            for (i in 0..len(x)) {
+                s += x[i];
+            }
+            return s;
+        }
+        """
+        _, ctx = run_omp(src, "f", [farr(range(4096))], work_scale=512)
+        capped = ctx.sim_seconds(32)
+        four = ctx.sim_seconds(4)
+        # beyond the cap no further speedup materialises
+        assert capped == pytest.approx(four, rel=0.05)
+
+    def test_guided_schedule_correct(self):
+        src = """
+        kernel f(x: array<float>) -> float {
+            let s = 0.0;
+            pragma omp parallel for reduction(+: s) schedule(guided)
+            for (i in 0..len(x)) {
+                s += x[i];
+            }
+            return s;
+        }
+        """
+        ret, _ = run_omp(src, "f", [farr(range(100))])
+        assert ret == sum(range(100))
+
+    def test_atomic_pragma_on_2d_target(self):
+        src = """
+        kernel f(m: array2d<float>) {
+            pragma omp parallel for
+            for (i in 0..100) {
+                pragma omp atomic
+                m[0, 0] += 1.0;
+            }
+        }
+        """
+        m = Array.zeros2d(2, 2, "float")
+        run_omp(src, "f", [m])
+        assert m.data[0] == 100.0
+
+    def test_critical_block_with_control_flow(self):
+        src = """
+        kernel f(x: array<float>) -> float {
+            let worst = -1e30;
+            pragma omp parallel for
+            for (i in 0..len(x)) {
+                pragma omp critical
+                {
+                    if (x[i] > worst) {
+                        worst = x[i];
+                    }
+                }
+            }
+            return worst;
+        }
+        """
+        ret, _ = run_omp(src, "f", [farr([3, 9, 1])])
+        assert ret == 9.0
+
+
+class TestKokkosEdges:
+    def test_scan_prod_rejected(self):
+        with pytest.raises(RuntimeFailure):
+            run_kokkos(
+                'kernel f(x: array<float>, out: array<float>) { '
+                'parallel_scan_inclusive(len(x), "prod", (i) => x[i], out); }',
+                "f", [farr([1, 2]), farr([0, 0])],
+            )
+
+    def test_zero_extent_patterns(self):
+        ret, _ = run_kokkos(
+            'kernel f(x: array<float>) -> float { '
+            'return parallel_reduce(0, "sum", (i) => x[i]); }',
+            "f", [farr([1, 2])],
+        )
+        assert ret == 0.0
+
+    def test_negative_extent_traps(self):
+        with pytest.raises(TrapError):
+            run_kokkos(
+                "kernel f(x: array<float>) { "
+                "parallel_for(0 - 1, (i) => { x[0] = 1.0; }); }",
+                "f", [farr([1])],
+            )
+
+    def test_nested_pattern_runs_serially(self):
+        src = """
+        kernel f(m: array2d<float>) {
+            parallel_for(rows(m), (i) => {
+                parallel_for(cols(m), (j) => {
+                    m[i, j] = float(i * 10 + j);
+                });
+            });
+        }
+        """
+        m = Array.zeros2d(2, 3, "float")
+        run_kokkos(src, "f", [m])
+        assert m.data == [0.0, 1.0, 2.0, 10.0, 11.0, 12.0]
+
+
+class TestMPIEdges:
+    def test_send_to_self(self):
+        src = """
+        kernel f(x: array<float>) -> float {
+            mpi_send(7.5, mpi_rank(), 0);
+            return mpi_recv_float(mpi_rank(), 0);
+        }
+        """
+        res = run_mpi(compiled(src), "f", [farr([0])], 2, DEFAULT_MACHINE)
+        assert res.error is None and res.ret == 7.5
+
+    def test_scan_int_kind(self):
+        src = """
+        kernel f(x: array<float>) -> int {
+            return mpi_scan_int(2, "prod");
+        }
+        """
+        res = run_mpi(compiled(src), "f", [farr([0])], 3, DEFAULT_MACHINE)
+        assert res.error is None
+        assert res.ret == 2  # rank 0's inclusive prefix product
+
+    def test_bcast_array_length_mismatch(self):
+        src = """
+        kernel f(x: array<float>) {
+            if (mpi_rank() == 0) {
+                let mine = alloc_float(4);
+                mpi_bcast_array(mine, 0);
+            } else {
+                let mine = alloc_float(8);
+                mpi_bcast_array(mine, 0);
+            }
+        }
+        """
+        res = run_mpi(compiled(src), "f", [farr([0])], 2, DEFAULT_MACHINE)
+        assert isinstance(res.error, MPIUsageError)
+
+    def test_gather_length_mismatch(self):
+        src = """
+        kernel f(x: array<float>) {
+            let local = alloc_float(mpi_rank() + 1);
+            let got = mpi_gather_array(local, 0);
+        }
+        """
+        res = run_mpi(compiled(src), "f", [farr([0])], 2, DEFAULT_MACHINE)
+        assert isinstance(res.error, MPIUsageError)
+
+    def test_reduce_prod(self):
+        src = """
+        kernel f(x: array<float>) -> float {
+            return mpi_allreduce_float(2.0, "prod");
+        }
+        """
+        res = run_mpi(compiled(src), "f", [farr([0])], 5, DEFAULT_MACHINE)
+        assert res.ret == 32.0
+
+    def test_two_rank_hybrid_barrier_heavy(self):
+        src = """
+        kernel f(x: array<float>) -> float {
+            let s = 0.0;
+            pragma omp parallel for reduction(+: s)
+            for (i in 0..len(x)) {
+                s += x[i];
+            }
+            mpi_barrier();
+            mpi_barrier();
+            return mpi_allreduce_float(s, "sum");
+        }
+        """
+        res = run_mpi(compiled(src), "f", [farr([1, 2, 3])], 2,
+                      DEFAULT_MACHINE, threads_per_rank=2)
+        assert res.ret == 12.0  # both ranks sum the replicated input
+
+
+class TestSerialRuntimeGates:
+    def test_kokkos_in_serial_runtime_fails_loudly(self):
+        # the harness link check normally prevents this; the runtime must
+        # still refuse rather than silently do something
+        with pytest.raises(RuntimeFailure, match="Kokkos"):
+            run_serial(
+                "kernel f(x: array<float>) { "
+                "parallel_for(len(x), (i) => { x[i] = 0.0; }); }",
+                "f", [farr([1])],
+            )
+
+    def test_mpi_in_serial_runtime_fails_loudly(self):
+        with pytest.raises(RuntimeFailure, match="MPI"):
+            run_serial(
+                "kernel f(x: array<float>) -> int { return mpi_rank(); }",
+                "f", [farr([1])],
+            )

@@ -1,0 +1,250 @@
+"""Tests for the SIMT GPU runtime (CUDA and HIP dialects)."""
+
+import pytest
+
+from repro.lang.errors import DataRaceError, FuelExhausted, GPUFault
+from repro.runtime import DEFAULT_MACHINE, Array, launch
+
+from .helpers import compiled, farr, iarr
+
+
+def gpu_run(src, kernel, args, threads, dialect="cuda", fuel=None,
+            work_scale=1.0, block_size=256):
+    cp = compiled(src)
+    return launch(cp, kernel, args, threads, DEFAULT_MACHINE, dialect=dialect,
+                  fuel=fuel, work_scale=work_scale, block_size=block_size)
+
+
+RELU = """
+kernel relu(x: array<float>) {
+    let i = block_idx() * block_dim() + thread_idx();
+    if (i < len(x)) {
+        x[i] = max(x[i], 0.0);
+    }
+}
+"""
+
+
+class TestLaunchSemantics:
+    def test_elementwise_kernel(self):
+        x = farr([1, -2, 3, -4])
+        res = gpu_run(RELU, "relu", [x], 4)
+        assert res.error is None
+        assert x.data == [1.0, 0.0, 3.0, 0.0]
+
+    def test_grid_covers_bounds_check(self):
+        # 1000 elements, 256-thread blocks -> 1024 threads; guard required
+        x = farr([-1.0] * 1000)
+        res = gpu_run(RELU, "relu", [x], 1000)
+        assert res.error is None
+        assert all(v == 0.0 for v in x.data)
+
+    def test_missing_bounds_check_traps(self):
+        src = RELU.replace("if (i < len(x)) {\n        x[i] = max(x[i], 0.0);\n    }",
+                           "x[i] = max(x[i], 0.0);")
+        res = gpu_run(src, "relu", [farr([-1.0] * 1000)], 1000)
+        assert res.error is not None  # out-of-bounds in the tail threads
+
+    def test_grid_stride_loop(self):
+        src = """
+        kernel f(x: array<float>) {
+            let stride = block_dim() * grid_dim();
+            let i = block_idx() * block_dim() + thread_idx();
+            while (i < len(x)) {
+                x[i] = x[i] * 2.0;
+                i += stride;
+            }
+        }
+        """
+        x = farr(range(1000))
+        res = gpu_run(src, "f", [x], 256, block_size=128)
+        assert res.error is None
+        assert x.data == [2.0 * i for i in range(1000)]
+
+    def test_thread_identity(self):
+        src = """
+        kernel f(out: array<int>) {
+            let i = block_idx() * block_dim() + thread_idx();
+            if (i < len(out)) {
+                out[i] = block_idx() * 1000 + thread_idx();
+            }
+        }
+        """
+        out = iarr([0] * 8)
+        res = gpu_run(src, "f", [out], 8, block_size=4)
+        assert res.error is None
+        assert out.data == [0, 1, 2, 3, 1000, 1001, 1002, 1003]
+
+    def test_invalid_launch(self):
+        res = gpu_run(RELU, "relu", [farr([1])], 0)
+        assert isinstance(res.error, GPUFault)
+
+    def test_return_value_from_thread0(self):
+        src = """
+        kernel f(x: array<float>) -> float {
+            return x[0] + float(thread_idx());
+        }
+        """
+        res = gpu_run(src, "f", [farr([5])], 4)
+        assert res.ret == 5.0
+
+
+class TestAtomicsAndRaces:
+    def test_atomic_histogram_correct(self):
+        src = """
+        kernel hist(x: array<int>, h: array<int>) {
+            let i = block_idx() * block_dim() + thread_idx();
+            if (i < len(x)) {
+                atomic_add(h, x[i], 1);
+            }
+        }
+        """
+        x = iarr([i % 4 for i in range(400)])
+        h = iarr([0, 0, 0, 0])
+        res = gpu_run(src, "hist", [x, h], 400)
+        assert res.error is None
+        assert h.data == [100, 100, 100, 100]
+
+    def test_unprotected_histogram_races(self):
+        src = """
+        kernel hist(x: array<int>, h: array<int>) {
+            let i = block_idx() * block_dim() + thread_idx();
+            if (i < len(x)) {
+                h[x[i]] += 1;
+            }
+        }
+        """
+        res = gpu_run(src, "hist", [iarr([i % 4 for i in range(400)]),
+                                    iarr([0, 0, 0, 0])], 400)
+        assert isinstance(res.error, DataRaceError)
+
+    def test_atomic_min_max(self):
+        src = """
+        kernel f(x: array<float>, out: array<float>) {
+            let i = block_idx() * block_dim() + thread_idx();
+            if (i < len(x)) {
+                atomic_min(out, 0, x[i]);
+                atomic_max(out, 1, x[i]);
+            }
+        }
+        """
+        x = farr([3, -7, 12, 5])
+        out = farr([1e18, -1e18])
+        res = gpu_run(src, "f", [x, out], 4)
+        assert res.error is None
+        assert out.data[0] == -7.0
+        assert out.data[1] == 12.0
+
+    def test_inplace_neighbour_read_races(self):
+        src = """
+        kernel f(x: array<float>) {
+            let i = block_idx() * block_dim() + thread_idx();
+            if (i > 0 && i < len(x) - 1) {
+                x[i] = (x[i - 1] + x[i + 1]) / 2.0;
+            }
+        }
+        """
+        res = gpu_run(src, "f", [farr(range(300))], 300)
+        assert isinstance(res.error, DataRaceError)
+
+    def test_infinite_loop_exhausts_fuel(self):
+        src = """
+        kernel f(x: array<float>) {
+            while (true) {
+                sync_threads();
+            }
+        }
+        """
+        res = gpu_run(src, "f", [farr([1])], 32, fuel=20_000)
+        assert isinstance(res.error, FuelExhausted)
+
+
+class TestGPUTimeModel:
+    def test_atomic_contention_slower_than_spread(self):
+        contended = """
+        kernel f(x: array<float>, out: array<float>) {
+            let i = block_idx() * block_dim() + thread_idx();
+            if (i < len(x)) {
+                atomic_add(out, 0, x[i]);
+            }
+        }
+        """
+        spread = """
+        kernel f(x: array<float>, out: array<float>) {
+            let i = block_idx() * block_dim() + thread_idx();
+            if (i < len(x)) {
+                atomic_add(out, i, x[i]);
+            }
+        }
+        """
+        x = farr(range(2048))
+        rc = gpu_run(contended, "f", [x, farr([0])], 2048, work_scale=64)
+        rs = gpu_run(spread, "f", [x, farr([0] * 2048)], 2048, work_scale=64)
+        assert rc.error is None and rs.error is None
+        assert rc.sim_seconds > 3 * rs.sim_seconds
+
+    def test_hip_slower_than_cuda_on_same_kernel(self):
+        x1 = farr(range(4096))
+        x2 = farr(range(4096))
+        rc = gpu_run(RELU, "relu", [x1], 4096, dialect="cuda", work_scale=256)
+        rh = gpu_run(RELU, "relu", [x2], 4096, dialect="hip", work_scale=256)
+        assert rh.sim_seconds > rc.sim_seconds  # MI50 model is slower
+
+    def test_work_scale_multiplies_threads(self):
+        r1 = gpu_run(RELU, "relu", [farr(range(1024))], 1024, work_scale=1)
+        rbig = gpu_run(RELU, "relu", [farr(range(1024))], 1024,
+                       work_scale=65536)
+        assert rbig.total_threads == 65536 * r1.total_threads
+        # at small scales launch overhead dominates both; at a big enough
+        # scale the throughput term must surface
+        assert rbig.sim_seconds > r1.sim_seconds
+
+    def test_thread0_serial_kernel_pays_serial_clock(self):
+        """A kernel where one thread does all the work must not ride the
+        aggregate-throughput term (regression for the critical-path
+        scaling rule)."""
+        t0 = """
+        kernel f(x: array<float>) {
+            if (block_idx() == 0 && thread_idx() == 0) {
+                for (i in 0..len(x)) {
+                    x[i] = max(x[i], 0.0);
+                }
+            }
+        }
+        """
+        slow = gpu_run(t0, "f", [farr(range(1024))], 1024, work_scale=512)
+        fast = gpu_run(RELU, "relu", [farr(range(1024))], 1024, work_scale=512)
+        assert slow.error is None and fast.error is None
+        assert slow.sim_seconds > 50 * fast.sim_seconds
+
+    def test_launch_overhead_floor(self):
+        res = gpu_run(RELU, "relu", [farr([1])], 1)
+        assert res.sim_seconds >= DEFAULT_MACHINE.cuda.kernel_launch
+
+    def test_divergence_costs_warp_max(self):
+        divergent = """
+        kernel f(x: array<float>) {
+            let i = block_idx() * block_dim() + thread_idx();
+            if (i < len(x)) {
+                if (i % 32 == 0) {
+                    let s = 0.0;
+                    for (k in 0..200) { s += 1.0; }
+                    x[i] = s;
+                } else {
+                    x[i] = 1.0;
+                }
+            }
+        }
+        """
+        uniform = """
+        kernel f(x: array<float>) {
+            let i = block_idx() * block_dim() + thread_idx();
+            if (i < len(x)) {
+                x[i] = 1.0;
+            }
+        }
+        """
+        rd = gpu_run(divergent, "f", [farr(range(1024))], 1024, work_scale=4096)
+        ru = gpu_run(uniform, "f", [farr(range(1024))], 1024, work_scale=4096)
+        # one slow lane per warp drags the whole warp
+        assert rd.sim_seconds > 5 * ru.sim_seconds

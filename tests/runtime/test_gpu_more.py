@@ -1,0 +1,85 @@
+"""Additional GPU runtime coverage: block sizes, dialect parity of
+results, result determinism, and warp divergence bookkeeping."""
+
+import pytest
+
+from repro.runtime import DEFAULT_MACHINE, Array, launch
+
+from .helpers import compiled, farr, iarr
+
+SCALE2 = """
+kernel f(x: array<float>) {
+    let i = block_idx() * block_dim() + thread_idx();
+    if (i < len(x)) {
+        x[i] = x[i] * 2.0;
+    }
+}
+"""
+
+
+class TestLaunchConfigs:
+    @pytest.mark.parametrize("block", [1, 7, 32, 256, 1024])
+    def test_any_block_size_correct(self, block):
+        x = farr(range(100))
+        res = launch(compiled(SCALE2), "f", [x], 100, DEFAULT_MACHINE,
+                     block_size=block)
+        assert res.error is None
+        assert x.data == [2.0 * i for i in range(100)]
+
+    def test_more_threads_than_elements_guarded(self):
+        x = farr(range(10))
+        res = launch(compiled(SCALE2), "f", [x], 5000, DEFAULT_MACHINE)
+        assert res.error is None
+        assert x.data == [2.0 * i for i in range(10)]
+
+    def test_results_identical_across_dialects(self):
+        xa, xb = farr(range(64)), farr(range(64))
+        ra = launch(compiled(SCALE2), "f", [xa], 64, DEFAULT_MACHINE,
+                    dialect="cuda")
+        rb = launch(compiled(SCALE2), "f", [xb], 64, DEFAULT_MACHINE,
+                    dialect="hip")
+        assert ra.error is None and rb.error is None
+        assert xa.data == xb.data  # values agree; only timing differs
+        assert ra.sim_seconds != rb.sim_seconds
+
+    def test_repeat_launches_bit_identical_time(self):
+        times = set()
+        for _ in range(3):
+            x = farr(range(256))
+            res = launch(compiled(SCALE2), "f", [x], 256, DEFAULT_MACHINE,
+                         work_scale=64)
+            times.add(res.sim_seconds)
+        assert len(times) == 1
+
+
+class TestBlockIdentity:
+    def test_grid_dim_consistent_with_block_size(self):
+        src = """
+        kernel f(out: array<int>) {
+            let i = block_idx() * block_dim() + thread_idx();
+            if (i == 0) {
+                out[0] = grid_dim();
+                out[1] = block_dim();
+            }
+        }
+        """
+        out = iarr([0, 0])
+        res = launch(compiled(src), "f", [out], 1000, DEFAULT_MACHINE,
+                     block_size=128)
+        assert res.error is None
+        assert out.data == [8, 128]  # ceil(1000/128) = 8 blocks
+
+    def test_every_thread_has_unique_gid(self):
+        src = """
+        kernel f(seen: array<int>) {
+            let i = block_idx() * block_dim() + thread_idx();
+            if (i < len(seen)) {
+                seen[i] += 1;
+            }
+        }
+        """
+        seen = iarr([0] * 300)
+        res = launch(compiled(src), "f", [seen], 300, DEFAULT_MACHINE,
+                     block_size=64)
+        assert res.error is None
+        assert seen.data == [1] * 300

@@ -1,0 +1,308 @@
+"""Semantics tests for the closure compiler / serial interpreter."""
+
+import math
+
+import pytest
+
+from repro.lang.errors import FuelExhausted, TrapError
+from repro.runtime import Array
+
+from .helpers import farr, iarr, run_serial
+
+
+class TestScalars:
+    def test_arithmetic(self):
+        ret, _ = run_serial("kernel f() -> int { return 2 + 3 * 4; }", "f", [])
+        assert ret == 14
+
+    def test_int_division_truncates_toward_zero(self):
+        ret, _ = run_serial("kernel f() -> int { return (0 - 7) / 2; }", "f", [])
+        assert ret == -3  # C semantics, not Python floor (-4)
+
+    def test_int_modulo_sign_of_dividend(self):
+        ret, _ = run_serial("kernel f() -> int { return (0 - 7) % 3; }", "f", [])
+        assert ret == -1
+
+    def test_division_by_zero_traps(self):
+        with pytest.raises(TrapError):
+            run_serial("kernel f() -> int { let z = 0; return 1 / z; }", "f", [])
+
+    def test_float_division_by_zero_traps(self):
+        with pytest.raises(TrapError):
+            run_serial("kernel f() -> float { let z = 0.0; return 1.0 / z; }", "f", [])
+
+    def test_mixed_arithmetic_promotes(self):
+        ret, _ = run_serial("kernel f() -> float { return 3 / 2.0; }", "f", [])
+        assert ret == 1.5
+
+    def test_declared_float_from_int_literal(self):
+        ret, _ = run_serial(
+            "kernel f() -> float { let a: float = 1; return a / 2; }", "f", []
+        )
+        assert ret == 0.5
+
+    def test_comparison_chain(self):
+        ret, _ = run_serial(
+            "kernel f(n: int) -> bool { return n > 0 && n < 10; }", "f", [5]
+        )
+        assert ret is True
+
+    def test_short_circuit_and(self):
+        # right side would trap (division by zero) if evaluated
+        ret, _ = run_serial(
+            "kernel f() -> bool { let z = 0; return false && 1 / z == 0; }",
+            "f", [],
+        )
+        assert ret is False
+
+    def test_unary(self):
+        ret, _ = run_serial("kernel f() -> int { return -(-5); }", "f", [])
+        assert ret == 5
+
+    def test_select(self):
+        ret, _ = run_serial(
+            "kernel f(n: int) -> int { return select(n % 2 == 0, 0, 1); }", "f", [7]
+        )
+        assert ret == 1
+
+
+class TestArrays:
+    def test_load_store(self):
+        x = farr([1, 2, 3])
+        run_serial("kernel f(x: array<float>) { x[1] = x[0] + x[2]; }", "f", [x])
+        assert x.data == [1.0, 4.0, 3.0]
+
+    def test_out_of_bounds_read_traps(self):
+        with pytest.raises(TrapError):
+            run_serial(
+                "kernel f(x: array<float>) -> float { return x[len(x)]; }",
+                "f", [farr([1, 2])],
+            )
+
+    def test_negative_index_traps(self):
+        with pytest.raises(TrapError):
+            run_serial(
+                "kernel f(x: array<float>) -> float { return x[0 - 1]; }",
+                "f", [farr([1, 2])],
+            )
+
+    def test_2d_index(self):
+        m = Array.from_numpy([[1.0, 2.0], [3.0, 4.0]])
+        ret, _ = run_serial(
+            "kernel f(m: array2d<float>) -> float { return m[1, 0]; }", "f", [m]
+        )
+        assert ret == 3.0
+
+    def test_2d_out_of_bounds_traps(self):
+        m = Array.zeros2d(2, 3, "float")
+        with pytest.raises(TrapError):
+            run_serial(
+                "kernel f(m: array2d<float>) -> float { return m[0, 3]; }", "f", [m]
+            )
+
+    def test_compound_store(self):
+        x = iarr([5])
+        run_serial("kernel f(x: array<int>) { x[0] += 2; x[0] *= 3; }", "f", [x])
+        assert x.data == [21]
+
+    def test_int_elem_stays_int_after_compound_div(self):
+        x = iarr([7])
+        run_serial("kernel f(x: array<int>) { x[0] /= 2; }", "f", [x])
+        assert x.data == [3]
+        assert isinstance(x.data[0], int)
+
+    def test_arrays_passed_by_reference(self):
+        src = """
+        kernel helper(y: array<float>) { y[0] = 42.0; }
+        kernel f(x: array<float>) { helper(x); }
+        """
+        x = farr([0])
+        run_serial(src, "f", [x])
+        assert x.data == [42.0]
+
+    def test_float_store_of_int_value_materialises_float(self):
+        x = farr([0.0])
+        run_serial("kernel f(x: array<float>) { x[0] = 3; }", "f", [x])
+        assert isinstance(x.data[0], float)
+
+
+class TestControlFlow:
+    def test_for_loop_sum(self):
+        ret, _ = run_serial(
+            "kernel f(n: int) -> int { let s = 0; "
+            "for (i in 0..n) { s += i; } return s; }",
+            "f", [10],
+        )
+        assert ret == 45
+
+    def test_for_step(self):
+        ret, _ = run_serial(
+            "kernel f() -> int { let s = 0; "
+            "for (i in 0..10 step 3) { s += i; } return s; }",
+            "f", [],
+        )
+        assert ret == 0 + 3 + 6 + 9
+
+    def test_nonpositive_step_traps(self):
+        with pytest.raises(TrapError):
+            run_serial(
+                "kernel f(n: int) { for (i in 0..4 step n) { } }", "f", [0]
+            )
+
+    def test_break(self):
+        ret, _ = run_serial(
+            "kernel f() -> int { let s = 0; for (i in 0..100) { "
+            "if (i == 5) { break; } s += 1; } return s; }",
+            "f", [],
+        )
+        assert ret == 5
+
+    def test_continue(self):
+        ret, _ = run_serial(
+            "kernel f() -> int { let s = 0; for (i in 0..10) { "
+            "if (i % 2 == 0) { continue; } s += 1; } return s; }",
+            "f", [],
+        )
+        assert ret == 5
+
+    def test_while(self):
+        ret, _ = run_serial(
+            "kernel f(n: int) -> int { let c = 0; "
+            "while (n > 1) { if (n % 2 == 0) { n = n / 2; } else { n = 3 * n + 1; } "
+            "c += 1; } return c; }",
+            "f", [27],
+        )
+        assert ret == 111  # Collatz steps for 27
+
+    def test_early_return_from_nested_loop(self):
+        ret, _ = run_serial(
+            "kernel f() -> int { for (i in 0..10) { for (j in 0..10) { "
+            "if (i * j == 12) { return i * 100 + j; } } } return -1; }",
+            "f", [],
+        )
+        assert ret == 206  # i=2, j=6 first
+
+    def test_infinite_loop_exhausts_fuel(self):
+        with pytest.raises(FuelExhausted):
+            run_serial(
+                "kernel f() -> int { let s = 0; while (true) { s += 1; } return s; }",
+                "f", [], fuel=50_000,
+            )
+
+    def test_recursion_supported(self):
+        ret, _ = run_serial(
+            "kernel fib(n: int) -> int { if (n < 2) { return n; } "
+            "return fib(n - 1) + fib(n - 2); }",
+            "fib", [12],
+        )
+        assert ret == 144
+
+
+class TestBuiltins:
+    def test_math(self):
+        ret, _ = run_serial(
+            "kernel f() -> float { return sqrt(16.0) + abs(0.0 - 2.0) + pow(2.0, 3.0); }",
+            "f", [],
+        )
+        assert ret == 4.0 + 2.0 + 8.0
+
+    def test_sqrt_negative_traps(self):
+        with pytest.raises(TrapError):
+            run_serial("kernel f() -> float { return sqrt(0.0 - 1.0); }", "f", [])
+
+    def test_log_domain_traps(self):
+        with pytest.raises(TrapError):
+            run_serial("kernel f() -> float { return log(0.0); }", "f", [])
+
+    def test_floor_ceil(self):
+        ret, _ = run_serial(
+            "kernel f() -> float { return floor(2.7) + ceil(2.1); }", "f", []
+        )
+        assert ret == 5.0
+
+    def test_int_cast_truncates(self):
+        ret, _ = run_serial("kernel f() -> int { return int(2.9); }", "f", [])
+        assert ret == 2
+
+    def test_alloc_zeroed(self):
+        ret, _ = run_serial(
+            "kernel f() -> float { let a = alloc_float(4); return a[3]; }", "f", []
+        )
+        assert ret == 0.0
+
+    def test_alloc_negative_traps(self):
+        with pytest.raises(TrapError):
+            run_serial("kernel f() { let a = alloc_float(0 - 1); }", "f", [])
+
+    def test_alloc2d(self):
+        ret, _ = run_serial(
+            "kernel f() -> int { let m = alloc2d_int(3, 5); return rows(m) * cols(m); }",
+            "f", [],
+        )
+        assert ret == 15
+
+    def test_copy_is_deep(self):
+        x = farr([1, 2])
+        run_serial(
+            "kernel f(x: array<float>) { let y = copy(x); y[0] = 9.0; }", "f", [x]
+        )
+        assert x.data == [1.0, 2.0]
+
+    def test_fill(self):
+        x = farr([1, 2, 3])
+        run_serial("kernel f(x: array<float>) { fill(x, 7.0); }", "f", [x])
+        assert x.data == [7.0] * 3
+
+    def test_sort(self):
+        x = farr([3, 1, 2])
+        run_serial("kernel f(x: array<float>) { sort(x); }", "f", [x])
+        assert x.data == [1.0, 2.0, 3.0]
+
+    def test_swap(self):
+        x = iarr([1, 2, 3])
+        run_serial("kernel f(x: array<int>) { swap(x, 0, 2); }", "f", [x])
+        assert x.data == [3, 2, 1]
+
+    def test_trig(self):
+        ret, _ = run_serial(
+            "kernel f() -> float { return sin(0.0) + cos(0.0) + exp(0.0); }", "f", []
+        )
+        assert ret == pytest.approx(2.0)
+
+    def test_exp_overflow_traps(self):
+        with pytest.raises(TrapError):
+            run_serial("kernel f() -> float { return exp(1000.0); }", "f", [])
+
+
+class TestCost:
+    def test_cost_accumulates(self):
+        _, ctx = run_serial(
+            "kernel f(x: array<float>) { for (i in 0..len(x)) { x[i] = 0.0; } }",
+            "f", [farr(range(100))],
+        )
+        assert ctx.cost > 100  # at least one unit per iteration
+
+    def test_cost_scales_with_work(self):
+        _, small = run_serial(
+            "kernel f(x: array<float>) { for (i in 0..len(x)) { x[i] = 0.0; } }",
+            "f", [farr(range(100))],
+        )
+        _, large = run_serial(
+            "kernel f(x: array<float>) { for (i in 0..len(x)) { x[i] = 0.0; } }",
+            "f", [farr(range(1000))],
+        )
+        assert large.cost > 5 * small.cost
+
+    def test_work_scale_multiplies_sim_time_not_cost(self):
+        _, a = run_serial("kernel f() { for (i in 0..100) { } }", "f", [])
+        _, b = run_serial("kernel f() { for (i in 0..100) { } }", "f", [],
+                          work_scale=64)
+        assert a.cost == b.cost
+        assert b.sim_seconds() == pytest.approx(64 * a.sim_seconds())
+
+    def test_sort_cost_superlinear(self):
+        _, a = run_serial("kernel f(x: array<float>) { sort(x); }", "f",
+                          [farr(range(100))])
+        _, b = run_serial("kernel f(x: array<float>) { sort(x); }", "f",
+                          [farr(range(1000))])
+        assert b.cost > 10 * a.cost

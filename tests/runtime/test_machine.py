@@ -1,0 +1,69 @@
+"""Tests for the machine/cost models."""
+
+import pytest
+
+from repro.runtime import A100, MI50, CPUSpec, DEFAULT_MACHINE, InterconnectSpec
+
+
+class TestCPUSpec:
+    def test_region_overhead_single_thread_free(self):
+        assert DEFAULT_MACHINE.cpu.omp_region_overhead(1) == 0.0
+
+    def test_region_overhead_grows_linearly_with_threads(self):
+        cpu = DEFAULT_MACHINE.cpu
+        o2, o16, o64 = (cpu.omp_region_overhead(t) for t in (2, 16, 64))
+        assert o2 < o16 < o64
+        # fork/join dominates: near-linear growth in thread count
+        assert o64 / o16 > 2.5
+
+    def test_kokkos_overhead_sublinear(self):
+        cpu = DEFAULT_MACHINE.cpu
+        k2, k64 = cpu.kokkos_pattern_overhead(2), cpu.kokkos_pattern_overhead(64)
+        assert k64 / k2 < 1.6  # persistent pool: only the log term grows
+
+    def test_kokkos_vs_omp_crossover(self):
+        """Below some thread count OpenMP regions are cheaper; above it the
+        Kokkos pool wins — the mechanism behind Figure 5's contrast."""
+        cpu = DEFAULT_MACHINE.cpu
+        assert cpu.omp_region_overhead(2) < cpu.kokkos_pattern_overhead(2)
+        assert cpu.omp_region_overhead(64) > cpu.kokkos_pattern_overhead(64)
+
+
+class TestInterconnect:
+    def test_intra_node_discount(self):
+        net = DEFAULT_MACHINE.net
+        same = net.point_to_point(1024, 0, 1)
+        cross = net.point_to_point(1024, 0, net.cores_per_node)
+        assert same < cross
+
+    def test_message_size_matters(self):
+        net = DEFAULT_MACHINE.net
+        assert net.point_to_point(1 << 20, 0, 64) > net.point_to_point(8, 0, 64)
+
+    def test_collectives_scale_logarithmically(self):
+        net = DEFAULT_MACHINE.net
+        t16 = net.collective("allreduce", 8, 16)
+        t256 = net.collective("allreduce", 8, 256)
+        assert t256 / t16 == pytest.approx(2.0)  # log2(256)/log2(16)
+
+    def test_single_rank_collective_free(self):
+        assert DEFAULT_MACHINE.net.collective("allreduce", 8, 1) == 0.0
+
+    def test_unknown_collective_rejected(self):
+        with pytest.raises(ValueError):
+            DEFAULT_MACHINE.net.collective("alltoallv", 8, 4)
+
+
+class TestGPUSpecs:
+    def test_mi50_slower_than_a100(self):
+        assert MI50.thread_cycle > A100.thread_cycle
+        assert MI50.concurrent_warps < A100.concurrent_warps
+
+    def test_serial_cycle_much_slower_than_throughput(self):
+        for spec in (A100, MI50):
+            assert spec.serial_cycle > 10 * spec.thread_cycle
+
+    def test_machine_overrides(self):
+        m = DEFAULT_MACHINE.with_overrides(fuel=123)
+        assert m.fuel == 123
+        assert DEFAULT_MACHINE.fuel != 123

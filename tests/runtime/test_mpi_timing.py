@@ -1,0 +1,115 @@
+"""Tests for MPI *simulated-time* semantics: waiting, message latency,
+collective completion, and work scaling of message sizes."""
+
+import pytest
+
+from repro.runtime import DEFAULT_MACHINE, run_mpi
+
+from .helpers import compiled, farr
+
+
+def sim(src, args, nranks, **kw):
+    res = run_mpi(compiled(src), "f", args, nranks, DEFAULT_MACHINE, **kw)
+    assert res.error is None, res.error
+    return res
+
+
+class TestWaiting:
+    def test_receiver_waits_for_slow_sender(self):
+        # rank 1 burns ~200k op units before sending; rank 0 receives
+        # immediately -> total time must include rank 1's compute
+        src = """
+        kernel f(x: array<float>) -> float {
+            if (mpi_rank() == 1) {
+                let acc = 0.0;
+                for (i in 0..100000) {
+                    acc += 1.0;
+                }
+                mpi_send(acc, 0, 0);
+                return acc;
+            }
+            return mpi_recv_float(1, 0);
+        }
+        """
+        res = sim(src, [farr([0])], 2)
+        assert res.ret == 100000.0
+        assert res.sim_seconds > 100000 * DEFAULT_MACHINE.cpu.cycle
+
+    def test_buffered_send_does_not_block_sender(self):
+        # both ranks send first, then receive: with buffered sends the
+        # total time is ~one message latency, not a deadlock
+        src = """
+        kernel f(x: array<float>) -> float {
+            let peer = 1 - mpi_rank();
+            mpi_send(1.0, peer, 0);
+            return mpi_recv_float(peer, 0);
+        }
+        """
+        res = sim(src, [farr([0])], 2)
+        assert res.ret == 1.0
+
+    def test_collective_completion_from_last_arrival(self):
+        # rank 1 arrives at the barrier ~100k units late; everyone's clock
+        # must advance past it
+        src = """
+        kernel f(x: array<float>) -> float {
+            if (mpi_rank() == 1) {
+                let acc = 0.0;
+                for (i in 0..100000) {
+                    acc += 1.0;
+                }
+            }
+            mpi_barrier();
+            return 1.0;
+        }
+        """
+        res = sim(src, [farr([0])], 4)
+        assert res.sim_seconds > 100000 * DEFAULT_MACHINE.cpu.cycle
+
+
+class TestMessageCosts:
+    def test_bigger_messages_cost_more(self):
+        src = """
+        kernel f(x: array<float>) -> float {
+            if (mpi_rank() == 1) {
+                mpi_send(x, 0, 0);
+                return 0.0;
+            }
+            let got = mpi_recv_array_float(1, 0);
+            return got[0];
+        }
+        """
+        small = sim(src, [farr([1.0] * 16)], 2, work_scale=1)
+        big = sim(src, [farr([1.0] * 16)], 2, work_scale=4096)
+        assert big.sim_seconds > small.sim_seconds
+
+    def test_intra_node_cheaper_than_cross_node(self):
+        # ranks 0/1 share a node; ranks 0/64 are on different nodes
+        src_near = """
+        kernel f(x: array<float>) -> float {
+            if (mpi_rank() == 1) {
+                mpi_send(x, 0, 0);
+            }
+            if (mpi_rank() == 0) {
+                let got = mpi_recv_array_float(1, 0);
+                return got[0];
+            }
+            return 0.0;
+        }
+        """
+        src_far = src_near.replace("mpi_rank() == 1", "mpi_rank() == 64") \
+                          .replace("mpi_recv_array_float(1, 0)",
+                                   "mpi_recv_array_float(64, 0)")
+        near = sim(src_near, [farr([1.0] * 512)], 2, work_scale=512)
+        far = sim(src_far, [farr([1.0] * 512)], 65, work_scale=512)
+        assert far.sim_seconds > near.sim_seconds
+
+    def test_collective_cost_grows_with_ranks(self):
+        src = """
+        kernel f(x: array<float>) -> float {
+            return mpi_allreduce_float(1.0, "sum");
+        }
+        """
+        t4 = sim(src, [farr([0])], 4).sim_seconds
+        t64 = sim(src, [farr([0])], 64).sim_seconds
+        assert t64 > t4

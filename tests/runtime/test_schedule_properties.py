@@ -1,0 +1,77 @@
+"""Property-based tests for the loop scheduling time models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime import dynamic_chunk_time, static_chunk_time
+
+costs_strategy = st.lists(
+    st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+    min_size=1, max_size=200,
+).map(lambda xs: np.asarray(xs))
+
+
+@settings(max_examples=120, deadline=None)
+@given(costs=costs_strategy, threads=st.integers(1, 64))
+def test_static_matches_explicit_ceil_chunking(costs, threads):
+    """The cumsum implementation equals OpenMP's ceil-chunk partition
+    computed the slow, obvious way."""
+    n = len(costs)
+    chunk = -(-n // threads)
+    expected = max(
+        (float(costs[i:i + chunk].sum()) for i in range(0, n, chunk)),
+        default=float(costs.sum()),
+    )
+    assert static_chunk_time(costs, threads) == pytest.approx(expected)
+
+
+@settings(max_examples=120, deadline=None)
+@given(costs=costs_strategy, threads=st.integers(1, 64))
+def test_static_bounds(costs, threads):
+    t = static_chunk_time(costs, threads)
+    total = float(costs.sum())
+    n = len(costs)
+    chunk = -(-n // threads)
+    used = -(-n // chunk)
+    assert total / used - 1e-9 <= t <= total + 1e-9
+    assert t >= float(costs.max()) - 1e-9
+
+
+@settings(max_examples=120, deadline=None)
+@given(costs=costs_strategy, threads=st.integers(1, 64))
+def test_static_never_worse_than_serial(costs, threads):
+    # ceil-chunking is not strictly monotone in T (a famous OpenMP
+    # footgun), but it never exceeds the serial total
+    assert static_chunk_time(costs, threads) <= float(costs.sum()) + 1e-9
+
+
+@settings(max_examples=120, deadline=None)
+@given(costs=costs_strategy, threads=st.integers(2, 64),
+       dispatch=st.floats(0.0, 10.0))
+def test_dynamic_lower_bound_properties(costs, threads, dispatch):
+    t = dynamic_chunk_time(costs, threads, dispatch)
+    # never beats perfect balance without dispatch, never beats the
+    # largest single iteration
+    assert t >= float(costs.sum()) / threads - 1e-9
+    assert t >= float(costs.max()) - 1e-9
+
+
+@settings(max_examples=80, deadline=None)
+@given(costs=costs_strategy, threads=st.integers(2, 32))
+def test_dynamic_beats_static_on_front_loaded_work(costs, threads):
+    """With a heavy head and zero dispatch cost, dynamic scheduling can
+    only do as well or better than contiguous static chunks."""
+    skewed = np.sort(costs)[::-1]
+    d = dynamic_chunk_time(skewed, threads, dispatch=0.0)
+    s = static_chunk_time(skewed, threads)
+    assert d <= s + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(costs=costs_strategy)
+def test_single_thread_is_exact_total(costs):
+    assert static_chunk_time(costs, 1) == pytest.approx(float(costs.sum()))
+    assert dynamic_chunk_time(costs, 1, 5.0) == pytest.approx(
+        float(costs.sum()))

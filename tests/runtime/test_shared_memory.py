@@ -1,0 +1,341 @@
+"""Tests for the OpenMP and Kokkos runtimes: correctness, race detection,
+and the parallel time model."""
+
+import numpy as np
+import pytest
+
+from repro.lang.errors import DataRaceError
+from repro.runtime import dynamic_chunk_time, static_chunk_time
+
+from .helpers import farr, iarr, run_kokkos, run_omp, run_serial
+
+
+SUM_OMP = """
+kernel f(x: array<float>) -> float {
+    let total = 0.0;
+    pragma omp parallel for reduction(+: total)
+    for (i in 0..len(x)) {
+        total += x[i];
+    }
+    return total;
+}
+"""
+
+
+class TestOpenMPCorrectness:
+    def test_reduction_sum(self):
+        x = farr(range(1000))
+        ret, _ = run_omp(SUM_OMP, "f", [x])
+        assert ret == sum(range(1000))
+
+    def test_elementwise_map(self):
+        x = farr([1, -2, 3, -4])
+        run_omp(
+            "kernel f(x: array<float>) { pragma omp parallel for "
+            "for (i in 0..len(x)) { x[i] = max(x[i], 0.0); } }",
+            "f", [x],
+        )
+        assert x.data == [1.0, 0.0, 3.0, 0.0]
+
+    def test_min_reduction(self):
+        x = farr([5, 3, 8, 1, 9])
+        ret, _ = run_omp(
+            "kernel f(x: array<float>) -> float { let m = 1000000.0; "
+            "pragma omp parallel for reduction(min: m) "
+            "for (i in 0..len(x)) { m = min(m, x[i]); } return m; }",
+            "f", [x],
+        )
+        assert ret == 1.0
+
+    def test_critical_section_correct(self):
+        x = farr(range(100))
+        ret, _ = run_omp(
+            "kernel f(x: array<float>) -> float { let total = 0.0; "
+            "pragma omp parallel for "
+            "for (i in 0..len(x)) { pragma omp critical { total += x[i]; } } "
+            "return total; }",
+            "f", [x],
+        )
+        assert ret == sum(range(100))
+
+    def test_atomic_scalar_correct(self):
+        ret, _ = run_omp(
+            "kernel f(x: array<float>) -> float { let total = 0.0; "
+            "pragma omp parallel for "
+            "for (i in 0..len(x)) { pragma omp atomic total += x[i]; } "
+            "return total; }",
+            "f", [farr(range(50))],
+        )
+        assert ret == sum(range(50))
+
+    def test_nested_parallel_runs_serially(self):
+        x = farr([0] * 16)
+        run_omp(
+            "kernel f(x: array<float>) { pragma omp parallel for "
+            "for (i in 0..4) { pragma omp parallel for "
+            "for (j in 0..4) { x[i * 4 + j] = 1.0; } } }",
+            "f", [x],
+        )
+        assert x.data == [1.0] * 16
+
+    def test_schedule_dynamic_still_correct(self):
+        x = farr(range(64))
+        ret, _ = run_omp(
+            "kernel f(x: array<float>) -> float { let s = 0.0; "
+            "pragma omp parallel for reduction(+: s) schedule(dynamic) "
+            "for (i in 0..len(x)) { s += x[i]; } return s; }",
+            "f", [x],
+        )
+        assert ret == sum(range(64))
+
+
+class TestRaceDetection:
+    def test_missing_reduction_detected_statically(self):
+        src = SUM_OMP.replace(" reduction(+: total)", "")
+        with pytest.raises(DataRaceError, match="shared"):
+            run_omp(src, "f", [farr(range(10))])
+
+    def test_serial_model_ignores_pragma_no_race(self):
+        src = SUM_OMP.replace(" reduction(+: total)", "")
+        ret, _ = run_serial(src, "f", [farr(range(10))])
+        assert ret == 45.0  # pragma ignored: correct sequentially
+
+    def test_histogram_without_atomic_races(self):
+        with pytest.raises(DataRaceError):
+            run_omp(
+                "kernel f(x: array<int>, h: array<int>) { "
+                "pragma omp parallel for "
+                "for (i in 0..len(x)) { h[x[i]] += 1; } }",
+                "f", [iarr([i % 5 for i in range(200)]), iarr([0] * 5)],
+            )
+
+    def test_inplace_stencil_races(self):
+        with pytest.raises(DataRaceError):
+            run_omp(
+                "kernel f(x: array<float>) { pragma omp parallel for "
+                "for (i in 1..len(x) - 1) { x[i] = (x[i - 1] + x[i + 1]) / 2.0; } }",
+                "f", [farr(range(100))],
+            )
+
+    def test_out_of_place_stencil_is_clean(self):
+        x, y = farr(range(100)), farr([0] * 100)
+        run_omp(
+            "kernel f(x: array<float>, y: array<float>) { "
+            "pragma omp parallel for "
+            "for (i in 1..len(x) - 1) { y[i] = (x[i - 1] + x[i + 1]) / 2.0; } }",
+            "f", [x, y],
+        )
+        assert y.data[1] == 1.0
+
+    def test_prefix_sum_dependence_races(self):
+        with pytest.raises(DataRaceError):
+            run_omp(
+                "kernel f(x: array<float>) { pragma omp parallel for "
+                "for (i in 1..len(x)) { x[i] = x[i] + x[i - 1]; } }",
+                "f", [farr(range(100))],
+            )
+
+    def test_shared_temp_scalar_races(self):
+        # classic bug: temp declared outside the loop is shared
+        with pytest.raises(DataRaceError):
+            run_omp(
+                "kernel f(x: array<float>, y: array<float>) { let t = 0.0; "
+                "pragma omp parallel for "
+                "for (i in 0..len(x)) { t = x[i] * 2.0; y[i] = t; } }",
+                "f", [farr(range(10)), farr([0] * 10)],
+            )
+
+    def test_private_temp_is_fine(self):
+        x, y = farr(range(10)), farr([0] * 10)
+        run_omp(
+            "kernel f(x: array<float>, y: array<float>) { "
+            "pragma omp parallel for "
+            "for (i in 0..len(x)) { let t = x[i] * 2.0; y[i] = t; } }",
+            "f", [x, y],
+        )
+        assert y.data == [v * 2.0 for v in x.data]
+
+    def test_atomic_array_update_is_exonerated(self):
+        h = iarr([0] * 5)
+        run_omp(
+            "kernel f(x: array<int>, h: array<int>) { "
+            "pragma omp parallel for "
+            "for (i in 0..len(x)) { pragma omp atomic h[x[i]] += 1; } }",
+            "f", [iarr([i % 5 for i in range(200)]), h],
+        )
+        assert sum(h.data) == 200
+
+    def test_kokkos_race_detected(self):
+        with pytest.raises(DataRaceError):
+            run_kokkos(
+                "kernel f(x: array<float>) { "
+                "parallel_for(len(x) - 1, (i) => { x[i] = x[i + 1]; }); }",
+                "f", [farr(range(100))],
+            )
+
+
+class TestKokkosPatterns:
+    def test_parallel_for(self):
+        x = farr([1, 2, 3, 4])
+        run_kokkos(
+            "kernel f(x: array<float>) { "
+            "parallel_for(len(x), (i) => { x[i] = x[i] * 2.0; }); }",
+            "f", [x],
+        )
+        assert x.data == [2.0, 4.0, 6.0, 8.0]
+
+    def test_parallel_reduce_sum(self):
+        ret, _ = run_kokkos(
+            'kernel f(x: array<float>) -> float { '
+            'return parallel_reduce(len(x), "sum", (i) => x[i]); }',
+            "f", [farr(range(100))],
+        )
+        assert ret == sum(range(100))
+
+    def test_parallel_reduce_max(self):
+        ret, _ = run_kokkos(
+            'kernel f(x: array<float>) -> float { '
+            'return parallel_reduce(len(x), "max", (i) => x[i]); }',
+            "f", [farr([3, 9, 1])],
+        )
+        assert ret == 9.0
+
+    def test_parallel_reduce_int_kind_preserved(self):
+        ret, _ = run_kokkos(
+            'kernel f(x: array<int>) -> int { '
+            'return parallel_reduce(len(x), "sum", (i) => select(x[i] > 2, 1, 0)); }',
+            "f", [iarr([1, 2, 3, 4, 5])],
+        )
+        assert ret == 3
+        assert isinstance(ret, int)
+
+    def test_scan_inclusive(self):
+        x = farr([1, 2, 3, 4])
+        out = farr([0] * 4)
+        run_kokkos(
+            'kernel f(x: array<float>, out: array<float>) { '
+            'parallel_scan_inclusive(len(x), "sum", (i) => x[i], out); }',
+            "f", [x, out],
+        )
+        assert out.data == [1.0, 3.0, 6.0, 10.0]
+
+    def test_scan_exclusive(self):
+        x = farr([1, 2, 3, 4])
+        out = farr([0] * 4)
+        run_kokkos(
+            'kernel f(x: array<float>, out: array<float>) { '
+            'parallel_scan_exclusive(len(x), "sum", (i) => x[i], out); }',
+            "f", [x, out],
+        )
+        assert out.data == [0.0, 1.0, 3.0, 6.0]
+
+    def test_scan_min_inclusive(self):
+        x = farr([8, 6, -1, 7])
+        out = farr([0] * 4)
+        run_kokkos(
+            'kernel f(x: array<float>, out: array<float>) { '
+            'parallel_scan_inclusive(len(x), "min", (i) => x[i], out); }',
+            "f", [x, out],
+        )
+        assert out.data == [8.0, 6.0, -1.0, -1.0]
+
+    def test_scan_output_too_short_traps(self):
+        from repro.lang.errors import TrapError
+
+        with pytest.raises(TrapError):
+            run_kokkos(
+                'kernel f(x: array<float>, out: array<float>) { '
+                'parallel_scan_inclusive(len(x), "sum", (i) => x[i], out); }',
+                "f", [farr(range(10)), farr([0] * 5)],
+            )
+
+    def test_lambda_captures_enclosing_scalars(self):
+        ret, _ = run_kokkos(
+            'kernel f(x: array<float>, a: float) -> float { '
+            'return parallel_reduce(len(x), "sum", (i) => a * x[i]); }',
+            "f", [farr([1, 2, 3]), 10.0],
+        )
+        assert ret == 60.0
+
+
+class TestTimeModel:
+    def test_omp_parallel_speedup_monotone_to_moderate_counts(self):
+        x = farr(range(4096))
+        _, ctx = run_omp(SUM_OMP, "f", [x], work_scale=512)
+        t = {n: ctx.sim_seconds(n) for n in (1, 2, 4, 8, 16, 32)}
+        assert t[2] < t[1]
+        assert t[4] < t[2]
+        assert t[8] < t[4]
+        assert t[32] < t[1] / 4
+
+    def test_scaled_run_beats_unscaled_efficiency(self):
+        x = farr(range(4096))
+        _, small = run_omp(SUM_OMP, "f", [x], work_scale=1)
+        _, big = run_omp(SUM_OMP, "f", [x], work_scale=512)
+        eff_small = small.sim_seconds(1) / small.sim_seconds(32) / 32
+        eff_big = big.sim_seconds(1) / big.sim_seconds(32) / 32
+        assert eff_big > eff_small  # overheads amortise with problem size
+
+    def test_critical_section_serializes(self):
+        crit = (
+            "kernel f(x: array<float>) -> float { let total = 0.0; "
+            "pragma omp parallel for "
+            "for (i in 0..len(x)) { pragma omp critical { total += x[i]; } } "
+            "return total; }"
+        )
+        x = farr(range(2048))
+        _, good = run_omp(SUM_OMP, "f", [x], work_scale=64)
+        _, bad = run_omp(crit, "f", [x], work_scale=64)
+        # critical-per-iteration must be much slower at 32 threads
+        assert bad.sim_seconds(32) > 5 * good.sim_seconds(32)
+
+    def test_atomic_contention_slower_than_reduction(self):
+        atomic = (
+            "kernel f(x: array<float>) -> float { let total = 0.0; "
+            "pragma omp parallel for "
+            "for (i in 0..len(x)) { pragma omp atomic total += x[i]; } "
+            "return total; }"
+        )
+        x = farr(range(2048))
+        _, good = run_omp(SUM_OMP, "f", [x], work_scale=64)
+        _, bad = run_omp(atomic, "f", [x], work_scale=64)
+        assert bad.sim_seconds(32) > 2 * good.sim_seconds(32)
+
+    def test_kokkos_flatter_than_openmp_at_scale(self):
+        kk = (
+            'kernel f(x: array<float>) -> float { '
+            'return parallel_reduce(len(x), "sum", (i) => x[i]); }'
+        )
+        x = farr(range(4096))
+        _, omp = run_omp(SUM_OMP, "f", [x], work_scale=8)
+        _, kok = run_kokkos(kk, "f", [x], work_scale=8)
+        # at tiny problem sizes OpenMP's linear fork/join cost bites harder
+        omp_ratio = omp.sim_seconds(32) / omp.sim_seconds(8)
+        kok_ratio = kok.sim_seconds(32) / kok.sim_seconds(8)
+        assert kok_ratio < omp_ratio
+
+    def test_static_chunk_time_balanced(self):
+        costs = np.ones(100)
+        assert static_chunk_time(costs, 4) == pytest.approx(25.0)
+
+    def test_static_chunk_time_imbalanced_triangle(self):
+        costs = np.arange(100, dtype=float)
+        t4 = static_chunk_time(costs, 4)
+        # last chunk holds the largest iterations
+        assert t4 == pytest.approx(costs[75:].sum())
+
+    def test_dynamic_beats_static_on_imbalance(self):
+        costs = np.zeros(100)
+        costs[:10] = 100.0  # heavy head
+        s = static_chunk_time(costs, 4)
+        d = dynamic_chunk_time(costs, 4, dispatch=0.1)
+        assert d < s
+
+    def test_chunk_time_single_thread_is_total(self):
+        costs = np.arange(10, dtype=float)
+        assert static_chunk_time(costs, 1) == pytest.approx(costs.sum())
+        assert dynamic_chunk_time(costs, 1, 0.1) == pytest.approx(costs.sum())
+
+    def test_empty_loop(self):
+        assert static_chunk_time(np.zeros(0), 4) == 0.0
+        assert dynamic_chunk_time(np.zeros(0), 4, 0.1) == 0.0

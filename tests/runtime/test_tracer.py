@@ -1,0 +1,144 @@
+"""Direct unit tests of the sampled race detector."""
+
+import pytest
+
+from repro.lang.errors import DataRaceError
+from repro.runtime import Array, Tracer
+from repro.runtime.tracer import ATOMIC, CRITICAL, PLAIN
+
+
+@pytest.fixture
+def arr():
+    return Array.zeros(64, "float")
+
+
+class TestConflicts:
+    def test_write_write_conflict(self, arr):
+        t = Tracer(10)
+        t.begin_iteration(0)
+        t.write(arr, 5)
+        t.begin_iteration(1)
+        t.write(arr, 5)
+        with pytest.raises(DataRaceError):
+            t.check("loop")
+
+    def test_read_after_write_conflict(self, arr):
+        t = Tracer(10)
+        t.begin_iteration(0)
+        t.write(arr, 3)
+        t.begin_iteration(1)
+        t.read(arr, 3)
+        with pytest.raises(DataRaceError):
+            t.check("loop")
+
+    def test_write_after_read_conflict(self, arr):
+        t = Tracer(10)
+        t.begin_iteration(0)
+        t.read(arr, 3)
+        t.begin_iteration(1)
+        t.write(arr, 3)
+        with pytest.raises(DataRaceError):
+            t.check("loop")
+
+    def test_same_iteration_ok(self, arr):
+        t = Tracer(10)
+        t.begin_iteration(0)
+        t.read(arr, 3)
+        t.write(arr, 3)
+        t.write(arr, 3)
+        t.check("loop")
+
+    def test_disjoint_indices_ok(self, arr):
+        t = Tracer(10)
+        for i in range(10):
+            t.begin_iteration(i)
+            t.read(arr, i)
+            t.write(arr, i)
+        t.check("loop")
+
+    def test_shared_reads_ok(self, arr):
+        t = Tracer(10)
+        for i in range(10):
+            t.begin_iteration(i)
+            t.read(arr, 0)
+        t.check("loop")
+
+    def test_distinct_arrays_do_not_conflict(self):
+        a, b = Array.zeros(8, "float"), Array.zeros(8, "float")
+        t = Tracer(4)
+        t.begin_iteration(0)
+        t.write(a, 0)
+        t.begin_iteration(1)
+        t.write(b, 0)
+        t.check("loop")
+
+
+class TestProtection:
+    def test_atomic_atomic_ok(self, arr):
+        t = Tracer(10)
+        t.begin_iteration(0)
+        t.write(arr, 0, ATOMIC)
+        t.begin_iteration(1)
+        t.write(arr, 0, ATOMIC)
+        t.check("loop")
+
+    def test_atomic_plain_conflicts(self, arr):
+        t = Tracer(10)
+        t.begin_iteration(0)
+        t.write(arr, 0, ATOMIC)
+        t.begin_iteration(1)
+        t.write(arr, 0, PLAIN)
+        with pytest.raises(DataRaceError):
+            t.check("loop")
+
+    def test_critical_critical_ok(self, arr):
+        t = Tracer(10)
+        t.begin_iteration(0)
+        t.write(arr, 0, CRITICAL)
+        t.begin_iteration(1)
+        t.write(arr, 0, CRITICAL)
+        t.check("loop")
+
+    def test_contention_stats(self, arr):
+        t = Tracer(10)
+        for i in range(10):
+            t.begin_iteration(i)
+            t.write(arr, i % 3, ATOMIC)
+        total, distinct = t.contention_stats()
+        assert total == 10
+        assert distinct == 3
+
+
+class TestSampling:
+    def test_windows_cover_prefix_and_middle(self):
+        t = Tracer(1000)
+        (lo1, hi1), (lo2, hi2) = t.windows
+        assert lo1 == 0 and hi1 > 0
+        assert lo2 >= 500 - 48 and hi2 <= 1000
+
+    def test_accesses_outside_windows_ignored(self, arr):
+        t = Tracer(1000)
+        t.begin_iteration(200)  # outside both windows
+        t.write(arr, 0)
+        t.begin_iteration(201)
+        t.write(arr, 0)
+        t.check("loop")  # unsampled: not detected (by design)
+
+    def test_adjacent_conflicts_in_prefix_window_caught(self, arr):
+        t = Tracer(1000)
+        t.begin_iteration(0)
+        t.write(arr, 1)
+        t.begin_iteration(1)
+        t.read(arr, 1)
+        with pytest.raises(DataRaceError):
+            t.check("loop")
+
+    def test_first_race_reported(self, arr):
+        t = Tracer(10)
+        t.begin_iteration(0)
+        t.write(arr, 0)
+        t.begin_iteration(1)
+        t.write(arr, 0)
+        t.write(arr, 1)  # after the race flag is set: ignored
+        with pytest.raises(DataRaceError, match="index 0"):
+            t.check("loop")

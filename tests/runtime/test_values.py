@@ -1,0 +1,80 @@
+"""Tests for runtime values and hypothesis properties of Array."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime import Array, nbytes
+from repro.runtime.values import deep_copy_value
+
+
+class TestArray:
+    def test_zeros(self):
+        a = Array.zeros(4, "float")
+        assert a.data == [0.0] * 4
+        assert a.shape == (4,)
+
+    def test_zeros2d_flat_row_major(self):
+        a = Array.zeros2d(2, 3, "int")
+        assert len(a.data) == 6
+        assert a.shape == (2, 3)
+        assert a.ndim == 2
+
+    def test_numpy_round_trip_1d(self):
+        src = np.array([1.5, -2.0, 3.25])
+        a = Array.from_numpy(src)
+        assert a.elem == "float"
+        np.testing.assert_array_equal(a.to_numpy(), src)
+
+    def test_numpy_round_trip_2d(self):
+        src = np.arange(12, dtype=np.int64).reshape(3, 4)
+        a = Array.from_numpy(src)
+        assert a.elem == "int"
+        assert a.shape == (3, 4)
+        np.testing.assert_array_equal(a.to_numpy(), src)
+
+    def test_from_numpy_rejects_3d(self):
+        with pytest.raises(ValueError):
+            Array.from_numpy(np.zeros((2, 2, 2)))
+
+    def test_copy_independent(self):
+        a = Array.from_list([1.0, 2.0], "float")
+        b = a.copy()
+        b.data[0] = 9.0
+        assert a.data[0] == 1.0
+
+    def test_uids_unique(self):
+        uids = {Array.zeros(1, "int").uid for _ in range(100)}
+        assert len(uids) == 100
+
+    def test_nbytes(self):
+        assert nbytes(Array.zeros(10, "float")) == 80
+        assert nbytes(3.0) == 8
+
+    def test_deep_copy_value(self):
+        a = Array.from_list([1, 2], "int")
+        b = deep_copy_value(a)
+        assert b is not a and b.data == a.data
+        assert deep_copy_value(5) == 5
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.floats(allow_nan=False, allow_infinity=False,
+                          width=32), min_size=0, max_size=50))
+def test_numpy_round_trip_property(values):
+    a = Array.from_list([float(v) for v in values], "float")
+    np.testing.assert_array_equal(
+        a.to_numpy(), np.array(values, dtype=np.float64))
+    b = Array.from_numpy(a.to_numpy())
+    assert b.data == a.data
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(1, 12), st.integers(1, 12))
+def test_2d_flat_indexing_property(r, c):
+    src = np.arange(r * c, dtype=np.float64).reshape(r, c)
+    a = Array.from_numpy(src)
+    for i in range(r):
+        for j in range(c):
+            assert a.data[i * c + j] == src[i, j]

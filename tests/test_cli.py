@@ -1,0 +1,47 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "Table 2" in out
+
+    def test_prompt(self, capsys):
+        assert main(["prompt", "scan/partial_minimums/kokkos"]) == 0
+        out = capsys.readouterr().out
+        assert "Kokkos" in out
+        assert "kernel partial_minimums" in out
+
+    def test_prompt_unknown(self, capsys):
+        assert main(["prompt", "bogus/uid/here"]) == 2
+
+    def test_run(self, capsys):
+        assert main(["run", "transform/relu/openmp", "--model", "GPT-4",
+                     "--samples", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "pass@1 estimate:" in out
+
+    def test_run_with_timing_and_verbose(self, capsys):
+        assert main(["run", "reduce/sum_of_elements/serial",
+                     "--model", "GPT-3.5", "--samples", "2",
+                     "--timing", "-v"]) == 0
+        out = capsys.readouterr().out
+        assert "kernel sum_of_elements" in out
+
+    def test_eval_slice(self, capsys):
+        assert main([
+            "eval", "--models", "CodeLlama-7B",
+            "--ptypes", "transform", "--exec", "serial,openmp",
+            "--samples", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out and "Figure 3" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

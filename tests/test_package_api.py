@@ -1,0 +1,80 @@
+"""Public API surface tests: everything the README/docs promise must be
+importable from the documented locations, and __all__ lists must be
+truthful (every name resolvable)."""
+
+import importlib
+
+import pytest
+
+PUBLIC_MODULES = [
+    "repro",
+    "repro.lang",
+    "repro.runtime",
+    "repro.bench",
+    "repro.models",
+    "repro.harness",
+    "repro.metrics",
+    "repro.analysis",
+    "repro.cli",
+]
+
+
+@pytest.mark.parametrize("modname", PUBLIC_MODULES)
+def test_module_all_is_truthful(modname):
+    mod = importlib.import_module(modname)
+    for name in getattr(mod, "__all__", []):
+        assert hasattr(mod, name), f"{modname}.__all__ lists missing {name!r}"
+
+
+def test_readme_quickstart_names():
+    import repro
+
+    for name in ("PCGBench", "Runner", "load_model", "evaluate_model",
+                 "EXECUTION_MODELS", "PROBLEM_TYPES", "compile_source",
+                 "DEFAULT_MACHINE"):
+        assert hasattr(repro, name), name
+
+
+def test_version_string():
+    import repro
+
+    assert repro.__version__.count(".") == 2
+
+
+def test_documented_exception_hierarchy():
+    from repro.lang import (
+        CompileError,
+        DataRaceError,
+        DeadlockError,
+        LexError,
+        MiniParError,
+        ParseError,
+        RuntimeFailure,
+        TypeError_,
+    )
+
+    assert issubclass(LexError, CompileError)
+    assert issubclass(ParseError, CompileError)
+    assert issubclass(TypeError_, CompileError)
+    assert issubclass(CompileError, MiniParError)
+    assert issubclass(DataRaceError, RuntimeFailure)
+    assert issubclass(DeadlockError, RuntimeFailure)
+    # build failures and runtime failures are disjoint branches
+    assert not issubclass(RuntimeFailure, CompileError)
+
+
+def test_execution_models_and_types_are_canonical():
+    from repro import EXECUTION_MODELS, PROBLEM_TYPES
+
+    assert EXECUTION_MODELS == (
+        "serial", "openmp", "kokkos", "mpi", "mpi+omp", "cuda", "hip")
+    assert len(PROBLEM_TYPES) == 12
+
+
+def test_model_zoo_matches_table2():
+    from repro import MODEL_ORDER
+
+    assert MODEL_ORDER == (
+        "CodeLlama-7B", "CodeLlama-13B", "StarCoderBase", "CodeLlama-34B",
+        "Phind-CodeLlama-V2", "GPT-3.5", "GPT-4",
+    )
