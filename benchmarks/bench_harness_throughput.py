@@ -1,15 +1,21 @@
 """Microbenchmarks of the harness itself: per-sample cost of the
-compile → check → run → validate pipeline under each execution model.
+compile → check → run → validate pipeline under each execution model,
+plus end-to-end throughput of the serial loop vs the repro.sched worker
+pool at jobs ∈ {1, 2, 4}.
 
 These are genuine wall-clock benchmarks (pytest-benchmark's bread and
 butter) and what bounds the cost of a full 420-prompt evaluation pass.
 """
 
+import time
+
 import pytest
 
-from repro.bench import all_problems, render_prompt
-from repro.harness import Runner
+from repro.bench import PCGBench, all_problems, render_prompt
+from repro.harness import Runner, evaluate_model
+from repro.models import load_model
 from repro.models.solutions import variants_for
+from repro.sched import Telemetry
 
 _RUNNER = Runner(correctness_trials=2)
 _PROBLEM = next(p for p in all_problems() if p.name == "sum_of_elements")
@@ -41,3 +47,46 @@ def test_timing_sweep_throughput(benchmark):
 
     result = benchmark(_RUNNER.measure, program, prompt)
     assert set(result) == set(_RUNNER.thread_counts)
+
+
+# -- scheduler vs serial loop ---------------------------------------------------
+
+def _sched_workload():
+    """A moderate slice: 30 prompts x 6 samples with timing sweeps."""
+    bench = PCGBench(problem_types=["transform", "reduce"],
+                     models=["serial", "openmp", "kokkos"])
+    return load_model("GPT-3.5"), bench
+
+
+def _sched_pass(llm, bench, jobs):
+    return evaluate_model(llm, bench, num_samples=6, temperature=0.2,
+                          with_timing=True, seed=21, jobs=jobs)
+
+
+@pytest.mark.parametrize("jobs", [1, 2, 4])
+def test_scheduler_throughput(benchmark, jobs):
+    """Wall-clock of one full evaluation pass: serial loop (jobs=1) vs
+    the worker pool.  The pool wins even on one core because content-hash
+    task dedup evaluates each distinct generated source once."""
+    llm, bench = _sched_workload()
+    run = benchmark.pedantic(_sched_pass, args=(llm, bench, jobs),
+                             rounds=2, iterations=1, warmup_rounds=0)
+    assert len(run.prompts) == len(bench.prompts)
+
+
+def test_scheduler_beats_serial():
+    """The acceptance check: jobs=4 beats the serial loop outright."""
+    llm, bench = _sched_workload()
+    t0 = time.perf_counter()
+    serial = _sched_pass(llm, bench, jobs=1)
+    t_serial = time.perf_counter() - t0
+    tel = Telemetry()
+    t0 = time.perf_counter()
+    parallel = evaluate_model(llm, bench, num_samples=6, temperature=0.2,
+                              with_timing=True, seed=21, jobs=4, events=tel)
+    t_parallel = time.perf_counter() - t0
+    print(f"\nscheduler: jobs=1 {t_serial:.2f}s vs jobs=4 {t_parallel:.2f}s "
+          f"({tel.executed} unique tasks, utilization "
+          f"{tel.utilization():.0%})")
+    assert parallel.to_json() == serial.to_json()
+    assert t_parallel < t_serial

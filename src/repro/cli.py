@@ -16,12 +16,17 @@ Commands
 ``figures [--samples N]``
     Regenerate all paper figures from (or into) the on-disk cache —
     the scripted equivalent of ``pytest benchmarks/ --benchmark-only``.
+
+``eval`` and ``figures`` accept ``--jobs N`` to run the harness on the
+:mod:`repro.sched` worker pool and ``--resume`` to continue an
+interrupted pass from its JSONL journal (see ``docs/scheduler.md``).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from .analysis import (
@@ -37,12 +42,40 @@ from .analysis import (
     table2,
 )
 from .bench import PCGBench
-from .harness import EvalCache, Runner, evaluate_model
+from .harness import ConfigurationError, EvalCache, Runner, evaluate_model
 from .models import MODEL_ORDER, load_model, profile
 
 
 def _split(value: Optional[str]) -> Optional[List[str]]:
     return [v.strip() for v in value.split(",")] if value else None
+
+
+def _sched_kwargs(args: argparse.Namespace, llm_name: str,
+                  with_timing: bool) -> dict:
+    """Scheduler pass-through kwargs for evaluate_model, CLI runs only.
+
+    Journals live under the cache root so ``--resume`` after a Ctrl-C
+    picks up exactly where the run died; a progress line is printed to
+    stderr as tasks finish.
+    """
+    import os
+
+    from .sched import ProgressPrinter, journal_path_for
+
+    if args.jobs <= 1 and not args.resume:
+        return {}
+    root = os.environ.get("REPRO_CACHE", ".repro_cache")
+    journal = journal_path_for(root, llm_name, args.samples,
+                               args.temperature, with_timing, args.seed,
+                               tag="cli")
+    return {
+        "jobs": max(args.jobs, 1),
+        "journal": str(journal),
+        "resume": args.resume and journal.exists(),
+        "sample_cache": str(Path(root) / "samples"),
+        "events": ProgressPrinter(
+            lambda line: print(line, file=sys.stderr)),
+    }
 
 
 def cmd_list(args: argparse.Namespace) -> int:
@@ -103,6 +136,7 @@ def cmd_eval(args: argparse.Namespace) -> int:
             load_model(name), bench, num_samples=args.samples,
             temperature=args.temperature, with_timing=args.timing,
             runner=runner, seed=args.seed,
+            **_sched_kwargs(args, name, args.timing),
         )
     for builder in (fig1_pass_by_exec_model, fig2_overall,
                     fig3_pass_by_ptype):
@@ -127,7 +161,8 @@ def cmd_figures(args: argparse.Namespace) -> int:
         return {
             n: cache.get_or_run(load_model(n), bench, num_samples=samples,
                                 temperature=temperature, with_timing=timing,
-                                seed=seed, runner=runner)
+                                seed=seed, runner=runner, jobs=args.jobs,
+                                resume=args.resume)
             for n in names
         }
 
@@ -147,6 +182,16 @@ def cmd_figures(args: argparse.Namespace) -> int:
         _, text = builder(timed)
         print("\n" + text)
     return 0
+
+
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -182,11 +227,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--temperature", type=float, default=0.2)
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("--timing", action="store_true")
+    p.add_argument("--jobs", "-j", type=_positive_int, default=1,
+                   help="worker processes for the evaluation scheduler")
+    p.add_argument("--resume", action="store_true",
+                   help="resume an interrupted run from its journal")
     p.add_argument("--verbose", "-v", action="store_true")
     p.set_defaults(fn=cmd_eval)
 
     p = sub.add_parser("figures", help="regenerate all paper figures")
     p.add_argument("--samples", type=int, default=8)
+    p.add_argument("--jobs", "-j", type=_positive_int, default=1,
+                   help="worker processes for the evaluation scheduler")
+    p.add_argument("--resume", action="store_true",
+                   help="resume interrupted evaluation passes")
     p.set_defaults(fn=cmd_figures)
 
     return parser
@@ -194,7 +247,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -2,6 +2,9 @@
 timing, and the end-to-end evaluation pipeline (paper §7)."""
 
 from .evaluate import (
+    FORMAT_VERSION,
+    CacheFormatError,
+    ConfigurationError,
     EvalCache,
     EvalRun,
     PromptRecord,
@@ -23,4 +26,7 @@ __all__ = [
     "EvalCache",
     "PromptRecord",
     "SampleRecord",
+    "FORMAT_VERSION",
+    "CacheFormatError",
+    "ConfigurationError",
 ]

@@ -23,6 +23,18 @@ from .runner import Runner
 #: environment knob: scale down sample counts for quick runs
 ENV_SAMPLES = "REPRO_SAMPLES"
 
+#: bump when the EvalRun JSON layout changes; cached files from other
+#: versions (or with no version at all) are regenerated, never crashed on
+FORMAT_VERSION = 1
+
+
+class ConfigurationError(ValueError):
+    """A user-facing configuration problem (bad env var, bad flag)."""
+
+
+class CacheFormatError(ValueError):
+    """A cached EvalRun is from another format version or is malformed."""
+
 
 @dataclass
 class SampleRecord:
@@ -64,6 +76,7 @@ class EvalRun:
     with_timing: bool
     seed: int
     prompts: Dict[str, PromptRecord] = field(default_factory=dict)
+    format_version: int = FORMAT_VERSION
 
     # -- persistence --------------------------------------------------------
 
@@ -73,19 +86,32 @@ class EvalRun:
 
     @classmethod
     def from_json(cls, text: str) -> "EvalRun":
-        raw = json.loads(text)
+        try:
+            raw = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise CacheFormatError(f"corrupt EvalRun JSON: {exc}") from exc
+        if not isinstance(raw, dict) or "prompts" not in raw:
+            raise CacheFormatError("EvalRun JSON missing 'prompts'")
+        version = raw.get("format_version", 0)
+        if version != FORMAT_VERSION:
+            raise CacheFormatError(
+                f"EvalRun format version {version} != {FORMAT_VERSION}")
         prompts = {}
-        for uid, pr in raw.pop("prompts").items():
-            samples = [
-                SampleRecord(
-                    status=s["status"], intended=s.get("intended", ""),
-                    detail=s.get("detail", ""),
-                    times={int(k): v for k, v in s.get("times", {}).items()},
-                )
-                for s in pr.pop("samples")
-            ]
-            prompts[uid] = PromptRecord(samples=samples, **pr)
-        return cls(prompts=prompts, **raw)
+        try:
+            for uid, pr in raw.pop("prompts").items():
+                samples = [
+                    SampleRecord(
+                        status=s["status"], intended=s.get("intended", ""),
+                        detail=s.get("detail", ""),
+                        times={int(k): v
+                               for k, v in s.get("times", {}).items()},
+                    )
+                    for s in pr.pop("samples")
+                ]
+                prompts[uid] = PromptRecord(samples=samples, **pr)
+            return cls(prompts=prompts, **raw)
+        except (AttributeError, KeyError, TypeError, ValueError) as exc:
+            raise CacheFormatError(f"malformed EvalRun JSON: {exc}") from exc
 
     # -- views ----------------------------------------------------------------
 
@@ -101,10 +127,19 @@ class EvalRun:
 
 def effective_samples(requested: int) -> int:
     """Apply the REPRO_SAMPLES env cap (for fast benchmark runs)."""
-    cap = os.environ.get(ENV_SAMPLES)
-    if cap:
-        return max(2, min(requested, int(cap)))
-    return requested
+    cap_raw = os.environ.get(ENV_SAMPLES)
+    if not cap_raw:
+        return requested
+    try:
+        cap = int(cap_raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"{ENV_SAMPLES} must be a positive integer, "
+            f"got {cap_raw!r}") from None
+    if cap <= 0:
+        raise ConfigurationError(
+            f"{ENV_SAMPLES} must be a positive integer, got {cap}")
+    return max(2, min(requested, cap))
 
 
 def evaluate_model(
@@ -116,8 +151,36 @@ def evaluate_model(
     runner: Optional[Runner] = None,
     seed: int = 1,
     progress: Optional[Callable[[str], None]] = None,
+    jobs: int = 1,
+    journal: Optional[str] = None,
+    resume: bool = False,
+    sample_cache: Optional[str] = None,
+    events: Optional[Callable[[object], None]] = None,
 ) -> EvalRun:
-    """Run the full §7 pipeline for one model over ``bench``."""
+    """Run the full §7 pipeline for one model over ``bench``.
+
+    ``jobs=1`` (default) keeps the original serial loop.  ``jobs>1`` —
+    or any of ``journal``/``resume``/``sample_cache``/``events`` — routes
+    through :mod:`repro.sched`: the same pipeline decomposed into
+    ``(prompt, sample)`` tasks on a fault-isolated worker pool, with
+    JSONL checkpointing (``journal`` + ``resume=True``) and a
+    content-addressed cross-run sample cache.  Both paths assemble
+    byte-identical :class:`EvalRun` objects.
+    """
+    if jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    if resume and journal is None:
+        raise ConfigurationError("resume=True requires a journal path")
+    if (jobs > 1 or journal is not None or sample_cache is not None
+            or events is not None):
+        from ..sched.scheduler import run_scheduled
+
+        run, _ = run_scheduled(
+            llm, bench, num_samples=num_samples, temperature=temperature,
+            with_timing=with_timing, runner=runner, seed=seed, jobs=jobs,
+            journal_path=journal, resume=resume,
+            sample_cache_dir=sample_cache, emit=events, progress=progress)
+        return run
     runner = runner or Runner()
     num_samples = effective_samples(num_samples)
     run = EvalRun(llm=llm.name, temperature=temperature,
@@ -166,12 +229,38 @@ class EvalCache:
         seed: int = 1,
         tag: str = "full",
         runner: Optional[Runner] = None,
+        jobs: int = 1,
+        resume: bool = False,
+        events: Optional[Callable[[object], None]] = None,
     ) -> EvalRun:
+        """Load a cached run, or compute (serially, or on the scheduler
+        with ``jobs>1``) and cache it.
+
+        Version-mismatched or corrupt cache files are treated as misses
+        and regenerated.  Scheduled runs journal under the cache root, so
+        ``resume=True`` continues an interrupted pass; the journal is
+        discarded once the full run is persisted.
+        """
         num_samples = effective_samples(num_samples)
         path = self._path(llm.name, num_samples, temperature, with_timing,
                           seed, tag)
         if path.exists():
-            return EvalRun.from_json(path.read_text())
+            try:
+                return EvalRun.from_json(path.read_text())
+            except CacheFormatError:
+                path.unlink(missing_ok=True)    # stale format: regenerate
+        if jobs > 1 or resume:
+            from ..sched.journal import journal_path_for
+
+            journal = journal_path_for(self.root, llm.name, num_samples,
+                                       temperature, with_timing, seed, tag)
+            run = evaluate_model(
+                llm, bench, num_samples, temperature, with_timing, runner,
+                seed, jobs=jobs, journal=str(journal), resume=resume,
+                sample_cache=str(self.root / "samples"), events=events)
+            path.write_text(run.to_json())
+            journal.unlink(missing_ok=True)     # checkpoint superseded
+            return run
         run = evaluate_model(llm, bench, num_samples, temperature,
                              with_timing, runner, seed)
         path.write_text(run.to_json())

@@ -56,7 +56,11 @@ CORRECTNESS_PROCS = {"mpi": 4, "mpi+omp": (2, 4)}
 CORRECTNESS_FUEL = 3_000_000
 TIMING_FUEL = 40_000_000
 
-#: process-wide memo of sequential-baseline times (deterministic)
+#: process-wide memo of sequential-baseline times.  Keyed by the machine
+#: *value* (a frozen dataclass tree of cost constants), never ``id()`` —
+#: ids are reused after GC and would alias distinct machines.  Values are
+#: deterministic functions of the key, so forked scheduler workers each
+#: warming their own copy stay mutually consistent.
 _BASELINE_CACHE: Dict[tuple, float] = {}
 
 
@@ -196,7 +200,7 @@ class Runner:
         """Simulated time of the handwritten sequential baseline at the
         timing size (T* in the metrics).  Deterministic, so cached
         process-wide per (problem, seed)."""
-        key = (problem.name, self.seed, id(self.machine))
+        key = (problem.name, self.seed, self.machine)
         cached = _BASELINE_CACHE.get(key)
         if cached is not None:
             return cached

@@ -1,0 +1,67 @@
+"""repro.sched — a parallel, resumable evaluation scheduler.
+
+Turns one ``(llm, bench, config)`` evaluation into a deterministic job
+graph of independent ``(prompt, sample)`` and baseline-timing tasks,
+executes it on a fault-isolated multiprocessing pool, checkpoints every
+finished task to a JSONL journal (resume without recomputation), and
+deduplicates identical generated sources through a content-addressed
+sample cache.  See ``docs/scheduler.md``.
+
+The public entry points most callers want are ``evaluate_model(...,
+jobs=N)`` / ``EvalCache.get_or_run(..., jobs=N, resume=True)`` in
+:mod:`repro.harness`; this package is the machinery underneath.
+"""
+
+from .events import (
+    ProgressPrinter,
+    ProgressSnapshot,
+    RunFinished,
+    SOURCE_CACHE,
+    SOURCE_EXECUTED,
+    SOURCE_FAILED,
+    SOURCE_JOURNAL,
+    SchedulerAbort,
+    StageFinished,
+    TaskFinished,
+    TaskStarted,
+    Telemetry,
+    WorkerCrashed,
+    WorkerReplaced,
+    chain,
+)
+from .journal import Journal, SampleCache, journal_path_for
+from .plan import (
+    KIND_BASELINE,
+    KIND_SAMPLE,
+    Plan,
+    PromptPlan,
+    SampleSlot,
+    TaskSpec,
+    assemble,
+    baseline_task_id,
+    bench_spec,
+    build_plan,
+    runner_fingerprint,
+    sample_task_id,
+)
+from .pool import WorkerPool
+from .scheduler import run_scheduled
+from .worker import execute_task, failure_payload, init_harness
+
+__all__ = [
+    # plan
+    "Plan", "PromptPlan", "SampleSlot", "TaskSpec", "build_plan", "assemble",
+    "sample_task_id", "baseline_task_id", "runner_fingerprint", "bench_spec",
+    "KIND_SAMPLE", "KIND_BASELINE",
+    # pool + worker
+    "WorkerPool", "init_harness", "execute_task", "failure_payload",
+    # journal
+    "Journal", "SampleCache", "journal_path_for",
+    # events
+    "Telemetry", "TaskStarted", "TaskFinished", "WorkerCrashed",
+    "WorkerReplaced", "ProgressSnapshot", "StageFinished", "RunFinished",
+    "ProgressPrinter", "SchedulerAbort", "chain",
+    "SOURCE_EXECUTED", "SOURCE_JOURNAL", "SOURCE_CACHE", "SOURCE_FAILED",
+    # orchestration
+    "run_scheduled",
+]

@@ -1,0 +1,198 @@
+"""Structured scheduler telemetry (progress, worker health, stage times).
+
+Every observable state change in a scheduled evaluation is emitted as a
+small frozen dataclass through a single callback (``EmitFn``).  Consumers
+range from the CLI progress printer to the throughput benchmarks to the
+resumability tests, which count how many tasks were *executed* vs served
+from the journal or the content-addressed sample cache.
+
+An emit callback may raise :class:`SchedulerAbort` to stop a run
+gracefully: the pool drains its workers and the exception propagates to
+the caller with the journal already containing every finished task — the
+hook the interrupt/resume tests (and a Ctrl-C handler) build on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+#: where a task's result came from
+SOURCE_EXECUTED = "executed"    # computed by a worker this run
+SOURCE_JOURNAL = "journal"      # replayed from the resume journal
+SOURCE_CACHE = "cache"          # content-addressed sample cache hit
+SOURCE_FAILED = "failed"        # retry budget exhausted; placeholder result
+
+
+class SchedulerAbort(Exception):
+    """Raised by an event sink to stop a scheduled run gracefully."""
+
+
+@dataclass(frozen=True)
+class TaskStarted:
+    task_id: str
+    kind: str                   # "sample" | "baseline"
+    worker: int
+
+
+@dataclass(frozen=True)
+class TaskFinished:
+    task_id: str
+    kind: str
+    source: str                 # one of the SOURCE_* constants
+    status: str = ""            # harness status for sample tasks
+    worker: int = -1
+    duration: float = 0.0       # wall seconds inside the worker loop
+    attempts: int = 1
+
+
+@dataclass(frozen=True)
+class WorkerCrashed:
+    worker: int
+    task_id: Optional[str]
+    detail: str
+
+
+@dataclass(frozen=True)
+class WorkerReplaced:
+    old_worker: int
+    new_worker: int
+
+
+@dataclass(frozen=True)
+class ProgressSnapshot:
+    done: int
+    total: int
+    queue_depth: int            # tasks dispatched but not finished
+    busy_workers: int
+    workers: int
+
+
+@dataclass(frozen=True)
+class StageFinished:
+    stage: str                  # "plan" | "execute" | "assemble"
+    seconds: float
+
+
+@dataclass(frozen=True)
+class RunFinished:
+    total_tasks: int
+    executed: int
+    from_journal: int
+    from_cache: int
+    failed: int
+    wall_seconds: float
+
+
+EmitFn = Callable[[object], None]
+
+
+def chain(*sinks: Optional[EmitFn]) -> EmitFn:
+    """Compose event sinks; ``None`` entries are skipped."""
+    live = [s for s in sinks if s is not None]
+
+    def emit(event: object) -> None:
+        for sink in live:
+            sink(event)
+
+    return emit
+
+
+@dataclass
+class Telemetry:
+    """Aggregating event sink: counters the tests and benchmarks assert on."""
+
+    counts: Dict[str, int] = field(default_factory=dict)
+    statuses: Dict[str, int] = field(default_factory=dict)
+    provenance: Dict[str, str] = field(default_factory=dict)
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
+    busy_seconds: float = 0.0
+    crashes: int = 0
+    retries: int = 0
+    workers: int = 0
+    wall_seconds: float = 0.0
+    events: List[object] = field(default_factory=list)
+    keep_events: bool = False
+
+    def __call__(self, event: object) -> None:
+        if self.keep_events:
+            self.events.append(event)
+        if isinstance(event, TaskFinished):
+            self.counts[event.source] = self.counts.get(event.source, 0) + 1
+            self.provenance[event.task_id] = event.source
+            if event.status:
+                self.statuses[event.status] = \
+                    self.statuses.get(event.status, 0) + 1
+            self.busy_seconds += event.duration
+            self.retries += max(0, event.attempts - 1)
+        elif isinstance(event, WorkerCrashed):
+            self.crashes += 1
+        elif isinstance(event, StageFinished):
+            self.stage_seconds[event.stage] = event.seconds
+        elif isinstance(event, ProgressSnapshot):
+            self.workers = max(self.workers, event.workers)
+        elif isinstance(event, RunFinished):
+            self.wall_seconds = event.wall_seconds
+
+    # -- derived views -------------------------------------------------------
+
+    @property
+    def executed(self) -> int:
+        return self.counts.get(SOURCE_EXECUTED, 0)
+
+    @property
+    def from_journal(self) -> int:
+        return self.counts.get(SOURCE_JOURNAL, 0)
+
+    @property
+    def from_cache(self) -> int:
+        return self.counts.get(SOURCE_CACHE, 0)
+
+    @property
+    def failed(self) -> int:
+        return self.counts.get(SOURCE_FAILED, 0)
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def utilization(self) -> float:
+        """Mean fraction of run wall-clock each worker spent on tasks."""
+        if self.workers <= 0 or self.wall_seconds <= 0.0:
+            return 0.0
+        return min(1.0, self.busy_seconds / (self.workers * self.wall_seconds))
+
+    def executed_ids(self) -> List[str]:
+        return [t for t, s in self.provenance.items()
+                if s == SOURCE_EXECUTED]
+
+
+class ProgressPrinter:
+    """Small CLI sink: one status line every ``every`` finished tasks."""
+
+    def __init__(self, write: Callable[[str], None], every: int = 25):
+        self.write = write
+        self.every = max(1, every)
+        self._done = 0
+
+    def __call__(self, event: object) -> None:
+        if isinstance(event, TaskFinished):
+            self._done += 1
+        elif isinstance(event, ProgressSnapshot):
+            if event.done and (event.done % self.every == 0
+                               or event.done == event.total):
+                self.write(
+                    f"sched: {event.done}/{event.total} tasks, "
+                    f"{event.busy_workers}/{event.workers} workers busy, "
+                    f"queue depth {event.queue_depth}"
+                )
+        elif isinstance(event, WorkerCrashed):
+            self.write(f"sched: worker {event.worker} crashed "
+                       f"({event.detail}); requeueing")
+        elif isinstance(event, RunFinished):
+            self.write(
+                f"sched: done — {event.executed} executed, "
+                f"{event.from_journal} from journal, "
+                f"{event.from_cache} from cache, {event.failed} failed "
+                f"in {event.wall_seconds:.2f}s"
+            )

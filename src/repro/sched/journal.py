@@ -1,0 +1,170 @@
+"""Checkpointing for scheduled runs.
+
+Two persistence layers, both keyed by content-hash task ids from
+:mod:`repro.sched.plan`:
+
+* :class:`Journal` — an append-only JSONL file recording every finished
+  task of *one run*.  Each line is flushed as it is written, so however a
+  run dies (crash, Ctrl-C, OOM-kill) the journal holds exactly the work
+  that finished; resuming replays it and only the remainder executes.
+  A header line pins the run configuration — a journal written under a
+  different config (model, samples, runner, bench slice) is ignored
+  rather than resumed.
+
+* :class:`SampleCache` — a content-addressed store shared *across* runs:
+  one small JSON file per task id, sharded by hash prefix.  Identical
+  generated sources (common at low temperature, where a confident model
+  repeats its top candidate) are evaluated once ever per runner config.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+#: bump when the journal line format changes; mismatched journals are
+#: discarded (recomputed), never crashed on.
+JOURNAL_VERSION = 1
+
+
+class Journal:
+    """Append-only JSONL checkpoint of finished tasks for one run."""
+
+    def __init__(self, path: Path | str):
+        self.path = Path(path)
+        self._fh = None
+
+    # -- reading ------------------------------------------------------------
+
+    def load(self, run_key: str) -> Dict[str, Dict[str, object]]:
+        """Replay the journal; returns task id → result payload.
+
+        Corrupt trailing lines (a run killed mid-write) are ignored, as is
+        the whole file when the header is missing or belongs to a
+        different run configuration.
+        """
+        if not self.path.exists():
+            return {}
+        results: Dict[str, Dict[str, object]] = {}
+        header_ok = False
+        with self.path.open("r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue            # torn write at kill time
+                if not isinstance(record, dict):
+                    continue
+                if record.get("kind") == "header":
+                    header_ok = (record.get("run_key") == run_key
+                                 and record.get("version") == JOURNAL_VERSION)
+                    continue
+                if not header_ok:
+                    continue
+                task_id = record.get("task")
+                payload = record.get("result")
+                if isinstance(task_id, str) and isinstance(payload, dict):
+                    results[task_id] = payload
+        return results
+
+    # -- writing ------------------------------------------------------------
+
+    def start(self, run_key: str, fresh: bool = False) -> None:
+        """Open for appending; (re)writes the header when starting fresh or
+        when the existing file does not match ``run_key``."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        reset = fresh or not self._has_header(run_key)
+        mode = "w" if reset else "a"
+        self._fh = self.path.open(mode, encoding="utf-8")
+        if reset:
+            self._write({"kind": "header", "version": JOURNAL_VERSION,
+                         "run_key": run_key})
+
+    def _has_header(self, run_key: str) -> bool:
+        if not self.path.exists():
+            return False
+        try:
+            with self.path.open("r", encoding="utf-8") as fh:
+                first = fh.readline().strip()
+            record = json.loads(first)
+            return (isinstance(record, dict)
+                    and record.get("kind") == "header"
+                    and record.get("run_key") == run_key
+                    and record.get("version") == JOURNAL_VERSION)
+        except (OSError, json.JSONDecodeError):
+            return False
+
+    def append(self, task_id: str, payload: Dict[str, object]) -> None:
+        if self._fh is None:
+            raise RuntimeError("Journal.append before Journal.start")
+        self._write({"task": task_id, "result": payload})
+
+    def _write(self, record: Dict[str, object]) -> None:
+        # flush per line: a killed *process* loses nothing (the OS holds the
+        # page); torn lines from a killed machine are skipped by load().
+        self._fh.write(json.dumps(record) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def discard(self) -> None:
+        """Remove the journal file (the run completed and was persisted)."""
+        self.close()
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class SampleCache:
+    """Content-addressed, cross-run store of per-task results."""
+
+    def __init__(self, root: Path | str):
+        self.root = Path(root)
+
+    def _path(self, task_id: str) -> Path:
+        return self.root / task_id[:2] / f"{task_id}.json"
+
+    def get(self, task_id: str) -> Optional[Dict[str, object]]:
+        path = self._path(task_id)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    def put(self, task_id: str, payload: Dict[str, object]) -> None:
+        path = self._path(task_id)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(payload), encoding="utf-8")
+        os.replace(tmp, path)       # atomic: concurrent runs never see torn files
+
+    def __contains__(self, task_id: str) -> bool:
+        return self._path(task_id).exists()
+
+
+def journal_path_for(root: Path | str, llm_name: str, num_samples: int,
+                     temperature: float, with_timing: bool, seed: int,
+                     tag: str = "full") -> Path:
+    """Canonical journal location for a run configuration under ``root``
+    (mirrors ``EvalCache``'s file naming)."""
+    fname = (
+        f"{llm_name}_{tag}_s{num_samples}_t{temperature:g}"
+        f"_{'timed' if with_timing else 'plain'}_r{seed}.journal.jsonl"
+    )
+    return Path(root) / "journal" / fname.replace("/", "-")

@@ -1,0 +1,338 @@
+"""A fault-isolated multiprocessing worker pool with a bounded queue.
+
+The pool is deliberately generic — it moves ``(task_id, payload)`` pairs
+to N worker processes and results back — so the fault-handling logic can
+be unit-tested with synthetic crash/hang/raise tasks independently of the
+harness.  :mod:`repro.sched.worker` supplies the harness-specific init
+and execute functions.
+
+Fault model (the part a naive ``multiprocessing.Pool`` gets wrong):
+
+* a task that **raises** inside a worker is reported and requeued, up to
+  ``max_retries`` extra attempts, then recorded as a failure;
+* a worker that **dies** (segfault, ``os._exit``, OOM-kill) is detected
+  by liveness polling; its in-flight task is requeued and a replacement
+  worker is spawned — the run never dies with it;
+* a task that **hangs** past ``task_timeout`` gets its worker terminated
+  and is treated like a crash;
+* repeated crashes trip a circuit breaker (``max_crashes``) that fails
+  the remaining tasks instead of respawning forever.
+
+Results are reported through ``on_result`` *before* the corresponding
+:class:`TaskFinished` event is emitted, so a sink that aborts the run
+(:class:`SchedulerAbort`) is guaranteed the journal already holds every
+task it was told about.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue as stdlib_queue
+import time
+from collections import deque
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .events import (
+    EmitFn,
+    ProgressSnapshot,
+    SOURCE_EXECUTED,
+    SOURCE_FAILED,
+    SchedulerAbort,
+    TaskFinished,
+    TaskStarted,
+    WorkerCrashed,
+    WorkerReplaced,
+)
+
+#: parent-side poll interval for results / liveness, seconds
+_POLL = 0.05
+#: seconds of total silence before sweeping for orphaned tasks
+_STALL_SWEEP = 2.0
+
+
+def _pool_context() -> mp.context.BaseContext:
+    """fork where available (cheap, inherits the compiled problem bank);
+    spawn otherwise."""
+    method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+    return mp.get_context(method)
+
+
+def _poll_result(result_q, timeout: float):
+    """Read one message from the result SimpleQueue, or None on timeout.
+
+    The result channel is a SimpleQueue on purpose: its ``put`` writes
+    synchronously (no feeder thread), so a worker killed by ``os._exit``
+    or a segfault can never take already-reported results down with it —
+    with a buffered ``mp.Queue`` the parent would mis-blame (and
+    eventually fail) tasks that actually finished.
+    """
+    reader = getattr(result_q, "_reader", None)
+    try:
+        if reader is not None:
+            if not reader.poll(timeout):
+                return None
+        elif result_q.empty():          # pragma: no cover - fallback path
+            time.sleep(timeout)
+            return None
+        return result_q.get()
+    except (EOFError, OSError):         # torn write from a dying worker
+        return None
+
+
+def _worker_main(worker_id: int, init_fn: Optional[Callable],
+                 init_args: tuple, work_fn: Callable,
+                 task_q: "mp.Queue", result_q: "mp.Queue") -> None:
+    """Worker loop: init once, then execute tasks until the sentinel.
+
+    Every exception is caught and reported — a worker only ever exits via
+    the sentinel or by being killed from outside.
+    """
+    try:
+        ctx = init_fn(*init_args) if init_fn is not None else init_args
+    except BaseException as exc:  # noqa: BLE001 - must never escape
+        result_q.put(("init_error", worker_id, None,
+                      f"{type(exc).__name__}: {exc}", 0.0))
+        return
+    while True:
+        item = task_q.get()
+        if item is None:
+            result_q.put(("bye", worker_id, None, None, 0.0))
+            return
+        task_id, payload = item
+        result_q.put(("start", worker_id, task_id, None, 0.0))
+        began = time.perf_counter()
+        try:
+            result = work_fn(ctx, payload)
+        except BaseException as exc:  # noqa: BLE001 - fault isolation
+            result_q.put(("fail", worker_id, task_id,
+                          f"{type(exc).__name__}: {exc}",
+                          time.perf_counter() - began))
+        else:
+            result_q.put(("done", worker_id, task_id, result,
+                          time.perf_counter() - began))
+
+
+class WorkerPool:
+    """N worker processes fed from a bounded task queue."""
+
+    def __init__(self, jobs: int, work_fn: Callable,
+                 init_fn: Optional[Callable] = None,
+                 init_args: tuple = (),
+                 task_timeout: Optional[float] = 300.0,
+                 max_retries: int = 2,
+                 queue_bound: Optional[int] = None,
+                 emit: Optional[EmitFn] = None,
+                 max_crashes: Optional[int] = None):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.work_fn = work_fn
+        self.init_fn = init_fn
+        self.init_args = init_args
+        self.task_timeout = task_timeout
+        self.max_retries = max_retries
+        self.queue_bound = queue_bound or max(2 * jobs, 4)
+        self.emit = emit or (lambda event: None)
+        self.max_crashes = max_crashes if max_crashes is not None \
+            else 4 * jobs + 4
+        self._ctx = _pool_context()
+
+    # -- lifecycle helpers ---------------------------------------------------
+
+    def _spawn(self, worker_id: int, task_q, result_q):
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(worker_id, self.init_fn, self.init_args, self.work_fn,
+                  task_q, result_q),
+            daemon=True,
+        )
+        proc.start()
+        return proc
+
+    # -- the run loop --------------------------------------------------------
+
+    def run(self, tasks: Sequence[Tuple[str, dict]],
+            on_result: Optional[Callable[[str, dict], None]] = None,
+            progress_total: Optional[int] = None,
+            ) -> Tuple[Dict[str, dict], Dict[str, str]]:
+        """Execute ``tasks``; returns ``(results, failures)``.
+
+        ``on_result(task_id, result)`` runs in the parent, in completion
+        order, before the task's ``TaskFinished`` event (journal-then-
+        notify).  ``failures`` maps task id → last error string for tasks
+        that exhausted their retry budget.
+        """
+        payloads: Dict[str, dict] = dict(tasks)
+        total = len(payloads)
+        if progress_total is None:
+            progress_total = total
+        results: Dict[str, dict] = {}
+        failures: Dict[str, str] = {}
+        if total == 0:
+            return results, failures
+
+        task_q = self._ctx.Queue(maxsize=self.queue_bound + 1)
+        result_q = self._ctx.SimpleQueue()
+        pending = deque(payloads)
+        outstanding: set = set()          # dispatched, not yet finished
+        running: Dict[int, Tuple[str, float]] = {}   # worker → (task, deadline)
+        attempts: Dict[str, int] = {tid: 0 for tid in payloads}
+        procs: Dict[int, mp.process.BaseProcess] = {}
+        crashes = 0
+        last_message = time.monotonic()
+
+        for wid in range(self.jobs):
+            procs[wid] = self._spawn(wid, task_q, result_q)
+        next_wid = self.jobs
+
+        def finished() -> int:
+            return len(results) + len(failures)
+
+        def fill_queue() -> None:
+            while pending and len(outstanding) < self.queue_bound:
+                tid = pending.popleft()
+                if tid in results or tid in failures:
+                    continue
+                try:
+                    task_q.put_nowait((tid, payloads[tid]))
+                except stdlib_queue.Full:
+                    pending.appendleft(tid)
+                    return
+                attempts[tid] += 1
+                outstanding.add(tid)
+
+        def record_failure(tid: str, detail: str) -> None:
+            failures[tid] = detail
+            outstanding.discard(tid)
+            self.emit(TaskFinished(
+                task_id=tid, kind=payloads[tid].get("kind", ""),
+                source=SOURCE_FAILED, status="", worker=-1,
+                duration=0.0, attempts=attempts[tid]))
+
+        def retry_or_fail(tid: str, detail: str) -> None:
+            outstanding.discard(tid)
+            if attempts[tid] <= self.max_retries:
+                pending.append(tid)
+            else:
+                record_failure(tid, detail)
+
+        def on_worker_death(wid: int, detail: str) -> None:
+            nonlocal crashes, next_wid
+            crashes += 1
+            tid = running.pop(wid, (None, 0.0))[0]
+            self.emit(WorkerCrashed(worker=wid, task_id=tid, detail=detail))
+            procs.pop(wid, None)
+            if tid is not None and tid not in results:
+                retry_or_fail(tid, detail)
+            if crashes <= self.max_crashes and finished() < total:
+                procs[next_wid] = self._spawn(next_wid, task_q, result_q)
+                self.emit(WorkerReplaced(old_worker=wid,
+                                         new_worker=next_wid))
+                next_wid += 1
+
+        def snapshot() -> None:
+            self.emit(ProgressSnapshot(
+                done=finished() + (progress_total - total),
+                total=progress_total,
+                queue_depth=len(outstanding), busy_workers=len(running),
+                workers=len(procs)))
+
+        try:
+            while finished() < total:
+                fill_queue()
+                message = _poll_result(result_q, _POLL)
+                now = time.monotonic()
+                if message is not None:
+                    last_message = now
+                    kind, wid, tid, body, duration = message
+                    if kind == "start":
+                        deadline = now + (self.task_timeout or float("inf"))
+                        running[wid] = (tid, deadline)
+                        self.emit(TaskStarted(
+                            task_id=tid,
+                            kind=payloads[tid].get("kind", ""), worker=wid))
+                    elif kind == "done":
+                        running.pop(wid, None)
+                        outstanding.discard(tid)
+                        if tid not in results and tid not in failures:
+                            results[tid] = body
+                            if on_result is not None:
+                                on_result(tid, body)
+                            self.emit(TaskFinished(
+                                task_id=tid,
+                                kind=payloads[tid].get("kind", ""),
+                                source=SOURCE_EXECUTED,
+                                status=str((body or {}).get("status", "")),
+                                worker=wid, duration=duration,
+                                attempts=attempts[tid]))
+                            snapshot()
+                    elif kind == "fail":
+                        running.pop(wid, None)
+                        if tid not in results and tid not in failures:
+                            retry_or_fail(tid, body)
+                            snapshot()
+                    elif kind == "init_error":
+                        # a worker that cannot even initialise is a
+                        # configuration problem, not a task fault
+                        raise RuntimeError(
+                            f"scheduler worker failed to initialise: {body}")
+                    continue
+
+                # silence: check worker liveness and task deadlines
+                for wid in list(procs):
+                    proc = procs[wid]
+                    if not proc.is_alive():
+                        on_worker_death(
+                            wid, f"worker exited with code {proc.exitcode}")
+                for wid, (tid, deadline) in list(running.items()):
+                    if now > deadline:
+                        proc = procs.get(wid)
+                        if proc is not None:
+                            proc.terminate()
+                            proc.join(timeout=5.0)
+                        on_worker_death(
+                            wid, f"task exceeded {self.task_timeout:.0f}s "
+                                 "timeout")
+                if crashes > self.max_crashes:
+                    for tid in list(outstanding) + list(pending):
+                        if tid not in results and tid not in failures:
+                            record_failure(
+                                tid, "worker crash budget exhausted")
+                    pending.clear()
+                    break
+                # orphan sweep: tasks dispatched to a worker that died
+                # between dequeue and its "start" message
+                if (outstanding and not running
+                        and now - last_message > _STALL_SWEEP
+                        and task_q.empty()):
+                    for tid in list(outstanding):
+                        outstanding.discard(tid)
+                        pending.append(tid)
+                    last_message = now
+        finally:
+            self._shutdown(procs, task_q, result_q)
+        return results, failures
+
+    def _shutdown(self, procs, task_q, result_q) -> None:
+        # drain the task queue so sentinels are the next thing workers see
+        try:
+            while True:
+                task_q.get_nowait()
+        except (stdlib_queue.Empty, OSError):
+            pass
+        for _ in procs:
+            try:
+                task_q.put_nowait(None)
+            except stdlib_queue.Full:
+                break
+        deadline = time.monotonic() + 5.0
+        for proc in procs.values():
+            proc.join(timeout=max(0.0, deadline - time.monotonic()))
+        for proc in procs.values():
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=1.0)
+        task_q.cancel_join_thread()
+        task_q.close()
+        if hasattr(result_q, "close"):
+            result_q.close()

@@ -1,0 +1,144 @@
+"""Orchestration: plan → (journal replay | cache hits | pool execution)
+→ deterministic assembly.
+
+``run_scheduled`` is the parallel counterpart of the serial loop in
+:func:`repro.harness.evaluate.evaluate_model` and produces a
+byte-identical ``EvalRun`` for the same configuration: results are keyed
+by content-hash task id and reassembled in plan order, so neither worker
+count nor completion order can leak into the output.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Callable, Optional, Tuple, Union
+
+from ..bench.registry import PCGBench
+from ..harness.evaluate import EvalRun, effective_samples
+from ..harness.runner import Runner
+from ..models.llm import SimulatedLLM
+from .events import (
+    EmitFn,
+    RunFinished,
+    SOURCE_CACHE,
+    SOURCE_JOURNAL,
+    StageFinished,
+    TaskFinished,
+    Telemetry,
+    chain,
+)
+from .journal import Journal, SampleCache
+from .plan import assemble, build_plan
+from .pool import WorkerPool
+from .worker import execute_task, failure_payload, init_harness
+
+
+def run_scheduled(
+    llm: SimulatedLLM,
+    bench: PCGBench,
+    num_samples: int = 8,
+    temperature: float = 0.2,
+    with_timing: bool = False,
+    runner: Optional[Runner] = None,
+    seed: int = 1,
+    jobs: int = 1,
+    journal_path: Optional[Union[str, Path]] = None,
+    resume: bool = False,
+    sample_cache_dir: Optional[Union[str, Path]] = None,
+    emit: Optional[EmitFn] = None,
+    progress: Optional[Callable[[str], None]] = None,
+    task_timeout: Optional[float] = 300.0,
+    max_retries: int = 2,
+) -> Tuple[EvalRun, Telemetry]:
+    """Run the §7 pipeline through the scheduler; returns (run, telemetry).
+
+    With ``journal_path`` set, every finished task is checkpointed and a
+    later call with ``resume=True`` replays finished work instead of
+    recomputing it.  With ``sample_cache_dir`` set, results are also
+    stored content-addressed and shared across runs.
+    """
+    runner = runner or Runner()
+    num_samples = effective_samples(num_samples)
+    telemetry = Telemetry()
+    sink = chain(telemetry, emit)
+    began = time.monotonic()
+
+    stage = time.monotonic()
+    plan = build_plan(llm, bench, num_samples, temperature, with_timing,
+                      runner, seed)
+    sink(StageFinished(stage="plan", seconds=time.monotonic() - stage))
+
+    stage = time.monotonic()
+    run_key = plan.run_key()
+    results: dict = {}
+    journal = Journal(journal_path) if journal_path is not None else None
+    try:
+        if journal is not None and resume:
+            for task_id, payload in journal.load(run_key).items():
+                spec = plan.tasks.get(task_id)
+                if spec is None:        # journal entry from a stale plan
+                    continue
+                results[task_id] = payload
+                sink(TaskFinished(
+                    task_id=task_id, kind=spec.kind, source=SOURCE_JOURNAL,
+                    status=str(payload.get("status", ""))))
+        if journal is not None:
+            journal.start(run_key, fresh=not resume)
+
+        cache = (SampleCache(sample_cache_dir)
+                 if sample_cache_dir is not None else None)
+        remaining = []
+        for task_id, spec in plan.tasks.items():
+            if task_id in results:
+                continue
+            if cache is not None:
+                hit = cache.get(task_id)
+                if hit is not None:
+                    results[task_id] = hit
+                    if journal is not None:
+                        journal.append(task_id, hit)
+                    sink(TaskFinished(
+                        task_id=task_id, kind=spec.kind, source=SOURCE_CACHE,
+                        status=str(hit.get("status", ""))))
+                    continue
+            remaining.append(task_id)
+
+        if remaining:
+            def on_result(task_id: str, payload: dict) -> None:
+                if journal is not None:
+                    journal.append(task_id, payload)
+                if cache is not None:
+                    cache.put(task_id, payload)
+
+            pool = WorkerPool(
+                jobs=jobs, work_fn=execute_task, init_fn=init_harness,
+                init_args=(runner, plan.bench_ptypes, plan.bench_models),
+                task_timeout=task_timeout, max_retries=max_retries,
+                emit=sink)
+            executed, failures = pool.run(
+                [(tid, plan.tasks[tid].payload()) for tid in remaining],
+                on_result=on_result,
+                progress_total=len(plan.tasks))
+            results.update(executed)
+            for task_id, detail in failures.items():
+                results[task_id] = failure_payload(
+                    plan.tasks[task_id].kind, detail)
+        sink(StageFinished(stage="execute", seconds=time.monotonic() - stage))
+
+        stage = time.monotonic()
+        run = assemble(plan, results)
+        if progress is not None:
+            for pp in plan.prompts:
+                progress(pp.uid)
+        sink(StageFinished(stage="assemble",
+                           seconds=time.monotonic() - stage))
+        sink(RunFinished(
+            total_tasks=len(plan.tasks), executed=telemetry.executed,
+            from_journal=telemetry.from_journal,
+            from_cache=telemetry.from_cache, failed=telemetry.failed,
+            wall_seconds=time.monotonic() - began))
+    finally:
+        if journal is not None:
+            journal.close()
+    return run, telemetry

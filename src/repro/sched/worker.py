@@ -1,0 +1,51 @@
+"""Harness-side worker functions for the scheduler pool.
+
+Both functions are module-level so they can cross a process boundary by
+reference.  Each worker rebuilds its own :class:`PCGBench` view and looks
+prompts up by uid — prompt/problem objects carry numpy closures and never
+travel through the task queue; only strings do.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from ..bench.registry import PCGBench
+from ..harness.runner import Runner
+from .plan import KIND_BASELINE, KIND_SAMPLE
+
+
+def init_harness(runner: Runner, ptypes: Sequence[str],
+                 models: Sequence[str]):
+    """Per-worker init: rebuild the bench slice and index it."""
+    bench = PCGBench(problem_types=list(ptypes) or None,
+                     models=list(models) or None)
+    prompts = {p.uid: p for p in bench.prompts}
+    problems = {p.name: p for p in bench.problems}
+    return runner, prompts, problems
+
+
+def execute_task(ctx, payload: Dict[str, object]) -> Dict[str, object]:
+    """Run one task; returns a JSON-serialisable result payload."""
+    runner, prompts, problems = ctx
+    kind = payload["kind"]
+    if kind == KIND_BASELINE:
+        problem = problems[payload["problem"]]
+        return {"baseline": runner.baseline_time(problem)}
+    if kind == KIND_SAMPLE:
+        prompt = prompts[payload["uid"]]
+        res = runner.evaluate_sample(str(payload["source"]), prompt,
+                                     with_timing=bool(payload["with_timing"]))
+        return {"status": res.status, "detail": res.detail,
+                "times": {int(k): float(v) for k, v in res.times.items()}}
+    raise ValueError(f"unknown task kind {kind!r}")
+
+
+def failure_payload(kind: str, detail: str) -> Dict[str, object]:
+    """Placeholder result for a task whose retry budget is exhausted.
+
+    Never journaled or cached — a resumed run retries the task."""
+    if kind == KIND_BASELINE:
+        return {"baseline": None}
+    return {"status": "runtime_error",
+            "detail": f"scheduler: {detail}", "times": {}}

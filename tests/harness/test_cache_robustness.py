@@ -1,0 +1,121 @@
+"""Satellite coverage: version-mismatched / corrupt caches regenerate
+instead of crashing, REPRO_SAMPLES is validated, and the baseline memo
+keys on machine value rather than object identity."""
+
+import json
+
+import pytest
+
+from repro.bench import PCGBench, all_problems
+from repro.harness import (
+    CacheFormatError,
+    ConfigurationError,
+    EvalCache,
+    EvalRun,
+    Runner,
+)
+from repro.harness.evaluate import effective_samples
+from repro.models import load_model
+from repro.runtime import Machine
+
+
+@pytest.fixture()
+def bench():
+    return PCGBench(problem_types=["reduce"], models=["serial"])
+
+
+@pytest.fixture()
+def llm():
+    return load_model("CodeLlama-7B")
+
+
+class TestCacheRobustness:
+    def _cache_file(self, tmp_path):
+        files = [p for p in tmp_path.iterdir() if p.suffix == ".json"]
+        assert len(files) == 1
+        return files[0]
+
+    def test_corrupt_cache_is_regenerated(self, tmp_path, bench, llm):
+        cache = EvalCache(cache_dir=str(tmp_path))
+        first = cache.get_or_run(llm, bench, num_samples=3, temperature=0.2,
+                                 tag="unit")
+        self._cache_file(tmp_path).write_text("{truncated garba")
+        again = cache.get_or_run(llm, bench, num_samples=3, temperature=0.2,
+                                 tag="unit")
+        assert again.to_json() == first.to_json()
+
+    def test_version_mismatch_is_regenerated(self, tmp_path, bench, llm):
+        cache = EvalCache(cache_dir=str(tmp_path))
+        first = cache.get_or_run(llm, bench, num_samples=3, temperature=0.2,
+                                 tag="unit")
+        path = self._cache_file(tmp_path)
+        stale = json.loads(path.read_text())
+        stale["format_version"] = 999
+        path.write_text(json.dumps(stale))
+        again = cache.get_or_run(llm, bench, num_samples=3, temperature=0.2,
+                                 tag="unit")
+        assert again.to_json() == first.to_json()
+
+    def test_pre_versioning_cache_is_regenerated(self, tmp_path, bench, llm):
+        cache = EvalCache(cache_dir=str(tmp_path))
+        first = cache.get_or_run(llm, bench, num_samples=3, temperature=0.2,
+                                 tag="unit")
+        path = self._cache_file(tmp_path)
+        legacy = json.loads(path.read_text())
+        del legacy["format_version"]          # files written before PR 1
+        path.write_text(json.dumps(legacy))
+        again = cache.get_or_run(llm, bench, num_samples=3, temperature=0.2,
+                                 tag="unit")
+        assert again.to_json() == first.to_json()
+
+    @pytest.mark.parametrize("text", [
+        "not json at all",
+        "[1, 2, 3]",
+        '{"format_version": 1}',
+        '{"format_version": 1, "prompts": {"x": {"bad": true}}}',
+    ])
+    def test_from_json_raises_cache_format_error(self, text):
+        with pytest.raises(CacheFormatError):
+            EvalRun.from_json(text)
+
+
+class TestEffectiveSamples:
+    def test_unset_passes_through(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SAMPLES", raising=False)
+        assert effective_samples(40) == 40
+
+    def test_empty_passes_through(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SAMPLES", "")
+        assert effective_samples(40) == 40
+
+    def test_cap_applies(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SAMPLES", "4")
+        assert effective_samples(40) == 4
+        assert effective_samples(3) == 3
+        assert effective_samples(1) == 2      # floor of 2 is preserved
+
+    @pytest.mark.parametrize("bad", ["abc", "4.5", "3x", "--2"])
+    def test_non_integer_names_the_env_var(self, monkeypatch, bad):
+        monkeypatch.setenv("REPRO_SAMPLES", bad)
+        with pytest.raises(ConfigurationError, match="REPRO_SAMPLES"):
+            effective_samples(40)
+
+    @pytest.mark.parametrize("bad", ["0", "-3"])
+    def test_non_positive_rejected(self, monkeypatch, bad):
+        monkeypatch.setenv("REPRO_SAMPLES", bad)
+        with pytest.raises(ConfigurationError, match="REPRO_SAMPLES"):
+            effective_samples(40)
+
+
+class TestBaselineCacheKey:
+    def test_equal_machines_share_entries_distinct_machines_do_not(self):
+        problem = next(p for p in all_problems()
+                       if p.name == "sum_of_elements")
+        default = Runner()
+        same_value = Runner(machine=Machine())   # equal value, new object
+        assert default.baseline_time(problem) == \
+            same_value.baseline_time(problem)
+        slower = Runner(machine=Machine().with_overrides(
+            cpu=Machine().cpu.__class__(cycle=2.0e-9)))
+        assert slower.baseline_time(problem) != \
+            default.baseline_time(problem)

@@ -1,0 +1,101 @@
+"""Satellite coverage: one compact matrix driving ``evaluate_sample`` to
+every terminal status, plus an exact EvalRun JSON round trip."""
+
+import pytest
+
+from repro.bench import PCGBench, all_problems, render_prompt
+from repro.harness import FORMAT_VERSION, EvalRun, Runner, evaluate_model
+from repro.models import load_model
+
+_OK_SERIAL = """
+kernel sum_of_elements(x: array<float>) -> float {
+    let total = 0.0;
+    for (i in 0..len(x)) {
+        total += x[i];
+    }
+    return total;
+}
+"""
+
+_WRONG = """
+kernel sum_of_elements(x: array<float>) -> float {
+    return 0.0;
+}
+"""
+
+_TRAP = """
+kernel sum_of_elements(x: array<float>) -> float {
+    return x[len(x)];
+}
+"""
+
+_SPIN = """
+kernel sum_of_elements(x: array<float>) -> float {
+    let total = 0.0;
+    while (total >= 0.0) {
+        total += 1.0;
+    }
+    return total;
+}
+"""
+
+_RACY_OMP = """
+kernel sum_of_elements(x: array<float>) -> float {
+    let total = 0.0;
+    pragma omp parallel for
+    for (i in 0..len(x)) {
+        total += x[i];
+    }
+    return total;
+}
+"""
+
+#: (case label, execution model, source, expected status)
+MATRIX = [
+    ("correct", "serial", _OK_SERIAL, "correct"),
+    ("build_error", "serial", "kernel sum_of_elements(", "build_error"),
+    ("not_parallel", "openmp", _OK_SERIAL, "not_parallel"),
+    ("runtime_error", "openmp", _RACY_OMP, "runtime_error"),
+    ("trap", "serial", _TRAP, "runtime_error"),
+    ("timeout", "serial", _SPIN, "timeout"),
+    ("wrong_answer", "serial", _WRONG, "wrong_answer"),
+]
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return Runner(correctness_trials=2)
+
+
+@pytest.mark.parametrize("label,model,source,expected",
+                         MATRIX, ids=[m[0] for m in MATRIX])
+def test_terminal_status(runner, label, model, source, expected):
+    problem = next(p for p in all_problems() if p.name == "sum_of_elements")
+    prompt = render_prompt(problem, model)
+    result = runner.evaluate_sample(source, prompt)
+    assert result.status == expected
+
+
+def test_every_terminal_status_is_covered():
+    assert {m[3] for m in MATRIX} == {
+        "correct", "build_error", "not_parallel", "runtime_error",
+        "timeout", "wrong_answer"}
+
+
+class TestEvalRunRoundTrip:
+    def test_exact_json_round_trip(self):
+        bench = PCGBench(problem_types=["reduce"],
+                         models=["serial", "openmp"])
+        run = evaluate_model(load_model("GPT-4"), bench, num_samples=3,
+                             temperature=0.2, with_timing=True, seed=5)
+        text = run.to_json()
+        back = EvalRun.from_json(text)
+        assert back.to_json() == text       # byte-exact, times included
+
+    def test_round_trip_carries_format_version(self):
+        bench = PCGBench(problem_types=["reduce"], models=["serial"])
+        run = evaluate_model(load_model("GPT-4"), bench, num_samples=2,
+                             seed=5)
+        assert run.format_version == FORMAT_VERSION
+        assert EvalRun.from_json(run.to_json()).format_version == \
+            FORMAT_VERSION

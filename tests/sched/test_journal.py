@@ -1,0 +1,94 @@
+"""Tests for the JSONL journal and the content-addressed sample cache."""
+
+from repro.sched import Journal, SampleCache, journal_path_for
+
+
+class TestJournal:
+    def test_round_trip(self, tmp_path):
+        journal = Journal(tmp_path / "run.jsonl")
+        journal.start("key1", fresh=True)
+        journal.append("t1", {"status": "correct", "times": {"1": 0.5}})
+        journal.append("t2", {"baseline": 1.25})
+        journal.close()
+        loaded = Journal(tmp_path / "run.jsonl").load("key1")
+        assert loaded == {"t1": {"status": "correct", "times": {"1": 0.5}},
+                          "t2": {"baseline": 1.25}}
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        assert Journal(tmp_path / "absent.jsonl").load("key") == {}
+
+    def test_wrong_run_key_is_ignored(self, tmp_path):
+        journal = Journal(tmp_path / "run.jsonl")
+        journal.start("key1", fresh=True)
+        journal.append("t1", {"status": "correct"})
+        journal.close()
+        assert Journal(tmp_path / "run.jsonl").load("other-key") == {}
+
+    def test_torn_trailing_line_is_skipped(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        journal = Journal(path)
+        journal.start("key1", fresh=True)
+        journal.append("t1", {"status": "correct"})
+        journal.close()
+        with path.open("a") as fh:
+            fh.write('{"task": "t2", "resu')       # killed mid-write
+        loaded = Journal(path).load("key1")
+        assert list(loaded) == ["t1"]
+
+    def test_restart_with_same_key_appends(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        journal = Journal(path)
+        journal.start("key1", fresh=True)
+        journal.append("t1", {"a": 1})
+        journal.close()
+        journal = Journal(path)
+        journal.start("key1")                      # resume: append mode
+        journal.append("t2", {"b": 2})
+        journal.close()
+        assert set(Journal(path).load("key1")) == {"t1", "t2"}
+
+    def test_start_fresh_truncates(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        journal = Journal(path)
+        journal.start("key1", fresh=True)
+        journal.append("t1", {"a": 1})
+        journal.close()
+        journal = Journal(path)
+        journal.start("key1", fresh=True)
+        journal.close()
+        assert Journal(path).load("key1") == {}
+
+    def test_discard_removes_file(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        journal = Journal(path)
+        journal.start("key1", fresh=True)
+        journal.discard()
+        assert not path.exists()
+
+    def test_journal_path_for_slash_safe(self, tmp_path):
+        path = journal_path_for(tmp_path, "Phind/V2", 8, 0.2, True, 3)
+        assert "/" not in path.name
+        assert path.name.endswith(".journal.jsonl")
+
+
+class TestSampleCache:
+    def test_get_put_round_trip(self, tmp_path):
+        cache = SampleCache(tmp_path)
+        tid = "ab" + "0" * 62
+        assert cache.get(tid) is None
+        cache.put(tid, {"status": "correct", "times": {"4": 0.25}})
+        assert cache.get(tid) == {"status": "correct", "times": {"4": 0.25}}
+        assert tid in cache
+
+    def test_sharded_layout(self, tmp_path):
+        cache = SampleCache(tmp_path)
+        tid = "cd" + "1" * 62
+        cache.put(tid, {"baseline": 1.0})
+        assert (tmp_path / "cd" / f"{tid}.json").exists()
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = SampleCache(tmp_path)
+        tid = "ef" + "2" * 62
+        cache.put(tid, {"ok": True})
+        (tmp_path / "ef" / f"{tid}.json").write_text("{nope")
+        assert cache.get(tid) is None

@@ -1,0 +1,133 @@
+"""Tests for the job-graph planner: stable ids, dedup, ordered assembly."""
+
+import pytest
+
+from repro.bench import PCGBench
+from repro.harness import Runner
+from repro.models import load_model
+from repro.sched import (
+    KIND_BASELINE,
+    KIND_SAMPLE,
+    assemble,
+    baseline_task_id,
+    bench_spec,
+    build_plan,
+    runner_fingerprint,
+    sample_task_id,
+)
+
+
+@pytest.fixture(scope="module")
+def bench():
+    return PCGBench(problem_types=["transform"], models=["serial", "openmp"])
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return Runner()
+
+
+@pytest.fixture(scope="module")
+def plan(bench, runner):
+    return build_plan(load_model("GPT-3.5"), bench, num_samples=4,
+                      temperature=0.2, with_timing=True, runner=runner,
+                      seed=7)
+
+
+class TestTaskIds:
+    def test_sample_id_is_stable(self):
+        a = sample_task_id("src", "uid", "fp", True)
+        b = sample_task_id("src", "uid", "fp", True)
+        assert a == b and len(a) == 64
+
+    def test_sample_id_varies_with_every_component(self):
+        base = sample_task_id("src", "uid", "fp", True)
+        assert sample_task_id("src2", "uid", "fp", True) != base
+        assert sample_task_id("src", "uid2", "fp", True) != base
+        assert sample_task_id("src", "uid", "fp2", True) != base
+        assert sample_task_id("src", "uid", "fp", False) != base
+
+    def test_baseline_id_distinct_from_sample_id(self):
+        assert baseline_task_id("p", "fp") != sample_task_id("p", "p", "fp",
+                                                             False)
+
+    def test_fingerprint_tracks_runner_config(self, runner):
+        assert runner_fingerprint(runner) == runner_fingerprint(Runner())
+        assert runner_fingerprint(Runner(seed=1)) != runner_fingerprint(runner)
+        assert (runner_fingerprint(Runner(thread_counts=(1, 2)))
+                != runner_fingerprint(runner))
+
+
+class TestBuildPlan:
+    def test_slot_coverage(self, plan, bench):
+        assert len(plan.prompts) == len(bench.prompts)
+        assert plan.num_slots == len(bench.prompts) * 4
+
+    def test_slots_reference_existing_tasks(self, plan):
+        for pp in plan.prompts:
+            for slot in pp.slots:
+                assert slot.task_id in plan.tasks
+                assert plan.tasks[slot.task_id].kind == KIND_SAMPLE
+            assert plan.tasks[pp.baseline_task].kind == KIND_BASELINE
+
+    def test_identical_sources_deduplicate(self, plan):
+        sample_tasks = [t for t in plan.tasks.values()
+                        if t.kind == KIND_SAMPLE]
+        # a confident model at t=0.2 repeats candidates: far fewer unique
+        # tasks than slots
+        assert len(sample_tasks) < plan.num_slots
+
+    def test_one_baseline_per_problem(self, plan, bench):
+        baselines = [t for t in plan.tasks.values()
+                     if t.kind == KIND_BASELINE]
+        assert len(baselines) == len(bench.problems)
+
+    def test_plan_is_deterministic(self, bench, runner):
+        llm = load_model("GPT-3.5")
+        again = build_plan(llm, bench, num_samples=4, temperature=0.2,
+                           with_timing=True, runner=runner, seed=7)
+        fresh = build_plan(llm, bench, num_samples=4, temperature=0.2,
+                           with_timing=True, runner=runner, seed=7)
+        assert list(again.tasks) == list(fresh.tasks)
+        assert again.run_key() == fresh.run_key()
+
+    def test_run_key_varies_with_config(self, plan, bench, runner):
+        other = build_plan(load_model("GPT-3.5"), bench, num_samples=4,
+                           temperature=0.2, with_timing=True, runner=runner,
+                           seed=8)
+        assert other.run_key() != plan.run_key()
+
+    def test_bench_spec_round_trip(self, bench):
+        ptypes, models = bench_spec(bench)
+        rebuilt = PCGBench(problem_types=list(ptypes), models=list(models))
+        assert [p.uid for p in rebuilt.prompts] == \
+            [p.uid for p in bench.prompts]
+
+
+class TestAssemble:
+    def test_assemble_orders_by_plan_not_arrival(self, plan):
+        results = {}
+        for tid, spec in reversed(list(plan.tasks.items())):
+            if spec.kind == KIND_BASELINE:
+                results[tid] = {"baseline": 1.0}
+            else:
+                # journal round trip stringifies times keys
+                results[tid] = {"status": "correct", "detail": "",
+                                "times": {"1": 0.5}}
+        run = assemble(plan, results)
+        assert list(run.prompts) == [pp.uid for pp in plan.prompts]
+        record = next(iter(run.prompts.values()))
+        assert record.baseline == 1.0
+        assert record.samples[0].times == {1: 0.5}
+
+    def test_assemble_truncates_detail(self, plan):
+        results = {}
+        for tid, spec in plan.tasks.items():
+            if spec.kind == KIND_BASELINE:
+                results[tid] = {"baseline": 1.0}
+            else:
+                results[tid] = {"status": "build_error", "detail": "x" * 500,
+                                "times": {}}
+        run = assemble(plan, results)
+        record = next(iter(run.prompts.values()))
+        assert len(record.samples[0].detail) == 160

@@ -1,0 +1,113 @@
+"""Fault-isolation tests for the worker pool, using synthetic tasks that
+succeed, raise, crash the worker process, or hang."""
+
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.sched import SOURCE_FAILED, Telemetry, WorkerPool
+from repro.sched.events import WorkerCrashed, WorkerReplaced
+
+
+def _init(tag):
+    return tag
+
+
+def _work(ctx, payload):
+    action = payload["action"]
+    if action == "ok":
+        return {"v": payload["v"] * 2}
+    if action == "raise":
+        raise RuntimeError("boom")
+    if action == "crash_once":
+        marker = Path(payload["marker"])
+        if not marker.exists():
+            marker.write_text("died here")
+            os._exit(13)          # simulate a segfault / OOM kill
+        return {"v": "recovered"}
+    if action == "crash":
+        os._exit(13)
+    if action == "hang":
+        time.sleep(120.0)
+    raise ValueError(f"unknown action {action}")
+
+
+def _ok_tasks(n):
+    return [(f"ok{i}", {"kind": "sample", "action": "ok", "v": i})
+            for i in range(n)]
+
+
+class TestHappyPath:
+    def test_all_tasks_complete(self):
+        pool = WorkerPool(jobs=2, work_fn=_work, init_fn=_init,
+                          init_args=("t",))
+        results, failures = pool.run(_ok_tasks(20))
+        assert failures == {}
+        assert results["ok7"] == {"v": 14}
+        assert len(results) == 20
+
+    def test_single_worker(self):
+        pool = WorkerPool(jobs=1, work_fn=_work, init_fn=_init,
+                          init_args=("t",))
+        results, failures = pool.run(_ok_tasks(5))
+        assert len(results) == 5 and not failures
+
+    def test_jobs_validation(self):
+        with pytest.raises(ValueError):
+            WorkerPool(jobs=0, work_fn=_work)
+
+    def test_empty_task_list(self):
+        pool = WorkerPool(jobs=2, work_fn=_work)
+        assert pool.run([]) == ({}, {})
+
+
+class TestFaults:
+    def test_raising_task_fails_without_killing_run(self):
+        tel = Telemetry()
+        pool = WorkerPool(jobs=2, work_fn=_work, init_fn=_init,
+                          init_args=("t",), max_retries=1, emit=tel)
+        tasks = _ok_tasks(6) + [("bad", {"kind": "sample",
+                                         "action": "raise"})]
+        results, failures = pool.run(tasks)
+        assert len(results) == 6
+        assert "boom" in failures["bad"]
+        assert tel.provenance["bad"] == SOURCE_FAILED
+
+    def test_worker_crash_is_requeued_and_recovers(self, tmp_path):
+        tel = Telemetry()
+        tel.keep_events = True
+        pool = WorkerPool(jobs=2, work_fn=_work, init_fn=_init,
+                          init_args=("t",), max_retries=2, emit=tel)
+        marker = tmp_path / "crashed"
+        tasks = _ok_tasks(6) + [
+            ("lazarus", {"kind": "sample", "action": "crash_once",
+                         "marker": str(marker)})]
+        results, failures = pool.run(tasks)
+        assert failures == {}
+        assert results["lazarus"] == {"v": "recovered"}
+        assert tel.crashes >= 1
+        assert any(isinstance(e, WorkerCrashed) for e in tel.events)
+        assert any(isinstance(e, WorkerReplaced) for e in tel.events)
+
+    def test_always_crashing_task_exhausts_budget(self):
+        pool = WorkerPool(jobs=2, work_fn=_work, init_fn=_init,
+                          init_args=("t",), max_retries=1)
+        tasks = _ok_tasks(4) + [("doom", {"kind": "sample",
+                                          "action": "crash"})]
+        results, failures = pool.run(tasks)
+        assert len(results) == 4
+        assert "doom" in failures
+
+    def test_hang_is_detected_and_contained(self):
+        pool = WorkerPool(jobs=2, work_fn=_work, init_fn=_init,
+                          init_args=("t",), task_timeout=1.0, max_retries=0)
+        tasks = _ok_tasks(4) + [("stuck", {"kind": "sample",
+                                           "action": "hang"})]
+        began = time.monotonic()
+        results, failures = pool.run(tasks)
+        assert len(results) == 4
+        assert "timeout" in failures["stuck"]
+        # the hang cost ~task_timeout, not the full 120s sleep
+        assert time.monotonic() - began < 30.0

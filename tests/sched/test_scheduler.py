@@ -1,0 +1,177 @@
+"""End-to-end scheduler tests: the determinism and resumability
+acceptance criteria, cross-run caching, and the EvalCache/CLI wiring."""
+
+import json
+
+import pytest
+
+from repro.bench import PCGBench
+from repro.harness import ConfigurationError, EvalCache, evaluate_model
+from repro.models import load_model
+from repro.sched import (
+    SOURCE_EXECUTED,
+    SchedulerAbort,
+    TaskFinished,
+    Telemetry,
+    run_scheduled,
+)
+
+
+@pytest.fixture(scope="module")
+def bench():
+    return PCGBench(problem_types=["transform"], models=["serial", "openmp"])
+
+
+@pytest.fixture(scope="module")
+def llm():
+    return load_model("GPT-3.5")
+
+
+@pytest.fixture(scope="module")
+def serial_timed(llm, bench):
+    return evaluate_model(llm, bench, num_samples=3, temperature=0.2,
+                          with_timing=True, seed=7)
+
+
+class TestDeterminism:
+    def test_parallel_matches_serial(self, llm, bench, serial_timed):
+        parallel = evaluate_model(llm, bench, num_samples=3, temperature=0.2,
+                                  with_timing=True, seed=7, jobs=4)
+        assert parallel.to_json() == serial_timed.to_json()
+
+    def test_jobs_counts_agree(self, llm, bench):
+        runs = [evaluate_model(llm, bench, num_samples=2, seed=3, jobs=j)
+                for j in (1, 2, 3)]
+        assert runs[0].to_json() == runs[1].to_json() == runs[2].to_json()
+
+    def test_hot_temperature_matches(self, llm, bench):
+        serial = evaluate_model(llm, bench, num_samples=4, temperature=0.8,
+                                seed=13)
+        parallel = evaluate_model(llm, bench, num_samples=4, temperature=0.8,
+                                  seed=13, jobs=2)
+        assert parallel.to_json() == serial.to_json()
+
+
+class _AbortAfter:
+    """Event sink that interrupts the run after K executed tasks."""
+
+    def __init__(self, k):
+        self.k = k
+        self.seen = 0
+
+    def __call__(self, event):
+        if isinstance(event, TaskFinished) and \
+                event.source == SOURCE_EXECUTED:
+            self.seen += 1
+            if self.seen >= self.k:
+                raise SchedulerAbort(f"aborted after {self.k} tasks")
+
+
+class TestResumability:
+    K = 5
+
+    def test_interrupt_then_resume_recomputes_nothing(self, llm, bench,
+                                                      serial_timed,
+                                                      tmp_path):
+        journal = tmp_path / "run.journal.jsonl"
+        with pytest.raises(SchedulerAbort):
+            evaluate_model(llm, bench, num_samples=3, temperature=0.2,
+                           with_timing=True, seed=7, jobs=2,
+                           journal=str(journal), events=_AbortAfter(self.K))
+        lines = [json.loads(l) for l in journal.read_text().splitlines()]
+        journaled = {l["task"] for l in lines if l.get("kind") != "header"}
+        # journal-then-notify: every task the sink saw is checkpointed
+        assert len(journaled) >= self.K
+
+        telemetry = Telemetry()
+        resumed = evaluate_model(llm, bench, num_samples=3, temperature=0.2,
+                                 with_timing=True, seed=7, jobs=2,
+                                 journal=str(journal), resume=True,
+                                 events=telemetry)
+        # no finished task was recomputed ...
+        assert journaled.isdisjoint(telemetry.executed_ids())
+        assert telemetry.from_journal == len(journaled)
+        assert telemetry.executed + telemetry.from_journal == \
+            telemetry.total
+        # ... and the result is still byte-identical to the serial run
+        assert resumed.to_json() == serial_timed.to_json()
+
+    def test_resume_of_finished_run_executes_nothing(self, llm, bench,
+                                                     tmp_path):
+        journal = tmp_path / "done.journal.jsonl"
+        evaluate_model(llm, bench, num_samples=2, seed=3, jobs=2,
+                       journal=str(journal))
+        telemetry = Telemetry()
+        evaluate_model(llm, bench, num_samples=2, seed=3, jobs=2,
+                       journal=str(journal), resume=True, events=telemetry)
+        assert telemetry.executed == 0
+        assert telemetry.from_journal == telemetry.total > 0
+
+    def test_stale_journal_from_other_config_is_ignored(self, llm, bench,
+                                                        tmp_path):
+        journal = tmp_path / "stale.journal.jsonl"
+        evaluate_model(llm, bench, num_samples=2, seed=3, jobs=2,
+                       journal=str(journal))
+        telemetry = Telemetry()
+        evaluate_model(llm, bench, num_samples=2, seed=4, jobs=2,
+                       journal=str(journal), resume=True, events=telemetry)
+        assert telemetry.from_journal == 0
+        assert telemetry.executed == telemetry.total
+
+    def test_resume_requires_journal(self, llm, bench):
+        with pytest.raises(ConfigurationError):
+            evaluate_model(llm, bench, num_samples=2, resume=True)
+
+
+class TestSampleCache:
+    def test_cross_run_dedup(self, llm, bench, tmp_path):
+        first = Telemetry()
+        run1 = evaluate_model(llm, bench, num_samples=2, seed=3, jobs=2,
+                              sample_cache=str(tmp_path / "samples"),
+                              events=first)
+        assert first.executed == first.total > 0
+        second = Telemetry()
+        run2 = evaluate_model(llm, bench, num_samples=2, seed=3, jobs=2,
+                              sample_cache=str(tmp_path / "samples"),
+                              events=second)
+        assert second.executed == 0
+        assert second.from_cache == second.total
+        assert run2.to_json() == run1.to_json()
+
+
+class TestTelemetry:
+    def test_stage_and_status_accounting(self, llm, bench):
+        telemetry = Telemetry()
+        run, returned = run_scheduled(llm, bench, num_samples=2, seed=3,
+                                      jobs=2, emit=telemetry)
+        assert set(telemetry.stage_seconds) == {"plan", "execute",
+                                                "assemble"}
+        assert sum(telemetry.statuses.values()) == telemetry.total
+        assert telemetry.wall_seconds > 0.0
+        assert returned.counts == telemetry.counts
+        assert len(run.prompts) == len(bench.prompts)
+
+
+class TestEvalCacheIntegration:
+    def test_scheduled_get_or_run_matches_serial(self, llm, bench, tmp_path):
+        serial_cache = EvalCache(cache_dir=str(tmp_path / "a"))
+        sched_cache = EvalCache(cache_dir=str(tmp_path / "b"))
+        serial = serial_cache.get_or_run(llm, bench, num_samples=2,
+                                         temperature=0.2, seed=5, tag="t")
+        scheduled = sched_cache.get_or_run(llm, bench, num_samples=2,
+                                           temperature=0.2, seed=5, tag="t",
+                                           jobs=2)
+        assert scheduled.to_json() == serial.to_json()
+        # the journal is superseded by the cache file and removed
+        assert not list((tmp_path / "b" / "journal").glob("*"))
+        # the content-addressed sample store was populated
+        assert list((tmp_path / "b" / "samples").rglob("*.json"))
+        # second call is a pure cache hit
+        again = sched_cache.get_or_run(llm, bench, num_samples=2,
+                                       temperature=0.2, seed=5, tag="t",
+                                       jobs=2)
+        assert again.to_json() == scheduled.to_json()
+
+    def test_invalid_jobs_rejected(self, llm, bench):
+        with pytest.raises(ConfigurationError):
+            evaluate_model(llm, bench, num_samples=2, jobs=0)

@@ -45,3 +45,27 @@ class TestCLI:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+    def test_jobs_must_be_positive(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["eval", "--models", "GPT-4", "--ptypes", "transform",
+                  "--exec", "serial", "--samples", "2", "--jobs", "0"])
+        assert "must be >= 1" in capsys.readouterr().err
+
+    def test_bad_repro_samples_is_a_clean_error(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SAMPLES", "abc")
+        assert main(["eval", "--models", "GPT-4", "--ptypes", "transform",
+                     "--exec", "serial", "--samples", "2"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") or "error:" in err
+        assert "REPRO_SAMPLES" in err
+
+    def test_parallel_eval_slice(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", str(tmp_path))
+        assert main([
+            "eval", "--models", "CodeLlama-7B",
+            "--ptypes", "transform", "--exec", "serial,openmp",
+            "--samples", "2", "--jobs", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out and "Figure 3" in out
