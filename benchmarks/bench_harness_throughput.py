@@ -74,6 +74,67 @@ def test_scheduler_throughput(benchmark, jobs):
     assert len(run.prompts) == len(bench.prompts)
 
 
+# -- MiniParSan pre-execution screen -------------------------------------------
+
+def _mutant_heavy_samples():
+    """Race/deadlock mutants of every parallel solution: the workload the
+    static screen is built for (each one costs a full Tracer conviction
+    when executed dynamically)."""
+    import numpy as np
+
+    from repro.models.mutate import _MUTATORS, mutator_names
+
+    race_muts = ["drop_reduction_clause", "drop_atomic_pragma",
+                 "drop_critical", "atomic_to_plain", "inplace_stencil",
+                 "mpi_collective_skew", "mpi_recv_deadlock"]
+    samples = []
+    for p in all_problems():
+        for model in ("openmp", "kokkos", "mpi", "mpi+omp", "cuda"):
+            variants = variants_for(p, model)
+            if not variants:
+                continue
+            applicable = set(mutator_names(model))
+            for name in race_muts:
+                if name not in applicable:
+                    continue
+                mutated = _MUTATORS[name](variants[0].source,
+                                          np.random.default_rng(7))
+                if mutated is not None and mutated != variants[0].source:
+                    samples.append((render_prompt(p, model), mutated))
+    return samples
+
+
+def _screen_pass(samples, static_screen):
+    runner = Runner(correctness_trials=2, static_screen=static_screen)
+    return [runner.evaluate_sample(src, prompt).status
+            for prompt, src in samples]
+
+
+def test_static_screen_reduces_wall_time_on_mutants():
+    """The acceptance check: short-circuiting definite diagnostics to
+    ``static_fail`` beats executing every racy mutant under the Tracer."""
+    samples = _mutant_heavy_samples()
+    t0 = time.perf_counter()
+    off = _screen_pass(samples, static_screen=False)
+    t_off = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    on = _screen_pass(samples, static_screen=True)
+    t_on = time.perf_counter() - t0
+    screened = sum(s == "static_fail" for s in on)
+    print(f"\nstatic screen: off {t_off:.2f}s vs on {t_on:.2f}s over "
+          f"{len(samples)} mutants ({screened} screened statically)")
+    assert screened > 0
+    assert t_on < t_off
+
+
+@pytest.mark.parametrize("static_screen", [False, True],
+                         ids=["screen-off", "screen-on"])
+def test_mutant_screen_throughput(benchmark, static_screen):
+    samples = _mutant_heavy_samples()[:20]
+    benchmark.pedantic(_screen_pass, args=(samples, static_screen),
+                       rounds=2, iterations=1, warmup_rounds=0)
+
+
 def test_scheduler_beats_serial():
     """The acceptance check: jobs=4 beats the serial loop outright."""
     llm, bench = _sched_workload()

@@ -92,3 +92,10 @@ for label, source in [("good", GOOD), ("racy", RACY),
         t1, t32 = result.times[1], result.times[32]
         print(f"{'':13s}1 thread {t1*1e3:.3f} ms, 32 threads {t32*1e3:.3f} ms "
               f"(speedup {t1/t32:.1f}x)")
+
+# the racy candidate above never executed: MiniParSan convicted it
+# statically (status 'static_fail').  Disable the screen to watch the
+# dynamic Tracer catch the same bug at runtime instead:
+dynamic = Runner(static_screen=False)
+result = dynamic.evaluate_sample(RACY, prompt)
+print(f"{'racy (dyn)':10s} -> {result.status}  ({result.detail[:70]})")

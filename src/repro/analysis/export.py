@@ -18,6 +18,15 @@ from ..harness.evaluate import EvalRun
 from .aggregate import pass_at_k_for
 
 
+def _diag_summary(diags: List[Dict]) -> str:
+    """Compact ``analyzer/kind:certainty`` list, ';'-joined, for one cell."""
+    return ";".join(
+        f"{d.get('analyzer', '?')}/{d.get('kind', '?')}:"
+        f"{d.get('certainty', '?')}"
+        for d in diags
+    )
+
+
 def to_csv(run: EvalRun) -> str:
     """One row per generated sample, flat enough for pandas/spreadsheets."""
     all_ns: List[int] = sorted({
@@ -27,14 +36,16 @@ def to_csv(run: EvalRun) -> str:
     writer = csv.writer(buf)
     writer.writerow(
         ["llm", "prompt", "ptype", "exec_model", "sample", "status",
-         "intended", "baseline_s"] + [f"t_n{n}_s" for n in all_ns]
+         "intended", "baseline_s", "n_diagnostics", "diagnostics"]
+        + [f"t_n{n}_s" for n in all_ns]
     )
     for uid in sorted(run.prompts):
         rec = run.prompts[uid]
         for i, s in enumerate(rec.samples):
             writer.writerow(
                 [run.llm, uid, rec.ptype, rec.exec_model, i, s.status,
-                 s.intended, rec.baseline if rec.baseline else ""]
+                 s.intended, rec.baseline if rec.baseline else "",
+                 len(s.diagnostics), _diag_summary(s.diagnostics)]
                 + [s.times.get(n, "") for n in all_ns]
             )
     return buf.getvalue()

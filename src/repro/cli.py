@@ -16,6 +16,14 @@ Commands
 ``figures [--samples N]``
     Regenerate all paper figures from (or into) the on-disk cache —
     the scripted equivalent of ``pytest benchmarks/ --benchmark-only``.
+``lint <file> [--exec MODEL]`` / ``lint --corpus``
+    Run MiniParSan (``repro.lint``) over one MiniPar source file, or over
+    the whole handwritten baseline + solution corpus.  Exit status: 0
+    when no ``definite`` diagnostics, 1 when any, 2 on a build error.
+
+``run``/``eval``/``figures`` accept ``--no-static-screen`` to disable
+the MiniParSan pre-execution screen (no ``static_fail`` short-circuit;
+every sample runs dynamically, as before the linter existed).
 
 ``eval`` and ``figures`` accept ``--jobs N`` to run the harness on the
 :mod:`repro.sched` worker pool and ``--resume`` to continue an
@@ -101,7 +109,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     bench = PCGBench()
     prompt = bench.prompt(args.uid)
     llm = load_model(args.model)
-    runner = Runner()
+    runner = Runner(static_screen=args.static_screen)
     samples = llm.generate(prompt, args.samples, args.temperature, args.seed)
     correct = 0
     for i, sample in enumerate(samples):
@@ -127,7 +135,7 @@ def cmd_eval(args: argparse.Namespace) -> int:
     bench = PCGBench(problem_types=_split(args.ptypes),
                      models=_split(args.exec))
     model_names = _split(args.models) or list(MODEL_ORDER)
-    runner = Runner()
+    runner = Runner(static_screen=args.static_screen)
     runs = {}
     for name in model_names:
         print(f"evaluating {name} on {len(bench)} prompts ...",
@@ -155,7 +163,7 @@ def cmd_eval(args: argparse.Namespace) -> int:
 def cmd_figures(args: argparse.Namespace) -> int:
     bench = PCGBench()
     cache = EvalCache()
-    runner = Runner()
+    runner = Runner(static_screen=args.static_screen)
 
     def runs_for(samples, temperature, timing, seed, names):
         return {
@@ -182,6 +190,71 @@ def cmd_figures(args: argparse.Namespace) -> int:
         _, text = builder(timed)
         print("\n" + text)
     return 0
+
+
+def _detect_model(checked) -> str:
+    """Best-effort execution model of a standalone source file."""
+    cats = checked.builtin_categories
+    if "gpu" in cats:
+        return "cuda"
+    if "kokkos" in cats:
+        return "kokkos"
+    if "mpi" in cats:
+        return "mpi+omp" if checked.uses_omp_pragmas else "mpi"
+    if checked.uses_omp_pragmas:
+        return "openmp"
+    return "serial"
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    from .lang import CompileError, compile_source
+    from .lint import definite, lint_checked, lint_source
+
+    if args.corpus:
+        from .bench import all_problems, baseline_source
+        from .bench.spec import EXECUTION_MODELS
+        from .models.solutions import variants_for
+
+        programs, n_definite, n_possible = 0, 0, 0
+        for problem in all_problems():
+            jobs = [("baseline/" + problem.name, "serial",
+                     baseline_source(problem.name))]
+            for model in EXECUTION_MODELS:
+                for i, v in enumerate(variants_for(problem, model)):
+                    jobs.append((f"{problem.name}/{model}[{i}]", model,
+                                 v.source))
+            for label, model, source in jobs:
+                programs += 1
+                diags = lint_source(source, model)
+                bad = definite(diags)
+                n_definite += len(bad)
+                n_possible += sum(d.certainty == "possible" for d in diags)
+                for d in bad:
+                    print(f"{label}: {d.render()}")
+        print(f"linted {programs} corpus programs: "
+              f"{n_definite} definite, {n_possible} possible")
+        return 1 if n_definite else 0
+
+    if not args.file:
+        print("error: provide a source file or --corpus", file=sys.stderr)
+        return 2
+    try:
+        source = Path(args.file).read_text()
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        checked = compile_source(source)
+    except CompileError as exc:
+        print(f"{args.file}: build error: {exc}", file=sys.stderr)
+        return 2
+    model = args.exec or _detect_model(checked)
+    diags = lint_checked(checked, model)
+    for d in diags:
+        print(f"{args.file}:{d.render()}")
+    if not diags:
+        print(f"{args.file}: clean under {model!r}")
+    return 1 if definite(diags) else 0
 
 
 def _positive_int(text: str) -> int:
@@ -216,6 +289,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--temperature", type=float, default=0.2)
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("--timing", action="store_true")
+    p.add_argument("--no-static-screen", dest="static_screen",
+                   action="store_false",
+                   help="disable the MiniParSan pre-execution screen")
     p.add_argument("--verbose", "-v", action="store_true")
     p.set_defaults(fn=cmd_run)
 
@@ -231,6 +307,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker processes for the evaluation scheduler")
     p.add_argument("--resume", action="store_true",
                    help="resume an interrupted run from its journal")
+    p.add_argument("--no-static-screen", dest="static_screen",
+                   action="store_false",
+                   help="disable the MiniParSan pre-execution screen")
     p.add_argument("--verbose", "-v", action="store_true")
     p.set_defaults(fn=cmd_eval)
 
@@ -240,7 +319,22 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker processes for the evaluation scheduler")
     p.add_argument("--resume", action="store_true",
                    help="resume interrupted evaluation passes")
+    p.add_argument("--no-static-screen", dest="static_screen",
+                   action="store_false",
+                   help="disable the MiniParSan pre-execution screen")
     p.set_defaults(fn=cmd_figures)
+
+    p = sub.add_parser(
+        "lint", help="run MiniParSan static analysis on a source file")
+    p.add_argument("file", nargs="?",
+                   help="MiniPar source file to analyze")
+    p.add_argument("--exec", default=None,
+                   choices=["serial", "openmp", "kokkos", "mpi", "mpi+omp",
+                            "cuda", "hip"],
+                   help="execution model (default: auto-detect)")
+    p.add_argument("--corpus", action="store_true",
+                   help="lint every handwritten baseline and solution")
+    p.set_defaults(fn=cmd_lint)
 
     return parser
 

@@ -12,7 +12,8 @@ from .evaluate import (
     evaluate_model,
 )
 from .runner import RunResult, Runner, compile_sample
-from .usagecheck import LINKABLE, link_error, uses_parallel_model
+from .usagecheck import (LINKABLE, link_error, uses_parallel_model,
+                         uses_parallel_model_text)
 
 __all__ = [
     "Runner",
@@ -20,6 +21,7 @@ __all__ = [
     "compile_sample",
     "link_error",
     "uses_parallel_model",
+    "uses_parallel_model_text",
     "LINKABLE",
     "evaluate_model",
     "EvalRun",

@@ -25,7 +25,8 @@ ENV_SAMPLES = "REPRO_SAMPLES"
 
 #: bump when the EvalRun JSON layout changes; cached files from other
 #: versions (or with no version at all) are regenerated, never crashed on
-FORMAT_VERSION = 1
+#: (2: SampleRecord gained MiniParSan ``diagnostics``)
+FORMAT_VERSION = 2
 
 
 class ConfigurationError(ValueError):
@@ -43,6 +44,8 @@ class SampleRecord:
     detail: str = ""
     #: simulated seconds keyed by processor count (timing runs only)
     times: Dict[int, float] = field(default_factory=dict)
+    #: MiniParSan findings as plain dicts (see repro.lint.Diagnostic)
+    diagnostics: List[Dict] = field(default_factory=list)
 
 
 @dataclass
@@ -105,6 +108,7 @@ class EvalRun:
                         detail=s.get("detail", ""),
                         times={int(k): v
                                for k, v in s.get("times", {}).items()},
+                        diagnostics=list(s.get("diagnostics", [])),
                     )
                     for s in pr.pop("samples")
                 ]
@@ -196,6 +200,7 @@ def evaluate_model(
             record.samples.append(SampleRecord(
                 status=res.status, intended=sample.intended,
                 detail=res.detail[:160], times=dict(res.times),
+                diagnostics=[d.to_dict() for d in res.diagnostics],
             ))
         run.prompts[prompt.uid] = record
         if progress is not None:

@@ -9,10 +9,16 @@ Statuses mirror the paper's bookkeeping:
 
 * ``build_error``   — lexing/parsing/type errors or link failures;
 * ``not_parallel``  — built, but failed the parallel-model usage check;
+* ``static_fail``   — MiniParSan proved a race or deadlock before any
+  execution (``repro.lint``); skipped dynamically.  Disable with
+  ``Runner(static_screen=False)`` / ``--no-static-screen``;
 * ``runtime_error`` — trap / race / deadlock / MPI misuse;
 * ``timeout``       — exceeded the fuel budget or simulated 3-minute cap;
 * ``wrong_answer``  — ran but the outputs disagree with the reference;
 * ``correct``       — everything above passed.
+
+"Possible" (unprovable) lint findings never change a status; they ride
+along on :attr:`RunResult.diagnostics` for reporting.
 """
 
 from __future__ import annotations
@@ -46,6 +52,7 @@ from ..runtime import (
     launch,
     run_mpi,
 )
+from ..lint import Diagnostic, blocking, lint_checked
 from ..runtime.machine import CPU_THREAD_COUNTS, DEFAULT_MACHINE
 from .usagecheck import link_error, uses_parallel_model
 
@@ -73,23 +80,32 @@ class RunResult:
     #: simulated seconds per processor count (timing runs only)
     times: Dict[int, float] = field(default_factory=dict)
     baseline_time: Optional[float] = None
+    #: MiniParSan findings (definite and possible) for this sample
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+
+def _compile_checked(source: str, model: str):
+    """Compile + link, keeping the type-checked AST for the linter.
+    Returns (program, checked, None) or (None, None, reason)."""
+    try:
+        checked = compile_source(source)
+    except CompileError as exc:
+        return None, None, f"compile error: {exc}"
+    err = link_error(checked, model)
+    if err is not None:
+        return None, None, f"link error: {err}"
+    try:
+        program = compile_program(checked)
+    except MiniParError as exc:  # pragma: no cover - defensive
+        return None, None, f"codegen error: {exc}"
+    return program, checked, None
 
 
 def compile_sample(source: str, model: str):
     """Compile + link a generated sample.  Returns (program, None) or
     (None, reason)."""
-    try:
-        checked = compile_source(source)
-    except CompileError as exc:
-        return None, f"compile error: {exc}"
-    err = link_error(checked, model)
-    if err is not None:
-        return None, f"link error: {err}"
-    try:
-        program = compile_program(checked)
-    except MiniParError as exc:  # pragma: no cover - defensive
-        return None, f"codegen error: {exc}"
-    return program, None
+    program, _, reason = _compile_checked(source, model)
+    return program, reason
 
 
 def _classify(exc: BaseException) -> str:
@@ -111,13 +127,15 @@ class Runner:
                  mpi_rank_counts: Sequence[int] = (1, 4, 16, 64, 256, 512),
                  hybrid_config: Sequence[int] = (4, 64),
                  correctness_trials: int = 2,
-                 seed: int = 20240603):
+                 seed: int = 20240603,
+                 static_screen: bool = True):
         self.machine = machine
         self.thread_counts = tuple(thread_counts)
         self.mpi_rank_counts = tuple(mpi_rank_counts)
         self.hybrid_config = tuple(hybrid_config)
         self.correctness_trials = correctness_trials
         self.seed = seed
+        self.static_screen = static_screen
 
     # -- single executions -------------------------------------------------------
 
@@ -148,10 +166,10 @@ class Runner:
     # -- correctness --------------------------------------------------------------
 
     def check_correct(self, program: CompiledProgram, source: str,
-                      prompt: Prompt) -> RunResult:
+                      prompt: Prompt, checked=None) -> RunResult:
         """Run the correctness driver: usage check + reference trials."""
         problem, model = prompt.problem, prompt.model
-        if not uses_parallel_model(source, model):
+        if not uses_parallel_model(source, model, checked=checked):
             return RunResult("not_parallel",
                              f"generated code does not use {model}")
         rng = np.random.default_rng(self.seed)
@@ -275,10 +293,19 @@ class Runner:
 
     def evaluate_sample(self, source: str, prompt: Prompt,
                         with_timing: bool = False) -> RunResult:
-        program, reason = compile_sample(source, prompt.model)
+        program, checked, reason = _compile_checked(source, prompt.model)
         if program is None:
             return RunResult("build_error", reason or "build failed")
-        result = self.check_correct(program, source, prompt)
+        diagnostics: List[Diagnostic] = []
+        if self.static_screen:
+            diagnostics = lint_checked(checked, prompt.model)
+            fatal = blocking(diagnostics)
+            if fatal:
+                return RunResult("static_fail",
+                                 f"static: {fatal[0].message}",
+                                 diagnostics=diagnostics)
+        result = self.check_correct(program, source, prompt, checked=checked)
+        result.diagnostics = diagnostics
         if result.status != "correct" or not with_timing:
             return result
         result.times = self.measure(program, prompt)

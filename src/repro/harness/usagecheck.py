@@ -8,8 +8,14 @@ Two distinct checks, both mirroring the paper's harness:
   ignored without ``-fopenmp``), exactly as with GCC.
 
 * **usage check** — "a code is marked incorrect if it does not use its
-  respective parallel programming model".  Implemented, as in the paper,
-  with string matching against the source text.
+  respective parallel programming model".  The primary oracle is now the
+  AST-based check in :mod:`repro.lint.usage` (the parser's pragma flag
+  plus the typechecker's resolved-builtin set), which a comment or string
+  literal cannot fool.  The paper's string-matching check is kept as the
+  documented fallback for sources that do not compile — and even then the
+  patterns run over *lexed token text*, not raw source, so ``mpi_send``
+  in a comment no longer counts as using MPI.  Raw source is matched only
+  when the program cannot even be lexed.
 """
 
 from __future__ import annotations
@@ -17,6 +23,7 @@ from __future__ import annotations
 import re
 from typing import Optional, Set
 
+from ..lang import CompileError, compile_source, lex
 from ..lang.typecheck import CheckedProgram
 
 #: builtin categories linkable under each execution model
@@ -62,14 +69,43 @@ def _category_of(name: str) -> str:
     return sig.category if sig else "core"
 
 
-def uses_parallel_model(source: str, model: str) -> bool:
-    """The paper's string-matching check: did the generated code actually
-    use the prompt's parallel programming model?"""
+def _lexed_text(source: str) -> str:
+    """Source reduced to its token text — comments and layout dropped."""
+    try:
+        return " ".join(t.text for t in lex(source))
+    except CompileError:
+        return source
+
+
+def uses_parallel_model_text(source: str, model: str) -> bool:
+    """String-matching usage check over lexed token text (the fallback
+    oracle, and the reference the parity test compares against)."""
     if model == "serial":
         return True
+    text = _lexed_text(source)
     if model == "mpi+omp":
         return (
-            any(p.search(source) for p in _USAGE_PATTERNS["mpi"])
-            and any(p.search(source) for p in _USAGE_PATTERNS["openmp"])
+            any(p.search(text) for p in _USAGE_PATTERNS["mpi"])
+            and any(p.search(text) for p in _USAGE_PATTERNS["openmp"])
         )
-    return any(p.search(source) for p in _USAGE_PATTERNS[model])
+    return any(p.search(text) for p in _USAGE_PATTERNS[model])
+
+
+def uses_parallel_model(source: str, model: str,
+                        checked: Optional[CheckedProgram] = None) -> bool:
+    """Did the generated code actually use the prompt's parallel model?
+
+    Prefers the AST oracle; falls back to token-text matching when the
+    source does not compile (callers screen build errors first, so that
+    path only runs for direct API use on broken sources).
+    """
+    if model == "serial":
+        return True
+    if checked is None:
+        try:
+            checked = compile_source(source)
+        except CompileError:
+            return uses_parallel_model_text(source, model)
+    from ..lint.usage import model_is_used
+
+    return model_is_used(checked, model)

@@ -1,0 +1,61 @@
+"""MiniParSan: static race / deadlock / usage analysis for MiniPar.
+
+The package exposes one high-level entry point per input shape:
+
+``lint_checked(checked, model)``
+    Run all analyzers over an already type-checked program.
+``lint_source(source, model)``
+    Compile then lint; a source that fails to compile yields a single
+    ``build`` diagnostic instead of raising.
+
+Both return a list of :class:`Diagnostic` records sorted in stable
+report order.  ``certainty="definite"`` race/MPI findings are
+*blocking*: the harness pre-execution screen short-circuits them to the
+``static_fail`` status without running the sample (see
+``docs/lint.md``).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..lang import CompileError, compile_source
+from ..lang.typecheck import CheckedProgram
+from .diagnostics import (ANALYZER_BUILD, ANALYZER_MPI, ANALYZER_RACE,
+                          ANALYZER_USAGE, DEFINITE, POSSIBLE, Diagnostic,
+                          blocking, definite, sort_key)
+from .mpi import check_mpi
+from .races import check_races
+from .usage import check_usage
+
+__all__ = [
+    "ANALYZER_BUILD", "ANALYZER_MPI", "ANALYZER_RACE", "ANALYZER_USAGE",
+    "DEFINITE", "POSSIBLE", "Diagnostic", "blocking", "definite", "sort_key",
+    "check_mpi", "check_races", "check_usage",
+    "lint_checked", "lint_source",
+]
+
+
+def lint_checked(checked: CheckedProgram, model: str) -> List[Diagnostic]:
+    """All analyzers over a type-checked program, stable order."""
+    diags: List[Diagnostic] = []
+    diags.extend(check_usage(checked, model))
+    diags.extend(check_races(checked, model))
+    diags.extend(check_mpi(checked, model))
+    return sorted(diags, key=sort_key)
+
+
+def lint_source(source: str, model: str) -> List[Diagnostic]:
+    """Compile then lint; never raises on bad input."""
+    try:
+        checked = compile_source(source)
+    except CompileError as exc:
+        return [Diagnostic(
+            analyzer=ANALYZER_BUILD, kind="compile-error", certainty=DEFINITE,
+            message=str(exc), line=getattr(exc, "line", 0) or 0,
+            col=getattr(exc, "col", 0) or 0)]
+    except RecursionError:
+        return [Diagnostic(
+            analyzer=ANALYZER_BUILD, kind="compile-error", certainty=DEFINITE,
+            message="program too deeply nested to analyze")]
+    return lint_checked(checked, model)

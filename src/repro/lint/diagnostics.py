@@ -1,0 +1,108 @@
+"""Structured diagnostics emitted by the MiniParSan analyzers.
+
+A :class:`Diagnostic` is the unit every analyzer produces and every
+consumer (the harness pre-execution screen, the scheduler events, the CSV
+export, the ``repro lint`` CLI) understands.  The two *certainty* levels
+carry the contract the differential tests enforce:
+
+* ``definite`` — the analyzer can prove the program misbehaves on every
+  execution (e.g. an unprotected shared-scalar accumulation inside an
+  ``omp parallel for``).  The harness short-circuits these to the
+  ``static_fail`` status without running the sample.
+* ``possible`` — the access pattern cannot be proven safe (e.g. a write
+  at a data-dependent index), but concrete inputs may never collide.
+  These are attached to the result for reporting and never block
+  execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+#: certainty levels
+DEFINITE = "definite"
+POSSIBLE = "possible"
+
+#: analyzer identifiers
+ANALYZER_RACE = "race"
+ANALYZER_MPI = "mpi"
+ANALYZER_USAGE = "usage"
+ANALYZER_BUILD = "build"
+
+#: severity per certainty — definite findings are errors, possible ones
+#: warnings; build/usage findings are always errors
+_SEVERITY = {DEFINITE: "error", POSSIBLE: "warning"}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding, anchored to a source span."""
+
+    analyzer: str           # ANALYZER_* above
+    kind: str               # machine-readable finding id, e.g. "shared-scalar-write"
+    certainty: str          # DEFINITE | POSSIBLE
+    message: str
+    line: int = 0
+    col: int = 0
+    kernel: str = ""        # enclosing kernel name, "" if unknown
+
+    @property
+    def severity(self) -> str:
+        return _SEVERITY.get(self.certainty, "error")
+
+    @property
+    def blocking(self) -> bool:
+        """Should the harness screen skip dynamic execution for this?
+
+        Only provably-wrong race/deadlock findings block; usage findings
+        map to the pre-existing ``not_parallel`` status instead.
+        """
+        return (self.certainty == DEFINITE
+                and self.analyzer in (ANALYZER_RACE, ANALYZER_MPI))
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-stable payload (insertion order is the wire order)."""
+        return {
+            "analyzer": self.analyzer,
+            "kind": self.kind,
+            "certainty": self.certainty,
+            "severity": self.severity,
+            "message": self.message,
+            "line": self.line,
+            "col": self.col,
+            "kernel": self.kernel,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, object]) -> "Diagnostic":
+        return cls(
+            analyzer=str(raw.get("analyzer", "")),
+            kind=str(raw.get("kind", "")),
+            certainty=str(raw.get("certainty", POSSIBLE)),
+            message=str(raw.get("message", "")),
+            line=int(raw.get("line", 0) or 0),
+            col=int(raw.get("col", 0) or 0),
+            kernel=str(raw.get("kernel", "")),
+        )
+
+    def render(self) -> str:
+        """One human-readable line, ``file:line:col`` style."""
+        where = f"{self.line}:{self.col}" if self.line else "-"
+        head = f"{where}: {self.severity}[{self.analyzer}/{self.kind}]"
+        if self.kernel:
+            head += f" in kernel {self.kernel!r}"
+        return f"{head}: {self.message}"
+
+
+def sort_key(diag: Diagnostic):
+    """Stable report order: position, then analyzer/kind."""
+    return (diag.line, diag.col, diag.analyzer, diag.kind, diag.message)
+
+
+def definite(diags: List[Diagnostic]) -> List[Diagnostic]:
+    return [d for d in diags if d.certainty == DEFINITE]
+
+
+def blocking(diags: List[Diagnostic]) -> List[Diagnostic]:
+    return [d for d in diags if d.blocking]

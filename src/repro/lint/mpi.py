@@ -1,0 +1,368 @@
+"""MPI deadlock and collective-mismatch detection.
+
+The analyzer works per kernel, on the set of kernels that make MPI
+communication calls.  For each such kernel it enumerates control-flow
+paths, forking at ``if`` statements and tracking whether each fork
+condition is *rank-dependent* (its condition transitively reads
+``mpi_rank()``).  Every path accumulates a symbolic sequence of
+communication tokens — collectives by name, plus anonymous ``send`` and
+``recv`` markers.
+
+Findings:
+
+* Two paths separated by a rank-dependent fork whose collective
+  sequences differ → **definite** ``collective-mismatch``: some ranks
+  enter a collective the others never post, which hangs every execution
+  with more than one rank.  (A rank-dependent ``return`` before a later
+  collective is the same defect and is caught the same way.)
+* Paths separated only by data-dependent forks with differing
+  collective sequences → **possible** ``collective-divergence`` (ranks
+  may branch differently on their local data).
+* ``mpi_recv_*`` used by a program with no ``mpi_send`` anywhere →
+  **definite** ``recv-without-send``.
+* Every path through a kernel posts more point-to-point receives than
+  *any* path posts sends → **definite** ``more-recvs-than-sends``
+  (total receives exceed total sends across ranks, so some receive can
+  never complete).
+* Sends with no receives anywhere → **possible** ``send-without-recv``
+  (the runtime's eager sends may still complete, but nothing drains
+  them).
+
+Loops are handled conservatively: a loop whose bounds are rank-invariant
+and whose body has a single possible communication sequence contributes
+one composite token (identical on all ranks, so it can never cause a
+mismatch by itself); anything else — rank-dependent bounds, ``while``
+loops with communication, ``break``/``continue`` around communication —
+degrades to a **possible** diagnostic and an opaque token.  Kernels with
+more than ``_PATH_CAP`` paths skip mismatch reporting rather than risk a
+spurious *definite*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..lang import ast as A
+from ..lang import builtins as B
+from ..lang.typecheck import CheckedProgram
+from .diagnostics import (ANALYZER_MPI, DEFINITE, POSSIBLE, Diagnostic)
+
+_PATH_CAP = 128
+
+_RANK_SOURCES = {"mpi_rank"}
+_SEND = {"mpi_send"}
+_RECV = {name for name in B.names_in_category("mpi")
+         if name.startswith("mpi_recv_")}
+#: collectives = every MPI builtin that all ranks must post together
+_COLLECTIVES = {
+    name for name in B.names_in_category("mpi")
+    if name not in _SEND | _RECV | {"mpi_rank", "mpi_size"}
+}
+
+_INF = 10 ** 9
+
+
+@dataclass(frozen=True)
+class _Path:
+    seq: Tuple[object, ...] = ()
+    sends: int = 0
+    recvs: int = 0
+    counts_known: bool = True
+    rank_forked: bool = False
+    data_forked: bool = False
+    returned: bool = False
+
+
+class _MPIAnalyzer:
+    def __init__(self, checked: CheckedProgram):
+        self.checked = checked
+        self.program = checked.program
+        self.diagnostics: List[Diagnostic] = []
+        self._kernel = ""
+        self._tainted: Set[str] = set()
+        self._capped = False
+
+    # -- entry -------------------------------------------------------------
+
+    def run(self) -> List[Diagnostic]:
+        uses_recv = bool(self.checked.builtins_used & _RECV)
+        uses_send = bool(self.checked.builtins_used & _SEND)
+        if uses_recv and not uses_send:
+            node = self._first_call(_RECV)
+            self._emit("recv-without-send", DEFINITE,
+                       "program posts blocking receives but never sends; "
+                       "every receive waits forever", node)
+        elif uses_send and not uses_recv:
+            node = self._first_call(_SEND)
+            self._emit("send-without-recv", POSSIBLE,
+                       "program sends but never receives; messages are "
+                       "never drained", node)
+        for kernel in self.program.kernels:
+            if self._kernel_uses_mpi(kernel):
+                self._analyze_kernel(kernel)
+        return self.diagnostics
+
+    def _kernel_uses_mpi(self, kernel: A.Kernel) -> bool:
+        for node in A.walk(kernel.body):
+            if isinstance(node, A.Call) and \
+                    node.func in _COLLECTIVES | _SEND | _RECV:
+                return True
+        return False
+
+    def _first_call(self, names: Set[str]):
+        for kernel in self.program.kernels:
+            for node in A.walk(kernel.body):
+                if isinstance(node, A.Call) and node.func in names:
+                    return node
+        return None
+
+    # -- rank taint --------------------------------------------------------
+
+    def _collect_taint(self, kernel: A.Kernel) -> Set[str]:
+        """Names that (transitively) hold a value derived from the rank."""
+        tainted: Set[str] = set()
+        changed = True
+        while changed:
+            changed = False
+            for node in A.walk(kernel.body):
+                if isinstance(node, A.Let):
+                    if node.name not in tainted and \
+                            self._expr_tainted(node.init, tainted):
+                        tainted.add(node.name)
+                        changed = True
+                elif isinstance(node, A.Assign) and \
+                        isinstance(node.target, A.Name):
+                    if node.target.ident not in tainted and \
+                            self._expr_tainted(node.value, tainted):
+                        tainted.add(node.target.ident)
+                        changed = True
+        return tainted
+
+    def _expr_tainted(self, expr: Optional[A.Expr],
+                      tainted: Set[str]) -> bool:
+        if expr is None:
+            return False
+        for node in A.walk(expr):
+            if isinstance(node, A.Call) and node.func in _RANK_SOURCES:
+                return True
+            if isinstance(node, A.Name) and node.ident in tainted:
+                return True
+        return False
+
+    # -- path enumeration --------------------------------------------------
+
+    def _analyze_kernel(self, kernel: A.Kernel):
+        self._kernel = kernel.name
+        self._tainted = self._collect_taint(kernel)
+        self._capped = False
+        paths = self._paths_through_block(kernel.body, [_Path()])
+        if self._capped:
+            return
+
+        # collective-sequence mismatch across forks
+        seqs = {p.seq for p in paths}
+        if len(seqs) > 1:
+            if any(p.rank_forked for p in paths):
+                node = self._first_comm(kernel)
+                self._emit(
+                    "collective-mismatch", DEFINITE,
+                    "ranks take different branches and post different "
+                    "collective sequences; the collectives can never "
+                    "match up", node)
+            elif any(p.data_forked for p in paths):
+                node = self._first_comm(kernel)
+                self._emit(
+                    "collective-divergence", POSSIBLE,
+                    "collective sequence depends on a data-dependent "
+                    "branch; ranks may diverge", node)
+
+        # point-to-point balance: every path recvs more than any path sends
+        if all(p.counts_known for p in paths) and paths:
+            min_recvs = min(p.recvs for p in paths)
+            max_sends = max(p.sends for p in paths)
+            if min_recvs > max_sends:
+                node = self._first_comm(kernel, _RECV)
+                self._emit(
+                    "more-recvs-than-sends", DEFINITE,
+                    f"every path posts at least {min_recvs} receive(s) "
+                    f"but no path posts more than {max_sends} send(s); "
+                    "some receive can never complete", node)
+
+    def _first_comm(self, kernel: A.Kernel, names: Optional[Set[str]] = None):
+        wanted = names or (_COLLECTIVES | _SEND | _RECV)
+        for node in A.walk(kernel.body):
+            if isinstance(node, A.Call) and node.func in wanted:
+                return node
+        return kernel
+
+    def _paths_through_block(self, block: A.Block,
+                             paths: List[_Path]) -> List[_Path]:
+        for stmt in block.stmts:
+            paths = self._paths_through_stmt(stmt, paths)
+            if self._capped:
+                return paths
+        return paths
+
+    def _paths_through_stmt(self, stmt, paths: List[_Path]) -> List[_Path]:
+        live = [p for p in paths if not p.returned]
+        done = [p for p in paths if p.returned]
+        if not live:
+            return done
+
+        if isinstance(stmt, A.Block):
+            return done + self._paths_through_block(stmt, live)
+
+        if isinstance(stmt, A.ExprStmt) or isinstance(stmt, A.Let) or \
+                isinstance(stmt, A.Assign):
+            tokens = self._comm_tokens_in_expr(stmt)
+            if tokens:
+                live = [self._extend(p, tokens) for p in live]
+            return done + live
+
+        if isinstance(stmt, A.Return):
+            tokens = self._comm_tokens_in_expr(stmt)
+            if tokens:
+                live = [self._extend(p, tokens) for p in live]
+            return done + [replace(p, returned=True) for p in live]
+
+        if isinstance(stmt, A.If):
+            cond_tokens = self._comm_tokens_in_expr(stmt.cond)
+            if cond_tokens:
+                live = [self._extend(p, cond_tokens) for p in live]
+            rank_dep = self._expr_tainted(stmt.cond, self._tainted)
+            then_paths = self._paths_through_stmt(stmt.then, list(live))
+            if stmt.orelse is not None:
+                else_paths = self._paths_through_stmt(stmt.orelse,
+                                                      list(live))
+            else:
+                else_paths = list(live)
+            flag = (dict(rank_forked=True) if rank_dep
+                    else dict(data_forked=True))
+            merged = [replace(p, **flag) for p in then_paths + else_paths]
+            if len(merged) > _PATH_CAP:
+                self._capped = True
+                merged = merged[:_PATH_CAP]
+            return done + merged
+
+        if isinstance(stmt, A.For):
+            return done + self._loop(stmt, stmt.body, live,
+                                     bounds=(stmt.lo, stmt.hi, stmt.step))
+
+        if isinstance(stmt, A.While):
+            return done + self._loop(stmt, stmt.body, live,
+                                     bounds=(stmt.cond,))
+
+        if isinstance(stmt, A.OmpParallelFor):
+            return done + self._loop(stmt, stmt.loop.body, live,
+                                     bounds=(stmt.loop.lo, stmt.loop.hi,
+                                             stmt.loop.step))
+
+        if isinstance(stmt, A.OmpCritical):
+            return done + self._paths_through_block(stmt.body, live)
+
+        if isinstance(stmt, A.OmpAtomic):
+            return done + live
+
+        return done + live
+
+    def _loop(self, node, body: A.Block, live: List[_Path],
+              bounds: tuple) -> List[_Path]:
+        if not self._block_has_comm(body) and \
+                not any(self._comm_tokens_in_expr_raw(b) for b in bounds
+                        if b is not None):
+            return live
+
+        bounds_tainted = any(
+            self._expr_tainted(b, self._tainted) for b in bounds
+            if b is not None)
+        body_paths = self._paths_through_block(body, [_Path()])
+        body_seqs = {p.seq for p in body_paths}
+        breaks = any(isinstance(n, (A.Break, A.Continue))
+                     for n in A.walk(body))
+        uniform = (len(body_seqs) == 1 and not breaks
+                   and not any(p.rank_forked or p.data_forked or p.returned
+                               for p in body_paths))
+        is_while = isinstance(node, A.While)
+
+        if bounds_tainted:
+            self._emit(
+                "collective-in-rank-dependent-loop", POSSIBLE,
+                "communication inside a loop whose trip count depends on "
+                "the rank; ranks may post different sequences", node)
+            return [self._extend_opaque(p, ("opaque-loop", 0))
+                    for p in live]
+        if not uniform or is_while:
+            self._emit(
+                "variable-communication-in-loop", POSSIBLE,
+                "communication inside a loop whose per-iteration "
+                "sequence is not fixed; ranks may diverge", node)
+            token = ("opaque-loop", 0)
+            return [self._extend_opaque(p, token) for p in live]
+
+        inner = next(iter(body_seqs))
+        token = ("loop", inner)
+        counts_known = all(p.counts_known and p.sends == 0 and p.recvs == 0
+                           for p in body_paths)
+        out = []
+        for p in live:
+            q = replace(p, seq=p.seq + (token,))
+            if not counts_known:
+                q = replace(q, counts_known=False)
+            out.append(q)
+        return out
+
+    def _extend(self, path: _Path, tokens: List[object]) -> _Path:
+        seq = path.seq
+        sends, recvs = path.sends, path.recvs
+        for tok in tokens:
+            if tok == "send":
+                sends += 1
+            elif tok == "recv":
+                recvs += 1
+            seq = seq + (tok,)
+        return replace(path, seq=seq, sends=sends, recvs=recvs)
+
+    @staticmethod
+    def _extend_opaque(path: _Path, token) -> _Path:
+        return replace(path, seq=path.seq + (token,), counts_known=False)
+
+    # -- token extraction --------------------------------------------------
+
+    def _comm_tokens_in_expr_raw(self, root) -> List[object]:
+        tokens = []
+        for node in A.walk(root):
+            if isinstance(node, A.Call):
+                if node.func in _COLLECTIVES:
+                    tokens.append(("coll", node.func))
+                elif node.func in _SEND:
+                    tokens.append("send")
+                elif node.func in _RECV:
+                    tokens.append("recv")
+        return tokens
+
+    def _comm_tokens_in_expr(self, stmt) -> List[object]:
+        # walk the statement but not into nested statements (handled by
+        # the path walker); Let/Assign/ExprStmt/Return have no nested
+        # statements, so a full walk is safe here.
+        return self._comm_tokens_in_expr_raw(stmt)
+
+    def _block_has_comm(self, block: A.Block) -> bool:
+        return bool(self._comm_tokens_in_expr_raw(block))
+
+    # -- reporting ---------------------------------------------------------
+
+    def _emit(self, kind: str, certainty: str, message: str, node):
+        self.diagnostics.append(Diagnostic(
+            analyzer=ANALYZER_MPI, kind=kind, certainty=certainty,
+            message=message, line=getattr(node, "line", 0),
+            col=getattr(node, "col", 0), kernel=self._kernel))
+
+
+def check_mpi(checked: CheckedProgram, model: str) -> List[Diagnostic]:
+    """Run the MPI analyzer; a no-op for non-MPI execution models."""
+    if model not in ("mpi", "mpi+omp"):
+        return []
+    if not (checked.builtins_used & (_COLLECTIVES | _SEND | _RECV)):
+        return []
+    return _MPIAnalyzer(checked).run()

@@ -1,0 +1,718 @@
+"""Shared-memory race detection for ``omp parallel for`` bodies and
+Kokkos functors.
+
+The analyzer walks each parallel region and classifies every array index
+expression relative to the region's parallel induction variable:
+
+``INV``
+    Loop-invariant — every iteration addresses the same cell.  An
+    unprotected write here races on every execution.
+``INJ``
+    Injective affine form ``c*var + off`` with a nonzero literal
+    coefficient ``c`` and a loop-invariant offset — distinct iterations
+    address distinct cells, so a single such write is private to its
+    iteration.
+``DEP``
+    Anything else (reads memory, uses mutated locals or nested loop
+    variables, non-literal coefficients) — collisions cannot be ruled
+    out.
+
+Diagnostics then follow from pairing accesses to the same *shared*
+array (kernel parameters or pre-region locals; arrays allocated inside
+the region are iteration-private):
+
+* unprotected INV write → **definite** ``loop-invariant-write``
+* unprotected write to a shared scalar → **definite**
+  ``shared-scalar-write``
+* INJ write plus a read of the same array at a *different* offset under
+  the *same* coefficients → **definite** ``inplace-stencil`` (iteration
+  ``i`` reads a cell another iteration writes)
+* whole-array builtin mutation (``sort``/``fill``/``swap``) of a shared
+  array → **definite** ``whole-array-write``
+* DEP writes, differing INJ write pairs, and INJ-write/DEP-read pairs →
+  **possible** (cannot be proven disjoint)
+
+Protection that silences a finding: ``pragma omp atomic`` /
+``pragma omp critical``, ``reduction`` clause variables, and the
+``atomic_add``/``atomic_min``/``atomic_max`` builtins.
+
+Regions with a provable trip count of 0 or 1 are skipped (a single
+iteration cannot race with itself), and accesses guarded by an
+iteration-dependent branch are demoted from definite to possible (the
+branch may serialize them, e.g. ``if (i == 0)``).
+
+A one-level interprocedural summary handles the corpus idiom of
+delegating the loop body to a helper: a callee that only writes an
+array parameter at the value of one of its scalar parameters is
+``PARAM_IDX`` — at a call site passing the parallel variable there, the
+write is injective; any other callee write is DEP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..lang import ast as A
+from ..lang.typecheck import CheckedProgram
+from .diagnostics import (ANALYZER_RACE, DEFINITE, POSSIBLE, Diagnostic)
+
+#: builtins that mutate their first (array) argument wholesale
+_WHOLE_ARRAY_WRITERS = {"sort", "fill", "swap"}
+#: builtins that atomically update array cells — protected by definition
+_ATOMIC_WRITERS = {"atomic_add", "atomic_min", "atomic_max"}
+#: builtins whose results are loop-invariant when their arguments are
+_PURE_INVARIANT = {"len", "rows", "cols"}
+#: kokkos entry points carrying a functor: name -> lambda argument slot
+_KOKKOS_FUNCTORS = {
+    "parallel_for": 1,
+    "parallel_reduce": 2,
+    "parallel_scan_inclusive": 2,
+    "parallel_scan_exclusive": 2,
+}
+#: GPU intrinsics; a kernel calling any of these runs once per thread
+_GPU_INTRINSICS = {"thread_idx", "block_idx", "block_dim", "grid_dim",
+                   "sync_threads"}
+#: GPU intrinsics whose value is the same on every thread
+_GPU_INVARIANT = {"block_dim", "grid_dim"}
+
+
+def _is_global_tid(expr) -> bool:
+    """Match the canonical ``block_idx() * block_dim() + thread_idx()``
+    global-thread-index idiom (in any commutative arrangement)."""
+    if not (isinstance(expr, A.Binary) and expr.op == "+"):
+        return False
+
+    def is_call(e, name):
+        return isinstance(e, A.Call) and e.func == name
+
+    def is_block_offset(e):
+        return (isinstance(e, A.Binary) and e.op == "*"
+                and ((is_call(e.left, "block_idx")
+                      and is_call(e.right, "block_dim"))
+                     or (is_call(e.left, "block_dim")
+                         and is_call(e.right, "block_idx"))))
+
+    return ((is_call(expr.left, "thread_idx")
+             and is_block_offset(expr.right))
+            or (is_call(expr.right, "thread_idx")
+                and is_block_offset(expr.left)))
+
+# -- index forms ------------------------------------------------------------
+
+#: a linear form is (coeff, offset-key); coeff 0 means loop-invariant.
+#: offset keys are canonical hashable trees built from folded literals
+#: and invariant names; DEP is represented as None.
+LinForm = Tuple[int, object]
+
+
+def _off_add(a, b):
+    if isinstance(a, int) and isinstance(b, int):
+        return a + b
+    if a == 0:
+        return b
+    if b == 0:
+        return a
+    return ("+", a, b)
+
+
+def _off_neg(a):
+    if isinstance(a, int):
+        return -a
+    return ("neg", a)
+
+
+def _off_mul(k: int, a):
+    if isinstance(a, int):
+        return k * a
+    if k == 1:
+        return a
+    return ("*", k, a)
+
+
+@dataclass
+class _Region:
+    """One parallel region being analyzed."""
+
+    var: str                      # parallel induction variable
+    kernel: str
+    kind: str                     # "omp" | "kokkos"
+    reduction_vars: Set[str] = field(default_factory=set)
+    locals: Set[str] = field(default_factory=set)       # names bound inside
+    mutated: Set[str] = field(default_factory=set)      # reassigned inside
+    dep_vars: Set[str] = field(default_factory=set)     # nested loop vars etc.
+    private_arrays: Set[str] = field(default_factory=set)  # alloc'd inside
+    let_inits: Dict[str, A.Expr] = field(default_factory=dict)
+    #: (array, form, node, protected, guarded)
+    writes: List[tuple] = field(default_factory=list)
+    #: (array, form, node)
+    reads: List[tuple] = field(default_factory=list)
+    scalar_writes: List[tuple] = field(default_factory=list)  # (name, node, guarded)
+
+
+class _RaceAnalyzer:
+    def __init__(self, checked: CheckedProgram):
+        self.checked = checked
+        self.program = checked.program
+        self.kernels = {k.name: k for k in self.program.kernels}
+        self._summaries: Dict[str, Dict[str, Set[object]]] = {}
+        self._in_progress: Set[str] = set()
+        self.diagnostics: List[Diagnostic] = []
+
+    # -- entry points ------------------------------------------------------
+
+    def run(self, model: str) -> List[Diagnostic]:
+        analyze_omp = model in ("openmp", "mpi+omp")
+        analyze_kokkos = model == "kokkos"
+        analyze_gpu = model in ("cuda", "hip")
+        if not (analyze_omp or analyze_kokkos or analyze_gpu):
+            return []
+        for kernel in self.program.kernels:
+            if analyze_gpu and self._kernel_uses_gpu(kernel):
+                self._analyze_gpu_region(kernel)
+            for node in A.walk(kernel.body):
+                if analyze_omp and isinstance(node, A.OmpParallelFor):
+                    self._analyze_omp_region(kernel, node)
+                elif analyze_kokkos and isinstance(node, A.Call):
+                    slot = _KOKKOS_FUNCTORS.get(node.func)
+                    if slot is not None and slot < len(node.args):
+                        fn = node.args[slot]
+                        if isinstance(fn, A.Lambda):
+                            self._analyze_kokkos_region(kernel, node, fn)
+        return self.diagnostics
+
+    @staticmethod
+    def _kernel_uses_gpu(kernel: A.Kernel) -> bool:
+        return any(isinstance(n, A.Call) and n.func in _GPU_INTRINSICS
+                   for n in A.walk(kernel.body))
+
+    # -- region setup ------------------------------------------------------
+
+    def _analyze_omp_region(self, kernel: A.Kernel, pf: A.OmpParallelFor):
+        loop = pf.loop
+        if self._trip_count_at_most_one(loop.lo, loop.hi, loop.step):
+            return
+        region = _Region(var=loop.var, kernel=kernel.name, kind="omp")
+        for clause in pf.clauses:
+            if clause.kind == "reduction" and clause.var:
+                region.reduction_vars.add(clause.var)
+        self._collect_bindings(loop.body, region)
+        self._scan_block(loop.body, region, protected=False, guarded=False)
+        self._report(region, pf)
+
+    def _analyze_kokkos_region(self, kernel: A.Kernel, call: A.Call,
+                               fn: A.Lambda):
+        n = call.args[0] if call.args else None
+        if isinstance(n, A.IntLit) and n.value <= 1:
+            return
+        if not fn.params:
+            return
+        region = _Region(var=fn.params[0], kernel=kernel.name, kind="kokkos")
+        region.dep_vars.update(fn.params[1:])
+        body = fn.body_block
+        if body is not None:
+            self._collect_bindings(body, region)
+            self._scan_block(body, region, protected=False, guarded=False)
+        elif fn.body_expr is not None:
+            self._scan_expr(fn.body_expr, region, guarded=False)
+        self._report(region, call)
+
+    def _analyze_gpu_region(self, kernel: A.Kernel):
+        """The whole kernel body runs once per GPU thread; the induction
+        variable is the global-thread-index idiom rather than a name."""
+        region = _Region(var="", kernel=kernel.name, kind="gpu")
+        self._collect_bindings(kernel.body, region)
+        self._scan_block(kernel.body, region, protected=False, guarded=False)
+        self._report(region, kernel)
+
+    def _trip_count_at_most_one(self, lo, hi, step) -> bool:
+        if not (isinstance(lo, A.IntLit) and isinstance(hi, A.IntLit)):
+            return False
+        stride = 1
+        if step is not None:
+            if not isinstance(step, A.IntLit) or step.value <= 0:
+                return False
+            stride = step.value
+        span = hi.value - lo.value
+        return span <= stride
+
+    def _collect_bindings(self, block: A.Block, region: _Region):
+        """Names bound or reassigned anywhere inside the region."""
+        for node in A.walk(block):
+            if isinstance(node, A.Let):
+                region.locals.add(node.name)
+                region.let_inits[node.name] = node.init
+                if isinstance(node.init, A.Call) and \
+                        node.init.func.startswith("alloc"):
+                    region.private_arrays.add(node.name)
+            elif isinstance(node, A.Assign) and \
+                    isinstance(node.target, A.Name):
+                region.mutated.add(node.target.ident)
+            elif isinstance(node, A.For):
+                region.dep_vars.add(node.var)
+                region.locals.add(node.var)
+            elif isinstance(node, A.Lambda):
+                region.dep_vars.update(node.params)
+                region.locals.update(node.params)
+
+    # -- index classification ---------------------------------------------
+
+    def _lin(self, expr: A.Expr, region: _Region,
+             depth: int = 0) -> Optional[LinForm]:
+        """Affine form of ``expr`` w.r.t. the parallel variable, or None."""
+        if depth > 8:
+            return None
+        if region.kind == "gpu" and _is_global_tid(expr):
+            return (1, 0)
+        if isinstance(expr, A.IntLit):
+            return (0, expr.value)
+        if isinstance(expr, (A.FloatLit, A.BoolLit, A.StrLit)):
+            return (0, ("lit", repr(getattr(expr, "value", None))))
+        if isinstance(expr, A.Name):
+            name = expr.ident
+            if name == region.var:
+                return (1, 0)
+            if name in region.dep_vars or name in region.mutated:
+                return None
+            if name in region.let_inits:
+                return self._lin(region.let_inits[name], region, depth + 1)
+            if name in region.locals:
+                return None
+            return (0, ("sym", name))          # invariant outer name
+        if isinstance(expr, A.Unary):
+            if expr.op == "-":
+                inner = self._lin(expr.operand, region, depth + 1)
+                if inner is None:
+                    return None
+                return (-inner[0], _off_neg(inner[1]))
+            return None
+        if isinstance(expr, A.Binary):
+            left = self._lin(expr.left, region, depth + 1)
+            right = self._lin(expr.right, region, depth + 1)
+            if left is None or right is None:
+                return None
+            if expr.op == "+":
+                return (left[0] + right[0], _off_add(left[1], right[1]))
+            if expr.op == "-":
+                return (left[0] - right[0],
+                        _off_add(left[1], _off_neg(right[1])))
+            if expr.op == "*":
+                if left[0] == 0 and isinstance(left[1], int):
+                    return (left[1] * right[0], _off_mul(left[1], right[1]))
+                if right[0] == 0 and isinstance(right[1], int):
+                    return (right[0] * left[0], _off_mul(right[1], left[1]))
+                if left[0] == 0 and right[0] == 0:
+                    return (0, ("*sym", left[1], right[1]))
+                return None
+            if left[0] == 0 and right[0] == 0:
+                return (0, (expr.op, left[1], right[1]))
+            return None
+        if isinstance(expr, A.Call) and expr.func in _GPU_INVARIANT:
+            return (0, ("call", expr.func, ()))
+        if isinstance(expr, A.Call) and expr.func in _PURE_INVARIANT:
+            keys = []
+            for arg in expr.args:
+                form = self._lin(arg, region, depth + 1)
+                if form is None or form[0] != 0:
+                    return None
+                keys.append(form[1])
+            return (0, ("call", expr.func, tuple(keys)))
+        return None                            # Index reads, other calls, ...
+
+    def _index_form(self, indices, region: _Region):
+        """Tuple of per-dimension linear forms; None where DEP."""
+        return tuple(self._lin(ix, region) for ix in indices)
+
+    @staticmethod
+    def _is_injective(form) -> bool:
+        """At least one dimension varies injectively with the iteration."""
+        return any(d is not None and d[0] != 0 for d in form)
+
+    @staticmethod
+    def _is_invariant(form) -> bool:
+        return all(d is not None and d[0] == 0 for d in form)
+
+    @staticmethod
+    def _is_affine(form) -> bool:
+        return all(d is not None for d in form)
+
+    # -- statement / expression scan ---------------------------------------
+
+    def _is_shared_array(self, name: str, region: _Region) -> bool:
+        return name not in region.private_arrays and name not in region.locals
+
+    def _cond_depends_on_iteration(self, cond: A.Expr,
+                                   region: _Region) -> bool:
+        form = self._lin(cond, region)
+        return form is None or form[0] != 0
+
+    def _scan_block(self, block: A.Block, region: _Region,
+                    protected: bool, guarded: bool):
+        for stmt in block.stmts:
+            self._scan_stmt(stmt, region, protected, guarded)
+
+    def _scan_stmt(self, stmt, region: _Region, protected: bool,
+                   guarded: bool):
+        if isinstance(stmt, A.Block):
+            self._scan_block(stmt, region, protected, guarded)
+        elif isinstance(stmt, A.Let):
+            self._scan_expr(stmt.init, region, guarded)
+        elif isinstance(stmt, A.Assign):
+            self._scan_assign(stmt, region, protected, guarded)
+        elif isinstance(stmt, A.If):
+            self._scan_expr(stmt.cond, region, guarded)
+            branch_guarded = guarded or \
+                self._cond_depends_on_iteration(stmt.cond, region)
+            self._scan_stmt(stmt.then, region, protected, branch_guarded)
+            if stmt.orelse is not None:
+                self._scan_stmt(stmt.orelse, region, protected,
+                                branch_guarded)
+        elif isinstance(stmt, A.For):
+            self._scan_expr(stmt.lo, region, guarded)
+            self._scan_expr(stmt.hi, region, guarded)
+            if stmt.step is not None:
+                self._scan_expr(stmt.step, region, guarded)
+            self._scan_block(stmt.body, region, protected, guarded)
+        elif isinstance(stmt, A.While):
+            self._scan_expr(stmt.cond, region, guarded)
+            self._scan_block(stmt.body, region, protected, guarded)
+        elif isinstance(stmt, A.Return):
+            if stmt.value is not None:
+                self._scan_expr(stmt.value, region, guarded)
+        elif isinstance(stmt, A.ExprStmt):
+            self._scan_expr(stmt.expr, region, guarded)
+        elif isinstance(stmt, A.OmpParallelFor):
+            # nested pragma: the inner loop still runs inside this region
+            self._scan_stmt(stmt.loop, region, protected, guarded)
+        elif isinstance(stmt, A.OmpCritical):
+            self._scan_block(stmt.body, region, protected=True,
+                             guarded=guarded)
+        elif isinstance(stmt, A.OmpAtomic):
+            self._scan_assign(stmt.update, region, protected=True,
+                              guarded=guarded)
+
+    def _scan_assign(self, stmt: A.Assign, region: _Region, protected: bool,
+                     guarded: bool):
+        target = stmt.target
+        if isinstance(target, A.Name):
+            name = target.ident
+            if name not in region.locals and \
+                    name not in region.reduction_vars and not protected:
+                region.scalar_writes.append((name, stmt, guarded))
+        elif isinstance(target, A.Index) and isinstance(target.base, A.Name):
+            array = target.base.ident
+            if self._is_shared_array(array, region):
+                form = self._index_form(target.indices, region)
+                region.writes.append((array, form, stmt, protected, guarded))
+                if stmt.op != "=":
+                    # compound update also reads the cell, same index
+                    region.reads.append((array, form, stmt))
+            for ix in target.indices:
+                self._scan_expr(ix, region, guarded)
+        self._scan_expr(stmt.value, region, guarded)
+
+    def _scan_expr(self, expr: A.Expr, region: _Region, guarded: bool):
+        if expr is None:
+            return
+        if isinstance(expr, A.Index):
+            if isinstance(expr.base, A.Name) and \
+                    self._is_shared_array(expr.base.ident, region):
+                form = self._index_form(expr.indices, region)
+                region.reads.append((expr.base.ident, form, expr))
+            for ix in expr.indices:
+                self._scan_expr(ix, region, guarded)
+            if not isinstance(expr.base, A.Name):
+                self._scan_expr(expr.base, region, guarded)
+            return
+        if isinstance(expr, A.Call):
+            self._scan_call(expr, region, guarded)
+            return
+        if isinstance(expr, A.Lambda):
+            if expr.body_block is not None:
+                self._scan_block(expr.body_block, region, protected=False,
+                                 guarded=guarded)
+            elif expr.body_expr is not None:
+                self._scan_expr(expr.body_expr, region, guarded)
+            return
+        if isinstance(expr, A.Unary):
+            self._scan_expr(expr.operand, region, guarded)
+        elif isinstance(expr, A.Binary):
+            self._scan_expr(expr.left, region, guarded)
+            self._scan_expr(expr.right, region, guarded)
+
+    def _scan_call(self, call: A.Call, region: _Region, guarded: bool):
+        for arg in call.args:
+            self._scan_expr(arg, region, guarded)
+        first = call.args[0] if call.args else None
+        first_name = first.ident if isinstance(first, A.Name) else None
+        shared_first = (first_name is not None and
+                        self._is_shared_array(first_name, region))
+        if call.func in _ATOMIC_WRITERS:
+            if shared_first and len(call.args) >= 2:
+                form = self._index_form((call.args[1],), region)
+                region.writes.append((first_name, form, call, True, guarded))
+            return
+        if call.func in _WHOLE_ARRAY_WRITERS:
+            if shared_first:
+                self._emit(
+                    "whole-array-write",
+                    POSSIBLE if guarded else DEFINITE,
+                    f"{call.func}() mutates shared array "
+                    f"'{first_name}' wholesale inside a parallel region",
+                    call, region)
+            return
+        if call.func in self.kernels:
+            self._apply_summary(call, region, guarded)
+
+    # -- interprocedural summaries ----------------------------------------
+
+    def _summary(self, name: str):
+        """Per-kernel effect summary: ``(writes, reads)``.
+
+        ``writes`` maps a written array-param name to a set of forms —
+        ``("pidx", j)`` when every write indexes it with the (never
+        reassigned) value of scalar parameter ``j``, else ``"other"``.
+        ``reads`` is the set of array-param names the kernel reads
+        elements of (index form not tracked).
+        """
+        if name in self._summaries:
+            return self._summaries[name]
+        if name in self._in_progress:            # recursion: assume worst
+            kernel = self.kernels[name]
+            return ({p.name: {"other"} for p in kernel.params},
+                    {p.name for p in kernel.params})
+        self._in_progress.add(name)
+        kernel = self.kernels[name]
+        param_pos = {p.name: i for i, p in enumerate(kernel.params)}
+        reassigned = {
+            n.target.ident
+            for n in A.walk(kernel.body)
+            if isinstance(n, A.Assign) and isinstance(n.target, A.Name)
+        }
+        local = {n.name for n in A.walk(kernel.body) if isinstance(n, A.Let)}
+        local.update(n.var for n in A.walk(kernel.body)
+                     if isinstance(n, A.For))
+        writes: Dict[str, Set[object]] = {}
+        reads: Set[str] = set()
+
+        def is_param(array: str) -> bool:
+            return array in param_pos and array not in local
+
+        def note(array: str, form: object):
+            if is_param(array):
+                writes.setdefault(array, set()).add(form)
+
+        def note_read(array: str):
+            if is_param(array):
+                reads.add(array)
+
+        def classify_index(indices) -> object:
+            if len(indices) == 1 and isinstance(indices[0], A.Name):
+                ix = indices[0].ident
+                if ix in param_pos and ix not in reassigned:
+                    return ("pidx", param_pos[ix])
+            if len(indices) == 1 and isinstance(indices[0], A.IntLit):
+                return ("const", indices[0].value)
+            return "other"
+
+        for node in A.walk(kernel.body):
+            if isinstance(node, A.Index) and isinstance(node.base, A.Name):
+                note_read(node.base.ident)
+            if isinstance(node, A.Assign) and \
+                    isinstance(node.target, A.Index) and \
+                    isinstance(node.target.base, A.Name):
+                note(node.target.base.ident,
+                     classify_index(node.target.indices))
+            elif isinstance(node, A.Call):
+                if node.func in _ATOMIC_WRITERS or \
+                        node.func in _WHOLE_ARRAY_WRITERS:
+                    arr = node.args[0] if node.args else None
+                    if isinstance(arr, A.Name):
+                        note(arr.ident, "other")
+                        if node.func != "fill":
+                            note_read(arr.ident)
+                elif node.func == "copy":
+                    arr = node.args[0] if node.args else None
+                    if isinstance(arr, A.Name):
+                        note_read(arr.ident)
+                elif node.func in self.kernels and node.func != name:
+                    cwrites, creads = self._summary(node.func)
+                    callee_params = self.kernels[node.func].params
+                    cpos = {p.name: i for i, p in enumerate(callee_params)}
+                    for pname in creads:
+                        pos = cpos.get(pname)
+                        if pos is not None and pos < len(node.args) and \
+                                isinstance(node.args[pos], A.Name):
+                            note_read(node.args[pos].ident)
+                    for pname, forms in cwrites.items():
+                        pos = cpos.get(pname)
+                        if pos is None or pos >= len(node.args):
+                            continue
+                        arg = node.args[pos]
+                        if isinstance(arg, A.Name):
+                            for form in forms:
+                                if isinstance(form, tuple) and \
+                                        form[0] == "pidx" and \
+                                        form[1] < len(node.args) and \
+                                        isinstance(node.args[form[1]],
+                                                   A.Name):
+                                    ident = node.args[form[1]].ident
+                                    if ident in param_pos and \
+                                            ident not in reassigned:
+                                        note(arg.ident,
+                                             ("pidx", param_pos[ident]))
+                                        continue
+                                    note(arg.ident, "other")
+                                elif isinstance(form, tuple) and \
+                                        form[0] == "const":
+                                    note(arg.ident, form)
+                                else:
+                                    note(arg.ident, "other")
+        self._in_progress.discard(name)
+        self._summaries[name] = (writes, reads)
+        return self._summaries[name]
+
+    def _apply_summary(self, call: A.Call, region: _Region, guarded: bool):
+        kernel = self.kernels[call.func]
+        writes, reads = self._summary(call.func)
+        param_pos = {p.name: i for i, p in enumerate(kernel.params)}
+        for pname in reads:
+            pos = param_pos[pname]
+            if pos < len(call.args) and isinstance(call.args[pos], A.Name):
+                array = call.args[pos].ident
+                if self._is_shared_array(array, region):
+                    region.reads.append((array, (None,), call))
+        for pname, forms in writes.items():
+            pos = param_pos[pname]
+            if pos >= len(call.args):
+                continue
+            arg = call.args[pos]
+            if not isinstance(arg, A.Name):
+                continue
+            array = arg.ident
+            if not self._is_shared_array(array, region):
+                continue
+            for form in forms:
+                if isinstance(form, tuple) and form[0] == "pidx" and \
+                        form[1] < len(call.args):
+                    index_form = self._index_form((call.args[form[1]],),
+                                                  region)
+                elif isinstance(form, tuple) and form[0] == "const":
+                    index_form = ((0, form[1]),)
+                else:
+                    index_form = (None,)
+                region.writes.append((array, index_form, call, False,
+                                      guarded))
+
+    # -- reporting ---------------------------------------------------------
+
+    def _emit(self, kind: str, certainty: str, message: str, node,
+              region: _Region):
+        self.diagnostics.append(Diagnostic(
+            analyzer=ANALYZER_RACE, kind=kind, certainty=certainty,
+            message=message, line=getattr(node, "line", 0),
+            col=getattr(node, "col", 0), kernel=region.kernel))
+
+    def _report(self, region: _Region, region_node):
+        for name, node, guarded in region.scalar_writes:
+            self._emit(
+                "shared-scalar-write",
+                POSSIBLE if guarded else DEFINITE,
+                f"every iteration writes shared scalar '{name}' without "
+                "atomic/critical/reduction protection", node, region)
+
+        by_array: Dict[str, List[tuple]] = {}
+        for entry in region.writes:
+            by_array.setdefault(entry[0], []).append(entry)
+        reads_by_array: Dict[str, List[tuple]] = {}
+        for entry in region.reads:
+            reads_by_array.setdefault(entry[0], []).append(entry)
+
+        for array, writes in sorted(by_array.items()):
+            unprotected = [w for w in writes if not w[3]]
+            if not unprotected:
+                continue
+            reported_possible = False
+            for _, form, node, _, guarded in unprotected:
+                if self._is_invariant(form):
+                    self._emit(
+                        "loop-invariant-write",
+                        POSSIBLE if guarded else DEFINITE,
+                        f"every iteration writes the same cell of shared "
+                        f"array '{array}'", node, region)
+                elif not self._is_injective(form):
+                    if not reported_possible:
+                        self._emit(
+                            "unprovable-write-index", POSSIBLE,
+                            f"write index into shared array '{array}' is "
+                            "iteration-dependent but not provably "
+                            "collision-free", node, region)
+                        reported_possible = True
+
+            # distinct injective write forms may still overlap
+            inj_forms = {}
+            for _, form, node, _, guarded in unprotected:
+                if self._is_affine(form) and self._is_injective(form):
+                    inj_forms.setdefault(form, (node, guarded))
+            if len(inj_forms) > 1:
+                node = next(iter(inj_forms.values()))[0]
+                self._emit(
+                    "overlapping-write-forms", POSSIBLE,
+                    f"shared array '{array}' is written at more than one "
+                    "affine index form; iterations may collide", node,
+                    region)
+
+            # in-place stencil: injective write + shifted read, same coeffs
+            for _, wform, wnode, _, wguarded in unprotected:
+                if not (self._is_affine(wform)
+                        and self._is_injective(wform)):
+                    continue
+                for _, rform, rnode in reads_by_array.get(array, ()):
+                    if not self._is_affine(rform) or len(rform) != \
+                            len(wform):
+                        if not self._is_affine(rform):
+                            self._emit(
+                                "write-read-overlap", POSSIBLE,
+                                f"shared array '{array}' is written "
+                                "injectively but also read at an "
+                                "unprovable index", rnode, region)
+                        continue
+                    same_coeffs = all(w[0] == r[0]
+                                      for w, r in zip(wform, rform))
+                    if same_coeffs and wform != rform:
+                        self._emit(
+                            "inplace-stencil",
+                            POSSIBLE if wguarded else DEFINITE,
+                            f"iterations write shared array '{array}' "
+                            "in place while reading neighbouring cells "
+                            "written by other iterations", wnode, region)
+                    elif not same_coeffs:
+                        self._emit(
+                            "write-read-overlap", POSSIBLE,
+                            f"shared array '{array}' write and read "
+                            "index forms differ; iterations may "
+                            "overlap", wnode, region)
+
+
+def dedupe(diags: List[Diagnostic]) -> List[Diagnostic]:
+    seen: Set[tuple] = set()
+    out: List[Diagnostic] = []
+    for d in diags:
+        key = (d.analyzer, d.kind, d.certainty, d.line, d.col, d.kernel,
+               d.message)
+        if key not in seen:
+            seen.add(key)
+            out.append(d)
+    return out
+
+
+def check_races(checked: CheckedProgram, model: str) -> List[Diagnostic]:
+    """Run the shared-memory race analyzer for one execution model.
+
+    Only models whose runtime actually executes the construct in
+    parallel are analyzed: ``omp parallel for`` under ``openmp`` and
+    ``mpi+omp``, Kokkos functors under ``kokkos``.  Serial and GPU
+    models run these constructs sequentially (or not at all), so a
+    pragma in a serial sample is a usage problem, not a race.
+    """
+    return dedupe(_RaceAnalyzer(checked).run(model))

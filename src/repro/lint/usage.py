@@ -1,0 +1,67 @@
+"""AST-based parallel-model usage check.
+
+Replaces the regex scan in :mod:`repro.harness.usagecheck` as the
+primary oracle: instead of pattern-matching source text (which sees
+comments and string literals), this inspects the *type-checked* program
+— the ``pragma omp`` flag the parser recorded and the set of builtins
+the checker resolved.  A call appearing only in a comment therefore no
+longer counts as "using" a model.
+
+The regex check is kept as a documented fallback for sources that do
+not parse (see ``harness/usagecheck.py``), and a parity test pins the
+two oracles to identical answers over the whole handwritten corpus.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..lang.typecheck import CheckedProgram
+from .diagnostics import ANALYZER_USAGE, DEFINITE, Diagnostic
+
+#: what each execution model must exhibit, as (description, predicate)
+_REQUIREMENTS = {
+    "serial": None,
+    "openmp": "an 'omp parallel for' pragma",
+    "kokkos": "a Kokkos parallel_* pattern call",
+    "mpi": "an mpi_* communication builtin",
+    "mpi+omp": "both an mpi_* builtin and an omp pragma",
+    "cuda": "a GPU intrinsic (thread_idx/block_idx/...)",
+    "hip": "a GPU intrinsic (thread_idx/block_idx/...)",
+}
+
+
+def model_is_used(checked: CheckedProgram, model: str) -> bool:
+    """AST oracle: does the program exercise ``model`` at all?"""
+    cats = checked.builtin_categories
+    if model == "serial":
+        return True
+    if model == "openmp":
+        return checked.uses_omp_pragmas
+    if model == "kokkos":
+        return "kokkos" in cats
+    if model == "mpi":
+        return "mpi" in cats
+    if model == "mpi+omp":
+        return "mpi" in cats and checked.uses_omp_pragmas
+    if model in ("cuda", "hip"):
+        return "gpu" in cats
+    return True
+
+
+def check_usage(checked: CheckedProgram, model: str) -> List[Diagnostic]:
+    """One ``definite`` diagnostic when the sample ignores its model.
+
+    Usage findings are non-blocking by construction (see
+    :meth:`Diagnostic.blocking`): the harness maps them to the
+    pre-existing ``not_parallel`` status rather than ``static_fail``.
+    """
+    if model_is_used(checked, model):
+        return []
+    need = _REQUIREMENTS.get(model, "")
+    return [Diagnostic(
+        analyzer=ANALYZER_USAGE, kind="model-not-used", certainty=DEFINITE,
+        message=f"execution model {model!r} requires {need}, but the "
+                "program never uses it",
+        line=getattr(checked.program, "line", 0),
+        col=getattr(checked.program, "col", 0))]

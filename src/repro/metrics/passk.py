@@ -6,9 +6,12 @@ from typing import Dict, Iterable, List, Sequence
 
 from .estimators import mean, pass_at_k
 
-#: statuses that count as "the sample built" (build@k numerator)
+#: statuses that count as "the sample built" (build@k numerator).
+#: ``static_fail`` built fine — MiniParSan rejected it before execution,
+#: the static analogue of ``runtime_error``.
 BUILT_STATUSES = frozenset(
-    {"correct", "wrong_answer", "runtime_error", "timeout", "not_parallel"}
+    {"correct", "wrong_answer", "runtime_error", "timeout", "not_parallel",
+     "static_fail"}
 )
 
 

@@ -44,6 +44,7 @@ class TaskFinished:
     worker: int = -1
     duration: float = 0.0       # wall seconds inside the worker loop
     attempts: int = 1
+    diagnostics: int = 0        # MiniParSan findings on the result
 
 
 @dataclass(frozen=True)
@@ -104,6 +105,7 @@ class Telemetry:
 
     counts: Dict[str, int] = field(default_factory=dict)
     statuses: Dict[str, int] = field(default_factory=dict)
+    diagnostics: int = 0
     provenance: Dict[str, str] = field(default_factory=dict)
     stage_seconds: Dict[str, float] = field(default_factory=dict)
     busy_seconds: float = 0.0
@@ -125,6 +127,7 @@ class Telemetry:
                     self.statuses.get(event.status, 0) + 1
             self.busy_seconds += event.duration
             self.retries += max(0, event.attempts - 1)
+            self.diagnostics += event.diagnostics
         elif isinstance(event, WorkerCrashed):
             self.crashes += 1
         elif isinstance(event, StageFinished):

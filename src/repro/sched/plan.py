@@ -52,7 +52,8 @@ def runner_fingerprint(runner: Runner) -> str:
     """
     desc = repr((runner.machine, runner.thread_counts,
                  runner.mpi_rank_counts, runner.hybrid_config,
-                 runner.correctness_trials, runner.seed))
+                 runner.correctness_trials, runner.seed,
+                 runner.static_screen))
     return hashlib.sha256(desc.encode()).hexdigest()[:16]
 
 
@@ -215,6 +216,7 @@ def assemble(plan: Plan, results: Dict[str, Dict[str, object]]) -> EvalRun:
                 intended=slot.intended,
                 detail=str(payload.get("detail", ""))[:DETAIL_LIMIT],
                 times={int(k): v for k, v in times.items()},
+                diagnostics=list(payload.get("diagnostics") or []),
             ))
         run.prompts[pp.uid] = record
     return run

@@ -264,7 +264,9 @@ class WorkerPool:
                                 source=SOURCE_EXECUTED,
                                 status=str((body or {}).get("status", "")),
                                 worker=wid, duration=duration,
-                                attempts=attempts[tid]))
+                                attempts=attempts[tid],
+                                diagnostics=len(
+                                    (body or {}).get("diagnostics") or ())))
                             snapshot()
                     elif kind == "fail":
                         running.pop(wid, None)

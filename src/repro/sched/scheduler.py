@@ -82,7 +82,8 @@ def run_scheduled(
                 results[task_id] = payload
                 sink(TaskFinished(
                     task_id=task_id, kind=spec.kind, source=SOURCE_JOURNAL,
-                    status=str(payload.get("status", ""))))
+                    status=str(payload.get("status", "")),
+                    diagnostics=len(payload.get("diagnostics") or ())))
         if journal is not None:
             journal.start(run_key, fresh=not resume)
 
@@ -100,7 +101,8 @@ def run_scheduled(
                         journal.append(task_id, hit)
                     sink(TaskFinished(
                         task_id=task_id, kind=spec.kind, source=SOURCE_CACHE,
-                        status=str(hit.get("status", ""))))
+                        status=str(hit.get("status", "")),
+                        diagnostics=len(hit.get("diagnostics") or ())))
                     continue
             remaining.append(task_id)
 

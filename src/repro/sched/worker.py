@@ -37,7 +37,8 @@ def execute_task(ctx, payload: Dict[str, object]) -> Dict[str, object]:
         res = runner.evaluate_sample(str(payload["source"]), prompt,
                                      with_timing=bool(payload["with_timing"]))
         return {"status": res.status, "detail": res.detail,
-                "times": {int(k): float(v) for k, v in res.times.items()}}
+                "times": {int(k): float(v) for k, v in res.times.items()},
+                "diagnostics": [d.to_dict() for d in res.diagnostics]}
     raise ValueError(f"unknown task kind {kind!r}")
 
 
@@ -48,4 +49,5 @@ def failure_payload(kind: str, detail: str) -> Dict[str, object]:
     if kind == KIND_BASELINE:
         return {"baseline": None}
     return {"status": "runtime_error",
-            "detail": f"scheduler: {detail}", "times": {}}
+            "detail": f"scheduler: {detail}", "times": {},
+            "diagnostics": []}

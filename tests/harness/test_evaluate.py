@@ -24,8 +24,8 @@ class TestEvaluate:
             assert len(record.samples) == 4
 
     def test_statuses_are_known(self, small_run):
-        known = {"correct", "build_error", "not_parallel", "runtime_error",
-                 "timeout", "wrong_answer"}
+        known = {"correct", "build_error", "not_parallel", "static_fail",
+                 "runtime_error", "timeout", "wrong_answer"}
         for record in small_run.prompts.values():
             assert set(record.statuses()) <= known
 

@@ -11,8 +11,32 @@ def runner():
     return Runner(correctness_trials=2)
 
 
+@pytest.fixture(scope="module")
+def runner_noscreen():
+    """Dynamic-only runner: MiniParSan pre-execution screen disabled."""
+    return Runner(correctness_trials=2, static_screen=False)
+
+
 def problem(name):
     return next(p for p in all_problems() if p.name == name)
+
+
+_RACY_SUM = """
+kernel sum_of_elements(x: array<float>) -> float {
+    let total = 0.0;
+    pragma omp parallel for
+    for (i in 0..len(x)) {
+        total += x[i];
+    }
+    return total;
+}
+"""
+
+_MPI_DEADLOCK = """
+kernel sum_of_elements(x: array<float>) -> float {
+    return mpi_recv_float((mpi_rank() + 1) % mpi_size(), 0);
+}
+"""
 
 
 class TestStatuses:
@@ -92,33 +116,36 @@ class TestStatuses:
         res = runner.evaluate_sample(src, prompt)
         assert res.status == "timeout"
 
-    def test_race_is_runtime_error(self, runner):
+    def test_race_is_runtime_error(self, runner_noscreen):
         p = problem("sum_of_elements")
         prompt = render_prompt(p, "openmp")
-        src = """
-        kernel sum_of_elements(x: array<float>) -> float {
-            let total = 0.0;
-            pragma omp parallel for
-            for (i in 0..len(x)) {
-                total += x[i];
-            }
-            return total;
-        }
-        """
-        res = runner.evaluate_sample(src, prompt)
+        res = runner_noscreen.evaluate_sample(_RACY_SUM, prompt)
         assert res.status == "runtime_error"
         assert "race" in res.detail.lower()
+        assert res.diagnostics == []    # screen off: nothing attached
 
-    def test_mpi_deadlock_is_runtime_error(self, runner):
+    def test_race_is_static_fail_with_screen(self, runner):
+        p = problem("sum_of_elements")
+        prompt = render_prompt(p, "openmp")
+        res = runner.evaluate_sample(_RACY_SUM, prompt)
+        assert res.status == "static_fail"
+        assert res.detail.startswith("static:")
+        assert any(d.analyzer == "race" and d.certainty == "definite"
+                   for d in res.diagnostics)
+
+    def test_mpi_deadlock_is_runtime_error(self, runner_noscreen):
         p = problem("sum_of_elements")
         prompt = render_prompt(p, "mpi")
-        src = """
-        kernel sum_of_elements(x: array<float>) -> float {
-            return mpi_recv_float((mpi_rank() + 1) % mpi_size(), 0);
-        }
-        """
-        res = runner.evaluate_sample(src, prompt)
+        res = runner_noscreen.evaluate_sample(_MPI_DEADLOCK, prompt)
         assert res.status == "runtime_error"
+
+    def test_mpi_deadlock_is_static_fail_with_screen(self, runner):
+        p = problem("sum_of_elements")
+        prompt = render_prompt(p, "mpi")
+        res = runner.evaluate_sample(_MPI_DEADLOCK, prompt)
+        assert res.status == "static_fail"
+        assert any(d.analyzer == "mpi" and d.certainty == "definite"
+                   for d in res.diagnostics)
 
 
 class TestTiming:

@@ -55,7 +55,7 @@ MATRIX = [
     ("correct", "serial", _OK_SERIAL, "correct"),
     ("build_error", "serial", "kernel sum_of_elements(", "build_error"),
     ("not_parallel", "openmp", _OK_SERIAL, "not_parallel"),
-    ("runtime_error", "openmp", _RACY_OMP, "runtime_error"),
+    ("static_fail", "openmp", _RACY_OMP, "static_fail"),
     ("trap", "serial", _TRAP, "runtime_error"),
     ("timeout", "serial", _SPIN, "timeout"),
     ("wrong_answer", "serial", _WRONG, "wrong_answer"),
@@ -78,8 +78,52 @@ def test_terminal_status(runner, label, model, source, expected):
 
 def test_every_terminal_status_is_covered():
     assert {m[3] for m in MATRIX} == {
-        "correct", "build_error", "not_parallel", "runtime_error",
-        "timeout", "wrong_answer"}
+        "correct", "build_error", "not_parallel", "static_fail",
+        "runtime_error", "timeout", "wrong_answer"}
+
+
+def test_racy_sample_without_screen_is_runtime_error():
+    """--no-static-screen falls through to dynamic Tracer conviction."""
+    problem = next(p for p in all_problems() if p.name == "sum_of_elements")
+    prompt = render_prompt(problem, "openmp")
+    runner = Runner(correctness_trials=2, static_screen=False)
+    result = runner.evaluate_sample(_RACY_OMP, prompt)
+    assert result.status == "runtime_error"
+    assert result.diagnostics == []
+
+
+class TestNoStaticScreen:
+    def test_screen_is_byte_transparent_on_clean_samples(self):
+        """When nothing fires, the screen must not perturb the run at all."""
+        bench = PCGBench(problem_types=["reduce"], models=["serial"])
+        llm = load_model("GPT-4")
+        on = evaluate_model(llm, bench, num_samples=3, seed=5,
+                            runner=Runner(static_screen=True))
+        off = evaluate_model(llm, bench, num_samples=3, seed=5,
+                             runner=Runner(static_screen=False))
+        assert on.to_json() == off.to_json()
+
+    def test_screen_off_restores_dynamic_statuses(self):
+        """Screen-off runs contain no static_fail / diagnostics; screen-on
+        differs only by short-circuiting dynamically-convicted samples."""
+        bench = PCGBench(problem_types=["reduce"], models=["openmp"])
+        llm = load_model("GPT-3.5")
+        on = evaluate_model(llm, bench, num_samples=6, seed=3,
+                            runner=Runner(static_screen=True))
+        off = evaluate_model(llm, bench, num_samples=6, seed=3,
+                             runner=Runner(static_screen=False))
+        for uid in off.prompts:
+            for s_on, s_off in zip(on.prompts[uid].samples,
+                                   off.prompts[uid].samples):
+                assert s_off.status != "static_fail"
+                assert s_off.diagnostics == []
+                if s_on.status == "static_fail":
+                    # the screen only intercepts samples the dynamic
+                    # runtime also rejects
+                    assert s_off.status in ("runtime_error", "timeout",
+                                            "wrong_answer")
+                else:
+                    assert s_on.status == s_off.status
 
 
 class TestEvalRunRoundTrip:

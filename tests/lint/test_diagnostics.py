@@ -1,0 +1,53 @@
+"""Unit tests for the Diagnostic record and its helpers."""
+
+from repro.lint import (
+    ANALYZER_MPI,
+    ANALYZER_RACE,
+    ANALYZER_USAGE,
+    DEFINITE,
+    POSSIBLE,
+    Diagnostic,
+    blocking,
+    definite,
+    sort_key,
+)
+
+
+def _d(**kw):
+    base = dict(analyzer=ANALYZER_RACE, kind="loop-invariant-write",
+                certainty=DEFINITE, message="m")
+    base.update(kw)
+    return Diagnostic(**base)
+
+
+class TestDiagnostic:
+    def test_severity_tracks_certainty(self):
+        assert _d(certainty=DEFINITE).severity == "error"
+        assert _d(certainty=POSSIBLE).severity == "warning"
+
+    def test_round_trip(self):
+        d = _d(line=4, col=7, kernel="relu")
+        assert Diagnostic.from_dict(d.to_dict()) == d
+
+    def test_to_dict_key_order_is_stable(self):
+        keys = list(_d().to_dict())
+        assert keys == ["analyzer", "kind", "certainty", "severity",
+                        "message", "line", "col", "kernel"]
+
+    def test_render_mentions_location_and_kernel(self):
+        text = _d(line=3, col=9, kernel="sum").render()
+        assert "3:9" in text and "'sum'" in text and "race" in text
+
+    def test_blocking_excludes_usage_and_possible(self):
+        fatal = _d(analyzer=ANALYZER_RACE, certainty=DEFINITE)
+        usage = _d(analyzer=ANALYZER_USAGE, certainty=DEFINITE,
+                   kind="model-not-used")
+        maybe = _d(analyzer=ANALYZER_MPI, certainty=POSSIBLE)
+        assert fatal.blocking and not usage.blocking and not maybe.blocking
+        assert blocking([usage, maybe, fatal]) == [fatal]
+        assert definite([usage, maybe, fatal]) == [usage, fatal]
+
+    def test_sort_key_orders_by_position(self):
+        late = _d(line=9)
+        early = _d(line=1)
+        assert sorted([late, early], key=sort_key) == [early, late]

@@ -1,0 +1,104 @@
+"""Satellite: the differential corpus between MiniParSan and the Tracer.
+
+Two directions, both over the handwritten corpus:
+
+* **soundness on good code** — every baseline and every solution variant
+  lints with zero ``definite`` diagnostics (no false convictions);
+* **coverage on bad code** — every seeded racy/deadlocky mutant that the
+  *dynamic* Tracer convicts is also flagged statically (any certainty),
+  or is explicitly listed in ``KNOWN_STATIC_MISSES``.
+"""
+
+import numpy as np
+
+from repro.bench import all_problems, baseline_source, render_prompt
+from repro.bench.spec import EXECUTION_MODELS
+from repro.harness import Runner
+from repro.lint import definite, lint_source
+from repro.models.mutate import _MUTATORS, mutator_names
+from repro.models.solutions import variants_for
+
+#: mutators that introduce a data race or a communication deadlock —
+#: the class of bug the dynamic Tracer convicts at runtime
+RACE_MUTATORS = [
+    "drop_reduction_clause",
+    "drop_atomic_pragma",
+    "drop_critical",
+    "atomic_to_plain",
+    "inplace_stencil",
+    "mpi_collective_skew",
+    "mpi_recv_deadlock",
+]
+
+#: (problem, model, mutator) triples the static analyzer is known to
+#: miss.  Empty today; the mechanism stays so a future analyzer change
+#: can document a regression instead of silently shipping it.
+KNOWN_STATIC_MISSES = set()
+
+#: dynamic-only runner: the screen under test must not pre-empt the
+#: Tracer verdict this corpus is differenced against
+RUNNER = Runner(correctness_trials=1, static_screen=False)
+
+
+def _corpus():
+    for p in all_problems():
+        yield f"baseline/{p.name}", "serial", baseline_source(p.name)
+        for model in EXECUTION_MODELS:
+            for i, v in enumerate(variants_for(p, model)):
+                yield f"{p.name}/{model}[{i}]", model, v.source
+
+
+def _race_mutants():
+    """Deterministically seeded racy mutants of every solution variant."""
+    for p in all_problems():
+        for model in EXECUTION_MODELS:
+            if model == "serial":
+                continue
+            variants = variants_for(p, model)
+            if not variants:
+                continue
+            source = variants[0].source
+            applicable = set(mutator_names(model))
+            for name in RACE_MUTATORS:
+                if name not in applicable:
+                    continue
+                mutated = _MUTATORS[name](source, np.random.default_rng(7))
+                if mutated is not None and mutated != source:
+                    yield p, model, name, mutated
+
+
+def _tracer_convicts(res) -> bool:
+    detail = res.detail.lower()
+    return res.status == "timeout" or "race" in detail or "deadlock" in detail
+
+
+def test_handwritten_corpus_has_zero_definite_diagnostics():
+    bad = []
+    for label, model, source in _corpus():
+        for d in definite(lint_source(source, model)):
+            bad.append(f"{label}: {d.render()}")
+    assert bad == []
+
+
+def test_every_tracer_convicted_mutant_is_flagged_statically():
+    escaped, convicted = [], 0
+    for p, model, name, mutated in _race_mutants():
+        res = RUNNER.evaluate_sample(mutated, render_prompt(p, model))
+        if not _tracer_convicts(res):
+            continue
+        convicted += 1
+        diags = lint_source(mutated, model)
+        if any(d.analyzer in ("race", "mpi") for d in diags):
+            continue
+        if (p.name, model, name) in KNOWN_STATIC_MISSES:
+            continue
+        escaped.append(f"{p.name}/{model}/{name}: "
+                       f"{res.status} ({res.detail})")
+    assert convicted > 0, "mutant corpus produced no Tracer convictions"
+    assert escaped == []
+
+
+def test_known_miss_list_has_no_stale_entries():
+    live = {(p.name, model, name)
+            for p, model, name, _ in _race_mutants()}
+    assert KNOWN_STATIC_MISSES <= live

@@ -1,0 +1,73 @@
+"""Satellite: fuzz MiniParSan with ~200 seeded mutants.
+
+Three properties, checked over mutants of the whole solutions corpus:
+
+* the linter never raises — broken sources yield ``build`` diagnostics;
+* linting is deterministic — two runs over the same mutant agree;
+* **no false negatives under OpenMP** — a mutant with zero race
+  diagnostics (at any certainty) never trips the dynamic Tracer's race
+  detector when executed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import all_problems, render_prompt
+from repro.bench.spec import EXECUTION_MODELS
+from repro.harness import Runner
+from repro.lint import lint_source
+from repro.models.mutate import apply_bug
+from repro.models.solutions import variants_for
+
+N_MUTANTS = 200
+
+RUNNER = Runner(correctness_trials=1, static_screen=False)
+
+
+def _mutants():
+    """~N_MUTANTS deterministic (model, source) mutants, cycling the
+    corpus with one fresh rng stream per slot."""
+    cases = []
+    for p in all_problems():
+        for model in EXECUTION_MODELS:
+            if model == "serial":
+                continue
+            for v in variants_for(p, model):
+                cases.append((p, model, v.source))
+    out = []
+    for k in range(N_MUTANTS):
+        p, model, source = cases[k % len(cases)]
+        mutated = apply_bug(source, model, np.random.default_rng(10_000 + k))
+        if mutated is not None:
+            out.append((p, model, mutated))
+    return out
+
+
+@pytest.fixture(scope="module")
+def mutants():
+    got = _mutants()
+    assert len(got) > N_MUTANTS * 0.9       # apply_bug almost always applies
+    return got
+
+
+def test_linter_never_raises_and_is_deterministic(mutants):
+    for _, model, source in mutants:
+        first = lint_source(source, model)      # must not raise
+        second = lint_source(source, model)
+        assert first == second
+
+
+def test_lint_race_clean_openmp_mutants_never_trip_the_tracer(mutants):
+    checked = 0
+    for p, model, source in mutants:
+        if model != "openmp":
+            continue
+        diags = lint_source(source, model)
+        if any(d.analyzer in ("race", "build") for d in diags):
+            continue                            # flagged or unparseable
+        res = RUNNER.evaluate_sample(source, render_prompt(p, model))
+        checked += 1
+        assert "race" not in res.detail.lower(), (
+            f"{p.name}/openmp: lint-clean mutant raced dynamically "
+            f"({res.status}: {res.detail})\n{source}")
+    assert checked > 0

@@ -1,0 +1,94 @@
+"""Unit tests for the symbolic MPI deadlock / mismatch analyzer."""
+
+from repro.lang import compile_source
+from repro.lint import check_mpi
+
+
+def diags(source, model="mpi"):
+    return check_mpi(compile_source(source), model)
+
+
+def kinds(source, model="mpi"):
+    return {(d.kind, d.certainty) for d in diags(source, model)}
+
+
+class TestDeadlocks:
+    def test_recv_without_send_is_definite(self):
+        src = """
+        kernel sum(x: array<float>) -> float {
+            return mpi_recv_float((mpi_rank() + 1) % mpi_size(), 0);
+        }
+        """
+        assert ("recv-without-send", "definite") in kinds(src)
+
+    def test_rank_forked_collective_is_definite(self):
+        src = """
+        kernel sum(x: array<float>) -> float {
+            let local = 0.0;
+            if (mpi_rank() == 0) {
+                local = mpi_allreduce_float(local, "sum");
+            }
+            return local;
+        }
+        """
+        assert ("collective-mismatch", "definite") in kinds(src)
+
+    def test_more_recvs_than_sends_is_definite(self):
+        src = """
+        kernel relay(x: array<float>) -> float {
+            if (mpi_rank() == 0) {
+                mpi_send(x[0], 1, 0);
+            }
+            let a = mpi_recv_float(0, 0);
+            let b = mpi_recv_float(0, 0);
+            return a + b;
+        }
+        """
+        assert ("more-recvs-than-sends", "definite") in kinds(src)
+
+
+class TestCleanPrograms:
+    def test_allreduce_on_all_ranks_is_clean(self):
+        src = """
+        kernel sum(x: array<float>) -> float {
+            let rank = mpi_rank();
+            let size = mpi_size();
+            let chunk = (len(x) + size - 1) / size;
+            let local = 0.0;
+            for (i in rank * chunk..min((rank + 1) * chunk, len(x))) {
+                local += x[i];
+            }
+            return mpi_allreduce_float(local, "sum");
+        }
+        """
+        assert diags(src) == []
+
+    def test_paired_send_recv_is_clean_of_definites(self):
+        src = """
+        kernel shift(x: array<float>) -> float {
+            let rank = mpi_rank();
+            mpi_send(x[0], (rank + 1) % mpi_size(), 0);
+            return mpi_recv_float((rank + mpi_size() - 1) % mpi_size(), 0);
+        }
+        """
+        assert all(d.certainty != "definite" for d in diags(src))
+
+    def test_non_mpi_model_is_ignored(self):
+        src = """
+        kernel sum(x: array<float>) -> float {
+            return mpi_recv_float(0, 0);
+        }
+        """
+        assert diags(src, model="openmp") == []
+
+    def test_data_forked_collective_is_only_possible(self):
+        src = """
+        kernel norm(x: array<float>) -> float {
+            let local = 0.0;
+            if (len(x) > 0) {
+                local = x[0];
+            }
+            return mpi_allreduce_float(local, "sum");
+        }
+        """
+        assert all(d.certainty != "definite" for d in diags(src))

@@ -1,0 +1,73 @@
+"""Satellite: AST usage check vs the token-text fallback, in parity
+across the full handwritten solutions corpus."""
+
+from repro.bench import all_problems
+from repro.bench.spec import EXECUTION_MODELS
+from repro.harness import uses_parallel_model, uses_parallel_model_text
+from repro.harness.usagecheck import _USAGE_PATTERNS
+from repro.lang import compile_source
+from repro.lint import check_usage
+from repro.models.solutions import variants_for
+
+#: a correct serial kernel whose *comments* name every parallel API
+_COMMENT_ONLY = """
+// This version deliberately avoids mpi_send(), mpi_recv_float() and
+// pragma omp parallel for; see parallel_for() notes in the docs.
+/* thread_idx() would also work on a GPU. */
+kernel sum_of_elements(x: array<float>) -> float {
+    let total = 0.0;
+    for (i in 0..len(x)) {
+        total += x[i];
+    }
+    return total;
+}
+"""
+
+
+class TestParity:
+    def test_ast_and_text_oracles_agree_on_every_solution(self):
+        disagreements = []
+        for p in all_problems():
+            for model in EXECUTION_MODELS:
+                for i, v in enumerate(variants_for(p, model)):
+                    ast = uses_parallel_model(v.source, model)
+                    text = uses_parallel_model_text(v.source, model)
+                    if ast != text:
+                        disagreements.append(
+                            f"{p.name}/{model}[{i}]: ast={ast} text={text}")
+        assert disagreements == []
+
+
+class TestCommentFalseMatch:
+    def test_raw_source_regex_would_have_matched(self):
+        # documents the bug the lexed-text fallback fixes: the paper's
+        # original raw-source scan sees the APIs named in comments
+        assert any(p.search(_COMMENT_ONLY)
+                   for p in _USAGE_PATTERNS["mpi"])
+
+    def test_comment_mentions_do_not_count_as_usage(self):
+        for model in ("openmp", "kokkos", "mpi", "mpi+omp", "cuda", "hip"):
+            assert not uses_parallel_model(_COMMENT_ONLY, model)
+            assert not uses_parallel_model_text(_COMMENT_ONLY, model)
+
+    def test_comment_only_program_gets_usage_diagnostic(self):
+        checked = compile_source(_COMMENT_ONLY)
+        (diag,) = check_usage(checked, "mpi")
+        assert diag.analyzer == "usage"
+        assert diag.kind == "model-not-used"
+        assert diag.certainty == "definite"
+        assert not diag.blocking      # scored not_parallel, never static_fail
+
+    def test_string_literal_mention_does_not_count(self):
+        src = """
+        kernel label(x: array<float>) -> float {
+            let tag = "mpi_send";
+            return x[0];
+        }
+        """
+        assert not uses_parallel_model(src, "mpi")
+        assert not uses_parallel_model_text(src, "mpi")
+
+    def test_serial_is_always_satisfied(self):
+        assert uses_parallel_model(_COMMENT_ONLY, "serial")
+        assert uses_parallel_model_text(_COMMENT_ONLY, "serial")
