@@ -28,12 +28,14 @@ Findings:
   (the runtime's eager sends may still complete, but nothing drains
   them).
 
-Loops are handled conservatively: a loop whose bounds are rank-invariant
-and whose body has a single possible communication sequence contributes
-one composite token (identical on all ranks, so it can never cause a
-mismatch by itself); anything else — rank-dependent bounds, ``while``
-loops with communication, ``break``/``continue`` around communication —
-degrades to a **possible** diagnostic and an opaque token.  Kernels with
+Loops are handled conservatively: communication in ``for``-loop bounds
+is evaluated exactly once and extends every path like a straight-line
+statement; a loop whose bounds are rank-invariant and whose body has a
+single possible communication sequence contributes one composite token
+(identical on all ranks, so it can never cause a mismatch by itself);
+anything else — rank-dependent bounds, ``while`` loops with
+communication, ``break``/``continue`` around communication — degrades
+to a **possible** diagnostic and an opaque token.  Kernels with
 more than ``_PATH_CAP`` paths skip mismatch reporting rather than risk a
 spurious *definite*.
 """
@@ -268,9 +270,22 @@ class _MPIAnalyzer:
 
     def _loop(self, node, body: A.Block, live: List[_Path],
               bounds: tuple) -> List[_Path]:
-        if not self._block_has_comm(body) and \
-                not any(self._comm_tokens_in_expr_raw(b) for b in bounds
-                        if b is not None):
+        is_while = isinstance(node, A.While)
+        # For-loop bounds are evaluated exactly once, before the first
+        # iteration, so their communication extends every path like a
+        # straight-line statement.  A while condition re-evaluates per
+        # iteration and falls through to the opaque handling below.
+        if not is_while:
+            bounds_tokens: List[object] = []
+            for b in bounds:
+                if b is not None:
+                    bounds_tokens.extend(self._comm_tokens_in_expr_raw(b))
+            if bounds_tokens:
+                live = [self._extend(p, bounds_tokens) for p in live]
+        cond_comm = is_while and any(
+            self._comm_tokens_in_expr_raw(b) for b in bounds
+            if b is not None)
+        if not self._block_has_comm(body) and not cond_comm:
             return live
 
         bounds_tainted = any(
@@ -283,7 +298,6 @@ class _MPIAnalyzer:
         uniform = (len(body_seqs) == 1 and not breaks
                    and not any(p.rank_forked or p.data_forked or p.returned
                                for p in body_paths))
-        is_while = isinstance(node, A.While)
 
         if bounds_tainted:
             self._emit(

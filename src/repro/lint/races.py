@@ -37,9 +37,11 @@ Protection that silences a finding: ``pragma omp atomic`` /
 ``atomic_add``/``atomic_min``/``atomic_max`` builtins.
 
 Regions with a provable trip count of 0 or 1 are skipped (a single
-iteration cannot race with itself), and accesses guarded by an
-iteration-dependent branch are demoted from definite to possible (the
-branch may serialize them, e.g. ``if (i == 0)``).
+iteration cannot race with itself), and accesses under any branch whose
+condition is not the literal ``true`` are demoted from definite to
+possible: the branch may serialize them (``if (i == 0)``) or skip them
+entirely (``if (flag)``), so the write is not provably executed on
+every run — which is what ``definite`` promises.
 
 A one-level interprocedural summary handles the corpus idiom of
 delegating the loop body to a helper: a callee that only writes an
@@ -237,11 +239,23 @@ class _RaceAnalyzer:
         return span <= stride
 
     def _collect_bindings(self, block: A.Block, region: _Region):
-        """Names bound or reassigned anywhere inside the region."""
+        """Names bound or reassigned anywhere inside the region.
+
+        ``let_inits`` is keyed by name, so a name ``let``-bound in more
+        than one (sibling or nested) scope is ambiguous — uses in one
+        scope must not resolve through another scope's initializer.
+        Such names stay in ``locals`` but are dropped from
+        ``let_inits``, which makes ``_lin`` classify them as DEP.
+        """
+        let_bound: Set[str] = set()
         for node in A.walk(block):
             if isinstance(node, A.Let):
                 region.locals.add(node.name)
-                region.let_inits[node.name] = node.init
+                if node.name in let_bound:
+                    region.let_inits.pop(node.name, None)
+                else:
+                    let_bound.add(node.name)
+                    region.let_inits[node.name] = node.init
                 if isinstance(node.init, A.Call) and \
                         node.init.func.startswith("alloc"):
                     region.private_arrays.add(node.name)
@@ -300,7 +314,7 @@ class _RaceAnalyzer:
                 if left[0] == 0 and isinstance(left[1], int):
                     return (left[1] * right[0], _off_mul(left[1], right[1]))
                 if right[0] == 0 and isinstance(right[1], int):
-                    return (right[0] * left[0], _off_mul(right[1], left[1]))
+                    return (right[1] * left[0], _off_mul(right[1], left[1]))
                 if left[0] == 0 and right[0] == 0:
                     return (0, ("*sym", left[1], right[1]))
                 return None
@@ -341,10 +355,9 @@ class _RaceAnalyzer:
     def _is_shared_array(self, name: str, region: _Region) -> bool:
         return name not in region.private_arrays and name not in region.locals
 
-    def _cond_depends_on_iteration(self, cond: A.Expr,
-                                   region: _Region) -> bool:
-        form = self._lin(cond, region)
-        return form is None or form[0] != 0
+    @staticmethod
+    def _cond_trivially_true(cond: A.Expr) -> bool:
+        return isinstance(cond, A.BoolLit) and cond.value is True
 
     def _scan_block(self, block: A.Block, region: _Region,
                     protected: bool, guarded: bool):
@@ -362,7 +375,7 @@ class _RaceAnalyzer:
         elif isinstance(stmt, A.If):
             self._scan_expr(stmt.cond, region, guarded)
             branch_guarded = guarded or \
-                self._cond_depends_on_iteration(stmt.cond, region)
+                not self._cond_trivially_true(stmt.cond)
             self._scan_stmt(stmt.then, region, protected, branch_guarded)
             if stmt.orelse is not None:
                 self._scan_stmt(stmt.orelse, region, protected,

@@ -47,6 +47,44 @@ class TestDeadlocks:
         assert ("more-recvs-than-sends", "definite") in kinds(src)
 
 
+class TestLoopBounds:
+    def test_recvs_in_for_bounds_are_counted(self):
+        # regression: comm calls appearing only in for-loop bounds were
+        # folded into the loop token and never counted
+        src = """
+        kernel drain(x: array<int>) -> int {
+            mpi_send(x[0], 1, 0);
+            let total = 0;
+            for (i in 0..mpi_recv_int(0, 0)) {
+                total += 1;
+            }
+            for (j in 0..mpi_recv_int(0, 0)) {
+                total += 1;
+            }
+            return total;
+        }
+        """
+        assert ("more-recvs-than-sends", "definite") in kinds(src)
+
+    def test_collective_in_for_bound_matches_direct_call(self):
+        # bounds are evaluated once, so a collective there pairs with a
+        # straight-line collective on the other side of a rank fork
+        src = """
+        kernel agree(x: array<int>) -> int {
+            let n = 0;
+            if (mpi_rank() == 0) {
+                n = mpi_allreduce_int(1, "sum");
+            } else {
+                for (i in 0..mpi_allreduce_int(1, "sum")) {
+                    n += 1;
+                }
+            }
+            return n;
+        }
+        """
+        assert all(d.certainty != "definite" for d in diags(src))
+
+
 class TestCleanPrograms:
     def test_allreduce_on_all_ranks_is_clean(self):
         src = """

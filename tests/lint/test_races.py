@@ -126,6 +126,79 @@ class TestOpenMP:
         assert ("loop-invariant-write", "possible") in got
         assert all(c != "definite" for _, c in got)
 
+    def test_scaled_index_is_clean_with_const_on_either_side(self):
+        # regression: a[i * 2] used to fold to coefficient 0 (invariant)
+        # while a[2 * i] was classified correctly
+        for index in ("i * 2", "2 * i"):
+            src = f"""
+            kernel scatter(x: array<float>, out: array<float>) {{
+                pragma omp parallel for
+                for (i in 0..len(x)) {{
+                    out[{index}] = x[i];
+                }}
+            }}
+            """
+            assert diags(src, "openmp") == [], index
+
+    def test_sibling_scope_let_bindings_do_not_collide(self):
+        # regression: two `let t` in sibling branches shared one
+        # let_inits slot, so one branch's uses resolved through the
+        # other branch's initializer
+        src = """
+        kernel branches(a: array<float>, n: int) {
+            pragma omp parallel for
+            for (i in 0..len(a)) {
+                if (n > 0) {
+                    let t = 0;
+                    a[t] = 1.0;
+                } else {
+                    let t = i;
+                    a[t] = 2.0;
+                }
+            }
+        }
+        """
+        got = kinds(src, "openmp")
+        assert all(c != "definite" for _, c in got)
+        assert got, "ambiguous sibling-scope writes must still be flagged"
+        # mirrored binding order: the real invariant write must not be
+        # silently resolved through the other branch's `let t = i`
+        mirrored = src.replace("let t = 0", "let t = X") \
+                      .replace("let t = i", "let t = 0") \
+                      .replace("let t = X", "let t = i")
+        assert kinds(mirrored, "openmp"), \
+            "invariant write behind a colliding let escaped unflagged"
+
+    def test_loop_invariant_condition_demotes_to_possible(self):
+        # a write under `if (n > 3)` never executes when n <= 3, so it
+        # cannot be a definite (provable-on-every-run) conviction
+        src = """
+        kernel cond(a: array<float>, x: array<float>, n: int) {
+            pragma omp parallel for
+            for (i in 0..len(x)) {
+                if (n > 3) {
+                    a[0] = x[i];
+                }
+            }
+        }
+        """
+        got = kinds(src, "openmp")
+        assert ("loop-invariant-write", "possible") in got
+        assert all(c != "definite" for _, c in got)
+
+    def test_literal_true_condition_keeps_definite(self):
+        src = """
+        kernel cond(a: array<float>, x: array<float>) {
+            pragma omp parallel for
+            for (i in 0..len(x)) {
+                if (true) {
+                    a[0] = x[i];
+                }
+            }
+        }
+        """
+        assert ("loop-invariant-write", "definite") in kinds(src, "openmp")
+
     def test_disjoint_writes_are_clean(self):
         src = """
         kernel scale(x: array<float>, a: float) {
