@@ -135,6 +135,48 @@ def test_mutant_screen_throughput(benchmark, static_screen):
                        rounds=2, iterations=1, warmup_rounds=0)
 
 
+# -- fault injector hot-path overhead ------------------------------------------
+
+def test_idle_injector_adds_no_overhead():
+    """The acceptance check for ``repro.faults``: an installed injector
+    with a fault-free plan must cost nothing on the hot path — `fire()`
+    never runs for unlisted points — and must not perturb a single byte
+    of the run."""
+    from repro.faults import FaultPlan, injector
+
+    llm, bench = _sched_workload()
+    t0 = time.perf_counter()
+    bare = _sched_pass(llm, bench, jobs=1)
+    t_bare = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    with injector(FaultPlan(rules=())) as inj:
+        installed = _sched_pass(llm, bench, jobs=1)
+    t_installed = time.perf_counter() - t0
+    print(f"\nidle injector: bare {t_bare:.2f}s vs installed "
+          f"{t_installed:.2f}s ({t_installed / t_bare - 1.0:+.1%})")
+    assert installed.to_json() == bare.to_json()
+    assert inj.events == []
+    # generous noise margin: the guard is one global load per site
+    assert t_installed < t_bare * 1.10
+
+
+@pytest.mark.parametrize("installed", [False, True],
+                         ids=["no-injector", "idle-injector"])
+def test_injector_guard_throughput(benchmark, installed):
+    """Per-sample pipeline cost with and without an idle injector — the
+    pair of numbers that quantifies the `inject.ACTIVE` guard."""
+    from repro.faults import FaultPlan, injector
+
+    prompt = render_prompt(_PROBLEM, "openmp")
+    source = variants_for(_PROBLEM, "openmp")[0].source
+    if installed:
+        with injector(FaultPlan(rules=())):
+            result = benchmark(_RUNNER.evaluate_sample, source, prompt)
+    else:
+        result = benchmark(_RUNNER.evaluate_sample, source, prompt)
+    assert result.status == "correct"
+
+
 def test_scheduler_beats_serial():
     """The acceptance check: jobs=4 beats the serial loop outright."""
     llm, bench = _sched_workload()

@@ -16,6 +16,11 @@ from ..metrics import (
 #: the paper excludes search from the performance metrics (footnote 1)
 PERF_EXCLUDED_PTYPES = frozenset({"search"})
 
+#: samples carrying no performance evidence: infra failures were never
+#: judged, degraded samples lost their timing sweep to a fault.  Dropped
+#: from the speedup/efficiency pools entirely (not scored as 0).
+PERF_EXCLUDED_STATUSES = frozenset({"system_error", "degraded"})
+
 #: the n used per execution model in Figures 6 and 7 (§8 RQ3): 32 threads
 #: for OpenMP/Kokkos, 512 ranks for MPI, 4 ranks x 64 threads for hybrid;
 #: for CUDA/HIP n is each prompt's kernel thread count (None = per-prompt).
@@ -81,6 +86,14 @@ def _perf_records(run: EvalRun, exec_model: str) -> List[PromptRecord]:
     ]
 
 
+def _judged_times(r: PromptRecord, n: int) -> List[Optional[float]]:
+    """Per-sample times at ``n`` with infra-failed / degraded samples
+    removed from the pool (their absence must shrink the denominator,
+    not score as a 0-speedup failure)."""
+    return [t for s, t in zip(r.statuses(), r.times_at(n))
+            if s not in PERF_EXCLUDED_STATUSES]
+
+
 def perf_entries(records: Iterable[PromptRecord],
                  n: Optional[int]) -> List[Dict]:
     """Per-prompt {baseline, times, n} rows for the speedup metrics.
@@ -93,7 +106,7 @@ def perf_entries(records: Iterable[PromptRecord],
         if n is not None:
             entries.append({
                 "baseline": r.baseline,
-                "times": r.times_at(n),
+                "times": _judged_times(r, n),
                 "n": n,
             })
             continue
@@ -101,7 +114,7 @@ def perf_entries(records: Iterable[PromptRecord],
         prompt_n = max(ns) if ns else 1
         entries.append({
             "baseline": r.baseline,
-            "times": r.times_at(prompt_n),
+            "times": _judged_times(r, prompt_n),
             "n": prompt_n,
         })
     return entries

@@ -20,6 +20,13 @@ Commands
     Run MiniParSan (``repro.lint``) over one MiniPar source file, or over
     the whole handwritten baseline + solution corpus.  Exit status: 0
     when no ``definite`` diagnostics, 1 when any, 2 on a build error.
+``chaos [--seed N] [--jobs N] [--plan FILE]``
+    Run the fault-injection invariant suite (``docs/faults.md``): same
+    seed replays the same faults, a fault-free injector is byte-for-byte
+    transparent, the scheduler survives worker kills and corrupted
+    results, and a kill at every journal index resumes exactly.  With
+    ``--plan`` instead prints the fault schedule a seed expands to.
+    Exit status: 0 when every invariant holds, 1 otherwise.
 
 ``run``/``eval``/``figures`` accept ``--no-static-screen`` to disable
 the MiniParSan pre-execution screen (no ``static_fail`` short-circuit;
@@ -257,6 +264,29 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return 1 if definite(diags) else 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from .faults import FaultPlan
+    from .faults.chaos import run_chaos
+
+    if args.plan:
+        plan = FaultPlan.from_seed(args.seed)
+        Path(args.plan).write_text(plan.to_json())
+        print(f"fault plan for seed {args.seed} "
+              f"({len(plan.rules)} rules) -> {args.plan}")
+        for rule in plan.rules:
+            print(f"  {rule.point}: {rule.action} "
+                  f"occurrences={rule.occurrences} param={rule.param}")
+        return 0
+    reports = run_chaos(seed=args.seed, jobs=args.jobs,
+                        log=lambda line: print(line, file=sys.stderr))
+    failed = [r for r in reports if not r.passed]
+    for r in reports:
+        print(r.line())
+    print(f"chaos: {len(reports) - len(failed)}/{len(reports)} "
+          "invariants hold")
+    return 1 if failed else 0
+
+
 def _positive_int(text: str) -> int:
     try:
         value = int(text)
@@ -335,6 +365,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--corpus", action="store_true",
                    help="lint every handwritten baseline and solution")
     p.set_defaults(fn=cmd_lint)
+
+    p = sub.add_parser(
+        "chaos", help="run the fault-injection invariant suite")
+    p.add_argument("--seed", type=int, default=11,
+                   help="seed for the generated fault schedule")
+    p.add_argument("--jobs", "-j", type=_positive_int, default=4,
+                   help="worker processes for the scheduler checks")
+    p.add_argument("--plan", metavar="FILE",
+                   help="write the seed's fault plan as JSON and exit")
+    p.set_defaults(fn=cmd_chaos)
 
     return parser
 

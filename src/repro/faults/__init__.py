@@ -1,0 +1,24 @@
+"""repro.faults — deterministic, seeded fault injection for the pipeline.
+
+Three pieces:
+
+* :mod:`repro.faults.plan` — declarative :class:`FaultPlan`/:class:`FaultRule`
+  schedules and the injection-point registry.
+* :mod:`repro.faults.inject` — the process-global :class:`FaultInjector`
+  consulted at named points in the runtimes, scheduler, and harness.
+* :mod:`repro.faults.chaos` — the invariant suite behind ``repro chaos``
+  (imported lazily: it depends on the harness, which depends on this
+  package).
+
+See ``docs/faults.md`` for the taxonomy and the chaos invariants.
+"""
+
+from .inject import (FaultEvent, FaultInjected, FaultInjector, injector,
+                     install, installed, uninstall)
+from .plan import INJECTION_POINTS, LAYERS, FaultPlan, FaultRule
+
+__all__ = [
+    "FaultPlan", "FaultRule", "INJECTION_POINTS", "LAYERS",
+    "FaultInjector", "FaultInjected", "FaultEvent",
+    "install", "uninstall", "installed", "injector",
+]

@@ -1,0 +1,208 @@
+"""Chaos invariants: the properties that make fault injection *safe*.
+
+An injection engine is only trustworthy if it is (a) deterministic —
+the same seed must replay the same faults, or a chaos failure cannot be
+debugged; (b) transparent — installing the injector with nothing to
+inject must not perturb a single byte of output, or every fault-free run
+pays an integrity tax; and (c) survivable — the resilience machinery it
+exists to exercise must actually recover.  This module states those
+properties as executable checks over a small fixed benchmark slice
+(transform x {serial, openmp}, two samples of one simulated LLM):
+
+1. **event-determinism** — evaluating twice under ``FaultPlan.from_seed``
+   yields an identical canonical event stream *and* identical
+   ``EvalRun`` JSON.
+2. **injector-transparency** — a fault-free plan with the injector
+   installed produces an ``EvalRun`` byte-identical to no injector at
+   all, and records zero decision events (counters only advance for
+   points with rules).
+3. **sched-resilience** — killing every task's first worker attempt and
+   corrupting every task's first result still converges, via the pool's
+   retry budget, to the fault-free run.
+4. **kill-resume** — for a journaled run, truncating the journal after
+   *every* record index (a kill between any two commits) and resuming
+   reproduces the fault-free metrics exactly.
+
+``repro chaos`` runs all four from the command line; the CI ``chaos``
+job and ``tests/faults/test_chaos.py`` pin them as regressions.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, List, Optional, Tuple, Union
+
+from ..bench.registry import PCGBench
+from ..harness.evaluate import EvalRun, evaluate_model
+from ..models import load_model
+from .inject import injector
+from .plan import FaultPlan, FaultRule
+
+#: the fixed slice every chaos check runs on: small enough for CI, rich
+#: enough to cross two runtimes and exercise source-level task dedup
+CHAOS_PTYPES = ("transform",)
+CHAOS_EXEC = ("serial", "openmp")
+CHAOS_LLM = "GPT-3.5"
+CHAOS_SAMPLES = 2
+CHAOS_SEED = 7
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one invariant check."""
+
+    invariant: str
+    passed: bool
+    detail: str = ""
+
+    def line(self) -> str:
+        mark = "PASS" if self.passed else "FAIL"
+        return f"[{mark}] {self.invariant}: {self.detail}"
+
+
+def chaos_slice() -> Tuple[object, PCGBench]:
+    """(llm, bench) for the fixed chaos slice."""
+    bench = PCGBench(problem_types=list(CHAOS_PTYPES),
+                     models=list(CHAOS_EXEC))
+    return load_model(CHAOS_LLM), bench
+
+
+def _eval(llm, bench, with_timing: bool = False, **kw) -> EvalRun:
+    return evaluate_model(llm, bench, num_samples=CHAOS_SAMPLES,
+                          temperature=0.2, with_timing=with_timing,
+                          seed=CHAOS_SEED, **kw)
+
+
+def check_event_determinism(seed: int = 11) -> ChaosReport:
+    """Same seed => identical event stream and identical EvalRun."""
+    llm, bench = chaos_slice()
+    plan = FaultPlan.from_seed(seed).restricted(("runtime", "harness"))
+    logs: List[str] = []
+    payloads: List[str] = []
+    inj = None
+    for _ in range(2):
+        with injector(plan) as inj:
+            run = _eval(llm, bench, with_timing=True)
+        logs.append(inj.canonical_log())
+        payloads.append(run.to_json())
+    if logs[0] != logs[1]:
+        return ChaosReport("event-determinism", False,
+                           f"seed {seed} produced two different event "
+                           "streams")
+    if payloads[0] != payloads[1]:
+        return ChaosReport("event-determinism", False,
+                           f"seed {seed} produced two different EvalRuns")
+    return ChaosReport(
+        "event-determinism", True,
+        f"seed {seed}: {len(inj.events)} decisions "
+        f"({len(inj.fired_events())} fired) replayed identically")
+
+
+def check_injector_transparency() -> ChaosReport:
+    """Fault-free plan installed => byte-identical EvalRun, zero events."""
+    llm, bench = chaos_slice()
+    bare = _eval(llm, bench, with_timing=True)
+    with injector(FaultPlan(rules=(), seed=0)) as inj:
+        shadowed = _eval(llm, bench, with_timing=True)
+    if shadowed.to_json() != bare.to_json():
+        return ChaosReport("injector-transparency", False,
+                           "installing a fault-free injector changed the "
+                           "EvalRun")
+    if inj.events:
+        return ChaosReport("injector-transparency", False,
+                           f"a fault-free plan recorded {len(inj.events)} "
+                           "decision events; the fast path leaked")
+    return ChaosReport("injector-transparency", True,
+                       "fault-free run is byte-identical with the injector "
+                       "installed and recorded zero events")
+
+
+def check_sched_resilience(jobs: int = 4) -> ChaosReport:
+    """Worker kills + result corruption still converge to the clean run.
+
+    Every task's first worker attempt is killed (``#a0``) and every
+    task's first delivered result is corrupted; the pool's retry budget
+    (kill -> retry 1, corrupt -> retry 2) must absorb both and produce
+    the fault-free ``EvalRun``.  The slice's task count stays under the
+    worker crash budget (``4*jobs + 4``).
+    """
+    llm, bench = chaos_slice()
+    reference = _eval(llm, bench, jobs=1)
+    plan = FaultPlan(rules=(
+        FaultRule(point="sched.worker.kill", action="kill", match="#a0"),
+        FaultRule(point="sched.result.corrupt", action="corrupt"),
+    ), seed=0)
+    with injector(plan):
+        chaotic = _eval(llm, bench, jobs=jobs)
+    if chaotic.to_json() != reference.to_json():
+        return ChaosReport("sched-resilience", False,
+                           "run under worker kills + result corruption "
+                           "diverged from the fault-free run")
+    return ChaosReport("sched-resilience", True,
+                       "every first attempt killed and every first result "
+                       "corrupted; retries converged to the clean run")
+
+
+def check_kill_resume(workdir: Union[str, Path],
+                      jobs: int = 2,
+                      log: Optional[Callable[[str], None]] = None
+                      ) -> ChaosReport:
+    """Kill at every journal index => resume reproduces the clean run.
+
+    A "kill after the i-th committed record" is simulated by truncating
+    a reference journal to its first i lines (records are committed iff
+    newline-terminated; mid-record kills are covered byte-by-byte in
+    ``tests/sched/test_journal.py``) and resuming from the truncation.
+    """
+    llm, bench = chaos_slice()
+    workdir = Path(workdir)
+    ref_journal = workdir / "reference.jsonl"
+    reference = _eval(llm, bench, jobs=jobs, journal=str(ref_journal))
+    lines = ref_journal.read_text().splitlines(keepends=True)
+    mismatches: List[int] = []
+    for cut in range(len(lines)):
+        if log is not None:
+            log(f"  kill point {cut + 1}/{len(lines)}")
+        path = workdir / f"kill_at_{cut}.jsonl"
+        path.write_text("".join(lines[:cut]))
+        resumed = _eval(llm, bench, jobs=jobs, journal=str(path),
+                        resume=True)
+        if resumed.to_json() != reference.to_json():
+            mismatches.append(cut)
+    if mismatches:
+        return ChaosReport("kill-resume", False,
+                           "resume diverged after kills at journal "
+                           f"indices {mismatches}")
+    return ChaosReport("kill-resume", True,
+                       f"{len(lines)} kill points (header + "
+                       f"{len(lines) - 1} records), every resume "
+                       "reproduced the reference run")
+
+
+def run_chaos(seed: int = 11, jobs: int = 4,
+              workdir: Optional[Union[str, Path]] = None,
+              log: Optional[Callable[[str], None]] = None
+              ) -> List[ChaosReport]:
+    """Run the full invariant suite; returns one report per check."""
+    emit = log or (lambda line: None)
+    reports: List[ChaosReport] = []
+
+    def step(name: str, fn: Callable[[], ChaosReport]) -> None:
+        emit(f"chaos: checking {name} ...")
+        report = fn()
+        emit(report.line())
+        reports.append(report)
+
+    step("injector-transparency", check_injector_transparency)
+    step("event-determinism", lambda: check_event_determinism(seed))
+    step("sched-resilience", lambda: check_sched_resilience(jobs))
+    if workdir is not None:
+        step("kill-resume",
+             lambda: check_kill_resume(workdir, jobs=min(jobs, 2), log=log))
+    else:
+        with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+            step("kill-resume",
+                 lambda: check_kill_resume(tmp, jobs=min(jobs, 2), log=log))
+    return reports

@@ -39,6 +39,16 @@ class CacheFormatError(ValueError):
 
 @dataclass
 class SampleRecord:
+    #: terminal status (see the repro.harness.runner docstring matrix):
+    #: correct / wrong_answer / runtime_error / timeout / not_parallel /
+    #: static_fail / build_error, plus the two resilience lanes —
+    #: system_error (infrastructure failed; excluded from every metric
+    #: denominator, never journaled, resampled on --resume) and degraded
+    #: (correct but the timing sweep was fault-perturbed; counts for
+    #: pass@k / build@k, excluded from speedup).  A timeout is the
+    #: *sample* hanging (fuel / simulated-time cap, see detail); an infra
+    #: wall-clock kill by the scheduler is a system_error whose detail
+    #: starts with "scheduler:".
     status: str
     intended: str = ""
     detail: str = ""

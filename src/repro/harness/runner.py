@@ -13,22 +13,46 @@ Statuses mirror the paper's bookkeeping:
   execution (``repro.lint``); skipped dynamically.  Disable with
   ``Runner(static_screen=False)`` / ``--no-static-screen``;
 * ``runtime_error`` — trap / race / deadlock / MPI misuse;
-* ``timeout``       — exceeded the fuel budget or simulated 3-minute cap;
+* ``timeout``       — exceeded the fuel budget or simulated 3-minute cap
+  (the *sample* hung — a model failure, unlike the scheduler's wall-clock
+  ``task_timeout`` which is infrastructure and becomes ``system_error``);
 * ``wrong_answer``  — ran but the outputs disagree with the reference;
-* ``correct``       — everything above passed.
+* ``correct``       — everything above passed;
+* ``system_error``  — the *harness*, not the sample, failed: an injected
+  or real infrastructure fault survived the bounded retry budget.  Never
+  attributed to the model — excluded from every metric denominator and
+  resampled on ``--resume``;
+* ``degraded``      — correctness passed but the timing sweep was
+  fault-perturbed; the record keeps its correctness verdict (it counts
+  for pass@k / build@k) but reports no times and is excluded from
+  speedup estimates.
 
 "Possible" (unprovable) lint findings never change a status; they ride
 along on :attr:`RunResult.diagnostics` for reporting.
+
+Resilience: when a :class:`~repro.faults.inject.FaultInjector` is
+installed, ``evaluate_sample`` runs under a per-sample fault scope and
+classifies failures as *transient* (fault-influenced — the injector fired
+during the attempt — or an explicit :class:`FaultInjected` with
+``transient=True``) or *deterministic* (the sample's own fault).
+Transient failures are retried with bounded exponential backoff
+(``transient_retries`` attempts, ``retry_backoff`` initial delay);
+deterministic failures are returned immediately.  Without an injector the
+pipeline is byte-for-byte the pre-resilience fast path.
 """
 
 from __future__ import annotations
 
+import hashlib
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..bench.spec import Problem, Prompt
+from ..faults import inject
+from ..faults.inject import FaultInjected
 from ..lang import CompileError, compile_source
 from ..lang.errors import (
     DataRaceError,
@@ -116,11 +140,19 @@ def _classify(exc: BaseException) -> str:
         return "runtime_error"
     if isinstance(exc, MiniParError):
         return "runtime_error"
+    # anything else (including an injected FaultInjected escaping a
+    # runtime layer) propagates to the resilience wrapper
     raise exc
 
 
 class Runner:
-    """Compiles, checks, runs and times generated samples."""
+    """Compiles, checks, runs and times generated samples.
+
+    ``transient_retries`` / ``retry_backoff`` govern the resilience
+    wrapper (active only with a fault injector installed); they do not
+    affect results and are deliberately excluded from the scheduler's
+    runner fingerprint.
+    """
 
     def __init__(self, machine: Machine = DEFAULT_MACHINE,
                  thread_counts: Sequence[int] = CPU_THREAD_COUNTS,
@@ -128,7 +160,9 @@ class Runner:
                  hybrid_config: Sequence[int] = (4, 64),
                  correctness_trials: int = 2,
                  seed: int = 20240603,
-                 static_screen: bool = True):
+                 static_screen: bool = True,
+                 transient_retries: int = 2,
+                 retry_backoff: float = 0.05):
         self.machine = machine
         self.thread_counts = tuple(thread_counts)
         self.mpi_rank_counts = tuple(mpi_rank_counts)
@@ -136,6 +170,8 @@ class Runner:
         self.correctness_trials = correctness_trials
         self.seed = seed
         self.static_screen = static_screen
+        self.transient_retries = int(transient_retries)
+        self.retry_backoff = float(retry_backoff)
 
     # -- single executions -------------------------------------------------------
 
@@ -291,11 +327,14 @@ class Runner:
 
     # -- the full per-sample pipeline ----------------------------------------------------
 
-    def evaluate_sample(self, source: str, prompt: Prompt,
-                        with_timing: bool = False) -> RunResult:
+    def _correct_phase(self, source: str, prompt: Prompt
+                       ) -> Tuple[RunResult, Optional[CompiledProgram]]:
+        """Compile → static screen → correctness.  Returns the result and
+        the compiled program (for the timing phase), or ``None`` when the
+        pipeline stopped before execution."""
         program, checked, reason = _compile_checked(source, prompt.model)
         if program is None:
-            return RunResult("build_error", reason or "build failed")
+            return RunResult("build_error", reason or "build failed"), None
         diagnostics: List[Diagnostic] = []
         if self.static_screen:
             diagnostics = lint_checked(checked, prompt.model)
@@ -303,10 +342,90 @@ class Runner:
             if fatal:
                 return RunResult("static_fail",
                                  f"static: {fatal[0].message}",
-                                 diagnostics=diagnostics)
+                                 diagnostics=diagnostics), program
         result = self.check_correct(program, source, prompt, checked=checked)
         result.diagnostics = diagnostics
-        if result.status != "correct" or not with_timing:
+        return result, program
+
+    def evaluate_sample(self, source: str, prompt: Prompt,
+                        with_timing: bool = False) -> RunResult:
+        if inject.ACTIVE is None:
+            # the fast path: identical to the pre-resilience pipeline
+            result, program = self._correct_phase(source, prompt)
+            if result.status != "correct" or not with_timing:
+                return result
+            result.times = self.measure(program, prompt)
             return result
-        result.times = self.measure(program, prompt)
-        return result
+        return self._evaluate_resilient(source, prompt, with_timing)
+
+    def _evaluate_resilient(self, source: str, prompt: Prompt,
+                            with_timing: bool) -> RunResult:
+        """``evaluate_sample`` under an installed fault injector.
+
+        Each attempt runs in a fault scope named after the *sample* (not
+        the attempt), so occurrence counters persist across retries: a
+        single-occurrence fault consumed by attempt 0 will not re-fire on
+        attempt 1, which is exactly how a transient infrastructure fault
+        behaves.  Failures are retried (with bounded exponential backoff)
+        only when the injector actually fired during the attempt or the
+        fault announced itself as transient; a clean failure is the
+        sample's own and is returned immediately.
+        """
+        inj = inject.ACTIVE
+        digest = hashlib.sha256(source.encode()).hexdigest()[:12]
+        scope_name = f"{prompt.uid}/{digest}"
+        delay = self.retry_backoff
+        last_detail = ""
+        for attempt in range(self.transient_retries + 1):
+            with inj.scope(scope_name):
+                fired_before = inj.scope_fired()
+                try:
+                    rule = inj.fire("harness.flake", "attempt")
+                    if rule is not None:
+                        raise FaultInjected(
+                            "harness.flake",
+                            "injected harness infrastructure flake")
+                    result, program = self._correct_phase(source, prompt)
+                except FaultInjected as exc:
+                    last_detail = f"infra: {exc}"
+                    if exc.transient and attempt < self.transient_retries:
+                        time.sleep(min(delay, 1.0))
+                        delay *= 2
+                        continue
+                    break
+                fired = inj.scope_fired() - fired_before
+                if fired and result.status not in ("correct", "build_error",
+                                                   "static_fail"):
+                    # the attempt was fault-perturbed and failed: treat
+                    # the failure as transient infrastructure, not the
+                    # sample's own defect
+                    last_detail = (f"infra: fault-perturbed attempt ended in "
+                                   f"{result.status} ({result.detail})")
+                    if attempt < self.transient_retries:
+                        time.sleep(min(delay, 1.0))
+                        delay *= 2
+                        continue
+                    break
+                if result.status != "correct" or not with_timing:
+                    return result
+                # timing phase: faults here degrade rather than discard
+                timing_fired = inj.scope_fired()
+                try:
+                    rule = inj.fire("harness.timing", "sweep")
+                    times = {} if rule is not None \
+                        else self.measure(program, prompt)
+                except FaultInjected:
+                    rule, times = None, None
+                if rule is not None or times is None \
+                        or inj.scope_fired() > timing_fired:
+                    result.status = "degraded"
+                    result.detail = ("timing sweep fault-perturbed; "
+                                     "correctness-only record")
+                    result.times = {}
+                    return result
+                result.times = times
+                return result
+        detail = last_detail or "infrastructure fault"
+        return RunResult(
+            "system_error",
+            f"{detail} (retry budget of {self.transient_retries} exhausted)")

@@ -56,6 +56,11 @@ class FuelExhausted(RuntimeFailure):
     """The interpreter ran out of fuel (models the harness' 3-minute cap)."""
 
 
+class MemoryExhausted(RuntimeFailure):
+    """An allocation exceeded the execution context's memory budget
+    (models a node OOM-killing the evaluation process)."""
+
+
 class SimTimeLimitExceeded(RuntimeFailure):
     """Simulated execution time exceeded the harness time limit."""
 

@@ -10,8 +10,11 @@ from .estimators import (
 )
 from .passk import (
     BUILT_STATUSES,
+    CORRECT_STATUSES,
+    INFRA_STATUSES,
     benchmark_build_at_k,
     benchmark_pass_at_k,
+    judged,
     pass_at_k_curve,
     prompt_build_at_k,
     prompt_pass_at_k,
@@ -35,6 +38,9 @@ __all__ = [
     "benchmark_build_at_k",
     "pass_at_k_curve",
     "BUILT_STATUSES",
+    "CORRECT_STATUSES",
+    "INFRA_STATUSES",
+    "judged",
     "sample_speedup",
     "prompt_speedup_at_k",
     "benchmark_speedup_at_k",

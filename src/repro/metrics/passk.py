@@ -1,4 +1,18 @@
-"""pass@k and build@k over sets of evaluated prompts (Eq. 4)."""
+"""pass@k and build@k over sets of evaluated prompts (Eq. 4).
+
+Infrastructure failures (``system_error``) are excluded from the
+estimator *denominators*: the harness, not the model, failed, so those
+samples carry no evidence about the model and must not depress pass@k
+the way counting them as failures would.  When exclusion shrinks a
+prompt's sample pool below k, k is clamped to the remaining pool (and a
+prompt with no judged samples at all contributes 0) — but a *raw* sample
+count below k is still a caller error, exactly as before.
+
+``degraded`` samples were judged: correctness passed, only the timing
+sweep was fault-perturbed.  They count as correct for pass@k and as
+built for build@k (and are excluded from speedups, which they carry no
+times for).
+"""
 
 from __future__ import annotations
 
@@ -8,22 +22,44 @@ from .estimators import mean, pass_at_k
 
 #: statuses that count as "the sample built" (build@k numerator).
 #: ``static_fail`` built fine — MiniParSan rejected it before execution,
-#: the static analogue of ``runtime_error``.
+#: the static analogue of ``runtime_error``.  ``degraded`` built *and*
+#: ran correctly; only its timing sweep was lost.
 BUILT_STATUSES = frozenset(
     {"correct", "wrong_answer", "runtime_error", "timeout", "not_parallel",
-     "static_fail"}
+     "static_fail", "degraded"}
 )
+
+#: statuses that count as "the sample is correct" (pass@k numerator)
+CORRECT_STATUSES = frozenset({"correct", "degraded"})
+
+#: infrastructure failures: excluded from every metric denominator
+INFRA_STATUSES = frozenset({"system_error"})
+
+
+def judged(statuses: Sequence[str]) -> List[str]:
+    """The samples the harness actually judged (infra failures dropped)."""
+    return [s for s in statuses if s not in INFRA_STATUSES]
+
+
+def _at_k(statuses: Sequence[str], k: int, numerator) -> float:
+    kept = judged(statuses)
+    n, c = len(kept), sum(numerator(s) for s in kept)
+    if len(statuses) >= k > n:
+        # infra exclusions (not the caller) shrank the pool below k
+        if n == 0:
+            return 0.0
+        k = n
+    return pass_at_k(n, c, k)
 
 
 def prompt_pass_at_k(statuses: Sequence[str], k: int) -> float:
     """pass@k for one prompt from its per-sample harness statuses."""
-    return pass_at_k(len(statuses), sum(s == "correct" for s in statuses), k)
+    return _at_k(statuses, k, lambda s: s in CORRECT_STATUSES)
 
 
 def prompt_build_at_k(statuses: Sequence[str], k: int) -> float:
     """build@k: probability at least one of k samples compiles and links."""
-    return pass_at_k(len(statuses),
-                     sum(s in BUILT_STATUSES for s in statuses), k)
+    return _at_k(statuses, k, lambda s: s in BUILT_STATUSES)
 
 
 def benchmark_pass_at_k(per_prompt_statuses: Iterable[Sequence[str]],

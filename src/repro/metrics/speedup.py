@@ -29,9 +29,19 @@ def sample_speedup(baseline_time: float, sample_time: Optional[float]) -> float:
 def prompt_speedup_at_k(baseline_time: float,
                         sample_times: Sequence[Optional[float]],
                         k: int) -> float:
-    """Expected best-of-k speedup for one prompt (Eq. 5)."""
+    """Expected best-of-k speedup for one prompt (Eq. 5).
+
+    ``sample_times`` contains only the *judged* samples — callers drop
+    ``system_error`` / ``degraded`` samples entirely (they carry no
+    evidence about performance) rather than passing them as None, which
+    would count them as 0-speedup failures.  When that exclusion leaves
+    fewer than k samples, k is clamped to the pool; an empty pool
+    contributes 0.
+    """
     speedups = [sample_speedup(baseline_time, t) for t in sample_times]
-    return expected_max_of_k(speedups, k)
+    if not speedups:
+        return 0.0
+    return expected_max_of_k(speedups, min(k, len(speedups)))
 
 
 def benchmark_speedup_at_k(

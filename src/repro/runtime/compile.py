@@ -822,6 +822,7 @@ def _c_alloc_f(c: Compiler, e: ast.Call):
 
     def run(env, ctx):
         n = _alloc_guard(f(env, ctx))
+        ctx.charge_alloc(8.0 * n)
         ctx.cost += 0.5 * n
         return Array.zeros(n, "float")
 
@@ -834,6 +835,7 @@ def _c_alloc_i(c: Compiler, e: ast.Call):
 
     def run(env, ctx):
         n = _alloc_guard(f(env, ctx))
+        ctx.charge_alloc(8.0 * n)
         ctx.cost += 0.5 * n
         return Array.zeros(n, "int")
 
@@ -849,6 +851,7 @@ def _c_alloc2f(c: Compiler, e: ast.Call):
         r = _alloc_guard(f0(env, ctx))
         cc = _alloc_guard(f1(env, ctx))
         _alloc_guard(r * cc)
+        ctx.charge_alloc(8.0 * r * cc)
         ctx.cost += 0.5 * r * cc
         return Array.zeros2d(r, cc, "float")
 
@@ -864,6 +867,7 @@ def _c_alloc2i(c: Compiler, e: ast.Call):
         r = _alloc_guard(f0(env, ctx))
         cc = _alloc_guard(f1(env, ctx))
         _alloc_guard(r * cc)
+        ctx.charge_alloc(8.0 * r * cc)
         ctx.cost += 0.5 * r * cc
         return Array.zeros2d(r, cc, "int")
 
@@ -876,6 +880,7 @@ def _c_copy(c: Compiler, e: ast.Call):
 
     def run(env, ctx):
         a = f(env, ctx)
+        ctx.charge_alloc(8.0 * len(a.data))
         ctx.cost += 1.0 * len(a.data)
         _touch_whole_array(ctx, a, write=False)
         return a.copy()

@@ -9,7 +9,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, Optional
 
-from ..lang.errors import FuelExhausted
+from ..faults import inject
+from ..lang.errors import FuelExhausted, MemoryExhausted
 from .machine import Machine
 from .tracer import Tracer
 
@@ -39,6 +40,7 @@ class ExecCtx:
         "extra_units", "trace", "protection", "crit_units",
         "parallel_adjust", "in_parallel",
         "gpu_thread", "gpu_block", "gpu_block_dim", "gpu_grid_dim",
+        "mem_budget", "mem_used",
     )
 
     def __init__(
@@ -65,6 +67,16 @@ class ExecCtx:
         self.gpu_block = 0
         self.gpu_block_dim = 1
         self.gpu_grid_dim = 1
+        # memory budget in simulated bytes; allocations charge against it
+        # (infinite unless a fault plan grants this context a tiny budget,
+        # which makes the next allocation simulate a node OOM)
+        self.mem_budget = float("inf")
+        self.mem_used = 0.0
+        if inject.ACTIVE is not None:
+            rule = inject.ACTIVE.fire("runtime.mem.budget",
+                                      type(rt).__name__)
+            if rule is not None:
+                self.mem_budget = rule.param if rule.param > 0 else 64.0
 
     def check_fuel(self) -> None:
         """Raise when the interpreter work budget is exhausted.
@@ -76,6 +88,21 @@ class ExecCtx:
             raise FuelExhausted(
                 f"execution exceeded the work budget ({int(self.fuel)} op units); "
                 "treating as a harness timeout"
+            )
+
+    def charge_alloc(self, nbytes: float) -> None:
+        """Charge an allocation against the memory budget.
+
+        Budgets are infinite in normal operation; a fault plan can grant
+        a context a small budget so the next ``alloc_*`` raises
+        :class:`MemoryExhausted` — the simulated node-OOM fault.
+        """
+        self.mem_used += nbytes
+        if self.mem_used > self.mem_budget:
+            raise MemoryExhausted(
+                f"allocation of {int(nbytes)} bytes exceeded the "
+                f"{int(self.mem_budget)}-byte memory budget "
+                "(simulated node OOM)"
             )
 
     def clock_units(self, threads: int = 1) -> float:

@@ -28,6 +28,8 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from ..faults import inject
+from ..faults.inject import FaultInjected
 from ..lang.errors import GPUFault
 from .compile import CompiledProgram
 from .context import ExecCtx
@@ -95,6 +97,13 @@ def launch(
     costs = np.zeros(n_threads)
     ret = None
     try:
+        if inject.ACTIVE is not None:
+            rule = inject.ACTIVE.fire("runtime.gpu.abort",
+                                      f"{dialect}:{kernel}")
+            if rule is not None:
+                raise FaultInjected(
+                    "runtime.gpu.abort",
+                    f"injected {dialect} kernel abort in {kernel!r}")
         for tid in range(n_threads):
             tracer.begin_iteration(tid)
             ctx.gpu_block = tid // block_size

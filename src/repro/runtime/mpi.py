@@ -24,10 +24,12 @@ thread scheduling.  Simulated time = max over ranks of the final clock.
 from __future__ import annotations
 
 import threading
+import time
 from collections import defaultdict, deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..faults import inject
 from ..lang.errors import DeadlockError, MiniParError, MPIUsageError, RuntimeFailure
 from .compile import CompiledProgram, PForInfo
 from .context import ExecCtx
@@ -168,9 +170,28 @@ class MPIRankRuntime(BaseRuntime):
             now = self._clock(ctx)
             # sender pays an injection overhead; message lands after travel
             ctx.extra_units += 0.3 * travel
-            w.queues[(self.rank, dest, tag)].append(
-                (deep_copy_value(value), now + travel)
-            )
+            msg = (deep_copy_value(value), now + travel)
+            q = w.queues[(self.rank, dest, tag)]
+            if inject.ACTIVE is not None:
+                rule = inject.ACTIVE.fire(
+                    "runtime.mpi.msg", f"{self.rank}->{dest}#t{tag}")
+                if rule is not None:
+                    if rule.action == "drop":
+                        # lost on the wire: the receiver blocks until the
+                        # deadlock detector or host watchdog intervenes
+                        w.cond.notify_all()
+                        return
+                    if rule.action == "dup":
+                        q.append(msg)
+                        q.append((deep_copy_value(value), now + travel))
+                        w.cond.notify_all()
+                        return
+                    if rule.action == "reorder":
+                        # delivered ahead of earlier traffic on this channel
+                        q.appendleft(msg)
+                        w.cond.notify_all()
+                        return
+            q.append(msg)
             w.cond.notify_all()
 
     def _recv(self, ctx: ExecCtx, src, tag):
@@ -450,6 +471,7 @@ def run_mpi(
     work_scale: float = 1.0,
     fuel: Optional[int] = None,
     threads_per_rank: int = 0,
+    watchdog_timeout: float = 600.0,
 ) -> MPIRunResult:
     """Run ``kernel`` on ``nranks`` simulated ranks with replicated inputs.
 
@@ -457,6 +479,11 @@ def run_mpi(
     Inputs are deep-copied per rank (PCGBench MPI prompts state the data
     is replicated on every rank); rank 0's copies are returned for
     correctness checking.
+
+    ``watchdog_timeout`` bounds the host-side join on each rank thread:
+    a rank that is wedged (stalled outside the communication layer, so
+    the deadlock detector cannot see it) aborts the whole job with a
+    ``RuntimeFailure`` once the timeout elapses.
     """
     world = CommWorld(nranks, machine, work_scale)
     rank_args: List[List[object]] = [
@@ -475,6 +502,14 @@ def run_mpi(
 
     def rank_main(r: int) -> None:
         try:
+            if inject.ACTIVE is not None:
+                rule = inject.ACTIVE.fire("runtime.mpi.stall", f"rank{r}")
+                if rule is not None:
+                    # wedged outside the communication layer: invisible to
+                    # the deadlock detector, only the watchdog can act
+                    time.sleep(rule.param if rule.param > 0 else 2.0)
+                    with world.cond:
+                        world.check_abort()
             returns[r] = program.run_kernel(kernel, ctxs[r], rank_args[r])
         except _Abort:
             errors[r] = None
@@ -496,8 +531,8 @@ def run_mpi(
         for t in threads:
             t.start()
         for t in threads:
-            t.join(timeout=600.0)
-            if t.is_alive():  # pragma: no cover - watchdog
+            t.join(timeout=watchdog_timeout)
+            if t.is_alive():
                 with world.cond:
                     world.abort(RuntimeFailure("MPI job wedged (host watchdog)"))
 

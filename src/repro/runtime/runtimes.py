@@ -23,6 +23,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..faults import inject
 from ..lang.errors import DataRaceError, RuntimeFailure, TrapError
 from .compile import LamClosure, PForInfo
 from .context import ExecCtx
@@ -283,6 +284,15 @@ class OpenMPRuntime(BaseRuntime):
         n_crit = int(np.count_nonzero(crits))
         par_costs = costs - crits
         scale = ctx.work_scale
+        straggler_units = 0.0
+        if inject.ACTIVE is not None:
+            rule = inject.ACTIVE.fire("runtime.omp.stall", pf.where)
+            if rule is not None:
+                # one thread wedged at the implicit barrier: the whole
+                # team idles for `param` simulated seconds (deterministic
+                # timing perturbation — feeds graceful degradation)
+                stall_s = rule.param if rule.param > 0 else 1.0
+                straggler_units = stall_s / ctx.machine.cpu.cycle
         for t in self.thread_counts:
             eff_t = min(t, cap) if cap is not None else t
             region = self._region_time(
@@ -290,6 +300,8 @@ class OpenMPRuntime(BaseRuntime):
                 pf.schedule, len(pf.reductions),
             )
             prev = ctx.parallel_adjust.get(t, 0.0)
+            if t > 1:
+                region += straggler_units
             ctx.parallel_adjust[t] = prev + region - work * scale
 
     def _region_time(

@@ -97,11 +97,16 @@ class Array:
         return f"Array({self.elem}, shape={self.shape})"
 
 
+#: simulated bytes per array element — shared by the communication cost
+#: model (`nbytes`) and the per-ExecCtx allocation budget (`charge_alloc`)
+BYTES_PER_ELEM = 8
+
+
 def nbytes(value: Union[Scalar, Array]) -> int:
     """Approximate wire size of a value, for the communication cost model."""
     if isinstance(value, Array):
-        return 8 * len(value.data)
-    return 8
+        return BYTES_PER_ELEM * len(value.data)
+    return BYTES_PER_ELEM
 
 
 def deep_copy_value(value: Union[Scalar, Array]) -> Union[Scalar, Array]:

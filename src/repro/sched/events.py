@@ -52,6 +52,10 @@ class WorkerCrashed:
     worker: int
     task_id: Optional[str]
     detail: str
+    #: "crash" (died on its own) or "timeout" (killed by the parent's
+    #: wall-clock deadline — an infrastructure fault, distinct from a
+    #: sample exhausting its fuel budget inside the worker)
+    kind: str = "crash"
 
 
 @dataclass(frozen=True)
@@ -110,6 +114,10 @@ class Telemetry:
     stage_seconds: Dict[str, float] = field(default_factory=dict)
     busy_seconds: float = 0.0
     crashes: int = 0
+    #: subset of ``crashes`` that were wall-clock deadline kills — the
+    #: infrastructure timeouts, reported apart from sample ``timeout``
+    #: statuses (which mean the sample itself hung)
+    infra_timeouts: int = 0
     retries: int = 0
     workers: int = 0
     wall_seconds: float = 0.0
@@ -130,6 +138,8 @@ class Telemetry:
             self.diagnostics += event.diagnostics
         elif isinstance(event, WorkerCrashed):
             self.crashes += 1
+            if event.kind == "timeout":
+                self.infra_timeouts += 1
         elif isinstance(event, StageFinished):
             self.stage_seconds[event.stage] = event.seconds
         elif isinstance(event, ProgressSnapshot):

@@ -19,10 +19,14 @@ Two persistence layers, both keyed by content-hash task ids from
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 from pathlib import Path
 from typing import Dict, Optional, Tuple
+
+from ..faults import inject
+from ..faults.inject import FaultInjected
 
 #: bump when the journal line format changes; mismatched journals are
 #: discarded (recomputed), never crashed on.
@@ -41,49 +45,71 @@ class Journal:
     def load(self, run_key: str) -> Dict[str, Dict[str, object]]:
         """Replay the journal; returns task id → result payload.
 
-        Corrupt trailing lines (a run killed mid-write) are ignored, as is
-        the whole file when the header is missing or belongs to a
-        different run configuration.
+        A record is *committed* iff its line is newline-terminated: a run
+        killed mid-write (at any byte offset of the record) leaves a torn
+        tail after the last newline, which is ignored here and truncated
+        by the next :meth:`start`.  The whole file is ignored when the
+        header is missing or belongs to a different run configuration.
         """
         if not self.path.exists():
             return {}
         results: Dict[str, Dict[str, object]] = {}
         header_ok = False
-        with self.path.open("r", encoding="utf-8") as fh:
-            for line in fh:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                except json.JSONDecodeError:
-                    continue            # torn write at kill time
-                if not isinstance(record, dict):
-                    continue
-                if record.get("kind") == "header":
-                    header_ok = (record.get("run_key") == run_key
-                                 and record.get("version") == JOURNAL_VERSION)
-                    continue
-                if not header_ok:
-                    continue
-                task_id = record.get("task")
-                payload = record.get("result")
-                if isinstance(task_id, str) and isinstance(payload, dict):
-                    results[task_id] = payload
+        text = self.path.read_text(encoding="utf-8")
+        committed, newline, _torn_tail = text.rpartition("\n")
+        if not newline:
+            return {}
+        for line in committed.split("\n"):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue                # mid-file corruption: skip the line
+            if not isinstance(record, dict):
+                continue
+            if record.get("kind") == "header":
+                header_ok = (record.get("run_key") == run_key
+                             and record.get("version") == JOURNAL_VERSION)
+                continue
+            if not header_ok:
+                continue
+            task_id = record.get("task")
+            payload = record.get("result")
+            if isinstance(task_id, str) and isinstance(payload, dict):
+                results[task_id] = payload
         return results
 
     # -- writing ------------------------------------------------------------
 
     def start(self, run_key: str, fresh: bool = False) -> None:
         """Open for appending; (re)writes the header when starting fresh or
-        when the existing file does not match ``run_key``."""
+        when the existing file does not match ``run_key``.
+
+        Before appending, any torn tail (bytes after the last newline —
+        a record whose write was killed partway) is truncated so a new
+        record can never merge with half of an old one."""
         self.path.parent.mkdir(parents=True, exist_ok=True)
         reset = fresh or not self._has_header(run_key)
+        if not reset:
+            self._truncate_torn_tail()
         mode = "w" if reset else "a"
         self._fh = self.path.open(mode, encoding="utf-8")
         if reset:
             self._write({"kind": "header", "version": JOURNAL_VERSION,
                          "run_key": run_key})
+
+    def _truncate_torn_tail(self) -> None:
+        try:
+            with self.path.open("r+b") as fh:
+                data = fh.read()
+                if not data or data.endswith(b"\n"):
+                    return
+                keep = data.rfind(b"\n") + 1   # 0 when no newline at all
+                fh.truncate(keep)
+        except OSError:                         # pragma: no cover - defensive
+            pass
 
     def _has_header(self, run_key: str) -> bool:
         if not self.path.exists():
@@ -107,7 +133,20 @@ class Journal:
     def _write(self, record: Dict[str, object]) -> None:
         # flush per line: a killed *process* loses nothing (the OS holds the
         # page); torn lines from a killed machine are skipped by load().
-        self._fh.write(json.dumps(record) + "\n")
+        line = json.dumps(record) + "\n"
+        if inject.ACTIVE is not None:
+            rule = inject.ACTIVE.fire("sched.journal.torn_write",
+                                      str(record.get("task", "header")))
+            if rule is not None:
+                frac = rule.param if 0.0 < rule.param < 1.0 else 0.5
+                keep = max(1, int(len(line) * frac))
+                self._fh.write(line[:keep])    # no newline: uncommitted
+                self._fh.flush()
+                raise FaultInjected(
+                    "sched.journal.torn_write",
+                    f"journal write torn after {keep}/{len(line)} bytes",
+                    transient=False)
+        self._fh.write(line)
         self._fh.flush()
 
     def close(self) -> None:
@@ -131,7 +170,14 @@ class Journal:
 
 
 class SampleCache:
-    """Content-addressed, cross-run store of per-task results."""
+    """Content-addressed, cross-run store of per-task results.
+
+    Entries are wrapped with a sha256 checksum of the payload, so any
+    on-disk corruption — truncation, a flipped byte, a stray editor —
+    turns into a cache *miss* (the task recomputes and rewrites) rather
+    than a silently-wrong result flowing into metrics.  Entries from the
+    pre-checksum format are likewise treated as misses.
+    """
 
     def __init__(self, root: Path | str):
         self.root = Path(root)
@@ -139,23 +185,46 @@ class SampleCache:
     def _path(self, task_id: str) -> Path:
         return self.root / task_id[:2] / f"{task_id}.json"
 
+    @staticmethod
+    def _digest(payload: Dict[str, object]) -> str:
+        canonical = json.dumps(payload, sort_keys=True)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
     def get(self, task_id: str) -> Optional[Dict[str, object]]:
         path = self._path(task_id)
         try:
-            payload = json.loads(path.read_text(encoding="utf-8"))
+            wrapper = json.loads(path.read_text(encoding="utf-8"))
         except (OSError, json.JSONDecodeError):
             return None
-        return payload if isinstance(payload, dict) else None
+        if not isinstance(wrapper, dict):
+            return None
+        payload = wrapper.get("payload")
+        if not isinstance(payload, dict):
+            return None
+        if wrapper.get("sha256") != self._digest(payload):
+            return None                  # bit rot / torn write: recompute
+        return payload
 
     def put(self, task_id: str, payload: Dict[str, object]) -> None:
         path = self._path(task_id)
         path.parent.mkdir(parents=True, exist_ok=True)
+        data = json.dumps({"sha256": self._digest(payload),
+                           "payload": payload})
+        if inject.ACTIVE is not None:
+            rule = inject.ACTIVE.fire("sched.cache.truncate", task_id)
+            if rule is not None:
+                data = data[: max(1, len(data) // 2)]
+            rule = inject.ACTIVE.fire("sched.cache.bitflip", task_id)
+            if rule is not None:
+                pos = len(data) // 2
+                flipped = chr(ord(data[pos]) ^ 0x01)
+                data = data[:pos] + flipped + data[pos + 1:]
         tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(payload), encoding="utf-8")
+        tmp.write_text(data, encoding="utf-8")
         os.replace(tmp, path)       # atomic: concurrent runs never see torn files
 
     def __contains__(self, task_id: str) -> bool:
-        return self._path(task_id).exists()
+        return self.get(task_id) is not None
 
 
 def journal_path_for(root: Path | str, llm_name: str, num_samples: int,

@@ -212,7 +212,9 @@ def assemble(plan: Plan, results: Dict[str, Dict[str, object]]) -> EvalRun:
             payload = results[slot.task_id]
             times = payload.get("times") or {}
             record.samples.append(SampleRecord(
-                status=str(payload.get("status", "runtime_error")),
+                # a payload with no status means the infrastructure lost
+                # the result — a system_error, never blamed on the model
+                status=str(payload.get("status", "system_error")),
                 intended=slot.intended,
                 detail=str(payload.get("detail", ""))[:DETAIL_LIMIT],
                 times={int(k): v for k, v in times.items()},

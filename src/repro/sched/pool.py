@@ -27,11 +27,13 @@ task it was told about.
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
 import queue as stdlib_queue
 import time
 from collections import deque
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..faults import inject
 from .events import (
     EmitFn,
     ProgressSnapshot,
@@ -98,8 +100,16 @@ def _worker_main(worker_id: int, init_fn: Optional[Callable],
         if item is None:
             result_q.put(("bye", worker_id, None, None, 0.0))
             return
-        task_id, payload = item
+        task_id, attempt, payload = item
         result_q.put(("start", worker_id, task_id, None, 0.0))
+        if inject.ACTIVE is not None:
+            # fork-inherited injector: keys carry the attempt index so a
+            # kill rule matching "#a0" takes down only the first dispatch
+            # and the requeued attempt survives on the replacement worker
+            rule = inject.ACTIVE.fire("sched.worker.kill",
+                                      f"{task_id}#a{attempt}")
+            if rule is not None:
+                os._exit(17)
         began = time.perf_counter()
         try:
             result = work_fn(ctx, payload)
@@ -122,7 +132,8 @@ class WorkerPool:
                  max_retries: int = 2,
                  queue_bound: Optional[int] = None,
                  emit: Optional[EmitFn] = None,
-                 max_crashes: Optional[int] = None):
+                 max_crashes: Optional[int] = None,
+                 validate: Optional[Callable[[dict, object], bool]] = None):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
@@ -131,6 +142,11 @@ class WorkerPool:
         self.init_args = init_args
         self.task_timeout = task_timeout
         self.max_retries = max_retries
+        #: optional result validator ``(task_payload, result) -> bool``;
+        #: a result that fails validation (e.g. corrupted on the result
+        #: channel) is treated exactly like a raised exception: requeued
+        #: up to the retry budget, never reported to ``on_result``
+        self.validate = validate
         self.queue_bound = queue_bound or max(2 * jobs, 4)
         self.emit = emit or (lambda event: None)
         self.max_crashes = max_crashes if max_crashes is not None \
@@ -194,7 +210,7 @@ class WorkerPool:
                 if tid in results or tid in failures:
                     continue
                 try:
-                    task_q.put_nowait((tid, payloads[tid]))
+                    task_q.put_nowait((tid, attempts[tid], payloads[tid]))
                 except stdlib_queue.Full:
                     pending.appendleft(tid)
                     return
@@ -206,7 +222,7 @@ class WorkerPool:
             outstanding.discard(tid)
             self.emit(TaskFinished(
                 task_id=tid, kind=payloads[tid].get("kind", ""),
-                source=SOURCE_FAILED, status="", worker=-1,
+                source=SOURCE_FAILED, status="system_error", worker=-1,
                 duration=0.0, attempts=attempts[tid]))
 
         def retry_or_fail(tid: str, detail: str) -> None:
@@ -216,11 +232,13 @@ class WorkerPool:
             else:
                 record_failure(tid, detail)
 
-        def on_worker_death(wid: int, detail: str) -> None:
+        def on_worker_death(wid: int, detail: str,
+                            kind: str = "crash") -> None:
             nonlocal crashes, next_wid
             crashes += 1
             tid = running.pop(wid, (None, 0.0))[0]
-            self.emit(WorkerCrashed(worker=wid, task_id=tid, detail=detail))
+            self.emit(WorkerCrashed(worker=wid, task_id=tid, detail=detail,
+                                    kind=kind))
             procs.pop(wid, None)
             if tid is not None and tid not in results:
                 retry_or_fail(tid, detail)
@@ -253,6 +271,18 @@ class WorkerPool:
                             kind=payloads[tid].get("kind", ""), worker=wid))
                     elif kind == "done":
                         running.pop(wid, None)
+                        if inject.ACTIVE is not None and inject.ACTIVE.fire(
+                                "sched.result.corrupt", tid) is not None:
+                            body = {"__corrupted__": True}
+                        if self.validate is not None \
+                                and tid not in results \
+                                and tid not in failures \
+                                and not self.validate(payloads[tid], body):
+                            retry_or_fail(
+                                tid, "result payload failed validation "
+                                     "(corrupted on the result channel)")
+                            snapshot()
+                            continue
                         outstanding.discard(tid)
                         if tid not in results and tid not in failures:
                             results[tid] = body
@@ -294,7 +324,9 @@ class WorkerPool:
                             proc.join(timeout=5.0)
                         on_worker_death(
                             wid, f"task exceeded {self.task_timeout:.0f}s "
-                                 "timeout")
+                                 "wall-clock timeout (infrastructure, "
+                                 "unlike a fuel-budget sample timeout)",
+                            kind="timeout")
                 if crashes > self.max_crashes:
                     for tid in list(outstanding) + list(pending):
                         if tid not in results and tid not in failures:

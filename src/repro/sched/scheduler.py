@@ -31,7 +31,11 @@ from .events import (
 from .journal import Journal, SampleCache
 from .plan import assemble, build_plan
 from .pool import WorkerPool
-from .worker import execute_task, failure_payload, init_harness
+from .worker import execute_task, failure_payload, init_harness, valid_result
+
+#: statuses that are never journaled or cached: the infrastructure (not
+#: the sample) failed, so a resumed run must resample the task
+_TRANSIENT_STATUSES = frozenset({"system_error"})
 
 
 def run_scheduled(
@@ -79,6 +83,8 @@ def run_scheduled(
                 spec = plan.tasks.get(task_id)
                 if spec is None:        # journal entry from a stale plan
                     continue
+                if str(payload.get("status", "")) in _TRANSIENT_STATUSES:
+                    continue            # infra failure: resample, not replay
                 results[task_id] = payload
                 sink(TaskFinished(
                     task_id=task_id, kind=spec.kind, source=SOURCE_JOURNAL,
@@ -108,6 +114,8 @@ def run_scheduled(
 
         if remaining:
             def on_result(task_id: str, payload: dict) -> None:
+                if str(payload.get("status", "")) in _TRANSIENT_STATUSES:
+                    return              # never persist infra failures
                 if journal is not None:
                     journal.append(task_id, payload)
                 if cache is not None:
@@ -117,7 +125,7 @@ def run_scheduled(
                 jobs=jobs, work_fn=execute_task, init_fn=init_harness,
                 init_args=(runner, plan.bench_ptypes, plan.bench_models),
                 task_timeout=task_timeout, max_retries=max_retries,
-                emit=sink)
+                emit=sink, validate=valid_result)
             executed, failures = pool.run(
                 [(tid, plan.tasks[tid].payload()) for tid in remaining],
                 on_result=on_result,

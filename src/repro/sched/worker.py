@@ -45,9 +45,27 @@ def execute_task(ctx, payload: Dict[str, object]) -> Dict[str, object]:
 def failure_payload(kind: str, detail: str) -> Dict[str, object]:
     """Placeholder result for a task whose retry budget is exhausted.
 
-    Never journaled or cached — a resumed run retries the task."""
+    The status is ``system_error`` — the *infrastructure* gave up, the
+    sample was never judged — so metric denominators exclude it instead
+    of depressing pass@k the way a (model-attributed) ``runtime_error``
+    would.  Never journaled or cached — a resumed run retries the task."""
     if kind == KIND_BASELINE:
         return {"baseline": None}
-    return {"status": "runtime_error",
+    return {"status": "system_error",
             "detail": f"scheduler: {detail}", "times": {},
             "diagnostics": []}
+
+
+def valid_result(task_payload: Dict[str, object], body: object) -> bool:
+    """Shape-check one worker result before it is accepted/journaled.
+
+    Guards the parent against results corrupted on the result channel: a
+    payload failing this check is requeued like a raised exception."""
+    if not isinstance(body, dict):
+        return False
+    if task_payload.get("kind") == KIND_BASELINE:
+        baseline = body.get("baseline", "missing")
+        return baseline is None or isinstance(baseline, (int, float))
+    return (isinstance(body.get("status"), str)
+            and isinstance(body.get("times", {}), dict)
+            and isinstance(body.get("detail", ""), str))

@@ -47,6 +47,24 @@ class TestCSV:
         assert float(sample0["t_n32_s"]) == 0.5
         assert sample0["exec_model"] == "openmp"
 
+    def test_resilience_statuses_export_like_any_other(self):
+        run = make_run()
+        run.prompts["reduce/sum/openmp"].samples.extend([
+            SampleRecord(status="degraded",
+                         detail="timing sweep fault-perturbed"),
+            SampleRecord(status="system_error",
+                         detail="scheduler: worker crash budget"),
+        ])
+        rows = list(csv.reader(io.StringIO(to_csv(run))))
+        header = rows[0]
+        samples = [dict(zip(header, r)) for r in rows[1:]]
+        statuses = {s["status"] for s in samples}
+        assert {"degraded", "system_error"} <= statuses
+        degraded = next(s for s in samples if s["status"] == "degraded")
+        # degraded records carry no times: every timing cell is empty
+        assert all(degraded[c] == "" for c in header
+                   if c.startswith("t_n"))
+
 
 class TestSummaryRows:
     def test_cells_present_only(self):

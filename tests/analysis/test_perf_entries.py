@@ -5,6 +5,7 @@ import pytest
 
 from repro.analysis.aggregate import (
     HEADLINE_N,
+    PERF_EXCLUDED_STATUSES,
     overall_parallel_efficiency,
     overall_parallel_speedup,
     perf_entries,
@@ -12,11 +13,13 @@ from repro.analysis.aggregate import (
 from repro.harness.evaluate import EvalRun, PromptRecord, SampleRecord
 
 
-def record(uid, exec_model, baseline, times_per_sample, ptype="reduce"):
+def record(uid, exec_model, baseline, times_per_sample, ptype="reduce",
+           statuses=None):
+    statuses = statuses or ["correct"] * len(times_per_sample)
     return PromptRecord(
         uid=uid, ptype=ptype, exec_model=exec_model, baseline=baseline,
-        samples=[SampleRecord(status="correct", times=t)
-                 for t in times_per_sample],
+        samples=[SampleRecord(status=s, times=t)
+                 for s, t in zip(statuses, times_per_sample)],
     )
 
 
@@ -47,6 +50,27 @@ class TestPerfEntries:
     def test_headline_n_table_covers_all_models(self):
         assert set(HEADLINE_N) == {
             "serial", "openmp", "kokkos", "mpi", "mpi+omp", "cuda", "hip"}
+
+    def test_unjudged_samples_leave_the_pool(self):
+        """system_error/degraded slots are dropped entirely (the pool
+        shrinks), not scored as 0-speedup failures the way a judged
+        wrong_answer (None time) is."""
+        rec = record("a", "openmp", 10.0,
+                     [{32: 2.0}, {}, {}, {}],
+                     statuses=["correct", "system_error", "degraded",
+                               "wrong_answer"])
+        (entry,) = perf_entries([rec], 32)
+        assert entry["times"] == [2.0, None]   # wrong_answer stays as None
+
+    def test_gpu_path_applies_the_same_exclusion(self):
+        rec = record("a", "cuda", 10.0, [{2048: 1.0}, {}],
+                     statuses=["correct", "system_error"])
+        (entry,) = perf_entries([rec], None)
+        assert entry["n"] == 2048
+        assert entry["times"] == [1.0]
+
+    def test_excluded_status_set(self):
+        assert PERF_EXCLUDED_STATUSES == {"system_error", "degraded"}
 
 
 class TestOverallHeadlines:

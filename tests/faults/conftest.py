@@ -1,0 +1,12 @@
+"""Shared guard: no test may leak a process-global injector."""
+
+import pytest
+
+from repro.faults import inject
+
+
+@pytest.fixture(autouse=True)
+def _no_injector_leak():
+    assert inject.installed() is None, "injector leaked into this test"
+    yield
+    assert inject.installed() is None, "test leaked an installed injector"

@@ -1,0 +1,197 @@
+"""Tests for the injector runtime: deterministic occurrence counting,
+scoping, match filters, the event log, and install/uninstall hygiene."""
+
+import threading
+
+import pytest
+
+from repro.faults import (
+    FaultInjected,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    inject,
+    injector,
+    install,
+    uninstall,
+)
+
+
+def _plan(*rules):
+    return FaultPlan(rules=tuple(rules))
+
+
+class TestFire:
+    def test_point_without_rules_is_free(self):
+        inj = FaultInjector(_plan(
+            FaultRule(point="harness.flake", action="raise")))
+        assert inj.fire("runtime.gpu.abort", "k") is None
+        # no counter advanced, no event recorded: the fast path is silent
+        assert inj.events == []
+
+    def test_occurrence_indices_select_the_nth_fire(self):
+        rule = FaultRule(point="harness.flake", action="raise",
+                         occurrences=(1,))
+        inj = FaultInjector(_plan(rule))
+        assert inj.fire("harness.flake", "k") is None          # n=0: skip
+        assert inj.fire("harness.flake", "k") is rule          # n=1: fire
+        assert inj.fire("harness.flake", "k") is None          # n=2: skip
+        assert [e.fired for e in inj.events] == [False, True, False]
+        assert [e.index for e in inj.events] == [0, 1, 2]
+
+    def test_occurrences_none_fires_every_time(self):
+        rule = FaultRule(point="harness.flake", action="raise",
+                         occurrences=None)
+        inj = FaultInjector(_plan(rule))
+        assert all(inj.fire("harness.flake") is rule for _ in range(4))
+
+    def test_counters_are_per_key(self):
+        rule = FaultRule(point="runtime.mpi.msg", action="drop")
+        inj = FaultInjector(_plan(rule))
+        assert inj.fire("runtime.mpi.msg", "0->1#t0") is rule   # n=0 fires
+        assert inj.fire("runtime.mpi.msg", "1->0#t0") is rule   # fresh key
+        assert inj.fire("runtime.mpi.msg", "0->1#t0") is None   # n=1
+
+    def test_match_is_substring_of_qualified_key(self):
+        rule = FaultRule(point="sched.worker.kill", action="kill",
+                         match="#a0", occurrences=None)
+        inj = FaultInjector(_plan(rule))
+        assert inj.fire("sched.worker.kill", "t1#a0") is rule
+        assert inj.fire("sched.worker.kill", "t1#a1") is None
+
+    def test_first_matching_rule_wins(self):
+        first = FaultRule(point="runtime.mpi.msg", action="drop",
+                          occurrences=None)
+        second = FaultRule(point="runtime.mpi.msg", action="dup",
+                           occurrences=None)
+        inj = FaultInjector(_plan(first, second))
+        assert inj.fire("runtime.mpi.msg", "k") is first
+
+
+class TestScopes:
+    def test_scope_qualifies_keys_for_match(self):
+        rule = FaultRule(point="harness.flake", action="raise",
+                         match="prompt-a", occurrences=None)
+        inj = FaultInjector(_plan(rule))
+        with inj.scope("prompt-a/12ab"):
+            assert inj.fire("harness.flake", "attempt") is rule
+        with inj.scope("prompt-b/34cd"):
+            assert inj.fire("harness.flake", "attempt") is None
+
+    def test_scope_counters_persist_across_reentry(self):
+        """A retried sample re-enters its scope and continues the count —
+        that is what lets a single-occurrence fault pass on retry."""
+        rule = FaultRule(point="harness.flake", action="raise",
+                         occurrences=(0,))
+        inj = FaultInjector(_plan(rule))
+        with inj.scope("s"):
+            assert inj.fire("harness.flake", "attempt") is rule
+        with inj.scope("s"):                        # the retry
+            assert inj.fire("harness.flake", "attempt") is None
+
+    def test_scopes_are_independent(self):
+        rule = FaultRule(point="harness.flake", action="raise",
+                         occurrences=(0,))
+        inj = FaultInjector(_plan(rule))
+        with inj.scope("one"):
+            assert inj.fire("harness.flake") is rule
+        with inj.scope("two"):
+            assert inj.fire("harness.flake") is rule
+
+    def test_scope_fired_tracks_current_scope(self):
+        rule = FaultRule(point="harness.flake", action="raise",
+                         occurrences=None)
+        inj = FaultInjector(_plan(rule))
+        with inj.scope("s"):
+            before = inj.scope_fired()
+            inj.fire("harness.flake")
+            inj.fire("harness.flake")
+            assert inj.scope_fired() - before == 2
+        with inj.scope("fresh"):
+            assert inj.scope_fired() == 0
+
+    def test_scope_is_thread_local(self):
+        rule = FaultRule(point="harness.flake", action="raise",
+                         occurrences=None)
+        inj = FaultInjector(_plan(rule))
+        seen = {}
+
+        def other():
+            # this thread never entered a scope: it counts at the root
+            inj.fire("harness.flake")
+            seen["fired"] = inj.scope_fired()
+
+        with inj.scope("main-scope"):
+            t = threading.Thread(target=other)
+            t.start()
+            t.join()
+            assert inj.scope_fired() == 0
+        assert seen["fired"] == 1
+
+
+class TestEventLog:
+    def test_canonical_log_is_interleaving_invariant(self):
+        rule = FaultRule(point="runtime.mpi.msg", action="drop",
+                         occurrences=(1,))
+        a = FaultInjector(_plan(rule))
+        b = FaultInjector(_plan(rule))
+        for key in ("x", "x", "y"):
+            a.fire("runtime.mpi.msg", key)
+        for key in ("y", "x", "x"):                 # different arrival order
+            b.fire("runtime.mpi.msg", key)
+        assert a.canonical_log() == b.canonical_log()
+
+    def test_fired_events_filters(self):
+        rule = FaultRule(point="harness.flake", action="raise",
+                         occurrences=(1,))
+        inj = FaultInjector(_plan(rule))
+        inj.fire("harness.flake")
+        inj.fire("harness.flake")
+        assert len(inj.events) == 2
+        fired = inj.fired_events()
+        assert len(fired) == 1 and fired[0].index == 1
+
+    def test_event_line_format(self):
+        rule = FaultRule(point="harness.flake", action="raise")
+        inj = FaultInjector(_plan(rule))
+        inj.fire("harness.flake", "attempt")
+        line = inj.events[0].line()
+        assert "FIRE" in line and "harness.flake" in line
+
+
+class TestInstall:
+    def test_injector_context_manager(self):
+        assert inject.installed() is None
+        with injector(_plan()) as inj:
+            assert inject.installed() is inj
+            assert inject.ACTIVE is inj
+        assert inject.installed() is None
+
+    def test_nested_install_rejected(self):
+        with injector(_plan()):
+            with pytest.raises(RuntimeError, match="already installed"):
+                install(_plan())
+
+    def test_uninstall_is_idempotent(self):
+        uninstall()
+        uninstall()
+        assert inject.installed() is None
+
+    def test_uninstalled_even_when_body_raises(self):
+        with pytest.raises(ValueError):
+            with injector(_plan()):
+                raise ValueError("boom")
+        assert inject.installed() is None
+
+
+class TestFaultInjected:
+    def test_defaults(self):
+        exc = FaultInjected("harness.flake")
+        assert exc.transient is True
+        assert exc.injected is True
+        assert "harness.flake" in str(exc)
+
+    def test_non_transient(self):
+        exc = FaultInjected("sched.journal.torn_write", "torn", False)
+        assert exc.transient is False
+        assert str(exc) == "torn"

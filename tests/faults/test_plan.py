@@ -1,0 +1,90 @@
+"""Tests for the fault-plan layer: registry, rule validation, seeded
+generation, and JSON persistence."""
+
+import pytest
+
+from repro.faults import INJECTION_POINTS, LAYERS, FaultPlan, FaultRule
+
+
+class TestRegistry:
+    def test_every_point_has_layer_actions_description(self):
+        for name, (layer, actions, desc) in INJECTION_POINTS.items():
+            assert layer in ("runtime", "harness", "sched"), name
+            assert actions, name
+            assert desc, name
+
+    def test_layers_partition_the_registry(self):
+        listed = [p for points in LAYERS.values() for p in points]
+        assert sorted(listed) == sorted(INJECTION_POINTS)
+
+    def test_all_three_layers_are_instrumented(self):
+        assert set(LAYERS) == {"runtime", "harness", "sched"}
+
+
+class TestFaultRule:
+    def test_unknown_point_rejected(self):
+        with pytest.raises(ValueError, match="unknown injection point"):
+            FaultRule(point="runtime.quantum.flip", action="drop")
+
+    def test_invalid_action_rejected(self):
+        with pytest.raises(ValueError, match="invalid action"):
+            FaultRule(point="runtime.mpi.msg", action="kill")
+
+    def test_occurrences_coerced_to_int_tuple(self):
+        rule = FaultRule(point="harness.flake", action="raise",
+                         occurrences=[1.0, 3])
+        assert rule.occurrences == (1, 3)
+
+    def test_occurrences_none_means_every(self):
+        rule = FaultRule(point="harness.flake", action="raise",
+                         occurrences=None)
+        assert rule.occurrences is None
+
+    def test_dict_round_trip(self):
+        rule = FaultRule(point="sched.worker.kill", action="kill",
+                         match="#a0", occurrences=(0, 2), param=1.5)
+        assert FaultRule.from_dict(rule.to_dict()) == rule
+
+
+class TestFaultPlan:
+    def test_json_round_trip(self):
+        plan = FaultPlan(rules=(
+            FaultRule(point="runtime.mpi.msg", action="drop"),
+            FaultRule(point="sched.journal.torn_write", action="torn",
+                      occurrences=None, param=0.25),
+        ), seed=9)
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_from_seed_is_deterministic(self):
+        assert FaultPlan.from_seed(5) == FaultPlan.from_seed(5)
+        assert FaultPlan.from_seed(5).to_json() == \
+            FaultPlan.from_seed(5).to_json()
+
+    def test_from_seed_draws_per_layer(self):
+        plan = FaultPlan.from_seed(3, layers=("runtime", "sched"),
+                                   rules_per_layer=4)
+        assert len(plan.rules) == 8
+        layers = {INJECTION_POINTS[r.point][0] for r in plan.rules}
+        assert layers <= {"runtime", "sched"}
+
+    def test_from_seed_unknown_layer_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault layer"):
+            FaultPlan.from_seed(1, layers=("kernelspace",))
+
+    def test_restricted_filters_by_layer(self):
+        plan = FaultPlan.from_seed(7)
+        sched_only = plan.restricted(("sched",))
+        assert sched_only.rules
+        assert all(INJECTION_POINTS[r.point][0] == "sched"
+                   for r in sched_only.rules)
+        assert plan.restricted(()).rules == ()
+
+    def test_by_point_groups_rules_in_order(self):
+        a = FaultRule(point="harness.flake", action="raise")
+        b = FaultRule(point="harness.flake", action="raise",
+                      occurrences=(1,))
+        c = FaultRule(point="runtime.gpu.abort", action="abort")
+        plan = FaultPlan(rules=(a, c, b))
+        grouped = plan.by_point()
+        assert grouped["harness.flake"] == (a, b)
+        assert grouped["runtime.gpu.abort"] == (c,)

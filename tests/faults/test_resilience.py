@@ -1,0 +1,161 @@
+"""The runner's resilience layer: transient retry with backoff, the
+system_error lane, and graceful degradation of fault-perturbed timing."""
+
+import pytest
+
+from repro.bench import all_problems, render_prompt
+from repro.faults import FaultPlan, FaultRule, injector
+from repro.harness import Runner
+
+OK_SERIAL = """
+kernel sum_of_elements(x: array<float>) -> float {
+    let total = 0.0;
+    for (i in 0..len(x)) {
+        total += x[i];
+    }
+    return total;
+}
+"""
+
+OK_OMP = """
+kernel sum_of_elements(x: array<float>) -> float {
+    let total = 0.0;
+    pragma omp parallel for reduction(+: total)
+    for (i in 0..len(x)) {
+        total += x[i];
+    }
+    return total;
+}
+"""
+
+WRONG = """
+kernel sum_of_elements(x: array<float>) -> float {
+    return 0.0;
+}
+"""
+
+# allocates a scratch array, so a tiny memory budget actually trips
+OK_ALLOC = """
+kernel sum_of_elements(x: array<float>) -> float {
+    let scratch = alloc_float(len(x));
+    let total = 0.0;
+    for (i in 0..len(x)) {
+        scratch[i] = x[i];
+        total += scratch[i];
+    }
+    return total;
+}
+"""
+
+
+def _plan(*rules):
+    return FaultPlan(rules=tuple(rules))
+
+
+def _prompt(model="serial"):
+    problem = next(p for p in all_problems()
+                   if p.name == "sum_of_elements")
+    return render_prompt(problem, model)
+
+
+@pytest.fixture()
+def runner():
+    return Runner(correctness_trials=2, retry_backoff=0.0)
+
+
+class TestTransientRetry:
+    def test_single_flake_is_retried_to_correct(self, runner):
+        rule = FaultRule(point="harness.flake", action="raise")
+        with injector(_plan(rule)) as inj:
+            result = runner.evaluate_sample(OK_SERIAL, _prompt())
+        assert result.status == "correct"
+        assert len(inj.fired_events()) == 1
+
+    def test_persistent_fault_exhausts_retry_budget(self, runner):
+        rule = FaultRule(point="harness.flake", action="raise",
+                         occurrences=None)
+        with injector(_plan(rule)):
+            result = runner.evaluate_sample(OK_SERIAL, _prompt())
+        assert result.status == "system_error"
+        assert "retry budget" in result.detail
+
+    def test_zero_retries_fails_on_first_flake(self):
+        runner = Runner(correctness_trials=2, transient_retries=0)
+        rule = FaultRule(point="harness.flake", action="raise")
+        with injector(_plan(rule)):
+            result = runner.evaluate_sample(OK_SERIAL, _prompt())
+        assert result.status == "system_error"
+
+    def test_clean_failures_are_not_retried(self, runner):
+        """A wrong answer with no fault fired is the model's fault and is
+        returned immediately, not resampled."""
+        rule = FaultRule(point="harness.flake", action="raise",
+                         occurrences=(7,))       # never reached
+        with injector(_plan(rule)) as inj:
+            result = runner.evaluate_sample(WRONG, _prompt())
+        assert result.status == "wrong_answer"
+        assert inj.fired_events() == []
+
+    def test_fault_perturbed_failure_is_retried(self, runner):
+        """An OOM injected mid-evaluation classifies as runtime_error,
+        but the fired fault marks the attempt tainted -> retry wins."""
+        rule = FaultRule(point="runtime.mem.budget", action="oom",
+                         param=16.0)
+        with injector(_plan(rule)) as inj:
+            result = runner.evaluate_sample(OK_ALLOC, _prompt())
+        assert result.status == "correct"
+        assert len(inj.fired_events()) == 1
+
+    def test_persistent_oom_is_a_system_error(self, runner):
+        rule = FaultRule(point="runtime.mem.budget", action="oom",
+                         occurrences=None, param=16.0)
+        with injector(_plan(rule)):
+            result = runner.evaluate_sample(OK_ALLOC, _prompt())
+        assert result.status == "system_error"
+
+
+class TestGracefulDegradation:
+    def test_timing_fault_degrades_to_correctness_only(self, runner):
+        rule = FaultRule(point="harness.timing", action="fault")
+        with injector(_plan(rule)):
+            result = runner.evaluate_sample(OK_SERIAL, _prompt(),
+                                            with_timing=True)
+        assert result.status == "degraded"
+        assert result.times == {}
+        assert "timing sweep" in result.detail
+
+    def test_runtime_fault_during_sweep_degrades(self, runner):
+        """An OpenMP straggler fired during the measurement sweep taints
+        the times; the record degrades rather than reporting them."""
+        rule = FaultRule(point="runtime.omp.stall", action="stall",
+                         occurrences=(2,), param=0.5)
+        with injector(_plan(rule)) as inj:
+            result = runner.evaluate_sample(OK_OMP, _prompt("openmp"),
+                                            with_timing=True)
+        assert result.status == "degraded"
+        assert result.times == {}
+        assert inj.fired_events()
+
+    def test_correctness_only_run_is_not_degraded(self, runner):
+        rule = FaultRule(point="harness.timing", action="fault")
+        with injector(_plan(rule)):
+            result = runner.evaluate_sample(OK_SERIAL, _prompt())
+        assert result.status == "correct"
+
+
+class TestFastPath:
+    def test_no_injector_timing_run_unchanged(self, runner):
+        bare = runner.evaluate_sample(OK_SERIAL, _prompt(),
+                                      with_timing=True)
+        with injector(_plan()):
+            shadowed = runner.evaluate_sample(OK_SERIAL, _prompt(),
+                                              with_timing=True)
+        assert bare.status == shadowed.status == "correct"
+        assert bare.times == shadowed.times
+
+    def test_retry_params_do_not_change_fingerprint(self):
+        from repro.sched.plan import runner_fingerprint
+
+        a = Runner(transient_retries=0)
+        b = Runner(transient_retries=5, retry_backoff=0.5)
+        assert runner_fingerprint(a) == runner_fingerprint(b)

@@ -4,6 +4,7 @@ every terminal status, plus an exact EvalRun JSON round trip."""
 import pytest
 
 from repro.bench import PCGBench, all_problems, render_prompt
+from repro.faults import FaultPlan, FaultRule, injector
 from repro.harness import FORMAT_VERSION, EvalRun, Runner, evaluate_model
 from repro.models import load_model
 
@@ -80,6 +81,37 @@ def test_every_terminal_status_is_covered():
     assert {m[3] for m in MATRIX} == {
         "correct", "build_error", "not_parallel", "static_fail",
         "runtime_error", "timeout", "wrong_answer"}
+
+
+#: the two resilience lanes need an installed injector to be reachable:
+#: (label, fault rule, with_timing, expected status)
+FAULT_MATRIX = [
+    ("system_error",
+     FaultRule(point="harness.flake", action="raise", occurrences=None),
+     False, "system_error"),
+    ("degraded",
+     FaultRule(point="harness.timing", action="fault"),
+     True, "degraded"),
+]
+
+
+@pytest.mark.parametrize("label,rule,with_timing,expected",
+                         FAULT_MATRIX, ids=[m[0] for m in FAULT_MATRIX])
+def test_resilience_lane_status(runner, label, rule, with_timing, expected):
+    problem = next(p for p in all_problems() if p.name == "sum_of_elements")
+    prompt = render_prompt(problem, "serial")
+    with injector(FaultPlan(rules=(rule,))):
+        result = runner.evaluate_sample(_OK_SERIAL, prompt,
+                                        with_timing=with_timing)
+    assert result.status == expected
+
+
+def test_full_documented_status_set():
+    """The SampleRecord docstring's status vocabulary, in one place."""
+    assert {m[3] for m in MATRIX} | {m[3] for m in FAULT_MATRIX} == {
+        "correct", "build_error", "not_parallel", "static_fail",
+        "runtime_error", "timeout", "wrong_answer",
+        "system_error", "degraded"}
 
 
 def test_racy_sample_without_screen_is_runtime_error():

@@ -1,0 +1,70 @@
+"""Denominator semantics of the resilience lanes: system_error samples
+are excluded from every metric, degraded samples count for pass@k and
+build@k but carry no performance evidence."""
+
+import pytest
+
+from repro.metrics import (
+    BUILT_STATUSES,
+    CORRECT_STATUSES,
+    INFRA_STATUSES,
+    judged,
+    prompt_build_at_k,
+    prompt_pass_at_k,
+    prompt_speedup_at_k,
+)
+
+
+class TestJudged:
+    def test_drops_only_infra_statuses(self):
+        statuses = ["correct", "system_error", "wrong_answer", "degraded"]
+        assert judged(statuses) == ["correct", "wrong_answer", "degraded"]
+
+    def test_status_sets_are_consistent(self):
+        assert "degraded" in CORRECT_STATUSES
+        assert "degraded" in BUILT_STATUSES
+        assert INFRA_STATUSES == {"system_error"}
+        assert not INFRA_STATUSES & (CORRECT_STATUSES | BUILT_STATUSES)
+
+
+class TestPassAtKExclusion:
+    def test_system_error_does_not_depress_pass_at_1(self):
+        # judged pool: 1 correct of 2 -> 0.5, regardless of infra noise
+        with_infra = prompt_pass_at_k(
+            ["correct", "wrong_answer", "system_error", "system_error"], 1)
+        without = prompt_pass_at_k(["correct", "wrong_answer"], 1)
+        assert with_infra == without == 0.5
+
+    def test_exclusion_shrinking_pool_below_k_clamps(self):
+        # 4 raw samples, 1 judged: k=4 is the caller's honest k, the
+        # infra losses clamp it to the single judged sample
+        statuses = ["correct"] + ["system_error"] * 3
+        assert prompt_pass_at_k(statuses, 4) == 1.0
+
+    def test_all_infra_contributes_zero(self):
+        assert prompt_pass_at_k(["system_error"] * 3, 2) == 0.0
+
+    def test_raw_pool_smaller_than_k_still_raises(self):
+        with pytest.raises(ValueError):
+            prompt_pass_at_k(["correct", "wrong_answer"], 3)
+
+    def test_degraded_counts_as_correct(self):
+        assert prompt_pass_at_k(["degraded", "wrong_answer"], 1) == 0.5
+
+    def test_degraded_counts_as_built(self):
+        assert prompt_build_at_k(["degraded", "build_error"], 1) == 0.5
+        assert prompt_build_at_k(["system_error", "degraded"], 1) == 1.0
+
+
+class TestSpeedupExclusion:
+    def test_empty_judged_pool_is_zero(self):
+        # every sample dropped as system_error/degraded by the caller
+        assert prompt_speedup_at_k(8.0, [], 4) == 0.0
+
+    def test_k_clamped_to_remaining_pool(self):
+        # one judged sample left; k=4 must not raise
+        assert prompt_speedup_at_k(8.0, [2.0], 4) == 4.0
+
+    def test_failures_still_count_as_zero_speedup(self):
+        # a judged failure (None time) stays in the pool at 0 speedup
+        assert prompt_speedup_at_k(8.0, [None, 2.0], 1) == 2.0

@@ -1,5 +1,10 @@
 """Tests for the JSONL journal and the content-addressed sample cache."""
 
+import json
+
+import pytest
+
+from repro.faults import FaultInjected, FaultPlan, FaultRule, injector
 from repro.sched import Journal, SampleCache, journal_path_for
 
 
@@ -71,6 +76,67 @@ class TestJournal:
         assert path.name.endswith(".journal.jsonl")
 
 
+def _reference_journal(tmp_path):
+    """Header + two records; returns (path, raw bytes, record task ids)."""
+    path = tmp_path / "ref.jsonl"
+    journal = Journal(path)
+    journal.start("key1", fresh=True)
+    journal.append("t1", {"status": "correct"})
+    journal.append("t2", {"status": "wrong_answer", "times": {"2": 0.5}})
+    journal.close()
+    return path, path.read_bytes(), ["t1", "t2"]
+
+
+class TestKillAtEveryByteOffset:
+    """Satellite: simulate a writer killed at *every* byte offset of the
+    journal; recovery must yield exactly the newline-committed prefix."""
+
+    def test_load_recovers_exactly_the_committed_prefix(self, tmp_path):
+        _, data, tasks = _reference_journal(tmp_path)
+        for cut in range(len(data) + 1):
+            torn = tmp_path / "torn.jsonl"
+            torn.write_bytes(data[:cut])
+            committed_lines = data[:cut].count(b"\n")
+            # record i needs the header plus i+1 newline-terminated lines
+            expected = [t for i, t in enumerate(tasks)
+                        if committed_lines >= i + 2]
+            loaded = Journal(torn).load("key1")
+            assert list(loaded) == expected, f"kill at byte {cut}"
+
+    def test_resume_truncates_the_torn_tail(self, tmp_path):
+        _, data, _ = _reference_journal(tmp_path)
+        # cut mid-way through the last record (after its first byte)
+        cut = data.rfind(b'{"task": "t2"') + 5
+        torn = tmp_path / "torn.jsonl"
+        torn.write_bytes(data[:cut])
+        journal = Journal(torn)
+        journal.start("key1")                  # resume: append mode
+        journal.append("t3", {"status": "correct"})
+        journal.close()
+        loaded = Journal(torn).load("key1")
+        # t2's torn half is gone, not merged with t3's record
+        assert list(loaded) == ["t1", "t3"]
+        for line in torn.read_text().splitlines():
+            json.loads(line)                   # every line is whole again
+
+
+class TestTornWriteInjection:
+    def test_injected_torn_write_is_uncommitted_and_fatal(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        journal = Journal(path)
+        journal.start("key1", fresh=True)
+        journal.append("t1", {"status": "correct"})
+        rule = FaultRule(point="sched.journal.torn_write", action="torn",
+                         match="t2", param=0.5)
+        with injector(FaultPlan(rules=(rule,))):
+            with pytest.raises(FaultInjected) as exc:
+                journal.append("t2", {"status": "correct"})
+        assert exc.value.transient is False
+        journal.close()
+        assert not path.read_bytes().endswith(b"\n")   # torn tail on disk
+        assert list(Journal(path).load("key1")) == ["t1"]
+
+
 class TestSampleCache:
     def test_get_put_round_trip(self, tmp_path):
         cache = SampleCache(tmp_path)
@@ -92,3 +158,38 @@ class TestSampleCache:
         cache.put(tid, {"ok": True})
         (tmp_path / "ef" / f"{tid}.json").write_text("{nope")
         assert cache.get(tid) is None
+
+    def test_flipped_byte_fails_the_checksum(self, tmp_path):
+        cache = SampleCache(tmp_path)
+        tid = "ab" + "3" * 62
+        cache.put(tid, {"status": "correct", "detail": "fine"})
+        path = tmp_path / "ab" / f"{tid}.json"
+        text = path.read_text().replace("correct", "cOrrect")
+        path.write_text(text)
+        assert cache.get(tid) is None
+        assert tid not in cache
+
+    def test_legacy_unwrapped_entry_is_a_miss(self, tmp_path):
+        cache = SampleCache(tmp_path)
+        tid = "cd" + "4" * 62
+        path = tmp_path / "cd" / f"{tid}.json"
+        path.parent.mkdir(parents=True)
+        path.write_text('{"status": "correct"}')   # pre-checksum format
+        assert cache.get(tid) is None
+
+    def test_injected_truncate_and_bitflip_become_misses(self, tmp_path):
+        plan = FaultPlan(rules=(
+            FaultRule(point="sched.cache.truncate", action="truncate",
+                      match="aa"),
+            FaultRule(point="sched.cache.bitflip", action="bitflip",
+                      match="bb"),
+        ))
+        cache = SampleCache(tmp_path)
+        truncated, flipped, clean = ("aa" + "5" * 62, "bb" + "6" * 62,
+                                     "cc" + "7" * 62)
+        with injector(plan):
+            for tid in (truncated, flipped, clean):
+                cache.put(tid, {"status": "correct"})
+        assert cache.get(truncated) is None
+        assert cache.get(flipped) is None
+        assert cache.get(clean) == {"status": "correct"}

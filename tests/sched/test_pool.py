@@ -7,6 +7,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.faults import FaultPlan, FaultRule, injector
 from repro.sched import SOURCE_FAILED, Telemetry, WorkerPool
 from repro.sched.events import WorkerCrashed, WorkerReplaced
 
@@ -111,3 +112,67 @@ class TestFaults:
         assert "timeout" in failures["stuck"]
         # the hang cost ~task_timeout, not the full 120s sleep
         assert time.monotonic() - began < 30.0
+
+    def test_deadline_kill_is_an_infra_timeout(self):
+        """A wall-clock kill is infrastructure, distinct from a sample's
+        own fuel-budget timeout: the crash event carries kind='timeout',
+        telemetry counts it, and the detail says so."""
+        tel = Telemetry()
+        tel.keep_events = True
+        pool = WorkerPool(jobs=2, work_fn=_work, init_fn=_init,
+                          init_args=("t",), task_timeout=1.0, max_retries=0,
+                          emit=tel)
+        _, failures = pool.run([("stuck", {"kind": "sample",
+                                           "action": "hang"})])
+        assert "infrastructure" in failures["stuck"]
+        assert tel.infra_timeouts == 1
+        kinds = [e.kind for e in tel.events if isinstance(e, WorkerCrashed)]
+        assert "timeout" in kinds
+
+    def test_exhausted_task_reports_system_error_status(self):
+        tel = Telemetry()
+        pool = WorkerPool(jobs=2, work_fn=_work, init_fn=_init,
+                          init_args=("t",), max_retries=0, emit=tel)
+        _, failures = pool.run([("bad", {"kind": "sample",
+                                         "action": "raise"})])
+        assert "bad" in failures
+        # the infra lane, never a model-blaming status
+        assert tel.statuses.get("system_error") == 1
+
+
+class TestInjectedSchedFaults:
+    def test_injected_worker_kill_recovers_by_retry(self):
+        tel = Telemetry()
+        tel.keep_events = True
+        plan = FaultPlan(rules=(
+            FaultRule(point="sched.worker.kill", action="kill",
+                      match="victim#a0"),))
+        pool = WorkerPool(jobs=2, work_fn=_work, init_fn=_init,
+                          init_args=("t",), max_retries=2, emit=tel)
+        tasks = _ok_tasks(4) + [("victim", {"kind": "sample",
+                                            "action": "ok", "v": 21})]
+        with injector(plan):
+            results, failures = pool.run(tasks)
+        assert failures == {}
+        assert results["victim"] == {"v": 42}
+        assert any(isinstance(e, WorkerCrashed) for e in tel.events)
+
+    def test_injected_result_corruption_is_retried(self):
+        plan = FaultPlan(rules=(
+            FaultRule(point="sched.result.corrupt", action="corrupt",
+                      match="ok3"),))
+        pool = WorkerPool(jobs=2, work_fn=_work, init_fn=_init,
+                          init_args=("t",), max_retries=2,
+                          validate=lambda p, b: "__corrupted__" not in b)
+        with injector(plan):
+            results, failures = pool.run(_ok_tasks(6))
+        assert failures == {}
+        assert results["ok3"] == {"v": 6}
+
+    def test_validation_failure_exhausts_retries(self):
+        pool = WorkerPool(jobs=2, work_fn=_work, init_fn=_init,
+                          init_args=("t",), max_retries=1,
+                          validate=lambda p, b: False)
+        results, failures = pool.run(_ok_tasks(2))
+        assert results == {}
+        assert all("validation" in d for d in failures.values())

@@ -6,6 +6,7 @@ import json
 import pytest
 
 from repro.bench import PCGBench
+from repro.faults import FaultPlan, FaultRule, injector
 from repro.harness import ConfigurationError, EvalCache, evaluate_model
 from repro.models import load_model
 from repro.sched import (
@@ -121,6 +122,52 @@ class TestResumability:
     def test_resume_requires_journal(self, llm, bench):
         with pytest.raises(ConfigurationError):
             evaluate_model(llm, bench, num_samples=2, resume=True)
+
+
+class TestSystemErrorResampling:
+    def test_journaled_system_error_is_resampled_on_resume(self, llm, bench,
+                                                           tmp_path):
+        """An infra-failed record planted in the journal must be replayed
+        as *missing* — the task re-executes and the run comes out clean."""
+        journal = tmp_path / "run.jsonl"
+        clean = evaluate_model(llm, bench, num_samples=2, seed=3, jobs=2,
+                               journal=str(journal))
+        lines = journal.read_text().splitlines()
+        victim = json.loads(lines[1])          # first task record
+        lines[1] = json.dumps({"task": victim["task"], "result": {
+            "status": "system_error", "detail": "scheduler: planted"}})
+        journal.write_text("\n".join(lines) + "\n")
+        telemetry = Telemetry()
+        resumed = evaluate_model(llm, bench, num_samples=2, seed=3, jobs=2,
+                                 journal=str(journal), resume=True,
+                                 events=telemetry)
+        assert telemetry.executed == 1         # exactly the planted task
+        assert resumed.to_json() == clean.to_json()
+
+    def test_system_errors_are_never_journaled(self, llm, bench, tmp_path):
+        """Samples of one prompt are forced into system_error by a
+        persistent injected flake; their tasks must not be checkpointed,
+        and a fault-free resume re-executes them to the clean result."""
+        clean = evaluate_model(llm, bench, num_samples=2, seed=3, jobs=2)
+        uid = sorted(clean.prompts)[0]
+        journal = tmp_path / "run.jsonl"
+        plan = FaultPlan(rules=(
+            FaultRule(point="harness.flake", action="raise",
+                      match=uid, occurrences=None),))
+        with injector(plan):
+            faulted = evaluate_model(llm, bench, num_samples=2, seed=3,
+                                     jobs=2, journal=str(journal))
+        statuses = set(faulted.prompts[uid].statuses())
+        assert statuses == {"system_error"}
+        journaled = {json.loads(l)["task"]
+                     for l in journal.read_text().splitlines()[1:]}
+        telemetry = Telemetry()
+        resumed = evaluate_model(llm, bench, num_samples=2, seed=3, jobs=2,
+                                 journal=str(journal), resume=True,
+                                 events=telemetry)
+        assert telemetry.executed > 0
+        assert telemetry.from_journal == len(journaled)
+        assert resumed.to_json() == clean.to_json()
 
 
 class TestSampleCache:

@@ -138,3 +138,21 @@ class TestLintCommand:
         assert main(["lint", "--corpus"]) == 0
         out = capsys.readouterr().out
         assert "0 definite" in out
+
+
+class TestChaosCommand:
+    def test_plan_mode_writes_the_schedule(self, capsys, tmp_path):
+        from repro.faults import FaultPlan
+
+        out_file = tmp_path / "plan.json"
+        assert main(["chaos", "--seed", "42", "--plan", str(out_file)]) == 0
+        out = capsys.readouterr().out
+        assert "fault plan for seed 42" in out
+        plan = FaultPlan.from_json(out_file.read_text())
+        assert plan == FaultPlan.from_seed(42)
+
+    def test_chaos_suite_passes(self, capsys):
+        assert main(["chaos", "--seed", "11", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "4/4 invariants hold" in out
+        assert "[FAIL]" not in out
