@@ -177,6 +177,54 @@ def test_injector_guard_throughput(benchmark, installed):
     assert result.status == "correct"
 
 
+# -- cost-decomposed profiler overhead -----------------------------------------
+
+def test_profiling_off_is_free_on_is_bounded():
+    """The acceptance check for ``repro.prof``: with ``profile=False``
+    every instrumentation site is one ``ctx.prof is None`` load (the
+    default path *is* today's pipeline), and turning profiling on only
+    decorates the run — same statuses and times, bounded wall overhead."""
+    import json
+
+    llm, bench = _sched_workload()
+    _sched_pass(llm, bench, jobs=1)     # warm compile/solution caches
+    t0 = time.perf_counter()
+    off = _sched_pass(llm, bench, jobs=1)
+    t_off = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    on = evaluate_model(llm, bench, num_samples=6, temperature=0.2,
+                        with_timing=True, seed=21, profile=True)
+    t_on = time.perf_counter() - t0
+    print(f"\nprofiler: off {t_off:.2f}s vs on {t_on:.2f}s "
+          f"({t_on / t_off - 1.0:+.1%})")
+
+    def strip(run):
+        doc = json.loads(run.to_json())
+        for rec in doc["prompts"].values():
+            for sample in rec["samples"]:
+                sample.pop("profile", None)
+        return doc
+
+    assert strip(on) == strip(off)
+    assert any(s.profile for r in on.prompts.values() for s in r.samples)
+    # attribution is bookkeeping on already-priced quantities; generous
+    # noise margin, same spirit as the idle-injector bound above
+    assert t_on < t_off * 1.25
+
+
+@pytest.mark.parametrize("profile", [False, True],
+                         ids=["prof-off", "prof-on"])
+def test_profiler_guard_throughput(benchmark, profile):
+    """Per-sample timed-pipeline cost with and without profiling — the
+    pair of numbers that quantifies the ``ctx.prof`` guard."""
+    prompt = render_prompt(_PROBLEM, "openmp")
+    source = variants_for(_PROBLEM, "openmp")[0].source
+    result = benchmark(_RUNNER.evaluate_sample, source, prompt,
+                       with_timing=True, profile=profile)
+    assert result.status == "correct"
+    assert (result.profile is not None) == profile
+
+
 def test_scheduler_beats_serial():
     """The acceptance check: jobs=4 beats the serial loop outright."""
     llm, bench = _sched_workload()

@@ -15,6 +15,8 @@ The package provides:
 * :mod:`repro.harness`  — the compile/check/run/time pipeline and the
   end-to-end evaluator;
 * :mod:`repro.metrics`  — pass@k, build@k, speedup_n@k, efficiency_n@k;
+* :mod:`repro.prof`     — cost-decomposed execution profiles, scaling
+  diagnosis (Karp–Flatt, bottleneck verdicts) and lost-cycles analysis;
 * :mod:`repro.analysis` — aggregation and regeneration of every table and
   figure in the paper's evaluation.
 

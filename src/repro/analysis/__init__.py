@@ -13,7 +13,7 @@ from .aggregate import (
     speedup_by_exec_model,
     status_breakdown,
 )
-from .export import compare_runs, summary_rows, to_csv
+from .export import compare_runs, profile_csv, profile_rows, summary_rows, to_csv
 from .figures import (
     fig1_pass_by_exec_model,
     fig2_overall,
@@ -22,18 +22,19 @@ from .figures import (
     fig5_efficiency_curves,
     fig6_speedups,
     fig7_efficiency,
+    fig8_lost_cycles,
 )
 from .tables import curve_table, per_model_table, render_table, table1, table2
 
 __all__ = [
     "aggregate", "figures", "tables", "export", "problem_size",
-    "to_csv", "summary_rows", "compare_runs",
+    "to_csv", "summary_rows", "compare_runs", "profile_rows", "profile_csv",
     "pass_by_exec_model", "pass_serial_vs_parallel", "pass_by_ptype",
     "pass_curve", "speedup_by_exec_model", "efficiency_by_exec_model",
     "efficiency_curve", "status_breakdown",
     "HEADLINE_N", "PERF_EXCLUDED_PTYPES",
     "fig1_pass_by_exec_model", "fig2_overall", "fig3_pass_by_ptype",
     "fig4_pass_curve", "fig5_efficiency_curves", "fig6_speedups",
-    "fig7_efficiency",
+    "fig7_efficiency", "fig8_lost_cycles",
     "render_table", "table1", "table2", "per_model_table", "curve_table",
 ]

@@ -2,9 +2,12 @@
 
 Downstream users of a benchmark harness need flat files and diffs more
 than plots: ``to_csv`` flattens an :class:`EvalRun` to one row per sample
-(status, timings at every measured n), and :func:`compare_runs` reports
-pass@1 deltas between two runs per execution model and problem type —
-the tool for "did my prompt change / model update help?" questions.
+(status, timings at every measured n; profiled runs add contention
+counters, a bottleneck verdict, and per-category time shares), and
+:func:`compare_runs` reports pass@1 deltas between two runs per execution
+model and problem type — the tool for "did my prompt change / model
+update help?" questions.  :func:`profile_rows` / :func:`profile_csv`
+flatten the lost-cycles aggregation of a profiled run.
 """
 
 from __future__ import annotations
@@ -15,6 +18,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..bench.spec import EXECUTION_MODELS, PROBLEM_TYPES
 from ..harness.evaluate import EvalRun
+from ..prof import CATEGORIES, classify_bottleneck, lost_cycles_rows, profile_of
 from .aggregate import pass_at_k_for
 
 
@@ -27,27 +31,70 @@ def _diag_summary(diags: List[Dict]) -> str:
     )
 
 
+def _profile_cells(sample) -> List[object]:
+    """Contention counters, bottleneck verdict and per-category shares (at
+    the largest measured n) for one profiled sample; blanks otherwise."""
+    prof = profile_of(sample)
+    if prof is None or not prof.categories:
+        return ["", "", ""] + [""] * len(CATEGORIES)
+    top = max(prof.categories)
+    return (
+        [prof.counters.get("atomic_ops", ""),
+         prof.counters.get("atomic_targets", ""),
+         classify_bottleneck(prof.at(top))]
+        + [prof.share(top, c) for c in CATEGORIES]
+    )
+
+
 def to_csv(run: EvalRun) -> str:
-    """One row per generated sample, flat enough for pandas/spreadsheets."""
+    """One row per generated sample, flat enough for pandas/spreadsheets.
+
+    Runs evaluated with profiling additionally get the Tracer contention
+    counters (atomic ops, distinct atomic targets), the bottleneck
+    verdict at the largest measured n, and per-category time-share
+    columns (``p_<category>``); unprofiled runs keep the legacy schema.
+    """
     all_ns: List[int] = sorted({
         n for rec in run.prompts.values() for s in rec.samples for n in s.times
     })
+    profiled = any(s.profile for rec in run.prompts.values()
+                   for s in rec.samples)
+    header = ["llm", "prompt", "ptype", "exec_model", "sample", "status",
+              "intended", "baseline_s", "n_diagnostics", "diagnostics"]
+    if profiled:
+        header += (["atomic_ops", "atomic_targets", "bottleneck"]
+                   + [f"p_{c}" for c in CATEGORIES])
+    header += [f"t_n{n}_s" for n in all_ns]
     buf = io.StringIO()
     writer = csv.writer(buf)
-    writer.writerow(
-        ["llm", "prompt", "ptype", "exec_model", "sample", "status",
-         "intended", "baseline_s", "n_diagnostics", "diagnostics"]
-        + [f"t_n{n}_s" for n in all_ns]
-    )
+    writer.writerow(header)
     for uid in sorted(run.prompts):
         rec = run.prompts[uid]
         for i, s in enumerate(rec.samples):
-            writer.writerow(
-                [run.llm, uid, rec.ptype, rec.exec_model, i, s.status,
-                 s.intended, rec.baseline if rec.baseline else "",
-                 len(s.diagnostics), _diag_summary(s.diagnostics)]
-                + [s.times.get(n, "") for n in all_ns]
-            )
+            row = [run.llm, uid, rec.ptype, rec.exec_model, i, s.status,
+                   s.intended,
+                   rec.baseline if rec.baseline is not None else "",
+                   len(s.diagnostics), _diag_summary(s.diagnostics)]
+            if profiled:
+                row += _profile_cells(s)
+            writer.writerow(row + [s.times.get(n, "") for n in all_ns])
+    return buf.getvalue()
+
+
+def profile_rows(run: EvalRun) -> List[Dict[str, object]]:
+    """Lost-cycles rows: mean category shares per (exec model, n) over the
+    correct profiled samples (see :func:`repro.prof.lost_cycles_rows`)."""
+    return lost_cycles_rows(run)
+
+
+def profile_csv(run: EvalRun) -> str:
+    """The lost-cycles aggregation as CSV — one row per (exec model, n)."""
+    header = ["exec_model", "n"] + list(CATEGORIES) + ["lost"]
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(header)
+    for row in profile_rows(run):
+        writer.writerow([row[k] for k in header])
     return buf.getvalue()
 
 

@@ -11,6 +11,7 @@ from typing import Dict, Sequence, Tuple
 
 from ..bench.spec import EXECUTION_MODELS, PROBLEM_TYPES
 from ..harness.evaluate import EvalRun
+from ..prof import CATEGORIES, LOST_CATEGORIES, lost_cycles_rows
 from .aggregate import (
     efficiency_by_exec_model,
     efficiency_curve,
@@ -103,6 +104,54 @@ def fig6_speedups(runs: Runs) -> Tuple[Dict, str]:
     text = per_model_table("Figure 6 — speedup_n@1", cols, data,
                            percent=False)
     return data, text
+
+
+def fig8_lost_cycles(
+    runs: Runs,
+    exec_models: Sequence[str] = ("openmp", "kokkos"),
+) -> Tuple[Dict, str]:
+    """Figure 8 (new): where the parallel time goes.
+
+    For each execution model, the mean fraction of simulated time lost to
+    non-compute categories per processor count, plus the per-category
+    attribution at the largest n.  This is the mechanism behind the
+    Figure 5 contrast: OpenMP's lost share is dominated by fork/join and
+    the memory-bandwidth floor and grows with n, while Kokkos' persistent
+    pool keeps dispatch cost flat.  Requires runs evaluated with
+    ``profile=True``; unprofiled runs produce empty series.
+    """
+    data: Dict[str, Dict[str, Dict[int, Dict[str, float]]]] = {}
+    blocks = []
+    for exec_model in exec_models:
+        per_llm: Dict[str, Dict[int, Dict[str, float]]] = {}
+        series: Dict[str, Dict[int, float]] = {}
+        for name, run in runs.items():
+            rows = lost_cycles_rows(run, [exec_model])
+            per_llm[name] = {
+                int(r["n"]): {c: float(r[c]) for c in CATEGORIES}
+                for r in rows
+            }
+            series[name] = {int(r["n"]): float(r["lost"]) for r in rows}
+        data[exec_model] = per_llm
+        blocks.append(curve_table(
+            f"Figure 8 — lost-cycles share, {exec_model} "
+            "(fraction of simulated time; n across columns)",
+            "model/n", series,
+        ))
+        # category attribution at the largest measured n
+        detail: Dict[str, Dict[str, float]] = {}
+        for name, shares_by_n in per_llm.items():
+            if not shares_by_n:
+                continue
+            detail[name] = shares_by_n[max(shares_by_n)]
+        if detail:
+            cols = [c for c in LOST_CATEGORIES
+                    if any(row.get(c, 0.0) > 0.0 for row in detail.values())]
+            blocks.append(per_model_table(
+                f"Figure 8 — lost time by category (%), {exec_model} "
+                "at the largest n", cols, detail,
+            ))
+    return data, "\n\n".join(blocks)
 
 
 def fig7_efficiency(runs: Runs) -> Tuple[Dict, str]:

@@ -12,7 +12,13 @@ Commands
     through the harness; print each verdict.
 ``eval [--models A,B] [--ptypes x,y] [--exec a,b] [--samples N] [--timing]``
     Evaluate models over a benchmark slice and print the Figure 1/2/3
-    tables (plus 6/7 with ``--timing``).
+    tables (plus 6/7 with ``--timing``, and the lost-cycles table with
+    ``--timing --profile``).
+``profile <uid> [--model NAME] [--all]``
+    Time one prompt with the cost-decomposed profiler and print a
+    per-n cost tree with bottleneck verdicts (``docs/profiling.md``).
+    By default the handwritten reference solution is profiled — fully
+    deterministic; ``--model`` profiles LLM samples instead.
 ``figures [--samples N]``
     Regenerate all paper figures from (or into) the on-disk cache —
     the scripted equivalent of ``pytest benchmarks/ --benchmark-only``.
@@ -52,6 +58,7 @@ from .analysis import (
     fig5_efficiency_curves,
     fig6_speedups,
     fig7_efficiency,
+    fig8_lost_cycles,
     status_breakdown,
     table1,
     table2,
@@ -150,7 +157,7 @@ def cmd_eval(args: argparse.Namespace) -> int:
         runs[name] = evaluate_model(
             load_model(name), bench, num_samples=args.samples,
             temperature=args.temperature, with_timing=args.timing,
-            runner=runner, seed=args.seed,
+            runner=runner, seed=args.seed, profile=args.profile,
             **_sched_kwargs(args, name, args.timing),
         )
     for builder in (fig1_pass_by_exec_model, fig2_overall,
@@ -161,10 +168,56 @@ def cmd_eval(args: argparse.Namespace) -> int:
         for builder in (fig6_speedups, fig7_efficiency):
             _, text = builder(runs)
             print("\n" + text)
+    if args.profile:
+        _, text = fig8_lost_cycles(runs)
+        print("\n" + text)
     if args.verbose:
         for name, run in runs.items():
             print(f"\n{name} status breakdown: {status_breakdown(run)}")
     return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    from .models.solutions import variants_for
+    from .prof import render_cost_tree
+
+    bench = PCGBench()
+    try:
+        prompt = bench.prompt(args.uid)
+    except KeyError:
+        print(f"unknown prompt {args.uid!r}; uids look like "
+              "'scan/prefix_sum/openmp'", file=sys.stderr)
+        return 2
+    runner = Runner(static_screen=args.static_screen)
+    if args.model:
+        llm = load_model(args.model)
+        samples = llm.generate(prompt, args.samples, args.temperature,
+                               args.seed)
+        jobs = [(f"{args.model}[{i}]", s.source)
+                for i, s in enumerate(samples)]
+    else:
+        variants = variants_for(prompt.problem, prompt.model)
+        jobs = [(f"solution[{i}] ({v.quality})", v.source)
+                for i, v in enumerate(variants)]
+    if not args.all:
+        jobs = jobs[:1]
+    profiled = 0
+    for label, source in jobs:
+        res = runner.evaluate_sample(source, prompt, with_timing=True,
+                                     profile=True)
+        print(f"{prompt.uid} :: {label}: {res.status}")
+        if res.status != "correct" or res.profile is None:
+            if res.detail:
+                print(f"  {res.detail[:100]}")
+            continue
+        profiled += 1
+        print(render_cost_tree(res.profile, res.times))
+        counters = res.profile.counters
+        if counters:
+            print("counters: " + ", ".join(
+                f"{k}={v:g}" for k, v in sorted(counters.items())))
+        print()
+    return 0 if profiled else 1
 
 
 def cmd_figures(args: argparse.Namespace) -> int:
@@ -333,6 +386,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--temperature", type=float, default=0.2)
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("--timing", action="store_true")
+    p.add_argument("--profile", action="store_true",
+                   help="cost-decomposed profiles (requires --timing); "
+                        "prints the lost-cycles table")
     p.add_argument("--jobs", "-j", type=_positive_int, default=1,
                    help="worker processes for the evaluation scheduler")
     p.add_argument("--resume", action="store_true",
@@ -342,6 +398,22 @@ def build_parser() -> argparse.ArgumentParser:
                    help="disable the MiniParSan pre-execution screen")
     p.add_argument("--verbose", "-v", action="store_true")
     p.set_defaults(fn=cmd_eval)
+
+    p = sub.add_parser(
+        "profile", help="print the cost-decomposed profile of one prompt")
+    p.add_argument("uid", help="e.g. stencil/jacobi_2d/openmp")
+    p.add_argument("--model", default=None, choices=list(MODEL_ORDER),
+                   help="profile this LLM's samples instead of the "
+                        "handwritten reference solution")
+    p.add_argument("--samples", type=int, default=3)
+    p.add_argument("--temperature", type=float, default=0.2)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--all", action="store_true",
+                   help="profile every variant/sample, not just the first")
+    p.add_argument("--no-static-screen", dest="static_screen",
+                   action="store_false",
+                   help="disable the MiniParSan pre-execution screen")
+    p.set_defaults(fn=cmd_profile)
 
     p = sub.add_parser("figures", help="regenerate all paper figures")
     p.add_argument("--samples", type=int, default=8)

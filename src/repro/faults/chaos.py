@@ -22,8 +22,12 @@ properties as executable checks over a small fixed benchmark slice
 4. **kill-resume** — for a journaled run, truncating the journal after
    *every* record index (a kill between any two commits) and resuming
    reproduces the fault-free metrics exactly.
+5. **profile-determinism** — cost-decomposed profiling (``repro.prof``)
+   composes with injection: the same seed yields byte-identical
+   *profiled* ``EvalRun`` JSON, and turning profiling on never perturbs
+   the statuses or times of the run it decorates.
 
-``repro chaos`` runs all four from the command line; the CI ``chaos``
+``repro chaos`` runs all five from the command line; the CI ``chaos``
 job and ``tests/faults/test_chaos.py`` pin them as regressions.
 """
 
@@ -119,6 +123,49 @@ def check_injector_transparency() -> ChaosReport:
                        "installed and recorded zero events")
 
 
+def check_profile_determinism(seed: int = 11) -> ChaosReport:
+    """Profiling composes with injection: replayable and non-perturbing.
+
+    Same seed twice with ``profile=True`` must yield byte-identical
+    profiled ``EvalRun`` JSON (profiles replay with the faults), and the
+    profiled run stripped of its ``profile`` fields must equal the
+    unprofiled run under the same plan (profiling observes the
+    simulation, it never changes it — even mid-fault)."""
+    import json
+
+    llm, bench = chaos_slice()
+    plan = FaultPlan.from_seed(seed).restricted(("runtime", "harness"))
+    payloads: List[str] = []
+    for _ in range(2):
+        with injector(plan):
+            run = _eval(llm, bench, with_timing=True, profile=True)
+        payloads.append(run.to_json())
+    if payloads[0] != payloads[1]:
+        return ChaosReport("profile-determinism", False,
+                           f"seed {seed} produced two different profiled "
+                           "EvalRuns")
+    with injector(plan):
+        plain = _eval(llm, bench, with_timing=True)
+
+    def strip(payload: str) -> dict:
+        doc = json.loads(payload)
+        for rec in doc.get("prompts", {}).values():
+            for sample in rec.get("samples", ()):
+                sample.pop("profile", None)
+        return doc
+
+    if strip(payloads[0]) != strip(plain.to_json()):
+        return ChaosReport("profile-determinism", False,
+                           "enabling profiling perturbed statuses or times "
+                           "under the injected plan")
+    n_profiles = sum(
+        1 for rec in plain.prompts.values() for _ in rec.samples)
+    return ChaosReport(
+        "profile-determinism", True,
+        f"seed {seed}: profiled run replayed identically and matches the "
+        f"unprofiled run across {n_profiles} samples")
+
+
 def check_sched_resilience(jobs: int = 4) -> ChaosReport:
     """Worker kills + result corruption still converge to the clean run.
 
@@ -197,6 +244,7 @@ def run_chaos(seed: int = 11, jobs: int = 4,
 
     step("injector-transparency", check_injector_transparency)
     step("event-determinism", lambda: check_event_determinism(seed))
+    step("profile-determinism", lambda: check_profile_determinism(seed))
     step("sched-resilience", lambda: check_sched_resilience(jobs))
     if workdir is not None:
         step("kill-resume",

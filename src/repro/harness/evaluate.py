@@ -25,8 +25,9 @@ ENV_SAMPLES = "REPRO_SAMPLES"
 
 #: bump when the EvalRun JSON layout changes; cached files from other
 #: versions (or with no version at all) are regenerated, never crashed on
-#: (2: SampleRecord gained MiniParSan ``diagnostics``)
-FORMAT_VERSION = 2
+#: (2: SampleRecord gained MiniParSan ``diagnostics``;
+#:  3: SampleRecord gained the optional cost-decomposed ``profile``)
+FORMAT_VERSION = 3
 
 
 class ConfigurationError(ValueError):
@@ -56,6 +57,9 @@ class SampleRecord:
     times: Dict[int, float] = field(default_factory=dict)
     #: MiniParSan findings as plain dicts (see repro.lint.Diagnostic)
     diagnostics: List[Dict] = field(default_factory=list)
+    #: cost-decomposed profile as a plain dict (repro.prof.Profile.to_dict;
+    #: present only on profiled timing runs)
+    profile: Optional[Dict] = None
 
 
 @dataclass
@@ -119,6 +123,7 @@ class EvalRun:
                         times={int(k): v
                                for k, v in s.get("times", {}).items()},
                         diagnostics=list(s.get("diagnostics", [])),
+                        profile=s.get("profile"),
                     )
                     for s in pr.pop("samples")
                 ]
@@ -170,6 +175,7 @@ def evaluate_model(
     resume: bool = False,
     sample_cache: Optional[str] = None,
     events: Optional[Callable[[object], None]] = None,
+    profile: bool = False,
 ) -> EvalRun:
     """Run the full §7 pipeline for one model over ``bench``.
 
@@ -180,7 +186,12 @@ def evaluate_model(
     JSONL checkpointing (``journal`` + ``resume=True``) and a
     content-addressed cross-run sample cache.  Both paths assemble
     byte-identical :class:`EvalRun` objects.
+
+    ``profile=True`` (timing runs only) additionally records a
+    cost-decomposed :mod:`repro.prof` profile on every timed sample.
     """
+    if profile and not with_timing:
+        raise ConfigurationError("profile=True requires with_timing=True")
     if jobs < 1:
         raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
     if resume and journal is None:
@@ -193,7 +204,8 @@ def evaluate_model(
             llm, bench, num_samples=num_samples, temperature=temperature,
             with_timing=with_timing, runner=runner, seed=seed, jobs=jobs,
             journal_path=journal, resume=resume,
-            sample_cache_dir=sample_cache, emit=events, progress=progress)
+            sample_cache_dir=sample_cache, emit=events, progress=progress,
+            profile=profile)
         return run
     runner = runner or Runner()
     num_samples = effective_samples(num_samples)
@@ -206,11 +218,14 @@ def evaluate_model(
             record.baseline = runner.baseline_time(prompt.problem)
         for sample in llm.generate(prompt, num_samples, temperature, seed):
             res = runner.evaluate_sample(sample.source, prompt,
-                                         with_timing=with_timing)
+                                         with_timing=with_timing,
+                                         profile=profile)
             record.samples.append(SampleRecord(
                 status=res.status, intended=sample.intended,
                 detail=res.detail[:160], times=dict(res.times),
                 diagnostics=[d.to_dict() for d in res.diagnostics],
+                profile=res.profile.to_dict() if res.profile is not None
+                else None,
             ))
         run.prompts[prompt.uid] = record
         if progress is not None:
@@ -227,10 +242,14 @@ class EvalCache:
         self.root.mkdir(parents=True, exist_ok=True)
 
     def _path(self, llm_name: str, num_samples: int, temperature: float,
-              with_timing: bool, seed: int, tag: str = "full") -> Path:
+              with_timing: bool, seed: int, tag: str = "full",
+              profile: bool = False) -> Path:
+        mode = "timed" if with_timing else "plain"
+        if profile:
+            mode += "-prof"     # profiled runs never alias unprofiled ones
         fname = (
             f"{llm_name}_{tag}_s{num_samples}_t{temperature:g}"
-            f"_{'timed' if with_timing else 'plain'}_r{seed}.json"
+            f"_{mode}_r{seed}.json"
         )
         return self.root / fname.replace("/", "-")
 
@@ -247,6 +266,7 @@ class EvalCache:
         jobs: int = 1,
         resume: bool = False,
         events: Optional[Callable[[object], None]] = None,
+        profile: bool = False,
     ) -> EvalRun:
         """Load a cached run, or compute (serially, or on the scheduler
         with ``jobs>1``) and cache it.
@@ -258,7 +278,7 @@ class EvalCache:
         """
         num_samples = effective_samples(num_samples)
         path = self._path(llm.name, num_samples, temperature, with_timing,
-                          seed, tag)
+                          seed, tag, profile=profile)
         if path.exists():
             try:
                 return EvalRun.from_json(path.read_text())
@@ -272,11 +292,12 @@ class EvalCache:
             run = evaluate_model(
                 llm, bench, num_samples, temperature, with_timing, runner,
                 seed, jobs=jobs, journal=str(journal), resume=resume,
-                sample_cache=str(self.root / "samples"), events=events)
+                sample_cache=str(self.root / "samples"), events=events,
+                profile=profile)
             path.write_text(run.to_json())
             journal.unlink(missing_ok=True)     # checkpoint superseded
             return run
         run = evaluate_model(llm, bench, num_samples, temperature,
-                             with_timing, runner, seed)
+                             with_timing, runner, seed, profile=profile)
         path.write_text(run.to_json())
         return run

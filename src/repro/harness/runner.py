@@ -77,6 +77,7 @@ from ..runtime import (
     run_mpi,
 )
 from ..lint import Diagnostic, blocking, lint_checked
+from ..prof.record import ProfBuilder, Profile
 from ..runtime.machine import CPU_THREAD_COUNTS, DEFAULT_MACHINE
 from .usagecheck import link_error, uses_parallel_model
 
@@ -106,6 +107,9 @@ class RunResult:
     baseline_time: Optional[float] = None
     #: MiniParSan findings (definite and possible) for this sample
     diagnostics: List[Diagnostic] = field(default_factory=list)
+    #: cost-decomposed timing profile (``repro.prof``; timing runs with
+    #: profiling requested only)
+    profile: Optional[Profile] = None
 
 
 def _compile_checked(source: str, model: str):
@@ -176,7 +180,8 @@ class Runner:
     # -- single executions -------------------------------------------------------
 
     def _run_shared(self, program: CompiledProgram, problem: Problem,
-                    inputs: Dict, model: str, fuel: int, work_scale: float):
+                    inputs: Dict, model: str, fuel: int, work_scale: float,
+                    profile: bool = False):
         """serial / openmp / kokkos execution; returns (args, ret, ctx)."""
         if model == "serial":
             rt = SerialRuntime()
@@ -185,6 +190,8 @@ class Runner:
         else:
             rt = KokkosRuntime(self.thread_counts)
         ctx = ExecCtx(self.machine, rt, fuel=fuel, work_scale=work_scale)
+        if profile:
+            ctx.prof = ProfBuilder()
         args = problem.to_minipar_args(inputs)
         ret = program.run_kernel(problem.entry, ctx, args)
         return args, ret, ctx
@@ -277,53 +284,91 @@ class Runner:
         divisibility at some rank count) are simply absent from the dict,
         as a crashed run would be absent from the paper's measurements.
         """
+        times, _ = self.measure_profiled(program, prompt, profile=False)
+        return times
+
+    def measure_profiled(self, program: CompiledProgram, prompt: Prompt,
+                         profile: bool = True
+                         ) -> Tuple[Dict[int, float], Optional[Profile]]:
+        """:meth:`measure` plus an optional cost-decomposed profile.
+
+        With ``profile=False`` this *is* ``measure`` — profiling is off at
+        every instrumentation site (``ctx.prof is None``) and the times
+        are bit-identical.  With ``profile=True`` every configuration also
+        attributes its machine-model charges into a :class:`Profile`
+        whose category sums equal the returned times exactly.  For models
+        that run one job per configuration (MPI, hybrid, GPU) the profile
+        counters are those of the largest successfully measured
+        configuration.
+        """
         problem, model = prompt.problem, prompt.model
         rng = np.random.default_rng(self.seed + 1)
         inputs = problem.generate(rng, problem.timing_size)
         scale = problem.work_scale
         times: Dict[int, float] = {}
+        prof = Profile(model=model) if profile else None
         if model == "serial":
             try:
                 _, _, ctx = self._run_shared(program, problem, inputs, model,
-                                             TIMING_FUEL, scale)
+                                             TIMING_FUEL, scale,
+                                             profile=profile)
                 times[1] = ctx.sim_seconds()
+                if prof is not None:
+                    prof.categories[1] = ctx.prof.categories_for(ctx, 1)
+                    prof.counters = dict(ctx.prof.counters)
             except MiniParError:
                 pass
-            return times
+            return times, prof
         if model in ("openmp", "kokkos"):
             try:
                 _, _, ctx = self._run_shared(program, problem, inputs, model,
-                                             TIMING_FUEL, scale)
+                                             TIMING_FUEL, scale,
+                                             profile=profile)
             except MiniParError:
-                return times
+                return times, prof
             for t in self.thread_counts:
                 times[t] = ctx.sim_seconds(t)
-            return times
+                if prof is not None:
+                    prof.categories[t] = ctx.prof.categories_for(ctx, t)
+            if prof is not None:
+                prof.counters = dict(ctx.prof.counters)
+            return times, prof
         if model == "mpi":
             for p in self.mpi_rank_counts:
                 res = run_mpi(program, problem.entry,
                               problem.to_minipar_args(inputs), p, self.machine,
-                              work_scale=scale, fuel=TIMING_FUEL)
+                              work_scale=scale, fuel=TIMING_FUEL,
+                              profile=profile)
                 if res.error is None:
                     times[p] = res.sim_seconds
-            return times
+                    if prof is not None and res.profile is not None:
+                        prof.categories[p] = res.profile.categories
+                        prof.counters = dict(res.profile.counters)
+            return times, prof
         if model == "mpi+omp":
             ranks, tpr = self.hybrid_config
             res = run_mpi(program, problem.entry,
                           problem.to_minipar_args(inputs), ranks, self.machine,
                           work_scale=scale, fuel=TIMING_FUEL,
-                          threads_per_rank=tpr)
+                          threads_per_rank=tpr, profile=profile)
             if res.error is None:
                 times[ranks * tpr] = res.sim_seconds
-            return times
+                if prof is not None and res.profile is not None:
+                    prof.categories[ranks * tpr] = res.profile.categories
+                    prof.counters = dict(res.profile.counters)
+            return times, prof
         # cuda / hip
         args = self._gpu_args(problem, inputs, model)
         res = launch(program, problem.entry, args,
                      problem.default_gpu_threads(inputs), self.machine,
-                     dialect=model, work_scale=scale, fuel=TIMING_FUEL)
+                     dialect=model, work_scale=scale, fuel=TIMING_FUEL,
+                     profile=profile)
         if res.error is None:
             times[res.total_threads] = res.sim_seconds
-        return times
+            if prof is not None and res.profile is not None:
+                prof.categories[res.total_threads] = res.profile.categories
+                prof.counters = dict(res.profile.counters)
+        return times, prof
 
     # -- the full per-sample pipeline ----------------------------------------------------
 
@@ -348,18 +393,24 @@ class Runner:
         return result, program
 
     def evaluate_sample(self, source: str, prompt: Prompt,
-                        with_timing: bool = False) -> RunResult:
+                        with_timing: bool = False,
+                        profile: bool = False) -> RunResult:
         if inject.ACTIVE is None:
             # the fast path: identical to the pre-resilience pipeline
             result, program = self._correct_phase(source, prompt)
             if result.status != "correct" or not with_timing:
                 return result
-            result.times = self.measure(program, prompt)
+            if profile:
+                result.times, result.profile = \
+                    self.measure_profiled(program, prompt)
+            else:
+                result.times = self.measure(program, prompt)
             return result
-        return self._evaluate_resilient(source, prompt, with_timing)
+        return self._evaluate_resilient(source, prompt, with_timing, profile)
 
     def _evaluate_resilient(self, source: str, prompt: Prompt,
-                            with_timing: bool) -> RunResult:
+                            with_timing: bool,
+                            profile: bool = False) -> RunResult:
         """``evaluate_sample`` under an installed fault injector.
 
         Each attempt runs in a fault scope named after the *sample* (not
@@ -410,10 +461,16 @@ class Runner:
                     return result
                 # timing phase: faults here degrade rather than discard
                 timing_fired = inj.scope_fired()
+                sweep_prof: Optional[Profile] = None
                 try:
                     rule = inj.fire("harness.timing", "sweep")
-                    times = {} if rule is not None \
-                        else self.measure(program, prompt)
+                    if rule is not None:
+                        times: Optional[Dict[int, float]] = {}
+                    elif profile:
+                        times, sweep_prof = self.measure_profiled(
+                            program, prompt)
+                    else:
+                        times = self.measure(program, prompt)
                 except FaultInjected:
                     rule, times = None, None
                 if rule is not None or times is None \
@@ -424,6 +481,7 @@ class Runner:
                     result.times = {}
                     return result
                 result.times = times
+                result.profile = sweep_prof
                 return result
         detail = last_detail or "infrastructure fault"
         return RunResult(

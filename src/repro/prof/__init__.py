@@ -1,0 +1,52 @@
+"""repro.prof — performance observability for the simulated runtimes.
+
+Decomposes every simulated execution into machine-model cost categories
+(compute, memory, fork/join, dispatch, barrier, critical, atomic,
+message, collective, kernel launch, imbalance, idle) with event
+counters, under a hard conservation invariant: category sums equal
+``sim_seconds`` at every processor count.  The analysis layer fits a
+Karp–Flatt serial fraction from scaling curves and classifies each
+sample's bottleneck.  See ``docs/profiling.md``.
+"""
+
+from .analyze import (
+    BOTTLENECK_GROUPS,
+    COMPUTE_BOUND_THRESHOLD,
+    bottleneck,
+    classify_bottleneck,
+    karp_flatt,
+    lost_cycles_by_n,
+    lost_cycles_rows,
+    overhead_growth,
+    profile_of,
+    render_cost_tree,
+    serial_fraction,
+)
+from .record import (
+    CATEGORIES,
+    LOST_CATEGORIES,
+    ProfBuilder,
+    Profile,
+    RunProfile,
+    merge_counters,
+)
+
+__all__ = [
+    "BOTTLENECK_GROUPS",
+    "CATEGORIES",
+    "COMPUTE_BOUND_THRESHOLD",
+    "LOST_CATEGORIES",
+    "ProfBuilder",
+    "Profile",
+    "RunProfile",
+    "bottleneck",
+    "classify_bottleneck",
+    "karp_flatt",
+    "lost_cycles_by_n",
+    "lost_cycles_rows",
+    "merge_counters",
+    "overhead_growth",
+    "profile_of",
+    "render_cost_tree",
+    "serial_fraction",
+]

@@ -1,0 +1,215 @@
+"""Scaling diagnosis on top of raw profiles.
+
+Three layers:
+
+* **Karp–Flatt**: fit an experimentally determined serial fraction from
+  a measured scaling curve — the classic "why did my speedup stop"
+  estimator (``e = (1/S - 1/n) / (1 - 1/n)``).  A serial fraction that
+  *grows* with ``n`` indicates overhead, not Amdahl saturation.
+* **Bottleneck classification**: map one configuration's category
+  breakdown to a verdict (comm-bound, memory-bandwidth-bound,
+  overhead-bound, contention-bound, load-imbalanced, compute-bound).
+* **Lost-cycles aggregation**: average category *shares* across the
+  correct samples of a run per processor count — the table that
+  mechanistically explains the paper's Figure 5 OpenMP-vs-Kokkos
+  efficiency contrast.
+
+Everything here consumes plain dicts / :class:`~repro.prof.record.Profile`
+objects; there is no dependency on the harness, so the harness can depend
+on this package without a cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .record import CATEGORIES, LOST_CATEGORIES, Profile
+
+#: bottleneck verdict -> the categories whose lost time votes for it
+BOTTLENECK_GROUPS: Dict[str, Tuple[str, ...]] = {
+    "comm-bound": ("message", "collective"),
+    "memory-bandwidth-bound": ("memory",),
+    "overhead-bound": ("fork_join", "dispatch", "kernel_launch", "barrier"),
+    "contention-bound": ("atomic", "critical"),
+    "load-imbalanced": ("imbalance", "idle"),
+}
+
+#: below this lost-time share the sample is just compute-bound
+COMPUTE_BOUND_THRESHOLD = 0.15
+
+
+# -- Amdahl / Karp–Flatt ------------------------------------------------------
+
+
+def karp_flatt(times: Dict[int, float]) -> Dict[int, float]:
+    """Experimentally determined serial fraction at each ``n > base``.
+
+    ``e_n = (1/S_n - 1/n') / (1 - 1/n')`` with speedup ``S_n`` and
+    processor ratio ``n'`` measured against the smallest measured count
+    (usually 1).  Returns an empty dict when fewer than two counts were
+    measured or the base time is degenerate.
+    """
+    if len(times) < 2:
+        return {}
+    base_n = min(times)
+    t_base = times[base_n]
+    if t_base <= 0.0:
+        return {}
+    out: Dict[int, float] = {}
+    for n in sorted(times):
+        ratio = n / base_n
+        if ratio <= 1.0 or times[n] <= 0.0:
+            continue
+        speedup = t_base / times[n]
+        out[n] = (1.0 / speedup - 1.0 / ratio) / (1.0 - 1.0 / ratio)
+    return out
+
+
+def serial_fraction(times: Dict[int, float]) -> Optional[float]:
+    """One-number Amdahl summary: the Karp–Flatt fraction at the largest
+    measured count (the most informative point — overheads have had the
+    most processors to show up on)."""
+    fractions = karp_flatt(times)
+    if not fractions:
+        return None
+    return fractions[max(fractions)]
+
+
+def overhead_growth(times: Dict[int, float]) -> Optional[float]:
+    """Slope of the Karp–Flatt fraction over the measured counts: > 0
+    means the 'serial fraction' grows with n, i.e. per-processor
+    overhead rather than a fixed Amdahl bottleneck."""
+    fractions = karp_flatt(times)
+    if len(fractions) < 2:
+        return None
+    ns = sorted(fractions)
+    return fractions[ns[-1]] - fractions[ns[0]]
+
+
+# -- bottleneck classification ------------------------------------------------
+
+
+def classify_bottleneck(categories: Dict[str, float],
+                        threshold: float = COMPUTE_BOUND_THRESHOLD) -> str:
+    """Verdict for one configuration's category breakdown (seconds)."""
+    total = sum(categories.values())
+    if total <= 0.0:
+        return "compute-bound"
+    lost = sum(categories.get(c, 0.0) for c in LOST_CATEGORIES)
+    if lost / total < threshold:
+        return "compute-bound"
+    best, best_val = "compute-bound", 0.0
+    for verdict, group in BOTTLENECK_GROUPS.items():
+        val = sum(categories.get(c, 0.0) for c in group)
+        if val > best_val:
+            best, best_val = verdict, val
+    return best
+
+
+def bottleneck(profile: Profile) -> str:
+    """Verdict at the largest measured processor count — where the
+    scaling curve ends and the lost time is largest."""
+    if not profile.categories:
+        return "compute-bound"
+    return classify_bottleneck(profile.categories[max(profile.categories)])
+
+
+# -- lost-cycles aggregation --------------------------------------------------
+
+
+def profile_of(sample) -> Optional[Profile]:
+    """The :class:`Profile` of a SampleRecord-like object, or None."""
+    raw = getattr(sample, "profile", None)
+    if not raw:
+        return None
+    if isinstance(raw, Profile):
+        return raw
+    return Profile.from_dict(raw)
+
+
+def lost_cycles_by_n(samples: Iterable) -> Dict[int, Dict[str, float]]:
+    """Mean category *share* per processor count over profiled samples.
+
+    Shares (not raw seconds) so samples of different problems average
+    meaningfully; ``correct`` samples only, mirroring how the paper's
+    efficiency plots pool only passing programs.
+    """
+    sums: Dict[int, Dict[str, float]] = {}
+    counts: Dict[int, int] = {}
+    for s in samples:
+        if getattr(s, "status", "") != "correct":
+            continue
+        prof = profile_of(s)
+        if prof is None:
+            continue
+        for n in prof.categories:
+            total = prof.total(n)
+            if total <= 0.0:
+                continue
+            bucket = sums.setdefault(n, {})
+            for cat, v in prof.categories[n].items():
+                bucket[cat] = bucket.get(cat, 0.0) + v / total
+            counts[n] = counts.get(n, 0) + 1
+    return {
+        n: {cat: v / counts[n] for cat, v in bucket.items()}
+        for n, bucket in sums.items()
+    }
+
+
+def lost_cycles_rows(run, exec_models: Optional[Iterable[str]] = None
+                     ) -> List[Dict[str, object]]:
+    """Flat lost-cycles rows for one EvalRun-like object: one row per
+    (exec model, processor count) with mean category shares."""
+    rows: List[Dict[str, object]] = []
+    records = list(run.prompts.values())
+    models = list(exec_models) if exec_models is not None else sorted(
+        {r.exec_model for r in records})
+    for model in models:
+        samples = [s for r in records if r.exec_model == model
+                   for s in r.samples]
+        for n, shares in sorted(lost_cycles_by_n(samples).items()):
+            row: Dict[str, object] = {"exec_model": model, "n": n}
+            for cat in CATEGORIES:
+                row[cat] = shares.get(cat, 0.0)
+            row["lost"] = sum(shares.get(c, 0.0) for c in LOST_CATEGORIES)
+            rows.append(row)
+    return rows
+
+
+# -- rendering ----------------------------------------------------------------
+
+
+def render_cost_tree(profile: Profile, times: Optional[Dict[int, float]] = None,
+                     indent: str = "  ") -> str:
+    """Human-readable per-n cost tree with shares and a verdict line.
+
+    The tree the ``repro profile`` CLI prints::
+
+        n=32   1.234 ms  [overhead-bound]
+          compute        0.812 ms  65.8%
+          fork_join      0.201 ms  16.3%
+          ...
+    """
+    lines: List[str] = []
+    for n in profile.ns():
+        cats = profile.categories[n]
+        total = profile.total(n)
+        verdict = classify_bottleneck(cats)
+        shown = times[n] if times and n in times else total
+        lines.append(f"n={n:<6d} {shown * 1e3:10.4f} ms  [{verdict}]")
+        for cat in CATEGORIES:
+            v = cats.get(cat, 0.0)
+            if v == 0.0 and cat != "compute":
+                continue
+            share = (v / total * 100.0) if total > 0.0 else 0.0
+            lines.append(f"{indent}{cat:<13s} {v * 1e3:10.4f} ms "
+                         f"{share:5.1f}%")
+    fractions = karp_flatt(times or {})
+    if fractions:
+        top = max(fractions)
+        lines.append(f"Karp–Flatt serial fraction at n={top}: "
+                     f"{fractions[top]:.3f}"
+                     + (" (grows with n: overhead, not Amdahl)"
+                        if (overhead_growth(times or {}) or 0.0) > 0.02
+                        else ""))
+    return "\n".join(lines)

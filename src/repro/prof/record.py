@@ -1,0 +1,214 @@
+"""Profile records: cost-decomposed simulated executions.
+
+A :class:`Profile` splits one sample's simulated time at every measured
+processor count into the cost categories of the machine model
+(:mod:`repro.runtime.machine`), alongside event counters (messages,
+collective bytes by kind, parallel regions, atomics, kernel launches).
+
+The decomposition is *conservative by construction*: every site that
+advances a simulated clock (``ExecCtx.cost``, ``extra_units``,
+``parallel_adjust``) either is compute by default or attributes the same
+delta to a named category, and the compute category absorbs the exact
+algebraic residue.  Category sums therefore equal ``sim_seconds`` at
+every processor count to float precision — the conservation invariant
+the golden tests in ``tests/prof`` pin for all seven execution models.
+
+Profiling is opt-in per :class:`~repro.runtime.context.ExecCtx`: when
+``ctx.prof is None`` (the default) no instrumentation site does any work
+beyond one attribute load, mirroring the ``inject.ACTIVE`` idle fast
+path of :mod:`repro.faults`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+#: The cost taxonomy, in canonical (report) order.
+#:
+#: ==============  ========================================================
+#: category        what it measures
+#: ==============  ========================================================
+#: compute         useful work: op units / active processors
+#: memory          bandwidth-saturation stall (the ``mem_frac`` floor)
+#: fork_join       OpenMP parallel-region create/join overhead
+#: dispatch        pattern/chunk dispatch (Kokkos patterns, dynamic chunks)
+#: barrier         reduction/combine trees and scan phase barriers
+#: critical        critical-section serialization + lock traffic
+#: atomic          atomic RMW cost + contention serialization
+#: message         point-to-point alpha/beta time (send, travel, recv)
+#: collective      collective tree completion time
+#: kernel_launch   GPU kernel launch overhead
+#: imbalance       load imbalance: max chunk/warp above the ideal share
+#: idle            waiting with nothing to do (stragglers, rank skew)
+#: ==============  ========================================================
+CATEGORIES = (
+    "compute", "memory", "fork_join", "dispatch", "barrier", "critical",
+    "atomic", "message", "collective", "kernel_launch", "imbalance", "idle",
+)
+
+#: categories that represent time *not* spent on useful work
+LOST_CATEGORIES = tuple(c for c in CATEGORIES if c != "compute")
+
+
+@dataclass
+class RunProfile:
+    """Breakdown of a single execution configuration (one processor
+    count): category seconds plus event counters."""
+
+    categories: Dict[str, float] = field(default_factory=dict)
+    counters: Dict[str, float] = field(default_factory=dict)
+
+    def total(self) -> float:
+        return sum(self.categories.values())
+
+
+@dataclass
+class Profile:
+    """Cost decomposition of one sample across its measured processor
+    counts — the profiling twin of ``RunResult.times``."""
+
+    model: str
+    #: processor count -> category -> simulated seconds
+    categories: Dict[int, Dict[str, float]] = field(default_factory=dict)
+    counters: Dict[str, float] = field(default_factory=dict)
+
+    def ns(self):
+        return sorted(self.categories)
+
+    def total(self, n: int) -> float:
+        """Sum of category seconds at ``n`` — equals ``times[n]``."""
+        return sum(self.categories[n].values())
+
+    def at(self, n: int) -> Dict[str, float]:
+        return self.categories[n]
+
+    def share(self, n: int, category: str) -> float:
+        """Fraction of the time at ``n`` spent in ``category``."""
+        total = self.total(n)
+        if total <= 0.0:
+            return 0.0
+        return self.categories[n].get(category, 0.0) / total
+
+    # -- JSON round trip (SampleRecord stores the dict form) ----------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "model": self.model,
+            "categories": {
+                str(n): {k: v for k, v in cats.items()}
+                for n, cats in self.categories.items()
+            },
+            "counters": dict(self.counters),
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, object]) -> "Profile":
+        return cls(
+            model=str(raw.get("model", "")),
+            categories={
+                int(n): {str(k): float(v) for k, v in cats.items()}
+                for n, cats in dict(raw.get("categories", {})).items()
+            },
+            counters={str(k): float(v)
+                      for k, v in dict(raw.get("counters", {})).items()},
+        )
+
+
+class ProfBuilder:
+    """Accumulates attribution while one ``ExecCtx`` executes.
+
+    The builder mirrors the three clocks of the context:
+
+    * ``moved``  — unscaled op units *reclassified* out of compute
+      (serial-context lock/atomic overhead charged to ``ctx.cost``);
+    * ``adjust`` — per-processor-count named shares of
+      ``ctx.parallel_adjust`` (imbalance, memory floor, fork/join, ...);
+    * ``extra``  — named shares of ``ctx.extra_units`` (message waits,
+      collective completion, folded hybrid regions).
+
+    :meth:`categories_for` folds them into per-category *seconds* whose
+    sum reproduces ``ctx.sim_seconds(n)`` exactly: compute is defined as
+    the residue ``clock - sum(named)``, so no attribution formula can
+    break conservation.
+    """
+
+    __slots__ = ("moved", "adjust", "extra", "counters")
+
+    def __init__(self):
+        self.moved: Dict[str, float] = {}
+        self.adjust: Dict[int, Dict[str, float]] = {}
+        self.extra: Dict[str, float] = {}
+        self.counters: Dict[str, float] = {}
+
+    # -- attribution (called from the runtimes) -----------------------------
+
+    def move(self, category: str, units: float) -> None:
+        """Reclassify ``units`` of serial ``ctx.cost`` into ``category``."""
+        if units:
+            self.moved[category] = self.moved.get(category, 0.0) + units
+
+    def add_adjust(self, n: int, category: str, units: float) -> None:
+        """Attribute part of this region's ``parallel_adjust[n]`` delta."""
+        if units:
+            cats = self.adjust.setdefault(n, {})
+            cats[category] = cats.get(category, 0.0) + units
+
+    def add_extra(self, category: str, units: float) -> None:
+        """Attribute units just added to ``ctx.extra_units``."""
+        if units:
+            self.extra[category] = self.extra.get(category, 0.0) + units
+
+    def count(self, key: str, amount: float = 1.0) -> None:
+        self.counters[key] = self.counters.get(key, 0.0) + amount
+
+    # -- finalization -------------------------------------------------------
+
+    def categories_for(self, ctx, n: int) -> Dict[str, float]:
+        """Category seconds at processor count ``n``; sums to
+        ``ctx.sim_seconds(n)`` by construction."""
+        scale = ctx.work_scale
+        cats: Dict[str, float] = {}
+
+        # ctx.cost: compute, minus serial-context reclassifications
+        moved_total = 0.0
+        for k, v in self.moved.items():
+            cats[k] = cats.get(k, 0.0) + v * scale
+            moved_total += v
+        cats["compute"] = cats.get("compute", 0.0) \
+            + (ctx.cost - moved_total) * scale
+
+        # ctx.extra_units: attributed waits; any unattributed residue
+        # (nothing produces one today) is idle time by definition
+        attributed = 0.0
+        for k, v in self.extra.items():
+            cats[k] = cats.get(k, 0.0) + v
+            attributed += v
+        residue = ctx.extra_units - attributed
+        if residue:
+            cats["idle"] = cats.get("idle", 0.0) + residue
+
+        # ctx.parallel_adjust[n]: named overheads; the remainder is the
+        # ideal-parallel compute delta (work/n - work, negative)
+        adj = ctx.parallel_adjust.get(n, 0.0)
+        named = 0.0
+        for k, v in self.adjust.get(n, {}).items():
+            cats[k] = cats.get(k, 0.0) + v
+            named += v
+        cats["compute"] += adj - named
+
+        cycle = ctx.machine.cpu.cycle
+        return {k: v * cycle for k, v in cats.items()
+                if v != 0.0 or k == "compute"}
+
+    def snapshot(self, ctx, n: int) -> RunProfile:
+        return RunProfile(categories=self.categories_for(ctx, n),
+                          counters=dict(self.counters))
+
+
+def merge_counters(into: Dict[str, float],
+                   new: Dict[str, float]) -> Dict[str, float]:
+    """Accumulate one counter dict into another (returns ``into``)."""
+    for k, v in new.items():
+        into[k] = into.get(k, 0.0) + v
+    return into

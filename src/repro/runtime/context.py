@@ -38,7 +38,7 @@ class ExecCtx:
     __slots__ = (
         "machine", "rt", "kernels", "cost", "fuel", "work_scale",
         "extra_units", "trace", "protection", "crit_units",
-        "parallel_adjust", "in_parallel",
+        "parallel_adjust", "in_parallel", "prof",
         "gpu_thread", "gpu_block", "gpu_block_dim", "gpu_grid_dim",
         "mem_budget", "mem_used",
     )
@@ -62,6 +62,9 @@ class ExecCtx:
         self.crit_units = 0.0
         self.parallel_adjust: Dict[int, float] = {}
         self.in_parallel = False
+        # optional ProfBuilder (repro.prof); None keeps the zero-overhead
+        # fast path — every instrumentation site guards on `ctx.prof is None`
+        self.prof = None
         # SIMT identity (set by the GPU runtime per thread)
         self.gpu_thread = 0
         self.gpu_block = 0

@@ -58,6 +58,7 @@ class GPURunResult:
     sim_seconds: float
     total_threads: int           # simulated kernel threads (after work scaling)
     error: Optional[BaseException] = None
+    profile: Optional["RunProfile"] = None  # launch breakdown (opt-in)
 
 
 def launch(
@@ -71,6 +72,7 @@ def launch(
     block_size: int = 256,
     work_scale: float = 1.0,
     fuel: Optional[int] = None,
+    profile: bool = False,
 ) -> GPURunResult:
     """Launch ``kernel`` over ``ceil(total_threads / block_size)`` blocks.
 
@@ -118,15 +120,27 @@ def launch(
         return GPURunResult(ret=None, args=args, sim_seconds=0.0,
                             total_threads=n_threads, error=exc)
 
-    sim = _launch_time(costs, tracer, spec, work_scale)
+    breakdown: Optional[dict] = {} if profile else None
+    sim = _launch_time(costs, tracer, spec, work_scale, breakdown=breakdown)
+    run_profile = None
+    if breakdown is not None:
+        from ..prof.record import RunProfile
+        counters = {"kernel_launches": 1.0,
+                    "gpu_threads": float(int(n_threads * work_scale))}
+        total_atomics, distinct = tracer.contention_stats()
+        if total_atomics:
+            counters["atomic_ops"] = float(total_atomics)
+            counters["atomic_targets"] = float(distinct)
+        run_profile = RunProfile(categories=breakdown, counters=counters)
     return GPURunResult(
         ret=ret, args=args, sim_seconds=sim,
         total_threads=int(n_threads * work_scale),
+        profile=run_profile,
     )
 
 
 def _launch_time(costs: np.ndarray, tracer: Tracer, spec: GPUSpec,
-                 scale: float) -> float:
+                 scale: float, breakdown: Optional[dict] = None) -> float:
     """Price one kernel launch from the per-thread cost profile.
 
     Two regimes compete:
@@ -154,8 +168,10 @@ def _launch_time(costs: np.ndarray, tracer: Tracer, spec: GPUSpec,
     critical_units = median + (worst - median) * scale
     critical = critical_units * spec.serial_cycle
 
-    busy = max(throughput, critical)
+    base = max(throughput, critical)
+    busy = base
 
+    atomic = 0.0
     total_atomics, distinct = tracer.contention_stats()
     if total_atomics:
         if distinct >= 0.5 * total_atomics:
@@ -164,6 +180,16 @@ def _launch_time(costs: np.ndarray, tracer: Tracer, spec: GPUSpec,
             distinct_scaled = float(distinct)
         # conflicting atomics serialize at the memory system, not per-SM
         conflicts = max(0.0, total_atomics * scale - distinct_scaled)
-        busy += spec.atomic_conflict * conflicts * spec.thread_cycle
+        atomic = spec.atomic_conflict * conflicts * spec.thread_cycle
+        busy += atomic
 
+    if breakdown is not None:
+        # throughput is the useful-work floor; anything the critical path
+        # adds on top is divergence / serialized-thread imbalance
+        breakdown["compute"] = throughput
+        breakdown["kernel_launch"] = spec.kernel_launch
+        if base > throughput:
+            breakdown["imbalance"] = base - throughput
+        if atomic:
+            breakdown["atomic"] = atomic
     return spec.kernel_launch + busy

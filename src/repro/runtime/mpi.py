@@ -140,10 +140,12 @@ class MPIRankRuntime(BaseRuntime):
         return ctx.cost * ctx.work_scale + ctx.extra_units
 
     @staticmethod
-    def _advance_to(ctx: ExecCtx, target: float) -> None:
+    def _advance_to(ctx: ExecCtx, target: float, category: str = "idle") -> None:
         now = ctx.cost * ctx.work_scale + ctx.extra_units
         if target > now:
             ctx.extra_units += target - now
+            if ctx.prof is not None:
+                ctx.prof.add_extra(category, target - now)
 
     def _validate_rank(self, r, what: str) -> int:
         if not isinstance(r, int) or not 0 <= r < self.world.nranks:
@@ -170,6 +172,10 @@ class MPIRankRuntime(BaseRuntime):
             now = self._clock(ctx)
             # sender pays an injection overhead; message lands after travel
             ctx.extra_units += 0.3 * travel
+            if ctx.prof is not None:
+                ctx.prof.add_extra("message", 0.3 * travel)
+                ctx.prof.count("messages")
+                ctx.prof.count("message_bytes", float(size))
             msg = (deep_copy_value(value), now + travel)
             q = w.queues[(self.rank, dest, tag)]
             if inject.ACTIVE is not None:
@@ -202,8 +208,10 @@ class MPIRankRuntime(BaseRuntime):
             q = w.queues[key]
             w.wait_for(lambda: len(q) > 0)
             value, arrival = q.popleft()
-        self._advance_to(ctx, arrival)
+        self._advance_to(ctx, arrival, "message")
         ctx.extra_units += w._units(w.machine.net.alpha) * 0.3
+        if ctx.prof is not None:
+            ctx.prof.add_extra("message", w._units(w.machine.net.alpha) * 0.3)
         return value
 
     def mpi_recv_float(self, ctx: ExecCtx, src, tag) -> float:
@@ -262,7 +270,11 @@ class MPIRankRuntime(BaseRuntime):
             else:
                 w.wait_for(lambda: c.done)
             result = c.results.get(self.rank)
-        self._advance_to(ctx, c.completion)
+        self._advance_to(ctx, c.completion, "collective")
+        if ctx.prof is not None:
+            ctx.prof.count("collectives")
+            ctx.prof.count(f"collective_bytes_{kind}",
+                           payload_bytes * ctx.work_scale)
         return result
 
     def _combine(self, kind: str, signature: Tuple, values: Dict[int, object]):
@@ -444,6 +456,18 @@ class HybridRankRuntime(MPIRankRuntime, OpenMPRuntime):
         # fold the fixed-thread-count adjustment into the rank clock
         adj = ctx.parallel_adjust.pop(self.threads, 0.0)
         ctx.extra_units += adj
+        prof = ctx.prof
+        if prof is not None:
+            # fold this region's named adjust shares the same way: they
+            # become extra attributions, with the ideal-parallel remainder
+            # (adj minus the named overheads, usually negative) credited
+            # back to compute so conservation survives the fold
+            named = prof.adjust.pop(self.threads, {})
+            folded = 0.0
+            for cat, units in named.items():
+                prof.add_extra(cat, units)
+                folded += units
+            prof.add_extra("compute", adj - folded)
 
     def omp_critical(self, env: dict, ctx: ExecCtx, body) -> None:
         OpenMPRuntime.omp_critical(self, env, ctx, body)
@@ -460,6 +484,7 @@ class MPIRunResult:
     args: Sequence[object]           # rank 0's (mutated) arguments
     sim_seconds: float               # max over ranks of the final clock
     error: Optional[BaseException] = None
+    profile: Optional["RunProfile"] = None  # job-level breakdown (opt-in)
 
 
 def run_mpi(
@@ -472,6 +497,7 @@ def run_mpi(
     fuel: Optional[int] = None,
     threads_per_rank: int = 0,
     watchdog_timeout: float = 600.0,
+    profile: bool = False,
 ) -> MPIRunResult:
     """Run ``kernel`` on ``nranks`` simulated ranks with replicated inputs.
 
@@ -495,7 +521,11 @@ def run_mpi(
             rt: MPIRankRuntime = HybridRankRuntime(r, world, threads_per_rank)
         else:
             rt = MPIRankRuntime(r, world)
-        ctxs.append(ExecCtx(machine, rt, fuel=fuel, work_scale=work_scale))
+        ctx = ExecCtx(machine, rt, fuel=fuel, work_scale=work_scale)
+        if profile:
+            from ..prof.record import ProfBuilder
+            ctx.prof = ProfBuilder()
+        ctxs.append(ctx)
 
     returns: List[object] = [None] * nranks
     errors: List[Optional[BaseException]] = [None] * nranks
@@ -545,4 +575,36 @@ def run_mpi(
     sim = max(
         (c.cost * c.work_scale + c.extra_units) * machine.cpu.cycle for c in ctxs
     )
-    return MPIRunResult(ret=returns[0], args=rank_args[0], sim_seconds=sim)
+    job_profile = _job_profile(ctxs, sim) if profile else None
+    return MPIRunResult(ret=returns[0], args=rank_args[0], sim_seconds=sim,
+                        profile=job_profile)
+
+
+def _job_profile(ctxs: Sequence[ExecCtx], sim_seconds: float) -> "RunProfile":
+    """Fold per-rank breakdowns into one job profile.
+
+    Categories are the per-rank *means*; the gap between the slowest
+    rank's clock (which defines ``sim_seconds``) and the mean is idle
+    time — ranks waiting at MPI_Finalize for the straggler.  Summing the
+    mean from the category sums (not the rank clocks) keeps the
+    conservation identity ``sum(categories) == sim_seconds`` exact.
+    """
+    from ..prof.record import RunProfile, merge_counters
+    cats: Dict[str, float] = {}
+    counters: Dict[str, float] = {}
+    for c in ctxs:
+        for k, v in c.prof.categories_for(c, 1).items():
+            cats[k] = cats.get(k, 0.0) + v
+        merge_counters(counters, c.prof.counters)
+    inv = 1.0 / len(ctxs)
+    cats = {k: v * inv for k, v in cats.items()}
+    mean = sum(cats.values())
+    skew = sim_seconds - mean
+    if skew > 0.0:
+        cats["idle"] = cats.get("idle", 0.0) + skew
+    elif skew:
+        # negative skew is averaging float noise (~1 ulp); fold it into
+        # compute so no category ever reports negative time
+        cats["compute"] = cats.get("compute", 0.0) + skew
+    counters["ranks"] = float(len(ctxs))
+    return RunProfile(categories=cats, counters=counters)

@@ -206,6 +206,22 @@ def _profiled_loop(
     return np.asarray(costs), np.asarray(crits), tracer
 
 
+def _bd(breakdown: Optional[dict], category: str, units: float) -> None:
+    """Accumulate a named share into a profiling breakdown (no-op when
+    profiling is off; ``breakdown`` is None on the fast path)."""
+    if breakdown is not None and units:
+        breakdown[category] = breakdown.get(category, 0.0) + units
+
+
+def _count_region(prof, tracer: Tracer, kind: str) -> None:
+    """Record per-region counters (parallel regions, observed atomics)."""
+    prof.count(kind)
+    total, distinct = tracer.contention_stats()
+    if total:
+        prof.count("atomic_ops", float(total))
+        prof.count("atomic_targets", float(distinct))
+
+
 def _atomic_extra(tracer: Tracer, threads: int, conflict_cost: float,
                   scale: float = 1.0) -> float:
     """Serialization penalty for contended atomics at ``threads`` threads.
@@ -293,16 +309,25 @@ class OpenMPRuntime(BaseRuntime):
                 # timing perturbation — feeds graceful degradation)
                 stall_s = rule.param if rule.param > 0 else 1.0
                 straggler_units = stall_s / ctx.machine.cpu.cycle
+        prof = ctx.prof
         for t in self.thread_counts:
             eff_t = min(t, cap) if cap is not None else t
+            breakdown = {} if prof is not None else None
             region = self._region_time(
                 ctx, par_costs, crit_total, n_crit, tracer, eff_t,
-                pf.schedule, len(pf.reductions),
+                pf.schedule, len(pf.reductions), breakdown=breakdown,
             )
             prev = ctx.parallel_adjust.get(t, 0.0)
             if t > 1:
                 region += straggler_units
+                _bd(breakdown, "idle", straggler_units)
             ctx.parallel_adjust[t] = prev + region - work * scale
+            if breakdown:
+                for cat, units in breakdown.items():
+                    prof.add_adjust(t, cat, units)
+        if prof is not None:
+            _count_region(prof, tracer, "parallel_regions")
+            prof.count("loop_iterations", float(len(costs)))
 
     def _region_time(
         self,
@@ -314,11 +339,13 @@ class OpenMPRuntime(BaseRuntime):
         threads: int,
         schedule: str,
         n_reductions: int,
+        breakdown: Optional[dict] = None,
     ) -> float:
         cpu = ctx.machine.cpu
         scale = ctx.work_scale
         total = float(par_costs.sum()) * scale
         if threads <= 1:
+            _bd(breakdown, "critical", crit_total * scale)
             return total + crit_total * scale
         if schedule == "static":
             body = static_chunk_time(par_costs, threads) * scale
@@ -327,13 +354,38 @@ class OpenMPRuntime(BaseRuntime):
                 par_costs, threads, cpu.omp_dispatch_dynamic / scale,
                 guided=schedule == "guided",
             ) * scale
+        chunk = body
         # memory-bandwidth saturation floor
         body = max(body, total * cpu.mem_frac / min(threads, cpu.mem_sat))
         time = body + (crit_total + cpu.critical_lock * n_crit) * scale
-        time += _atomic_extra(tracer, threads, cpu.atomic_conflict, scale)
+        atomic = _atomic_extra(tracer, threads, cpu.atomic_conflict, scale)
+        time += atomic
         time += cpu.omp_region_overhead(threads)
+        barrier = 0.0
         if n_reductions:
-            time += n_reductions * (threads + math.log2(threads)) * 2.0
+            barrier = n_reductions * (threads + math.log2(threads)) * 2.0
+            time += barrier
+        if breakdown is not None:
+            # decompose chunk = ideal + imbalance (+ dynamic dispatch);
+            # the extra dispatch-free pricing call only runs while profiling
+            ideal = total / threads
+            if schedule == "static":
+                dispatch = 0.0
+                imbalance = chunk - ideal
+            else:
+                base = dynamic_chunk_time(
+                    par_costs, threads, 0.0, guided=schedule == "guided",
+                ) * scale
+                dispatch = chunk - base
+                imbalance = base - ideal
+            _bd(breakdown, "imbalance", imbalance)
+            _bd(breakdown, "dispatch", dispatch)
+            _bd(breakdown, "memory", body - chunk)
+            _bd(breakdown, "critical",
+                (crit_total + cpu.critical_lock * n_crit) * scale)
+            _bd(breakdown, "atomic", atomic)
+            _bd(breakdown, "fork_join", cpu.omp_region_overhead(threads))
+            _bd(breakdown, "barrier", barrier)
         return time
 
     def omp_critical(self, env: dict, ctx: ExecCtx, body) -> None:
@@ -349,6 +401,11 @@ class OpenMPRuntime(BaseRuntime):
             raise RuntimeFailure("illegal control flow escaping a critical section")
         ctx.cost += cpu.critical_lock
         ctx.crit_units += (ctx.cost - c0)
+        if ctx.prof is not None and ctx.trace is None:
+            # outside a parallel region the lock cost lands in ctx.cost;
+            # reclassify it (inside a region it is attributed per thread
+            # count from the crit profile instead)
+            ctx.prof.move("critical", cpu.critical_lock)
 
     def omp_atomic(self, env: dict, ctx: ExecCtx, update, scalar_key) -> None:
         cpu = ctx.machine.cpu
@@ -364,6 +421,11 @@ class OpenMPRuntime(BaseRuntime):
             t.atomic_ops += 1
             if scalar_key is not None:
                 t.atomic_targets.add(scalar_key)
+        elif ctx.prof is not None:
+            # serial-context atomic: reclassify the RMW cost and count it
+            # here (traced atomics are harvested per region instead)
+            ctx.prof.move("atomic", cpu.atomic_op)
+            ctx.prof.count("atomic_ops")
 
 
 class KokkosRuntime(BaseRuntime):
@@ -411,21 +473,37 @@ class KokkosRuntime(BaseRuntime):
         crit_total = float(crits.sum())
         par_costs = costs - crits
         total = float(par_costs.sum()) * scale
+        prof = ctx.prof
         for t in self.thread_counts:
             if t <= 1:
                 region = (work + extra_serial) * scale
+                if prof is not None:
+                    prof.add_adjust(t, "critical", crit_total * scale)
             else:
-                body = static_chunk_time(par_costs, t) * scale
-                body = max(body, total * cpu.mem_frac / min(t, cpu.mem_sat))
+                chunk = static_chunk_time(par_costs, t) * scale
+                body = max(chunk, total * cpu.mem_frac / min(t, cpu.mem_sat))
+                atomic = _atomic_extra(tracer, t, cpu.atomic_conflict, scale)
                 region = (
                     body
                     + (crit_total + extra_serial / t) * scale
-                    + _atomic_extra(tracer, t, cpu.atomic_conflict, scale)
+                    + atomic
                     + barriers * cpu.kokkos_pattern_overhead(t)
                 )
+                if prof is not None:
+                    prof.add_adjust(t, "imbalance", chunk - total / t)
+                    prof.add_adjust(t, "memory", body - chunk)
+                    prof.add_adjust(t, "critical", crit_total * scale)
+                    # parallel combine/writeback tree of reduce/scan
+                    prof.add_adjust(t, "barrier", extra_serial / t * scale)
+                    prof.add_adjust(t, "atomic", atomic)
+                    prof.add_adjust(t, "dispatch",
+                                    barriers * cpu.kokkos_pattern_overhead(t))
             prev = ctx.parallel_adjust.get(t, 0.0)
             ctx.parallel_adjust[t] = prev + region - (work + extra_serial) * scale
         ctx.cost += extra_serial
+        if prof is not None:
+            _count_region(prof, tracer, "kokkos_patterns")
+            prof.count("loop_iterations", float(len(costs)))
 
     def kokkos_for(self, env: dict, ctx: ExecCtx, n: int, lam: LamClosure,
                    where: str) -> None:

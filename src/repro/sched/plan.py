@@ -64,10 +64,12 @@ def bench_spec(bench: PCGBench) -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
 
 
 def sample_task_id(source: str, prompt_uid: str, fingerprint: str,
-                   with_timing: bool) -> str:
+                   with_timing: bool, profile: bool = False) -> str:
+    # the profile marker extends the mode string only when profiling is
+    # on, so every pre-profiling task id (and its cached result) survives
+    mode = ("timed" if with_timing else "plain") + ("-prof" if profile else "")
     digest = hashlib.sha256()
-    for part in (KIND_SAMPLE, prompt_uid, fingerprint,
-                 "timed" if with_timing else "plain", source):
+    for part in (KIND_SAMPLE, prompt_uid, fingerprint, mode, source):
         digest.update(part.encode())
         digest.update(b"\x00")
     return digest.hexdigest()
@@ -91,12 +93,14 @@ class TaskSpec:
     source: str = ""                # sample tasks
     with_timing: bool = False
     problem: str = ""               # baseline tasks
+    profile: bool = False           # sample tasks: record a cost profile
 
     def payload(self) -> Dict[str, object]:
         """The picklable message sent through the task queue."""
         if self.kind == KIND_SAMPLE:
             return {"kind": self.kind, "uid": self.prompt_uid,
-                    "source": self.source, "with_timing": self.with_timing}
+                    "source": self.source, "with_timing": self.with_timing,
+                    "profile": self.profile}
         return {"kind": self.kind, "problem": self.problem}
 
 
@@ -132,6 +136,7 @@ class Plan:
     fingerprint: str
     bench_ptypes: Tuple[str, ...]
     bench_models: Tuple[str, ...]
+    profile: bool = False
     prompts: List[PromptPlan] = field(default_factory=list)
     tasks: Dict[str, TaskSpec] = field(default_factory=dict)
 
@@ -149,6 +154,7 @@ class Plan:
             "seed": self.seed, "fingerprint": self.fingerprint,
             "ptypes": list(self.bench_ptypes),
             "models": list(self.bench_models),
+            "profile": self.profile,
         }, sort_keys=True)
         return hashlib.sha256(desc.encode()).hexdigest()[:24]
 
@@ -159,14 +165,14 @@ class Plan:
 
 def build_plan(llm: SimulatedLLM, bench: PCGBench, num_samples: int,
                temperature: float, with_timing: bool, runner: Runner,
-               seed: int) -> Plan:
+               seed: int, profile: bool = False) -> Plan:
     """Expand the evaluation into slots and deduplicated tasks."""
     fingerprint = runner_fingerprint(runner)
     ptypes, models = bench_spec(bench)
     plan = Plan(llm=llm.name, temperature=temperature,
                 num_samples=num_samples, with_timing=with_timing, seed=seed,
                 fingerprint=fingerprint, bench_ptypes=ptypes,
-                bench_models=models)
+                bench_models=models, profile=profile)
     for prompt in bench.prompts:
         baseline_tid = None
         if with_timing:
@@ -178,10 +184,11 @@ def build_plan(llm: SimulatedLLM, bench: PCGBench, num_samples: int,
         samples = llm.generate(prompt, num_samples, temperature, seed)
         for index, sample in enumerate(samples):
             tid = sample_task_id(sample.source, prompt.uid, fingerprint,
-                                 with_timing)
+                                 with_timing, profile)
             plan.tasks.setdefault(tid, TaskSpec(
                 task_id=tid, kind=KIND_SAMPLE, prompt_uid=prompt.uid,
-                source=sample.source, with_timing=with_timing))
+                source=sample.source, with_timing=with_timing,
+                profile=profile))
             slots.append(SampleSlot(prompt_uid=prompt.uid,
                                     sample_index=index,
                                     intended=sample.intended, task_id=tid))
@@ -219,6 +226,7 @@ def assemble(plan: Plan, results: Dict[str, Dict[str, object]]) -> EvalRun:
                 detail=str(payload.get("detail", ""))[:DETAIL_LIMIT],
                 times={int(k): v for k, v in times.items()},
                 diagnostics=list(payload.get("diagnostics") or []),
+                profile=payload.get("profile"),
             ))
         run.prompts[pp.uid] = record
     return run

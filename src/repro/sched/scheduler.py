@@ -54,6 +54,7 @@ def run_scheduled(
     progress: Optional[Callable[[str], None]] = None,
     task_timeout: Optional[float] = 300.0,
     max_retries: int = 2,
+    profile: bool = False,
 ) -> Tuple[EvalRun, Telemetry]:
     """Run the §7 pipeline through the scheduler; returns (run, telemetry).
 
@@ -70,7 +71,7 @@ def run_scheduled(
 
     stage = time.monotonic()
     plan = build_plan(llm, bench, num_samples, temperature, with_timing,
-                      runner, seed)
+                      runner, seed, profile=profile)
     sink(StageFinished(stage="plan", seconds=time.monotonic() - stage))
 
     stage = time.monotonic()

@@ -35,10 +35,13 @@ def execute_task(ctx, payload: Dict[str, object]) -> Dict[str, object]:
     if kind == KIND_SAMPLE:
         prompt = prompts[payload["uid"]]
         res = runner.evaluate_sample(str(payload["source"]), prompt,
-                                     with_timing=bool(payload["with_timing"]))
+                                     with_timing=bool(payload["with_timing"]),
+                                     profile=bool(payload.get("profile")))
         return {"status": res.status, "detail": res.detail,
                 "times": {int(k): float(v) for k, v in res.times.items()},
-                "diagnostics": [d.to_dict() for d in res.diagnostics]}
+                "diagnostics": [d.to_dict() for d in res.diagnostics],
+                "profile": res.profile.to_dict()
+                if res.profile is not None else None}
     raise ValueError(f"unknown task kind {kind!r}")
 
 
@@ -53,7 +56,7 @@ def failure_payload(kind: str, detail: str) -> Dict[str, object]:
         return {"baseline": None}
     return {"status": "system_error",
             "detail": f"scheduler: {detail}", "times": {},
-            "diagnostics": []}
+            "diagnostics": [], "profile": None}
 
 
 def valid_result(task_payload: Dict[str, object], body: object) -> bool:

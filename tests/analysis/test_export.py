@@ -47,6 +47,44 @@ class TestCSV:
         assert float(sample0["t_n32_s"]) == 0.5
         assert sample0["exec_model"] == "openmp"
 
+    def test_zero_baseline_exports_as_zero_not_blank(self):
+        """Regression: a falsy-but-present baseline (0.0) used to export
+        as an empty cell, indistinguishable from 'never measured'."""
+        run = make_run()
+        run.prompts["reduce/sum/openmp"].baseline = 0.0
+        rows = list(csv.reader(io.StringIO(to_csv(run))))
+        header = rows[0]
+        sample0 = dict(zip(header, rows[1]))
+        assert sample0["baseline_s"] == "0.0"
+        missing = dict(zip(header, rows[3]))   # sort/asc has no baseline
+        assert missing["baseline_s"] == ""
+
+    def test_profiled_samples_add_profile_columns(self):
+        from repro.prof import CATEGORIES, Profile
+
+        run = make_run()
+        prof = Profile(model="openmp",
+                       categories={1: {"compute": 4.0},
+                                   32: {"compute": 0.3, "fork_join": 0.2}},
+                       counters={"atomic_ops": 8.0, "atomic_targets": 2.0})
+        run.prompts["reduce/sum/openmp"].samples[0].profile = prof.to_dict()
+        rows = list(csv.reader(io.StringIO(to_csv(run))))
+        header = rows[0]
+        assert "bottleneck" in header and "p_fork_join" in header
+        samples = [dict(zip(header, r)) for r in rows[1:]]
+        profiled = samples[0]
+        assert profiled["bottleneck"] == "overhead-bound"
+        assert float(profiled["p_fork_join"]) == pytest.approx(0.4)
+        assert float(profiled["atomic_ops"]) == 8.0
+        # unprofiled samples in the same run leave the new cells blank
+        assert samples[1]["bottleneck"] == ""
+        assert all(samples[1][f"p_{c}"] == "" for c in CATEGORIES)
+
+    def test_unprofiled_run_keeps_legacy_schema(self):
+        header = to_csv(make_run()).splitlines()[0].split(",")
+        assert "bottleneck" not in header
+        assert not any(c.startswith("p_") for c in header)
+
     def test_resilience_statuses_export_like_any_other(self):
         run = make_run()
         run.prompts["reduce/sum/openmp"].samples.extend([

@@ -8,6 +8,7 @@ from repro.faults.chaos import (
     check_event_determinism,
     check_injector_transparency,
     check_kill_resume,
+    check_profile_determinism,
     check_sched_resilience,
     run_chaos,
 )
@@ -21,6 +22,10 @@ class TestInvariants:
 
     def test_event_determinism(self):
         report = check_event_determinism(seed=11)
+        assert report.passed, report.detail
+
+    def test_profile_determinism(self):
+        report = check_profile_determinism(seed=11)
         assert report.passed, report.detail
 
     def test_sched_resilience(self):
@@ -40,7 +45,7 @@ class TestSuiteDriver:
                             log=lines.append)
         assert [r.invariant for r in reports] == [
             "injector-transparency", "event-determinism",
-            "sched-resilience", "kill-resume"]
+            "profile-determinism", "sched-resilience", "kill-resume"]
         assert all(r.passed for r in reports), \
             [r.line() for r in reports if not r.passed]
         assert any("chaos: checking" in line for line in lines)

@@ -1,0 +1,143 @@
+"""Unit tests for the scaling-diagnosis layer: Karp–Flatt fractions,
+bottleneck verdicts, lost-cycles aggregation, and the cost-tree renderer."""
+
+import pytest
+
+from repro.prof import (
+    CATEGORIES,
+    Profile,
+    bottleneck,
+    classify_bottleneck,
+    karp_flatt,
+    lost_cycles_by_n,
+    overhead_growth,
+    profile_of,
+    render_cost_tree,
+    serial_fraction,
+)
+
+
+def amdahl_times(f, t1=1.0, ns=(1, 2, 4, 8, 16, 32)):
+    """Ideal Amdahl curve with serial fraction ``f``."""
+    return {n: t1 * (f + (1.0 - f) / n) for n in ns}
+
+
+class TestKarpFlatt:
+    def test_recovers_amdahl_serial_fraction(self):
+        fractions = karp_flatt(amdahl_times(0.08))
+        assert fractions, "expected one fraction per n > 1"
+        for n, e in fractions.items():
+            assert e == pytest.approx(0.08, abs=1e-12), n
+
+    def test_perfect_scaling_is_zero(self):
+        for e in karp_flatt(amdahl_times(0.0)).values():
+            assert e == pytest.approx(0.0, abs=1e-12)
+
+    def test_degenerate_inputs(self):
+        assert karp_flatt({}) == {}
+        assert karp_flatt({1: 1.0}) == {}
+        assert karp_flatt({1: 0.0, 2: 1.0}) == {}
+
+    def test_base_need_not_be_one(self):
+        fractions = karp_flatt({4: 1.0, 16: 0.25})
+        assert list(fractions) == [16]
+        assert fractions[16] == pytest.approx(0.0, abs=1e-12)
+
+    def test_serial_fraction_reports_largest_n(self):
+        assert serial_fraction(amdahl_times(0.05)) == \
+            pytest.approx(0.05, abs=1e-12)
+        assert serial_fraction({1: 1.0}) is None
+
+    def test_overhead_growth_flags_non_amdahl_decay(self):
+        assert overhead_growth(amdahl_times(0.1)) == \
+            pytest.approx(0.0, abs=1e-12)
+        # linear per-processor overhead: e grows with n
+        times = {n: 1.0 / n + 0.004 * n for n in (1, 2, 4, 8, 16, 32)}
+        growth = overhead_growth(times)
+        assert growth is not None and growth > 0.02
+        assert overhead_growth({1: 1.0, 2: 0.5}) is None
+
+
+class TestClassify:
+    def test_compute_bound_below_threshold(self):
+        assert classify_bottleneck({"compute": 0.9, "memory": 0.1}) == \
+            "compute-bound"
+
+    def test_each_group_wins_when_dominant(self):
+        expected = {
+            "message": "comm-bound",
+            "collective": "comm-bound",
+            "memory": "memory-bandwidth-bound",
+            "fork_join": "overhead-bound",
+            "kernel_launch": "overhead-bound",
+            "atomic": "contention-bound",
+            "critical": "contention-bound",
+            "imbalance": "load-imbalanced",
+            "idle": "load-imbalanced",
+        }
+        for category, verdict in expected.items():
+            cats = {"compute": 0.5, category: 0.5}
+            assert classify_bottleneck(cats) == verdict, category
+
+    def test_empty_and_zero_are_compute_bound(self):
+        assert classify_bottleneck({}) == "compute-bound"
+        assert classify_bottleneck({"compute": 0.0}) == "compute-bound"
+
+    def test_bottleneck_uses_largest_n(self):
+        p = Profile(model="openmp", categories={
+            1: {"compute": 1.0},
+            32: {"compute": 0.2, "fork_join": 0.8},
+        })
+        assert bottleneck(p) == "overhead-bound"
+        assert bottleneck(Profile(model="serial")) == "compute-bound"
+
+
+class _Sample:
+    def __init__(self, status="correct", profile=None):
+        self.status = status
+        self.profile = profile
+
+
+class TestLostCycles:
+    def _profile_dict(self, lost_share):
+        return Profile(model="openmp", categories={
+            32: {"compute": 1.0 - lost_share, "fork_join": lost_share},
+        }).to_dict()
+
+    def test_profile_of_accepts_dict_object_and_none(self):
+        p = Profile(model="x", categories={1: {"compute": 1.0}})
+        assert profile_of(_Sample(profile=p)) is p
+        assert profile_of(_Sample(profile=p.to_dict())) == p
+        assert profile_of(_Sample(profile=None)) is None
+
+    def test_means_shares_over_correct_samples_only(self):
+        samples = [
+            _Sample(profile=self._profile_dict(0.2)),
+            _Sample(profile=self._profile_dict(0.4)),
+            _Sample(status="wrong_answer", profile=self._profile_dict(0.9)),
+            _Sample(),                      # correct but unprofiled
+        ]
+        shares = lost_cycles_by_n(samples)
+        assert list(shares) == [32]
+        assert shares[32]["fork_join"] == pytest.approx(0.3)
+        assert shares[32]["compute"] == pytest.approx(0.7)
+
+
+class TestRenderCostTree:
+    def test_tree_shape_and_verdicts(self):
+        p = Profile(model="openmp", categories={
+            1: {"compute": 1.0},
+            32: {"compute": 0.2, "memory": 0.6, "fork_join": 0.2},
+        })
+        times = {1: 1.0, 32: 1.0}
+        text = render_cost_tree(p, times)
+        assert "n=1" in text and "n=32" in text
+        assert "[compute-bound]" in text
+        assert "[memory-bandwidth-bound]" in text
+        assert "memory" in text and "fork_join" in text
+        assert "Karp–Flatt" in text
+
+    def test_no_times_still_renders(self):
+        p = Profile(model="serial", categories={1: {"compute": 2.0}})
+        text = render_cost_tree(p)
+        assert "n=1" in text and "Karp–Flatt" not in text

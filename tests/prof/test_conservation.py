@@ -1,0 +1,148 @@
+"""Conservation golden tests for every execution model.
+
+The acceptance invariant of :mod:`repro.prof`: at every measured
+processor count the profile's category seconds sum to the simulated time
+(1e-9 relative), and turning profiling on never perturbs a single float
+of the times it decorates.
+"""
+
+import pytest
+
+from repro.bench import PCGBench
+from repro.bench.spec import EXECUTION_MODELS
+from repro.harness import Runner
+from repro.models.solutions import variants_for
+from repro.prof import CATEGORIES
+
+REL_TOL = 1e-9
+#: slice crossing compute-, contention- and memory-shaped problems
+PTYPES = ("sort", "reduce", "histogram", "stencil")
+
+#: one counter each runtime family must have produced
+EXPECTED_COUNTER = {
+    "openmp": "parallel_regions",
+    "kokkos": "kokkos_patterns",
+    "mpi": "ranks",
+    "mpi+omp": "ranks",
+    "cuda": "kernel_launches",
+    "hip": "kernel_launches",
+}
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return Runner()
+
+
+@pytest.fixture(scope="module")
+def bench():
+    return PCGBench(problem_types=list(PTYPES))
+
+
+def prompts_for(bench, exec_model):
+    """The first prompt of each problem type for one execution model."""
+    first = {}
+    for p in bench.prompts:
+        if p.model == exec_model and p.problem.ptype not in first:
+            first[p.problem.ptype] = p
+    return [first[pt] for pt in PTYPES]
+
+
+def assert_conserved(profile, times, where):
+    assert set(profile.categories) == set(times), where
+    for n, t in sorted(times.items()):
+        cats = profile.at(n)
+        assert set(cats) <= set(CATEGORIES), (where, n, cats)
+        assert all(v >= 0.0 for v in cats.values()), (where, n, cats)
+        total = profile.total(n)
+        assert abs(total - t) <= REL_TOL * max(abs(t), 1e-300), \
+            f"{where} n={n}: categories sum {total!r} != sim {t!r}"
+
+
+@pytest.mark.parametrize("exec_model", EXECUTION_MODELS)
+class TestConservation:
+    def test_categories_sum_to_sim_seconds(self, bench, runner, exec_model):
+        checked = 0
+        for prompt in prompts_for(bench, exec_model):
+            variant = variants_for(prompt.problem, prompt.model)[0]
+            res = runner.evaluate_sample(variant.source, prompt,
+                                         with_timing=True, profile=True)
+            assert res.status == "correct", (prompt.uid, res.detail)
+            assert res.profile is not None
+            assert res.profile.model == exec_model
+            assert_conserved(res.profile, res.times, prompt.uid)
+            checked += len(res.times)
+        assert checked >= len(PTYPES)
+
+    def test_every_variant_tier_conserves(self, bench, runner, exec_model):
+        """Each quality tier takes different code paths (atomics vs
+        critical sections, schedule kinds); all of them must conserve."""
+        prompt = prompts_for(bench, exec_model)[PTYPES.index("histogram")]
+        for i, variant in enumerate(variants_for(prompt.problem,
+                                                 prompt.model)):
+            res = runner.evaluate_sample(variant.source, prompt,
+                                         with_timing=True, profile=True)
+            if res.status != "correct":
+                continue
+            assert_conserved(res.profile, res.times,
+                             f"{prompt.uid}[{i}]")
+
+    def test_profiling_does_not_perturb_times(self, bench, runner,
+                                              exec_model):
+        """profile=True yields the same floats as profile=False — the
+        instrumentation observes the clocks, it never reorders them."""
+        prompt = prompts_for(bench, exec_model)[0]
+        variant = variants_for(prompt.problem, prompt.model)[0]
+        off = runner.evaluate_sample(variant.source, prompt,
+                                     with_timing=True)
+        on = runner.evaluate_sample(variant.source, prompt,
+                                    with_timing=True, profile=True)
+        assert off.status == on.status == "correct"
+        assert off.profile is None
+        assert off.times == on.times    # exact float equality
+
+    def test_expected_counters_present(self, bench, runner, exec_model):
+        key = EXPECTED_COUNTER.get(exec_model)
+        if key is None:         # serial: no parallel construct to count
+            pytest.skip("no counter expectation for serial")
+        prompt = prompts_for(bench, exec_model)[0]
+        variant = variants_for(prompt.problem, prompt.model)[0]
+        res = runner.evaluate_sample(variant.source, prompt,
+                                     with_timing=True, profile=True)
+        assert res.status == "correct", (prompt.uid, res.detail)
+        assert res.profile.counters.get(key, 0.0) >= 1.0, \
+            (prompt.uid, res.profile.counters)
+
+
+class TestContentionCounters:
+    def _first_atomic_counters(self, bench, runner, exec_model):
+        for prompt in bench.prompts:
+            if prompt.model != exec_model \
+                    or prompt.problem.ptype != "histogram":
+                continue
+            for variant in variants_for(prompt.problem, prompt.model):
+                res = runner.evaluate_sample(variant.source, prompt,
+                                             with_timing=True, profile=True)
+                if res.status != "correct" or res.profile is None:
+                    continue
+                counters = res.profile.counters
+                if counters.get("atomic_ops", 0.0) > 0.0:
+                    return counters
+        pytest.fail(f"no correct atomic-using {exec_model} histogram "
+                    "variant")
+
+    def test_omp_atomic_histogram_surfaces_ops(self, bench, runner):
+        """``#pragma omp atomic`` histograms surface the tracer's op
+        count (targets stay 0 there — the pragma path prices array
+        updates as fully contended, see ``_atomic_extra``)."""
+        counters = self._first_atomic_counters(bench, runner, "openmp")
+        assert counters["atomic_ops"] >= 1.0
+        assert "atomic_targets" in counters
+
+    def test_gpu_atomic_builtin_reports_distinct_targets(self, bench,
+                                                         runner):
+        """``atomic_add`` histograms record distinct bins, so the
+        profile exposes both halves of Tracer.contention_stats."""
+        counters = self._first_atomic_counters(bench, runner, "cuda")
+        assert counters["atomic_targets"] >= 1.0
+        assert counters["atomic_ops"] >= counters["atomic_targets"]

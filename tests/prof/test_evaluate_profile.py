@@ -1,0 +1,158 @@
+"""Profile plumbing through evaluate_model, the scheduler, the cache and
+the exports: SampleRecord format v3 end to end."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.analysis.export import profile_csv, profile_rows, to_csv
+from repro.bench import PCGBench
+from repro.harness import ConfigurationError, EvalCache, evaluate_model
+from repro.harness.evaluate import EvalRun
+from repro.models import load_model
+from repro.prof import CATEGORIES, Profile, profile_of
+
+SAMPLES = 2
+SEED = 7
+
+
+@pytest.fixture(scope="module")
+def bench():
+    return PCGBench(problem_types=["stencil"], models=["openmp", "kokkos"])
+
+
+@pytest.fixture(scope="module")
+def llm():
+    return load_model("GPT-3.5")
+
+
+@pytest.fixture(scope="module")
+def profiled(llm, bench):
+    return evaluate_model(llm, bench, num_samples=SAMPLES, temperature=0.2,
+                          with_timing=True, seed=SEED, profile=True)
+
+
+@pytest.fixture(scope="module")
+def unprofiled(llm, bench):
+    return evaluate_model(llm, bench, num_samples=SAMPLES, temperature=0.2,
+                          with_timing=True, seed=SEED)
+
+
+def _strip_profiles(payload: str) -> dict:
+    doc = json.loads(payload)
+    for rec in doc.get("prompts", {}).values():
+        for sample in rec.get("samples", ()):
+            sample.pop("profile", None)
+    return doc
+
+
+class TestEvaluateModel:
+    def test_requires_timing(self, llm, bench):
+        with pytest.raises(ConfigurationError):
+            evaluate_model(llm, bench, num_samples=1, profile=True)
+
+    def test_correct_samples_carry_profiles(self, profiled):
+        correct = [s for r in profiled.prompts.values() for s in r.samples
+                   if s.status == "correct"]
+        assert correct
+        for s in correct:
+            prof = profile_of(s)
+            assert prof is not None
+            assert set(prof.categories) == set(s.times)
+            for n in s.times:
+                assert prof.total(n) == pytest.approx(s.times[n],
+                                                      rel=1e-9)
+
+    def test_failed_samples_have_no_profile(self, profiled):
+        for r in profiled.prompts.values():
+            for s in r.samples:
+                if s.status != "correct":
+                    assert s.profile is None
+
+    def test_profiling_off_is_byte_identical_semantics(self, profiled,
+                                                       unprofiled):
+        """Mirror of the faults idle-injector transparency check: the
+        profiled run minus its profile fields IS the unprofiled run."""
+        assert _strip_profiles(profiled.to_json()) == \
+            _strip_profiles(unprofiled.to_json())
+        assert all(s.profile is None for r in unprofiled.prompts.values()
+                   for s in r.samples)
+
+    def test_json_round_trip_preserves_profiles(self, profiled):
+        back = EvalRun.from_json(profiled.to_json())
+        assert back.to_json() == profiled.to_json()
+        sample = next(s for r in back.prompts.values() for s in r.samples
+                      if s.status == "correct")
+        assert Profile.from_dict(sample.profile).categories
+
+
+class TestScheduledDeterminism:
+    def test_jobs_match_serial_with_profiles(self, llm, bench, profiled):
+        parallel = evaluate_model(llm, bench, num_samples=SAMPLES,
+                                  temperature=0.2, with_timing=True,
+                                  seed=SEED, profile=True, jobs=2)
+        assert parallel.to_json() == profiled.to_json()
+
+
+class TestCache:
+    def test_profiled_and_plain_do_not_alias(self, llm, bench, tmp_path):
+        cache = EvalCache(cache_dir=str(tmp_path))
+        kw = dict(num_samples=SAMPLES, temperature=0.2, with_timing=True,
+                  seed=SEED)
+        plain = cache.get_or_run(llm, bench, **kw)
+        prof = cache.get_or_run(llm, bench, profile=True, **kw)
+        assert _strip_profiles(prof.to_json()) == \
+            _strip_profiles(plain.to_json())
+        assert any(s.profile for r in prof.prompts.values()
+                   for s in r.samples)
+        assert not any(s.profile for r in plain.prompts.values()
+                       for s in r.samples)
+        # second profiled call is a cache hit with profiles intact
+        again = cache.get_or_run(llm, bench, profile=True, **kw)
+        assert again.to_json() == prof.to_json()
+
+
+class TestExports:
+    def test_csv_gains_profile_columns_only_when_profiled(self, profiled,
+                                                          unprofiled):
+        header = to_csv(profiled).splitlines()[0].split(",")
+        assert "bottleneck" in header
+        assert "atomic_ops" in header and "atomic_targets" in header
+        for c in CATEGORIES:
+            assert f"p_{c}" in header
+        legacy = to_csv(unprofiled).splitlines()[0].split(",")
+        assert "bottleneck" not in legacy
+        assert not any(c.startswith("p_") for c in legacy)
+
+    def test_csv_share_cells_sum_to_one(self, profiled):
+        rows = list(csv.reader(io.StringIO(to_csv(profiled))))
+        header = rows[0]
+        cells = [dict(zip(header, r)) for r in rows[1:]]
+        seen = 0
+        for cell in cells:
+            if cell["status"] != "correct" or not cell["bottleneck"]:
+                continue
+            seen += 1
+            total = sum(float(cell[f"p_{c}"]) for c in CATEGORIES
+                        if cell[f"p_{c}"] != "")
+            assert total == pytest.approx(1.0, rel=1e-9)
+        assert seen
+
+    def test_profile_rows_and_csv(self, profiled):
+        rows = profile_rows(profiled)
+        assert rows
+        for row in rows:
+            assert row["exec_model"] in ("openmp", "kokkos")
+            shares = sum(float(row[c]) for c in CATEGORIES)
+            assert shares == pytest.approx(1.0, rel=1e-9)
+            assert row["lost"] == pytest.approx(
+                shares - float(row["compute"]), abs=1e-12)
+        text = profile_csv(profiled)
+        parsed = list(csv.reader(io.StringIO(text)))
+        assert parsed[0][:2] == ["exec_model", "n"]
+        assert len(parsed) == 1 + len(rows)
+
+    def test_unprofiled_run_yields_no_profile_rows(self, unprofiled):
+        assert profile_rows(unprofiled) == []

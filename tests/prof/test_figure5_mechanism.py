@@ -1,0 +1,94 @@
+"""The acceptance scenario: the profiler mechanically reproduces the
+paper's Figure 5 explanation.  On a stencil, the OpenMP efficiency decay
+is attributed to fork/join overhead (growing with thread count) plus the
+memory-bandwidth floor, while the Kokkos twin's persistent pool keeps its
+dispatch cost flat."""
+
+import pytest
+
+from repro.bench import PCGBench
+from repro.harness import Runner, evaluate_model
+from repro.models import load_model
+from repro.models.solutions import variants_for
+from repro.prof import classify_bottleneck
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return Runner()
+
+
+@pytest.fixture(scope="module")
+def profiles(runner):
+    bench = PCGBench(problem_types=["stencil"])
+    out = {}
+    for prompt in bench.prompts:
+        if prompt.problem.name != "jacobi_2d" \
+                or prompt.model not in ("openmp", "kokkos"):
+            continue
+        variant = variants_for(prompt.problem, prompt.model)[0]
+        res = runner.evaluate_sample(variant.source, prompt,
+                                     with_timing=True, profile=True)
+        assert res.status == "correct", (prompt.uid, res.detail)
+        out[prompt.model] = res.profile
+    assert set(out) == {"openmp", "kokkos"}
+    return out
+
+
+class TestFigure5Mechanism:
+    def test_openmp_decay_is_fork_join_plus_memory(self, profiles):
+        prof = profiles["openmp"]
+        ns = [n for n in prof.ns() if n > 1]
+        fork = [prof.at(n).get("fork_join", 0.0) for n in ns]
+        assert all(v > 0.0 for v in fork), "every region pays fork/join"
+        assert fork == sorted(fork) and fork[-1] > fork[0], \
+            "fork/join grows with thread count"
+        top = max(prof.ns())
+        assert prof.at(top).get("memory", 0.0) > 0.0, \
+            "the largest count hits the bandwidth floor"
+        assert prof.share(top, "compute") < 0.9
+
+    def test_kokkos_dispatch_is_flat(self, profiles):
+        prof = profiles["kokkos"]
+        ns = [n for n in prof.ns() if n > 1]
+        dispatch = [prof.at(n).get("dispatch", 0.0) for n in ns]
+        assert all(v > 0.0 for v in dispatch)
+        assert max(dispatch) < 2.0 * min(dispatch), \
+            "persistent pool: dispatch does not grow like fork/join"
+        assert all(prof.at(n).get("fork_join", 0.0) == 0.0 for n in ns), \
+            "kokkos never pays OpenMP region fork/join"
+
+    def test_openmp_overhead_exceeds_kokkos_at_scale(self, profiles):
+        top = max(profiles["openmp"].ns())
+        omp = profiles["openmp"].at(top).get("fork_join", 0.0)
+        kk = profiles["kokkos"].at(top).get("dispatch", 0.0)
+        assert omp > kk, \
+            "the mechanism behind the Figure 5 contrast at the largest n"
+
+    def test_both_leave_compute_bound_at_scale(self, profiles):
+        for model, prof in profiles.items():
+            top = max(prof.ns())
+            assert classify_bottleneck(prof.at(top)) != "compute-bound", \
+                (model, prof.at(top))
+
+
+class TestFig8Table:
+    def test_lost_cycles_table_renders_both_models(self):
+        from repro.analysis import fig8_lost_cycles
+
+        llm = load_model("GPT-3.5")
+        bench = PCGBench(problem_types=["stencil"],
+                         models=["openmp", "kokkos"])
+        run = evaluate_model(llm, bench, num_samples=2, temperature=0.2,
+                             with_timing=True, seed=7, profile=True)
+        data, text = fig8_lost_cycles({"GPT-3.5": run})
+        assert set(data) == {"openmp", "kokkos"}
+        assert "lost-cycles share, openmp" in text
+        assert "lost-cycles share, kokkos" in text
+        assert "lost time by category" in text
+        for exec_model in ("openmp", "kokkos"):
+            shares = data[exec_model]["GPT-3.5"]
+            assert shares, "profiled run must produce series"
+            top = max(shares)
+            assert 0.0 <= sum(v for k, v in shares[top].items()
+                              if k != "compute") <= 1.0

@@ -1,0 +1,155 @@
+"""Unit tests for the profile records and the conservation-by-construction
+accounting of :class:`ProfBuilder` (see ``docs/profiling.md``)."""
+
+import json
+
+import pytest
+
+from repro.prof import (
+    CATEGORIES,
+    LOST_CATEGORIES,
+    Profile,
+    ProfBuilder,
+    RunProfile,
+    merge_counters,
+)
+
+
+class _Cpu:
+    cycle = 2.0
+
+
+class _Machine:
+    cpu = _Cpu()
+
+
+class _Ctx:
+    """Minimal stand-in for ExecCtx: the three clocks + machine."""
+
+    def __init__(self, cost=100.0, extra=0.0, adjust=None, scale=1.0):
+        self.cost = cost
+        self.extra_units = extra
+        self.parallel_adjust = dict(adjust or {})
+        self.work_scale = scale
+        self.machine = _Machine()
+
+    def sim_seconds(self, n):
+        return (self.cost * self.work_scale + self.extra_units
+                + self.parallel_adjust.get(n, 0.0)) * self.machine.cpu.cycle
+
+
+class TestTaxonomy:
+    def test_compute_is_never_lost(self):
+        assert "compute" in CATEGORIES
+        assert "compute" not in LOST_CATEGORIES
+        assert set(LOST_CATEGORIES) == set(CATEGORIES) - {"compute"}
+
+
+class TestProfBuilder:
+    def test_pure_compute(self):
+        ctx = _Ctx(cost=50.0)
+        cats = ProfBuilder().categories_for(ctx, 1)
+        assert cats == {"compute": 50.0 * _Cpu.cycle}
+
+    def test_move_reclassifies_out_of_compute(self):
+        ctx = _Ctx(cost=100.0)
+        b = ProfBuilder()
+        b.move("critical", 30.0)
+        cats = b.categories_for(ctx, 1)
+        assert cats["critical"] == pytest.approx(30.0 * _Cpu.cycle)
+        assert cats["compute"] == pytest.approx(70.0 * _Cpu.cycle)
+        assert sum(cats.values()) == pytest.approx(ctx.sim_seconds(1))
+
+    def test_unattributed_extra_is_idle(self):
+        ctx = _Ctx(cost=10.0, extra=8.0)
+        b = ProfBuilder()
+        b.add_extra("message", 5.0)
+        cats = b.categories_for(ctx, 1)
+        assert cats["message"] == pytest.approx(5.0 * _Cpu.cycle)
+        assert cats["idle"] == pytest.approx(3.0 * _Cpu.cycle)
+        assert sum(cats.values()) == pytest.approx(ctx.sim_seconds(1))
+
+    def test_adjust_residue_lands_in_compute(self):
+        # a region that halves the work at n=2 (-50) and charges 7 units
+        # of named overhead: compute absorbs the negative ideal delta
+        ctx = _Ctx(cost=100.0, adjust={2: -50.0 + 7.0})
+        b = ProfBuilder()
+        b.add_adjust(2, "fork_join", 4.0)
+        b.add_adjust(2, "imbalance", 3.0)
+        cats = b.categories_for(ctx, 2)
+        assert cats["fork_join"] == pytest.approx(4.0 * _Cpu.cycle)
+        assert cats["imbalance"] == pytest.approx(3.0 * _Cpu.cycle)
+        assert cats["compute"] == pytest.approx(50.0 * _Cpu.cycle)
+        assert sum(cats.values()) == pytest.approx(ctx.sim_seconds(2))
+
+    def test_work_scale_applies_to_cost_clock_only(self):
+        ctx = _Ctx(cost=100.0, extra=10.0, scale=3.0)
+        b = ProfBuilder()
+        b.move("atomic", 20.0)
+        b.add_extra("collective", 10.0)
+        cats = b.categories_for(ctx, 1)
+        assert cats["atomic"] == pytest.approx(20.0 * 3.0 * _Cpu.cycle)
+        assert cats["collective"] == pytest.approx(10.0 * _Cpu.cycle)
+        assert sum(cats.values()) == pytest.approx(ctx.sim_seconds(1))
+
+    def test_zero_valued_categories_dropped_except_compute(self):
+        ctx = _Ctx(cost=0.0)
+        b = ProfBuilder()
+        b.move("critical", 0.0)       # no-op: zero units
+        cats = b.categories_for(ctx, 1)
+        assert cats == {"compute": 0.0}
+
+    def test_conservation_is_exact_not_approximate(self):
+        # awkward floats: the residue definition makes the sum *exact*
+        ctx = _Ctx(cost=0.1 + 0.2, extra=1e-17, adjust={4: -0.07})
+        b = ProfBuilder()
+        b.move("critical", 0.1)
+        b.add_adjust(4, "barrier", 0.013)
+        total = sum(b.categories_for(ctx, 4).values())
+        assert total == ctx.sim_seconds(4)
+
+    def test_snapshot_copies_counters(self):
+        ctx = _Ctx(cost=1.0)
+        b = ProfBuilder()
+        b.count("messages")
+        b.count("messages")
+        b.count("message_bytes", 64.0)
+        snap = b.snapshot(ctx, 1)
+        assert isinstance(snap, RunProfile)
+        assert snap.counters == {"messages": 2.0, "message_bytes": 64.0}
+        b.count("messages")
+        assert snap.counters["messages"] == 2.0  # detached copy
+        assert snap.total() == pytest.approx(ctx.sim_seconds(1))
+
+
+class TestProfile:
+    def _profile(self):
+        return Profile(model="openmp",
+                       categories={1: {"compute": 4.0},
+                                   32: {"compute": 0.3, "fork_join": 0.1}},
+                       counters={"parallel_regions": 2.0})
+
+    def test_ns_total_share(self):
+        p = self._profile()
+        assert p.ns() == [1, 32]
+        assert p.total(32) == pytest.approx(0.4)
+        assert p.share(32, "fork_join") == pytest.approx(0.25)
+        assert p.share(1, "fork_join") == 0.0
+
+    def test_json_round_trip_restores_int_keys(self):
+        p = self._profile()
+        wire = json.loads(json.dumps(p.to_dict()))
+        back = Profile.from_dict(wire)
+        assert back == p
+        assert all(isinstance(n, int) for n in back.categories)
+
+    def test_from_dict_tolerates_missing_fields(self):
+        assert Profile.from_dict({}) == Profile(model="")
+
+
+class TestMergeCounters:
+    def test_accumulates_in_place(self):
+        into = {"messages": 1.0}
+        out = merge_counters(into, {"messages": 2.0, "collectives": 3.0})
+        assert out is into
+        assert into == {"messages": 3.0, "collectives": 3.0}

@@ -80,6 +80,42 @@ class TestCLI:
         assert "Figure 1" in out and "Figure 3" in out
 
 
+class TestProfileCommand:
+    def test_reference_solution_cost_tree(self, capsys):
+        assert main(["profile", "stencil/jacobi_2d/openmp"]) == 0
+        out = capsys.readouterr().out
+        assert "solution[0]" in out and "correct" in out
+        assert "n=1" in out and "n=32" in out
+        assert "compute" in out and "fork_join" in out
+        assert "Karp–Flatt" in out
+        assert "counters:" in out and "parallel_regions=1" in out
+
+    def test_llm_samples(self, capsys):
+        assert main(["profile", "transform/relu/openmp",
+                     "--model", "GPT-4", "--samples", "2", "--all"]) == 0
+        out = capsys.readouterr().out
+        assert "GPT-4[0]" in out and "GPT-4[1]" in out
+
+    def test_unknown_uid(self, capsys):
+        assert main(["profile", "bogus/uid/here"]) == 2
+        assert "unknown prompt" in capsys.readouterr().err
+
+    def test_eval_profile_requires_timing(self, capsys):
+        assert main(["eval", "--models", "GPT-3.5", "--ptypes",
+                     "transform", "--exec", "serial", "--samples", "1",
+                     "--profile"]) == 2
+        assert "with_timing" in capsys.readouterr().err
+
+    def test_eval_profile_prints_lost_cycles(self, capsys):
+        assert main([
+            "eval", "--models", "GPT-3.5", "--ptypes", "stencil",
+            "--exec", "openmp,kokkos", "--samples", "2",
+            "--timing", "--profile",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 8" in out and "lost-cycles share" in out
+
+
 _RACY = """
 kernel sum_of_elements(x: array<float>) -> float {
     let total = 0.0;
@@ -154,5 +190,5 @@ class TestChaosCommand:
     def test_chaos_suite_passes(self, capsys):
         assert main(["chaos", "--seed", "11", "--jobs", "2"]) == 0
         out = capsys.readouterr().out
-        assert "4/4 invariants hold" in out
+        assert "5/5 invariants hold" in out
         assert "[FAIL]" not in out
