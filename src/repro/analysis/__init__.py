@@ -13,7 +13,14 @@ from .aggregate import (
     speedup_by_exec_model,
     status_breakdown,
 )
-from .export import compare_runs, profile_csv, profile_rows, summary_rows, to_csv
+from .export import (
+    compare_runs,
+    profile_csv,
+    profile_rows,
+    service_metrics_csv,
+    summary_rows,
+    to_csv,
+)
 from .figures import (
     fig1_pass_by_exec_model,
     fig2_overall,
@@ -29,6 +36,7 @@ from .tables import curve_table, per_model_table, render_table, table1, table2
 __all__ = [
     "aggregate", "figures", "tables", "export", "problem_size",
     "to_csv", "summary_rows", "compare_runs", "profile_rows", "profile_csv",
+    "service_metrics_csv",
     "pass_by_exec_model", "pass_serial_vs_parallel", "pass_by_ptype",
     "pass_curve", "speedup_by_exec_model", "efficiency_by_exec_model",
     "efficiency_curve", "status_breakdown",

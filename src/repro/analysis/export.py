@@ -98,6 +98,36 @@ def profile_csv(run: EvalRun) -> str:
     return buf.getvalue()
 
 
+def service_metrics_csv(snapshot: Dict[str, object]) -> str:
+    """Flatten a serving-layer ``/metrics`` snapshot to (section, key,
+    value) rows — the ``/metrics.csv`` endpoint and the archival format
+    for service-run dashboards.
+
+    Nested dicts become dotted keys within their section (histogram
+    buckets, per-shard stats, profile cost totals); scalars land in the
+    ``service`` section.  Purely mechanical so the CSV and JSON views
+    can never disagree.
+    """
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(["section", "key", "value"])
+
+    def emit(section: str, prefix: str, value: object) -> None:
+        if isinstance(value, dict):
+            for k in sorted(value, key=str):
+                emit(section, f"{prefix}.{k}" if prefix else str(k), value[k])
+        else:
+            writer.writerow([section, prefix, value])
+
+    for key in sorted(snapshot, key=str):
+        value = snapshot[key]
+        if isinstance(value, dict):
+            emit(str(key), "", value)
+        else:
+            writer.writerow(["service", key, value])
+    return buf.getvalue()
+
+
 def summary_rows(run: EvalRun) -> List[Dict[str, object]]:
     """Per-(exec model, ptype) pass@1 cells — the full Figure 1 x Figure 3
     cross table for one model."""

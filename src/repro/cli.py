@@ -26,6 +26,14 @@ Commands
     Run MiniParSan (``repro.lint``) over one MiniPar source file, or over
     the whole handwritten baseline + solution corpus.  Exit status: 0
     when no ``definite`` diagnostics, 1 when any, 2 on a build error.
+``serve [--host H] [--port P] [--shards N] [--jobs N] [--queue N]``
+    Run the evaluation service (``docs/serving.md``): JSON over HTTP,
+    micro-batched requests deduplicated across clients by content hash,
+    sharded worker pools with per-shard resume journals, bounded-queue
+    admission control (429 + Retry-After on overload), and a
+    ``/metrics`` endpoint.  ``--smoke`` starts the server, drives one
+    request through a live socket, checks the digest, and exits —
+    the CI liveness check.
 ``chaos [--seed N] [--jobs N] [--plan FILE]``
     Run the fault-injection invariant suite (``docs/faults.md``): same
     seed replays the same faults, a fault-free injector is byte-for-byte
@@ -317,6 +325,73 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return 1 if definite(diags) else 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .serve import EvalService, HttpServer
+
+    async def _smoke() -> int:
+        import json
+
+        from .serve.client import HttpClient
+
+        service = _make_service()
+        server = HttpServer(service, args.host, 0)    # ephemeral port
+        await service.start()
+        await server.start()
+        host, port = server.address
+        client = HttpClient(host, port)
+        try:
+            status, _, body = await client.submit({
+                "model": "GPT-3.5", "ptypes": ["transform"],
+                "exec": ["serial", "openmp"], "samples": 2, "seed": 7})
+            if status != 202:
+                print(f"smoke: submit failed: {status} {body}",
+                      file=sys.stderr)
+                return 1
+            snap = await client.poll_until_done(body["id"])
+            code, headers, payload = await client.result(body["id"])
+            metrics = await client.metrics()
+            ok = (snap["status"] == "done" and code == 200
+                  and headers.get("x-run-digest") == snap.get("digest")
+                  and json.loads(payload)["llm"] == "GPT-3.5"
+                  and metrics["completed"] == 1)
+            print(f"smoke: status={snap['status']} digest="
+                  f"{headers.get('x-run-digest', '')[:16]}... "
+                  f"executed={metrics['tasks_executed']} "
+                  f"-> {'ok' if ok else 'FAILED'}")
+            return 0 if ok else 1
+        finally:
+            await server.stop()
+            await service.shutdown(drain=True)
+
+    def _make_service() -> EvalService:
+        return EvalService(
+            workdir=Path(args.workdir), shards=args.shards,
+            jobs_per_shard=args.jobs, max_queue=args.queue,
+            batch_window=args.batch_window, max_batch=args.max_batch,
+            batching=args.batching)
+
+    if args.smoke:
+        return asyncio.run(_smoke())
+
+    async def _serve() -> int:
+        from .serve.http import serve_forever
+
+        service = _make_service()
+        print(f"repro serve: listening on {args.host}:{args.port} "
+              f"({args.shards} shards x {args.jobs} jobs, "
+              f"queue {args.queue})", file=sys.stderr)
+        await serve_forever(service, args.host, args.port)
+        return 0
+
+    try:
+        return asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("repro serve: shut down", file=sys.stderr)
+        return 0
+
+
 def cmd_chaos(args: argparse.Namespace) -> int:
     from .faults import FaultPlan
     from .faults.chaos import run_chaos
@@ -437,6 +512,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--corpus", action="store_true",
                    help="lint every handwritten baseline and solution")
     p.set_defaults(fn=cmd_lint)
+
+    p = sub.add_parser(
+        "serve", help="run the async batched evaluation service")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8752)
+    p.add_argument("--shards", type=_positive_int, default=2,
+                   help="worker pools the merged task set is split across")
+    p.add_argument("--jobs", "-j", type=_positive_int, default=1,
+                   help="worker processes per shard")
+    p.add_argument("--queue", type=_positive_int, default=64,
+                   help="max in-flight requests before 429 rejections")
+    p.add_argument("--batch-window", type=float, default=0.05,
+                   help="seconds to wait for co-batchable requests")
+    p.add_argument("--max-batch", type=_positive_int, default=16,
+                   help="max requests coalesced into one batch")
+    p.add_argument("--no-batching", dest="batching", action="store_false",
+                   help="execute every request as its own batch")
+    p.add_argument("--workdir", default=".repro_serve",
+                   help="shard journals + sample cache directory")
+    p.add_argument("--smoke", action="store_true",
+                   help="start, run one request through a live socket, "
+                        "verify, and exit (CI liveness check)")
+    p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser(
         "chaos", help="run the fault-injection invariant suite")

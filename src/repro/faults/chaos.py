@@ -26,8 +26,13 @@ properties as executable checks over a small fixed benchmark slice
    composes with injection: the same seed yields byte-identical
    *profiled* ``EvalRun`` JSON, and turning profiling on never perturbs
    the statuses or times of the run it decorates.
+6. **serve-resilience** — the evaluation service (``repro.serve``)
+   survives a shard worker pool dying mid-request (``serve.shard.die``)
+   composed with worker kills: every shard resumes from its per-shard
+   journal and the served result stays byte-identical to a direct
+   ``evaluate_model`` call.
 
-``repro chaos`` runs all five from the command line; the CI ``chaos``
+``repro chaos`` runs all six from the command line; the CI ``chaos``
 job and ``tests/faults/test_chaos.py`` pin them as regressions.
 """
 
@@ -228,6 +233,63 @@ def check_kill_resume(workdir: Union[str, Path],
                        "reproduced the reference run")
 
 
+def check_serve_resilience(workdir: Union[str, Path],
+                           jobs: int = 2) -> ChaosReport:
+    """Shard deaths + worker kills inside the service still serve the
+    byte-identical run.
+
+    One request is pushed through an in-process :class:`EvalService`
+    under a plan that (a) hard-kills every task's first worker attempt
+    and (b) aborts each shard's pool loop right after its first task
+    finishes (``serve.shard.die``, once per shard).  The shard runners
+    must resume from their per-shard journals, and the served
+    ``EvalRun`` must match a direct fault-free ``evaluate_model`` call
+    byte for byte — the differential guarantee under maximum
+    infrastructure hostility.
+    """
+    import asyncio
+
+    from ..serve import EvalRequest, EvalService
+    from ..serve.client import ServiceClient
+
+    llm, bench = chaos_slice()
+    reference = _eval(llm, bench)
+    plan = FaultPlan(rules=(
+        FaultRule(point="sched.worker.kill", action="kill", match="#a0"),
+        FaultRule(point="serve.shard.die", action="abort",
+                  occurrences=(0,)),
+    ), seed=0)
+    request = EvalRequest(model=CHAOS_LLM, ptypes=CHAOS_PTYPES,
+                          exec_models=CHAOS_EXEC, samples=CHAOS_SAMPLES,
+                          seed=CHAOS_SEED)
+
+    async def _serve_once() -> Tuple[EvalRun, dict]:
+        service = EvalService(Path(workdir), shards=2, jobs_per_shard=jobs,
+                              sample_cache=False)
+        await service.start()
+        try:
+            run = await ServiceClient(service).evaluate(request)
+        finally:
+            await service.shutdown(drain=True)
+        return run, service.metrics_snapshot()
+
+    with injector(plan):
+        served, snap = asyncio.run(_serve_once())
+    if served.to_json() != reference.to_json():
+        return ChaosReport("serve-resilience", False,
+                           "served run under shard deaths + worker kills "
+                           "diverged from direct evaluation")
+    if snap["shard_restarts"] < 1:
+        return ChaosReport("serve-resilience", False,
+                           "the shard-death fault never fired "
+                           "(shard_restarts == 0); the invariant is vacuous")
+    return ChaosReport(
+        "serve-resilience", True,
+        f"{snap['shard_restarts']} shard deaths and every first worker "
+        f"attempt killed; {snap['tasks_from_journal']} tasks resumed from "
+        "per-shard journals and the served run matches direct evaluation")
+
+
 def run_chaos(seed: int = 11, jobs: int = 4,
               workdir: Optional[Union[str, Path]] = None,
               log: Optional[Callable[[str], None]] = None
@@ -249,8 +311,14 @@ def run_chaos(seed: int = 11, jobs: int = 4,
     if workdir is not None:
         step("kill-resume",
              lambda: check_kill_resume(workdir, jobs=min(jobs, 2), log=log))
+        step("serve-resilience",
+             lambda: check_serve_resilience(Path(workdir) / "serve",
+                                            jobs=min(jobs, 2)))
     else:
         with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
             step("kill-resume",
                  lambda: check_kill_resume(tmp, jobs=min(jobs, 2), log=log))
+            step("serve-resilience",
+                 lambda: check_serve_resilience(Path(tmp) / "serve",
+                                                jobs=min(jobs, 2)))
     return reports

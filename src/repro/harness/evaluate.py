@@ -101,6 +101,14 @@ class EvalRun:
         payload = asdict(self)
         return json.dumps(payload)
 
+    def digest(self) -> str:
+        """SHA-256 of the serialised run — the identity the differential
+        tests (and the service's ``X-Run-Digest`` header) compare, so
+        "byte-identical" is checkable without shipping both payloads."""
+        import hashlib
+
+        return hashlib.sha256(self.to_json().encode("utf-8")).hexdigest()
+
     @classmethod
     def from_json(cls, text: str) -> "EvalRun":
         try:

@@ -20,6 +20,7 @@ from .analyze import (
     overhead_growth,
     profile_of,
     render_cost_tree,
+    run_cost_totals,
     serial_fraction,
 )
 from .record import (
@@ -48,5 +49,6 @@ __all__ = [
     "overhead_growth",
     "profile_of",
     "render_cost_tree",
+    "run_cost_totals",
     "serial_fraction",
 ]

@@ -176,6 +176,29 @@ def lost_cycles_rows(run, exec_models: Optional[Iterable[str]] = None
     return rows
 
 
+def run_cost_totals(run) -> Dict[str, float]:
+    """Total simulated seconds per cost category over one EvalRun-like
+    object, at each sample's largest measured processor count.
+
+    Raw seconds (not shares): the caller is an aggregator — the serving
+    layer folds these into its ``/metrics`` cost breakdown so a fleet of
+    requests exposes *where* its simulated cycles went.  ``correct``
+    samples only, mirroring :func:`lost_cycles_by_n`.
+    """
+    totals: Dict[str, float] = {}
+    for rec in run.prompts.values():
+        for s in rec.samples:
+            if getattr(s, "status", "") != "correct":
+                continue
+            prof = profile_of(s)
+            if prof is None or not prof.categories:
+                continue
+            top = max(prof.categories)
+            for cat, v in prof.categories[top].items():
+                totals[cat] = totals.get(cat, 0.0) + v
+    return totals
+
+
 # -- rendering ----------------------------------------------------------------
 
 

@@ -43,16 +43,17 @@ from .plan import (
     build_plan,
     runner_fingerprint,
     sample_task_id,
+    shard_for,
 )
 from .pool import WorkerPool
-from .scheduler import run_scheduled
+from .scheduler import TRANSIENT_STATUSES, run_scheduled
 from .worker import execute_task, failure_payload, init_harness
 
 __all__ = [
     # plan
     "Plan", "PromptPlan", "SampleSlot", "TaskSpec", "build_plan", "assemble",
     "sample_task_id", "baseline_task_id", "runner_fingerprint", "bench_spec",
-    "KIND_SAMPLE", "KIND_BASELINE",
+    "shard_for", "KIND_SAMPLE", "KIND_BASELINE",
     # pool + worker
     "WorkerPool", "init_harness", "execute_task", "failure_payload",
     # journal
@@ -63,5 +64,5 @@ __all__ = [
     "ProgressPrinter", "SchedulerAbort", "chain",
     "SOURCE_EXECUTED", "SOURCE_JOURNAL", "SOURCE_CACHE", "SOURCE_FAILED",
     # orchestration
-    "run_scheduled",
+    "run_scheduled", "TRANSIENT_STATUSES",
 ]

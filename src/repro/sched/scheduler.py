@@ -35,7 +35,8 @@ from .worker import execute_task, failure_payload, init_harness, valid_result
 
 #: statuses that are never journaled or cached: the infrastructure (not
 #: the sample) failed, so a resumed run must resample the task
-_TRANSIENT_STATUSES = frozenset({"system_error"})
+TRANSIENT_STATUSES = frozenset({"system_error"})
+_TRANSIENT_STATUSES = TRANSIENT_STATUSES
 
 
 def run_scheduled(

@@ -1,0 +1,52 @@
+"""repro.serve — async batched evaluation service over sharded pools.
+
+The serving layer turns the batch evaluation pipeline into a long-lived
+service: clients submit evaluation requests (model, benchmark slice,
+samples, seed), concurrent requests are micro-batched into one shared
+job graph with cross-request content deduplication, the merged task set
+is sharded across worker pools with per-shard resume journals, and each
+request's result is reassembled byte-identical to what a direct
+``evaluate_model`` call would have produced.  See ``docs/serving.md``.
+"""
+
+from .batcher import (
+    batch_key,
+    partition_tasks,
+    plan_batch,
+    plan_request,
+    union_tasks,
+)
+from .client import HttpClient, RequestFailed, ServiceClient, http_request
+from .http import HttpServer, serve_forever
+from .metrics import Histogram, ServiceMetrics
+from .service import (
+    EvalRequest,
+    EvalService,
+    Overloaded,
+    RequestTicket,
+    ServiceClosed,
+)
+from .shards import ShardResult, run_shard
+
+__all__ = [
+    "EvalRequest",
+    "EvalService",
+    "Histogram",
+    "HttpClient",
+    "HttpServer",
+    "Overloaded",
+    "RequestFailed",
+    "RequestTicket",
+    "ServiceClient",
+    "ServiceClosed",
+    "ServiceMetrics",
+    "ShardResult",
+    "batch_key",
+    "http_request",
+    "partition_tasks",
+    "plan_batch",
+    "plan_request",
+    "run_shard",
+    "serve_forever",
+    "union_tasks",
+]

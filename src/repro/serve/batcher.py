@@ -1,0 +1,87 @@
+"""Micro-batching: coalesce concurrent requests into one shared job graph.
+
+The planner (:func:`repro.sched.plan.build_plan`) keys every task by a
+content hash of ``(kind, source, prompt uid, runner fingerprint, mode)``,
+so coalescing *across* requests is set union: two requests that generate
+a byte-identical sample for the same prompt under the same runner share
+one task, exactly as two samples within one run already do.  The batch
+executes the union once, and each request's :class:`EvalRun` is
+reassembled from the shared result map through its *own* plan
+(:func:`repro.sched.plan.assemble`), which is what keeps a served result
+byte-identical to a direct ``evaluate_model`` call — the demultiplexing
+step cannot perturb science outputs because it never touches payloads,
+only routes them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Sequence, Tuple
+
+from ..bench.registry import PCGBench
+from ..harness.evaluate import effective_samples
+from ..harness.runner import Runner
+from ..models import load_model
+from ..sched.plan import Plan, TaskSpec, build_plan, shard_for
+
+
+def plan_request(request, runner: Runner) -> Plan:
+    """Expand one admitted request into its deterministic job graph."""
+    llm = load_model(request.model)
+    bench = PCGBench(
+        problem_types=list(request.ptypes) if request.ptypes else None,
+        models=list(request.exec_models) if request.exec_models else None)
+    return build_plan(llm, bench, effective_samples(request.samples),
+                      request.temperature, request.with_timing, runner,
+                      request.seed, profile=request.profile)
+
+
+def plan_batch(requests: Sequence, runner: Runner
+               ) -> Tuple[List[Plan], Tuple[str, ...], Tuple[str, ...]]:
+    """Plans for every request plus the union bench slice.
+
+    Workers are initialised with the *union* of problem types and
+    execution models across the batch, so one pool can resolve every
+    prompt uid in the merged task set regardless of which request
+    contributed it.
+    """
+    plans = [plan_request(req, runner) for req in requests]
+    ptypes = tuple(dict.fromkeys(
+        pt for plan in plans for pt in plan.bench_ptypes))
+    models = tuple(dict.fromkeys(
+        m for plan in plans for m in plan.bench_models))
+    return plans, ptypes, models
+
+
+def union_tasks(plans: Sequence[Plan]) -> Dict[str, TaskSpec]:
+    """Content-deduplicated union of every plan's tasks, in first-use
+    order (deterministic: plan order, then each plan's task order)."""
+    union: Dict[str, TaskSpec] = {}
+    for plan in plans:
+        for task_id, spec in plan.tasks.items():
+            union.setdefault(task_id, spec)
+    return union
+
+
+def partition_tasks(union: Dict[str, TaskSpec], shards: int
+                    ) -> List[Dict[str, TaskSpec]]:
+    """Split the merged task set across shards by task-id hash."""
+    parts: List[Dict[str, TaskSpec]] = [{} for _ in range(shards)]
+    for task_id, spec in union.items():
+        parts[shard_for(task_id, shards)][task_id] = spec
+    return parts
+
+
+def batch_key(union: Dict[str, TaskSpec]) -> str:
+    """Digest identifying one batch's merged task set — the run key of
+    the per-shard journals, stable across shard restarts within the
+    batch (sorted, so shard partitioning cannot change it)."""
+    digest = hashlib.sha256()
+    for task_id in sorted(union):
+        digest.update(task_id.encode())
+        digest.update(b"\x00")
+    return digest.hexdigest()[:24]
+
+
+__all__ = ["plan_request", "plan_batch", "union_tasks", "partition_tasks",
+           "batch_key"]

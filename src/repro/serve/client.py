@@ -1,0 +1,136 @@
+"""Clients for the evaluation service.
+
+Two flavours, one protocol:
+
+* :class:`ServiceClient` talks to an in-process :class:`EvalService`
+  directly — no sockets, no serialisation of the run payload.  The load
+  and differential tests use it because it removes HTTP from the
+  equation while exercising the identical admission/batching path.
+* :func:`http_request` is a tiny asyncio-streams HTTP/1.1 helper (again:
+  no new dependencies) that the HTTP tests and the smoke command use to
+  drive a live server; :class:`HttpClient` wraps it with the service's
+  route shapes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Dict, Optional, Tuple
+
+from ..harness.evaluate import EvalRun
+from .service import DONE, EvalRequest, EvalService, RequestTicket
+
+
+class RequestFailed(Exception):
+    """The service retired the request without a result."""
+
+    def __init__(self, ticket: RequestTicket):
+        super().__init__(f"{ticket.id} {ticket.status}: {ticket.error}")
+        self.ticket = ticket
+
+
+class ServiceClient:
+    """Direct in-process client for an :class:`EvalService`."""
+
+    def __init__(self, service: EvalService):
+        self.service = service
+
+    def submit(self, request: EvalRequest) -> str:
+        """Admit a request; returns its id.  Raises what submit raises
+        (:class:`Overloaded`, :class:`ServiceClosed`)."""
+        return self.service.submit(request).id
+
+    async def wait(self, request_id: str) -> RequestTicket:
+        return await self.service.wait(request_id)
+
+    async def result(self, request_id: str) -> EvalRun:
+        """Wait for the request and return its run; raises
+        :class:`RequestFailed` on expiry/failure."""
+        ticket = await self.wait(request_id)
+        if ticket.status != DONE or ticket.run is None:
+            raise RequestFailed(ticket)
+        return ticket.run
+
+    async def evaluate(self, request: EvalRequest) -> EvalRun:
+        """Submit and wait — one round trip."""
+        return await self.result(self.submit(request))
+
+
+async def http_request(host: str, port: int, method: str, path: str,
+                       body: Optional[bytes] = None,
+                       timeout: float = 60.0
+                       ) -> Tuple[int, Dict[str, str], bytes]:
+    """One HTTP/1.1 exchange over asyncio streams.
+
+    Returns ``(status, headers, body)`` with header names lower-cased.
+    """
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        payload = body or b""
+        head = (f"{method} {path} HTTP/1.1\r\n"
+                f"Host: {host}:{port}\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                f"Connection: close\r\n\r\n")
+        writer.write(head.encode("ascii") + payload)
+        await writer.drain()
+        raw = await asyncio.wait_for(reader.read(), timeout=timeout)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except ConnectionError:
+            pass
+    header_blob, _, body_out = raw.partition(b"\r\n\r\n")
+    lines = header_blob.decode("latin-1").split("\r\n")
+    status = int(lines[0].split()[1])
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    return status, headers, body_out
+
+
+class HttpClient:
+    """Convenience wrapper speaking the service's HTTP routes."""
+
+    def __init__(self, host: str, port: int, poll_interval: float = 0.05):
+        self.host = host
+        self.port = port
+        self.poll_interval = poll_interval
+
+    async def submit(self, request_body: Dict[str, object]
+                     ) -> Tuple[int, Dict[str, str], Dict[str, object]]:
+        status, headers, body = await http_request(
+            self.host, self.port, "POST", "/v1/eval",
+            json.dumps(request_body).encode("utf-8"))
+        return status, headers, json.loads(body or b"{}")
+
+    async def status(self, request_id: str) -> Dict[str, object]:
+        _, _, body = await http_request(
+            self.host, self.port, "GET", f"/v1/requests/{request_id}")
+        return json.loads(body)
+
+    async def poll_until_done(self, request_id: str,
+                              timeout: float = 300.0) -> Dict[str, object]:
+        async def _poll():
+            while True:
+                snap = await self.status(request_id)
+                if snap.get("status") in ("done", "failed", "expired"):
+                    return snap
+                await asyncio.sleep(self.poll_interval)
+        return await asyncio.wait_for(_poll(), timeout=timeout)
+
+    async def result(self, request_id: str
+                     ) -> Tuple[int, Dict[str, str], bytes]:
+        return await http_request(
+            self.host, self.port, "GET",
+            f"/v1/requests/{request_id}/result")
+
+    async def metrics(self) -> Dict[str, object]:
+        _, _, body = await http_request(self.host, self.port, "GET",
+                                        "/metrics")
+        return json.loads(body)
+
+
+__all__ = ["HttpClient", "RequestFailed", "ServiceClient", "http_request"]

@@ -1,0 +1,205 @@
+"""Service observability: counters, latency histograms, shard accounting.
+
+One :class:`ServiceMetrics` instance aggregates everything the
+``/metrics`` endpoint exposes — admission counters, queue depth, wait/run
+latency histograms, batching effectiveness (tasks planned vs unique vs
+executed), per-shard utilisation folded in from the scheduler's
+:class:`~repro.sched.events.Telemetry`, and the cost-category totals of
+profiled requests (:func:`repro.prof.run_cost_totals`).
+
+Everything is guarded by one lock: shard runners report from executor
+threads while the HTTP handlers read from the event loop.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional
+
+from ..sched.events import Telemetry
+
+#: histogram bucket upper bounds, seconds (log-ish spacing; the last
+#: bucket is open-ended)
+LATENCY_BUCKETS = (0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0,
+                   30.0, 60.0)
+
+
+class Histogram:
+    """Fixed-bucket latency histogram (callers hold the metrics lock)."""
+
+    def __init__(self, bounds=LATENCY_BUCKETS):
+        self.bounds = tuple(bounds)
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.total = 0.0
+        self.n = 0
+        self.max = 0.0
+
+    def observe(self, value: float) -> None:
+        self.n += 1
+        self.total += value
+        self.max = max(self.max, value)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    def to_dict(self) -> Dict[str, object]:
+        buckets = {f"le_{b:g}": c for b, c in zip(self.bounds, self.counts)}
+        buckets["inf"] = self.counts[-1]
+        return {
+            "count": self.n,
+            "sum_seconds": self.total,
+            "max_seconds": self.max,
+            "mean_seconds": (self.total / self.n) if self.n else 0.0,
+            "buckets": buckets,
+        }
+
+
+class ServiceMetrics:
+    """Thread-safe aggregate of everything ``/metrics`` reports."""
+
+    def __init__(self, shards: int):
+        self._lock = threading.Lock()
+        self.shards = shards
+        # admission / lifecycle counters
+        self.accepted = 0
+        self.rejected = 0
+        self.completed = 0
+        self.failed = 0
+        self.expired = 0
+        # batching effectiveness
+        self.batches = 0
+        self.batched_requests = 0
+        self.tasks_planned = 0      # naive sum over per-request plans
+        self.tasks_unique = 0       # after cross-request content dedup
+        self.tasks_executed = 0
+        self.tasks_from_cache = 0
+        self.tasks_from_journal = 0
+        self.tasks_failed = 0
+        self.shard_restarts = 0
+        # latency
+        self.wait_seconds = Histogram()
+        self.run_seconds = Histogram()
+        #: exponential moving average of per-batch wall seconds — feeds
+        #: the Retry-After estimate on overload rejections
+        self.ema_batch_seconds = 0.0
+        # per-shard accounting (telemetry merges)
+        self.shard_busy: Dict[int, float] = {k: 0.0 for k in range(shards)}
+        self.shard_tasks: Dict[int, int] = {k: 0 for k in range(shards)}
+        self.shard_crashes: Dict[int, int] = {k: 0 for k in range(shards)}
+        # cost-category totals of profiled completed requests
+        self.profile_totals: Dict[str, float] = {}
+
+    # -- recording ----------------------------------------------------------
+
+    def record_admission(self, accepted: bool) -> None:
+        with self._lock:
+            if accepted:
+                self.accepted += 1
+            else:
+                self.rejected += 1
+
+    def record_terminal(self, status: str, wait_s: Optional[float] = None,
+                        run_s: Optional[float] = None) -> None:
+        with self._lock:
+            if status == "done":
+                self.completed += 1
+            elif status == "expired":
+                self.expired += 1
+            else:
+                self.failed += 1
+            if wait_s is not None:
+                self.wait_seconds.observe(wait_s)
+            if run_s is not None:
+                self.run_seconds.observe(run_s)
+
+    def record_batch(self, requests: int, planned: int, unique: int,
+                     wall_seconds: float) -> None:
+        with self._lock:
+            self.batches += 1
+            self.batched_requests += requests
+            self.tasks_planned += planned
+            self.tasks_unique += unique
+            alpha = 0.3
+            if self.ema_batch_seconds == 0.0:
+                self.ema_batch_seconds = wall_seconds
+            else:
+                self.ema_batch_seconds = (alpha * wall_seconds
+                                          + (1 - alpha) * self.ema_batch_seconds)
+
+    def record_shard(self, shard: int, telemetry: Telemetry,
+                     restarts: int = 0) -> None:
+        """Fold one shard run's Telemetry into the service aggregate."""
+        with self._lock:
+            self.tasks_executed += telemetry.executed
+            self.tasks_from_cache += telemetry.from_cache
+            self.tasks_from_journal += telemetry.from_journal
+            self.tasks_failed += telemetry.failed
+            self.shard_restarts += restarts
+            self.shard_busy[shard] = (self.shard_busy.get(shard, 0.0)
+                                      + telemetry.busy_seconds)
+            self.shard_tasks[shard] = (self.shard_tasks.get(shard, 0)
+                                       + telemetry.total)
+            self.shard_crashes[shard] = (self.shard_crashes.get(shard, 0)
+                                         + telemetry.crashes)
+
+    def record_profile(self, totals: Dict[str, float]) -> None:
+        with self._lock:
+            for cat, v in totals.items():
+                self.profile_totals[cat] = self.profile_totals.get(cat, 0.0) + v
+
+    # -- reading ------------------------------------------------------------
+
+    def dedup_saved(self) -> int:
+        """Tasks that cross-request batching removed before execution."""
+        with self._lock:
+            return self.tasks_planned - self.tasks_unique
+
+    def retry_after(self, inflight: int) -> int:
+        """Integer seconds a rejected client should back off — queue depth
+        times the smoothed batch cost, never less than one second."""
+        with self._lock:
+            per_batch = self.ema_batch_seconds or 1.0
+        estimate = max(1.0, inflight * per_batch / max(1, self.shards))
+        return min(60, int(estimate + 0.999))
+
+    def snapshot(self, queue_depth: int = 0, running: int = 0,
+                 state: str = "") -> Dict[str, object]:
+        """One JSON-able dict: the body of ``GET /metrics``."""
+        with self._lock:
+            return {
+                "state": state,
+                "queue_depth": queue_depth,
+                "running": running,
+                "accepted": self.accepted,
+                "rejected": self.rejected,
+                "completed": self.completed,
+                "failed": self.failed,
+                "expired": self.expired,
+                "batches": self.batches,
+                "batched_requests": self.batched_requests,
+                "tasks_planned": self.tasks_planned,
+                "tasks_unique": self.tasks_unique,
+                "tasks_deduped": self.tasks_planned - self.tasks_unique,
+                "tasks_executed": self.tasks_executed,
+                "tasks_from_cache": self.tasks_from_cache,
+                "tasks_from_journal": self.tasks_from_journal,
+                "tasks_failed": self.tasks_failed,
+                "shard_restarts": self.shard_restarts,
+                "ema_batch_seconds": self.ema_batch_seconds,
+                "wait_seconds": self.wait_seconds.to_dict(),
+                "run_seconds": self.run_seconds.to_dict(),
+                "shards": {
+                    str(k): {
+                        "busy_seconds": self.shard_busy.get(k, 0.0),
+                        "tasks": self.shard_tasks.get(k, 0),
+                        "crashes": self.shard_crashes.get(k, 0),
+                    }
+                    for k in sorted(self.shard_busy)
+                },
+                "profile_totals": dict(self.profile_totals),
+            }
+
+
+__all__ = ["Histogram", "LATENCY_BUCKETS", "ServiceMetrics"]

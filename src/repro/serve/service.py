@@ -1,0 +1,422 @@
+"""The asynchronous evaluation service: admission, batching, shard fan-out.
+
+:class:`EvalService` is the in-process core the HTTP front end
+(:mod:`repro.serve.http`) wraps.  Lifecycle of one request:
+
+1. **Admission** (:meth:`EvalService.submit`, synchronous): validate,
+   reject with :class:`Overloaded` when the bounded queue is full (the
+   HTTP layer turns that into ``429`` + ``Retry-After``), otherwise
+   enqueue a :class:`RequestTicket`.
+2. **Batching** (:meth:`EvalService._batch_loop`): the loop takes the
+   oldest queued ticket, then keeps collecting until ``batch_window``
+   seconds pass or ``max_batch`` requests are in hand.
+3. **Execution** (:meth:`EvalService._run_batch`): expired-while-queued
+   tickets are retired; the rest are planned, their task sets merged by
+   content hash (:mod:`repro.serve.batcher`), partitioned across shards,
+   and executed on per-shard worker pools with per-shard resume journals
+   (:mod:`repro.serve.shards`) in executor threads — the event loop stays
+   responsive for status polls throughout.
+4. **Demultiplexing**: each ticket's :class:`~repro.harness.evaluate.EvalRun`
+   is reassembled from the shared result map through its own plan, so a
+   served run is byte-identical to a direct ``evaluate_model`` call.
+
+Graceful shutdown (:meth:`EvalService.shutdown` with ``drain=True``)
+closes admission, finishes every accepted request, then stops; nothing
+accepted is ever dropped.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from ..bench.spec import EXECUTION_MODELS, PROBLEM_TYPES
+from ..harness.evaluate import EvalRun
+from ..harness.runner import Runner
+from ..models import MODEL_ORDER
+from ..prof import run_cost_totals
+from ..sched.events import Telemetry
+from ..sched.plan import Plan, assemble
+from ..sched.worker import failure_payload
+from .batcher import batch_key, partition_tasks, plan_batch, union_tasks
+from .metrics import ServiceMetrics
+from .shards import run_shard
+
+#: ticket lifecycle states
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+EXPIRED = "expired"
+TERMINAL = frozenset({DONE, FAILED, EXPIRED})
+
+
+class Overloaded(Exception):
+    """Admission rejected: the queue is full.  Carries the back-off hint
+    the HTTP layer surfaces as ``Retry-After``."""
+
+    def __init__(self, retry_after: int):
+        super().__init__(f"service overloaded; retry after {retry_after}s")
+        self.retry_after = retry_after
+
+
+class ServiceClosed(Exception):
+    """Admission rejected: the service is shutting down."""
+
+
+@dataclass(frozen=True)
+class EvalRequest:
+    """One validated evaluation request."""
+
+    model: str
+    ptypes: Tuple[str, ...] = ()
+    exec_models: Tuple[str, ...] = ()
+    samples: int = 1
+    temperature: float = 0.2
+    with_timing: bool = False
+    seed: int = 1234
+    profile: bool = False
+    #: seconds the client is willing to wait in the queue; a request
+    #: still queued past its deadline is retired as ``expired`` without
+    #: ever executing (a *running* request always finishes)
+    deadline: Optional[float] = None
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, object]) -> "EvalRequest":
+        """Validate a JSON request body; raises ``ValueError`` (HTTP 400)."""
+        if not isinstance(raw, dict):
+            raise ValueError("request body must be a JSON object")
+        known = {"model", "ptypes", "exec", "exec_models", "samples",
+                 "temperature", "timing", "with_timing", "seed", "profile",
+                 "deadline"}
+        unknown = sorted(set(raw) - known)
+        if unknown:
+            raise ValueError(f"unknown request fields: {unknown}")
+        model = raw.get("model")
+        if not isinstance(model, str) or model not in MODEL_ORDER:
+            raise ValueError(f"model must be one of {list(MODEL_ORDER)}")
+        ptypes = tuple(raw.get("ptypes") or ())
+        for pt in ptypes:
+            if pt not in PROBLEM_TYPES:
+                raise ValueError(f"unknown problem type {pt!r}; "
+                                 f"known: {list(PROBLEM_TYPES)}")
+        exec_models = tuple(raw.get("exec_models") or raw.get("exec") or ())
+        for m in exec_models:
+            if m not in EXECUTION_MODELS:
+                raise ValueError(f"unknown execution model {m!r}; "
+                                 f"known: {list(EXECUTION_MODELS)}")
+        samples = raw.get("samples", 1)
+        if not isinstance(samples, int) or isinstance(samples, bool) \
+                or samples < 1:
+            raise ValueError("samples must be a positive integer")
+        with_timing = bool(raw.get("with_timing", raw.get("timing", False)))
+        profile = bool(raw.get("profile", False))
+        if profile and not with_timing:
+            raise ValueError("profile requires timing")
+        deadline = raw.get("deadline")
+        if deadline is not None:
+            deadline = float(deadline)
+            if deadline <= 0:
+                raise ValueError("deadline must be positive seconds")
+        return cls(model=model, ptypes=ptypes, exec_models=exec_models,
+                   samples=samples,
+                   temperature=float(raw.get("temperature", 0.2)),
+                   with_timing=with_timing,
+                   seed=int(raw.get("seed", 1234)),
+                   profile=profile, deadline=deadline)
+
+
+@dataclass
+class RequestTicket:
+    """One admitted request's mutable lifecycle record."""
+
+    id: str
+    request: EvalRequest
+    status: str = QUEUED
+    created: float = 0.0            # monotonic admission time
+    started: float = 0.0            # monotonic execution start
+    finished: float = 0.0
+    error: str = ""
+    run: Optional[EvalRun] = None
+    plan: Optional[Plan] = None
+    done: asyncio.Event = field(default_factory=asyncio.Event)
+
+    def expired_deadline(self, now: float) -> bool:
+        d = self.request.deadline
+        return d is not None and (now - self.created) > d
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-able status view (``GET /v1/requests/{id}``)."""
+        out: Dict[str, object] = {
+            "id": self.id,
+            "status": self.status,
+            "model": self.request.model,
+            "samples": self.request.samples,
+        }
+        if self.status in TERMINAL:
+            out["wait_seconds"] = ((self.started or self.finished)
+                                   - self.created)
+            if self.started:
+                out["run_seconds"] = self.finished - self.started
+        if self.error:
+            out["error"] = self.error
+        if self.run is not None:
+            out["digest"] = self.run.digest()
+        return out
+
+
+class EvalService:
+    """Async batched evaluation service over sharded worker pools."""
+
+    def __init__(self,
+                 workdir: Path,
+                 runner: Optional[Runner] = None,
+                 shards: int = 2,
+                 jobs_per_shard: int = 1,
+                 max_queue: int = 64,
+                 batch_window: float = 0.05,
+                 max_batch: int = 16,
+                 batching: bool = True,
+                 sample_cache: bool = True,
+                 task_timeout: Optional[float] = 120.0,
+                 max_retries: int = 2,
+                 max_shard_restarts: int = 2):
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        self.workdir = Path(workdir)
+        self.workdir.mkdir(parents=True, exist_ok=True)
+        self.runner = runner if runner is not None else Runner()
+        self.shards = shards
+        self.jobs_per_shard = jobs_per_shard
+        self.max_queue = max_queue
+        self.batch_window = batch_window
+        self.max_batch = max_batch if batching else 1
+        self.batching = batching
+        self.cache_dir = (self.workdir / "cache") if sample_cache else None
+        self.task_timeout = task_timeout
+        self.max_retries = max_retries
+        self.max_shard_restarts = max_shard_restarts
+        self.metrics = ServiceMetrics(shards)
+        #: run-level telemetry aggregate, folded from per-shard sinks
+        self.telemetry = Telemetry()
+        self.tickets: Dict[str, RequestTicket] = {}
+        self._ids = itertools.count(1)
+        self._queue: asyncio.Queue = asyncio.Queue()
+        self._inflight = 0              # admitted, not yet terminal
+        self._running = 0               # tickets currently executing
+        self._closed = False
+        self._gate = asyncio.Event()    # cleared by pause()
+        self._gate.set()
+        self._loop_task: Optional[asyncio.Task] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        if self._loop_task is not None:
+            raise RuntimeError("service already started")
+        # +1 thread so batch planning never waits behind shard execution
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.shards + 1, thread_name_prefix="repro-serve")
+        self._loop_task = asyncio.get_running_loop().create_task(
+            self._batch_loop())
+
+    async def shutdown(self, drain: bool = True) -> None:
+        """Close admission; with ``drain`` finish every accepted request
+        first, otherwise retire still-queued tickets as failed."""
+        self._closed = True
+        if drain:
+            self._gate.set()            # a paused service still drains
+            for ticket in list(self.tickets.values()):
+                await ticket.done.wait()
+        if self._loop_task is not None:
+            self._loop_task.cancel()
+            try:
+                await self._loop_task
+            except asyncio.CancelledError:
+                pass
+            self._loop_task = None
+        while not self._queue.empty():  # drain=False leftovers
+            ticket = self._queue.get_nowait()
+            if ticket.status == QUEUED:
+                self._finish(ticket, FAILED, error="service shut down")
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def pause(self) -> None:
+        """Stop dispatching batches (admission stays open; for tests)."""
+        self._gate.clear()
+
+    def resume(self) -> None:
+        self._gate.set()
+
+    @property
+    def state(self) -> str:
+        if self._closed:
+            return "closing"
+        if not self._gate.is_set():
+            return "paused"
+        return "running"
+
+    # -- admission -----------------------------------------------------------
+
+    def submit(self, request: EvalRequest) -> RequestTicket:
+        """Admit a request (synchronous, called from the event loop).
+
+        Raises :class:`ServiceClosed` after shutdown began and
+        :class:`Overloaded` when ``max_queue`` requests are in flight.
+        """
+        if self._closed:
+            self.metrics.record_admission(False)
+            raise ServiceClosed("service is shutting down")
+        if self._inflight >= self.max_queue:
+            self.metrics.record_admission(False)
+            raise Overloaded(self.metrics.retry_after(self._inflight))
+        ticket = RequestTicket(id=f"req-{next(self._ids):06d}",
+                               request=request, created=time.monotonic())
+        self.tickets[ticket.id] = ticket
+        self._inflight += 1
+        self.metrics.record_admission(True)
+        self._queue.put_nowait(ticket)
+        return ticket
+
+    def get(self, request_id: str) -> Optional[RequestTicket]:
+        return self.tickets.get(request_id)
+
+    async def wait(self, request_id: str) -> RequestTicket:
+        ticket = self.tickets[request_id]
+        await ticket.done.wait()
+        return ticket
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        return self.metrics.snapshot(queue_depth=self._queue.qsize(),
+                                     running=self._running,
+                                     state=self.state)
+
+    # -- batching loop -------------------------------------------------------
+
+    async def _batch_loop(self) -> None:
+        while True:
+            await self._gate.wait()
+            first = await self._queue.get()
+            if not self._gate.is_set():
+                # paused between get() and dispatch: requeue and wait
+                self._queue.put_nowait(first)
+                continue
+            batch = [first]
+            deadline = time.monotonic() + self.batch_window
+            while len(batch) < self.max_batch:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                try:
+                    batch.append(await asyncio.wait_for(
+                        self._queue.get(), timeout=remaining))
+                except asyncio.TimeoutError:
+                    break
+            try:
+                await self._run_batch(batch)
+            except Exception as exc:    # noqa: BLE001 - keep the loop alive
+                for ticket in batch:
+                    if ticket.status not in TERMINAL:
+                        self._finish(ticket, FAILED,
+                                     error=f"{type(exc).__name__}: {exc}")
+
+    async def _run_batch(self, batch: List[RequestTicket]) -> None:
+        now = time.monotonic()
+        live: List[RequestTicket] = []
+        for ticket in batch:
+            if ticket.expired_deadline(now):
+                self._finish(ticket, EXPIRED,
+                             error="deadline expired while queued")
+            else:
+                ticket.status = RUNNING
+                ticket.started = now
+                self._running += 1
+                live.append(ticket)
+        if not live:
+            return
+        try:
+            await self._execute(live)
+        finally:
+            self._running -= len(live)
+
+    async def _execute(self, live: List[RequestTicket]) -> None:
+        loop = asyncio.get_running_loop()
+        t0 = time.monotonic()
+        plans, ptypes, models = await loop.run_in_executor(
+            self._executor, plan_batch,
+            [t.request for t in live], self.runner)
+        for ticket, plan in zip(live, plans):
+            ticket.plan = plan
+        union = union_tasks(plans)
+        key = batch_key(union)
+        parts = partition_tasks(union, self.shards)
+        shard_runs = [
+            loop.run_in_executor(
+                self._executor, self._run_one_shard, idx, key, specs,
+                ptypes, models)
+            for idx, specs in enumerate(parts) if specs
+        ]
+        results: Dict[str, dict] = {}
+        failures: Dict[str, str] = {}
+        for shard_result in await asyncio.gather(*shard_runs):
+            results.update(shard_result.results)
+            failures.update(shard_result.failures)
+            self.metrics.record_shard(shard_result.shard,
+                                      shard_result.telemetry,
+                                      restarts=shard_result.restarts)
+            self.telemetry.merge(shard_result.telemetry)
+        for task_id, spec in union.items():
+            if task_id not in results:
+                detail = failures.get(
+                    task_id, "shard lost the task (restarts exhausted)")
+                results[task_id] = failure_payload(spec.kind, detail)
+        self.metrics.record_batch(
+            requests=len(live),
+            planned=sum(len(p.tasks) for p in plans),
+            unique=len(union),
+            wall_seconds=time.monotonic() - t0)
+        for ticket in live:
+            try:
+                run = assemble(ticket.plan, results)
+            except Exception as exc:    # noqa: BLE001 - per-ticket isolation
+                self._finish(ticket, FAILED,
+                             error=f"assemble: {type(exc).__name__}: {exc}")
+                continue
+            ticket.run = run
+            if ticket.request.profile:
+                self.metrics.record_profile(run_cost_totals(run))
+            self._finish(ticket, DONE)
+
+    def _run_one_shard(self, shard_id: int, key: str, specs,
+                       ptypes: Tuple[str, ...], models: Tuple[str, ...]):
+        return run_shard(
+            shard_id, key, specs,
+            journal_path=self.workdir / f"shard-{shard_id}.journal.jsonl",
+            runner=self.runner, ptypes=ptypes, models=models,
+            jobs=self.jobs_per_shard, cache_dir=self.cache_dir,
+            task_timeout=self.task_timeout, max_retries=self.max_retries,
+            max_restarts=self.max_shard_restarts)
+
+    def _finish(self, ticket: RequestTicket, status: str,
+                error: str = "") -> None:
+        ticket.status = status
+        ticket.error = error
+        ticket.finished = time.monotonic()
+        self._inflight -= 1
+        wait_s = (ticket.started or ticket.finished) - ticket.created
+        run_s = (ticket.finished - ticket.started) if ticket.started else None
+        self.metrics.record_terminal(status, wait_s=wait_s, run_s=run_s)
+        ticket.done.set()
+
+
+__all__ = ["DONE", "EXPIRED", "EvalRequest", "EvalService", "FAILED",
+           "Overloaded", "QUEUED", "RUNNING", "RequestTicket",
+           "ServiceClosed", "TERMINAL"]

@@ -1,0 +1,165 @@
+"""Shard execution: one worker pool + one journal per shard, with resume.
+
+A shard runs the subset of a batch's merged task set that hashes to it
+(:func:`repro.sched.plan.shard_for`), on its own
+:class:`~repro.sched.pool.WorkerPool`, journaling every finished task to
+a per-shard JSONL file *before* the corresponding event fires
+(journal-then-notify, inherited from the pool).  If the shard's pool loop
+dies — an injected ``serve.shard.die`` abort, a worker-init failure, any
+unexpected exception — the runner reloads the journal and re-executes
+only the remainder: the same resume path an interrupted CLI run uses,
+now exercised per-shard inside a live service.
+
+This function runs in an executor thread; everything it touches is
+either thread-private (pool, journal, telemetry) or lock-protected
+(the service metrics the caller merges into afterwards).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+from ..faults import inject
+from ..harness.runner import Runner
+from ..sched.events import (
+    EmitFn,
+    SOURCE_CACHE,
+    SOURCE_JOURNAL,
+    SchedulerAbort,
+    TaskFinished,
+    Telemetry,
+    chain,
+)
+from ..sched.journal import Journal, SampleCache
+from ..sched.plan import TaskSpec
+from ..sched.pool import WorkerPool
+from ..sched.scheduler import TRANSIENT_STATUSES
+from ..sched.worker import execute_task, init_harness, valid_result
+
+
+@dataclass
+class ShardResult:
+    """Everything one shard run reports back to the batch."""
+
+    shard: int
+    results: Dict[str, dict] = field(default_factory=dict)
+    failures: Dict[str, str] = field(default_factory=dict)
+    telemetry: Telemetry = field(default_factory=Telemetry)
+    restarts: int = 0
+    error: str = ""
+
+
+def _death_probe(shard_id: int) -> EmitFn:
+    """Event sink that consults the ``serve.shard.die`` injection point
+    after a task finishes; a matching rule aborts the shard's pool loop
+    (the journal already holds the task — journal-then-notify)."""
+    key = f"shard{shard_id}"
+
+    def probe(event: object) -> None:
+        if isinstance(event, TaskFinished) and inject.ACTIVE is not None:
+            rule = inject.ACTIVE.fire("serve.shard.die", key)
+            if rule is not None:
+                raise SchedulerAbort(f"injected shard death on {key}")
+
+    return probe
+
+
+def run_shard(shard_id: int,
+              batch_key: str,
+              specs: Dict[str, TaskSpec],
+              journal_path: Path,
+              runner: Runner,
+              ptypes: Tuple[str, ...],
+              models: Tuple[str, ...],
+              jobs: int = 1,
+              cache_dir: Optional[Path] = None,
+              task_timeout: Optional[float] = 120.0,
+              max_retries: int = 2,
+              max_restarts: int = 2,
+              emit: Optional[EmitFn] = None) -> ShardResult:
+    """Execute one shard's tasks; survives pool-loop deaths via resume.
+
+    Attempt 0 starts a fresh journal for ``batch_key``; every restart
+    replays the journal first and executes only the remainder, so a
+    shard death costs at most the tasks in flight when it died — never
+    the work already committed.
+    """
+    out = ShardResult(shard=shard_id)
+    telemetry = out.telemetry
+    sink = chain(telemetry, emit)
+    pool_sink = chain(sink, _death_probe(shard_id))
+    cache = SampleCache(cache_dir) if cache_dir is not None else None
+    journal = Journal(journal_path)
+    try:
+        for attempt in range(max_restarts + 1):
+            if attempt:
+                out.restarts += 1
+                for task_id, payload in journal.load(batch_key).items():
+                    if (task_id not in specs or task_id in out.results
+                            or str(payload.get("status", ""))
+                            in TRANSIENT_STATUSES):
+                        continue
+                    out.results[task_id] = payload
+                    sink(TaskFinished(
+                        task_id=task_id, kind=specs[task_id].kind,
+                        source=SOURCE_JOURNAL,
+                        status=str(payload.get("status", "")),
+                        diagnostics=len(payload.get("diagnostics") or ())))
+            journal.start(batch_key, fresh=(attempt == 0))
+
+            for task_id, spec in specs.items():
+                if task_id in out.results or cache is None:
+                    continue
+                hit = cache.get(task_id)
+                if hit is not None:
+                    out.results[task_id] = hit
+                    journal.append(task_id, hit)
+                    sink(TaskFinished(
+                        task_id=task_id, kind=spec.kind, source=SOURCE_CACHE,
+                        status=str(hit.get("status", "")),
+                        diagnostics=len(hit.get("diagnostics") or ())))
+
+            remaining = [t for t in specs if t not in out.results]
+            if not remaining:
+                out.error = ""
+                return out
+
+            def on_result(task_id: str, payload: dict) -> None:
+                if str(payload.get("status", "")) in TRANSIENT_STATUSES:
+                    return              # never persist infra failures
+                journal.append(task_id, payload)
+                if cache is not None:
+                    cache.put(task_id, payload)
+
+            pool = WorkerPool(
+                jobs=jobs, work_fn=execute_task, init_fn=init_harness,
+                init_args=(runner, tuple(ptypes), tuple(models)),
+                task_timeout=task_timeout, max_retries=max_retries,
+                emit=pool_sink, validate=valid_result)
+            try:
+                executed, failed = pool.run(
+                    [(t, specs[t].payload()) for t in remaining],
+                    on_result=on_result)
+            except Exception as exc:    # noqa: BLE001 - shard loop death
+                out.error = f"{type(exc).__name__}: {exc}"
+                journal.close()         # next attempt reloads + reopens
+                continue
+            out.results.update(executed)
+            out.failures.update(failed)
+            out.error = ""
+            return out
+        # restarts exhausted: salvage whatever the journal committed so
+        # the batch loses only the genuinely unfinished tasks
+        for task_id, payload in journal.load(batch_key).items():
+            if (task_id in specs and task_id not in out.results
+                    and str(payload.get("status", ""))
+                    not in TRANSIENT_STATUSES):
+                out.results[task_id] = payload
+        return out
+    finally:
+        journal.close()
+
+
+__all__ = ["ShardResult", "run_shard"]

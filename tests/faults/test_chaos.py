@@ -10,6 +10,7 @@ from repro.faults.chaos import (
     check_kill_resume,
     check_profile_determinism,
     check_sched_resilience,
+    check_serve_resilience,
     run_chaos,
 )
 from repro.harness import evaluate_model
@@ -37,6 +38,11 @@ class TestInvariants:
         assert report.passed, report.detail
         assert "kill points" in report.detail
 
+    def test_serve_resilience(self, tmp_path):
+        report = check_serve_resilience(tmp_path, jobs=2)
+        assert report.passed, report.detail
+        assert "shard deaths" in report.detail
+
 
 class TestSuiteDriver:
     def test_run_chaos_collects_all_reports(self, tmp_path):
@@ -45,7 +51,8 @@ class TestSuiteDriver:
                             log=lines.append)
         assert [r.invariant for r in reports] == [
             "injector-transparency", "event-determinism",
-            "profile-determinism", "sched-resilience", "kill-resume"]
+            "profile-determinism", "sched-resilience", "kill-resume",
+            "serve-resilience"]
         assert all(r.passed for r in reports), \
             [r.line() for r in reports if not r.passed]
         assert any("chaos: checking" in line for line in lines)

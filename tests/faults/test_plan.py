@@ -9,7 +9,7 @@ from repro.faults import INJECTION_POINTS, LAYERS, FaultPlan, FaultRule
 class TestRegistry:
     def test_every_point_has_layer_actions_description(self):
         for name, (layer, actions, desc) in INJECTION_POINTS.items():
-            assert layer in ("runtime", "harness", "sched"), name
+            assert layer in ("runtime", "harness", "sched", "serve"), name
             assert actions, name
             assert desc, name
 
@@ -17,8 +17,8 @@ class TestRegistry:
         listed = [p for points in LAYERS.values() for p in points]
         assert sorted(listed) == sorted(INJECTION_POINTS)
 
-    def test_all_three_layers_are_instrumented(self):
-        assert set(LAYERS) == {"runtime", "harness", "sched"}
+    def test_all_layers_are_instrumented(self):
+        assert set(LAYERS) == {"runtime", "harness", "sched", "serve"}
 
 
 class TestFaultRule:

