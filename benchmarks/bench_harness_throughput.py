@@ -7,7 +7,10 @@ These are genuine wall-clock benchmarks (pytest-benchmark's bread and
 butter) and what bounds the cost of a full 420-prompt evaluation pass.
 """
 
+import json
+import os
 import time
+from pathlib import Path
 
 import pytest
 
@@ -72,6 +75,108 @@ def test_scheduler_throughput(benchmark, jobs):
     run = benchmark.pedantic(_sched_pass, args=(llm, bench, jobs),
                              rounds=2, iterations=1, warmup_rounds=0)
     assert len(run.prompts) == len(bench.prompts)
+
+
+# -- tiered vectorized execution -----------------------------------------------
+
+_BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_harness.json"
+
+#: Element-wise affine workloads the numpy tier lowers to bulk kernels.
+#: (Problems whose bodies divide, branch, or call builtins stay scalar by
+#: design — see docs/vectorize.md — so they are not speedup cases.)
+_VEC_CASES = [("sum_of_elements", "serial"), ("sum_of_elements", "openmp"),
+              ("sum_of_squares", "openmp"), ("cube_elements", "serial"),
+              ("cube_elements", "kokkos")]
+
+
+def _vec_case_inputs(name, model):
+    problem = next(p for p in all_problems() if p.name == name)
+    return render_prompt(problem, model), variants_for(problem, model)[0].source
+
+
+def _tier_seconds(runner, prompt, source, repeats, batch=8):
+    """Best-of-N wall-clock of a *batch* of timed evaluations — a single
+    evaluation is ~1ms here, so batching keeps timer noise out of the
+    regression gate."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for _ in range(batch):
+            result = runner.evaluate_sample(source, prompt, with_timing=True)
+            assert result.status == "correct", result.detail
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def measure_vectorize_speedups(repeats=5):
+    """Per-case wall-clock speedup of the numpy tier over the scalar tier
+    on the timed pipeline.  A ratio of two timings on the same host, so
+    the committed baseline is machine-portable."""
+    speedups = {}
+    for name, model in _VEC_CASES:
+        prompt, source = _vec_case_inputs(name, model)
+        on = Runner(correctness_trials=2, vectorize=True)
+        off = Runner(correctness_trials=2, vectorize=False)
+        on.evaluate_sample(source, prompt, with_timing=True)    # warm caches
+        off.evaluate_sample(source, prompt, with_timing=True)
+        t_on = _tier_seconds(on, prompt, source, repeats)
+        t_off = _tier_seconds(off, prompt, source, repeats)
+        speedups[f"{name}/{model}"] = t_off / t_on
+    return speedups
+
+
+@pytest.mark.parametrize("vectorize", [False, True],
+                         ids=["vec-off", "vec-on"])
+def test_vectorized_tier_throughput(benchmark, vectorize):
+    """Per-sample timed-pipeline cost on each execution tier — the pair of
+    numbers behind the committed BENCH_harness.json speedups."""
+    prompt, source = _vec_case_inputs("cube_elements", "openmp")
+    runner = Runner(correctness_trials=2, vectorize=vectorize)
+    result = benchmark(runner.evaluate_sample, source, prompt,
+                       with_timing=True)
+    assert result.status == "correct"
+
+
+def test_vectorize_speedup_meets_baseline():
+    """The acceptance check + CI perf-regression gate for the numpy tier:
+    element-wise problems run >=2x faster with the tier on, and no case
+    drops more than 20% below the speedup recorded in BENCH_harness.json.
+
+    Re-record after a deliberate change with::
+
+        REPRO_BENCH_RECORD=1 PYTHONPATH=src python -m pytest \
+            benchmarks/bench_harness_throughput.py -k speedup
+    """
+    measured = measure_vectorize_speedups()
+    geomean = 1.0
+    for speedup in measured.values():
+        geomean *= speedup
+    geomean **= 1.0 / len(measured)
+    print("\nvectorize speedup (timed pipeline, scalar/numpy):")
+    for case, speedup in measured.items():
+        print(f"  {case:28s} {speedup:5.2f}x")
+    print(f"  {'geomean':28s} {geomean:5.2f}x")
+    if os.environ.get("REPRO_BENCH_RECORD"):
+        _BASELINE_PATH.write_text(json.dumps(
+            {"comment": "wall-clock speedup of the numpy tier over the "
+                        "scalar tier on the timed pipeline; same-host "
+                        "ratios, so portable across machines",
+             "vectorize_speedup": {k: round(v, 2)
+                                   for k, v in measured.items()},
+             "geomean": round(geomean, 2)},
+            indent=2) + "\n")
+        return
+    baseline = json.loads(_BASELINE_PATH.read_text())
+    assert set(measured) == set(baseline["vectorize_speedup"])
+    assert geomean >= 2.0, \
+        f"geomean {geomean:.2f}x is below the 2x acceptance floor"
+    assert geomean >= baseline["geomean"] * 0.8, (
+        f"geomean {geomean:.2f}x regressed >20% below the recorded "
+        f"{baseline['geomean']:.2f}x")
+    for case, speedup in measured.items():
+        # per-case floor: a lowering that stops firing shows up as ~1.0x
+        assert speedup >= 1.5, \
+            f"{case}: {speedup:.2f}x — did the bulk lowering stop firing?"
 
 
 # -- MiniParSan pre-execution screen -------------------------------------------

@@ -131,7 +131,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     bench = PCGBench()
     prompt = bench.prompt(args.uid)
     llm = load_model(args.model)
-    runner = Runner(static_screen=args.static_screen)
+    runner = Runner(static_screen=args.static_screen,
+                    vectorize=args.vectorize)
     samples = llm.generate(prompt, args.samples, args.temperature, args.seed)
     correct = 0
     for i, sample in enumerate(samples):
@@ -157,7 +158,8 @@ def cmd_eval(args: argparse.Namespace) -> int:
     bench = PCGBench(problem_types=_split(args.ptypes),
                      models=_split(args.exec))
     model_names = _split(args.models) or list(MODEL_ORDER)
-    runner = Runner(static_screen=args.static_screen)
+    runner = Runner(static_screen=args.static_screen,
+                    vectorize=args.vectorize)
     runs = {}
     for name in model_names:
         print(f"evaluating {name} on {len(bench)} prompts ...",
@@ -196,7 +198,8 @@ def cmd_profile(args: argparse.Namespace) -> int:
         print(f"unknown prompt {args.uid!r}; uids look like "
               "'scan/prefix_sum/openmp'", file=sys.stderr)
         return 2
-    runner = Runner(static_screen=args.static_screen)
+    runner = Runner(static_screen=args.static_screen,
+                    vectorize=args.vectorize)
     if args.model:
         llm = load_model(args.model)
         samples = llm.generate(prompt, args.samples, args.temperature,
@@ -231,7 +234,8 @@ def cmd_profile(args: argparse.Namespace) -> int:
 def cmd_figures(args: argparse.Namespace) -> int:
     bench = PCGBench()
     cache = EvalCache()
-    runner = Runner(static_screen=args.static_screen)
+    runner = Runner(static_screen=args.static_screen,
+                    vectorize=args.vectorize)
 
     def runs_for(samples, temperature, timing, seed, names):
         return {
@@ -370,7 +374,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             workdir=Path(args.workdir), shards=args.shards,
             jobs_per_shard=args.jobs, max_queue=args.queue,
             batch_window=args.batch_window, max_batch=args.max_batch,
-            batching=args.batching)
+            batching=args.batching, vectorize=args.vectorize)
 
     if args.smoke:
         return asyncio.run(_smoke())
@@ -450,6 +454,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-static-screen", dest="static_screen",
                    action="store_false",
                    help="disable the MiniParSan pre-execution screen")
+    p.add_argument("--no-vectorize", dest="vectorize", action="store_false",
+                   help="run every loop on the scalar closure tier "
+                        "(results are bit-identical; only slower)")
     p.add_argument("--verbose", "-v", action="store_true")
     p.set_defaults(fn=cmd_run)
 
@@ -471,6 +478,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-static-screen", dest="static_screen",
                    action="store_false",
                    help="disable the MiniParSan pre-execution screen")
+    p.add_argument("--no-vectorize", dest="vectorize", action="store_false",
+                   help="run every loop on the scalar closure tier "
+                        "(results are bit-identical; only slower)")
     p.add_argument("--verbose", "-v", action="store_true")
     p.set_defaults(fn=cmd_eval)
 
@@ -488,6 +498,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-static-screen", dest="static_screen",
                    action="store_false",
                    help="disable the MiniParSan pre-execution screen")
+    p.add_argument("--no-vectorize", dest="vectorize", action="store_false",
+                   help="run every loop on the scalar closure tier "
+                        "(results are bit-identical; only slower)")
     p.set_defaults(fn=cmd_profile)
 
     p = sub.add_parser("figures", help="regenerate all paper figures")
@@ -499,6 +512,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-static-screen", dest="static_screen",
                    action="store_false",
                    help="disable the MiniParSan pre-execution screen")
+    p.add_argument("--no-vectorize", dest="vectorize", action="store_false",
+                   help="run every loop on the scalar closure tier "
+                        "(results are bit-identical; only slower)")
     p.set_defaults(fn=cmd_figures)
 
     p = sub.add_parser(
@@ -529,6 +545,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="max requests coalesced into one batch")
     p.add_argument("--no-batching", dest="batching", action="store_false",
                    help="execute every request as its own batch")
+    p.add_argument("--no-vectorize", dest="vectorize", action="store_false",
+                   help="scalar closure tier only (bit-identical, slower)")
     p.add_argument("--workdir", default=".repro_serve",
                    help="shard journals + sample cache directory")
     p.add_argument("--smoke", action="store_true",

@@ -31,8 +31,13 @@ properties as executable checks over a small fixed benchmark slice
    composed with worker kills: every shard resumes from its per-shard
    journal and the served result stays byte-identical to a direct
    ``evaluate_model`` call.
+7. **vectorize-resilience** — the tier-2 numpy executor
+   (``repro.runtime.vectorize``) composes with injection: under the
+   same fault plan, runs with the tier on and off produce byte-identical
+   ``EvalRun`` JSON — faults land at the same points regardless of which
+   tier executes the loops between them.
 
-``repro chaos`` runs all six from the command line; the CI ``chaos``
+``repro chaos`` runs all seven from the command line; the CI ``chaos``
 job and ``tests/faults/test_chaos.py`` pin them as regressions.
 """
 
@@ -290,6 +295,44 @@ def check_serve_resilience(workdir: Union[str, Path],
         "per-shard journals and the served run matches direct evaluation")
 
 
+def check_vectorize_resilience(seed: int = 11) -> ChaosReport:
+    """Tier choice is invisible even mid-fault.
+
+    The vectorized executor claims byte-identical behaviour to the
+    scalar tier; that claim must hold *under injection* too — a fault
+    plan whose rules fire between, before, or after vectorized loops
+    must produce the identical event sequence and the identical
+    ``EvalRun`` on both tiers.  This closes the one gap the fault-free
+    differential suite cannot: a tier that perturbed fault ordering
+    (e.g. by skipping an injection point inside a bulk-executed loop)
+    would pass every clean-run golden and still desynchronise replay.
+    """
+    from ..harness.runner import Runner
+
+    llm, bench = chaos_slice()
+    plan = FaultPlan.from_seed(seed).restricted(("runtime", "harness"))
+    payloads: List[str] = []
+    logs: List[str] = []
+    for vec in (True, False):
+        with injector(plan) as inj:
+            run = _eval(llm, bench, with_timing=True,
+                        runner=Runner(vectorize=vec))
+        payloads.append(run.to_json())
+        logs.append(inj.canonical_log())
+    if logs[0] != logs[1]:
+        return ChaosReport("vectorize-resilience", False,
+                           "the two tiers drew different fault-decision "
+                           "streams from the same plan")
+    if payloads[0] != payloads[1]:
+        return ChaosReport("vectorize-resilience", False,
+                           "EvalRuns diverged between the numpy and scalar "
+                           "tiers under the injected plan")
+    return ChaosReport(
+        "vectorize-resilience", True,
+        f"seed {seed}: fault plan replayed identically on both execution "
+        "tiers with byte-identical EvalRuns")
+
+
 def run_chaos(seed: int = 11, jobs: int = 4,
               workdir: Optional[Union[str, Path]] = None,
               log: Optional[Callable[[str], None]] = None
@@ -307,6 +350,7 @@ def run_chaos(seed: int = 11, jobs: int = 4,
     step("injector-transparency", check_injector_transparency)
     step("event-determinism", lambda: check_event_determinism(seed))
     step("profile-determinism", lambda: check_profile_determinism(seed))
+    step("vectorize-resilience", lambda: check_vectorize_resilience(seed))
     step("sched-resilience", lambda: check_sched_resilience(jobs))
     if workdir is not None:
         step("kill-resume",

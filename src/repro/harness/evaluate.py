@@ -60,6 +60,12 @@ class SampleRecord:
     #: cost-decomposed profile as a plain dict (repro.prof.Profile.to_dict;
     #: present only on profiled timing runs)
     profile: Optional[Dict] = None
+    #: vectorized-tier telemetry (tier, bulk_loops, bulk_iters, fallbacks;
+    #: see ``repro.runtime.vectorize.VecStats``).  In-memory observability
+    #: only: ``to_json`` strips it so a run's digest is byte-identical
+    #: whether the numpy tier was on or off — the tier changes how fast
+    #: the interpreter runs, never what it computes.
+    vec: Optional[Dict] = None
 
 
 @dataclass
@@ -99,6 +105,12 @@ class EvalRun:
 
     def to_json(self) -> str:
         payload = asdict(self)
+        # the vec telemetry is per-process observability, not part of the
+        # run's identity: stripping it keeps digests byte-identical across
+        # execution tiers (and across cache round-trips, which never saw it)
+        for pr in payload["prompts"].values():
+            for s in pr["samples"]:
+                s.pop("vec", None)
         return json.dumps(payload)
 
     def digest(self) -> str:
@@ -132,6 +144,7 @@ class EvalRun:
                                for k, v in s.get("times", {}).items()},
                         diagnostics=list(s.get("diagnostics", [])),
                         profile=s.get("profile"),
+                        vec=s.get("vec"),
                     )
                     for s in pr.pop("samples")
                 ]
@@ -234,6 +247,7 @@ def evaluate_model(
                 diagnostics=[d.to_dict() for d in res.diagnostics],
                 profile=res.profile.to_dict() if res.profile is not None
                 else None,
+                vec=res.vec,
             ))
         run.prompts[prompt.uid] = record
         if progress is not None:

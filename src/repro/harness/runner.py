@@ -44,7 +44,9 @@ pipeline is byte-for-byte the pre-resilience fast path.
 from __future__ import annotations
 
 import hashlib
+import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -79,6 +81,7 @@ from ..runtime import (
 from ..lint import Diagnostic, blocking, lint_checked
 from ..prof.record import ProfBuilder, Profile
 from ..runtime.machine import CPU_THREAD_COUNTS, DEFAULT_MACHINE
+from ..runtime.vectorize import VecStats
 from .usagecheck import link_error, uses_parallel_model
 
 #: canonical processor counts used for correctness runs per model
@@ -110,11 +113,60 @@ class RunResult:
     #: cost-decomposed timing profile (``repro.prof``; timing runs with
     #: profiling requested only)
     profile: Optional[Profile] = None
+    #: vectorized-tier telemetry (``VecStats.as_dict``): which tier ran
+    #: and how many loops/iterations the numpy tier absorbed.  Pure
+    #: observability — excluded from the serialised EvalRun so digests
+    #: stay byte-identical with the tier on or off.
+    vec: Optional[Dict] = None
+
+
+#: process-wide content-addressed compile cache.  Keyed by
+#: ``(sha256(source), model)`` — the two inputs that fully determine the
+#: compile/link outcome — and LRU-bounded so long sweeps cannot grow it
+#: without limit.  Compiled programs are reentrant (closures take the
+#: ExecCtx and argument list per call and hold no mutable state), so one
+#: cached program can serve any number of runs; the same reuse already
+#: happens inside a single sample between correctness and timing phases.
+_COMPILE_CACHE_MAX = 256
+_COMPILE_CACHE: "OrderedDict[Tuple[str, str], tuple]" = OrderedDict()
+_COMPILE_CACHE_LOCK = threading.Lock()
+_COMPILE_CACHE_STATS = {"hits": 0, "misses": 0}
+
+
+def compile_cache_stats() -> Dict[str, int]:
+    """Snapshot of the process-wide compile-cache hit/miss counters."""
+    with _COMPILE_CACHE_LOCK:
+        return dict(_COMPILE_CACHE_STATS)
+
+
+def clear_compile_cache() -> None:
+    """Drop every cached program and zero the counters (test isolation)."""
+    with _COMPILE_CACHE_LOCK:
+        _COMPILE_CACHE.clear()
+        _COMPILE_CACHE_STATS["hits"] = 0
+        _COMPILE_CACHE_STATS["misses"] = 0
 
 
 def _compile_checked(source: str, model: str):
     """Compile + link, keeping the type-checked AST for the linter.
     Returns (program, checked, None) or (None, None, reason)."""
+    key = (hashlib.sha256(source.encode()).hexdigest(), model)
+    with _COMPILE_CACHE_LOCK:
+        cached = _COMPILE_CACHE.get(key)
+        if cached is not None:
+            _COMPILE_CACHE.move_to_end(key)
+            _COMPILE_CACHE_STATS["hits"] += 1
+            return cached
+        _COMPILE_CACHE_STATS["misses"] += 1
+    entry = _compile_checked_uncached(source, model)
+    with _COMPILE_CACHE_LOCK:
+        _COMPILE_CACHE[key] = entry
+        while len(_COMPILE_CACHE) > _COMPILE_CACHE_MAX:
+            _COMPILE_CACHE.popitem(last=False)
+    return entry
+
+
+def _compile_checked_uncached(source: str, model: str):
     try:
         checked = compile_source(source)
     except CompileError as exc:
@@ -165,6 +217,7 @@ class Runner:
                  correctness_trials: int = 2,
                  seed: int = 20240603,
                  static_screen: bool = True,
+                 vectorize: bool = True,
                  transient_retries: int = 2,
                  retry_backoff: float = 0.05):
         self.machine = machine
@@ -174,6 +227,10 @@ class Runner:
         self.correctness_trials = correctness_trials
         self.seed = seed
         self.static_screen = static_screen
+        # tier-2 numpy execution (repro.runtime.vectorize).  Bit-identical
+        # to the scalar tier by contract, so — like the retry knobs — it
+        # is deliberately excluded from the scheduler runner fingerprint.
+        self.vectorize = bool(vectorize)
         self.transient_retries = int(transient_retries)
         self.retry_backoff = float(retry_backoff)
 
@@ -181,7 +238,7 @@ class Runner:
 
     def _run_shared(self, program: CompiledProgram, problem: Problem,
                     inputs: Dict, model: str, fuel: int, work_scale: float,
-                    profile: bool = False):
+                    profile: bool = False, vec_stats: Optional[VecStats] = None):
         """serial / openmp / kokkos execution; returns (args, ret, ctx)."""
         if model == "serial":
             rt = SerialRuntime()
@@ -189,7 +246,8 @@ class Runner:
             rt = OpenMPRuntime(self.thread_counts)
         else:
             rt = KokkosRuntime(self.thread_counts)
-        ctx = ExecCtx(self.machine, rt, fuel=fuel, work_scale=work_scale)
+        ctx = ExecCtx(self.machine, rt, fuel=fuel, work_scale=work_scale,
+                      vectorize=self.vectorize, vec_stats=vec_stats)
         if profile:
             ctx.prof = ProfBuilder()
         args = problem.to_minipar_args(inputs)
@@ -209,7 +267,8 @@ class Runner:
     # -- correctness --------------------------------------------------------------
 
     def check_correct(self, program: CompiledProgram, source: str,
-                      prompt: Prompt, checked=None) -> RunResult:
+                      prompt: Prompt, checked=None,
+                      vec_stats: Optional[VecStats] = None) -> RunResult:
         """Run the correctness driver: usage check + reference trials."""
         problem, model = prompt.problem, prompt.model
         if not uses_parallel_model(source, model, checked=checked):
@@ -219,7 +278,8 @@ class Runner:
         for trial in range(self.correctness_trials):
             inputs = problem.generate(rng, problem.correctness_size)
             try:
-                ok = self._correct_once(program, problem, model, inputs)
+                ok = self._correct_once(program, problem, model, inputs,
+                                        vec_stats)
             except BaseException as exc:  # noqa: BLE001
                 return RunResult(_classify(exc), f"{type(exc).__name__}: {exc}")
             if not ok:
@@ -227,11 +287,12 @@ class Runner:
         return RunResult("correct")
 
     def _correct_once(self, program, problem: Problem, model: str,
-                      inputs: Dict) -> bool:
+                      inputs: Dict,
+                      vec_stats: Optional[VecStats] = None) -> bool:
         if model in ("serial", "openmp", "kokkos"):
             args, ret, _ = self._run_shared(
                 program, problem, inputs, model,
-                fuel=CORRECTNESS_FUEL, work_scale=1.0,
+                fuel=CORRECTNESS_FUEL, work_scale=1.0, vec_stats=vec_stats,
             )
             return problem.check(inputs, args, ret)
         if model in ("mpi", "mpi+omp"):
@@ -242,7 +303,8 @@ class Runner:
             res = run_mpi(program, problem.entry,
                           problem.to_minipar_args(inputs), nranks,
                           self.machine, fuel=CORRECTNESS_FUEL,
-                          threads_per_rank=tpr)
+                          threads_per_rank=tpr,
+                          vectorize=self.vectorize, vec_stats=vec_stats)
             if res.error is not None:
                 raise res.error
             return problem.check(inputs, res.args, res.ret)
@@ -250,7 +312,8 @@ class Runner:
         args = self._gpu_args(problem, inputs, model)
         res = launch(program, problem.entry, args,
                      problem.default_gpu_threads(inputs), self.machine,
-                     dialect=model, fuel=CORRECTNESS_FUEL)
+                     dialect=model, fuel=CORRECTNESS_FUEL,
+                     vectorize=self.vectorize, vec_stats=vec_stats)
         if res.error is not None:
             raise res.error
         return problem.gpu_check(inputs, args)
@@ -271,24 +334,30 @@ class Runner:
         rng = np.random.default_rng(self.seed + 1)
         inputs = problem.generate(rng, problem.timing_size)
         args = problem.to_minipar_args(inputs)
+        # vectorize follows the runner switch; either tier produces the
+        # bit-identical time, so the cache key need not mention the tier
         ctx = ExecCtx(self.machine, SerialRuntime(), fuel=TIMING_FUEL,
-                      work_scale=problem.work_scale)
+                      work_scale=problem.work_scale,
+                      vectorize=self.vectorize)
         program.run_kernel(problem.entry, ctx, args)
         _BASELINE_CACHE[key] = ctx.sim_seconds()
         return _BASELINE_CACHE[key]
 
-    def measure(self, program: CompiledProgram, prompt: Prompt) -> Dict[int, float]:
+    def measure(self, program: CompiledProgram, prompt: Prompt,
+                vec_stats: Optional[VecStats] = None) -> Dict[int, float]:
         """Simulated time per processor count at the timing size.
 
         Configurations where the sample fails (e.g. a scatter that needs
         divisibility at some rank count) are simply absent from the dict,
         as a crashed run would be absent from the paper's measurements.
         """
-        times, _ = self.measure_profiled(program, prompt, profile=False)
+        times, _ = self.measure_profiled(program, prompt, profile=False,
+                                         vec_stats=vec_stats)
         return times
 
     def measure_profiled(self, program: CompiledProgram, prompt: Prompt,
-                         profile: bool = True
+                         profile: bool = True,
+                         vec_stats: Optional[VecStats] = None
                          ) -> Tuple[Dict[int, float], Optional[Profile]]:
         """:meth:`measure` plus an optional cost-decomposed profile.
 
@@ -311,7 +380,8 @@ class Runner:
             try:
                 _, _, ctx = self._run_shared(program, problem, inputs, model,
                                              TIMING_FUEL, scale,
-                                             profile=profile)
+                                             profile=profile,
+                                             vec_stats=vec_stats)
                 times[1] = ctx.sim_seconds()
                 if prof is not None:
                     prof.categories[1] = ctx.prof.categories_for(ctx, 1)
@@ -323,7 +393,8 @@ class Runner:
             try:
                 _, _, ctx = self._run_shared(program, problem, inputs, model,
                                              TIMING_FUEL, scale,
-                                             profile=profile)
+                                             profile=profile,
+                                             vec_stats=vec_stats)
             except MiniParError:
                 return times, prof
             for t in self.thread_counts:
@@ -338,7 +409,8 @@ class Runner:
                 res = run_mpi(program, problem.entry,
                               problem.to_minipar_args(inputs), p, self.machine,
                               work_scale=scale, fuel=TIMING_FUEL,
-                              profile=profile)
+                              profile=profile, vectorize=self.vectorize,
+                              vec_stats=vec_stats)
                 if res.error is None:
                     times[p] = res.sim_seconds
                     if prof is not None and res.profile is not None:
@@ -350,7 +422,8 @@ class Runner:
             res = run_mpi(program, problem.entry,
                           problem.to_minipar_args(inputs), ranks, self.machine,
                           work_scale=scale, fuel=TIMING_FUEL,
-                          threads_per_rank=tpr, profile=profile)
+                          threads_per_rank=tpr, profile=profile,
+                          vectorize=self.vectorize, vec_stats=vec_stats)
             if res.error is None:
                 times[ranks * tpr] = res.sim_seconds
                 if prof is not None and res.profile is not None:
@@ -362,7 +435,8 @@ class Runner:
         res = launch(program, problem.entry, args,
                      problem.default_gpu_threads(inputs), self.machine,
                      dialect=model, work_scale=scale, fuel=TIMING_FUEL,
-                     profile=profile)
+                     profile=profile, vectorize=self.vectorize,
+                     vec_stats=vec_stats)
         if res.error is None:
             times[res.total_threads] = res.sim_seconds
             if prof is not None and res.profile is not None:
@@ -372,7 +446,8 @@ class Runner:
 
     # -- the full per-sample pipeline ----------------------------------------------------
 
-    def _correct_phase(self, source: str, prompt: Prompt
+    def _correct_phase(self, source: str, prompt: Prompt,
+                       vec_stats: Optional[VecStats] = None
                        ) -> Tuple[RunResult, Optional[CompiledProgram]]:
         """Compile → static screen → correctness.  Returns the result and
         the compiled program (for the timing phase), or ``None`` when the
@@ -388,7 +463,8 @@ class Runner:
                 return RunResult("static_fail",
                                  f"static: {fatal[0].message}",
                                  diagnostics=diagnostics), program
-        result = self.check_correct(program, source, prompt, checked=checked)
+        result = self.check_correct(program, source, prompt, checked=checked,
+                                    vec_stats=vec_stats)
         result.diagnostics = diagnostics
         return result, program
 
@@ -397,14 +473,17 @@ class Runner:
                         profile: bool = False) -> RunResult:
         if inject.ACTIVE is None:
             # the fast path: identical to the pre-resilience pipeline
-            result, program = self._correct_phase(source, prompt)
-            if result.status != "correct" or not with_timing:
-                return result
-            if profile:
-                result.times, result.profile = \
-                    self.measure_profiled(program, prompt)
-            else:
-                result.times = self.measure(program, prompt)
+            stats = VecStats()
+            result, program = self._correct_phase(source, prompt,
+                                                  vec_stats=stats)
+            if result.status == "correct" and with_timing:
+                if profile:
+                    result.times, result.profile = self.measure_profiled(
+                        program, prompt, vec_stats=stats)
+                else:
+                    result.times = self.measure(program, prompt,
+                                                vec_stats=stats)
+            result.vec = stats.as_dict(self.vectorize)
             return result
         return self._evaluate_resilient(source, prompt, with_timing, profile)
 
@@ -428,6 +507,9 @@ class Runner:
         delay = self.retry_backoff
         last_detail = ""
         for attempt in range(self.transient_retries + 1):
+            # fresh counters per attempt: a retried attempt re-runs every
+            # loop, and the record should describe the attempt it kept
+            stats = VecStats()
             with inj.scope(scope_name):
                 fired_before = inj.scope_fired()
                 try:
@@ -436,7 +518,8 @@ class Runner:
                         raise FaultInjected(
                             "harness.flake",
                             "injected harness infrastructure flake")
-                    result, program = self._correct_phase(source, prompt)
+                    result, program = self._correct_phase(source, prompt,
+                                                          vec_stats=stats)
                 except FaultInjected as exc:
                     last_detail = f"infra: {exc}"
                     if exc.transient and attempt < self.transient_retries:
@@ -458,6 +541,7 @@ class Runner:
                         continue
                     break
                 if result.status != "correct" or not with_timing:
+                    result.vec = stats.as_dict(self.vectorize)
                     return result
                 # timing phase: faults here degrade rather than discard
                 timing_fired = inj.scope_fired()
@@ -468,9 +552,10 @@ class Runner:
                         times: Optional[Dict[int, float]] = {}
                     elif profile:
                         times, sweep_prof = self.measure_profiled(
-                            program, prompt)
+                            program, prompt, vec_stats=stats)
                     else:
-                        times = self.measure(program, prompt)
+                        times = self.measure(program, prompt,
+                                             vec_stats=stats)
                 except FaultInjected:
                     rule, times = None, None
                 if rule is not None or times is None \
@@ -479,9 +564,11 @@ class Runner:
                     result.detail = ("timing sweep fault-perturbed; "
                                      "correctness-only record")
                     result.times = {}
+                    result.vec = stats.as_dict(self.vectorize)
                     return result
                 result.times = times
                 result.profile = sweep_prof
+                result.vec = stats.as_dict(self.vectorize)
                 return result
         detail = last_detail or "infrastructure fault"
         return RunResult(

@@ -33,6 +33,7 @@ from ..lang.typecheck import CheckedProgram
 from .context import ExecCtx
 from .tracer import ATOMIC
 from .values import Array
+from . import vectorize as _vec
 
 _BREAK = object()
 _CONT = object()
@@ -61,6 +62,7 @@ class LamClosure:
     body: Callable          # expr fn or block fn
     is_expr: bool
     weight: float           # static per-call weight
+    vec_plan: Optional["_vec.VecPlan"] = None   # bulk tier, when eligible
 
     def call1(self, env: dict, ctx: ExecCtx, i: int):
         """Invoke with a single int argument (the pattern index)."""
@@ -88,6 +90,7 @@ class PForInfo:
     outer_writes: Tuple[str, ...]             # unprotected shared-scalar writes
     iter_weight: float
     where: str
+    vec_plan: Optional["_vec.VecPlan"] = None  # bulk tier, when eligible
 
 
 @dataclass
@@ -154,14 +157,7 @@ def _touch_whole_array(ctx: ExecCtx, arr: Array, write: bool) -> None:
     t = ctx.trace
     if t is None:
         return
-    n = min(64, len(arr.data))
-    prot = ctx.protection
-    if write:
-        for k in range(n):
-            t.write(arr, k, prot)
-    else:
-        for k in range(n):
-            t.read(arr, k, prot)
+    t.touch_block(arr, min(64, len(arr.data)), write, ctx.protection)
 
 
 # --------------------------------------------------------------------------
@@ -418,6 +414,7 @@ class Compiler:
         body = self._compile_block(s.body)
         var = s.var
         header = wl + wh + W_LOOP_ITER
+        vec_plan = _vec.build_stmt_plan(self, var, s.body.stmts)
 
         def run(env: dict, ctx: ExecCtx):
             ctx.cost += header
@@ -426,6 +423,10 @@ class Compiler:
             inc = step(env, ctx) if step is not None else 1
             if inc <= 0:
                 raise TrapError(f"for-loop step must be positive, got {inc}")
+            if vec_plan is not None and _vec.run_serial(
+                vec_plan, env, ctx, start, stop, inc, W_LOOP_ITER
+            ):
+                return None
             i = start
             fuel = ctx.fuel
             while i < stop:
@@ -508,6 +509,7 @@ class Compiler:
             num_threads=num_threads, outer_writes=outer_writes,
             iter_weight=W_LOOP_ITER,
             where=f"omp parallel for at line {s.line}",
+            vec_plan=_vec.build_stmt_plan(self, loop.var, loop.body.stmts),
         )
 
         def run(env: dict, ctx: ExecCtx):
@@ -649,12 +651,20 @@ class Compiler:
         return fns, w
 
     def _compile_lambda(self, lam: ast.Lambda) -> LamClosure:
+        plan = None
         if lam.body_expr is not None:
             f, w = self._compile_expr(lam.body_expr)
-            return LamClosure(params=lam.params, body=f, is_expr=True, weight=w)
+            if len(lam.params) == 1:
+                plan = _vec.build_expr_plan(self, lam.params[0], lam.body_expr)
+            return LamClosure(params=lam.params, body=f, is_expr=True,
+                              weight=w, vec_plan=plan)
         assert lam.body_block is not None
         f = self._compile_block(lam.body_block)
-        return LamClosure(params=lam.params, body=f, is_expr=False, weight=0.0)
+        if len(lam.params) == 1:
+            plan = _vec.build_stmt_plan(self, lam.params[0],
+                                        lam.body_block.stmts)
+        return LamClosure(params=lam.params, body=f, is_expr=False,
+                          weight=0.0, vec_plan=plan)
 
 
 _BINOPS: Dict[str, Callable] = {

@@ -40,7 +40,7 @@ class ExecCtx:
         "extra_units", "trace", "protection", "crit_units",
         "parallel_adjust", "in_parallel", "prof",
         "gpu_thread", "gpu_block", "gpu_block_dim", "gpu_grid_dim",
-        "mem_budget", "mem_used",
+        "mem_budget", "mem_used", "vectorize", "vec_stats",
     )
 
     def __init__(
@@ -49,6 +49,8 @@ class ExecCtx:
         rt: "BaseRuntime",
         fuel: Optional[int] = None,
         work_scale: float = 1.0,
+        vectorize: bool = True,
+        vec_stats=None,
     ):
         self.machine = machine
         self.rt = rt
@@ -70,6 +72,10 @@ class ExecCtx:
         self.gpu_block = 0
         self.gpu_block_dim = 1
         self.gpu_grid_dim = 1
+        # tier-2 vectorized execution (repro.runtime.vectorize): opt-out
+        # switch plus optional shared idiom-hit counters (a VecStats)
+        self.vectorize = bool(vectorize)
+        self.vec_stats = vec_stats
         # memory budget in simulated bytes; allocations charge against it
         # (infinite unless a fault plan grants this context a tiny budget,
         # which makes the next allocation simulate a node OOM)

@@ -73,6 +73,8 @@ def launch(
     work_scale: float = 1.0,
     fuel: Optional[int] = None,
     profile: bool = False,
+    vectorize: bool = True,
+    vec_stats=None,
 ) -> GPURunResult:
     """Launch ``kernel`` over ``ceil(total_threads / block_size)`` blocks.
 
@@ -90,7 +92,8 @@ def launch(
     n_threads = grid_dim * block_size
 
     rt = GPURuntime(spec, dialect)
-    ctx = ExecCtx(machine, rt, fuel=fuel, work_scale=work_scale)
+    ctx = ExecCtx(machine, rt, fuel=fuel, work_scale=work_scale,
+                  vectorize=vectorize, vec_stats=vec_stats)
     ctx.gpu_block_dim = block_size
     ctx.gpu_grid_dim = grid_dim
     tracer = Tracer(n_threads)

@@ -498,6 +498,8 @@ def run_mpi(
     threads_per_rank: int = 0,
     watchdog_timeout: float = 600.0,
     profile: bool = False,
+    vectorize: bool = True,
+    vec_stats=None,
 ) -> MPIRunResult:
     """Run ``kernel`` on ``nranks`` simulated ranks with replicated inputs.
 
@@ -521,7 +523,8 @@ def run_mpi(
             rt: MPIRankRuntime = HybridRankRuntime(r, world, threads_per_rank)
         else:
             rt = MPIRankRuntime(r, world)
-        ctx = ExecCtx(machine, rt, fuel=fuel, work_scale=work_scale)
+        ctx = ExecCtx(machine, rt, fuel=fuel, work_scale=work_scale,
+                      vectorize=vectorize, vec_stats=vec_stats)
         if profile:
             from ..prof.record import ProfBuilder
             ctx.prof = ProfBuilder()

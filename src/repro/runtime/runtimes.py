@@ -25,6 +25,7 @@ import numpy as np
 
 from ..faults import inject
 from ..lang.errors import DataRaceError, RuntimeFailure, TrapError
+from . import vectorize as _vec
 from .compile import LamClosure, PForInfo
 from .context import ExecCtx
 from .machine import CPU_THREAD_COUNTS
@@ -159,6 +160,10 @@ def run_loop_serial(env: dict, ctx: ExecCtx, pf: PForInfo) -> None:
     step = pf.step(env, ctx) if pf.step is not None else 1
     if step <= 0:
         raise TrapError(f"for-loop step must be positive, got {step}")
+    if pf.vec_plan is not None and _vec.run_serial(
+        pf.vec_plan, env, ctx, lo, hi, step, pf.iter_weight
+    ):
+        return
     body = pf.body
     var = pf.var
     i = lo
@@ -285,9 +290,18 @@ class OpenMPRuntime(BaseRuntime):
         ctx.in_parallel = True
         start = ctx.cost
         try:
-            costs, crits, tracer = _profiled_loop(
-                env, ctx, indices, run_iter, pf.where, pf.iter_weight
-            )
+            vec = None
+            if pf.vec_plan is not None:
+                vec = _vec.run_windowed(
+                    pf.vec_plan, env, ctx, lo, hi, step,
+                    pf.iter_weight, pf.where, run_iter,
+                )
+            if vec is None:
+                costs, crits, tracer = _profiled_loop(
+                    env, ctx, indices, run_iter, pf.where, pf.iter_weight
+                )
+            else:
+                costs, crits, tracer = vec
         finally:
             ctx.in_parallel = False
         work = ctx.cost - start
@@ -448,6 +462,24 @@ class KokkosRuntime(BaseRuntime):
                          collect: Optional[List] = None):
         if n < 0:
             raise TrapError(f"pattern extent must be non-negative, got {n}")
+
+        plan = lam.vec_plan
+        if plan is not None and (plan.value is not None or collect is None):
+            # expr lambdas contribute lane values (collected in bulk);
+            # block lambdas vectorize only when no values are collected
+            ctx.in_parallel = True
+            start = ctx.cost
+            try:
+                vec = _vec.run_windowed(
+                    plan, env, ctx, 0, n, 1,
+                    ctx.machine.cpu.kokkos_per_element + lam.weight * 0.0,
+                    where, lambda i: lam.call1(env, ctx, i), collect=collect,
+                )
+            finally:
+                ctx.in_parallel = False
+            if vec is not None:
+                costs, crits, tracer = vec
+                return costs, crits, tracer, ctx.cost - start
 
         def run_iter(i: int) -> None:
             r = lam.call1(env, ctx, i)

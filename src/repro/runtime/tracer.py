@@ -90,6 +90,32 @@ class Tracer:
                 )
         self.accesses[key] = (self.iteration, True, protection)
 
+    def touch_block(self, arr: Array, count: int, write: bool,
+                    protection: int = PLAIN) -> None:
+        """Record a bulk operation touching ``arr[0:count]``.
+
+        Semantically identical to ``count`` individual :meth:`write` (or
+        :meth:`read`) calls, but O(1) outside trace windows — the common
+        case for whole-array builtins (``fill``/``copy``/``sort``), which
+        previously paid a per-element Python loop even when inactive.
+        """
+        if not self.active or self.race is not None:
+            # off-window / post-race: write() still does its atomic
+            # bookkeeping before the active check — replicate it in bulk
+            if write and protection == ATOMIC:
+                self.atomic_ops += count
+                uid = arr.uid
+                self.atomic_targets.update((uid, k) for k in range(count))
+            return
+        if write:
+            w = self.write
+            for k in range(count):
+                w(arr, k, protection)
+        else:
+            r = self.read
+            for k in range(count):
+                r(arr, k, protection)
+
     def check(self, where: str) -> None:
         """Raise if a race was observed during the traced loop."""
         if self.race is not None:

@@ -45,6 +45,11 @@ class TaskFinished:
     duration: float = 0.0       # wall seconds inside the worker loop
     attempts: int = 1
     diagnostics: int = 0        # MiniParSan findings on the result
+    #: observability riders from the worker payload: vectorized-tier
+    #: counters (vec_bulk_loops / vec_bulk_iters / vec_fallbacks) and the
+    #: task's compile-cache delta (compile_cache_hits / _misses).  Only
+    #: executed tasks carry them — replays describe work already counted.
+    counters: Dict[str, int] = field(default_factory=dict)
 
 
 @dataclass(frozen=True)
@@ -89,6 +94,28 @@ class RunFinished:
     wall_seconds: float
 
 
+def payload_counters(body: object) -> Dict[str, int]:
+    """Extract the observability counters from a worker result payload."""
+    out: Dict[str, int] = {}
+    if not isinstance(body, dict):
+        return out
+    vec = body.get("vec")
+    if isinstance(vec, dict):
+        for key in ("bulk_loops", "bulk_iters", "fallbacks"):
+            try:
+                out[f"vec_{key}"] = int(vec.get(key, 0))
+            except (TypeError, ValueError):
+                pass
+    cache = body.get("compile_cache")
+    if isinstance(cache, dict):
+        for key in ("hits", "misses"):
+            try:
+                out[f"compile_cache_{key}"] = int(cache.get(key, 0))
+            except (TypeError, ValueError):
+                pass
+    return out
+
+
 EmitFn = Callable[[object], None]
 
 
@@ -121,6 +148,13 @@ class Telemetry:
     retries: int = 0
     workers: int = 0
     wall_seconds: float = 0.0
+    #: vectorized-tier counters summed over executed tasks
+    vec_bulk_loops: int = 0
+    vec_bulk_iters: int = 0
+    vec_fallbacks: int = 0
+    #: compile-cache traffic summed over executed tasks
+    compile_cache_hits: int = 0
+    compile_cache_misses: int = 0
     events: List[object] = field(default_factory=list)
     keep_events: bool = False
 
@@ -136,6 +170,12 @@ class Telemetry:
             self.busy_seconds += event.duration
             self.retries += max(0, event.attempts - 1)
             self.diagnostics += event.diagnostics
+            c = event.counters
+            self.vec_bulk_loops += c.get("vec_bulk_loops", 0)
+            self.vec_bulk_iters += c.get("vec_bulk_iters", 0)
+            self.vec_fallbacks += c.get("vec_fallbacks", 0)
+            self.compile_cache_hits += c.get("compile_cache_hits", 0)
+            self.compile_cache_misses += c.get("compile_cache_misses", 0)
         elif isinstance(event, WorkerCrashed):
             self.crashes += 1
             if event.kind == "timeout":
@@ -163,6 +203,11 @@ class Telemetry:
         self.crashes += other.crashes
         self.infra_timeouts += other.infra_timeouts
         self.retries += other.retries
+        self.vec_bulk_loops += other.vec_bulk_loops
+        self.vec_bulk_iters += other.vec_bulk_iters
+        self.vec_fallbacks += other.vec_fallbacks
+        self.compile_cache_hits += other.compile_cache_hits
+        self.compile_cache_misses += other.compile_cache_misses
         self.workers += other.workers
         self.wall_seconds = max(self.wall_seconds, other.wall_seconds)
         if self.keep_events:

@@ -240,6 +240,7 @@ def assemble(plan: Plan, results: Dict[str, Dict[str, object]]) -> EvalRun:
                 times={int(k): v for k, v in times.items()},
                 diagnostics=list(payload.get("diagnostics") or []),
                 profile=payload.get("profile"),
+                vec=payload.get("vec"),
             ))
         run.prompts[pp.uid] = record
     return run

@@ -44,6 +44,7 @@ from .events import (
     TaskStarted,
     WorkerCrashed,
     WorkerReplaced,
+    payload_counters,
 )
 
 #: parent-side poll interval for results / liveness, seconds
@@ -296,7 +297,8 @@ class WorkerPool:
                                 worker=wid, duration=duration,
                                 attempts=attempts[tid],
                                 diagnostics=len(
-                                    (body or {}).get("diagnostics") or ())))
+                                    (body or {}).get("diagnostics") or ()),
+                                counters=payload_counters(body)))
                             snapshot()
                     elif kind == "fail":
                         running.pop(wid, None)

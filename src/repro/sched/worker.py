@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Dict, Sequence, Tuple
 
 from ..bench.registry import PCGBench
-from ..harness.runner import Runner
+from ..harness.runner import Runner, compile_cache_stats
 from .plan import KIND_BASELINE, KIND_SAMPLE
 
 
@@ -34,14 +34,23 @@ def execute_task(ctx, payload: Dict[str, object]) -> Dict[str, object]:
         return {"baseline": runner.baseline_time(problem)}
     if kind == KIND_SAMPLE:
         prompt = prompts[payload["uid"]]
+        cache_before = compile_cache_stats()
         res = runner.evaluate_sample(str(payload["source"]), prompt,
                                      with_timing=bool(payload["with_timing"]),
                                      profile=bool(payload.get("profile")))
+        cache_after = compile_cache_stats()
         return {"status": res.status, "detail": res.detail,
                 "times": {int(k): float(v) for k, v in res.times.items()},
                 "diagnostics": [d.to_dict() for d in res.diagnostics],
                 "profile": res.profile.to_dict()
-                if res.profile is not None else None}
+                if res.profile is not None else None,
+                # observability riders: vec-tier telemetry plus this
+                # task's compile-cache delta (the worker counters are
+                # process-wide, so ship differences, not totals)
+                "vec": res.vec,
+                "compile_cache": {
+                    k: cache_after[k] - cache_before[k]
+                    for k in ("hits", "misses")}}
     raise ValueError(f"unknown task kind {kind!r}")
 
 
@@ -56,7 +65,8 @@ def failure_payload(kind: str, detail: str) -> Dict[str, object]:
         return {"baseline": None}
     return {"status": "system_error",
             "detail": f"scheduler: {detail}", "times": {},
-            "diagnostics": [], "profile": None}
+            "diagnostics": [], "profile": None, "vec": None,
+            "compile_cache": None}
 
 
 def valid_result(task_payload: Dict[str, object], body: object) -> bool:

@@ -78,6 +78,13 @@ class ServiceMetrics:
         self.tasks_from_journal = 0
         self.tasks_failed = 0
         self.shard_restarts = 0
+        # tier-2 vectorized execution + compile-cache traffic (folded
+        # from per-shard Telemetry; see repro.runtime.vectorize)
+        self.vec_bulk_loops = 0
+        self.vec_bulk_iters = 0
+        self.vec_fallbacks = 0
+        self.compile_cache_hits = 0
+        self.compile_cache_misses = 0
         # latency
         self.wait_seconds = Histogram()
         self.run_seconds = Histogram()
@@ -137,6 +144,11 @@ class ServiceMetrics:
             self.tasks_from_journal += telemetry.from_journal
             self.tasks_failed += telemetry.failed
             self.shard_restarts += restarts
+            self.vec_bulk_loops += telemetry.vec_bulk_loops
+            self.vec_bulk_iters += telemetry.vec_bulk_iters
+            self.vec_fallbacks += telemetry.vec_fallbacks
+            self.compile_cache_hits += telemetry.compile_cache_hits
+            self.compile_cache_misses += telemetry.compile_cache_misses
             self.shard_busy[shard] = (self.shard_busy.get(shard, 0.0)
                                       + telemetry.busy_seconds)
             self.shard_tasks[shard] = (self.shard_tasks.get(shard, 0)
@@ -187,6 +199,11 @@ class ServiceMetrics:
                 "tasks_from_journal": self.tasks_from_journal,
                 "tasks_failed": self.tasks_failed,
                 "shard_restarts": self.shard_restarts,
+                "vec_bulk_loops": self.vec_bulk_loops,
+                "vec_bulk_iters": self.vec_bulk_iters,
+                "vec_fallbacks": self.vec_fallbacks,
+                "compile_cache_hits": self.compile_cache_hits,
+                "compile_cache_misses": self.compile_cache_misses,
                 "ema_batch_seconds": self.ema_batch_seconds,
                 "wait_seconds": self.wait_seconds.to_dict(),
                 "run_seconds": self.run_seconds.to_dict(),

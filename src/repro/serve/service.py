@@ -185,12 +185,18 @@ class EvalService:
                  sample_cache: bool = True,
                  task_timeout: Optional[float] = 120.0,
                  max_retries: int = 2,
-                 max_shard_restarts: int = 2):
+                 max_shard_restarts: int = 2,
+                 vectorize: bool = True):
         if shards < 1:
             raise ValueError("shards must be >= 1")
         self.workdir = Path(workdir)
         self.workdir.mkdir(parents=True, exist_ok=True)
-        self.runner = runner if runner is not None else Runner()
+        # an explicit runner wins; otherwise the vectorize toggle picks
+        # the execution tier for the default runner (results identical
+        # either way — the tier only changes interpreter throughput)
+        self.runner = (runner if runner is not None
+                       else Runner(vectorize=vectorize))
+        self.vectorize = self.runner.vectorize
         self.shards = shards
         self.jobs_per_shard = jobs_per_shard
         self.max_queue = max_queue

@@ -11,6 +11,7 @@ from repro.faults.chaos import (
     check_profile_determinism,
     check_sched_resilience,
     check_serve_resilience,
+    check_vectorize_resilience,
     run_chaos,
 )
 from repro.harness import evaluate_model
@@ -27,6 +28,10 @@ class TestInvariants:
 
     def test_profile_determinism(self):
         report = check_profile_determinism(seed=11)
+        assert report.passed, report.detail
+
+    def test_vectorize_resilience(self):
+        report = check_vectorize_resilience(seed=11)
         assert report.passed, report.detail
 
     def test_sched_resilience(self):
@@ -51,8 +56,8 @@ class TestSuiteDriver:
                             log=lines.append)
         assert [r.invariant for r in reports] == [
             "injector-transparency", "event-determinism",
-            "profile-determinism", "sched-resilience", "kill-resume",
-            "serve-resilience"]
+            "profile-determinism", "vectorize-resilience",
+            "sched-resilience", "kill-resume", "serve-resilience"]
         assert all(r.passed for r in reports), \
             [r.line() for r in reports if not r.passed]
         assert any("chaos: checking" in line for line in lines)

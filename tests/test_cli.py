@@ -190,5 +190,5 @@ class TestChaosCommand:
     def test_chaos_suite_passes(self, capsys):
         assert main(["chaos", "--seed", "11", "--jobs", "2"]) == 0
         out = capsys.readouterr().out
-        assert "6/6 invariants hold" in out
+        assert "7/7 invariants hold" in out
         assert "[FAIL]" not in out
