@@ -17,9 +17,11 @@ from ..metrics import (
 PERF_EXCLUDED_PTYPES = frozenset({"search"})
 
 #: samples carrying no performance evidence: infra failures were never
-#: judged, degraded samples lost their timing sweep to a fault.  Dropped
-#: from the speedup/efficiency pools entirely (not scored as 0).
-PERF_EXCLUDED_STATUSES = frozenset({"system_error", "degraded"})
+#: judged, quarantined poison tasks were pulled by the guard before
+#: judgement, degraded samples lost their timing sweep to a fault.
+#: Dropped from the speedup/efficiency pools entirely (not scored as 0).
+PERF_EXCLUDED_STATUSES = frozenset({"system_error", "quarantined",
+                                    "degraded"})
 
 #: the n used per execution model in Figures 6 and 7 (§8 RQ3): 32 threads
 #: for OpenMP/Kokkos, 512 ranks for MPI, 4 ranks x 64 threads for hybrid;

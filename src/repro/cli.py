@@ -34,13 +34,17 @@ Commands
     ``/metrics`` endpoint.  ``--smoke`` starts the server, drives one
     request through a live socket, checks the digest, and exits —
     the CI liveness check.
-``chaos [--seed N] [--jobs N] [--plan FILE]``
-    Run the fault-injection invariant suite (``docs/faults.md``): same
-    seed replays the same faults, a fault-free injector is byte-for-byte
-    transparent, the scheduler survives worker kills and corrupted
-    results, and a kill at every journal index resumes exactly.  With
-    ``--plan`` instead prints the fault schedule a seed expands to.
-    Exit status: 0 when every invariant holds, 1 otherwise.
+``chaos [--seed N] [--jobs N] [--invariant NAME] [--plan FILE]``
+    Run the fault-injection invariant suite (``docs/faults.md``,
+    ``docs/resilience.md``): same seed replays the same faults, a
+    fault-free injector is byte-for-byte transparent, the scheduler
+    survives worker kills and corrupted results, a kill at every journal
+    index resumes exactly, and the guard layer (quarantine, hedging,
+    whole-process SIGKILL recovery) preserves exactness.
+    ``--invariant NAME`` runs one invariant (the CI ``chaos-guard`` job
+    uses ``--invariant guard-resilience``); ``--plan`` instead prints
+    the fault schedule a seed expands to.  Exit status: 0 when every
+    selected invariant holds, 1 otherwise.
 
 ``run``/``eval``/``figures`` accept ``--no-static-screen`` to disable
 the MiniParSan pre-execution screen (no ``static_fail`` short-circuit;
@@ -49,6 +53,9 @@ every sample runs dynamically, as before the linter existed).
 ``eval`` and ``figures`` accept ``--jobs N`` to run the harness on the
 :mod:`repro.sched` worker pool and ``--resume`` to continue an
 interrupted pass from its JSONL journal (see ``docs/scheduler.md``).
+``eval``/``figures``/``serve`` accept ``--no-hedge`` to disable the
+guard layer's speculative straggler duplication (``docs/resilience.md``;
+output is byte-identical either way).
 """
 
 from __future__ import annotations
@@ -98,7 +105,7 @@ def _sched_kwargs(args: argparse.Namespace, llm_name: str,
     journal = journal_path_for(root, llm_name, args.samples,
                                args.temperature, with_timing, args.seed,
                                tag="cli")
-    return {
+    kwargs = {
         "jobs": max(args.jobs, 1),
         "journal": str(journal),
         "resume": args.resume and journal.exists(),
@@ -106,6 +113,11 @@ def _sched_kwargs(args: argparse.Namespace, llm_name: str,
         "events": ProgressPrinter(
             lambda line: print(line, file=sys.stderr)),
     }
+    if not getattr(args, "hedge", True):
+        from .guard import GuardPolicy
+
+        kwargs["guard"] = GuardPolicy(hedge=False)
+    return kwargs
 
 
 def cmd_list(args: argparse.Namespace) -> int:
@@ -374,7 +386,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
             workdir=Path(args.workdir), shards=args.shards,
             jobs_per_shard=args.jobs, max_queue=args.queue,
             batch_window=args.batch_window, max_batch=args.max_batch,
-            batching=args.batching, vectorize=args.vectorize)
+            batching=args.batching, vectorize=args.vectorize,
+            hedging=args.hedge, retry_after_cap=args.retry_after_cap)
 
     if args.smoke:
         return asyncio.run(_smoke())
@@ -410,7 +423,12 @@ def cmd_chaos(args: argparse.Namespace) -> int:
                   f"occurrences={rule.occurrences} param={rule.param}")
         return 0
     reports = run_chaos(seed=args.seed, jobs=args.jobs,
-                        log=lambda line: print(line, file=sys.stderr))
+                        log=lambda line: print(line, file=sys.stderr),
+                        only=args.invariant)
+    if not reports:
+        print(f"error: unknown invariant {args.invariant!r}",
+              file=sys.stderr)
+        return 2
     failed = [r for r in reports if not r.passed]
     for r in reports:
         print(r.line())
@@ -475,6 +493,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker processes for the evaluation scheduler")
     p.add_argument("--resume", action="store_true",
                    help="resume an interrupted run from its journal")
+    p.add_argument("--no-hedge", dest="hedge", action="store_false",
+                   help="disable speculative straggler duplication "
+                        "(results are byte-identical; only slower on "
+                        "straggling tasks)")
     p.add_argument("--no-static-screen", dest="static_screen",
                    action="store_false",
                    help="disable the MiniParSan pre-execution screen")
@@ -509,6 +531,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker processes for the evaluation scheduler")
     p.add_argument("--resume", action="store_true",
                    help="resume interrupted evaluation passes")
+    p.add_argument("--no-hedge", dest="hedge", action="store_false",
+                   help="disable speculative straggler duplication "
+                        "(byte-identical output)")
     p.add_argument("--no-static-screen", dest="static_screen",
                    action="store_false",
                    help="disable the MiniParSan pre-execution screen")
@@ -545,6 +570,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="max requests coalesced into one batch")
     p.add_argument("--no-batching", dest="batching", action="store_false",
                    help="execute every request as its own batch")
+    p.add_argument("--no-hedge", dest="hedge", action="store_false",
+                   help="disable speculative straggler duplication in the "
+                        "shard pools (byte-identical output)")
+    p.add_argument("--retry-after-cap", type=float, default=60.0,
+                   help="ceiling on the Retry-After hint sent with 429 "
+                        "rejections, seconds")
     p.add_argument("--no-vectorize", dest="vectorize", action="store_false",
                    help="scalar closure tier only (bit-identical, slower)")
     p.add_argument("--workdir", default=".repro_serve",
@@ -560,6 +591,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="seed for the generated fault schedule")
     p.add_argument("--jobs", "-j", type=_positive_int, default=4,
                    help="worker processes for the scheduler checks")
+    p.add_argument("--invariant", metavar="NAME", default=None,
+                   help="run only this invariant (e.g. guard-resilience)")
     p.add_argument("--plan", metavar="FILE",
                    help="write the seed's fault plan as JSON and exit")
     p.set_defaults(fn=cmd_chaos)

@@ -36,9 +36,17 @@ properties as executable checks over a small fixed benchmark slice
    same fault plan, runs with the tier on and off produce byte-identical
    ``EvalRun`` JSON — faults land at the same points regardless of which
    tier executes the loops between them.
+8. **guard-resilience** — the self-healing supervision layer
+   (``repro.guard``) preserves exactness: an aggressive straggler-hedging
+   policy (with injected first-arrival losses) reproduces the serial run
+   byte for byte; a task that kills every worker it touches lands in the
+   ``quarantined`` lane exactly once, deterministically across runs; and
+   SIGKILLing the whole scheduler process at event boundaries
+   (``guard.process.kill``) resumes to the reference digest.
 
-``repro chaos`` runs all seven from the command line; the CI ``chaos``
-job and ``tests/faults/test_chaos.py`` pin them as regressions.
+``repro chaos`` runs all eight from the command line; the CI ``chaos``
+and ``chaos-guard`` jobs and ``tests/faults/test_chaos.py`` pin them as
+regressions.
 """
 
 from __future__ import annotations
@@ -333,15 +341,140 @@ def check_vectorize_resilience(seed: int = 11) -> ChaosReport:
         "tiers with byte-identical EvalRuns")
 
 
+def check_guard_resilience(workdir: Union[str, Path],
+                           jobs: int = 2,
+                           log: Optional[Callable[[str], None]] = None
+                           ) -> ChaosReport:
+    """The guard layer (quarantine, hedging, crash-only recovery)
+    preserves exactness under maximum supervision pressure.
+
+    Three sub-properties, each non-vacuous by construction:
+
+    * **hedging transparency** — an aggressive policy (every completed
+      task re-arms the straggler cut at zero seconds) composed with
+      injected first-arrival losses (``guard.hedge.lose``) must produce
+      an ``EvalRun`` byte-identical to the serial reference: speculation
+      is throughput policy, never content policy.
+    * **poison determinism** — a kill rule pinned to one sample task's
+      every attempt makes that task slaughter workers until the health
+      ledger quarantines it.  Two such runs must be byte-identical, the
+      victim's slots must carry ``quarantined`` (exactly its slot count,
+      exactly once per task), and pass@1 over the victim's prompt must
+      equal pass@1 with the quarantined samples dropped — the
+      denominator-exclusion wiring, end to end.
+    * **crash-only recovery** — SIGKILLing the whole scheduler process
+      at sampled event boundaries (``guard.process.kill`` via
+      :func:`repro.guard.run_supervised`) and resuming from the journal
+      reproduces the unkilled reference digest every time.
+    """
+    from ..guard import GuardPolicy, crash_resume_sweep
+    from ..harness.runner import Runner
+    from ..metrics import prompt_pass_at_k
+    from ..sched.plan import KIND_SAMPLE, build_plan
+
+    llm, bench = chaos_slice()
+    emit = log or (lambda line: None)
+    reference = _eval(llm, bench)
+
+    # (a) aggressive hedging + injected first-arrival losses
+    emit("  guard: hedging transparency ...")
+    eager = GuardPolicy(hedge_multiplier=0.0, hedge_min_completed=1,
+                        hedge_min_seconds=0.0)
+    lose_plan = FaultPlan(rules=(
+        FaultRule(point="guard.hedge.lose", action="lose"),), seed=0)
+    with injector(lose_plan):
+        hedged = _eval(llm, bench, jobs=jobs, guard=eager)
+    if hedged.to_json() != reference.to_json():
+        return ChaosReport("guard-resilience", False,
+                           "aggressive hedging (with injected hedge "
+                           "losses) perturbed the EvalRun")
+
+    # (b) a poison task is quarantined exactly once, deterministically
+    emit("  guard: poison-task quarantine ...")
+    plan_obj = build_plan(llm, bench, CHAOS_SAMPLES, 0.2, False, Runner(),
+                          CHAOS_SEED)
+    victim = next(tid for tid, spec in plan_obj.tasks.items()
+                  if spec.kind == KIND_SAMPLE)
+    victim_slots = [(pp.uid, slot.sample_index)
+                    for pp in plan_obj.prompts for slot in pp.slots
+                    if slot.task_id == victim]
+    poison_plan = FaultPlan(rules=(
+        FaultRule(point="sched.worker.kill", action="kill", match=victim),
+    ), seed=0)
+    payloads: List[str] = []
+    for _ in range(2):
+        with injector(poison_plan):
+            run = _eval(llm, bench, jobs=jobs)
+        payloads.append(run.to_json())
+    if payloads[0] != payloads[1]:
+        return ChaosReport("guard-resilience", False,
+                           "two runs under the same poison schedule "
+                           "produced different EvalRuns")
+    got = [(uid, i) for uid, rec in run.prompts.items()
+           for i, s in enumerate(rec.samples) if s.status == "quarantined"]
+    if sorted(got) != sorted(victim_slots) or not got:
+        return ChaosReport(
+            "guard-resilience", False,
+            f"expected quarantined slots {sorted(victim_slots)}, "
+            f"got {sorted(got)}")
+    victim_uid = victim_slots[0][0]
+    statuses = run.prompts[victim_uid].statuses()
+    survivors = [s for s in statuses if s != "quarantined"]
+    if survivors and prompt_pass_at_k(statuses, 1) \
+            != prompt_pass_at_k(survivors, 1):
+        return ChaosReport("guard-resilience", False,
+                           "quarantined samples leaked into the pass@1 "
+                           "denominator")
+
+    # (c) whole-process SIGKILL at sampled event boundaries, then resume
+    emit("  guard: crash-only recovery ...")
+    sweep_dir = Path(workdir) / "supervised"
+    probe = crash_resume_sweep(llm, bench, workdir=sweep_dir,
+                               kill_points=[], num_samples=CHAOS_SAMPLES,
+                               temperature=0.2, seed=CHAOS_SEED, jobs=jobs)
+    events = int(probe["reference_events"])
+    stride = max(1, events // 4)
+    points = sorted(set(range(0, events, stride)) | {events - 1})
+    sweep = crash_resume_sweep(llm, bench, workdir=sweep_dir,
+                               kill_points=points, progress=log,
+                               num_samples=CHAOS_SAMPLES, temperature=0.2,
+                               seed=CHAOS_SEED, jobs=jobs)
+    if sweep["mismatches"]:
+        return ChaosReport("guard-resilience", False,
+                           "crash-resume diverged after SIGKILLs at event "
+                           f"boundaries {sweep['mismatches']}")
+    if sweep["restarts"] < len(points):
+        return ChaosReport("guard-resilience", False,
+                           "the whole-process kill never fired "
+                           f"({sweep['restarts']} restarts over "
+                           f"{len(points)} armed boundaries); the "
+                           "invariant is vacuous")
+    return ChaosReport(
+        "guard-resilience", True,
+        f"hedged run byte-identical; poison task quarantined exactly once "
+        f"across {len(victim_slots)} slot(s) in both runs; "
+        f"{sweep['checked']} whole-process SIGKILLs "
+        f"({sweep['restarts']} restarts) all resumed to the reference "
+        "digest")
+
+
 def run_chaos(seed: int = 11, jobs: int = 4,
               workdir: Optional[Union[str, Path]] = None,
-              log: Optional[Callable[[str], None]] = None
-              ) -> List[ChaosReport]:
-    """Run the full invariant suite; returns one report per check."""
+              log: Optional[Callable[[str], None]] = None,
+              only: Optional[str] = None) -> List[ChaosReport]:
+    """Run the invariant suite; returns one report per check.
+
+    ``only`` restricts the run to a single named invariant (e.g.
+    ``"guard-resilience"`` for the CI ``chaos-guard`` job); an unknown
+    name yields an empty report list, which callers should treat as a
+    usage error.
+    """
     emit = log or (lambda line: None)
     reports: List[ChaosReport] = []
 
     def step(name: str, fn: Callable[[], ChaosReport]) -> None:
+        if only is not None and name != only:
+            return
         emit(f"chaos: checking {name} ...")
         report = fn()
         emit(report.line())
@@ -358,6 +491,9 @@ def run_chaos(seed: int = 11, jobs: int = 4,
         step("serve-resilience",
              lambda: check_serve_resilience(Path(workdir) / "serve",
                                             jobs=min(jobs, 2)))
+        step("guard-resilience",
+             lambda: check_guard_resilience(Path(workdir) / "guard",
+                                            jobs=min(jobs, 2), log=log))
     else:
         with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
             step("kill-resume",
@@ -365,4 +501,7 @@ def run_chaos(seed: int = 11, jobs: int = 4,
             step("serve-resilience",
                  lambda: check_serve_resilience(Path(tmp) / "serve",
                                                 jobs=min(jobs, 2)))
+            step("guard-resilience",
+                 lambda: check_guard_resilience(Path(tmp) / "guard",
+                                                jobs=min(jobs, 2), log=log))
     return reports

@@ -76,6 +76,22 @@ INJECTION_POINTS: Dict[str, Tuple[str, Tuple[str, ...], str]] = {
         "(the journal already holds it — journal-then-notify); the shard "
         "runner must recover by resuming from its per-shard journal; "
         "keys look like 'shard<N>'"),
+    "guard.process.kill": (
+        "guard", ("kill",),
+        "SIGKILL the whole scheduler process at one event boundary (the "
+        "occurrence index is the boundary index); the supervisor "
+        "(repro.guard.supervisor) must resume the run to a byte-identical "
+        "digest"),
+    "guard.disk.enospc": (
+        "guard", ("enospc",),
+        "simulate ENOSPC on one sample-cache snapshot write; the cache "
+        "must degrade to a future miss (recompute) instead of corrupting "
+        "or crashing the run"),
+    "guard.hedge.lose": (
+        "guard", ("lose",),
+        "discard the first-arriving result of a hedged task while its "
+        "duplicate is still in flight, forcing the duplicate to win — "
+        "proves first-writer-wins arbitration is content-deterministic"),
 }
 
 #: layer name -> points, for layer-filtered plan generation

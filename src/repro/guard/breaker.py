@@ -1,0 +1,129 @@
+"""Per-shard circuit breakers with a deterministic, count-based clock.
+
+A shard that exhausts its restart budget (``ShardResult.error`` set) has
+*failed the whole batch slice it owned*; doing that twice in a row is
+strong evidence the shard's worker pool is wedged (poisoned interpreter
+state, a leaked injector, resource exhaustion), and continuing to route
+work at it turns every batch into a slow failure.  The board trips the
+shard's breaker, routes its partitions to the nearest surviving shard
+(deterministic ring order, so the same failure history always yields
+the same routing), and after ``cooldown`` *batches* — a count, never a
+wall clock, so chaos runs replay identically — lets one probe batch
+through half-open.  A successful probe closes the breaker; a failed one
+re-opens it for another cool-down.
+
+When every shard is open the board fails open (routes home): serving
+degraded beats serving nothing, and the home shard's restart loop is
+still the best recovery bet available.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+STATE_CLOSED = "closed"
+STATE_OPEN = "open"
+STATE_HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """One shard's breaker: closed -> open -> half_open -> closed/open."""
+
+    def __init__(self, failure_threshold: int = 2, cooldown: int = 2):
+        self.failure_threshold = max(1, failure_threshold)
+        self.cooldown = max(1, cooldown)
+        self.state = STATE_CLOSED
+        self.consecutive_failures = 0
+        self.cooldown_left = 0
+        self.trips = 0
+        #: (from_state, to_state) transition history, for determinism tests
+        self.transitions: List[Tuple[str, str]] = []
+
+    def _move(self, state: str) -> None:
+        if state != self.state:
+            self.transitions.append((self.state, state))
+            self.state = state
+
+    def allow(self) -> bool:
+        """May this shard receive work right now?  Half-open allows the
+        probe; only a fully open breaker refuses."""
+        return self.state != STATE_OPEN
+
+    def tick(self) -> None:
+        """Advance the count-based cool-down clock by one batch."""
+        if self.state == STATE_OPEN:
+            self.cooldown_left -= 1
+            if self.cooldown_left <= 0:
+                self._move(STATE_HALF_OPEN)
+
+    def record(self, ok: bool) -> None:
+        """Record the outcome of one batch slice executed on this shard."""
+        if ok:
+            self.consecutive_failures = 0
+            if self.state == STATE_HALF_OPEN:
+                self._move(STATE_CLOSED)
+            return
+        self.consecutive_failures += 1
+        if self.state == STATE_HALF_OPEN \
+                or self.consecutive_failures >= self.failure_threshold:
+            self._move(STATE_OPEN)
+            self.cooldown_left = self.cooldown
+            self.trips += 1
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"state": self.state,
+                "consecutive_failures": self.consecutive_failures,
+                "cooldown_left": self.cooldown_left,
+                "trips": self.trips}
+
+
+class BreakerBoard:
+    """The service's breakers, one per shard, plus deterministic routing."""
+
+    def __init__(self, shards: int, failure_threshold: int = 2,
+                 cooldown: int = 2):
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        self.breakers = [CircuitBreaker(failure_threshold, cooldown)
+                         for _ in range(shards)]
+        #: routed (home, actual) pairs with home != actual, for tests
+        self.reroutes: List[Tuple[int, int]] = []
+
+    def __len__(self) -> int:
+        return len(self.breakers)
+
+    def tick(self) -> None:
+        """One batch boundary: advance every open breaker's cool-down."""
+        for breaker in self.breakers:
+            breaker.tick()
+
+    def allow(self, shard: int) -> bool:
+        return self.breakers[shard].allow()
+
+    def record(self, shard: int, ok: bool) -> None:
+        self.breakers[shard].record(ok)
+
+    def route(self, shard: int) -> int:
+        """The shard that should execute ``shard``'s partition: the home
+        shard while its breaker admits work, else the nearest following
+        shard (ring order) whose breaker does; home again when every
+        breaker is open (fail open — degraded beats dead)."""
+        n = len(self.breakers)
+        for offset in range(n):
+            candidate = (shard + offset) % n
+            if self.breakers[candidate].allow():
+                if candidate != shard:
+                    self.reroutes.append((shard, candidate))
+                return candidate
+        return shard
+
+    def open_count(self) -> int:
+        return sum(1 for b in self.breakers if b.state == STATE_OPEN)
+
+    def states(self) -> Dict[str, Dict[str, object]]:
+        """JSON-able per-shard breaker state (the ``/metrics`` view)."""
+        return {str(i): b.to_dict() for i, b in enumerate(self.breakers)}
+
+
+__all__ = ["BreakerBoard", "CircuitBreaker", "STATE_CLOSED",
+           "STATE_HALF_OPEN", "STATE_OPEN"]

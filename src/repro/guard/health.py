@@ -1,0 +1,112 @@
+"""Task-health classification: transient faults vs poison tasks.
+
+The pool's retry budget treats every failure the same way; the ledger
+does not.  A worker that dies *while running a task* leaves a death
+fingerprint on that task, and a task whose fingerprints span
+``poison_threshold`` distinct workers is reclassified from "unlucky"
+to "poison": the task itself (an infinite loop, an OOM, a segfaulting
+interpreter path) is what kills workers, and retrying it anywhere only
+burns more of them.  Poison tasks move to the ``quarantined`` status
+lane — journaled and resumed (unlike ``system_error``, which is
+resampled), reported as their own status, and excluded from every
+metric denominator (see ``repro.metrics.passk.INFRA_STATUSES`` and
+``repro.analysis.aggregate.PERF_EXCLUDED_STATUSES``).
+
+The quarantine detail is built from content-deterministic facts only
+(death count and kinds, never worker ids), so two runs under the same
+fault schedule journal byte-identical quarantine payloads — the
+property the ``guard-resilience`` chaos invariant asserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+#: verdicts from :meth:`HealthLedger.record_death`
+VERDICT_TRANSIENT = "transient"
+VERDICT_POISON = "poison"
+
+
+@dataclass(frozen=True)
+class GuardPolicy:
+    """Supervision knobs threaded into the pool, scheduler, and service.
+
+    Everything here is throughput policy, never correctness policy: any
+    two policies produce byte-identical ``EvalRun``\\ s except for which
+    tasks land in the ``quarantined`` lane (controlled by
+    ``quarantine``/``poison_threshold``).
+    """
+
+    #: move poison tasks to the quarantined lane instead of retrying
+    quarantine: bool = True
+    #: distinct workers a task must kill to be classified poison
+    poison_threshold: int = 2
+    #: speculatively duplicate straggling tasks onto idle workers
+    hedge: bool = True
+    #: quantile of completed-task wall times the straggler cut is based on
+    hedge_quantile: float = 0.95
+    #: a task is a straggler after quantile * multiplier seconds
+    hedge_multiplier: float = 3.0
+    #: completed tasks needed before the quantile is trusted
+    hedge_min_completed: int = 4
+    #: floor on the straggler cut — never hedge sub-floor tasks
+    hedge_min_seconds: float = 0.25
+    #: duplicates ever launched per task (1 = at most one hedge)
+    max_hedges_per_task: int = 1
+
+
+DEFAULT_POLICY = GuardPolicy()
+
+
+class HealthLedger:
+    """Per-task record of worker deaths and the quarantine register."""
+
+    def __init__(self, poison_threshold: int = 2):
+        self.poison_threshold = max(1, poison_threshold)
+        #: task id -> [(worker, kind, detail), ...]
+        self._deaths: Dict[str, List[Tuple[int, str, str]]] = {}
+        #: task id -> quarantine detail
+        self.quarantined: Dict[str, str] = {}
+
+    # -- recording ----------------------------------------------------------
+
+    def record_death(self, task_id: str, worker: int, kind: str,
+                     detail: str) -> str:
+        """Record one worker death attributed to ``task_id``; returns
+        ``VERDICT_POISON`` once the task has killed ``poison_threshold``
+        distinct workers, ``VERDICT_TRANSIENT`` before that."""
+        self._deaths.setdefault(task_id, []).append((worker, kind, detail))
+        if len(self.distinct_workers(task_id)) >= self.poison_threshold:
+            return VERDICT_POISON
+        return VERDICT_TRANSIENT
+
+    def quarantine(self, task_id: str, detail: str) -> None:
+        self.quarantined[task_id] = detail
+
+    # -- reading ------------------------------------------------------------
+
+    def distinct_workers(self, task_id: str) -> Set[int]:
+        return {w for (w, _kind, _detail) in self._deaths.get(task_id, ())}
+
+    def deaths(self, task_id: str) -> List[Tuple[int, str, str]]:
+        return list(self._deaths.get(task_id, ()))
+
+    def is_quarantined(self, task_id: str) -> bool:
+        return task_id in self.quarantined
+
+    def fingerprint(self, task_id: str) -> str:
+        """Content-deterministic description of why a task is poison.
+
+        Deliberately excludes worker ids and timings: two runs under the
+        same fault schedule may dispatch the task to differently-numbered
+        workers, and the fingerprint flows into the journaled quarantine
+        payload, which must be byte-identical across such runs."""
+        records = self._deaths.get(task_id, ())
+        kinds = ",".join(sorted({kind for (_w, kind, _d) in records}))
+        return (f"poison task: killed {len(self.distinct_workers(task_id))} "
+                f"distinct workers ({kinds or 'crash'})")
+
+
+__all__ = ["DEFAULT_POLICY", "GuardPolicy", "HealthLedger",
+           "VERDICT_POISON", "VERDICT_TRANSIENT"]

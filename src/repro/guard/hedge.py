@@ -1,0 +1,75 @@
+"""Straggler hedging: quantile thresholds and duplicate bookkeeping.
+
+A *straggler* is a task whose in-flight wall time exceeds
+``quantile(completed durations, q) * k`` (the classic hedged-request
+recipe: the tail is usually machine noise — a cold page cache, a CPU
+migration — not the task).  The pool launches at most
+``max_hedges_per_task`` speculative duplicates, only onto otherwise
+*idle* workers, and only when no fresh or retried work is waiting, so
+hedging can never delay first execution of anything.
+
+Arbitration is first-writer-wins and byte-exact by construction: every
+copy of a task computes the identical judged content (status, detail,
+times, diagnostics, profile — all deterministic functions of the task
+payload), and the only per-copy fields in a worker result (wall-clock
+``duration`` and the ``compile_cache`` delta) are observability riders
+that never reach the serialised ``EvalRun``.  Whichever copy lands
+first is accepted; later arrivals are discarded unread.  The
+``guard.hedge.lose`` injection point forces the *first* arrival to be
+discarded instead, proving the loser's payload is interchangeable.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+from .health import GuardPolicy
+
+
+def duration_quantile(durations: Sequence[float], q: float) -> float:
+    """Nearest-rank quantile (q in (0, 1]) of a non-empty sequence."""
+    if not durations:
+        raise ValueError("quantile of an empty sequence")
+    ordered = sorted(durations)
+    rank = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
+    return ordered[rank]
+
+
+class HedgeBook:
+    """Observed completion times + which tasks have been hedged."""
+
+    def __init__(self, policy: Optional[GuardPolicy] = None):
+        self.policy = policy or GuardPolicy()
+        self.durations: List[float] = []
+        #: task id -> duplicates launched
+        self.hedged: Dict[str, int] = {}
+        #: accepted results that came from a hedge dispatch
+        self.wins = 0
+
+    def observe(self, duration: float) -> None:
+        """Record one completed task's wall time."""
+        self.durations.append(duration)
+
+    def threshold(self) -> Optional[float]:
+        """Current straggler cut in seconds, or None while hedging is
+        off or the sample of completed tasks is still too small."""
+        p = self.policy
+        if not p.hedge or len(self.durations) < max(1, p.hedge_min_completed):
+            return None
+        cut = (duration_quantile(self.durations, p.hedge_quantile)
+               * p.hedge_multiplier)
+        return max(cut, p.hedge_min_seconds)
+
+    def may_hedge(self, task_id: str) -> bool:
+        return self.hedged.get(task_id, 0) < self.policy.max_hedges_per_task
+
+    def note_hedge(self, task_id: str) -> None:
+        self.hedged[task_id] = self.hedged.get(task_id, 0) + 1
+
+    @property
+    def launched(self) -> int:
+        return sum(self.hedged.values())
+
+
+__all__ = ["HedgeBook", "duration_quantile"]

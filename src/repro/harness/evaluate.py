@@ -42,9 +42,12 @@ class CacheFormatError(ValueError):
 class SampleRecord:
     #: terminal status (see the repro.harness.runner docstring matrix):
     #: correct / wrong_answer / runtime_error / timeout / not_parallel /
-    #: static_fail / build_error, plus the two resilience lanes —
+    #: static_fail / build_error, plus the three resilience lanes —
     #: system_error (infrastructure failed; excluded from every metric
-    #: denominator, never journaled, resampled on --resume) and degraded
+    #: denominator, never journaled, resampled on --resume), quarantined
+    #: (the sample killed multiple distinct workers and the guard pulled
+    #: it permanently: journaled, replayed on resume, excluded from every
+    #: denominator; detail starts with "guard:"), and degraded
     #: (correct but the timing sweep was fault-perturbed; counts for
     #: pass@k / build@k, excluded from speedup).  A timeout is the
     #: *sample* hanging (fuel / simulated-time cap, see detail); an infra
@@ -197,16 +200,22 @@ def evaluate_model(
     sample_cache: Optional[str] = None,
     events: Optional[Callable[[object], None]] = None,
     profile: bool = False,
+    guard: Optional[object] = None,
 ) -> EvalRun:
     """Run the full §7 pipeline for one model over ``bench``.
 
     ``jobs=1`` (default) keeps the original serial loop.  ``jobs>1`` —
-    or any of ``journal``/``resume``/``sample_cache``/``events`` — routes
-    through :mod:`repro.sched`: the same pipeline decomposed into
-    ``(prompt, sample)`` tasks on a fault-isolated worker pool, with
-    JSONL checkpointing (``journal`` + ``resume=True``) and a
-    content-addressed cross-run sample cache.  Both paths assemble
-    byte-identical :class:`EvalRun` objects.
+    or any of ``journal``/``resume``/``sample_cache``/``events``/
+    ``guard`` — routes through :mod:`repro.sched`: the same pipeline
+    decomposed into ``(prompt, sample)`` tasks on a fault-isolated
+    worker pool, with JSONL checkpointing (``journal`` +
+    ``resume=True``) and a content-addressed cross-run sample cache.
+    Both paths assemble byte-identical :class:`EvalRun` objects.
+
+    ``guard`` is a :class:`repro.guard.GuardPolicy` tuning the
+    self-healing supervision (poison-task quarantine, straggler
+    hedging); ``None`` uses the defaults.  Guard mechanisms never
+    change the assembled run's bytes — only how it survives faults.
 
     ``profile=True`` (timing runs only) additionally records a
     cost-decomposed :mod:`repro.prof` profile on every timed sample.
@@ -218,7 +227,7 @@ def evaluate_model(
     if resume and journal is None:
         raise ConfigurationError("resume=True requires a journal path")
     if (jobs > 1 or journal is not None or sample_cache is not None
-            or events is not None):
+            or events is not None or guard is not None):
         from ..sched.scheduler import run_scheduled
 
         run, _ = run_scheduled(
@@ -226,7 +235,7 @@ def evaluate_model(
             with_timing=with_timing, runner=runner, seed=seed, jobs=jobs,
             journal_path=journal, resume=resume,
             sample_cache_dir=sample_cache, emit=events, progress=progress,
-            profile=profile)
+            profile=profile, guard=guard)
         return run
     runner = runner or Runner()
     num_samples = effective_samples(num_samples)

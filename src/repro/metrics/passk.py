@@ -32,8 +32,11 @@ BUILT_STATUSES = frozenset(
 #: statuses that count as "the sample is correct" (pass@k numerator)
 CORRECT_STATUSES = frozenset({"correct", "degraded"})
 
-#: infrastructure failures: excluded from every metric denominator
-INFRA_STATUSES = frozenset({"system_error"})
+#: infrastructure failures: excluded from every metric denominator.
+#: ``system_error`` means the infra gave up transiently (resampled on
+#: resume); ``quarantined`` means the guard permanently pulled a poison
+#: task that kept killing workers.  Neither sample was ever judged.
+INFRA_STATUSES = frozenset({"system_error", "quarantined"})
 
 
 def judged(statuses: Sequence[str]) -> List[str]:

@@ -20,9 +20,11 @@ from .events import (
     SOURCE_EXECUTED,
     SOURCE_FAILED,
     SOURCE_JOURNAL,
+    SOURCE_QUARANTINED,
     SchedulerAbort,
     StageFinished,
     TaskFinished,
+    TaskHedged,
     TaskStarted,
     Telemetry,
     WorkerCrashed,
@@ -47,7 +49,8 @@ from .plan import (
 )
 from .pool import WorkerPool
 from .scheduler import TRANSIENT_STATUSES, run_scheduled
-from .worker import execute_task, failure_payload, init_harness
+from .worker import (execute_task, failure_payload, init_harness,
+                     quarantine_payload)
 
 __all__ = [
     # plan
@@ -56,13 +59,15 @@ __all__ = [
     "shard_for", "KIND_SAMPLE", "KIND_BASELINE",
     # pool + worker
     "WorkerPool", "init_harness", "execute_task", "failure_payload",
+    "quarantine_payload",
     # journal
     "Journal", "SampleCache", "journal_path_for",
     # events
-    "Telemetry", "TaskStarted", "TaskFinished", "WorkerCrashed",
-    "WorkerReplaced", "ProgressSnapshot", "StageFinished", "RunFinished",
-    "ProgressPrinter", "SchedulerAbort", "chain",
+    "Telemetry", "TaskStarted", "TaskFinished", "TaskHedged",
+    "WorkerCrashed", "WorkerReplaced", "ProgressSnapshot", "StageFinished",
+    "RunFinished", "ProgressPrinter", "SchedulerAbort", "chain",
     "SOURCE_EXECUTED", "SOURCE_JOURNAL", "SOURCE_CACHE", "SOURCE_FAILED",
+    "SOURCE_QUARANTINED",
     # orchestration
     "run_scheduled", "TRANSIENT_STATUSES",
 ]

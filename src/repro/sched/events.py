@@ -22,6 +22,7 @@ SOURCE_EXECUTED = "executed"    # computed by a worker this run
 SOURCE_JOURNAL = "journal"      # replayed from the resume journal
 SOURCE_CACHE = "cache"          # content-addressed sample cache hit
 SOURCE_FAILED = "failed"        # retry budget exhausted; placeholder result
+SOURCE_QUARANTINED = "quarantined"  # poison task pulled by the HealthLedger
 
 
 class SchedulerAbort(Exception):
@@ -50,6 +51,24 @@ class TaskFinished:
     #: task's compile-cache delta (compile_cache_hits / _misses).  Only
     #: executed tasks carry them — replays describe work already counted.
     counters: Dict[str, int] = field(default_factory=dict)
+    #: True when the accepted result came from a speculative hedge
+    #: dispatch rather than the primary one (telemetry only — the bytes
+    #: of the result are identical either way)
+    hedged: bool = False
+
+
+@dataclass(frozen=True)
+class TaskHedged:
+    """A straggling task got a speculative duplicate on an idle worker."""
+
+    task_id: str
+    kind: str
+    #: worker currently running the straggling primary copy
+    worker: int
+    #: seconds the primary had been running when the hedge launched
+    elapsed: float
+    #: straggler cut (quantile * multiplier) that triggered the hedge
+    threshold: float
 
 
 @dataclass(frozen=True)
@@ -92,6 +111,7 @@ class RunFinished:
     from_cache: int
     failed: int
     wall_seconds: float
+    quarantined: int = 0
 
 
 def payload_counters(body: object) -> Dict[str, int]:
@@ -148,6 +168,10 @@ class Telemetry:
     retries: int = 0
     workers: int = 0
     wall_seconds: float = 0.0
+    #: speculative duplicates launched for straggling tasks, and how
+    #: many accepted results came from such a duplicate
+    hedges: int = 0
+    hedge_wins: int = 0
     #: vectorized-tier counters summed over executed tasks
     vec_bulk_loops: int = 0
     vec_bulk_iters: int = 0
@@ -170,12 +194,16 @@ class Telemetry:
             self.busy_seconds += event.duration
             self.retries += max(0, event.attempts - 1)
             self.diagnostics += event.diagnostics
+            if event.hedged:
+                self.hedge_wins += 1
             c = event.counters
             self.vec_bulk_loops += c.get("vec_bulk_loops", 0)
             self.vec_bulk_iters += c.get("vec_bulk_iters", 0)
             self.vec_fallbacks += c.get("vec_fallbacks", 0)
             self.compile_cache_hits += c.get("compile_cache_hits", 0)
             self.compile_cache_misses += c.get("compile_cache_misses", 0)
+        elif isinstance(event, TaskHedged):
+            self.hedges += 1
         elif isinstance(event, WorkerCrashed):
             self.crashes += 1
             if event.kind == "timeout":
@@ -203,6 +231,8 @@ class Telemetry:
         self.crashes += other.crashes
         self.infra_timeouts += other.infra_timeouts
         self.retries += other.retries
+        self.hedges += other.hedges
+        self.hedge_wins += other.hedge_wins
         self.vec_bulk_loops += other.vec_bulk_loops
         self.vec_bulk_iters += other.vec_bulk_iters
         self.vec_fallbacks += other.vec_fallbacks
@@ -230,6 +260,10 @@ class Telemetry:
     @property
     def failed(self) -> int:
         return self.counts.get(SOURCE_FAILED, 0)
+
+    @property
+    def quarantined(self) -> int:
+        return self.counts.get(SOURCE_QUARANTINED, 0)
 
     @property
     def total(self) -> int:
@@ -269,9 +303,11 @@ class ProgressPrinter:
             self.write(f"sched: worker {event.worker} crashed "
                        f"({event.detail}); requeueing")
         elif isinstance(event, RunFinished):
+            quarantined = (f", {event.quarantined} quarantined"
+                           if event.quarantined else "")
             self.write(
                 f"sched: done — {event.executed} executed, "
                 f"{event.from_journal} from journal, "
-                f"{event.from_cache} from cache, {event.failed} failed "
-                f"in {event.wall_seconds:.2f}s"
+                f"{event.from_cache} from cache, {event.failed} failed"
+                f"{quarantined} in {event.wall_seconds:.2f}s"
             )

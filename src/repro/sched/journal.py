@@ -19,6 +19,7 @@ Two persistence layers, both keyed by content-hash task ids from
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import json
 import os
@@ -205,11 +206,21 @@ class SampleCache:
             return None                  # bit rot / torn write: recompute
         return payload
 
-    def put(self, task_id: str, payload: Dict[str, object]) -> None:
+    def put(self, task_id: str, payload: Dict[str, object]) -> bool:
+        """Write one entry durably; returns False when the write failed.
+
+        The snapshot path is tmp-write → fsync(file) → rename →
+        fsync(dir): without the fsyncs a machine crash right after the
+        rename can leave a zero-length or torn file *at the final path*
+        (the rename can be journaled before the data blocks hit disk).
+        A failed write — e.g. an injected ``guard.disk.enospc`` — cleans
+        up the tmp file and degrades to a future cache miss; it never
+        corrupts an existing entry and never crashes the run (the cache
+        is an optimisation, not a correctness dependency)."""
         path = self._path(task_id)
-        path.parent.mkdir(parents=True, exist_ok=True)
         data = json.dumps({"sha256": self._digest(payload),
                            "payload": payload})
+        enospc = False
         if inject.ACTIVE is not None:
             rule = inject.ACTIVE.fire("sched.cache.truncate", task_id)
             if rule is not None:
@@ -219,9 +230,41 @@ class SampleCache:
                 pos = len(data) // 2
                 flipped = chr(ord(data[pos]) ^ 0x01)
                 data = data[:pos] + flipped + data[pos + 1:]
+            enospc = inject.ACTIVE.fire("guard.disk.enospc",
+                                        task_id) is not None
         tmp = path.with_suffix(".tmp")
-        tmp.write_text(data, encoding="utf-8")
-        os.replace(tmp, path)       # atomic: concurrent runs never see torn files
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            if enospc:
+                raise OSError(errno.ENOSPC,
+                              "No space left on device (injected)")
+            with tmp.open("w", encoding="utf-8") as fh:
+                fh.write(data)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)   # atomic: readers never see torn files
+            self._fsync_dir(path.parent)
+        except OSError:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            return False
+        return True
+
+    @staticmethod
+    def _fsync_dir(directory: Path) -> None:
+        """Persist the rename itself (the directory entry)."""
+        try:
+            fd = os.open(directory, os.O_RDONLY)
+        except OSError:             # pragma: no cover - exotic filesystems
+            return
+        try:
+            os.fsync(fd)
+        except OSError:             # pragma: no cover - e.g. NFS quirks
+            pass
+        finally:
+            os.close(fd)
 
     def __contains__(self, task_id: str) -> bool:
         return self.get(task_id) is not None

@@ -9,12 +9,23 @@ and execute functions.
 Fault model (the part a naive ``multiprocessing.Pool`` gets wrong):
 
 * a task that **raises** inside a worker is reported and requeued, up to
-  ``max_retries`` extra attempts, then recorded as a failure;
+  ``max_retries`` extra attempts, then recorded as a failure; retries
+  queue strictly *behind* pending fresh work, so a retry storm can never
+  starve the queue tail;
 * a worker that **dies** (segfault, ``os._exit``, OOM-kill) is detected
   by liveness polling; its in-flight task is requeued and a replacement
   worker is spawned — the run never dies with it;
 * a task that **hangs** past ``task_timeout`` gets its worker terminated
   and is treated like a crash;
+* a task that kills ``poison_threshold`` *distinct* workers is **poison**
+  (the task, not the machine, is what kills workers) and is moved to the
+  ``quarantined`` lane by the :class:`~repro.guard.health.HealthLedger`
+  instead of burning budget forever;
+* a task running far past the completed-task time distribution is a
+  **straggler** and gets a speculative duplicate on an idle worker
+  (:class:`~repro.guard.hedge.HedgeBook`); the first result to arrive
+  wins and later copies are discarded — byte-identical either way,
+  because every copy computes identical judged content;
 * repeated crashes trip a circuit breaker (``max_crashes``) that fails
   the remaining tasks instead of respawning forever.
 
@@ -22,6 +33,10 @@ Results are reported through ``on_result`` *before* the corresponding
 :class:`TaskFinished` event is emitted, so a sink that aborts the run
 (:class:`SchedulerAbort`) is guaranteed the journal already holds every
 task it was told about.
+
+Workers poll their parent pid while idle: if the whole scheduler process
+is SIGKILLed (``repro.guard.supervisor``), the orphaned workers notice
+the reparenting and exit instead of blocking on the task queue forever.
 """
 
 from __future__ import annotations
@@ -31,16 +46,20 @@ import os
 import queue as stdlib_queue
 import time
 from collections import deque
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Optional, Sequence, Set, Tuple
 
 from ..faults import inject
+from ..guard.health import GuardPolicy, HealthLedger, VERDICT_POISON
+from ..guard.hedge import HedgeBook
 from .events import (
     EmitFn,
     ProgressSnapshot,
     SOURCE_EXECUTED,
     SOURCE_FAILED,
+    SOURCE_QUARANTINED,
     SchedulerAbort,
     TaskFinished,
+    TaskHedged,
     TaskStarted,
     WorkerCrashed,
     WorkerReplaced,
@@ -51,6 +70,8 @@ from .events import (
 _POLL = 0.05
 #: seconds of total silence before sweeping for orphaned tasks
 _STALL_SWEEP = 2.0
+#: idle-worker wakeup interval for the orphaned-parent check, seconds
+_ORPHAN_POLL = 1.0
 
 
 def _pool_context() -> mp.context.BaseContext:
@@ -88,21 +109,29 @@ def _worker_main(worker_id: int, init_fn: Optional[Callable],
     """Worker loop: init once, then execute tasks until the sentinel.
 
     Every exception is caught and reported — a worker only ever exits via
-    the sentinel or by being killed from outside.
+    the sentinel, by being killed from outside, or by noticing its parent
+    process vanished (a whole-process SIGKILL reparents the worker; an
+    orphan must not sit on ``task_q.get()`` forever).
     """
+    parent_pid = os.getppid()
     try:
         ctx = init_fn(*init_args) if init_fn is not None else init_args
     except BaseException as exc:  # noqa: BLE001 - must never escape
         result_q.put(("init_error", worker_id, None,
-                      f"{type(exc).__name__}: {exc}", 0.0))
+                      f"{type(exc).__name__}: {exc}", 0.0, 0))
         return
     while True:
-        item = task_q.get()
+        try:
+            item = task_q.get(timeout=_ORPHAN_POLL)
+        except stdlib_queue.Empty:
+            if os.getppid() != parent_pid:
+                os._exit(0)         # orphaned: the scheduler was killed
+            continue
         if item is None:
-            result_q.put(("bye", worker_id, None, None, 0.0))
+            result_q.put(("bye", worker_id, None, None, 0.0, 0))
             return
         task_id, attempt, payload = item
-        result_q.put(("start", worker_id, task_id, None, 0.0))
+        result_q.put(("start", worker_id, task_id, None, 0.0, attempt))
         if inject.ACTIVE is not None:
             # fork-inherited injector: keys carry the attempt index so a
             # kill rule matching "#a0" takes down only the first dispatch
@@ -117,10 +146,10 @@ def _worker_main(worker_id: int, init_fn: Optional[Callable],
         except BaseException as exc:  # noqa: BLE001 - fault isolation
             result_q.put(("fail", worker_id, task_id,
                           f"{type(exc).__name__}: {exc}",
-                          time.perf_counter() - began))
+                          time.perf_counter() - began, attempt))
         else:
             result_q.put(("done", worker_id, task_id, result,
-                          time.perf_counter() - began))
+                          time.perf_counter() - began, attempt))
 
 
 class WorkerPool:
@@ -134,7 +163,9 @@ class WorkerPool:
                  queue_bound: Optional[int] = None,
                  emit: Optional[EmitFn] = None,
                  max_crashes: Optional[int] = None,
-                 validate: Optional[Callable[[dict, object], bool]] = None):
+                 validate: Optional[Callable[[dict, object], bool]] = None,
+                 guard: Optional[GuardPolicy] = None,
+                 quarantine: Optional[Callable[[str, str], dict]] = None):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
@@ -152,6 +183,12 @@ class WorkerPool:
         self.emit = emit or (lambda event: None)
         self.max_crashes = max_crashes if max_crashes is not None \
             else 4 * jobs + 4
+        #: supervision policy (quarantine + hedging); defaults on
+        self.guard = guard or GuardPolicy()
+        #: ``(kind, detail) -> payload`` factory for quarantined tasks;
+        #: without one a poison task fails fast through the failure lane
+        #: (the ledger still short-circuits its remaining retries)
+        self.quarantine = quarantine
         self._ctx = _pool_context()
 
     # -- lifecycle helpers ---------------------------------------------------
@@ -177,7 +214,9 @@ class WorkerPool:
         ``on_result(task_id, result)`` runs in the parent, in completion
         order, before the task's ``TaskFinished`` event (journal-then-
         notify).  ``failures`` maps task id → last error string for tasks
-        that exhausted their retry budget.
+        that exhausted their retry budget.  Quarantined tasks land in
+        ``results`` via the ``quarantine`` payload factory (or in
+        ``failures`` when the pool has none).
         """
         payloads: Dict[str, dict] = dict(tasks)
         total = len(payloads)
@@ -190,10 +229,17 @@ class WorkerPool:
 
         task_q = self._ctx.Queue(maxsize=self.queue_bound + 1)
         result_q = self._ctx.SimpleQueue()
-        pending = deque(payloads)
+        pending = deque(payloads)         # fresh work, plan order
+        retries: deque = deque()          # requeues: strictly behind fresh
         outstanding: set = set()          # dispatched, not yet finished
-        running: Dict[int, Tuple[str, float]] = {}   # worker → (task, deadline)
-        attempts: Dict[str, int] = {tid: 0 for tid in payloads}
+        #: worker → (task, deadline, started_at)
+        running: Dict[int, Tuple[str, float, float]] = {}
+        attempts: Dict[str, int] = {tid: 0 for tid in payloads}  # dispatches
+        fails: Dict[str, int] = {tid: 0 for tid in payloads}
+        live: Dict[str, int] = {tid: 0 for tid in payloads}  # copies in flight
+        hedge_dispatches: Set[Tuple[str, int]] = set()
+        ledger = HealthLedger(self.guard.poison_threshold)
+        book = HedgeBook(self.guard)
         procs: Dict[int, mp.process.BaseProcess] = {}
         crashes = 0
         last_message = time.monotonic()
@@ -205,18 +251,31 @@ class WorkerPool:
         def finished() -> int:
             return len(results) + len(failures)
 
+        def settled(tid: str) -> bool:
+            return tid in results or tid in failures
+
+        def dispatch(tid: str) -> bool:
+            try:
+                task_q.put_nowait((tid, attempts[tid], payloads[tid]))
+            except stdlib_queue.Full:
+                return False
+            attempts[tid] += 1
+            live[tid] += 1
+            outstanding.add(tid)
+            return True
+
         def fill_queue() -> None:
-            while pending and len(outstanding) < self.queue_bound:
-                tid = pending.popleft()
-                if tid in results or tid in failures:
-                    continue
-                try:
-                    task_q.put_nowait((tid, attempts[tid], payloads[tid]))
-                except stdlib_queue.Full:
-                    pending.appendleft(tid)
+            while len(outstanding) < self.queue_bound:
+                source = pending if pending else retries
+                if not source:
                     return
-                attempts[tid] += 1
-                outstanding.add(tid)
+                tid = source[0]
+                if settled(tid):
+                    source.popleft()
+                    continue
+                if not dispatch(tid):
+                    return              # queue full: keep position
+                source.popleft()
 
         def record_failure(tid: str, detail: str) -> None:
             failures[tid] = detail
@@ -226,10 +285,33 @@ class WorkerPool:
                 source=SOURCE_FAILED, status="system_error", worker=-1,
                 duration=0.0, attempts=attempts[tid]))
 
-        def retry_or_fail(tid: str, detail: str) -> None:
+        def record_quarantine(tid: str, last_detail: str) -> None:
+            detail = f"{ledger.fingerprint(tid)}; last: {last_detail}"
+            ledger.quarantine(tid, detail)
+            if self.quarantine is None:
+                record_failure(tid, detail)
+                return
+            payload = self.quarantine(payloads[tid].get("kind", ""), detail)
+            results[tid] = payload
             outstanding.discard(tid)
-            if attempts[tid] <= self.max_retries:
-                pending.append(tid)
+            if on_result is not None:
+                on_result(tid, payload)
+            self.emit(TaskFinished(
+                task_id=tid, kind=payloads[tid].get("kind", ""),
+                source=SOURCE_QUARANTINED,
+                status=str((payload or {}).get("status", "")), worker=-1,
+                duration=0.0, attempts=attempts[tid]))
+
+        def copy_failed(tid: str, detail: str) -> None:
+            """One dispatch of ``tid`` definitively failed."""
+            if settled(tid):
+                return
+            fails[tid] += 1
+            if live.get(tid, 0) > 0:
+                return          # a duplicate still races; judge on arrival
+            outstanding.discard(tid)
+            if fails[tid] <= self.max_retries:
+                retries.append(tid)
             else:
                 record_failure(tid, detail)
 
@@ -237,17 +319,55 @@ class WorkerPool:
                             kind: str = "crash") -> None:
             nonlocal crashes, next_wid
             crashes += 1
-            tid = running.pop(wid, (None, 0.0))[0]
+            entry = running.pop(wid, None)
+            tid = entry[0] if entry is not None else None
             self.emit(WorkerCrashed(worker=wid, task_id=tid, detail=detail,
                                     kind=kind))
             procs.pop(wid, None)
-            if tid is not None and tid not in results:
-                retry_or_fail(tid, detail)
+            if tid is not None:
+                live[tid] = max(0, live.get(tid, 0) - 1)
+                if not settled(tid):
+                    verdict = ledger.record_death(tid, wid, kind, detail)
+                    if verdict == VERDICT_POISON and self.guard.quarantine:
+                        record_quarantine(tid, detail)
+                    else:
+                        copy_failed(tid, detail)
             if crashes <= self.max_crashes and finished() < total:
                 procs[next_wid] = self._spawn(next_wid, task_q, result_q)
                 self.emit(WorkerReplaced(old_worker=wid,
                                          new_worker=next_wid))
                 next_wid += 1
+
+        def maybe_hedge(now: float) -> None:
+            """Duplicate stragglers onto idle workers — only once all
+            fresh and retried work is dispatched, so speculation never
+            delays first execution of anything."""
+            if not self.guard.hedge or pending or retries:
+                return
+            idle = len(procs) - len(running)
+            if idle <= 0:
+                return
+            cut = book.threshold()
+            if cut is None:
+                return
+            for wid in sorted(running,
+                              key=lambda w: (running[w][2], w)):
+                if idle <= 0:
+                    return
+                tid, _deadline, started = running[wid]
+                if settled(tid) or not book.may_hedge(tid):
+                    continue
+                if live.get(tid, 0) != 1 or now - started < cut:
+                    continue
+                index = attempts[tid]
+                if not dispatch(tid):
+                    return              # queue full: try next poll round
+                hedge_dispatches.add((tid, index))
+                book.note_hedge(tid)
+                self.emit(TaskHedged(
+                    task_id=tid, kind=payloads[tid].get("kind", ""),
+                    worker=wid, elapsed=now - started, threshold=cut))
+                idle -= 1
 
         def snapshot() -> None:
             self.emit(ProgressSnapshot(
@@ -263,47 +383,60 @@ class WorkerPool:
                 now = time.monotonic()
                 if message is not None:
                     last_message = now
-                    kind, wid, tid, body, duration = message
+                    kind, wid, tid, body, duration, attempt = message
                     if kind == "start":
                         deadline = now + (self.task_timeout or float("inf"))
-                        running[wid] = (tid, deadline)
+                        running[wid] = (tid, deadline, now)
                         self.emit(TaskStarted(
                             task_id=tid,
                             kind=payloads[tid].get("kind", ""), worker=wid))
                     elif kind == "done":
                         running.pop(wid, None)
+                        live[tid] = max(0, live.get(tid, 0) - 1)
+                        if settled(tid):
+                            continue    # late arrival from a hedge loser
+                        if (live.get(tid, 0) > 0
+                                and inject.ACTIVE is not None
+                                and inject.ACTIVE.fire(
+                                    "guard.hedge.lose", tid) is not None):
+                            # injected first-arrival loss: the duplicate
+                            # still in flight must deliver the same bytes
+                            continue
                         if inject.ACTIVE is not None and inject.ACTIVE.fire(
                                 "sched.result.corrupt", tid) is not None:
                             body = {"__corrupted__": True}
                         if self.validate is not None \
-                                and tid not in results \
-                                and tid not in failures \
                                 and not self.validate(payloads[tid], body):
-                            retry_or_fail(
+                            copy_failed(
                                 tid, "result payload failed validation "
                                      "(corrupted on the result channel)")
                             snapshot()
                             continue
                         outstanding.discard(tid)
-                        if tid not in results and tid not in failures:
-                            results[tid] = body
-                            if on_result is not None:
-                                on_result(tid, body)
-                            self.emit(TaskFinished(
-                                task_id=tid,
-                                kind=payloads[tid].get("kind", ""),
-                                source=SOURCE_EXECUTED,
-                                status=str((body or {}).get("status", "")),
-                                worker=wid, duration=duration,
-                                attempts=attempts[tid],
-                                diagnostics=len(
-                                    (body or {}).get("diagnostics") or ()),
-                                counters=payload_counters(body)))
-                            snapshot()
+                        results[tid] = body
+                        book.observe(duration)
+                        hedged_win = (tid, attempt) in hedge_dispatches
+                        if hedged_win:
+                            book.wins += 1
+                        if on_result is not None:
+                            on_result(tid, body)
+                        self.emit(TaskFinished(
+                            task_id=tid,
+                            kind=payloads[tid].get("kind", ""),
+                            source=SOURCE_EXECUTED,
+                            status=str((body or {}).get("status", "")),
+                            worker=wid, duration=duration,
+                            attempts=attempts[tid],
+                            diagnostics=len(
+                                (body or {}).get("diagnostics") or ()),
+                            counters=payload_counters(body),
+                            hedged=hedged_win))
+                        snapshot()
                     elif kind == "fail":
                         running.pop(wid, None)
-                        if tid not in results and tid not in failures:
-                            retry_or_fail(tid, body)
+                        live[tid] = max(0, live.get(tid, 0) - 1)
+                        if not settled(tid):
+                            copy_failed(tid, body)
                             snapshot()
                     elif kind == "init_error":
                         # a worker that cannot even initialise is a
@@ -318,7 +451,7 @@ class WorkerPool:
                     if not proc.is_alive():
                         on_worker_death(
                             wid, f"worker exited with code {proc.exitcode}")
-                for wid, (tid, deadline) in list(running.items()):
+                for wid, (tid, deadline, _started) in list(running.items()):
                     if now > deadline:
                         proc = procs.get(wid)
                         if proc is not None:
@@ -330,12 +463,15 @@ class WorkerPool:
                                  "unlike a fuel-budget sample timeout)",
                             kind="timeout")
                 if crashes > self.max_crashes:
-                    for tid in list(outstanding) + list(pending):
-                        if tid not in results and tid not in failures:
+                    for tid in list(outstanding) + list(pending) \
+                            + list(retries):
+                        if not settled(tid):
                             record_failure(
                                 tid, "worker crash budget exhausted")
                     pending.clear()
+                    retries.clear()
                     break
+                maybe_hedge(now)
                 # orphan sweep: tasks dispatched to a worker that died
                 # between dequeue and its "start" message
                 if (outstanding and not running
@@ -343,7 +479,9 @@ class WorkerPool:
                         and task_q.empty()):
                     for tid in list(outstanding):
                         outstanding.discard(tid)
-                        pending.append(tid)
+                        if not settled(tid):
+                            live[tid] = 0
+                            retries.append(tid)
                     last_message = now
         finally:
             self._shutdown(procs, task_q, result_q)

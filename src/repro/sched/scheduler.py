@@ -15,6 +15,7 @@ from pathlib import Path
 from typing import Callable, Optional, Tuple, Union
 
 from ..bench.registry import PCGBench
+from ..guard.health import GuardPolicy
 from ..harness.evaluate import EvalRun, effective_samples
 from ..harness.runner import Runner
 from ..models.llm import SimulatedLLM
@@ -31,10 +32,18 @@ from .events import (
 from .journal import Journal, SampleCache
 from .plan import assemble, build_plan
 from .pool import WorkerPool
-from .worker import execute_task, failure_payload, init_harness, valid_result
+from .worker import (
+    execute_task,
+    failure_payload,
+    init_harness,
+    quarantine_payload,
+    valid_result,
+)
 
 #: statuses that are never journaled or cached: the infrastructure (not
-#: the sample) failed, so a resumed run must resample the task
+#: the sample) failed, so a resumed run must resample the task.
+#: ``quarantined`` is deliberately NOT here — quarantine is a sticky
+#: verdict: it is journaled and replayed on resume, never re-executed.
 TRANSIENT_STATUSES = frozenset({"system_error"})
 _TRANSIENT_STATUSES = TRANSIENT_STATUSES
 
@@ -56,13 +65,16 @@ def run_scheduled(
     task_timeout: Optional[float] = 300.0,
     max_retries: int = 2,
     profile: bool = False,
+    guard: Optional[GuardPolicy] = None,
 ) -> Tuple[EvalRun, Telemetry]:
     """Run the §7 pipeline through the scheduler; returns (run, telemetry).
 
     With ``journal_path`` set, every finished task is checkpointed and a
     later call with ``resume=True`` replays finished work instead of
     recomputing it.  With ``sample_cache_dir`` set, results are also
-    stored content-addressed and shared across runs.
+    stored content-addressed and shared across runs.  ``guard``
+    configures supervision (poison-task quarantine + straggler hedging,
+    :class:`repro.guard.GuardPolicy`); the default policy has both on.
     """
     runner = runner or Runner()
     num_samples = effective_samples(num_samples)
@@ -127,7 +139,8 @@ def run_scheduled(
                 jobs=jobs, work_fn=execute_task, init_fn=init_harness,
                 init_args=(runner, plan.bench_ptypes, plan.bench_models),
                 task_timeout=task_timeout, max_retries=max_retries,
-                emit=sink, validate=valid_result)
+                emit=sink, validate=valid_result,
+                guard=guard, quarantine=quarantine_payload)
             executed, failures = pool.run(
                 [(tid, plan.tasks[tid].payload()) for tid in remaining],
                 on_result=on_result,
@@ -149,7 +162,8 @@ def run_scheduled(
             total_tasks=len(plan.tasks), executed=telemetry.executed,
             from_journal=telemetry.from_journal,
             from_cache=telemetry.from_cache, failed=telemetry.failed,
-            wall_seconds=time.monotonic() - began))
+            wall_seconds=time.monotonic() - began,
+            quarantined=telemetry.quarantined))
     finally:
         if journal is not None:
             journal.close()

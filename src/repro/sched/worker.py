@@ -69,6 +69,23 @@ def failure_payload(kind: str, detail: str) -> Dict[str, object]:
             "compile_cache": None}
 
 
+def quarantine_payload(kind: str, detail: str) -> Dict[str, object]:
+    """Persisted result for a poison task the HealthLedger quarantined.
+
+    Unlike ``system_error`` (transient: resampled on resume, never
+    journaled), ``quarantined`` is a *sticky* verdict: the task killed
+    multiple distinct workers, so it is journaled, replayed on resume,
+    and reported as its own status lane — never silently retried.  Like
+    ``system_error`` it is excluded from every pass@k and speedup
+    denominator (the sample was never judged)."""
+    if kind == KIND_BASELINE:
+        return {"baseline": None}
+    return {"status": "quarantined",
+            "detail": f"guard: {detail}", "times": {},
+            "diagnostics": [], "profile": None, "vec": None,
+            "compile_cache": None}
+
+
 def valid_result(task_payload: Dict[str, object], body: object) -> bool:
     """Shape-check one worker result before it is accepted/journaled.
 

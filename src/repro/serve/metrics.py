@@ -59,9 +59,13 @@ class Histogram:
 class ServiceMetrics:
     """Thread-safe aggregate of everything ``/metrics`` reports."""
 
-    def __init__(self, shards: int):
+    def __init__(self, shards: int, retry_after_cap: float = 60.0):
         self._lock = threading.Lock()
         self.shards = shards
+        #: ceiling on the Retry-After estimate, seconds — a pathological
+        #: EMA after one stalled batch must not tell clients to go away
+        #: for hours
+        self.retry_after_cap = max(1.0, float(retry_after_cap))
         # admission / lifecycle counters
         self.accepted = 0
         self.rejected = 0
@@ -77,7 +81,11 @@ class ServiceMetrics:
         self.tasks_from_cache = 0
         self.tasks_from_journal = 0
         self.tasks_failed = 0
+        self.tasks_quarantined = 0
         self.shard_restarts = 0
+        # guard supervision (repro.guard): straggler hedging traffic
+        self.hedges = 0
+        self.hedge_wins = 0
         # tier-2 vectorized execution + compile-cache traffic (folded
         # from per-shard Telemetry; see repro.runtime.vectorize)
         self.vec_bulk_loops = 0
@@ -143,7 +151,10 @@ class ServiceMetrics:
             self.tasks_from_cache += telemetry.from_cache
             self.tasks_from_journal += telemetry.from_journal
             self.tasks_failed += telemetry.failed
+            self.tasks_quarantined += telemetry.quarantined
             self.shard_restarts += restarts
+            self.hedges += telemetry.hedges
+            self.hedge_wins += telemetry.hedge_wins
             self.vec_bulk_loops += telemetry.vec_bulk_loops
             self.vec_bulk_iters += telemetry.vec_bulk_iters
             self.vec_fallbacks += telemetry.vec_fallbacks
@@ -168,16 +179,27 @@ class ServiceMetrics:
         with self._lock:
             return self.tasks_planned - self.tasks_unique
 
-    def retry_after(self, inflight: int) -> int:
+    def retry_after(self, inflight: int, open_breakers: int = 0) -> int:
         """Integer seconds a rejected client should back off — queue depth
-        times the smoothed batch cost, never less than one second."""
+        times the smoothed batch cost over the *surviving* shards, never
+        less than one second and never more than ``retry_after_cap``.
+
+        ``open_breakers`` shards are tripped and take no work, so the
+        same queue drains that much slower; the hint scales up while any
+        breaker is open (and sticks at the cap when none survive)."""
         with self._lock:
             per_batch = self.ema_batch_seconds or 1.0
-        estimate = max(1.0, inflight * per_batch / max(1, self.shards))
-        return min(60, int(estimate + 0.999))
+            cap = self.retry_after_cap
+        surviving = self.shards - max(0, open_breakers)
+        if surviving <= 0:
+            return int(cap + 0.999)
+        estimate = max(1.0, inflight * per_batch / surviving)
+        return min(int(cap + 0.999), int(estimate + 0.999))
 
     def snapshot(self, queue_depth: int = 0, running: int = 0,
-                 state: str = "") -> Dict[str, object]:
+                 state: str = "",
+                 breakers: Optional[Dict[str, Dict[str, object]]] = None
+                 ) -> Dict[str, object]:
         """One JSON-able dict: the body of ``GET /metrics``."""
         with self._lock:
             return {
@@ -198,7 +220,10 @@ class ServiceMetrics:
                 "tasks_from_cache": self.tasks_from_cache,
                 "tasks_from_journal": self.tasks_from_journal,
                 "tasks_failed": self.tasks_failed,
+                "tasks_quarantined": self.tasks_quarantined,
                 "shard_restarts": self.shard_restarts,
+                "hedges": self.hedges,
+                "hedge_wins": self.hedge_wins,
                 "vec_bulk_loops": self.vec_bulk_loops,
                 "vec_bulk_iters": self.vec_bulk_iters,
                 "vec_fallbacks": self.vec_fallbacks,
@@ -216,6 +241,10 @@ class ServiceMetrics:
                     for k in sorted(self.shard_busy)
                 },
                 "profile_totals": dict(self.profile_totals),
+                "breakers": dict(breakers or {}),
+                "breakers_open": sum(
+                    1 for b in (breakers or {}).values()
+                    if b.get("state") == "open"),
             }
 
 

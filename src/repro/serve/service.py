@@ -36,6 +36,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
 from ..bench.spec import EXECUTION_MODELS, PROBLEM_TYPES
+from ..guard import BreakerBoard, GuardPolicy
 from ..harness.evaluate import EvalRun
 from ..harness.runner import Runner
 from ..models import MODEL_ORDER
@@ -186,7 +187,11 @@ class EvalService:
                  task_timeout: Optional[float] = 120.0,
                  max_retries: int = 2,
                  max_shard_restarts: int = 2,
-                 vectorize: bool = True):
+                 vectorize: bool = True,
+                 hedging: bool = True,
+                 breaker_threshold: int = 2,
+                 breaker_cooldown: int = 2,
+                 retry_after_cap: float = 60.0):
         if shards < 1:
             raise ValueError("shards must be >= 1")
         self.workdir = Path(workdir)
@@ -207,7 +212,16 @@ class EvalService:
         self.task_timeout = task_timeout
         self.max_retries = max_retries
         self.max_shard_restarts = max_shard_restarts
-        self.metrics = ServiceMetrics(shards)
+        #: supervision policy for the shard pools (quarantine always on;
+        #: hedging is the observable-throughput toggle)
+        self.guard = GuardPolicy(hedge=hedging)
+        #: per-shard circuit breakers: a shard that exhausts its restart
+        #: budget twice in a row stops receiving work until a half-open
+        #: probe (after ``breaker_cooldown`` batches) succeeds
+        self.breakers = BreakerBoard(shards,
+                                     failure_threshold=breaker_threshold,
+                                     cooldown=breaker_cooldown)
+        self.metrics = ServiceMetrics(shards, retry_after_cap=retry_after_cap)
         #: run-level telemetry aggregate, folded from per-shard sinks
         self.telemetry = Telemetry()
         self.tickets: Dict[str, RequestTicket] = {}
@@ -283,7 +297,8 @@ class EvalService:
             raise ServiceClosed("service is shutting down")
         if self._inflight >= self.max_queue:
             self.metrics.record_admission(False)
-            raise Overloaded(self.metrics.retry_after(self._inflight))
+            raise Overloaded(self.metrics.retry_after(
+                self._inflight, open_breakers=self.breakers.open_count()))
         ticket = RequestTicket(id=f"req-{next(self._ids):06d}",
                                request=request, created=time.monotonic())
         self.tickets[ticket.id] = ticket
@@ -303,7 +318,8 @@ class EvalService:
     def metrics_snapshot(self) -> Dict[str, object]:
         return self.metrics.snapshot(queue_depth=self._queue.qsize(),
                                      running=self._running,
-                                     state=self.state)
+                                     state=self.state,
+                                     breakers=self.breakers.states())
 
     # -- batching loop -------------------------------------------------------
 
@@ -364,15 +380,25 @@ class EvalService:
         union = union_tasks(plans)
         key = batch_key(union)
         parts = partition_tasks(union, self.shards)
+        # breaker clock: one tick per batch — a count, not a wall clock,
+        # so the open -> half-open schedule replays deterministically
+        self.breakers.tick()
+        routed: Dict[int, dict] = {}
+        for home, specs in enumerate(parts):
+            if not specs:
+                continue
+            routed.setdefault(self.breakers.route(home), {}).update(specs)
         shard_runs = [
             loop.run_in_executor(
-                self._executor, self._run_one_shard, idx, key, specs,
+                self._executor, self._run_one_shard, shard, key, specs,
                 ptypes, models)
-            for idx, specs in enumerate(parts) if specs
+            for shard, specs in sorted(routed.items())
         ]
         results: Dict[str, dict] = {}
         failures: Dict[str, str] = {}
         for shard_result in await asyncio.gather(*shard_runs):
+            self.breakers.record(shard_result.shard,
+                                 shard_result.error == "")
             results.update(shard_result.results)
             failures.update(shard_result.failures)
             self.metrics.record_shard(shard_result.shard,
@@ -409,7 +435,7 @@ class EvalService:
             runner=self.runner, ptypes=ptypes, models=models,
             jobs=self.jobs_per_shard, cache_dir=self.cache_dir,
             task_timeout=self.task_timeout, max_retries=self.max_retries,
-            max_restarts=self.max_shard_restarts)
+            max_restarts=self.max_shard_restarts, guard=self.guard)
 
     def _finish(self, ticket: RequestTicket, status: str,
                 error: str = "") -> None:

@@ -22,6 +22,7 @@ from pathlib import Path
 from typing import Dict, Optional, Tuple
 
 from ..faults import inject
+from ..guard.health import GuardPolicy
 from ..harness.runner import Runner
 from ..sched.events import (
     EmitFn,
@@ -36,7 +37,12 @@ from ..sched.journal import Journal, SampleCache
 from ..sched.plan import TaskSpec
 from ..sched.pool import WorkerPool
 from ..sched.scheduler import TRANSIENT_STATUSES
-from ..sched.worker import execute_task, init_harness, valid_result
+from ..sched.worker import (
+    execute_task,
+    init_harness,
+    quarantine_payload,
+    valid_result,
+)
 
 
 @dataclass
@@ -78,7 +84,8 @@ def run_shard(shard_id: int,
               task_timeout: Optional[float] = 120.0,
               max_retries: int = 2,
               max_restarts: int = 2,
-              emit: Optional[EmitFn] = None) -> ShardResult:
+              emit: Optional[EmitFn] = None,
+              guard: Optional[GuardPolicy] = None) -> ShardResult:
     """Execute one shard's tasks; survives pool-loop deaths via resume.
 
     Attempt 0 starts a fresh journal for ``batch_key``; every restart
@@ -137,7 +144,8 @@ def run_shard(shard_id: int,
                 jobs=jobs, work_fn=execute_task, init_fn=init_harness,
                 init_args=(runner, tuple(ptypes), tuple(models)),
                 task_timeout=task_timeout, max_retries=max_retries,
-                emit=pool_sink, validate=valid_result)
+                emit=pool_sink, validate=valid_result,
+                guard=guard, quarantine=quarantine_payload)
             try:
                 executed, failed = pool.run(
                     [(t, specs[t].payload()) for t in remaining],

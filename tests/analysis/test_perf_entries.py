@@ -70,7 +70,14 @@ class TestPerfEntries:
         assert entry["times"] == [1.0]
 
     def test_excluded_status_set(self):
-        assert PERF_EXCLUDED_STATUSES == {"system_error", "degraded"}
+        assert PERF_EXCLUDED_STATUSES == {"system_error", "quarantined",
+                                          "degraded"}
+
+    def test_quarantined_shrinks_the_pool(self):
+        rec = record("a", "openmp", 10.0, [{32: 2.0}, {}],
+                     statuses=["correct", "quarantined"])
+        (entry,) = perf_entries([rec], 32)
+        assert entry["times"] == [2.0]
 
 
 class TestOverallHeadlines:

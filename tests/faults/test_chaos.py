@@ -6,6 +6,7 @@ from repro.faults.chaos import (
     ChaosReport,
     chaos_slice,
     check_event_determinism,
+    check_guard_resilience,
     check_injector_transparency,
     check_kill_resume,
     check_profile_determinism,
@@ -48,6 +49,12 @@ class TestInvariants:
         assert report.passed, report.detail
         assert "shard deaths" in report.detail
 
+    def test_guard_resilience(self, tmp_path):
+        report = check_guard_resilience(tmp_path, jobs=2)
+        assert report.passed, report.detail
+        assert "quarantined exactly once" in report.detail
+        assert "SIGKILL" in report.detail
+
 
 class TestSuiteDriver:
     def test_run_chaos_collects_all_reports(self, tmp_path):
@@ -57,7 +64,8 @@ class TestSuiteDriver:
         assert [r.invariant for r in reports] == [
             "injector-transparency", "event-determinism",
             "profile-determinism", "vectorize-resilience",
-            "sched-resilience", "kill-resume", "serve-resilience"]
+            "sched-resilience", "kill-resume", "serve-resilience",
+            "guard-resilience"]
         assert all(r.passed for r in reports), \
             [r.line() for r in reports if not r.passed]
         assert any("chaos: checking" in line for line in lines)

@@ -9,7 +9,8 @@ from repro.faults import INJECTION_POINTS, LAYERS, FaultPlan, FaultRule
 class TestRegistry:
     def test_every_point_has_layer_actions_description(self):
         for name, (layer, actions, desc) in INJECTION_POINTS.items():
-            assert layer in ("runtime", "harness", "sched", "serve"), name
+            assert layer in ("runtime", "harness", "sched", "serve",
+                             "guard"), name
             assert actions, name
             assert desc, name
 
@@ -18,7 +19,8 @@ class TestRegistry:
         assert sorted(listed) == sorted(INJECTION_POINTS)
 
     def test_all_layers_are_instrumented(self):
-        assert set(LAYERS) == {"runtime", "harness", "sched", "serve"}
+        assert set(LAYERS) == {"runtime", "harness", "sched", "serve",
+                               "guard"}
 
 
 class TestFaultRule:

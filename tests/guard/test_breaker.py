@@ -1,0 +1,116 @@
+"""Circuit breakers: the state machine and the board's ring routing."""
+
+import pytest
+
+from repro.guard import (
+    BreakerBoard,
+    CircuitBreaker,
+    STATE_CLOSED,
+    STATE_HALF_OPEN,
+    STATE_OPEN,
+)
+
+
+class TestStateMachine:
+    def test_starts_closed_and_allows(self):
+        b = CircuitBreaker()
+        assert b.state == STATE_CLOSED and b.allow()
+
+    def test_trips_at_threshold(self):
+        b = CircuitBreaker(failure_threshold=2, cooldown=2)
+        b.record(False)
+        assert b.state == STATE_CLOSED
+        b.record(False)
+        assert b.state == STATE_OPEN and not b.allow()
+        assert b.trips == 1
+
+    def test_success_resets_the_streak(self):
+        b = CircuitBreaker(failure_threshold=2)
+        b.record(False)
+        b.record(True)
+        b.record(False)
+        assert b.state == STATE_CLOSED
+
+    def test_cooldown_is_count_based(self):
+        b = CircuitBreaker(failure_threshold=1, cooldown=2)
+        b.record(False)
+        assert b.state == STATE_OPEN
+        b.tick()
+        assert b.state == STATE_OPEN          # one batch left
+        b.tick()
+        assert b.state == STATE_HALF_OPEN and b.allow()
+
+    def test_half_open_probe_success_closes(self):
+        b = CircuitBreaker(failure_threshold=1, cooldown=1)
+        b.record(False)
+        b.tick()
+        assert b.state == STATE_HALF_OPEN
+        b.record(True)
+        assert b.state == STATE_CLOSED
+
+    def test_half_open_probe_failure_reopens(self):
+        b = CircuitBreaker(failure_threshold=1, cooldown=1)
+        b.record(False)
+        b.tick()
+        b.record(False)                        # one failure re-trips
+        assert b.state == STATE_OPEN
+        assert b.trips == 2
+
+    def test_transitions_are_deterministic(self):
+        def drive():
+            b = CircuitBreaker(failure_threshold=2, cooldown=1)
+            for ok in (False, False, True, False, False):
+                b.record(ok)
+                b.tick()
+            return b.transitions
+
+        assert drive() == drive()
+
+    def test_to_dict_shape(self):
+        d = CircuitBreaker().to_dict()
+        assert set(d) == {"state", "consecutive_failures", "cooldown_left",
+                          "trips"}
+
+
+class TestBoard:
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ValueError):
+            BreakerBoard(0)
+
+    def test_routes_home_while_closed(self):
+        board = BreakerBoard(3)
+        assert [board.route(i) for i in range(3)] == [0, 1, 2]
+        assert board.reroutes == []
+
+    def test_open_shard_routes_to_next_survivor(self):
+        board = BreakerBoard(3, failure_threshold=1)
+        board.record(1, False)
+        assert board.route(1) == 2
+        assert board.route(0) == 0
+        assert board.reroutes == [(1, 2)]
+
+    def test_ring_wraps(self):
+        board = BreakerBoard(3, failure_threshold=1)
+        board.record(2, False)
+        assert board.route(2) == 0
+
+    def test_fail_open_when_all_tripped(self):
+        board = BreakerBoard(2, failure_threshold=1)
+        board.record(0, False)
+        board.record(1, False)
+        assert board.route(0) == 0 and board.route(1) == 1
+        assert board.open_count() == 2
+
+    def test_tick_advances_every_breaker(self):
+        board = BreakerBoard(2, failure_threshold=1, cooldown=1)
+        board.record(0, False)
+        board.tick()
+        assert board.breakers[0].state == STATE_HALF_OPEN
+        assert board.allow(0)
+
+    def test_states_snapshot(self):
+        board = BreakerBoard(2, failure_threshold=1)
+        board.record(1, False)
+        states = board.states()
+        assert states["0"]["state"] == STATE_CLOSED
+        assert states["1"]["state"] == STATE_OPEN

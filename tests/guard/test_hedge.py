@@ -1,0 +1,71 @@
+"""HedgeBook: quantile math and straggler-cut gating."""
+
+import pytest
+
+from repro.guard import GuardPolicy, HedgeBook, duration_quantile
+
+
+class TestQuantile:
+    def test_nearest_rank(self):
+        xs = [1.0, 2.0, 3.0, 4.0]
+        assert duration_quantile(xs, 0.5) == 2.0
+        assert duration_quantile(xs, 0.95) == 4.0
+        assert duration_quantile(xs, 1.0) == 4.0
+
+    def test_single_element(self):
+        assert duration_quantile([7.0], 0.95) == 7.0
+
+    def test_unsorted_input(self):
+        assert duration_quantile([4.0, 1.0, 3.0, 2.0], 0.5) == 2.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            duration_quantile([], 0.5)
+
+
+class TestThreshold:
+    def test_none_until_min_completed(self):
+        book = HedgeBook(GuardPolicy(hedge_min_completed=3))
+        book.observe(1.0)
+        book.observe(1.0)
+        assert book.threshold() is None
+        book.observe(1.0)
+        assert book.threshold() is not None
+
+    def test_quantile_times_multiplier(self):
+        book = HedgeBook(GuardPolicy(hedge_quantile=1.0,
+                                     hedge_multiplier=3.0,
+                                     hedge_min_completed=1,
+                                     hedge_min_seconds=0.0))
+        book.observe(2.0)
+        assert book.threshold() == pytest.approx(6.0)
+
+    def test_floor_applies(self):
+        book = HedgeBook(GuardPolicy(hedge_multiplier=0.0,
+                                     hedge_min_completed=1,
+                                     hedge_min_seconds=0.25))
+        book.observe(0.001)
+        assert book.threshold() == 0.25
+
+    def test_hedge_off_means_none(self):
+        book = HedgeBook(GuardPolicy(hedge=False, hedge_min_completed=1))
+        book.observe(1.0)
+        assert book.threshold() is None
+
+
+class TestBookkeeping:
+    def test_per_task_hedge_cap(self):
+        book = HedgeBook(GuardPolicy(max_hedges_per_task=1))
+        assert book.may_hedge("t")
+        book.note_hedge("t")
+        assert not book.may_hedge("t")
+        assert book.may_hedge("other")
+        assert book.launched == 1
+
+    def test_higher_cap(self):
+        book = HedgeBook(GuardPolicy(max_hedges_per_task=2))
+        book.note_hedge("t")
+        assert book.may_hedge("t")
+        book.note_hedge("t")
+        assert not book.may_hedge("t")
+        assert book.launched == 2

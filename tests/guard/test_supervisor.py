@@ -1,0 +1,65 @@
+"""Crash-only recovery: SIGKILL the whole scheduler process at every
+event boundary and prove each resumed run is byte-identical.
+
+This is the whole-process extension of the kill-at-every-journal-index
+chaos invariant: not a truncated file, an actual ``SIGKILL`` delivered
+to the running scheduler (no atexit, no flushes), with orphaned pool
+workers left to notice the reparenting on their own.
+"""
+
+import pytest
+
+from repro.bench import PCGBench
+from repro.guard import crash_resume_sweep, run_supervised
+from repro.models import load_model
+
+#: the smallest slice that still exercises the pool: one problem type,
+#: one execution model, two samples
+KW = dict(num_samples=2, temperature=0.2, seed=7, jobs=2)
+
+
+@pytest.fixture(scope="module")
+def slice_():
+    return load_model("GPT-3.5"), PCGBench(problem_types=["transform"],
+                                           models=["serial"])
+
+
+class TestRunSupervised:
+    def test_unkilled_run_completes_without_restarts(self, slice_,
+                                                     tmp_path):
+        llm, bench = slice_
+        result = run_supervised(llm, bench, workdir=tmp_path, **KW)
+        assert result.restarts == 0
+        assert result.events > 0
+        assert len(result.digest) == 64
+
+    def test_armed_kill_fires_and_recovers(self, slice_, tmp_path):
+        llm, bench = slice_
+        clean = run_supervised(llm, bench, workdir=tmp_path / "clean", **KW)
+        killed = run_supervised(llm, bench, workdir=tmp_path / "killed",
+                                kill_at=clean.events // 2, **KW)
+        assert killed.restarts >= 1       # the SIGKILL actually landed
+        assert killed.digest == clean.digest
+        assert killed.json == clean.json
+
+    def test_kill_past_the_end_never_fires(self, slice_, tmp_path):
+        llm, bench = slice_
+        clean = run_supervised(llm, bench, workdir=tmp_path / "c", **KW)
+        result = run_supervised(llm, bench, workdir=tmp_path / "k",
+                                kill_at=clean.events + 1000, **KW)
+        assert result.restarts == 0
+        assert result.digest == clean.digest
+
+
+class TestEveryBoundary:
+    def test_sweep_every_event_boundary_is_byte_identical(self, slice_,
+                                                          tmp_path):
+        """SIGKILL at *every* event boundary of the reference run; every
+        resumed digest must match, and every armed kill must fire."""
+        llm, bench = slice_
+        sweep = crash_resume_sweep(llm, bench, workdir=tmp_path, **KW)
+        assert sweep["checked"] == sweep["reference_events"] > 0
+        assert sweep["mismatches"] == []
+        # each armed boundary is before the run's end, so each kill
+        # landed and forced at least one restart
+        assert sweep["restarts"] >= sweep["checked"]

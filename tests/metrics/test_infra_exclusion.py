@@ -23,8 +23,13 @@ class TestJudged:
     def test_status_sets_are_consistent(self):
         assert "degraded" in CORRECT_STATUSES
         assert "degraded" in BUILT_STATUSES
-        assert INFRA_STATUSES == {"system_error"}
+        assert INFRA_STATUSES == {"system_error", "quarantined"}
         assert not INFRA_STATUSES & (CORRECT_STATUSES | BUILT_STATUSES)
+
+    def test_quarantined_drops_like_system_error(self):
+        statuses = ["correct", "quarantined", "wrong_answer"]
+        assert judged(statuses) == ["correct", "wrong_answer"]
+        assert prompt_pass_at_k(statuses, 1) == 0.5
 
 
 class TestPassAtKExclusion:

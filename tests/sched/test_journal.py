@@ -177,6 +177,64 @@ class TestSampleCache:
         path.write_text('{"status": "correct"}')   # pre-checksum format
         assert cache.get(tid) is None
 
+    def test_put_fsyncs_file_then_renames_then_fsyncs_dir(self, tmp_path,
+                                                          monkeypatch):
+        """Satellite: the durability protocol is tmp-write → fsync(file)
+        → rename → fsync(parent dir), in that order.  Without the first
+        fsync a crash can journal the rename before the data blocks hit
+        disk; without the second the rename itself can be lost."""
+        import os as os_mod
+        import stat
+
+        events = []
+        real_fsync, real_replace = os_mod.fsync, os_mod.replace
+
+        def spy_fsync(fd):
+            mode = os_mod.fstat(fd).st_mode
+            events.append(("fsync",
+                           "dir" if stat.S_ISDIR(mode) else "file"))
+            real_fsync(fd)
+
+        def spy_replace(src, dst):
+            events.append(("replace", None))
+            real_replace(src, dst)
+
+        monkeypatch.setattr(os_mod, "fsync", spy_fsync)
+        monkeypatch.setattr(os_mod, "replace", spy_replace)
+        cache = SampleCache(tmp_path)
+        tid = "ab" + "8" * 62
+        assert cache.put(tid, {"status": "correct"}) is True
+        assert events == [("fsync", "file"), ("replace", None),
+                          ("fsync", "dir")]
+        assert cache.get(tid) == {"status": "correct"}
+
+    def test_injected_enospc_degrades_to_a_miss(self, tmp_path):
+        """guard.disk.enospc: the write fails cleanly — no entry, no
+        leftover tmp file, and the cache keeps working once space is
+        back."""
+        plan = FaultPlan(rules=(
+            FaultRule(point="guard.disk.enospc", action="enospc"),))
+        cache = SampleCache(tmp_path)
+        tid = "aa" + "9" * 62
+        with injector(plan):
+            assert cache.put(tid, {"status": "correct"}) is False
+        assert cache.get(tid) is None
+        assert not (tmp_path / "aa" / f"{tid}.json").exists()
+        assert list(tmp_path.rglob("*.tmp")) == []
+        # the disk recovered: the same entry now persists
+        assert cache.put(tid, {"status": "correct"}) is True
+        assert cache.get(tid) == {"status": "correct"}
+
+    def test_enospc_never_corrupts_an_existing_entry(self, tmp_path):
+        cache = SampleCache(tmp_path)
+        tid = "bb" + "0" * 62
+        cache.put(tid, {"status": "correct", "times": {"1": 0.5}})
+        plan = FaultPlan(rules=(
+            FaultRule(point="guard.disk.enospc", action="enospc"),))
+        with injector(plan):
+            assert cache.put(tid, {"status": "wrong_answer"}) is False
+        assert cache.get(tid) == {"status": "correct", "times": {"1": 0.5}}
+
     def test_injected_truncate_and_bitflip_become_misses(self, tmp_path):
         plan = FaultPlan(rules=(
             FaultRule(point="sched.cache.truncate", action="truncate",

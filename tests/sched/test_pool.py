@@ -28,6 +28,12 @@ def _work(ctx, payload):
             marker.write_text("died here")
             os._exit(13)          # simulate a segfault / OOM kill
         return {"v": "recovered"}
+    if action == "raise_once":
+        marker = Path(payload["marker"])
+        if not marker.exists():
+            marker.write_text("raised here")
+            raise RuntimeError("transient boom")
+        return {"v": "recovered"}
     if action == "crash":
         os._exit(13)
     if action == "hang":
@@ -138,6 +144,44 @@ class TestFaults:
         assert "bad" in failures
         # the infra lane, never a model-blaming status
         assert tel.statuses.get("system_error") == 1
+
+
+class TestRetryOrdering:
+    def test_retries_queue_strictly_behind_fresh_work(self, tmp_path):
+        """Satellite: a retried task re-enqueues behind all still-pending
+        fresh tasks, deterministically — a retry storm can never starve
+        the queue tail.  With one worker and a queue bound of one, the
+        completion order is fully determined: the flaky task (submitted
+        first, failed once) completes *after* every fresh task."""
+        order = []
+        pool = WorkerPool(jobs=1, work_fn=_work, init_fn=_init,
+                          init_args=("t",), max_retries=2, queue_bound=1)
+        tasks = [("flaky", {"kind": "sample", "action": "raise_once",
+                            "marker": str(tmp_path / "flaky.marker")}),
+                 ("a", {"kind": "sample", "action": "ok", "v": 1}),
+                 ("b", {"kind": "sample", "action": "ok", "v": 2})]
+        results, failures = pool.run(
+            tasks, on_result=lambda tid, res: order.append(tid))
+        assert failures == {}
+        assert results["flaky"] == {"v": "recovered"}
+        assert order == ["a", "b", "flaky"]
+
+    def test_ordering_is_reproducible(self, tmp_path):
+        def drive(tag):
+            order = []
+            pool = WorkerPool(jobs=1, work_fn=_work, init_fn=_init,
+                              init_args=("t",), max_retries=2,
+                              queue_bound=1)
+            marker = tmp_path / f"{tag}.marker"
+            tasks = [("flaky", {"kind": "sample", "action": "raise_once",
+                                "marker": str(marker)})] \
+                + [(f"fresh{i}", {"kind": "sample", "action": "ok",
+                                  "v": i}) for i in range(4)]
+            pool.run(tasks, on_result=lambda tid, res: order.append(tid))
+            return order
+
+        assert drive("one") == drive("two") \
+            == [f"fresh{i}" for i in range(4)] + ["flaky"]
 
 
 class TestInjectedSchedFaults:

@@ -190,5 +190,16 @@ class TestChaosCommand:
     def test_chaos_suite_passes(self, capsys):
         assert main(["chaos", "--seed", "11", "--jobs", "2"]) == 0
         out = capsys.readouterr().out
-        assert "7/7 invariants hold" in out
+        assert "8/8 invariants hold" in out
         assert "[FAIL]" not in out
+
+    def test_single_invariant_filter(self, capsys):
+        assert main(["chaos", "--seed", "11", "--jobs", "2",
+                     "--invariant", "injector-transparency"]) == 0
+        out = capsys.readouterr().out
+        assert "1/1 invariants hold" in out
+        assert "injector-transparency" in out
+
+    def test_unknown_invariant_is_an_error(self, capsys):
+        assert main(["chaos", "--invariant", "no-such-invariant"]) == 2
+        assert "unknown invariant" in capsys.readouterr().err
