@@ -396,6 +396,117 @@ def test_profiler_guard_throughput(benchmark, profile):
     assert (result.profile is not None) == profile
 
 
+# -- cost-predictive dispatch: makespan on skewed workloads ---------------------
+
+def _dispatch_sleep(ctx, payload):
+    """Synthetic task: cost is the payload, exactly — the pure-dispatch
+    workload (no harness noise) behind the committed makespan baseline."""
+    time.sleep(payload["seconds"])
+    return {"status": "ok", "seconds": payload["seconds"]}
+
+
+def _skewed_tasks():
+    """The longest-task-last pathology: one 0.8s task buried near the
+    end of FIFO order behind forty 0.06s tasks.  FIFO strands one worker
+    on the long task after the shorts have drained; LPT starts it first
+    and packs the shorts around it (0.8 ~= sum(shorts)/(jobs-1), the
+    skew that maximises the gap between the two policies)."""
+    tasks = [(f"short-{i:03d}", {"seconds": 0.06}) for i in range(40)]
+    tasks.insert(36, ("long-000", {"seconds": 0.8}))
+    return tasks
+
+
+def _dispatch_pass(policy, jobs=4):
+    """One pool pass over the skewed workload under ``policy``; returns
+    (makespan, queue-wait p50, queue-wait p95), measured from the first
+    task dispatch so process-spawn cost cancels out of the comparison."""
+    from repro.sched import WorkerPool, order_tasks
+    from repro.sched.events import TaskStarted
+
+    tasks = _skewed_tasks()
+    predictions = {tid: (payload["seconds"], "ledger")
+                   for tid, payload in tasks}
+    order = order_tasks([tid for tid, _ in tasks], policy, predictions)
+    payloads = dict(tasks)
+    started = {}
+
+    def sink(event):
+        if isinstance(event, TaskStarted):
+            started.setdefault(event.task_id, time.perf_counter())
+
+    pool = WorkerPool(jobs=jobs, work_fn=_dispatch_sleep, emit=sink)
+    executed, failures = pool.run([(tid, payloads[tid]) for tid in order],
+                                  predictions=predictions)
+    done = time.perf_counter()
+    assert not failures and len(executed) == len(tasks)
+    t0 = min(started.values())
+    waits = sorted(t - t0 for t in started.values())
+    return (done - t0, waits[len(waits) // 2],
+            waits[min(len(waits) - 1, int(len(waits) * 0.95))])
+
+
+@pytest.mark.parametrize("policy", ["fifo", "lpt"])
+def test_dispatch_makespan_throughput(benchmark, policy):
+    """Makespan of the skewed workload under each dispatch policy — the
+    pair of numbers behind the committed dispatch baseline."""
+    makespan, _, _ = benchmark.pedantic(_dispatch_pass, args=(policy,),
+                                        rounds=2, iterations=1,
+                                        warmup_rounds=0)
+    assert makespan > 0
+
+
+def test_dispatch_makespan_meets_baseline():
+    """The acceptance check + CI perf-regression gate for LPT dispatch:
+    on the skewed workload at jobs=4, LPT cuts makespan >=20% vs FIFO,
+    and neither the improvement nor the absolute LPT makespan regresses
+    more than 20% past the committed baseline (the workload is
+    sleep-dominated, so absolute seconds are machine-portable).
+
+    Re-record after a deliberate change with::
+
+        REPRO_BENCH_RECORD=1 PYTHONPATH=src python -m pytest \
+            benchmarks/bench_harness_throughput.py -k dispatch_makespan
+    """
+    best = {}
+    wait_p50 = {}
+    wait_p95 = {}
+    for policy in ("fifo", "lpt"):
+        best[policy] = float("inf")
+        for _ in range(2):
+            makespan, p50, p95 = _dispatch_pass(policy)
+            if makespan < best[policy]:
+                best[policy] = makespan
+                wait_p50[policy], wait_p95[policy] = p50, p95
+    improvement = 1.0 - best["lpt"] / best["fifo"]
+    print(f"\ndispatch makespan (jobs=4, skewed): "
+          f"fifo {best['fifo']:.3f}s vs lpt {best['lpt']:.3f}s "
+          f"({improvement:+.1%}); queue-wait p95 "
+          f"fifo {wait_p95['fifo']:.3f}s vs lpt {wait_p95['lpt']:.3f}s")
+    if os.environ.get("REPRO_BENCH_RECORD"):
+        _record_baseline(dispatch={
+            "comment": "makespan of a skewed sleep workload (one 0.8s "
+                       "task behind forty 0.06s tasks) on a jobs=4 pool "
+                       "under each dispatch policy; sleep-dominated, so "
+                       "portable across machines",
+            "jobs": 4,
+            "fifo_makespan": round(best["fifo"], 3),
+            "lpt_makespan": round(best["lpt"], 3),
+            "improvement": round(improvement, 3),
+            "queue_wait_p50": {k: round(v, 3)
+                               for k, v in wait_p50.items()},
+            "queue_wait_p95": {k: round(v, 3)
+                               for k, v in wait_p95.items()},
+        })
+        return
+    baseline = json.loads(_BASELINE_PATH.read_text())["dispatch"]
+    assert improvement >= 0.20, (
+        f"LPT improved makespan only {improvement:.1%} over FIFO — "
+        "below the 20% acceptance floor")
+    assert best["lpt"] <= baseline["lpt_makespan"] * 1.2, (
+        f"LPT makespan {best['lpt']:.3f}s regressed >20% past the "
+        f"recorded {baseline['lpt_makespan']:.3f}s")
+
+
 def test_scheduler_beats_serial():
     """The acceptance check: jobs=4 beats the serial loop outright."""
     llm, bench = _sched_workload()

@@ -56,6 +56,13 @@ interrupted pass from its JSONL journal (see ``docs/scheduler.md``).
 ``eval``/``figures``/``serve`` accept ``--no-hedge`` to disable the
 guard layer's speculative straggler duplication (``docs/resilience.md``;
 output is byte-identical either way).
+
+``eval --dispatch {lpt,fifo,random}`` picks the scheduler's ready-queue
+policy and ``serve --dispatch {lpt,fifo}`` toggles cost-balanced shard
+partitions + the work-stealing board (``docs/scheduler.md``): ``lpt``
+dispatches longest-predicted-first from the durable duration ledger to
+cut makespan on skewed workloads; every policy produces byte-identical
+output.
 """
 
 from __future__ import annotations
@@ -99,7 +106,8 @@ def _sched_kwargs(args: argparse.Namespace, llm_name: str,
 
     from .sched import ProgressPrinter, journal_path_for
 
-    if args.jobs <= 1 and not args.resume:
+    dispatch = getattr(args, "dispatch", "lpt")
+    if args.jobs <= 1 and not args.resume and dispatch == "lpt":
         return {}
     root = os.environ.get("REPRO_CACHE", ".repro_cache")
     journal = journal_path_for(root, llm_name, args.samples,
@@ -110,6 +118,7 @@ def _sched_kwargs(args: argparse.Namespace, llm_name: str,
         "journal": str(journal),
         "resume": args.resume and journal.exists(),
         "sample_cache": str(Path(root) / "samples"),
+        "dispatch": dispatch,
         "events": ProgressPrinter(
             lambda line: print(line, file=sys.stderr)),
     }
@@ -387,7 +396,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
             jobs_per_shard=args.jobs, max_queue=args.queue,
             batch_window=args.batch_window, max_batch=args.max_batch,
             batching=args.batching, vectorize=args.vectorize,
-            hedging=args.hedge, retry_after_cap=args.retry_after_cap)
+            hedging=args.hedge, retry_after_cap=args.retry_after_cap,
+            dispatch=args.dispatch)
 
     if args.smoke:
         return asyncio.run(_smoke())
@@ -491,6 +501,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "prints the lost-cycles table")
     p.add_argument("--jobs", "-j", type=_positive_int, default=1,
                    help="worker processes for the evaluation scheduler")
+    p.add_argument("--dispatch", default="lpt",
+                   choices=["lpt", "fifo", "random"],
+                   help="ready-queue policy: lpt = longest-predicted-"
+                        "first from the duration ledger (default), fifo "
+                        "= plan order, random = seeded shuffle "
+                        "(byte-identical output under every policy)")
     p.add_argument("--resume", action="store_true",
                    help="resume an interrupted run from its journal")
     p.add_argument("--no-hedge", dest="hedge", action="store_false",
@@ -578,6 +594,11 @@ def build_parser() -> argparse.ArgumentParser:
                         "rejections, seconds")
     p.add_argument("--no-vectorize", dest="vectorize", action="store_false",
                    help="scalar closure tier only (bit-identical, slower)")
+    p.add_argument("--dispatch", default="lpt", choices=["lpt", "fifo"],
+                   help="lpt = cost-balanced shard partitions + work-"
+                        "stealing board + longest-first pools (default); "
+                        "fifo = legacy hash partition, no stealing "
+                        "(byte-identical results either way)")
     p.add_argument("--workdir", default=".repro_serve",
                    help="shard journals + sample cache directory")
     p.add_argument("--smoke", action="store_true",

@@ -43,8 +43,15 @@ properties as executable checks over a small fixed benchmark slice
    ``quarantined`` lane exactly once, deterministically across runs; and
    SIGKILLing the whole scheduler process at event boundaries
    (``guard.process.kill``) resumes to the reference digest.
+9. **dispatch-resilience** — cost-predictive dispatch
+   (``repro.sched.predict``) is throughput policy only: every dispatch
+   policy (``lpt``/``fifo``/``random``) reproduces the serial reference
+   byte for byte, and a warm duration ledger composed with shard deaths
+   and worker kills inside the service (LPT shard balancing + the
+   work-stealing board under ``serve.shard.die``) still serves the
+   byte-identical run.
 
-``repro chaos`` runs all eight from the command line; the CI ``chaos``
+``repro chaos`` runs all nine from the command line; the CI ``chaos``
 and ``chaos-guard`` jobs and ``tests/faults/test_chaos.py`` pin them as
 regressions.
 """
@@ -458,6 +465,97 @@ def check_guard_resilience(workdir: Union[str, Path],
         "digest")
 
 
+def check_dispatch_resilience(workdir: Union[str, Path],
+                              jobs: int = 2) -> ChaosReport:
+    """Cost-predictive dispatch is throughput policy, never content
+    policy — even warm, even mid-fault.
+
+    Two sub-properties:
+
+    * **policy transparency** — the scheduler under every dispatch
+      policy (``lpt``, ``fifo``, ``random``) reproduces the serial
+      reference byte for byte: the ready-queue order and the duration
+      predictions behind it cannot leak into the ``EvalRun``.
+    * **warm-ledger survivability** — a ledger warmed by a prior run
+      drives LPT shard balancing and the work-stealing board inside the
+      service while every task's first worker attempt is killed and
+      each shard's pool loop dies once (``serve.shard.die``); the served
+      run must still match the reference, with the ledger demonstrably
+      consulted (non-vacuity: ``ledger_predictions > 0`` and at least
+      one shard restart).
+    """
+    import asyncio
+
+    from ..sched.scheduler import run_scheduled
+    from ..serve import EvalRequest, EvalService
+    from ..serve.client import ServiceClient
+
+    llm, bench = chaos_slice()
+    reference = _eval(llm, bench)
+
+    # (a) every policy is byte-transparent
+    for policy in ("lpt", "fifo", "random"):
+        run = _eval(llm, bench, jobs=jobs, dispatch=policy)
+        if run.to_json() != reference.to_json():
+            return ChaosReport(
+                "dispatch-resilience", False,
+                f"dispatch policy {policy!r} perturbed the EvalRun")
+
+    # (b) warm the service's ledger with a direct scheduled run, then
+    # serve the same request under shard deaths + worker kills
+    serve_dir = Path(workdir)
+    serve_dir.mkdir(parents=True, exist_ok=True)
+    warm_run, _ = run_scheduled(
+        llm, bench, num_samples=CHAOS_SAMPLES, temperature=0.2,
+        seed=CHAOS_SEED, jobs=jobs,
+        ledger_path=serve_dir / "durations.jsonl")
+    if warm_run.to_json() != reference.to_json():
+        return ChaosReport("dispatch-resilience", False,
+                           "the ledger-warming run diverged from the "
+                           "reference")
+    plan = FaultPlan(rules=(
+        FaultRule(point="sched.worker.kill", action="kill", match="#a0"),
+        FaultRule(point="serve.shard.die", action="abort",
+                  occurrences=(0,)),
+    ), seed=0)
+    request = EvalRequest(model=CHAOS_LLM, ptypes=CHAOS_PTYPES,
+                          exec_models=CHAOS_EXEC, samples=CHAOS_SAMPLES,
+                          seed=CHAOS_SEED)
+
+    async def _serve_once() -> Tuple[EvalRun, dict]:
+        service = EvalService(serve_dir, shards=2, jobs_per_shard=jobs,
+                              sample_cache=False, dispatch="lpt")
+        await service.start()
+        try:
+            run = await ServiceClient(service).evaluate(request)
+        finally:
+            await service.shutdown(drain=True)
+        return run, service.metrics_snapshot()
+
+    with injector(plan):
+        served, snap = asyncio.run(_serve_once())
+    if served.to_json() != reference.to_json():
+        return ChaosReport("dispatch-resilience", False,
+                           "warm-ledger LPT serving under shard deaths + "
+                           "worker kills diverged from direct evaluation")
+    if snap["shard_restarts"] < 1:
+        return ChaosReport("dispatch-resilience", False,
+                           "the shard-death fault never fired "
+                           "(shard_restarts == 0); the invariant is vacuous")
+    if snap["ledger_predictions"] < 1:
+        return ChaosReport("dispatch-resilience", False,
+                           "the warmed ledger was never consulted "
+                           "(ledger_predictions == 0); the invariant is "
+                           "vacuous")
+    return ChaosReport(
+        "dispatch-resilience", True,
+        "all three dispatch policies byte-identical; warm-ledger LPT "
+        f"serving survived {snap['shard_restarts']} shard death(s) with "
+        f"{snap['ledger_predictions']} ledger-predicted tasks "
+        f"(hit rate {snap['ledger_hit_rate']:.2f}, MAE "
+        f"{snap['pred_mae_seconds']:.3f}s) and matches direct evaluation")
+
+
 def run_chaos(seed: int = 11, jobs: int = 4,
               workdir: Optional[Union[str, Path]] = None,
               log: Optional[Callable[[str], None]] = None,
@@ -494,6 +592,9 @@ def run_chaos(seed: int = 11, jobs: int = 4,
         step("guard-resilience",
              lambda: check_guard_resilience(Path(workdir) / "guard",
                                             jobs=min(jobs, 2), log=log))
+        step("dispatch-resilience",
+             lambda: check_dispatch_resilience(Path(workdir) / "dispatch",
+                                               jobs=min(jobs, 2)))
     else:
         with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
             step("kill-resume",
@@ -504,4 +605,7 @@ def run_chaos(seed: int = 11, jobs: int = 4,
             step("guard-resilience",
                  lambda: check_guard_resilience(Path(tmp) / "guard",
                                                 jobs=min(jobs, 2), log=log))
+            step("dispatch-resilience",
+                 lambda: check_dispatch_resilience(Path(tmp) / "dispatch",
+                                                   jobs=min(jobs, 2)))
     return reports

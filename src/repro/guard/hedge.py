@@ -37,11 +37,22 @@ def duration_quantile(durations: Sequence[float], q: float) -> float:
 
 
 class HedgeBook:
-    """Observed completion times + which tasks have been hedged."""
+    """Observed completion times + which tasks have been hedged.
 
-    def __init__(self, policy: Optional[GuardPolicy] = None):
+    ``seed`` warm-starts the completed-duration sample from prior-run
+    history (the :class:`repro.sched.predict.DurationLedger`), so a
+    first-run straggler can be hedged before ``hedge_min_completed``
+    tasks finish *this* run.  A cold ledger passes an empty seed and the
+    book behaves exactly as before — the threshold stays ``None`` until
+    enough in-run completions accumulate.  Seeding is throughput policy
+    only: it moves *when* a duplicate launches, never what any copy
+    computes.
+    """
+
+    def __init__(self, policy: Optional[GuardPolicy] = None,
+                 seed: Sequence[float] = ()):
         self.policy = policy or GuardPolicy()
-        self.durations: List[float] = []
+        self.durations: List[float] = list(seed)
         #: task id -> duplicates launched
         self.hedged: Dict[str, int] = {}
         #: accepted results that came from a hedge dispatch

@@ -201,6 +201,7 @@ def evaluate_model(
     events: Optional[Callable[[object], None]] = None,
     profile: bool = False,
     guard: Optional[object] = None,
+    dispatch: Optional[str] = None,
 ) -> EvalRun:
     """Run the full §7 pipeline for one model over ``bench``.
 
@@ -219,6 +220,13 @@ def evaluate_model(
 
     ``profile=True`` (timing runs only) additionally records a
     cost-decomposed :mod:`repro.prof` profile on every timed sample.
+
+    ``dispatch`` selects the scheduler's ready-queue policy (``"lpt"``,
+    ``"fifo"``, ``"random"`` — see :mod:`repro.sched.predict`); setting
+    it routes through the scheduler even at ``jobs=1``.  ``None`` leaves
+    the scheduler default (``"lpt"``) in effect.  Dispatch order is
+    throughput policy only: the assembled run is byte-identical under
+    every policy.
     """
     if profile and not with_timing:
         raise ConfigurationError("profile=True requires with_timing=True")
@@ -227,7 +235,8 @@ def evaluate_model(
     if resume and journal is None:
         raise ConfigurationError("resume=True requires a journal path")
     if (jobs > 1 or journal is not None or sample_cache is not None
-            or events is not None or guard is not None):
+            or events is not None or guard is not None
+            or dispatch is not None):
         from ..sched.scheduler import run_scheduled
 
         run, _ = run_scheduled(
@@ -235,7 +244,8 @@ def evaluate_model(
             with_timing=with_timing, runner=runner, seed=seed, jobs=jobs,
             journal_path=journal, resume=resume,
             sample_cache_dir=sample_cache, emit=events, progress=progress,
-            profile=profile, guard=guard)
+            profile=profile, guard=guard,
+            dispatch=dispatch if dispatch is not None else "lpt")
         return run
     runner = runner or Runner()
     num_samples = effective_samples(num_samples)

@@ -48,6 +48,21 @@ from .plan import (
     shard_for,
 )
 from .pool import WorkerPool
+from .predict import (
+    CostEstimator,
+    DISPATCH_FIFO,
+    DISPATCH_LPT,
+    DISPATCH_POLICIES,
+    DISPATCH_RANDOM,
+    DurationLedger,
+    PRED_ESTIMATOR,
+    PRED_LEDGER,
+    feature_key,
+    ledger_path_for,
+    order_tasks,
+    plan_keys,
+    predict_plan,
+)
 from .scheduler import TRANSIENT_STATUSES, run_scheduled
 from .worker import (execute_task, failure_payload, init_harness,
                      quarantine_payload)
@@ -68,6 +83,11 @@ __all__ = [
     "RunFinished", "ProgressPrinter", "SchedulerAbort", "chain",
     "SOURCE_EXECUTED", "SOURCE_JOURNAL", "SOURCE_CACHE", "SOURCE_FAILED",
     "SOURCE_QUARANTINED",
+    # cost-predictive dispatch
+    "CostEstimator", "DurationLedger", "feature_key", "ledger_path_for",
+    "order_tasks", "plan_keys", "predict_plan",
+    "DISPATCH_LPT", "DISPATCH_FIFO", "DISPATCH_RANDOM", "DISPATCH_POLICIES",
+    "PRED_LEDGER", "PRED_ESTIMATOR",
     # orchestration
     "run_scheduled", "TRANSIENT_STATUSES",
 ]

@@ -55,6 +55,13 @@ class TaskFinished:
     #: dispatch rather than the primary one (telemetry only — the bytes
     #: of the result are identical either way)
     hedged: bool = False
+    #: cost prediction the dispatcher held for this task (0.0 when no
+    #: prediction existed) and its provenance: "ledger" (seconds, from
+    #: observed history) or "estimator" (arbitrary units, static
+    #: features).  Only executed tasks carry one — replays were never
+    #: dispatched.  See :mod:`repro.sched.predict`.
+    predicted: float = 0.0
+    predicted_source: str = ""
 
 
 @dataclass(frozen=True)
@@ -179,6 +186,17 @@ class Telemetry:
     #: compile-cache traffic summed over executed tasks
     compile_cache_hits: int = 0
     compile_cache_misses: int = 0
+    #: cost-prediction provenance over executed tasks (repro.sched.predict):
+    #: how many dispatches carried a ledger-history prediction vs the
+    #: static-estimator fallback — the ledger *hit rate* numerator and
+    #: denominator
+    ledger_predictions: int = 0
+    estimator_predictions: int = 0
+    #: predicted-vs-actual error, accumulated only over ledger-sourced
+    #: predictions (both sides in seconds; estimator units are rank-only
+    #: and would pollute a seconds-denominated error)
+    pred_samples: int = 0
+    pred_abs_err_seconds: float = 0.0
     events: List[object] = field(default_factory=list)
     keep_events: bool = False
 
@@ -202,6 +220,14 @@ class Telemetry:
             self.vec_fallbacks += c.get("vec_fallbacks", 0)
             self.compile_cache_hits += c.get("compile_cache_hits", 0)
             self.compile_cache_misses += c.get("compile_cache_misses", 0)
+            if event.source == SOURCE_EXECUTED:
+                if event.predicted_source == "ledger":
+                    self.ledger_predictions += 1
+                    self.pred_samples += 1
+                    self.pred_abs_err_seconds += abs(
+                        event.duration - event.predicted)
+                elif event.predicted_source == "estimator":
+                    self.estimator_predictions += 1
         elif isinstance(event, TaskHedged):
             self.hedges += 1
         elif isinstance(event, WorkerCrashed):
@@ -238,6 +264,10 @@ class Telemetry:
         self.vec_fallbacks += other.vec_fallbacks
         self.compile_cache_hits += other.compile_cache_hits
         self.compile_cache_misses += other.compile_cache_misses
+        self.ledger_predictions += other.ledger_predictions
+        self.estimator_predictions += other.estimator_predictions
+        self.pred_samples += other.pred_samples
+        self.pred_abs_err_seconds += other.pred_abs_err_seconds
         self.workers += other.workers
         self.wall_seconds = max(self.wall_seconds, other.wall_seconds)
         if self.keep_events:
@@ -268,6 +298,19 @@ class Telemetry:
     @property
     def total(self) -> int:
         return sum(self.counts.values())
+
+    def ledger_hit_rate(self) -> float:
+        """Fraction of executed-task dispatches predicted from ledger
+        history (vs the static-estimator fallback)."""
+        denom = self.ledger_predictions + self.estimator_predictions
+        return self.ledger_predictions / denom if denom else 0.0
+
+    def pred_mae_seconds(self) -> float:
+        """Mean absolute predicted-vs-actual error over ledger-sourced
+        predictions, seconds."""
+        if not self.pred_samples:
+            return 0.0
+        return self.pred_abs_err_seconds / self.pred_samples
 
     def utilization(self) -> float:
         """Mean fraction of run wall-clock each worker spent on tasks."""

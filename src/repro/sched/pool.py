@@ -208,6 +208,10 @@ class WorkerPool:
     def run(self, tasks: Sequence[Tuple[str, dict]],
             on_result: Optional[Callable[[str, dict], None]] = None,
             progress_total: Optional[int] = None,
+            predictions: Optional[Dict[str, Tuple[float, str]]] = None,
+            hedge_seed: Sequence[float] = (),
+            feed: Optional[Callable[[], Optional[Tuple[str, dict]]]] = None,
+            on_drain: Optional[Callable[[], None]] = None,
             ) -> Tuple[Dict[str, dict], Dict[str, str]]:
         """Execute ``tasks``; returns ``(results, failures)``.
 
@@ -217,19 +221,34 @@ class WorkerPool:
         that exhausted their retry budget.  Quarantined tasks land in
         ``results`` via the ``quarantine`` payload factory (or in
         ``failures`` when the pool has none).
+
+        ``tasks`` arrive pre-ordered by the caller's dispatch policy
+        (:func:`repro.sched.predict.order_tasks`); the pool preserves
+        that order for fresh work.  ``predictions`` (task id →
+        ``(value, provenance)``) decorate ``TaskFinished`` events so
+        predicted-vs-actual error is observable.  ``hedge_seed``
+        warm-starts the straggler book from ledger history.  ``feed``,
+        when given, is a pull source consulted whenever local queues
+        run dry — it returns ``(task_id, payload)`` or ``None`` for
+        "nothing right now" (work stealing re-consults it every cycle);
+        the run ends when the feed is dry *and* every known task is
+        settled.  ``on_drain`` fires once per drain cycle — when the
+        result channel goes momentarily quiet — and is the journal's
+        group-commit hook.
         """
         payloads: Dict[str, dict] = dict(tasks)
         total = len(payloads)
         if progress_total is None:
             progress_total = total
+        progress_base = progress_total - total
         results: Dict[str, dict] = {}
         failures: Dict[str, str] = {}
-        if total == 0:
+        if total == 0 and feed is None:
             return results, failures
 
         task_q = self._ctx.Queue(maxsize=self.queue_bound + 1)
         result_q = self._ctx.SimpleQueue()
-        pending = deque(payloads)         # fresh work, plan order
+        pending = deque(payloads)         # fresh work, dispatch order
         retries: deque = deque()          # requeues: strictly behind fresh
         outstanding: set = set()          # dispatched, not yet finished
         #: worker → (task, deadline, started_at)
@@ -238,10 +257,13 @@ class WorkerPool:
         fails: Dict[str, int] = {tid: 0 for tid in payloads}
         live: Dict[str, int] = {tid: 0 for tid in payloads}  # copies in flight
         hedge_dispatches: Set[Tuple[str, int]] = set()
+        preds = predictions or {}
         ledger = HealthLedger(self.guard.poison_threshold)
-        book = HedgeBook(self.guard)
+        book = HedgeBook(self.guard, seed=hedge_seed)
         procs: Dict[int, mp.process.BaseProcess] = {}
         crashes = 0
+        feed_open = feed is not None    # crash-budget bail closes the feed
+        feed_dry = False                # last pull returned None
         last_message = time.monotonic()
 
         for wid in range(self.jobs):
@@ -264,8 +286,30 @@ class WorkerPool:
             outstanding.add(tid)
             return True
 
+        def pull_feed() -> bool:
+            """Claim one task from the feed into ``pending``; False when
+            the feed has nothing right now."""
+            nonlocal feed_dry
+            item = feed()
+            if item is None:
+                feed_dry = True
+                return False
+            feed_dry = False
+            tid, payload = item
+            if tid not in payloads:
+                payloads[tid] = payload
+                attempts[tid] = 0
+                fails[tid] = 0
+                live[tid] = 0
+            if not settled(tid):
+                pending.append(tid)
+            return True
+
         def fill_queue() -> None:
             while len(outstanding) < self.queue_bound:
+                if not pending and not retries and feed_open:
+                    if not pull_feed():
+                        return
                 source = pending if pending else retries
                 if not source:
                     return
@@ -332,7 +376,9 @@ class WorkerPool:
                         record_quarantine(tid, detail)
                     else:
                         copy_failed(tid, detail)
-            if crashes <= self.max_crashes and finished() < total:
+            if crashes <= self.max_crashes \
+                    and (finished() < len(payloads)
+                         or (feed_open and not feed_dry)):
                 procs[next_wid] = self._spawn(next_wid, task_q, result_q)
                 self.emit(WorkerReplaced(old_worker=wid,
                                          new_worker=next_wid))
@@ -340,10 +386,13 @@ class WorkerPool:
 
         def maybe_hedge(now: float) -> None:
             """Duplicate stragglers onto idle workers — only once all
-            fresh and retried work is dispatched, so speculation never
-            delays first execution of anything."""
+            fresh and retried work is dispatched (and a feed, if any,
+            reported dry), so speculation never delays first execution
+            of anything."""
             if not self.guard.hedge or pending or retries:
                 return
+            if feed_open and not feed_dry:
+                return                  # unclaimed work may still exist
             idle = len(procs) - len(running)
             if idle <= 0:
                 return
@@ -371,14 +420,19 @@ class WorkerPool:
 
         def snapshot() -> None:
             self.emit(ProgressSnapshot(
-                done=finished() + (progress_total - total),
-                total=progress_total,
+                done=finished() + progress_base,
+                total=max(progress_total, len(payloads) + progress_base),
                 queue_depth=len(outstanding), busy_workers=len(running),
                 workers=len(procs)))
 
         try:
-            while finished() < total:
+            while True:
                 fill_queue()
+                if finished() >= len(payloads):
+                    # all known work settled; a feed may still hold more
+                    if not feed_open or not pull_feed():
+                        break
+                    continue
                 message = _poll_result(result_q, _POLL)
                 now = time.monotonic()
                 if message is not None:
@@ -420,6 +474,7 @@ class WorkerPool:
                             book.wins += 1
                         if on_result is not None:
                             on_result(tid, body)
+                        predicted, pred_source = preds.get(tid, (0.0, ""))
                         self.emit(TaskFinished(
                             task_id=tid,
                             kind=payloads[tid].get("kind", ""),
@@ -430,7 +485,9 @@ class WorkerPool:
                             diagnostics=len(
                                 (body or {}).get("diagnostics") or ()),
                             counters=payload_counters(body),
-                            hedged=hedged_win))
+                            hedged=hedged_win,
+                            predicted=predicted,
+                            predicted_source=pred_source))
                         snapshot()
                     elif kind == "fail":
                         running.pop(wid, None)
@@ -445,7 +502,11 @@ class WorkerPool:
                             f"scheduler worker failed to initialise: {body}")
                     continue
 
-                # silence: check worker liveness and task deadlines
+                # silence: the drain cycle ended — group-commit whatever
+                # the result burst journaled, then check worker liveness
+                # and task deadlines
+                if on_drain is not None:
+                    on_drain()
                 for wid in list(procs):
                     proc = procs[wid]
                     if not proc.is_alive():
@@ -463,6 +524,7 @@ class WorkerPool:
                                  "unlike a fuel-budget sample timeout)",
                             kind="timeout")
                 if crashes > self.max_crashes:
+                    feed_open = False   # unclaimed feed work stays put
                     for tid in list(outstanding) + list(pending) \
                             + list(retries):
                         if not settled(tid):

@@ -23,6 +23,7 @@ from .events import (
     EmitFn,
     RunFinished,
     SOURCE_CACHE,
+    SOURCE_EXECUTED,
     SOURCE_JOURNAL,
     StageFinished,
     TaskFinished,
@@ -32,6 +33,14 @@ from .events import (
 from .journal import Journal, SampleCache
 from .plan import assemble, build_plan
 from .pool import WorkerPool
+from .predict import (
+    DISPATCH_LPT,
+    DurationLedger,
+    ledger_path_for,
+    order_tasks,
+    plan_keys,
+    predict_plan,
+)
 from .worker import (
     execute_task,
     failure_payload,
@@ -66,6 +75,8 @@ def run_scheduled(
     max_retries: int = 2,
     profile: bool = False,
     guard: Optional[GuardPolicy] = None,
+    dispatch: str = DISPATCH_LPT,
+    ledger_path: Optional[Union[str, Path]] = None,
 ) -> Tuple[EvalRun, Telemetry]:
     """Run the §7 pipeline through the scheduler; returns (run, telemetry).
 
@@ -75,16 +86,43 @@ def run_scheduled(
     stored content-addressed and shared across runs.  ``guard``
     configures supervision (poison-task quarantine + straggler hedging,
     :class:`repro.guard.GuardPolicy`); the default policy has both on.
+
+    ``dispatch`` picks the ready-queue policy
+    (:mod:`repro.sched.predict`): ``"lpt"`` (default) dispatches
+    longest-predicted-first to cut the straggler tail, ``"fifo"`` keeps
+    plan order, ``"random"`` is a seed-keyed shuffle.  Predictions come
+    from the :class:`~repro.sched.predict.DurationLedger` at
+    ``ledger_path`` (default: ``durations.jsonl`` inside
+    ``sample_cache_dir``) with a static estimator fallback; observed
+    durations are fed back after every executed task.  Policy choice is
+    pure throughput: ``assemble`` rebuilds the run in plan order, so
+    every policy yields byte-identical output.
     """
+    order_tasks((), dispatch)           # reject bad policy before any work
     runner = runner or Runner()
     num_samples = effective_samples(num_samples)
     telemetry = Telemetry()
-    sink = chain(telemetry, emit)
     began = time.monotonic()
 
     stage = time.monotonic()
     plan = build_plan(llm, bench, num_samples, temperature, with_timing,
                       runner, seed, profile=profile)
+    # cost-predictive dispatch: ledger history (EMA seconds per feature
+    # key) where warm, static feature estimates where cold
+    if ledger_path is None and sample_cache_dir is not None:
+        ledger_path = ledger_path_for(sample_cache_dir)
+    ledger = (DurationLedger(ledger_path)
+              if ledger_path is not None else None)
+    keys = plan_keys(plan)
+    predictions = predict_plan(plan, runner, ledger)
+
+    def observe_duration(event: object) -> None:
+        if (ledger is not None and isinstance(event, TaskFinished)
+                and event.source == SOURCE_EXECUTED
+                and event.task_id in keys):
+            ledger.observe(keys[event.task_id], event.duration)
+
+    sink = chain(observe_duration, telemetry, emit)
     sink(StageFinished(stage="plan", seconds=time.monotonic() - stage))
 
     stage = time.monotonic()
@@ -125,6 +163,8 @@ def run_scheduled(
                         diagnostics=len(hit.get("diagnostics") or ())))
                     continue
             remaining.append(task_id)
+        # throughput-only reordering: assemble() rebuilds in plan order
+        remaining = order_tasks(remaining, dispatch, predictions, seed=seed)
 
         if remaining:
             def on_result(task_id: str, payload: dict) -> None:
@@ -135,6 +175,16 @@ def run_scheduled(
                 if cache is not None:
                     cache.put(task_id, payload)
 
+            def on_drain() -> None:
+                # one fsync per drain cycle instead of one per record
+                if journal is not None:
+                    journal.commit()
+                if ledger is not None:
+                    ledger.flush()
+
+            hedge_seed = (ledger.seed_durations(keys[tid]
+                                                for tid in remaining)
+                          if ledger is not None else ())
             pool = WorkerPool(
                 jobs=jobs, work_fn=execute_task, init_fn=init_harness,
                 init_args=(runner, plan.bench_ptypes, plan.bench_models),
@@ -144,7 +194,10 @@ def run_scheduled(
             executed, failures = pool.run(
                 [(tid, plan.tasks[tid].payload()) for tid in remaining],
                 on_result=on_result,
-                progress_total=len(plan.tasks))
+                progress_total=len(plan.tasks),
+                predictions=predictions,
+                hedge_seed=hedge_seed,
+                on_drain=on_drain)
             results.update(executed)
             for task_id, detail in failures.items():
                 results[task_id] = failure_payload(
@@ -167,4 +220,6 @@ def run_scheduled(
     finally:
         if journal is not None:
             journal.close()
+        if ledger is not None:
+            ledger.close()
     return run, telemetry

@@ -26,7 +26,7 @@ from .service import (
     RequestTicket,
     ServiceClosed,
 )
-from .shards import ShardResult, run_shard
+from .shards import ShardResult, TaskBoard, run_shard
 
 __all__ = [
     "EvalRequest",
@@ -41,6 +41,7 @@ __all__ = [
     "ServiceClosed",
     "ServiceMetrics",
     "ShardResult",
+    "TaskBoard",
     "batch_key",
     "http_request",
     "partition_tasks",

@@ -16,7 +16,7 @@ only routes them.
 from __future__ import annotations
 
 import hashlib
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..bench.registry import PCGBench
 from ..harness.evaluate import effective_samples
@@ -63,12 +63,42 @@ def union_tasks(plans: Sequence[Plan]) -> Dict[str, TaskSpec]:
     return union
 
 
-def partition_tasks(union: Dict[str, TaskSpec], shards: int
+def partition_tasks(union: Dict[str, TaskSpec], shards: int,
+                    predictions: Optional[Dict[str, Tuple[float, str]]] = None
                     ) -> List[Dict[str, TaskSpec]]:
-    """Split the merged task set across shards by task-id hash."""
+    """Split the merged task set across shards.
+
+    Without ``predictions`` this is the legacy hash partition — uniform
+    in *count* but oblivious to cost, so one shard can draw every timed
+    sweep while its siblings drain trivial compile failures.  With
+    ``predictions`` (task id → ``(cost, provenance)``, from
+    :func:`repro.sched.predict.predict_plan`) it becomes LPT bin
+    packing: tasks are placed longest-first onto the least-loaded bin
+    (ties broken by lowest shard id), the classic 4/3-approximation to
+    minimum makespan.  Both partitions are pure functions of their
+    inputs — deterministic, and irrelevant to result bytes since every
+    task computes identical content on any shard.
+
+    Each returned part is ordered longest-first, which is exactly the
+    queue order :class:`repro.serve.shards.TaskBoard` serves and steals
+    from."""
     parts: List[Dict[str, TaskSpec]] = [{} for _ in range(shards)]
-    for task_id, spec in union.items():
-        parts[shard_for(task_id, shards)][task_id] = spec
+    if predictions is None:
+        for task_id, spec in union.items():
+            parts[shard_for(task_id, shards)][task_id] = spec
+        return parts
+    index = {tid: i for i, tid in enumerate(union)}
+
+    def lpt_key(tid: str) -> Tuple[float, int]:
+        return (-predictions.get(tid, (0.0, ""))[0], index[tid])
+
+    loads = [0.0] * shards
+    for tid in sorted(union, key=lpt_key):
+        target = min(range(shards), key=lambda s: (loads[s], s))
+        parts[target][tid] = union[tid]
+        # the epsilon keeps zero-cost tasks spreading round-robin
+        # instead of piling onto shard 0
+        loads[target] += predictions.get(tid, (0.0, ""))[0] + 1e-9
     return parts
 
 

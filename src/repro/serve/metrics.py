@@ -83,9 +83,18 @@ class ServiceMetrics:
         self.tasks_failed = 0
         self.tasks_quarantined = 0
         self.shard_restarts = 0
+        #: queued tasks moved between shards by the work-stealing board
+        self.tasks_stolen = 0
         # guard supervision (repro.guard): straggler hedging traffic
         self.hedges = 0
         self.hedge_wins = 0
+        # cost-predictive dispatch (repro.sched.predict): how often the
+        # duration ledger had history vs falling back to the static
+        # estimator, and how far ledger predictions missed (seconds)
+        self.ledger_predictions = 0
+        self.estimator_predictions = 0
+        self.pred_samples = 0
+        self.pred_abs_err_seconds = 0.0
         # tier-2 vectorized execution + compile-cache traffic (folded
         # from per-shard Telemetry; see repro.runtime.vectorize)
         self.vec_bulk_loops = 0
@@ -129,6 +138,19 @@ class ServiceMetrics:
             if run_s is not None:
                 self.run_seconds.observe(run_s)
 
+    def seed_ema(self, batch_seconds: float) -> None:
+        """Warm-start the Retry-After EMA from ledger history, so the
+        very first overload rejection after a restart quotes a real
+        back-off instead of the 1-second floor.  A no-op once any batch
+        has been recorded."""
+        with self._lock:
+            if self.ema_batch_seconds == 0.0 and batch_seconds > 0.0:
+                self.ema_batch_seconds = batch_seconds
+
+    def record_steals(self, steals: int) -> None:
+        with self._lock:
+            self.tasks_stolen += steals
+
     def record_batch(self, requests: int, planned: int, unique: int,
                      wall_seconds: float) -> None:
         with self._lock:
@@ -155,6 +177,10 @@ class ServiceMetrics:
             self.shard_restarts += restarts
             self.hedges += telemetry.hedges
             self.hedge_wins += telemetry.hedge_wins
+            self.ledger_predictions += telemetry.ledger_predictions
+            self.estimator_predictions += telemetry.estimator_predictions
+            self.pred_samples += telemetry.pred_samples
+            self.pred_abs_err_seconds += telemetry.pred_abs_err_seconds
             self.vec_bulk_loops += telemetry.vec_bulk_loops
             self.vec_bulk_iters += telemetry.vec_bulk_iters
             self.vec_fallbacks += telemetry.vec_fallbacks
@@ -222,8 +248,19 @@ class ServiceMetrics:
                 "tasks_failed": self.tasks_failed,
                 "tasks_quarantined": self.tasks_quarantined,
                 "shard_restarts": self.shard_restarts,
+                "tasks_stolen": self.tasks_stolen,
                 "hedges": self.hedges,
                 "hedge_wins": self.hedge_wins,
+                "ledger_predictions": self.ledger_predictions,
+                "estimator_predictions": self.estimator_predictions,
+                "ledger_hit_rate": (
+                    self.ledger_predictions
+                    / (self.ledger_predictions + self.estimator_predictions)
+                    if (self.ledger_predictions
+                        + self.estimator_predictions) else 0.0),
+                "pred_mae_seconds": (
+                    self.pred_abs_err_seconds / self.pred_samples
+                    if self.pred_samples else 0.0),
                 "vec_bulk_loops": self.vec_bulk_loops,
                 "vec_bulk_iters": self.vec_bulk_iters,
                 "vec_fallbacks": self.vec_fallbacks,

@@ -41,12 +41,17 @@ from ..harness.evaluate import EvalRun
 from ..harness.runner import Runner
 from ..models import MODEL_ORDER
 from ..prof import run_cost_totals
-from ..sched.events import Telemetry
+from ..sched.events import SOURCE_EXECUTED, TaskFinished, Telemetry
 from ..sched.plan import Plan, assemble
+from ..sched.predict import DurationLedger, plan_keys, predict_plan
 from ..sched.worker import failure_payload
 from .batcher import batch_key, partition_tasks, plan_batch, union_tasks
 from .metrics import ServiceMetrics
-from .shards import run_shard
+from .shards import TaskBoard, run_shard
+
+#: ledger key tracking whole-batch wall time across service restarts —
+#: warm-starts the Retry-After EMA before the first batch completes
+BATCH_EMA_KEY = "serve|batch||wall"
 
 #: ticket lifecycle states
 QUEUED = "queued"
@@ -191,9 +196,13 @@ class EvalService:
                  hedging: bool = True,
                  breaker_threshold: int = 2,
                  breaker_cooldown: int = 2,
-                 retry_after_cap: float = 60.0):
+                 retry_after_cap: float = 60.0,
+                 dispatch: str = "lpt"):
         if shards < 1:
             raise ValueError("shards must be >= 1")
+        if dispatch not in ("lpt", "fifo"):
+            raise ValueError(
+                f"dispatch must be 'lpt' or 'fifo', got {dispatch!r}")
         self.workdir = Path(workdir)
         self.workdir.mkdir(parents=True, exist_ok=True)
         # an explicit runner wins; otherwise the vectorize toggle picks
@@ -221,7 +230,18 @@ class EvalService:
         self.breakers = BreakerBoard(shards,
                                      failure_threshold=breaker_threshold,
                                      cooldown=breaker_cooldown)
+        #: ``"lpt"`` (default): cost-balanced shard partitions + the
+        #: work-stealing TaskBoard + longest-first pool dispatch;
+        #: ``"fifo"``: the legacy hash partition, no board — the
+        #: differential-testing foil (results byte-identical either way)
+        self.dispatch = dispatch
+        #: durable wall-time history shared by every batch; feeds shard
+        #: balancing, pool dispatch, hedge warm-start, and Retry-After
+        self.ledger = DurationLedger(self.workdir / "durations.jsonl")
         self.metrics = ServiceMetrics(shards, retry_after_cap=retry_after_cap)
+        warm = self.ledger.predict(BATCH_EMA_KEY)
+        if warm is not None:
+            self.metrics.seed_ema(warm)
         #: run-level telemetry aggregate, folded from per-shard sinks
         self.telemetry = Telemetry()
         self.tickets: Dict[str, RequestTicket] = {}
@@ -268,6 +288,7 @@ class EvalService:
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
+        self.ledger.close()
 
     def pause(self) -> None:
         """Stop dispatching batches (admission stays open; for tests)."""
@@ -379,7 +400,16 @@ class EvalService:
             ticket.plan = plan
         union = union_tasks(plans)
         key = batch_key(union)
-        parts = partition_tasks(union, self.shards)
+        # cost predictions: ledger EMA where warm, static estimate where
+        # cold — drive shard balancing, pool dispatch, hedge warm-start
+        task_keys: Dict[str, str] = {}
+        predictions: Dict[str, Tuple[float, str]] = {}
+        for plan in plans:
+            task_keys.update(plan_keys(plan))
+            predictions.update(predict_plan(plan, self.runner, self.ledger))
+        balanced = self.dispatch == "lpt"
+        parts = partition_tasks(union, self.shards,
+                                predictions if balanced else None)
         # breaker clock: one tick per batch — a count, not a wall clock,
         # so the open -> half-open schedule replays deterministically
         self.breakers.tick()
@@ -388,10 +418,22 @@ class EvalService:
             if not specs:
                 continue
             routed.setdefault(self.breakers.route(home), {}).update(specs)
+        board = TaskBoard(routed) if balanced else None
+        hedge_seed = (self.ledger.seed_durations(task_keys.values())
+                      if balanced else ())
+
+        def observe(event: object) -> None:
+            # executor threads report here; the ledger locks internally
+            if (isinstance(event, TaskFinished)
+                    and event.source == SOURCE_EXECUTED
+                    and event.task_id in task_keys):
+                self.ledger.observe(task_keys[event.task_id],
+                                    event.duration)
+
         shard_runs = [
             loop.run_in_executor(
                 self._executor, self._run_one_shard, shard, key, specs,
-                ptypes, models)
+                ptypes, models, board, predictions, hedge_seed, observe)
             for shard, specs in sorted(routed.items())
         ]
         results: Dict[str, dict] = {}
@@ -410,11 +452,16 @@ class EvalService:
                 detail = failures.get(
                     task_id, "shard lost the task (restarts exhausted)")
                 results[task_id] = failure_payload(spec.kind, detail)
+        wall = time.monotonic() - t0
         self.metrics.record_batch(
             requests=len(live),
             planned=sum(len(p.tasks) for p in plans),
             unique=len(union),
-            wall_seconds=time.monotonic() - t0)
+            wall_seconds=wall)
+        if board is not None:
+            self.metrics.record_steals(board.steals)
+        self.ledger.observe(BATCH_EMA_KEY, wall)
+        self.ledger.flush()
         for ticket in live:
             try:
                 run = assemble(ticket.plan, results)
@@ -428,14 +475,18 @@ class EvalService:
             self._finish(ticket, DONE)
 
     def _run_one_shard(self, shard_id: int, key: str, specs,
-                       ptypes: Tuple[str, ...], models: Tuple[str, ...]):
+                       ptypes: Tuple[str, ...], models: Tuple[str, ...],
+                       board=None, predictions=None, hedge_seed=(),
+                       emit=None):
         return run_shard(
             shard_id, key, specs,
             journal_path=self.workdir / f"shard-{shard_id}.journal.jsonl",
             runner=self.runner, ptypes=ptypes, models=models,
             jobs=self.jobs_per_shard, cache_dir=self.cache_dir,
             task_timeout=self.task_timeout, max_retries=self.max_retries,
-            max_restarts=self.max_shard_restarts, guard=self.guard)
+            max_restarts=self.max_shard_restarts, guard=self.guard,
+            emit=emit, board=board, predictions=predictions,
+            hedge_seed=hedge_seed)
 
     def _finish(self, ticket: RequestTicket, status: str,
                 error: str = "") -> None:

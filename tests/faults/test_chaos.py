@@ -5,6 +5,7 @@ from repro.faults import FaultPlan, injector
 from repro.faults.chaos import (
     ChaosReport,
     chaos_slice,
+    check_dispatch_resilience,
     check_event_determinism,
     check_guard_resilience,
     check_injector_transparency,
@@ -55,6 +56,11 @@ class TestInvariants:
         assert "quarantined exactly once" in report.detail
         assert "SIGKILL" in report.detail
 
+    def test_dispatch_resilience(self, tmp_path):
+        report = check_dispatch_resilience(tmp_path, jobs=2)
+        assert report.passed, report.detail
+        assert "ledger-predicted" in report.detail
+
 
 class TestSuiteDriver:
     def test_run_chaos_collects_all_reports(self, tmp_path):
@@ -65,7 +71,7 @@ class TestSuiteDriver:
             "injector-transparency", "event-determinism",
             "profile-determinism", "vectorize-resilience",
             "sched-resilience", "kill-resume", "serve-resilience",
-            "guard-resilience"]
+            "guard-resilience", "dispatch-resilience"]
         assert all(r.passed for r in reports), \
             [r.line() for r in reports if not r.passed]
         assert any("chaos: checking" in line for line in lines)

@@ -53,6 +53,43 @@ class TestThreshold:
         assert book.threshold() is None
 
 
+class TestWarmStart:
+    """Ledger-seeded durations arm the cut before any in-run completion."""
+
+    def test_seed_counts_toward_min_completed(self):
+        book = HedgeBook(GuardPolicy(hedge_min_completed=3),
+                         seed=(1.0, 1.0, 1.0))
+        assert book.threshold() is not None      # armed from task zero
+
+    def test_seed_value_feeds_the_quantile(self):
+        book = HedgeBook(GuardPolicy(hedge_quantile=1.0,
+                                     hedge_multiplier=3.0,
+                                     hedge_min_completed=1,
+                                     hedge_min_seconds=0.0),
+                         seed=(2.0,))
+        assert book.threshold() == pytest.approx(6.0)
+
+    def test_cold_ledger_empty_seed_regresses_to_in_run_gating(self):
+        # the cold-ledger fallback: an empty seed must behave exactly
+        # like the pre-ledger book — None until enough in-run completions
+        book = HedgeBook(GuardPolicy(hedge_min_completed=3), seed=())
+        assert book.threshold() is None
+        book.observe(1.0)
+        book.observe(1.0)
+        assert book.threshold() is None
+        book.observe(1.0)
+        assert book.threshold() is not None
+
+    def test_in_run_observations_append_to_the_seed(self):
+        book = HedgeBook(GuardPolicy(hedge_quantile=1.0,
+                                     hedge_multiplier=1.0,
+                                     hedge_min_completed=1,
+                                     hedge_min_seconds=0.0),
+                         seed=(1.0,))
+        book.observe(5.0)
+        assert book.threshold() == pytest.approx(5.0)   # max of both
+
+
 class TestBookkeeping:
     def test_per_task_hedge_cap(self):
         book = HedgeBook(GuardPolicy(max_hedges_per_task=1))

@@ -76,6 +76,61 @@ class TestJournal:
         assert path.name.endswith(".journal.jsonl")
 
 
+class TestGroupCommit:
+    """Appends are buffered; one fsync covers the whole batch."""
+
+    def test_records_reach_disk_only_on_commit(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        journal = Journal(path)
+        journal.start("key1", fresh=True)
+        journal.append("t1", {"a": 1})
+        journal.append("t2", {"b": 2})
+        # buffered: a reader (or a crash) sees only the committed header
+        assert Journal(path).load("key1") == {}
+        journal.commit()
+        assert set(Journal(path).load("key1")) == {"t1", "t2"}
+        journal.close()
+
+    def test_one_fsync_per_batch_not_per_record(self, tmp_path,
+                                                monkeypatch):
+        import os as os_mod
+
+        fsyncs = []
+        real_fsync = os_mod.fsync
+        monkeypatch.setattr(os_mod, "fsync",
+                            lambda fd: (fsyncs.append(fd), real_fsync(fd)))
+        journal = Journal(tmp_path / "run.jsonl")
+        journal.start("key1", fresh=True)        # header commit: 1 fsync
+        for i in range(10):
+            journal.append(f"t{i}", {"i": i})
+        journal.commit()                         # the whole burst: 1 more
+        assert journal.commits == 2
+        assert len(fsyncs) == 2
+        journal.commit()                         # empty buffer: no-op
+        assert journal.commits == 2
+        journal.close()
+
+    def test_auto_commit_bounds_the_buffer(self, tmp_path):
+        from repro.sched.journal import GROUP_COMMIT_BOUND
+
+        path = tmp_path / "run.jsonl"
+        journal = Journal(path)
+        journal.start("key1", fresh=True)
+        for i in range(GROUP_COMMIT_BOUND):
+            journal.append(f"t{i}", {"i": i})
+        # the bound forced a commit without anyone calling commit()
+        assert len(Journal(path).load("key1")) == GROUP_COMMIT_BOUND
+        journal.close()
+
+    def test_close_commits_the_remainder(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        journal = Journal(path)
+        journal.start("key1", fresh=True)
+        journal.append("t1", {"a": 1})
+        journal.close()
+        assert list(Journal(path).load("key1")) == ["t1"]
+
+
 def _reference_journal(tmp_path):
     """Header + two records; returns (path, raw bytes, record task ids)."""
     path = tmp_path / "ref.jsonl"

@@ -1,16 +1,17 @@
-"""The shard layer in isolation: deterministic partitioning, journal
-resume after injected shard death, and journal salvage when the restart
-budget runs out."""
+"""The shard layer in isolation: deterministic partitioning (hash and
+cost-balanced), the work-stealing TaskBoard, journal resume after
+injected shard death, and journal salvage when the restart budget runs
+out."""
 
 import pytest
 
 from repro.faults import FaultPlan, FaultRule, injector
 from repro.harness import Runner
 from repro.sched import TRANSIENT_STATUSES, shard_for
-from repro.serve import plan_request, run_shard
+from repro.serve import ServiceClient, TaskBoard, plan_request, run_shard
 from repro.serve.batcher import batch_key, partition_tasks, union_tasks
 
-from .conftest import make_request
+from .conftest import make_request, run_with_service
 
 
 @pytest.fixture(scope="module")
@@ -47,6 +48,123 @@ class TestPartition:
         reversed_union = dict(reversed(items))
         assert batch_key(union) == batch_key(reversed_union)
         assert batch_key(union) != batch_key(dict(items[:1]))
+
+
+class TestCostBalancedPartition:
+    def _predictions(self, union, heavy):
+        return {tid: ((100.0, "ledger") if tid == heavy else
+                      (1.0, "estimator")) for tid in union}
+
+    def test_balanced_partition_is_disjoint_and_complete(self, union):
+        heavy = next(iter(union))
+        parts = partition_tasks(union, 3, self._predictions(union, heavy))
+        assert sum(len(p) for p in parts) == len(union)
+        seen = set()
+        for part in parts:
+            assert not (seen & set(part))
+            seen |= set(part)
+        assert seen == set(union)
+
+    def test_heavy_task_gets_the_lightest_bin(self, union):
+        # one 100-unit task among 1-unit tasks: LPT places it first,
+        # alone, and packs everything else onto the other bins
+        heavy = sorted(union)[0]
+        parts = partition_tasks(union, 3, self._predictions(union, heavy))
+        (heavy_part,) = [p for p in parts if heavy in p]
+        assert list(heavy_part)[0] == heavy     # parts are longest-first
+        others = [p for p in parts if heavy not in p]
+        assert len(heavy_part) <= min(len(p) for p in others)
+
+    def test_balanced_partition_is_deterministic(self, union):
+        heavy = next(iter(union))
+        preds = self._predictions(union, heavy)
+        one = partition_tasks(union, 3, preds)
+        two = partition_tasks(union, 3, preds)
+        assert [list(p) for p in one] == [list(p) for p in two]
+
+    def test_no_predictions_keeps_the_legacy_hash_partition(self, union):
+        parts = partition_tasks(union, 3)
+        for shard_id, part in enumerate(parts):
+            for tid in part:
+                assert shard_for(tid, 3) == shard_id
+
+
+class TestTaskBoard:
+    def _board(self):
+        return TaskBoard({0: {"a0": "SA0", "a1": "SA1"},
+                          1: {"b0": "SB0", "b1": "SB1", "b2": "SB2"}})
+
+    def test_own_queue_first_in_order(self):
+        board = self._board()
+        assert board.claim(0) == ("a0", "SA0")
+        assert board.claim(0) == ("a1", "SA1")
+        assert board.depth() == 3
+
+    def test_drained_shard_steals_from_the_deepest(self):
+        board = self._board()
+        board.claim(0), board.claim(0)
+        # shard 0 is empty; shard 1 still holds b0..b2 — steal its front
+        tid, spec = board.claim(0)
+        assert (tid, spec) == ("b0", "SB0")
+        assert board.steals == 1
+        assert board.claim(1) == ("b1", "SB1")  # owner keeps the rest
+
+    def test_exhausted_board_claims_none(self):
+        board = TaskBoard({0: {"a0": "SA0"}})
+        assert board.claim(0) == ("a0", "SA0")
+        assert board.claim(0) is None
+        assert board.steals == 0                # nothing to steal from
+
+    def test_release_returns_unsettled_claims(self):
+        board = self._board()
+        board.claim(1), board.claim(1)          # b0, b1 in flight
+        board.release(1, settled={"b0"})        # died after finishing b0
+        # b1 is queued again at the front; b0 stays settled
+        assert board.claim(1) == ("b1", "SB1")
+        assert board.claim(1) == ("b2", "SB2")
+        assert board.claim(1) is None or board.claim(1)[0].startswith("a")
+
+    def test_specs_merge_every_partition(self):
+        board = self._board()
+        assert set(board.specs) == {"a0", "a1", "b0", "b1", "b2"}
+
+
+class TestServiceDispatchDifferential:
+    """--dispatch lpt (balanced + stealing) vs fifo (legacy hash): the
+    same bytes, proven through a live service."""
+
+    def test_lpt_and_fifo_served_runs_match(self, tmp_path, direct_run):
+        async def go(service):
+            return await ServiceClient(service).evaluate(make_request())
+
+        lpt, lpt_service = run_with_service(
+            tmp_path / "lpt", go, dispatch="lpt")
+        fifo, _ = run_with_service(tmp_path / "fifo", go, dispatch="fifo")
+        assert lpt.to_json() == direct_run.to_json()
+        assert fifo.to_json() == direct_run.to_json()
+        # the lpt service actually predicted (cold ledger: estimator)
+        snap = lpt_service.metrics_snapshot()
+        assert snap["estimator_predictions"] + snap["ledger_predictions"] \
+            == snap["tasks_executed"]
+
+    def test_warm_ledger_service_hits_and_matches(self, tmp_path,
+                                                  direct_run):
+        async def go(service):
+            client = ServiceClient(service)
+            first = await client.evaluate(make_request())
+            second = await client.evaluate(make_request())
+            return first, second
+
+        # no sample cache: the second request re-executes, now with a
+        # warm duration ledger driving the shard bin-packing
+        (first, second), service = run_with_service(
+            tmp_path, go, dispatch="lpt", sample_cache=False)
+        assert first.to_json() == direct_run.to_json()
+        assert second.to_json() == direct_run.to_json()
+        snap = service.metrics_snapshot()
+        assert snap["ledger_predictions"] > 0
+        assert 0.0 < snap["ledger_hit_rate"] <= 1.0
+        assert snap["pred_mae_seconds"] >= 0.0
 
 
 class TestRunShard:

@@ -190,7 +190,7 @@ class TestChaosCommand:
     def test_chaos_suite_passes(self, capsys):
         assert main(["chaos", "--seed", "11", "--jobs", "2"]) == 0
         out = capsys.readouterr().out
-        assert "8/8 invariants hold" in out
+        assert "9/9 invariants hold" in out
         assert "[FAIL]" not in out
 
     def test_single_invariant_filter(self, capsys):
